@@ -1,0 +1,56 @@
+"""E10 — Proposition 2: repairing sequences are short (polynomial in |D|).
+
+Samples walk lengths across database sizes; for key-conflict workloads
+under single-fact deletions the expected length is linear in the number
+of conflicting facts, far below the worst-case polynomial bound.
+"""
+
+import random
+
+import pytest
+
+from repro import UniformGenerator
+from repro.core.sampling import estimate_sequence_lengths
+from repro.workloads import key_conflict_workload
+
+SIZES = [2, 4, 8, 16]
+
+
+def _workload(groups):
+    return key_conflict_workload(
+        clean_rows=0, conflict_groups=groups, group_size=2, arity=2, seed=groups
+    )
+
+
+@pytest.mark.experiment("E10")
+def test_walk_length_scales_linearly():
+    print("\nE10: conflict groups -> mean sequence length")
+    means = []
+    for groups in SIZES:
+        workload = _workload(groups)
+        lengths = estimate_sequence_lengths(
+            workload.database,
+            UniformGenerator(workload.constraints),
+            walks=30,
+            rng=random.Random(groups),
+        )
+        mean = sum(lengths) / len(lengths)
+        means.append(mean)
+        print(f"  groups={groups:3} |D|={len(workload.database):3} mean={mean:.2f}")
+        # every walk resolves each group with 1 or 2 deletions
+        assert groups <= max(lengths) <= 2 * groups
+    # linear trend: doubling groups roughly doubles the mean
+    for prev, curr in zip(means, means[1:]):
+        assert 1.5 <= curr / prev <= 2.5
+
+
+@pytest.mark.experiment("E10")
+@pytest.mark.parametrize("groups", SIZES)
+def bench_sampled_walks_by_size(benchmark, groups):
+    workload = _workload(groups)
+    generator = UniformGenerator(workload.constraints)
+    rng = random.Random(0)
+    lengths = benchmark(
+        estimate_sequence_lengths, workload.database, generator, 5, rng
+    )
+    assert len(lengths) == 5

@@ -1,0 +1,107 @@
+"""E11 — the Section 5 scheme end to end: SQL sampler accuracy and scale.
+
+Accuracy: on a small instance the SQL sampler's frequencies match the
+exact in-memory chain CP within the additive epsilon (the per-group
+factorization — "repair localization" — is exact for key constraints).
+
+Scale: one sampling run (survivor draw + rewritten query) on a
+10,000-row table stays cheap, which is what makes the n-run scheme
+practical.
+"""
+
+import random
+
+import pytest
+
+from repro import UniformGenerator
+from repro.analysis import max_absolute_error
+from repro.core.oca import exact_oca
+from repro.queries import parse_cq
+from repro.sql import KeyRepairSampler, SamplerPolicy, SQLiteBackend
+from repro.workloads import key_conflict_workload
+
+
+@pytest.mark.experiment("E11")
+def test_sql_sampler_matches_exact_chain():
+    workload = key_conflict_workload(
+        clean_rows=10, conflict_groups=3, group_size=2, seed=4
+    )
+    query = parse_cq("Q(x) :- R(x, y, z)")
+    exact = exact_oca(
+        workload.database, UniformGenerator(workload.constraints), query
+    ).as_dict()
+    backend = SQLiteBackend()
+    backend.load(workload.database, workload.schema)
+    sampler = KeyRepairSampler(
+        backend,
+        workload.schema,
+        [workload.key_spec],
+        policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+        rng=random.Random(21),
+    )
+    report = sampler.run(query, epsilon=0.07, delta=0.02)
+    error = max_absolute_error(exact, report.frequencies)
+    print(f"\nE11: max |exact - sampled| = {error:.4f} over {len(exact)} tuples")
+    assert error <= 0.07
+    backend.close()
+
+
+@pytest.fixture(scope="module")
+def big_sampler():
+    workload = key_conflict_workload(
+        clean_rows=9_500, conflict_groups=250, group_size=2, arity=3, seed=17
+    )
+    backend = SQLiteBackend()
+    backend.load(workload.database, workload.schema)
+    sampler = KeyRepairSampler(
+        backend,
+        workload.schema,
+        [workload.key_spec],
+        policy=SamplerPolicy.KEEP_ONE_UNIFORM,
+        rng=random.Random(5),
+    )
+    yield sampler
+    backend.close()
+
+
+@pytest.mark.experiment("E11")
+def bench_single_sampling_run(benchmark, big_sampler):
+    """One repair draw + rewritten query on a 10k-row table."""
+    query = parse_cq("Q(x) :- R(x, y, z)")
+
+    def one_run():
+        return big_sampler.run(query, runs=1)
+
+    report = benchmark(one_run)
+    assert report.runs == 1
+
+
+@pytest.mark.experiment("E11")
+def bench_survivor_sampling_only(benchmark, big_sampler):
+    """Cost of drawing survivors for all 250 conflict groups."""
+    deletions = benchmark(big_sampler.sample_deletions)
+    assert len(deletions) == 250  # keep-one deletes exactly one of each pair
+
+
+@pytest.mark.experiment("E11")
+def bench_generic_sampler_run(benchmark):
+    """The constraint-generic sampler (SQL violation detection + per-
+    component chains) on a denial-constraint workload."""
+    from repro.db.schema import Schema
+    from repro.sql import ConstraintRepairSampler
+    from repro.workloads import preference_workload
+
+    db, sigma = preference_workload(products=60, edges=800, conflicts=40, seed=2)
+    backend = SQLiteBackend()
+    backend.load(db, Schema.of(Pref=2))
+    sampler = ConstraintRepairSampler(
+        backend, Schema.of(Pref=2), sigma, rng=random.Random(0)
+    )
+    query = parse_cq("Q(x) :- Pref(x, y)")
+
+    def one_run():
+        return sampler.run(query, runs=1)
+
+    report = benchmark(one_run)
+    assert report.runs == 1
+    backend.close()

@@ -1,0 +1,105 @@
+"""E12 — Theorem 6 / Proposition 7: the hardness frontier, exercised.
+
+TPC (is CP(t) > 0?) is NP-hard, so no FPRAS exists unless RP = NP; the
+*additive* scheme survives because small probabilities may be answered
+with 0.  This benchmark builds instances where the interesting tuple has
+exponentially small CP and shows the qualitative separation:
+
+- exact computation finds CP(t) > 0 (but pays the exponential tree);
+- the additive sampler reports ~0 — within its guarantee, yet useless
+  for deciding positivity, exactly as the theory predicts.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import SingleFactDeletionGenerator, approximate_cp, exact_cp
+from repro.queries import parse_query
+from repro.workloads import preference_workload
+
+
+def _gadget(conflicts, seed=1):
+    """A preference workload plus a query true only in one extreme repair."""
+    database, constraints = preference_workload(
+        products=2 * conflicts, edges=0, conflicts=conflicts, seed=seed
+    )
+    # the boolean query: no symmetric pair survived AND every first
+    # partner of every conflict was kept — pins one specific repair side.
+    return database, constraints
+
+
+@pytest.mark.experiment("E12")
+def test_small_positive_cp_detected_exactly():
+    database, constraints = _gadget(conflicts=4)
+    generator = SingleFactDeletionGenerator(constraints)
+    # pick one concrete surviving fact per conflict: the repair keeping
+    # the lexicographically smallest atom of every pair.
+    kept = sorted(database, key=str)[0]
+    query = parse_query(
+        f"Q() :- Pref('{kept.values[0]}', '{kept.values[1]}')"
+    )
+    cp = exact_cp(database, generator, query, ())
+    print(f"\nE12: exact CP of pinned-repair query = {cp} ({float(cp):.4f})")
+    assert Fraction(0) < cp < Fraction(1)
+
+
+@pytest.mark.experiment("E12")
+def test_additive_sampler_cannot_decide_positivity():
+    """A tuple with tiny CP: the sampler's 0 answer is within epsilon yet
+    wrong for the TPC decision — the Theorem 6 phenomenon."""
+    conflicts = 5
+    database, constraints = _gadget(conflicts=conflicts)
+    generator = SingleFactDeletionGenerator(constraints)
+    # conjunction pinning one side of every conflict: CP = 2^-conflicts.
+    pairs = {}
+    for fact in sorted(database, key=str):
+        key = frozenset((fact.values[0], fact.values[1]))
+        pairs.setdefault(key, fact)
+    literals = " & ".join(
+        f"Pref('{fact.values[0]}', '{fact.values[1]}')" for fact in pairs.values()
+    )
+    query = parse_query(f"Q() :- {literals}")
+    exact = exact_cp(database, generator, query, ())
+    assert exact == Fraction(1, 2**conflicts)
+    estimate = approximate_cp(
+        database,
+        generator,
+        query,
+        (),
+        epsilon=0.1,
+        delta=0.1,
+        rng=random.Random(3),
+    )
+    # within the additive guarantee ...
+    assert abs(estimate.estimate - float(exact)) <= 0.1
+    # ... but indistinguishable from zero at this epsilon:
+    assert estimate.estimate <= 0.1
+    print(
+        f"\nE12: exact CP = {exact} ({float(exact):.5f}); "
+        f"sampler estimate = {estimate.estimate:.5f}"
+    )
+
+
+@pytest.mark.experiment("E12")
+def bench_exact_cp_on_gadget(benchmark):
+    database, constraints = _gadget(conflicts=3)
+    generator = SingleFactDeletionGenerator(constraints)
+    kept = sorted(database, key=str)[0]
+    query = parse_query(f"Q() :- Pref('{kept.values[0]}', '{kept.values[1]}')")
+    cp = benchmark(exact_cp, database, generator, query, ())
+    assert cp > 0
+
+
+@pytest.mark.experiment("E12")
+def bench_sampler_on_gadget(benchmark):
+    database, constraints = _gadget(conflicts=6)
+    generator = SingleFactDeletionGenerator(constraints)
+    kept = sorted(database, key=str)[0]
+    query = parse_query(f"Q() :- Pref('{kept.values[0]}', '{kept.values[1]}')")
+    rng = random.Random(0)
+    result = benchmark(
+        approximate_cp, database, generator, query, (), 0.15, 0.2, rng
+    )
+    assert 0.0 <= result.estimate <= 1.0

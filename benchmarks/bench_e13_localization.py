@@ -1,0 +1,66 @@
+"""E13 (ablation) — repair localization (the Section 6 optimization).
+
+DESIGN.md calls out the per-component factorization as a design choice;
+this ablation quantifies it: the global chain is exponential in the
+TOTAL number of conflicting facts, the localized pipeline only in the
+largest component.  Correctness (exact distribution equality) is covered
+by unit and integration tests; here we measure the speedup.
+"""
+
+import pytest
+
+from repro import UniformGenerator, repair_distribution
+from repro.core.localization import (
+    localization_speedup_estimate,
+    localized_repair_distribution,
+)
+from repro.workloads import key_conflict_workload
+
+GROUPS = [2, 3, 4]
+
+
+def _workload(groups):
+    return key_conflict_workload(
+        clean_rows=0, conflict_groups=groups, group_size=2, arity=2, seed=groups
+    )
+
+
+@pytest.mark.experiment("E13")
+def test_localized_equals_global():
+    workload = _workload(3)
+    generator = UniformGenerator(workload.constraints)
+    global_dist = repair_distribution(workload.database, generator)
+    local_dist = localized_repair_distribution(workload.database, generator)
+    assert global_dist.support == local_dist.support
+    for repair in global_dist.support:
+        assert global_dist.probability(repair) == local_dist.probability(repair)
+
+
+@pytest.mark.experiment("E13")
+def test_speedup_axes():
+    print("\nE13: groups -> (total conflict facts, largest component)")
+    for groups in GROUPS:
+        workload = _workload(groups)
+        total, largest = localization_speedup_estimate(
+            workload.database, workload.constraints
+        )
+        print(f"  groups={groups}: total={total}, largest={largest}")
+        assert total == 2 * groups and largest == 2
+
+
+@pytest.mark.experiment("E13")
+@pytest.mark.parametrize("groups", GROUPS)
+def bench_global_chain(benchmark, groups):
+    workload = _workload(groups)
+    generator = UniformGenerator(workload.constraints)
+    dist = benchmark(repair_distribution, workload.database, generator)
+    assert len(dist) == 3**groups
+
+
+@pytest.mark.experiment("E13")
+@pytest.mark.parametrize("groups", GROUPS)
+def bench_localized_chain(benchmark, groups):
+    workload = _workload(groups)
+    generator = UniformGenerator(workload.constraints)
+    dist = benchmark(localized_repair_distribution, workload.database, generator)
+    assert len(dist) == 3**groups

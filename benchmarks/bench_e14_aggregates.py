@@ -1,0 +1,99 @@
+"""E14 (extension) — aggregates: range semantics vs operational distribution.
+
+Section 6 lists aggregate languages as future work, citing the classical
+range semantics [2].  This bench compares the two on the retail
+workload: the range answer is an interval; the operational answer is a
+distribution whose expectation the Theorem 9 machinery estimates by
+sampling.  Timings cover all three pipelines.
+"""
+
+import random
+
+import pytest
+
+from repro import DeletionOnlyUniformGenerator
+from repro.extensions import (
+    AggregateOp,
+    AggregateQuery,
+    aggregate_distribution,
+    aggregate_range,
+    approximate_aggregate,
+)
+from repro.queries import parse_cq
+from repro.workloads import retail_workload
+
+
+def _setup():
+    workload = retail_workload(
+        customers=3,
+        duplicate_customers=1,
+        orders=3,
+        conflicting_orders=1,
+        dangling_orders=1,
+        seed=5,
+    )
+    revenue = AggregateQuery(
+        AggregateOp.SUM,
+        parse_cq("Q(amount, oid) :- Orders(oid, cid, amount)"),
+        value_position=0,
+    )
+    return workload, revenue
+
+
+@pytest.mark.experiment("E14")
+def test_distribution_refines_range():
+    workload, revenue = _setup()
+    classical = aggregate_range(
+        workload.database, workload.constraints, revenue, repairs="subset"
+    )[()]
+    generator = DeletionOnlyUniformGenerator(workload.constraints)
+    dist = aggregate_distribution(workload.database, generator, revenue)
+    low, high = dist.bounds(())
+    print(f"\nE14: classical range {classical}, operational bounds ({low}, {high})")
+    print(f"     operational distribution: "
+          f"{ {v: str(p) for v, p in sorted(dist.support[()].items())} }")
+    # the operational view sees at least everything between the classical
+    # subset-repair extremes plus non-maximal outcomes below the glb.
+    assert high == classical[1]
+    assert low <= classical[0]
+    assert dist.expectation(()) is not None
+
+
+@pytest.mark.experiment("E14")
+def bench_classical_range(benchmark):
+    workload, revenue = _setup()
+    result = benchmark(
+        aggregate_range,
+        workload.database,
+        workload.constraints,
+        revenue,
+        16,
+        "subset",
+    )
+    assert () in result
+
+
+@pytest.mark.experiment("E14")
+def bench_operational_distribution(benchmark):
+    workload, revenue = _setup()
+    generator = DeletionOnlyUniformGenerator(workload.constraints)
+    dist = benchmark(aggregate_distribution, workload.database, generator, revenue)
+    assert dist.support
+
+
+@pytest.mark.experiment("E14")
+def bench_sampled_expectation(benchmark):
+    workload, revenue = _setup()
+    generator = DeletionOnlyUniformGenerator(workload.constraints)
+    rng = random.Random(1)
+    estimate = benchmark(
+        approximate_aggregate,
+        workload.database,
+        generator,
+        revenue,
+        (),
+        0.1,
+        0.1,
+        rng,
+    )
+    assert estimate is not None

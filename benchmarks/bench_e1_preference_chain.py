@@ -1,0 +1,52 @@
+"""E1 — the Section 3 repairing-Markov-chain figure.
+
+Reproduces the chain tree's exact edge probabilities and benchmarks the
+cost of building and fully exploring it.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import PreferenceGenerator, explore_chain
+
+EXPECTED_ROOT = {
+    "-Pref(a, b)": Fraction(2, 9),
+    "-Pref(b, a)": Fraction(3, 9),
+    "-Pref(a, c)": Fraction(1, 9),
+    "-Pref(c, a)": Fraction(3, 9),
+}
+
+
+@pytest.mark.experiment("E1")
+def test_figure_probabilities_reproduced(paper_pref):
+    database, constraints = paper_pref
+    chain = PreferenceGenerator(constraints).chain(database)
+    root = {str(op): p for op, p in chain.transitions(chain.initial_state())}
+    assert root == EXPECTED_ROOT
+    exploration = explore_chain(chain, collect_edges=True)
+    assert len(exploration.leaves) == 8
+    assert exploration.total_probability == 1
+
+
+@pytest.mark.experiment("E1")
+def bench_build_and_explore_paper_chain(benchmark, paper_pref):
+    """Time to construct and exhaustively explore the figure's chain."""
+    database, constraints = paper_pref
+    generator = PreferenceGenerator(constraints)
+
+    def run():
+        return explore_chain(generator.chain(database))
+
+    exploration = benchmark(run)
+    assert len(exploration.leaves) == 8
+
+
+@pytest.mark.experiment("E1")
+def bench_root_transition_probabilities(benchmark, paper_pref):
+    """Time to compute one state's transition distribution."""
+    database, constraints = paper_pref
+    chain = PreferenceGenerator(constraints).chain(database)
+    state = chain.initial_state()
+    transitions = benchmark(chain.transitions, state)
+    assert {str(op): p for op, p in transitions} == EXPECTED_ROOT

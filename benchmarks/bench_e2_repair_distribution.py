@@ -1,0 +1,31 @@
+"""E2 — Example 6: the exact repair distribution of the preference DB.
+
+Paper values: the four repairs have probabilities 7/54, 38/135, 5/36 and
+9/20 (= 0.45).  The benchmark times the exact `[[D]]^{M_Sigma}` pipeline.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import PreferenceGenerator, repair_distribution
+
+EXPECTED = sorted(
+    [Fraction(7, 54), Fraction(38, 135), Fraction(5, 36), Fraction(9, 20)]
+)
+
+
+@pytest.mark.experiment("E2")
+def test_example6_distribution(paper_pref):
+    database, constraints = paper_pref
+    dist = repair_distribution(database, PreferenceGenerator(constraints))
+    assert sorted(p for _, p in dist.items()) == EXPECTED
+    assert dist.success_probability == 1
+
+
+@pytest.mark.experiment("E2")
+def bench_exact_repair_distribution(benchmark, paper_pref):
+    database, constraints = paper_pref
+    generator = PreferenceGenerator(constraints)
+    dist = benchmark(repair_distribution, database, generator)
+    assert sorted(p for _, p in dist.items()) == EXPECTED

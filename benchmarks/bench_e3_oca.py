@@ -1,0 +1,40 @@
+"""E3 — Example 7: operational consistent answers vs ABC certain answers.
+
+Paper values: OCA = {(a, 0.45)} for the "most preferred product" query;
+the ABC certain answers are empty.  Benchmarks time both semantics.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import PreferenceGenerator, exact_oca, parse_query
+from repro.abc_repairs import certain_answers
+
+QUERY = "Q(x) :- forall y (Pref(x, y) | x = y)"
+
+
+@pytest.mark.experiment("E3")
+def test_example7_values(paper_pref):
+    database, constraints = paper_pref
+    query = parse_query(QUERY)
+    result = exact_oca(database, PreferenceGenerator(constraints), query)
+    assert result.items() == [(("a",), Fraction(9, 20))]
+    assert certain_answers(database, constraints, query) == frozenset()
+
+
+@pytest.mark.experiment("E3")
+def bench_exact_oca_fo_query(benchmark, paper_pref):
+    database, constraints = paper_pref
+    generator = PreferenceGenerator(constraints)
+    query = parse_query(QUERY)
+    result = benchmark(exact_oca, database, generator, query)
+    assert result.cp(("a",)) == Fraction(9, 20)
+
+
+@pytest.mark.experiment("E3")
+def bench_abc_certain_answers(benchmark, paper_pref):
+    database, constraints = paper_pref
+    query = parse_query(QUERY)
+    answers = benchmark(certain_answers, database, constraints, query)
+    assert answers == frozenset()

@@ -1,0 +1,60 @@
+"""E4 — the intro's trust example and Example 5's generator at scale.
+
+Paper values (50% trust on both conflicting facts): remove-both with
+probability 0.25, each single removal with probability 0.375.  The
+benchmark times exact trust-based OCA on a synthetic integration
+workload.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import ConstraintSet, Database, Fact, TrustGenerator, key, repair_distribution
+from repro.core.oca import exact_oca
+from repro.queries import parse_cq
+from repro.workloads import integration_workload
+
+
+@pytest.mark.experiment("E4")
+def test_intro_trust_values():
+    db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+    sigma = ConstraintSet(key("R", 2, [0]))
+    gen = TrustGenerator(
+        sigma,
+        {Fact("R", ("a", "b")): Fraction(1, 2), Fact("R", ("a", "c")): Fraction(1, 2)},
+    )
+    dist = repair_distribution(db, gen)
+    assert dist.probability(Database()) == Fraction(1, 4)
+    assert dist.probability(Database.of(Fact("R", ("a", "b")))) == Fraction(3, 8)
+    assert dist.probability(Database.of(Fact("R", ("a", "c")))) == Fraction(3, 8)
+
+
+@pytest.mark.experiment("E4")
+def bench_trust_chain_exact_oca(benchmark):
+    workload = integration_workload(
+        keys=7,
+        sources=[("curated", 0.9), ("scraped", 0.35)],
+        conflict_rate=0.6,
+        seed=7,
+    )
+    generator = TrustGenerator(workload.constraints, workload.trust)
+    query = parse_cq("Q(k, v) :- R(k, v)")
+    result = benchmark(exact_oca, workload.database, generator, query)
+    assert len(result) >= 1
+
+
+@pytest.mark.experiment("E4")
+def bench_trust_transition_weights(benchmark):
+    """Per-state weight computation cost of the Example 5 formulas."""
+    workload = integration_workload(
+        keys=40,
+        sources=[("a", 0.8), ("b", 0.4)],
+        conflict_rate=1.0,
+        seed=3,
+    )
+    generator = TrustGenerator(workload.constraints, workload.trust)
+    chain = generator.chain(workload.database)
+    state = chain.initial_state()
+    transitions = benchmark(chain.transitions, state)
+    assert sum(p for _, p in transitions) == 1

@@ -1,0 +1,41 @@
+"""E5 — Theorem 5: exact OCQA is FP^#P-complete.
+
+The theorem predicts exponential growth of the exact computation; this
+benchmark sweeps the number of independent conflicts and reports the
+explored-state counts (2 conflicts -> small tree, k conflicts ->
+exponentially larger: the state count grows ~4x per extra symmetric
+preference conflict under the single-deletion chain).
+"""
+
+import pytest
+
+from repro import SingleFactDeletionGenerator, explore_chain
+from repro.workloads import preference_workload
+
+SWEEP = [1, 2, 3, 4]
+
+
+def _explore(conflicts):
+    database, constraints = preference_workload(
+        products=2 * conflicts + 1, edges=0, conflicts=conflicts, seed=conflicts
+    )
+    generator = SingleFactDeletionGenerator(constraints)
+    return explore_chain(generator.chain(database), max_states=2_000_000)
+
+
+@pytest.mark.experiment("E5")
+def test_state_count_grows_exponentially():
+    counts = [_explore(k).num_states for k in SWEEP]
+    print(f"\nE5: conflicts -> explored states: {dict(zip(SWEEP, counts))}")
+    # Each independent conflict multiplies the interleaving count: the
+    # growth ratio must itself grow (super-exponential tree, factorial
+    # interleavings), which a polynomial curve cannot do.
+    ratios = [counts[i + 1] / counts[i] for i in range(len(counts) - 1)]
+    assert ratios[-1] > ratios[0] > 2
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("conflicts", SWEEP)
+def bench_exact_exploration_by_conflicts(benchmark, conflicts):
+    exploration = benchmark(_explore, conflicts)
+    assert exploration.total_probability == 1

@@ -1,0 +1,71 @@
+"""E6 — Theorem 9 / Proposition 10: the additive-error guarantee holds.
+
+Runs the Sample-based estimator repeatedly against the exactly computed
+CP and measures empirical coverage: the fraction of trials whose error
+stays within epsilon must be at least 1 - delta.  Also benchmarks the
+cost of one full (epsilon, delta) estimation.
+"""
+
+import random
+
+import pytest
+
+from repro import PreferenceGenerator, approximate_cp, exact_cp, parse_query
+from repro.analysis import empirical_coverage
+
+QUERY = "Q(x) :- forall y (Pref(x, y) | x = y)"
+
+
+@pytest.mark.experiment("E6")
+def test_coverage_meets_guarantee(paper_pref):
+    database, constraints = paper_pref
+    generator = PreferenceGenerator(constraints)
+    query = parse_query(QUERY)
+    target = float(exact_cp(database, generator, query, ("a",)))
+    epsilon, delta = 0.1, 0.1
+    rng = random.Random(6)
+    trials = [
+        approximate_cp(
+            database, generator, query, ("a",), epsilon=epsilon, delta=delta, rng=rng
+        ).estimate
+        for _ in range(40)
+    ]
+    coverage = empirical_coverage(trials, target, epsilon)
+    print(f"\nE6: exact CP = {target}, coverage at eps=0.1: {coverage:.3f}")
+    assert coverage >= 1 - delta
+
+
+@pytest.mark.experiment("E6")
+def test_estimator_is_unbiased(paper_pref, rng):
+    database, constraints = paper_pref
+    generator = PreferenceGenerator(constraints)
+    query = parse_query(QUERY)
+    target = float(exact_cp(database, generator, query, ("a",)))
+    estimates = [
+        approximate_cp(
+            database, generator, query, ("a",), epsilon=0.2, delta=0.2, rng=rng
+        ).estimate
+        for _ in range(60)
+    ]
+    mean = sum(estimates) / len(estimates)
+    assert abs(mean - target) < 0.05  # law of large numbers over trials
+
+
+@pytest.mark.experiment("E6")
+@pytest.mark.parametrize("epsilon,delta", [(0.2, 0.2), (0.1, 0.1), (0.05, 0.1)])
+def bench_additive_error_estimation(benchmark, paper_pref, epsilon, delta):
+    database, constraints = paper_pref
+    generator = PreferenceGenerator(constraints)
+    query = parse_query(QUERY)
+    rng = random.Random(1)
+    result = benchmark(
+        approximate_cp,
+        database,
+        generator,
+        query,
+        ("a",),
+        epsilon,
+        delta,
+        rng,
+    )
+    assert 0.0 <= result.estimate <= 1.0

@@ -1,0 +1,48 @@
+"""E7 — Section 5's sample-size note: n(0.1, 0.1) = 150.
+
+Regenerates the n(epsilon, delta) table the scheme is parameterised by
+and benchmarks the (trivial) computation for completeness.
+"""
+
+import pytest
+
+from repro.analysis import additive_error_bound, confidence_level, sample_size
+
+TABLE = [
+    # (epsilon, delta, expected n)
+    (0.2, 0.2, 29),
+    (0.1, 0.1, 150),
+    (0.1, 0.05, 185),
+    (0.05, 0.1, 600),
+    (0.05, 0.05, 738),
+    (0.01, 0.01, 26492),
+]
+
+
+@pytest.mark.experiment("E7")
+def test_sample_size_table():
+    print("\nE7: n(epsilon, delta) table")
+    for epsilon, delta, expected in TABLE:
+        n = sample_size(epsilon, delta)
+        print(f"  eps={epsilon:5} delta={delta:5} -> n = {n}")
+        assert n == expected
+
+
+@pytest.mark.experiment("E7")
+def test_paper_highlight():
+    """'for eps = delta = 0.1 ... it is 150' (Section 5)."""
+    assert sample_size(0.1, 0.1) == 150
+
+
+@pytest.mark.experiment("E7")
+def test_inverse_relations():
+    for epsilon, delta, _ in TABLE:
+        n = sample_size(epsilon, delta)
+        assert additive_error_bound(n, delta) <= epsilon
+        assert confidence_level(n, epsilon) >= 1 - delta
+
+
+@pytest.mark.experiment("E7")
+def bench_sample_size_computation(benchmark):
+    n = benchmark(sample_size, 0.1, 0.1)
+    assert n == 150

@@ -1,0 +1,55 @@
+"""E9 — Proposition 4: ABC repairs are operational repairs under M^u.
+
+Verifies the inclusion on a workload sweep and reports the size gap:
+the operational semantics reaches strictly more instances (e.g. the
+remove-both repair of a key conflict) while covering every classical
+repair.  Benchmarks both repair enumerations.
+"""
+
+import pytest
+
+from repro import UniformGenerator, repair_distribution
+from repro.abc_repairs import abc_repairs
+from repro.workloads import integration_workload, preference_workload
+
+
+def _workloads():
+    for seed in (1, 2, 3):
+        yield preference_workload(products=5, edges=3, conflicts=2, seed=seed)
+    for seed in (4, 5):
+        wl = integration_workload(
+            keys=4, sources=[("a", 0.5), ("b", 0.5)], conflict_rate=0.9, seed=seed
+        )
+        yield wl.database, wl.constraints
+
+
+@pytest.mark.experiment("E9")
+def test_inclusion_and_gap():
+    print("\nE9: |ABC| vs |operational| repairs")
+    for database, constraints in _workloads():
+        classical = abc_repairs(database, constraints)
+        operational = repair_distribution(
+            database, UniformGenerator(constraints)
+        ).support
+        print(f"  |D|={len(database):2}  ABC={len(classical):2}  "
+              f"operational={len(operational):2}")
+        assert classical <= operational
+
+
+@pytest.mark.experiment("E9")
+def bench_abc_enumeration(benchmark):
+    database, constraints = preference_workload(
+        products=6, edges=4, conflicts=3, seed=1
+    )
+    repairs = benchmark(abc_repairs, database, constraints)
+    assert repairs
+
+
+@pytest.mark.experiment("E9")
+def bench_operational_enumeration(benchmark):
+    database, constraints = preference_workload(
+        products=6, edges=4, conflicts=3, seed=1
+    )
+    generator = UniformGenerator(constraints)
+    dist = benchmark(repair_distribution, database, generator)
+    assert len(dist) >= 1

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Each ``bench_e*.py`` file regenerates one experiment of the paper (see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).
+Benchmarks print the rows/series they reproduce, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows both the timing data and the reproduced numbers.
+"""
+
+import random
+
+import pytest
+
+from repro.workloads import paper_preference_database
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): map a benchmark to a paper experiment"
+    )
+
+
+@pytest.fixture
+def paper_pref():
+    """The Section 3 database and constraint set."""
+    return paper_preference_database()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(2018)

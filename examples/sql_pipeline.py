@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Section 5's practical scheme, end to end over SQLite.
+
+Builds a 5,000-row table with key conflicts, loads it into SQLite,
+samples ``n = ln(2/delta) / (2 eps^2)`` repairs by picking survivors per
+key group, rewrites the query to run against ``R EXCEPT R_del``, and
+reports per-tuple answer frequencies — exactly the implementation the
+paper sketches at the end of Section 5.
+
+Also measures the paper's informal claim: the rewritten query performs
+similarly to the original one.
+
+Run:  python examples/sql_pipeline.py
+"""
+
+import random
+import time
+
+from repro.analysis import sample_size
+from repro.queries import parse_cq
+from repro.sql import KeyRepairSampler, SamplerPolicy, SQLiteBackend
+from repro.workloads import key_conflict_workload
+
+
+def main() -> None:
+    workload = key_conflict_workload(
+        clean_rows=4_800, conflict_groups=100, group_size=2, arity=3, seed=13
+    )
+    print(
+        f"Workload: {workload.total_rows} rows, "
+        f"{workload.conflict_groups} key-conflict groups"
+    )
+
+    backend = SQLiteBackend()
+    backend.load(workload.database, workload.schema)
+
+    epsilon = delta = 0.1
+    runs = sample_size(epsilon, delta)
+    print(f"Sampling n = {runs} repairs (epsilon = delta = {epsilon}) ...")
+
+    sampler = KeyRepairSampler(
+        backend,
+        workload.schema,
+        [workload.key_spec],
+        policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+        rng=random.Random(99),
+    )
+    query = parse_cq("Q(x) :- R(x, y, z)")
+
+    start = time.perf_counter()
+    report = sampler.run(query, epsilon=epsilon, delta=delta)
+    elapsed = time.perf_counter() - start
+    print(f"Finished {report.runs} runs in {elapsed:.2f}s")
+
+    certain = sum(1 for _, p in report.items() if p == 1.0)
+    uncertain = [(t, p) for t, p in report.items() if p < 1.0]
+    print(f"{certain} keys have CP estimate 1.0 (never conflicted or always kept)")
+    print(f"{len(uncertain)} keys have intermediate CP; first five:")
+    for candidate, estimate in uncertain[:5]:
+        print(f"  {candidate}: ~CP = {estimate:.3f}")
+
+    # ------------------------------------------------------------------
+    # The paper's informal experiment: original vs rewritten latency.
+    # ------------------------------------------------------------------
+    original = sampler.compile_original(query)
+    rewritten = sampler.compile(query)
+
+    def time_query(compiled, repetitions=30):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            compiled.run(backend)
+        return (time.perf_counter() - start) / repetitions
+
+    sampler.rewriter.clear()
+    sampler.rewriter.mark_deleted(sampler.sample_deletions())
+    original_latency = time_query(original)
+    rewritten_latency = time_query(rewritten)
+    print("\nSection 5 rewriting-overhead check:")
+    print(f"  original query:  {original_latency * 1000:.2f} ms/run")
+    print(f"  R EXCEPT R_del:  {rewritten_latency * 1000:.2f} ms/run")
+    print(
+        "  slowdown factor: "
+        f"{rewritten_latency / max(original_latency, 1e-9):.2f}x "
+        "(the paper observed 'quite similar' performance)"
+    )
+    backend.close()
+
+
+if __name__ == "__main__":
+    main()

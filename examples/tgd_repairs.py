@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Insertions, failing sequences, and why Theorem 9 needs non-failing chains.
+
+Uses Examples 1-3's constraint shapes (a TGD plus a key) to show:
+
+- justified insertions add exactly one missing witness (Proposition 1);
+- the *no cancellation* and *global justification* conditions prune
+  sequences like Example 2's and Example 3's;
+- with insertions enabled, some complete sequences are *failing* — they
+  carry probability but produce no repair, which is exactly why the
+  additive-error scheme (Theorem 9) restricts to non-failing generators;
+- restricting the same instance to a deletion-only generator removes all
+  failing mass (Proposition 8).
+
+Run:  python examples/tgd_repairs.py
+"""
+
+from repro import (
+    ConstraintSet,
+    Database,
+    DeletionOnlyUniformGenerator,
+    Fact,
+    RepairEngine,
+    UniformGenerator,
+    explore_chain,
+    parse_constraints,
+)
+from repro.viz import distribution_table
+
+
+def main() -> None:
+    database = Database.of(
+        Fact("R", ("a", "b")), Fact("R", ("a", "c")), Fact("T", ("a", "b"))
+    )
+    constraints = ConstraintSet(
+        parse_constraints(
+            """
+            R(x, y) -> exists z S(x, y, z)     # every R-fact needs an S witness
+            R(x, y), R(x, z) -> y = z          # first attribute of R is a key
+            """
+        )
+    )
+    print("Database:", ", ".join(str(f) for f in database))
+
+    engine = RepairEngine(database, constraints)
+    state = engine.initial_state()
+    print(f"\n{len(state.current_violations)} violations; justified first steps:")
+    for op in engine.extensions(state):
+        print(f"  {op}")
+
+    print("\nFull uniform chain exploration:")
+    exploration = explore_chain(UniformGenerator(constraints).chain(database))
+    print(f"  states visited:      {exploration.num_states}")
+    print(f"  absorbing sequences: {len(exploration.leaves)}")
+    print(f"  successful:          {len(exploration.successful_leaves)}")
+    print(f"  failing:             {len(exploration.failing_leaves)}")
+    print(f"  failure probability: {exploration.failure_probability} "
+          f"({float(exploration.failure_probability):.3f})")
+
+    from repro.core.repairs import distribution_from_exploration
+
+    distribution = distribution_from_exploration(exploration)
+    print("\nOperational repairs under the uniform generator:")
+    rows = [
+        (" | ".join(str(f) for f in repair) or "(empty)", p)
+        for repair, p in distribution.items()
+    ]
+    print(distribution_table(rows))
+
+    print("\nSame instance, deletion-only generator (Proposition 8):")
+    deletion_exploration = explore_chain(
+        DeletionOnlyUniformGenerator(constraints).chain(database)
+    )
+    print(f"  failing sequences: {len(deletion_exploration.failing_leaves)} "
+          "(always zero for deletion-only chains)")
+    deletion_distribution = distribution_from_exploration(deletion_exploration)
+    rows = [
+        (" | ".join(str(f) for f in repair) or "(empty)", p)
+        for repair, p in deletion_distribution.items()
+    ]
+    print(distribution_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""repro — operational consistent query answering.
+
+A full reproduction of *"An Operational Approach to Consistent Query
+Answering"* (Calautti, Libkin, Pieris; PODS 2018): databases, TGD/EGD/DC
+constraints, first-order queries, repairing sequences, repairing Markov
+chains, exact and approximate operational consistent answers, the
+classical ABC-repair baseline, and the paper's Section 5 SQL sampling
+scheme over SQLite.
+
+Quickstart::
+
+    from repro import (
+        Database, Fact, parse_constraints, parse_query,
+        ConstraintSet, UniformGenerator, exact_oca,
+    )
+
+    db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+    sigma = ConstraintSet(parse_constraints("R(x, y), R(x, z) -> y = z"))
+    q = parse_query("Q(y) :- R(x, y)")
+    print(exact_oca(db, UniformGenerator(sigma), q).items())
+"""
+
+from repro.db import (
+    Var,
+    Atom,
+    Fact,
+    Database,
+    Relation,
+    Schema,
+    SchemaError,
+)
+from repro.constraints import (
+    Constraint,
+    ConstraintSet,
+    TGD,
+    EGD,
+    DC,
+    parse_constraint,
+    parse_constraints,
+    key,
+    functional_dependency,
+    inclusion_dependency,
+    non_symmetric,
+)
+from repro.queries import (
+    Query,
+    ConjunctiveQuery,
+    parse_formula,
+    parse_query,
+    parse_cq,
+)
+from repro.core import (
+    Operation,
+    Violation,
+    violations,
+    RepairEngine,
+    ChainGenerator,
+    RepairingChain,
+    UniformGenerator,
+    DeletionOnlyUniformGenerator,
+    SingleFactDeletionGenerator,
+    PreferenceGenerator,
+    TrustGenerator,
+    FunctionGenerator,
+    explore_chain,
+    RepairDistribution,
+    repair_distribution,
+    operational_repairs,
+    OCAResult,
+    exact_cp,
+    exact_oca,
+    approximate_cp,
+    approximate_oca,
+    sample_walk,
+    ReproError,
+    InvalidGeneratorError,
+    ExplorationBudgetError,
+    FailingSequenceError,
+)
+from repro.analysis import sample_size
+from repro.core.localization import (
+    LocalizationError,
+    conflict_components,
+    localized_repair_distribution,
+)
+from repro.diagnostics import InconsistencyReport, diagnose
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Var",
+    "Atom",
+    "Fact",
+    "Database",
+    "Relation",
+    "Schema",
+    "SchemaError",
+    "Constraint",
+    "ConstraintSet",
+    "TGD",
+    "EGD",
+    "DC",
+    "parse_constraint",
+    "parse_constraints",
+    "key",
+    "functional_dependency",
+    "inclusion_dependency",
+    "non_symmetric",
+    "Query",
+    "ConjunctiveQuery",
+    "parse_formula",
+    "parse_query",
+    "parse_cq",
+    "Operation",
+    "Violation",
+    "violations",
+    "RepairEngine",
+    "ChainGenerator",
+    "RepairingChain",
+    "UniformGenerator",
+    "DeletionOnlyUniformGenerator",
+    "SingleFactDeletionGenerator",
+    "PreferenceGenerator",
+    "TrustGenerator",
+    "FunctionGenerator",
+    "explore_chain",
+    "RepairDistribution",
+    "repair_distribution",
+    "operational_repairs",
+    "OCAResult",
+    "exact_cp",
+    "exact_oca",
+    "approximate_cp",
+    "approximate_oca",
+    "sample_walk",
+    "sample_size",
+    "ReproError",
+    "InvalidGeneratorError",
+    "ExplorationBudgetError",
+    "FailingSequenceError",
+    "LocalizationError",
+    "conflict_components",
+    "localized_repair_distribution",
+    "InconsistencyReport",
+    "diagnose",
+    "__version__",
+]

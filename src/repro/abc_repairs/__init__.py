@@ -1,0 +1,29 @@
+"""Classical (ABC) repairs and certain answers — the baseline semantics.
+
+Implements the Arenas-Bertossi-Chomicki repairs of Section 2: consistent
+databases over the base whose symmetric difference with ``D`` is
+subset-minimal, plus certain answers (the intersection of query answers
+over all repairs).  Used by the Proposition 4 experiments (ABC repairs
+are always operational repairs under the uniform generator) and as the
+comparison point for the operational semantics.
+"""
+
+from repro.abc_repairs.repairs import (
+    abc_repairs,
+    subset_repairs,
+    certain_answers,
+    is_abc_repair,
+)
+from repro.abc_repairs.conflicts import (
+    conflict_hypergraph,
+    maximal_consistent_subsets,
+)
+
+__all__ = [
+    "abc_repairs",
+    "subset_repairs",
+    "certain_answers",
+    "is_abc_repair",
+    "conflict_hypergraph",
+    "maximal_consistent_subsets",
+]

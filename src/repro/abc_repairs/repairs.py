@@ -1,0 +1,134 @@
+"""ABC repairs and certain answers.
+
+The ABC semantics ``[[D]]^{ABC}_{Sigma}`` (Section 2): consistent
+databases ``D'`` over the constants of ``D`` and ``Sigma`` whose
+symmetric difference ``Delta(D, D')`` is subset-minimal.  Two engines:
+
+- **conflict-hypergraph** (TGD-free constraints): repairs are the maximal
+  consistent subsets of ``D`` — fast and exact;
+- **brute force** (general constraints): enumerate consistent subsets of
+  the base ``B(D, Sigma)`` and keep the Delta-minimal ones — exponential
+  in the base size, guarded by *max_base*.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.abc_repairs.conflicts import maximal_consistent_subsets
+from repro.constraints.base import ConstraintSet
+from repro.core.oca import AnyQuery
+from repro.db.base import base_constants, base_size, enumerate_base
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+from repro.db.terms import Term
+
+
+def abc_repairs(
+    database: Database,
+    constraints: ConstraintSet,
+    max_base: int = 16,
+    schema: Optional[Schema] = None,
+) -> FrozenSet[Database]:
+    """``[[D]]^{ABC}_{Sigma}`` — all classical repairs of ``D``.
+
+    Dispatches to the conflict-hypergraph enumeration for TGD-free
+    constraints; otherwise brute-forces over subsets of the base, which
+    requires ``base_size <= max_base`` (the search is ``2^base_size``).
+    """
+    if constraints.deletion_only():
+        return maximal_consistent_subsets(database, constraints)
+    return _brute_force_repairs(database, constraints, max_base, schema)
+
+
+def subset_repairs(
+    database: Database, constraints: ConstraintSet
+) -> FrozenSet[Database]:
+    """Deletion-only (subset) repairs: maximal consistent subsets of ``D``.
+
+    For TGD-free constraints this coincides with :func:`abc_repairs`;
+    with TGDs it is the classical *subset repair* restriction studied by
+    Chomicki & Marcinkowski, enumerated by brute force over subsets of
+    ``D`` ordered by symmetric-difference minimality.
+    """
+    if constraints.deletion_only():
+        return maximal_consistent_subsets(database, constraints)
+    facts = tuple(database.sorted_facts)
+    consistent: Set[FrozenSet[Fact]] = set()
+    for kept in _subsets(facts):
+        candidate = Database(kept)
+        if constraints.is_satisfied(candidate):
+            consistent.add(frozenset(kept))
+    maximal = {
+        c for c in consistent if not any(c < other for other in consistent)
+    }
+    return frozenset(Database(c) for c in maximal)
+
+
+def _subsets(facts: Tuple[Fact, ...]) -> Iterable[Tuple[Fact, ...]]:
+    return chain.from_iterable(
+        combinations(facts, size) for size in range(len(facts) + 1)
+    )
+
+
+def _brute_force_repairs(
+    database: Database,
+    constraints: ConstraintSet,
+    max_base: int,
+    schema: Optional[Schema],
+) -> FrozenSet[Database]:
+    if schema is None:
+        schema = Schema.infer(database).extend(constraints.schema())
+    constants = base_constants(database, constraints)
+    size = base_size(schema, constants)
+    if size > max_base:
+        raise ValueError(
+            f"base has {size} facts; brute-force ABC enumeration over "
+            f"2^{size} subsets exceeds max_base={max_base}"
+        )
+    base = tuple(enumerate_base(schema, constants))
+    consistent = []
+    for kept in _subsets(base):
+        candidate = Database(kept)
+        if constraints.is_satisfied(candidate):
+            consistent.append(candidate)
+    repairs = []
+    for candidate in consistent:
+        delta = database.symmetric_difference(candidate)
+        if not any(
+            database.symmetric_difference(other) < delta for other in consistent
+        ):
+            repairs.append(candidate)
+    return frozenset(repairs)
+
+
+def is_abc_repair(
+    repaired: Database,
+    database: Database,
+    constraints: ConstraintSet,
+    max_base: int = 16,
+) -> bool:
+    """Whether *repaired* is an ABC repair of *database*."""
+    return repaired in abc_repairs(database, constraints, max_base=max_base)
+
+
+def certain_answers(
+    database: Database,
+    constraints: ConstraintSet,
+    query: AnyQuery,
+    max_base: int = 16,
+) -> FrozenSet[Tuple[Term, ...]]:
+    """Consistent answers under the ABC semantics.
+
+    The intersection of ``Q(D')`` over all ABC repairs ``D'`` — the
+    notion the operational ``CP = 1`` answers refine.
+    """
+    repairs = abc_repairs(database, constraints, max_base=max_base)
+    answer_sets = [query.answers(repair) for repair in repairs]
+    if not answer_sets:
+        return frozenset()
+    out = set(answer_sets[0])
+    for answers in answer_sets[1:]:
+        out &= answers
+    return frozenset(out)

@@ -1,0 +1,27 @@
+"""Analysis toolkit: Hoeffding bounds and empirical error measurement."""
+
+from repro.analysis.hoeffding import (
+    sample_size,
+    additive_error_bound,
+    confidence_level,
+    hoeffding_failure_probability,
+)
+from repro.analysis.stats import (
+    absolute_errors,
+    max_absolute_error,
+    total_variation_distance,
+    empirical_coverage,
+    convergence_series,
+)
+
+__all__ = [
+    "sample_size",
+    "additive_error_bound",
+    "confidence_level",
+    "hoeffding_failure_probability",
+    "absolute_errors",
+    "max_absolute_error",
+    "total_variation_distance",
+    "empirical_coverage",
+    "convergence_series",
+]

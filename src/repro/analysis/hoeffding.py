@@ -1,0 +1,59 @@
+"""Hoeffding-bound arithmetic for the additive-error scheme (Section 5).
+
+The paper's approximation runs ``n = ln(2/delta) / (2 * eps^2)`` Bernoulli
+samples; Hoeffding's inequality then bounds the deviation of the sample
+mean: ``Pr(|mean - CP| > eps) <= 2 exp(-2 n eps^2) <= delta``.  The paper
+notes that for ``eps = delta = 0.1`` this gives ``n = 150`` — "not small
+but not very large either".
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _validate(epsilon: float, delta: float) -> None:
+    if not epsilon > 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+def sample_size(epsilon: float, delta: float) -> int:
+    """``n = ceil(ln(2/delta) / (2 eps^2))`` samples for an additive
+    ``(epsilon, delta)`` guarantee.
+
+    >>> sample_size(0.1, 0.1)
+    150
+    """
+    _validate(epsilon, delta)
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def hoeffding_failure_probability(n: int, epsilon: float) -> float:
+    """``2 exp(-2 n eps^2)`` — the two-sided Hoeffding tail bound."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not epsilon > 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return 2.0 * math.exp(-2.0 * n * epsilon * epsilon)
+
+
+def additive_error_bound(n: int, delta: float) -> float:
+    """The epsilon achievable with *n* samples at confidence ``1 - delta``.
+
+    Inverse of :func:`sample_size`: ``eps = sqrt(ln(2/delta) / (2 n))``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+def confidence_level(n: int, epsilon: float) -> float:
+    """``1 - delta`` achieved by *n* samples at additive error *epsilon*.
+
+    Clamped below at 0 (the bound is vacuous for tiny ``n``).
+    """
+    return max(0.0, 1.0 - hoeffding_failure_probability(n, epsilon))

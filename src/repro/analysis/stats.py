@@ -1,0 +1,72 @@
+"""Empirical error measurement for approximation experiments.
+
+Used by the E6 benchmark to verify that the additive-error guarantee of
+Theorem 9 holds in practice: the measured error of the sampler must stay
+within ``epsilon`` at least a ``1 - delta`` fraction of the time.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+Number = Union[int, float, Fraction]
+
+
+def absolute_errors(
+    exact: Mapping[object, Number], approximate: Mapping[object, Number]
+) -> Dict[object, float]:
+    """Per-key ``|exact - approximate|`` over the union of key sets.
+
+    Missing keys count as probability 0 on the side they are missing
+    from, matching Definition 7 (absent tuples have ``CP = 0``).
+    """
+    keys = set(exact) | set(approximate)
+    return {
+        key: abs(float(exact.get(key, 0)) - float(approximate.get(key, 0)))
+        for key in keys
+    }
+
+
+def max_absolute_error(
+    exact: Mapping[object, Number], approximate: Mapping[object, Number]
+) -> float:
+    """The largest per-key absolute error (0.0 when both are empty)."""
+    errors = absolute_errors(exact, approximate)
+    return max(errors.values(), default=0.0)
+
+
+def total_variation_distance(
+    first: Mapping[object, Number], second: Mapping[object, Number]
+) -> float:
+    """``TV = 0.5 * sum |p - q|`` between two (sub-)distributions."""
+    keys = set(first) | set(second)
+    return 0.5 * sum(
+        abs(float(first.get(key, 0)) - float(second.get(key, 0))) for key in keys
+    )
+
+
+def empirical_coverage(
+    trials: Sequence[float], target: float, epsilon: float
+) -> float:
+    """Fraction of trial estimates within ``epsilon`` of *target*.
+
+    For Theorem 9's guarantee to hold, this must be at least
+    ``1 - delta`` (up to the sampling noise of the trials themselves).
+    """
+    if not trials:
+        raise ValueError("need at least one trial")
+    hits = sum(1 for estimate in trials if abs(estimate - target) <= epsilon)
+    return hits / len(trials)
+
+
+def convergence_series(
+    sampler: Callable[[int], float],
+    sample_counts: Iterable[int],
+) -> List[Tuple[int, float]]:
+    """Evaluate an estimator at increasing sample counts.
+
+    *sampler* maps a sample count ``n`` to an estimate; the result pairs
+    each count with its estimate, for convergence plots/tables.
+    """
+    return [(n, sampler(n)) for n in sample_counts]

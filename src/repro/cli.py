@@ -1,0 +1,275 @@
+"""Command-line front end.
+
+Installed as ``ocqa``; see ``ocqa --help``.  All subcommands read the
+database from a JSON file (see :mod:`repro.io`) and constraints from a
+text file in the parser syntax.
+
+Examples::
+
+    ocqa violations --db d.json --constraints sigma.txt
+    ocqa repairs    --db d.json --constraints sigma.txt --generator uniform
+    ocqa oca        --db d.json --constraints sigma.txt --query "Q(x) :- R(x, y)"
+    ocqa sample     --db d.json --constraints sigma.txt --query "Q(x) :- R(x, y)" \
+                    --epsilon 0.05 --delta 0.05 --seed 7
+    ocqa chain      --db d.json --constraints sigma.txt --format ascii
+    ocqa abc        --db d.json --constraints sigma.txt --query "Q(x) :- R(x, y)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.abc_repairs import abc_repairs, certain_answers
+from repro.core import (
+    DeletionOnlyUniformGenerator,
+    PreferenceGenerator,
+    TrustGenerator,
+    UniformGenerator,
+    approximate_oca,
+    exact_oca,
+    repair_distribution,
+    violations,
+)
+from repro.db.facts import Fact
+from repro.io import load_constraints, load_database
+from repro.queries.parser import parse_query
+from repro.viz import chain_to_ascii, chain_to_dot, distribution_table
+
+
+def _build_generator(args: argparse.Namespace, constraints):
+    name = args.generator
+    if name == "uniform":
+        return UniformGenerator(constraints)
+    if name == "deletion":
+        return DeletionOnlyUniformGenerator(constraints)
+    if name == "preference":
+        return PreferenceGenerator(constraints, relation=args.preference_relation)
+    if name == "trust":
+        if not args.trust:
+            raise SystemExit("--trust FILE is required for the trust generator")
+        with open(args.trust, encoding="utf-8") as fh:
+            raw = json.load(fh)
+        trust = {}
+        for entry in raw:
+            trust[Fact(entry["relation"], tuple(entry["values"]))] = Fraction(
+                str(entry["trust"])
+            )
+        return TrustGenerator(constraints, trust)
+    raise SystemExit(f"unknown generator {name!r}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", required=True, help="database JSON file")
+    parser.add_argument("--constraints", required=True, help="constraint text file")
+    parser.add_argument(
+        "--generator",
+        default="uniform",
+        choices=["uniform", "deletion", "preference", "trust"],
+        help="repairing Markov chain generator",
+    )
+    parser.add_argument(
+        "--preference-relation",
+        default="Pref",
+        help="relation name for the preference generator",
+    )
+    parser.add_argument("--trust", help="trust JSON file for the trust generator")
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        help="state budget for exact chain exploration",
+    )
+
+
+def _cmd_violations(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    found = sorted(violations(database, constraints), key=str)
+    for violation in found:
+        print(violation)
+    print(f"{len(found)} violation(s)")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.diagnostics import diagnose
+
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    print(diagnose(database, constraints).format())
+    return 0
+
+
+def _cmd_repairs(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    generator = _build_generator(args, constraints)
+    distribution = repair_distribution(database, generator, max_states=args.max_states)
+    print(distribution_table(distribution.items()))
+    if distribution.failure_probability:
+        print(f"failing-sequence probability: {distribution.failure_probability}")
+    return 0
+
+
+def _cmd_oca(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    generator = _build_generator(args, constraints)
+    query = parse_query(args.query)
+    result = exact_oca(database, generator, query, max_states=args.max_states)
+    print(distribution_table(result.items(), header=("tuple", "CP")))
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    generator = _build_generator(args, constraints)
+    query = parse_query(args.query)
+    rng = random.Random(args.seed)
+    estimates = approximate_oca(
+        database,
+        generator,
+        query,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        rng=rng,
+        allow_failing=args.allow_failing,
+    )
+    for candidate, estimate in sorted(estimates.items(), key=lambda kv: -kv[1]):
+        print(f"{candidate}  ~CP = {estimate:.4f}")
+    print(
+        f"(epsilon={args.epsilon}, delta={args.delta}; additive-error guarantee "
+        "per Theorem 9)"
+    )
+    return 0
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    generator = _build_generator(args, constraints)
+    chain = generator.chain(database)
+    if args.format == "dot":
+        print(chain_to_dot(chain, max_states=args.max_states))
+    else:
+        print(chain_to_ascii(chain, max_states=args.max_states))
+    return 0
+
+
+def _cmd_abc(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    repairs = abc_repairs(database, constraints)
+    for repair in sorted(repairs, key=repr):
+        print(repr(repair))
+    print(f"{len(repairs)} ABC repair(s)")
+    if args.query:
+        query = parse_query(args.query)
+        answers = certain_answers(database, constraints, query)
+        print(f"certain answers: {sorted(answers)}")
+    return 0
+
+
+def _cmd_sql_sample(args: argparse.Namespace) -> int:
+    from repro.db.schema import Schema
+    from repro.sql import ConstraintRepairSampler, SQLiteBackend
+
+    database = load_database(args.db)
+    constraints = load_constraints(args.constraints)
+    query = parse_query(args.query)
+    schema = Schema.infer(database).extend(constraints.schema())
+    with SQLiteBackend() as backend:
+        backend.load(database, schema)
+        sampler = ConstraintRepairSampler(
+            backend, schema, constraints, rng=random.Random(args.seed)
+        )
+        report = sampler.run(
+            query, runs=args.runs, epsilon=args.epsilon, delta=args.delta
+        )
+    for candidate, estimate in report.items():
+        print(f"{candidate}  ~CP = {estimate:.4f}")
+    print(
+        f"({report.runs} sampling runs over {len(sampler.components)} "
+        "conflict components)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``ocqa`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ocqa",
+        description="Operational consistent query answering (PODS 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("violations", help="list constraint violations")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_violations)
+
+    p = sub.add_parser("diagnose", help="summarise the inconsistency of a database")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_diagnose)
+
+    p = sub.add_parser("repairs", help="exact operational repair distribution")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_repairs)
+
+    p = sub.add_parser("oca", help="exact operational consistent answers")
+    _add_common(p)
+    p.add_argument("--query", required=True, help='e.g. "Q(x) :- R(x, y)"')
+    p.set_defaults(fn=_cmd_oca)
+
+    p = sub.add_parser("sample", help="additive-error approximate answers")
+    _add_common(p)
+    p.add_argument("--query", required=True)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--delta", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--allow-failing",
+        action="store_true",
+        help="discard failing walks instead of erroring (heuristic mode)",
+    )
+    p.set_defaults(fn=_cmd_sample)
+
+    p = sub.add_parser("chain", help="render the repairing Markov chain")
+    _add_common(p)
+    p.add_argument("--format", choices=["ascii", "dot"], default="ascii")
+    p.set_defaults(fn=_cmd_chain)
+
+    p = sub.add_parser("abc", help="classical ABC repairs and certain answers")
+    _add_common(p)
+    p.add_argument("--query", help="optionally compute certain answers")
+    p.set_defaults(fn=_cmd_abc)
+
+    p = sub.add_parser(
+        "sql-sample",
+        help="Section 5 scheme: sample repairs inside SQLite (TGD-free constraints)",
+    )
+    _add_common(p)
+    p.add_argument("--query", required=True)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--delta", type=float, default=0.1)
+    p.add_argument("--runs", type=int, default=None, help="override the Hoeffding count")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(fn=_cmd_sql_sample)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``ocqa`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

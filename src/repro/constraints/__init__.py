@@ -1,0 +1,37 @@
+"""Database constraints: TGDs, EGDs and denial constraints (Section 2).
+
+All constraints have the implication shape ``phi(x) -> psi(x)`` where
+``phi`` is a non-empty conjunction of atoms; satisfaction and violations
+are defined through homomorphisms.  This package provides:
+
+- the three constraint classes (:class:`TGD`, :class:`EGD`, :class:`DC`);
+- a textual parser (:func:`parse_constraint`, :func:`parse_constraints`);
+- convenience constructors for keys, functional dependencies and
+  inclusion dependencies (:mod:`repro.constraints.shortcuts`).
+"""
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.constraints.tgd import TGD
+from repro.constraints.egd import EGD
+from repro.constraints.dc import DC
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.shortcuts import (
+    key,
+    functional_dependency,
+    inclusion_dependency,
+    non_symmetric,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "TGD",
+    "EGD",
+    "DC",
+    "parse_constraint",
+    "parse_constraints",
+    "key",
+    "functional_dependency",
+    "inclusion_dependency",
+    "non_symmetric",
+]

@@ -1,0 +1,33 @@
+"""Denial constraints.
+
+A DC has the form ``forall x not phi(x)`` (equation (3) of the paper),
+i.e. ``phi(x) -> false``: the body pattern must have no homomorphism into
+the database.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.constraints.base import Constraint
+from repro.db.atoms import Atom
+from repro.db.facts import Database
+from repro.db.homomorphism import Assignment
+
+
+class DC(Constraint):
+    """``phi(x) -> false`` — the body must not match at all."""
+
+    def __init__(self, body: Sequence[Atom]) -> None:
+        super().__init__(body)
+
+    def head_holds(self, assignment: Assignment, database: Database) -> bool:
+        """A DC head is ``false``: every body homomorphism is a violation."""
+        return False
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        return f"{body} -> false"
+
+    def _key(self) -> Tuple:
+        return (self.body,)

@@ -1,0 +1,59 @@
+"""Equality-generating dependencies.
+
+An EGD has the form ``forall x (phi(x) -> xi = xj)`` (equation (2) of the
+paper).  Keys and functional dependencies are EGDs; see
+:mod:`repro.constraints.shortcuts`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.constraints.base import Constraint
+from repro.db.atoms import Atom
+from repro.db.facts import Database
+from repro.db.homomorphism import Assignment
+from repro.db.terms import Term, Var, is_var, term_str
+
+
+class EGD(Constraint):
+    """``phi(x) -> left = right``.
+
+    ``left`` and ``right`` are usually body variables, but constants are
+    accepted too (an EGD with a constant side behaves like a conditional
+    domain restriction).
+    """
+
+    def __init__(self, body: Sequence[Atom], left: Term, right: Term) -> None:
+        super().__init__(body)
+        for side in (left, right):
+            if is_var(side) and side not in self.body_variables:
+                raise ValueError(
+                    f"EGD equality variable {side} does not occur in the body"
+                )
+        self.left = left
+        self.right = right
+
+    @property
+    def constants(self):
+        """Body constants plus any constant equality side."""
+        out = set(super().constants)
+        for side in (self.left, self.right):
+            if not is_var(side):
+                out.add(side)
+        return frozenset(out)
+
+    def head_holds(self, assignment: Assignment, database: Database) -> bool:
+        """Whether ``h(left) = h(right)`` under *assignment*."""
+        left = assignment.get(self.left, self.left) if is_var(self.left) else self.left
+        right = (
+            assignment.get(self.right, self.right) if is_var(self.right) else self.right
+        )
+        return left == right
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        return f"{body} -> {term_str(self.left)} = {term_str(self.right)}"
+
+    def _key(self) -> Tuple:
+        return (self.body, self.left, self.right)

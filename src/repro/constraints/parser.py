@@ -1,0 +1,132 @@
+"""Textual constraint parser.
+
+Supported forms (whitespace-insensitive)::
+
+    R(x, y), R(x, z) -> y = z               # EGD
+    R(x, y) -> exists z S(z, x)             # TGD, explicit existentials
+    R(x, y) -> S(y, x)                      # TGD, full (no existentials)
+    Pref(x, y), Pref(y, x) -> false         # DC
+
+Bare identifiers in term positions are variables; quoted strings
+(``'a'``) and integers are constants.  The ``exists`` keyword is optional:
+head variables absent from the body are treated as existential either way
+(matching the paper's convention of omitting quantifiers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.constraints.base import Constraint
+from repro.constraints.dc import DC
+from repro.constraints.egd import EGD
+from repro.constraints.tgd import TGD
+from repro.db.atoms import Atom
+from repro.db.terms import Term, Var
+from repro.parsing import ParseError, TokenStream, parse_term_token
+
+
+def _parse_atom(stream: TokenStream) -> Atom:
+    name = stream.expect("IDENT")
+    stream.expect("LPAREN")
+    terms: List[Term] = []
+    while True:
+        token = stream.next()
+        terms.append(parse_term_token(token))
+        if stream.accept("COMMA"):
+            continue
+        stream.expect("RPAREN")
+        break
+    return Atom(name.value, tuple(terms))
+
+
+def _parse_atom_list(stream: TokenStream) -> List[Atom]:
+    atoms = [_parse_atom(stream)]
+    while True:
+        mark = stream.index
+        if stream.accept("COMMA") and stream.peek() is not None:
+            token = stream.peek()
+            if token is not None and token.kind == "IDENT":
+                atoms.append(_parse_atom(stream))
+                continue
+        stream.index = mark
+        break
+    return atoms
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse a single constraint from its textual form."""
+    stream = TokenStream(text)
+    body = _parse_atom_list(stream)
+    stream.expect("ARROW")
+
+    token = stream.peek()
+    if token is None:
+        raise ParseError("missing constraint head", text, len(text))
+
+    # Denial constraint: "-> false" / "-> ⊥".
+    if token.kind in ("FALSE", "BOTTOM"):
+        stream.next()
+        stream.expect_end()
+        return DC(body)
+
+    # TGD with explicit existentials: "-> exists z1, z2 S(...), T(...)".
+    if token.kind == "EXISTS":
+        stream.next()
+        declared: List[Var] = [Var(stream.expect("IDENT").value)]
+        while stream.accept("COMMA"):
+            nxt = stream.peek()
+            if nxt is not None and nxt.kind == "IDENT":
+                after = (
+                    stream.tokens[stream.index + 1].kind
+                    if stream.index + 1 < len(stream.tokens)
+                    else None
+                )
+                if after == "LPAREN":
+                    # start of the head atom list, not another variable
+                    stream.index -= 1
+                    break
+                declared.append(Var(stream.expect("IDENT").value))
+            else:
+                raise ParseError("expected variable after 'exists'", text)
+        head = _parse_atom_list(stream)
+        stream.expect_end()
+        tgd = TGD(body, head)
+        undeclared = tgd.existential_variables - frozenset(declared)
+        if undeclared:
+            names = ", ".join(sorted(v.name for v in undeclared))
+            raise ParseError(f"undeclared existential variables: {names}", text)
+        return tgd
+
+    # Either an EGD ("-> y = z") or a TGD head atom list.  Disambiguate by
+    # looking one token ahead: "IDENT (" starts an atom; "IDENT =" or
+    # term-EQ starts an equality.
+    after = (
+        stream.tokens[stream.index + 1].kind
+        if stream.index + 1 < len(stream.tokens)
+        else None
+    )
+    if token.kind == "IDENT" and after == "LPAREN":
+        head = _parse_atom_list(stream)
+        stream.expect_end()
+        return TGD(body, head)
+
+    left = parse_term_token(stream.next())
+    stream.expect("EQ")
+    right = parse_term_token(stream.next())
+    stream.expect_end()
+    return EGD(body, left, right)
+
+
+def parse_constraints(text: str) -> Tuple[Constraint, ...]:
+    """Parse several constraints separated by newlines or semicolons.
+
+    Blank lines and ``#`` comments are ignored, so constraint files can be
+    written like small configuration files.
+    """
+    constraints: List[Constraint] = []
+    for chunk in text.replace(";", "\n").splitlines():
+        line = chunk.split("#", 1)[0].strip()
+        if line:
+            constraints.append(parse_constraint(line))
+    return tuple(constraints)

@@ -1,0 +1,120 @@
+"""Convenience constructors for common constraint families.
+
+The paper notes that EGDs express keys and functional dependencies, TGDs
+express inclusion dependencies, and their combination expresses foreign
+keys.  These helpers build those shapes without writing atoms by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.constraints.dc import DC
+from repro.constraints.egd import EGD
+from repro.constraints.tgd import TGD
+from repro.db.atoms import Atom
+from repro.db.terms import Var
+
+
+def _fresh_vars(prefix: str, count: int) -> List[Var]:
+    return [Var(f"{prefix}{i}") for i in range(count)]
+
+
+def key(relation: str, arity: int, key_positions: Sequence[int]) -> Tuple[EGD, ...]:
+    """EGDs stating that *key_positions* form a key of ``relation/arity``.
+
+    One EGD per non-key position:  for the first attribute of ``R/2`` as a
+    key, this is the paper's ``R(x, y), R(x, z) -> y = z``.
+    """
+    key_set = set(key_positions)
+    if not key_set <= set(range(arity)):
+        raise ValueError(f"key positions {sorted(key_set)} out of range for arity {arity}")
+    if len(key_set) == arity:
+        raise ValueError("key over all positions is vacuous")
+    first = _fresh_vars("x", arity)
+    second = [
+        first[i] if i in key_set else Var(f"y{i}") for i in range(arity)
+    ]
+    egds = []
+    for i in range(arity):
+        if i not in key_set:
+            egds.append(
+                EGD(
+                    (Atom(relation, tuple(first)), Atom(relation, tuple(second))),
+                    first[i],
+                    second[i],
+                )
+            )
+    return tuple(egds)
+
+
+def primary_key(relation: str, arity: int, width: int = 1) -> Tuple[EGD, ...]:
+    """Key on the first *width* attributes of ``relation/arity``."""
+    return key(relation, arity, tuple(range(width)))
+
+
+def functional_dependency(
+    relation: str, arity: int, determinants: Sequence[int], dependents: Sequence[int]
+) -> Tuple[EGD, ...]:
+    """EGDs for the FD ``determinants -> dependents`` on ``relation/arity``."""
+    det = set(determinants)
+    dep = [d for d in dependents if d not in det]
+    if not det <= set(range(arity)) or not set(dependents) <= set(range(arity)):
+        raise ValueError("FD positions out of range")
+    first = _fresh_vars("x", arity)
+    second = [first[i] if i in det else Var(f"y{i}") for i in range(arity)]
+    egds = []
+    for i in dep:
+        egds.append(
+            EGD(
+                (Atom(relation, tuple(first)), Atom(relation, tuple(second))),
+                first[i],
+                second[i],
+            )
+        )
+    return tuple(egds)
+
+
+def inclusion_dependency(
+    source: str,
+    source_arity: int,
+    source_positions: Sequence[int],
+    target: str,
+    target_arity: int,
+    target_positions: Sequence[int],
+) -> TGD:
+    """The inclusion dependency ``source[positions] <= target[positions]``.
+
+    For example ``inclusion_dependency("R", 2, [0], "S", 2, [1])`` is the
+    paper's ``R(x, y) -> exists z S(z, x)``.
+    """
+    if len(source_positions) != len(target_positions):
+        raise ValueError("position lists must have equal length")
+    body_vars = _fresh_vars("x", source_arity)
+    head_terms: List[Var] = _fresh_vars("z", target_arity)
+    for src, tgt in zip(source_positions, target_positions):
+        if not (0 <= src < source_arity and 0 <= tgt < target_arity):
+            raise ValueError("inclusion dependency positions out of range")
+        head_terms[tgt] = body_vars[src]
+    return TGD(
+        (Atom(source, tuple(body_vars)),),
+        (Atom(target, tuple(head_terms)),),
+    )
+
+
+def non_symmetric(relation: str) -> DC:
+    """The paper's preference DC: ``Pref(x, y), Pref(y, x) -> false``."""
+    x, y = Var("x"), Var("y")
+    return DC((Atom(relation, (x, y)), Atom(relation, (y, x))))
+
+
+def disjoint_positions(relation: str, arity: int, first: int, second: int) -> DC:
+    """DC forbidding a constant from appearing in both given positions.
+
+    The paper's example: ``R(x, y), R(z, x) -> false`` says no value is
+    both a first and a second attribute of ``R/2``.
+    """
+    left = _fresh_vars("x", arity)
+    right = _fresh_vars("y", arity)
+    right[second] = left[first]
+    return DC((Atom(relation, tuple(left)), Atom(relation, tuple(right))))

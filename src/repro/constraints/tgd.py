@@ -1,0 +1,115 @@
+"""Tuple-generating dependencies.
+
+A TGD has the form ``forall x, y (phi(x, y) -> exists z psi(x, z))``
+(equation (1) of the paper).  It is satisfied when every body
+homomorphism extends to a head homomorphism.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Sequence, Tuple
+
+from repro.constraints.base import Constraint
+from repro.db.atoms import Atom, atoms_constants, atoms_variables
+from repro.db.facts import Database, Fact
+from repro.db.homomorphism import Assignment, has_homomorphism
+from repro.db.terms import Term, Var
+
+
+class TGD(Constraint):
+    """``phi(x, y) -> exists z psi(x, z)``.
+
+    The existential variables are exactly the head variables that do not
+    occur in the body; they are inferred, so constructing a TGD only needs
+    the two conjunctions of atoms.
+    """
+
+    def __init__(self, body: Sequence[Atom], head: Sequence[Atom]) -> None:
+        super().__init__(body)
+        head = tuple(head)
+        if not head:
+            raise ValueError("TGD heads must be non-empty")
+        self.head: Tuple[Atom, ...] = head
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def existential_variables(self) -> FrozenSet[Var]:
+        """Head variables not bound by the body (the ``z`` of equation (1))."""
+        return atoms_variables(self.head) - self.body_variables
+
+    @property
+    def frontier_variables(self) -> FrozenSet[Var]:
+        """Variables shared between body and head (the ``x`` of equation (1))."""
+        return atoms_variables(self.head) & self.body_variables
+
+    @property
+    def variables(self) -> FrozenSet[Var]:
+        return self.body_variables | atoms_variables(self.head)
+
+    @property
+    def constants(self) -> FrozenSet[Term]:
+        return atoms_constants(self.body) | atoms_constants(self.head)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def head_holds(self, assignment: Assignment, database: Database) -> bool:
+        """Whether some extension of *assignment* maps the head into *database*."""
+        partial = {
+            var: value
+            for var, value in assignment.items()
+            if var in self.frontier_variables
+        }
+        return has_homomorphism(self.head, database, partial)
+
+    def head_images(
+        self, assignment: Assignment, constants: FrozenSet[Term]
+    ) -> Iterator[Tuple[Assignment, FrozenSet[Fact]]]:
+        """Enumerate candidate head instantiations ``h'(psi)``.
+
+        For a body homomorphism *assignment*, yields every extension ``h'``
+        assigning the existential variables values from *constants* (the
+        base constants of Definition 1), together with the fact set
+        ``h'(psi)``.  Proposition 1 says a justified addition for this
+        violation adds ``h'(psi) - D'`` for one of these extensions.
+        """
+        from itertools import product
+
+        existentials = sorted(self.existential_variables, key=lambda v: v.name)
+        fixed = {
+            var: value
+            for var, value in assignment.items()
+            if var in self.frontier_variables
+        }
+        ordered = sorted(constants, key=lambda c: (type(c).__name__, str(c)))
+        for choice in product(ordered, repeat=len(existentials)):
+            extension = dict(fixed)
+            extension.update(zip(existentials, choice))
+            facts = frozenset(
+                atom.substitute(extension).to_fact() for atom in self.head
+            )
+            yield extension, facts
+
+    def schema(self):
+        from repro.db.schema import Relation, Schema
+
+        return Schema(
+            Relation(a.relation, a.arity) for a in (*self.body, *self.head)
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering / identity
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        head = ", ".join(str(a) for a in self.head)
+        existentials = sorted(self.existential_variables, key=lambda v: v.name)
+        if existentials:
+            names = ", ".join(v.name for v in existentials)
+            return f"{body} -> exists {names} {head}"
+        return f"{body} -> {head}"
+
+    def _key(self) -> Tuple:
+        return (self.body, self.head)

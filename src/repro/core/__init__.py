@@ -1,0 +1,124 @@
+"""The paper's contribution: the operational approach to CQA (Sections 3-5).
+
+Workflow:
+
+1. build a :class:`~repro.db.Database` and a
+   :class:`~repro.constraints.ConstraintSet`;
+2. pick a :class:`~repro.core.ChainGenerator` (``M_Sigma``) — e.g.
+   :class:`~repro.core.UniformGenerator` or the paper's preference/trust
+   generators;
+3. compute exact semantics with :func:`repair_distribution` /
+   :func:`exact_oca`, or approximate with :func:`approximate_cp` /
+   :func:`approximate_oca` (Theorem 9's additive-error scheme).
+"""
+
+from repro.core.operations import Operation, OpKind
+from repro.core.violations import (
+    Violation,
+    violations,
+    violations_of,
+    violating_facts,
+    conflict_pairs,
+    is_consistent,
+)
+from repro.core.justified import (
+    enumerate_justified_operations,
+    is_justified,
+    justified_deletions_for,
+    justified_insertions_for,
+)
+from repro.core.state import RepairState, AdditionRecord
+from repro.core.engine import RepairEngine
+from repro.core.chain import ChainGenerator, RepairingChain
+from repro.core.generators import (
+    UniformGenerator,
+    DeletionOnlyUniformGenerator,
+    SingleFactDeletionGenerator,
+    PreferenceGenerator,
+    TrustGenerator,
+    FunctionGenerator,
+)
+from repro.core.exact import (
+    Leaf,
+    Edge,
+    ChainExploration,
+    explore_chain,
+)
+from repro.core.repairs import (
+    RepairDistribution,
+    repair_distribution,
+    distribution_from_exploration,
+    operational_repairs,
+)
+from repro.core.oca import (
+    OCAResult,
+    exact_cp,
+    exact_oca,
+    cp_from_distribution,
+    oca_from_distribution,
+)
+from repro.core.sampling import (
+    Walk,
+    ApproximationResult,
+    sample_walk,
+    sample_once,
+    approximate_cp,
+    approximate_oca,
+    estimate_sequence_lengths,
+)
+from repro.core.errors import (
+    ReproError,
+    InvalidGeneratorError,
+    ExplorationBudgetError,
+    FailingSequenceError,
+)
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "Violation",
+    "violations",
+    "violations_of",
+    "violating_facts",
+    "conflict_pairs",
+    "is_consistent",
+    "enumerate_justified_operations",
+    "is_justified",
+    "justified_deletions_for",
+    "justified_insertions_for",
+    "RepairState",
+    "AdditionRecord",
+    "RepairEngine",
+    "ChainGenerator",
+    "RepairingChain",
+    "UniformGenerator",
+    "DeletionOnlyUniformGenerator",
+    "SingleFactDeletionGenerator",
+    "PreferenceGenerator",
+    "TrustGenerator",
+    "FunctionGenerator",
+    "Leaf",
+    "Edge",
+    "ChainExploration",
+    "explore_chain",
+    "RepairDistribution",
+    "repair_distribution",
+    "distribution_from_exploration",
+    "operational_repairs",
+    "OCAResult",
+    "exact_cp",
+    "exact_oca",
+    "cp_from_distribution",
+    "oca_from_distribution",
+    "Walk",
+    "ApproximationResult",
+    "sample_walk",
+    "sample_once",
+    "approximate_cp",
+    "approximate_oca",
+    "estimate_sequence_lengths",
+    "ReproError",
+    "InvalidGeneratorError",
+    "ExplorationBudgetError",
+    "FailingSequenceError",
+]

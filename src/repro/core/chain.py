@@ -1,0 +1,177 @@
+"""Repairing Markov chains and their generators (Definition 5).
+
+A :class:`ChainGenerator` is the paper's ``M_Sigma``: a recipe that, for
+any database ``D``, yields the tree-shaped Markov chain whose states are
+the ``(D, Sigma)``-repairing sequences.  Concrete generators
+(:mod:`repro.core.generators`) only supply *weights* for the valid
+extensions of a state; the chain normalizes them into transition
+probabilities, guaranteeing the stochasticity condition of Definition 5.
+
+Probabilities are exact :class:`fractions.Fraction` values — this is the
+paper's "well-behaved" requirement (all probabilities share a polynomial-
+size common denominator) realised literally.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.core.engine import RepairEngine
+from repro.core.errors import InvalidGeneratorError
+from repro.core.operations import Operation
+from repro.core.state import RepairState
+from repro.db.facts import Database
+
+#: Weight values accepted from generators.
+Weight = Union[Fraction, int]
+
+
+def _as_fraction(value: Union[Fraction, int, float, str]) -> Fraction:
+    """Convert a user-supplied number to an exact fraction.
+
+    Floats go through their decimal rendering so that ``0.1`` means the
+    decimal one-tenth rather than its binary approximation.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(str(value))
+    return Fraction(value)
+
+
+class ChainGenerator(ABC):
+    """A repairing Markov chain generator ``M_Sigma`` (Definition 5).
+
+    Subclasses implement :meth:`weights`, mapping each valid extension of
+    a state to a non-negative weight.  Weights need not be normalized;
+    operations may receive weight 0 (they are then pruned from the chain,
+    like the pair-deletions the preference generator of Example 4 never
+    uses), but at least one extension of a non-complete state must be
+    positive.
+    """
+
+    def __init__(self, constraints: Union[ConstraintSet, Sequence[Constraint]]) -> None:
+        if not isinstance(constraints, ConstraintSet):
+            constraints = ConstraintSet(constraints)
+        self.constraints = constraints
+
+    @abstractmethod
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        """Non-negative weights over *extensions* at *state*.
+
+        Missing operations default to weight 0.
+        """
+
+    def make_engine(self, database: Database) -> RepairEngine:
+        """The repairing-sequence engine used by this generator's chains.
+
+        Subclasses may substitute an engine with different operation
+        candidates (e.g. the null-witness engine of
+        :mod:`repro.extensions.nulls`).
+        """
+        return RepairEngine(database, self.constraints)
+
+    def chain(self, database: Database) -> "RepairingChain":
+        """The ``(D, Sigma)``-repairing Markov chain ``M_Sigma(D)``."""
+        return RepairingChain(self.make_engine(database), self)
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        """Whether the generator never assigns positive weight to ``+F``.
+
+        Subclasses for which this is true by construction override this;
+        by Proposition 8 such generators are non-failing.
+        """
+        return False
+
+    @property
+    def is_non_failing(self) -> bool:
+        """Best-effort syntactic check of Definition 8.
+
+        ``True`` when failing sequences are impossible: either the
+        generator only uses deletions (Proposition 8) or the constraint
+        set has no TGDs, in which case no justified insertion exists at
+        all.  ``False`` means "unknown", not "failing".
+        """
+        return self.supports_only_deletions or self.constraints.deletion_only()
+
+
+class RepairingChain:
+    """The chain ``M_Sigma(D)`` for one concrete database.
+
+    States are :class:`repro.core.state.RepairState` objects; transitions
+    pair each positive-weight valid extension with its normalized
+    probability.  Complete sequences have no transitions and are the
+    chain's absorbing states.
+    """
+
+    def __init__(self, engine: RepairEngine, generator: ChainGenerator) -> None:
+        self.engine = engine
+        self.generator = generator
+
+    @property
+    def database(self) -> Database:
+        """The input (possibly inconsistent) database ``D``."""
+        return self.engine.database
+
+    @property
+    def constraints(self) -> ConstraintSet:
+        """The constraint set ``Sigma``."""
+        return self.engine.constraints
+
+    def initial_state(self) -> RepairState:
+        """The root state ``ε``."""
+        return self.engine.initial_state()
+
+    def transitions(self, state: RepairState) -> Tuple[Tuple[Operation, Fraction], ...]:
+        """Positive-probability transitions out of *state*.
+
+        Returns an empty tuple exactly when the state is absorbing.
+        Raises :class:`InvalidGeneratorError` when the generator breaks
+        Definition 5 (negative weights, or all-zero weights at a state
+        that still has valid extensions).
+        """
+        extensions = self.engine.extensions(state)
+        if not extensions:
+            return ()
+        raw = self.generator.weights(state, extensions)
+        weights: Dict[Operation, Fraction] = {}
+        for op in extensions:
+            weight = _as_fraction(raw.get(op, 0))
+            if weight < 0:
+                raise InvalidGeneratorError(
+                    f"negative weight {weight} for operation {op}"
+                )
+            if weight > 0:
+                weights[op] = weight
+        unknown = set(raw) - set(extensions)
+        if unknown:
+            sample = next(iter(unknown))
+            raise InvalidGeneratorError(
+                f"generator assigned weight to an invalid extension: {sample}"
+            )
+        total = sum(weights.values(), Fraction(0))
+        if total == 0:
+            raise InvalidGeneratorError(
+                f"state {state.label()!r} has {len(extensions)} valid extensions "
+                "but the generator gave them zero total weight; it would become "
+                "absorbing without being complete (Definition 5, condition 1)"
+            )
+        return tuple(
+            (op, weights[op] / total) for op in extensions if op in weights
+        )
+
+    def step(self, state: RepairState, op: Operation) -> RepairState:
+        """Apply one operation (must be a positive-probability transition)."""
+        return self.engine.apply(state, op)
+
+    def is_absorbing(self, state: RepairState) -> bool:
+        """Whether *state* is absorbing (equivalently: complete)."""
+        return not self.engine.extensions(state)

@@ -1,0 +1,163 @@
+"""The repairing-sequence engine.
+
+Given a database ``D`` and constraints ``Sigma``, the engine enumerates
+the valid extensions of any repairing sequence: operations that are
+justified (Definition 3) *and* keep the sequence repairing (Definition 4:
+req2, no cancellation, global justification of additions).  The engine is
+the substrate both for exact chain exploration (:mod:`repro.core.exact`)
+and for the randomized ``Sample`` walk (:mod:`repro.core.sampling`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.constraints.base import ConstraintSet
+from repro.core.justified import enumerate_justified_operations, is_justified
+from repro.core.operations import Operation
+from repro.core.state import RepairState
+from repro.core.violations import Violation, violations
+from repro.db.base import base_constants
+from repro.db.facts import Database
+from repro.db.terms import Term
+
+
+class RepairEngine:
+    """Enumerates repairing sequences for a fixed ``(D, Sigma)`` pair."""
+
+    #: Bound on the per-engine violation cache (see :meth:`_violations`).
+    VIOLATION_CACHE_LIMIT = 50_000
+
+    def __init__(self, database: Database, constraints: ConstraintSet) -> None:
+        self.database = database
+        self.constraints = constraints
+        self.base_constants: FrozenSet[Term] = base_constants(database, constraints)
+        self._violation_cache: dict = {}
+
+    def _violations(self, database: Database) -> FrozenSet[Violation]:
+        """``V(D', Sigma)`` with memoization.
+
+        Chain exploration evaluates each candidate database twice (once
+        to validate the extension, once to apply it) and often reaches
+        the same database along different branches; caching the
+        violation sets removes the dominant redundant work.  The cache
+        is dropped wholesale at a size bound to keep memory linear.
+        """
+        cached = self._violation_cache.get(database)
+        if cached is None:
+            cached = violations(database, self.constraints)
+            if len(self._violation_cache) >= self.VIOLATION_CACHE_LIMIT:
+                self._violation_cache.clear()
+            self._violation_cache[database] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # States
+    # ------------------------------------------------------------------
+    def initial_state(self) -> RepairState:
+        """The empty repairing sequence ``ε`` on the input database."""
+        return RepairState(
+            db=self.database,
+            current_violations=self._violations(self.database),
+        )
+
+    def apply(self, state: RepairState, op: Operation) -> RepairState:
+        """Extend *state* with *op* (must come from :meth:`extensions`)."""
+        new_db = op.apply(state.db)
+        new_violations = self._violations(new_db)
+        return state.child(op, new_db, new_violations)
+
+    # ------------------------------------------------------------------
+    # Valid extensions
+    # ------------------------------------------------------------------
+    def extensions(self, state: RepairState) -> Tuple[Operation, ...]:
+        """All operations ``op`` such that ``s . op`` is still repairing.
+
+        Returned in a deterministic (sorted) order so chain exploration
+        and sampling are reproducible.
+        """
+        if not state.current_violations:
+            return ()
+        candidates = self._candidate_operations(state)
+        valid: List[Operation] = []
+        for op in sorted(candidates, key=str):
+            if self._extension_is_valid(state, op):
+                valid.append(op)
+        return tuple(valid)
+
+    def _candidate_operations(self, state: RepairState) -> FrozenSet[Operation]:
+        """Justified operations at *state*, before sequence-level filtering.
+
+        Subclasses may override to change the candidate space (e.g.
+        null-witness insertions instead of base-constant enumeration).
+        """
+        return enumerate_justified_operations(
+            state.db,
+            self.constraints,
+            self.base_constants,
+            state.current_violations,
+        )
+
+    def _extension_is_valid(self, state: RepairState, op: Operation) -> bool:
+        # No cancellation (Definition 4, condition 2): a fact may not be
+        # both added and deleted anywhere in the sequence.
+        if op.is_insert and op.facts & state.deleted:
+            return False
+        if op.is_delete and op.facts & state.added:
+            return False
+
+        new_db = op.apply(state.db)
+        new_violations = self._violations(new_db)
+
+        # req2: previously eliminated violations must not hold again.
+        for banned in state.banned:
+            if banned in new_violations:
+                return False
+
+        # Global justification of additions (Definition 4, condition 3):
+        # every earlier insertion must stay justified once the facts
+        # deleted after it (including by this op) are taken away.
+        if op.is_delete:
+            for record in state.addition_records:
+                shrunk = record.db_before - (record.deletions_after | op.facts)
+                if not is_justified(record.op, shrunk, self.constraints):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Sequence classification
+    # ------------------------------------------------------------------
+    def is_complete(self, state: RepairState) -> bool:
+        """No valid extension exists (absorbing state, Definition 5)."""
+        return not self.extensions(state)
+
+    def is_successful(self, state: RepairState) -> bool:
+        """Complete and consistent: the sequence produced a repair."""
+        return state.is_consistent
+
+    def is_failing(self, state: RepairState) -> bool:
+        """Complete but inconsistent: the attempt got stuck."""
+        return not state.is_consistent and self.is_complete(state)
+
+    # ------------------------------------------------------------------
+    # Replay / validation (used by tests and the public API)
+    # ------------------------------------------------------------------
+    def replay(self, ops: Iterable[Operation]) -> RepairState:
+        """Apply *ops* from the initial state, validating each step.
+
+        Raises :class:`ValueError` as soon as a step would not extend a
+        repairing sequence, making this a checker for Definition 4.
+        """
+        state = self.initial_state()
+        for op in ops:
+            if op not in self.extensions(state):
+                raise ValueError(
+                    f"operation {op} does not extend the repairing sequence "
+                    f"{state.label()!r}"
+                )
+            state = self.apply(state, op)
+        return state
+
+    def result(self, ops: Iterable[Operation]) -> Database:
+        """``s(D)`` — the database produced by a repairing sequence."""
+        return self.replay(ops).db

@@ -1,0 +1,33 @@
+"""Exceptions raised by the operational-repair core."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidGeneratorError(ReproError):
+    """A Markov chain generator breaks Definition 5.
+
+    Raised when a state has valid extensions (so it is *not* complete)
+    but the generator assigns them zero total probability (which would
+    make the state absorbing), or produces a negative weight.
+    """
+
+
+class ExplorationBudgetError(ReproError):
+    """Exact chain exploration exceeded its state budget.
+
+    Exact OCQA is FP^#P-complete (Theorem 5); the budget turns runaway
+    enumerations into a clean failure instead of an out-of-memory crash.
+    """
+
+
+class FailingSequenceError(ReproError):
+    """A sampling walk hit a failing repairing sequence.
+
+    The additive-error scheme of Theorem 9 requires a *non-failing*
+    generator (Definition 8); hitting a failing sequence means the
+    precondition does not hold for this chain.
+    """

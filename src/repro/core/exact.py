@@ -1,0 +1,133 @@
+"""Exact exploration of repairing Markov chains.
+
+Enumerates the whole (finite, Proposition 2) tree of repairing sequences
+with exact :class:`fractions.Fraction` probabilities.  The leaves are the
+chain's reachable absorbing states; their probabilities form the hitting
+distribution (which always exists for tree-shaped chains, Proposition 3).
+
+Exact OCQA is FP^#P-complete (Theorem 5), so the tree can be exponential
+in the database size; a state budget turns blow-ups into a clean
+:class:`repro.core.errors.ExplorationBudgetError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.core.chain import RepairingChain
+from repro.core.errors import ExplorationBudgetError
+from repro.core.operations import Operation
+from repro.core.state import RepairState
+from repro.db.facts import Database
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A reachable absorbing state with its hitting probability."""
+
+    state: RepairState
+    probability: Fraction
+
+    @property
+    def successful(self) -> bool:
+        """Whether the sequence repaired the database (``s(D) |= Sigma``)."""
+        return state_is_successful(self.state)
+
+    @property
+    def result(self) -> Database:
+        """``s(D)`` — the database this sequence produced."""
+        return self.state.db
+
+
+def state_is_successful(state: RepairState) -> bool:
+    """A complete state succeeds iff its database is consistent."""
+    return state.is_consistent
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One transition of the explored tree (for rendering/inspection)."""
+
+    parent: str
+    op: Operation
+    child: str
+    probability: Fraction
+
+
+@dataclass
+class ChainExploration:
+    """The fully explored chain: leaves, statistics, optional edge list."""
+
+    leaves: List[Leaf]
+    num_states: int
+    max_depth: int
+    edges: Optional[List[Edge]] = None
+
+    @property
+    def successful_leaves(self) -> List[Leaf]:
+        """Leaves whose sequences produced repairs."""
+        return [leaf for leaf in self.leaves if leaf.successful]
+
+    @property
+    def failing_leaves(self) -> List[Leaf]:
+        """Leaves whose sequences got stuck (failing sequences)."""
+        return [leaf for leaf in self.leaves if not leaf.successful]
+
+    @property
+    def total_probability(self) -> Fraction:
+        """Sum of leaf probabilities; equals 1 for every valid chain."""
+        return sum((leaf.probability for leaf in self.leaves), Fraction(0))
+
+    @property
+    def success_probability(self) -> Fraction:
+        """Probability mass of successful sequences."""
+        return sum(
+            (leaf.probability for leaf in self.successful_leaves), Fraction(0)
+        )
+
+    @property
+    def failure_probability(self) -> Fraction:
+        """Probability mass of failing sequences."""
+        return sum((leaf.probability for leaf in self.failing_leaves), Fraction(0))
+
+
+def explore_chain(
+    chain: RepairingChain,
+    max_states: Optional[int] = 200_000,
+    collect_edges: bool = False,
+) -> ChainExploration:
+    """Depth-first enumeration of every repairing sequence of *chain*.
+
+    *max_states* bounds the number of visited states (``None`` disables
+    the budget).  With *collect_edges* the full tree structure is kept,
+    which :mod:`repro.viz` uses to render the paper's Section 3 figure.
+    """
+    root = chain.initial_state()
+    leaves: List[Leaf] = []
+    edges: Optional[List[Edge]] = [] if collect_edges else None
+    stack: List[Tuple[RepairState, Fraction]] = [(root, Fraction(1))]
+    visited = 0
+    max_depth = 0
+    while stack:
+        state, probability = stack.pop()
+        visited += 1
+        if max_states is not None and visited > max_states:
+            raise ExplorationBudgetError(
+                f"chain exploration exceeded {max_states} states; exact OCQA "
+                "is FP^#P-complete — use the sampling approximation instead"
+            )
+        max_depth = max(max_depth, state.depth)
+        transitions = chain.transitions(state)
+        if not transitions:
+            leaves.append(Leaf(state, probability))
+            continue
+        for op, p in transitions:
+            child = chain.step(state, op)
+            if edges is not None:
+                edges.append(Edge(state.label(), op, child.label(), p))
+            stack.append((child, probability * p))
+    return ChainExploration(
+        leaves=leaves, num_states=visited, max_depth=max_depth, edges=edges
+    )

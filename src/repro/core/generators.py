@@ -1,0 +1,230 @@
+"""Concrete repairing Markov chain generators.
+
+Implements every generator discussed in the paper:
+
+- :class:`UniformGenerator` — the uniform generator ``M^u_Sigma`` used in
+  Proposition 4 (every valid extension equally likely);
+- :class:`DeletionOnlyUniformGenerator` — uniform over deletions only; by
+  Proposition 8 it is non-failing for TGDs, EGDs and DCs;
+- :class:`PreferenceGenerator` — Example 4's support-based generator for
+  the non-symmetric preference DC (reproduces the Section 3 figure);
+- :class:`TrustGenerator` — Example 5's trust-based generator for key
+  violations in data-integration scenarios;
+- :class:`FunctionGenerator` — wrap an arbitrary weight function.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.core.chain import ChainGenerator, Weight, _as_fraction
+from repro.core.operations import Operation
+from repro.core.state import RepairState
+from repro.core.violations import violating_facts
+from repro.db.facts import Database, Fact
+
+
+class UniformGenerator(ChainGenerator):
+    """The paper's ``M^u_Sigma``: all valid extensions equally likely.
+
+    Proposition 4: every ABC repair is an operational repair w.r.t. this
+    generator.
+    """
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        return {op: 1 for op in extensions}
+
+
+class DeletionOnlyUniformGenerator(ChainGenerator):
+    """Uniform over *deletions*; insertions get probability 0.
+
+    This realises the "arbitrary deletion updates" setting of Theorem 9's
+    practical scope: it supports only deletions, hence is non-failing
+    (Proposition 8), so the additive-error approximation applies to every
+    first-order query.
+
+    Note: on constraint sets where some state's only justified operations
+    are insertions (e.g. a TGD violation whose body atoms were inserted
+    by... impossible here, but a TGD violation in the *input*), zeroing
+    insertions can make the generator invalid.  For TGD-free constraints
+    it always works; with TGDs, deleting a body atom is always available,
+    so it works there too.
+    """
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        return {op: 1 for op in extensions if op.is_delete}
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        return True
+
+
+class SingleFactDeletionGenerator(ChainGenerator):
+    """Uniform over single-fact deletions only.
+
+    Mirrors the classical "tuple deletion" repair model of Chomicki &
+    Marcinkowski that the paper cites: each step removes exactly one
+    offending fact.
+    """
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        return {op: 1 for op in extensions if op.is_delete and len(op.facts) == 1}
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        return True
+
+
+class PreferenceGenerator(ChainGenerator):
+    """Example 4: support-weighted deletions for the preference scenario.
+
+    For the DC ``Pref(x, y), Pref(y, x) -> false``, the weight of the
+    atom ``alpha = Pref(a, b)`` in a database ``D`` is ``w(alpha, D)`` =
+    the number of facts ``Pref(a, _)`` (how often ``a`` is preferred).
+    The probability of *removing* ``alpha`` is the importance
+    ``I(alpha-bar, s(D))`` of its symmetric atom — so well-supported
+    products keep their preferences with higher probability.
+    """
+
+    def __init__(
+        self,
+        constraints: Union[ConstraintSet, Sequence[Constraint]],
+        relation: str = "Pref",
+    ) -> None:
+        super().__init__(constraints)
+        self.relation = relation
+
+    def _support(self, fact: Fact, database: Database) -> int:
+        """``w(alpha, D)``: number of facts whose first attribute matches."""
+        subject = fact.values[0]
+        return sum(
+            1
+            for other in database.by_relation.get(self.relation, ())
+            if other.values[0] == subject
+        )
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        out: Dict[Operation, Weight] = {}
+        for op in extensions:
+            if not (op.is_delete and len(op.facts) == 1):
+                continue
+            (fact,) = op.facts
+            if fact.relation != self.relation or len(fact.values) != 2:
+                continue
+            mirrored = Fact(self.relation, (fact.values[1], fact.values[0]))
+            out[op] = self._support(mirrored, state.db)
+        return out
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        return True
+
+
+class TrustGenerator(ChainGenerator):
+    """Example 5: trust-based repair of key violations.
+
+    Each fact carries a level of trust ``tr(alpha) in [0, 1]``.  For a
+    violating pair ``{alpha, beta}`` the three fixing deletions are
+    weighted
+
+    - ``w(-alpha) = tr(beta|alpha) * (1 - tr(alpha|beta) * tr(beta|alpha))``
+    - ``w(-beta)  = tr(alpha|beta) * (1 - tr(alpha|beta) * tr(beta|alpha))``
+    - ``w(-{alpha, beta}) = (1 - tr(alpha|beta)) * (1 - tr(beta|alpha))``
+
+    where ``tr(alpha|beta) = tr(alpha) / (tr(alpha) + tr(beta))`` is the
+    relative trust.  An operation's weight sums its weight over all the
+    violating pairs it fixes, normalized per Example 5.
+    """
+
+    def __init__(
+        self,
+        constraints: Union[ConstraintSet, Sequence[Constraint]],
+        trust: Mapping[Fact, Union[Fraction, float, int, str]],
+        default_trust: Union[Fraction, float, int, str] = Fraction(1, 2),
+    ) -> None:
+        super().__init__(constraints)
+        self.trust: Dict[Fact, Fraction] = {
+            fact: _as_fraction(value) for fact, value in trust.items()
+        }
+        self.default_trust = _as_fraction(default_trust)
+        for fact, value in self.trust.items():
+            if not 0 <= value <= 1:
+                raise ValueError(f"trust of {fact} must be within [0, 1], got {value}")
+
+    def trust_of(self, fact: Fact) -> Fraction:
+        """``tr(alpha)``, falling back to the default for unseen facts."""
+        return self.trust.get(fact, self.default_trust)
+
+    def _relative(self, alpha: Fact, beta: Fact) -> Fraction:
+        """``tr(alpha|beta) = tr(alpha) / (tr(alpha) + tr(beta))``."""
+        ta, tb = self.trust_of(alpha), self.trust_of(beta)
+        if ta + tb == 0:
+            return Fraction(1, 2)
+        return ta / (ta + tb)
+
+    def pair_weights(self, alpha: Fact, beta: Fact) -> Dict[Operation, Fraction]:
+        """The three operation weights for a violating pair."""
+        t_ab = self._relative(alpha, beta)
+        t_ba = self._relative(beta, alpha)
+        both = t_ab * t_ba
+        return {
+            Operation.delete(alpha): t_ba * (1 - both),
+            Operation.delete(beta): t_ab * (1 - both),
+            Operation.delete(frozenset({alpha, beta})): (1 - t_ab) * (1 - t_ba),
+        }
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        pairs = {
+            violation.facts
+            for violation in state.current_violations
+            if len(violation.facts) == 2
+        }
+        accumulated: Dict[Operation, Fraction] = {}
+        for pair in pairs:
+            alpha, beta = sorted(pair, key=str)
+            for op, weight in self.pair_weights(alpha, beta).items():
+                accumulated[op] = accumulated.get(op, Fraction(0)) + weight
+        return {op: accumulated[op] for op in extensions if op in accumulated}
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        return True
+
+
+class FunctionGenerator(ChainGenerator):
+    """Adapter turning a plain function into a generator.
+
+    The function receives ``(state, extensions)`` and returns a mapping
+    from operations to non-negative weights.
+    """
+
+    def __init__(
+        self,
+        constraints: Union[ConstraintSet, Sequence[Constraint]],
+        fn: Callable[[RepairState, Tuple[Operation, ...]], Mapping[Operation, Weight]],
+        only_deletions: bool = False,
+    ) -> None:
+        super().__init__(constraints)
+        self._fn = fn
+        self._only_deletions = only_deletions
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        return self._fn(state, extensions)
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        return self._only_deletions

@@ -1,0 +1,166 @@
+"""Justified operations (Definition 3, Proposition 1).
+
+An operation is justified at a state ``D'`` when it fixes at least one
+violation *minimally*:
+
+- a justified insertion ``+F`` adds exactly the missing part
+  ``h'(psi) - D'`` of one head instantiation of a violated TGD, and no
+  proper subset of ``F`` already fixes that violation;
+- a justified deletion ``-F`` removes a non-empty subset of one
+  violation's body image ``h(phi)`` (so every fact of ``F`` contributes
+  to the violation, and any proper subset would also fix it).
+
+The enumeration below constructs candidates directly in those shapes, so
+deletions are justified by construction; insertions additionally get the
+proper-subset check (a subset of a multi-atom head image can coincidentally
+complete a different witness).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import FrozenSet, Iterable, Iterator, Set
+
+from repro.constraints.base import ConstraintSet
+from repro.constraints.tgd import TGD
+from repro.core.operations import Operation
+from repro.core.violations import Violation, violations
+from repro.db.facts import Database, Fact
+from repro.db.terms import Term
+
+
+def _nonempty_subsets(facts: FrozenSet[Fact]) -> Iterator[FrozenSet[Fact]]:
+    ordered = sorted(facts, key=str)
+    for size in range(1, len(ordered) + 1):
+        for combo in combinations(ordered, size):
+            yield frozenset(combo)
+
+
+def _proper_nonempty_subsets(facts: FrozenSet[Fact]) -> Iterator[FrozenSet[Fact]]:
+    ordered = sorted(facts, key=str)
+    for size in range(1, len(ordered)):
+        for combo in combinations(ordered, size):
+            yield frozenset(combo)
+
+
+def justified_deletions_for(violation: Violation) -> Iterator[Operation]:
+    """All justified deletions fixing *violation*: ``-F`` for non-empty
+    ``F`` included in the body image ``h(phi)``."""
+    for subset in _nonempty_subsets(violation.facts):
+        yield Operation.delete(subset)
+
+
+def justified_insertions_for(
+    violation: Violation,
+    database: Database,
+    base_constants: FrozenSet[Term],
+) -> Iterator[Operation]:
+    """All justified insertions fixing *violation* (TGD violations only).
+
+    Candidates are ``F = h'(psi) - D'`` for every extension ``h'`` of the
+    violation's homomorphism over the base constants (Proposition 1),
+    filtered by Definition 3's proper-subset condition.
+    """
+    constraint = violation.constraint
+    if not isinstance(constraint, TGD):
+        return
+    seen: Set[FrozenSet[Fact]] = set()
+    for _, head_facts in constraint.head_images(violation.h, base_constants):
+        missing = frozenset(head_facts - database.facts)
+        if not missing or missing in seen:
+            continue
+        seen.add(missing)
+        if _insertion_is_minimal(violation, database, missing):
+            yield Operation.insert(missing)
+
+
+def _insertion_is_minimal(
+    violation: Violation, database: Database, facts: FrozenSet[Fact]
+) -> bool:
+    """Definition 3 condition 1: no proper subset of *facts* fixes the
+    violation already."""
+    for subset in _proper_nonempty_subsets(facts):
+        if not violation.holds_in(database | subset):
+            return False
+    return True
+
+
+def enumerate_justified_operations(
+    database: Database,
+    constraints: ConstraintSet,
+    base_constants: FrozenSet[Term],
+    current_violations: Iterable[Violation] | None = None,
+) -> FrozenSet[Operation]:
+    """Every operation that is ``(D', Sigma)``-justified.
+
+    *current_violations* may pass a precomputed ``V(D', Sigma)`` to avoid
+    recomputation; otherwise it is derived here.
+    """
+    if current_violations is None:
+        current_violations = violations(database, constraints)
+    ops: Set[Operation] = set()
+    for violation in current_violations:
+        ops.update(justified_deletions_for(violation))
+        ops.update(justified_insertions_for(violation, database, base_constants))
+    return frozenset(ops)
+
+
+def is_justified(
+    op: Operation,
+    database: Database,
+    constraints: ConstraintSet,
+    current_violations: Iterable[Violation] | None = None,
+) -> bool:
+    """Direct check of Definition 3 for an arbitrary operation.
+
+    Used by tests and by the *global justification of additions*
+    condition, which re-checks earlier insertions against shrunken
+    databases.
+    """
+    if current_violations is None:
+        current_violations = violations(database, constraints)
+    after = op.apply(database)
+    for violation in current_violations:
+        if violation.holds_in(after):
+            continue  # not fixed by op
+        if op.is_delete:
+            # Condition 2: every proper subset removal also fixes it,
+            # which holds iff F is a subset of the body image inside D'.
+            if not op.facts <= violation.facts:
+                continue
+            if all(
+                not violation.holds_in(database - subset)
+                for subset in _proper_nonempty_subsets(op.facts)
+            ):
+                return True
+        else:
+            # Condition 1: no proper subset addition fixes it, and the
+            # added facts must all be new (otherwise a smaller operation
+            # would behave identically).
+            if op.facts & database.facts:
+                continue
+            if not isinstance(violation.constraint, TGD):
+                continue
+            if _insertion_matches_head(violation, database, op.facts):
+                if _insertion_is_minimal(violation, database, op.facts):
+                    return True
+    return False
+
+
+def _insertion_matches_head(
+    violation: Violation, database: Database, facts: FrozenSet[Fact]
+) -> bool:
+    """Whether ``facts`` equals ``h'(psi) - D'`` for some extension ``h'``."""
+    constraint = violation.constraint
+    assert isinstance(constraint, TGD)
+    extension_constants: Set[Term] = set()
+    for fact in facts:
+        extension_constants.update(fact.values)
+    for value in violation.h.values():
+        extension_constants.add(value)
+    for _, head_facts in constraint.head_images(
+        violation.h, frozenset(extension_constants)
+    ):
+        if frozenset(head_facts - database.facts) == facts:
+            return True
+    return False

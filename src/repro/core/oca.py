@@ -1,0 +1,158 @@
+"""Operational consistent query answering (Section 4).
+
+``CP(t)`` is the conditional probability that ``t`` belongs to the query
+answer over an operational repair, given that a repair is produced at all
+— failing sequences carry hitting probability but are excluded by the
+normalization.  :func:`exact_oca` computes the full answer set
+``OCA_{M_Sigma}(D, Q)`` restricted to its positive-probability tuples
+(every tuple outside the result has ``CP = 0`` by Definition 7).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.chain import ChainGenerator
+from repro.core.repairs import RepairDistribution, repair_distribution
+from repro.db.facts import Database
+from repro.db.terms import Term
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.query import Query
+
+#: Queries accepted by the OCQA entry points.
+AnyQuery = Union[Query, ConjunctiveQuery]
+
+
+class OCAResult:
+    """The operational consistent answers with their probabilities.
+
+    Only tuples with ``CP > 0`` are stored; :meth:`cp` returns an exact
+    zero for everything else, matching Definition 7 (which formally
+    assigns a probability to every tuple over the base domain).
+    """
+
+    def __init__(
+        self,
+        query: AnyQuery,
+        probabilities: Mapping[Tuple[Term, ...], Fraction],
+        success_probability: Fraction,
+        failure_probability: Fraction = Fraction(0),
+    ) -> None:
+        self.query = query
+        self._probabilities: Dict[Tuple[Term, ...], Fraction] = {
+            t: Fraction(p) for t, p in probabilities.items() if p > 0
+        }
+        self.success_probability = Fraction(success_probability)
+        self.failure_probability = Fraction(failure_probability)
+
+    def cp(self, candidate: Tuple[Term, ...]) -> Fraction:
+        """``CP(t)`` for an arbitrary tuple."""
+        return self._probabilities.get(tuple(candidate), Fraction(0))
+
+    def items(self) -> List[Tuple[Tuple[Term, ...], Fraction]]:
+        """Answer tuples, most probable first."""
+        return sorted(
+            self._probabilities.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )
+
+    def __iter__(self):
+        return iter(self.items())
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __contains__(self, candidate: object) -> bool:
+        return candidate in self._probabilities
+
+    def certain(self) -> FrozenSet[Tuple[Term, ...]]:
+        """Tuples with ``CP = 1`` — true in every operational repair."""
+        return frozenset(t for t, p in self._probabilities.items() if p == 1)
+
+    def above(self, threshold: Union[Fraction, float]) -> FrozenSet[Tuple[Term, ...]]:
+        """Tuples whose probability is at least *threshold*."""
+        return frozenset(
+            t for t, p in self._probabilities.items() if p >= threshold
+        )
+
+    def as_dict(self) -> Dict[Tuple[Term, ...], Fraction]:
+        """A plain dict copy of the positive probabilities."""
+        return dict(self._probabilities)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}: {p}" for t, p in self.items())
+        return f"OCAResult({{{inner}}})"
+
+
+def cp_from_distribution(
+    distribution: RepairDistribution,
+    query: AnyQuery,
+    candidate: Tuple[Term, ...],
+) -> Fraction:
+    """``CP(t)`` given an already-computed repair distribution."""
+    denominator = distribution.success_probability
+    if denominator == 0:
+        return Fraction(0)
+    numerator = Fraction(0)
+    for repair, probability in distribution.items():
+        if query.holds(repair, tuple(candidate)):
+            numerator += probability
+    return numerator / denominator
+
+
+def oca_from_distribution(
+    distribution: RepairDistribution,
+    query: AnyQuery,
+    candidates: Optional[Iterable[Tuple[Term, ...]]] = None,
+) -> OCAResult:
+    """All positive-probability answers given a repair distribution.
+
+    Without *candidates*, the answer sets of the query on each repair are
+    unioned — that set provably contains every tuple with ``CP > 0``.
+    """
+    denominator = distribution.success_probability
+    accumulated: Dict[Tuple[Term, ...], Fraction] = {}
+    if denominator > 0:
+        if candidates is None:
+            for repair, probability in distribution.items():
+                for answer in query.answers(repair):
+                    accumulated[answer] = accumulated.get(answer, Fraction(0)) + probability
+        else:
+            for candidate in candidates:
+                candidate = tuple(candidate)
+                for repair, probability in distribution.items():
+                    if query.holds(repair, candidate):
+                        accumulated[candidate] = (
+                            accumulated.get(candidate, Fraction(0)) + probability
+                        )
+        accumulated = {t: p / denominator for t, p in accumulated.items()}
+    return OCAResult(
+        query,
+        accumulated,
+        success_probability=denominator,
+        failure_probability=distribution.failure_probability,
+    )
+
+
+def exact_cp(
+    database: Database,
+    generator: ChainGenerator,
+    query: AnyQuery,
+    candidate: Tuple[Term, ...],
+    max_states: Optional[int] = 200_000,
+) -> Fraction:
+    """Exact ``CP_{D, M_Sigma, Q}(t)`` by full chain exploration (OCQA)."""
+    distribution = repair_distribution(database, generator, max_states)
+    return cp_from_distribution(distribution, query, candidate)
+
+
+def exact_oca(
+    database: Database,
+    generator: ChainGenerator,
+    query: AnyQuery,
+    candidates: Optional[Iterable[Tuple[Term, ...]]] = None,
+    max_states: Optional[int] = 200_000,
+) -> OCAResult:
+    """Exact operational consistent answers ``OCA_{M_Sigma}(D, Q)``."""
+    distribution = repair_distribution(database, generator, max_states)
+    return oca_from_distribution(distribution, query, candidates)

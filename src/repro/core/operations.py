@@ -1,0 +1,84 @@
+"""Operations ``+F`` / ``-F`` (Definition 1).
+
+An operation adds or removes a set of facts; it acts uniformly on any
+database over the base ``B(D, Sigma)``.  Operations are value objects —
+two ``+F`` with the same fact set are the same operation — which is what
+makes repairing sequences comparable and the Markov chain well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Iterable
+
+from repro.db.facts import Database, Fact
+
+
+class OpKind(str, Enum):
+    """Whether the operation inserts or deletes facts."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """``+F`` (insert the fact set ``F``) or ``-F`` (delete it)."""
+
+    kind: OpKind
+    facts: FrozenSet[Fact]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.facts, frozenset):
+            object.__setattr__(self, "facts", frozenset(self.facts))
+        if not self.facts:
+            raise ValueError("operations must involve a non-empty set of facts")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def insert(facts: Iterable[Fact] | Fact) -> "Operation":
+        """Build ``+F``; accepts a single fact or an iterable of facts."""
+        if isinstance(facts, Fact):
+            facts = (facts,)
+        return Operation(OpKind.INSERT, frozenset(facts))
+
+    @staticmethod
+    def delete(facts: Iterable[Fact] | Fact) -> "Operation":
+        """Build ``-F``; accepts a single fact or an iterable of facts."""
+        if isinstance(facts, Fact):
+            facts = (facts,)
+        return Operation(OpKind.DELETE, frozenset(facts))
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    @property
+    def is_insert(self) -> bool:
+        """Whether this is a ``+F`` operation."""
+        return self.kind is OpKind.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        """Whether this is a ``-F`` operation."""
+        return self.kind is OpKind.DELETE
+
+    def apply(self, database: Database) -> Database:
+        """``op(D') = D' + F`` or ``D' - F``."""
+        if self.is_insert:
+            return database | self.facts
+        return database - self.facts
+
+    def __call__(self, database: Database) -> Database:
+        return self.apply(database)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(f) for f in sorted(self.facts, key=str))
+        if len(self.facts) == 1:
+            return f"{self.kind.value}{inner}"
+        return f"{self.kind.value}{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"Operation({self})"

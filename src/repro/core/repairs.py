@@ -1,0 +1,128 @@
+"""Operational repairs and the semantics ``[[D]]^{M_Sigma}`` (Definition 6).
+
+An operational repair is ``s(D)`` for a successful reachable absorbing
+sequence ``s``; its probability sums the hitting probabilities of all
+such sequences producing the same instance.  The pair set
+``{(D', P(D')) : P(D') > 0}`` is the paper's semantics of an inconsistent
+database.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+
+from repro.constraints.base import ConstraintSet
+from repro.core.chain import ChainGenerator, RepairingChain
+from repro.core.exact import ChainExploration, explore_chain
+from repro.db.facts import Database
+
+
+class RepairDistribution:
+    """The probability distribution over operational repairs.
+
+    ``failure_probability`` is the mass of failing sequences; repair
+    probabilities plus the failure probability always sum to 1.
+    """
+
+    def __init__(
+        self,
+        repairs: Mapping[Database, Fraction],
+        failure_probability: Fraction = Fraction(0),
+    ) -> None:
+        self._repairs: Dict[Database, Fraction] = {
+            db: Fraction(p) for db, p in repairs.items() if p > 0
+        }
+        self.failure_probability = Fraction(failure_probability)
+
+    # ------------------------------------------------------------------
+    # Queries on the distribution
+    # ------------------------------------------------------------------
+    def probability(self, database: Database) -> Fraction:
+        """``P_{D, M_Sigma}(D')`` — zero for non-repairs."""
+        return self._repairs.get(database, Fraction(0))
+
+    @property
+    def support(self) -> FrozenSet[Database]:
+        """All operational repairs (positive-probability instances)."""
+        return frozenset(self._repairs)
+
+    @property
+    def success_probability(self) -> Fraction:
+        """Total mass of successful sequences (the denominator of CP)."""
+        return sum(self._repairs.values(), Fraction(0))
+
+    def items(self) -> List[Tuple[Database, Fraction]]:
+        """Repair/probability pairs, most likely first (ties by rendering)."""
+        return sorted(
+            self._repairs.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )
+
+    def __iter__(self) -> Iterator[Tuple[Database, Fraction]]:
+        return iter(self.items())
+
+    def __len__(self) -> int:
+        return len(self._repairs)
+
+    def most_likely(self) -> Optional[Tuple[Database, Fraction]]:
+        """The highest-probability repair, or ``None`` if there is none."""
+        items = self.items()
+        return items[0] if items else None
+
+    def entropy(self) -> float:
+        """Shannon entropy (bits) of the repair distribution.
+
+        A natural *inconsistency measure* induced by the operational
+        semantics: 0 when one repair is certain, growing with both the
+        number of repairs and how evenly the chain spreads over them.
+        Computed over the distribution conditioned on success.
+        """
+        import math
+
+        total = self.success_probability
+        if total == 0:
+            return 0.0
+        entropy = 0.0
+        for _, probability in self._repairs.items():
+            p = float(probability / total)
+            entropy -= p * math.log2(p)
+        return entropy
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{db!r}: {p}" for db, p in self.items())
+        return (
+            f"RepairDistribution({{{parts}}}, "
+            f"failure={self.failure_probability})"
+        )
+
+
+def distribution_from_exploration(exploration: ChainExploration) -> RepairDistribution:
+    """Group an explored chain's successful leaves by their result."""
+    repairs: Dict[Database, Fraction] = {}
+    for leaf in exploration.successful_leaves:
+        repairs[leaf.result] = repairs.get(leaf.result, Fraction(0)) + leaf.probability
+    return RepairDistribution(repairs, exploration.failure_probability)
+
+
+def repair_distribution(
+    database: Database,
+    generator: ChainGenerator,
+    max_states: Optional[int] = 200_000,
+) -> RepairDistribution:
+    """Exact ``[[D]]^{M_Sigma}`` by full chain exploration.
+
+    Convenience wrapper: builds the chain, explores it, and groups the
+    leaves.  Exponential in the worst case (Theorem 5); see *max_states*.
+    """
+    chain = generator.chain(database)
+    exploration = explore_chain(chain, max_states=max_states)
+    return distribution_from_exploration(exploration)
+
+
+def operational_repairs(
+    database: Database,
+    generator: ChainGenerator,
+    max_states: Optional[int] = 200_000,
+) -> FrozenSet[Database]:
+    """Just the set of operational repairs of ``D`` w.r.t. ``M_Sigma``."""
+    return repair_distribution(database, generator, max_states).support

@@ -1,0 +1,215 @@
+"""Randomized approximation of OCQA (Section 5, Theorem 9).
+
+The ``Sample`` algorithm walks the repairing Markov chain from ``ε`` by
+drawing each step from the transition distribution until an absorbing
+state is reached, then reports whether the candidate tuple is in the
+query answer on the produced repair (Proposition 10: the walk terminates
+in polynomially many steps and returns 1 with probability exactly
+``CP(t)`` when the generator is non-failing).
+
+Averaging ``n = ln(2/delta) / (2 * eps^2)`` walks gives, by Hoeffding's
+inequality, an *additive* ``(eps, delta)`` guarantee:
+``Pr(|estimate - CP(t)| <= eps) >= 1 - delta``.
+
+No FPRAS exists for this problem unless RP = NP (Theorem 6), so the
+additive guarantee is the best efficiently attainable kind.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.hoeffding import sample_size
+from repro.core.chain import ChainGenerator, RepairingChain
+from repro.core.errors import FailingSequenceError
+from repro.core.oca import AnyQuery
+from repro.core.state import RepairState
+from repro.db.facts import Database
+from repro.db.terms import Term
+
+
+@dataclass
+class Walk:
+    """The outcome of one ``Sample`` walk."""
+
+    state: RepairState
+    successful: bool
+
+    @property
+    def result(self) -> Database:
+        """The database produced by the walk (a repair if successful)."""
+        return self.state.db
+
+    @property
+    def length(self) -> int:
+        """Number of operations applied."""
+        return self.state.depth
+
+
+def sample_walk(
+    chain: RepairingChain,
+    rng: Optional[random.Random] = None,
+) -> Walk:
+    """Run one random walk of the chain to an absorbing state.
+
+    This is the while-loop of the ``Sample`` algorithm; transition
+    probabilities come from the chain (hence the generator), and the walk
+    ends exactly at a complete sequence.
+    """
+    rng = rng or random.Random()
+    state = chain.initial_state()
+    while True:
+        transitions = chain.transitions(state)
+        if not transitions:
+            return Walk(state=state, successful=state.is_consistent)
+        threshold = rng.random()
+        cumulative = 0.0
+        chosen = transitions[-1][0]
+        for op, probability in transitions:
+            cumulative += float(probability)
+            if threshold < cumulative:
+                chosen = op
+                break
+        state = chain.step(state, chosen)
+
+
+def sample_once(
+    chain: RepairingChain,
+    query: AnyQuery,
+    candidate: Tuple[Term, ...],
+    rng: Optional[random.Random] = None,
+    allow_failing: bool = False,
+) -> Optional[int]:
+    """One Bernoulli sample of the event ``t in Q(repair)``.
+
+    Returns 1 or 0 for a successful walk.  A failing walk raises
+    :class:`FailingSequenceError` unless *allow_failing* is set, in which
+    case ``None`` is returned (callers implementing the conditional
+    estimate discard these samples).
+    """
+    walk = sample_walk(chain, rng)
+    if not walk.successful:
+        if allow_failing:
+            return None
+        raise FailingSequenceError(
+            f"the walk {walk.state.label()!r} is failing; Theorem 9 requires "
+            "a non-failing generator (Definition 8) — use allow_failing=True "
+            "for the heuristic conditional estimate"
+        )
+    return 1 if query.holds(walk.result, tuple(candidate)) else 0
+
+
+@dataclass
+class ApproximationResult:
+    """An additive-error estimate with its parameters and sample counts."""
+
+    estimate: float
+    epsilon: float
+    delta: float
+    samples: int
+    successes: int
+    failing_walks: int = 0
+
+    def __float__(self) -> float:
+        return self.estimate
+
+
+def approximate_cp(
+    database: Database,
+    generator: ChainGenerator,
+    query: AnyQuery,
+    candidate: Tuple[Term, ...],
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    rng: Optional[random.Random] = None,
+    allow_failing: bool = False,
+) -> ApproximationResult:
+    """Additive ``(epsilon, delta)`` approximation of ``CP(t)`` (Theorem 9).
+
+    Runs ``n = ln(2/delta) / (2 epsilon^2)`` independent ``Sample`` walks
+    and returns the fraction that answered 1.  With a non-failing
+    generator the estimate satisfies
+    ``Pr(|estimate - CP(t)| <= epsilon) >= 1 - delta``.
+
+    With *allow_failing*, failing walks are discarded and the estimate is
+    the conditional frequency among successful walks — a consistent (but
+    no longer Hoeffding-guaranteed) estimator of the conditional
+    probability; the paper leaves guarantees for the insertion+deletion
+    case open (Section 6).
+    """
+    rng = rng or random.Random()
+    n = sample_size(epsilon, delta)
+    chain = generator.chain(database)
+    successes = 0
+    valid = 0
+    failing = 0
+    for _ in range(n):
+        outcome = sample_once(chain, query, candidate, rng, allow_failing)
+        if outcome is None:
+            failing += 1
+            continue
+        valid += 1
+        successes += outcome
+    estimate = successes / valid if valid else 0.0
+    return ApproximationResult(
+        estimate=estimate,
+        epsilon=epsilon,
+        delta=delta,
+        samples=n,
+        successes=successes,
+        failing_walks=failing,
+    )
+
+
+def approximate_oca(
+    database: Database,
+    generator: ChainGenerator,
+    query: AnyQuery,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    rng: Optional[random.Random] = None,
+    allow_failing: bool = False,
+) -> Dict[Tuple[Term, ...], float]:
+    """Estimate ``CP`` for every tuple observed in any sampled repair.
+
+    One batch of walks serves all tuples simultaneously: for each walk,
+    every answer of ``Q`` on the produced repair is tallied.  Each
+    individual tuple's estimate carries the additive ``(epsilon, delta)``
+    guarantee; tuples never observed have true ``CP <= epsilon`` with
+    probability ``1 - delta``.
+    """
+    rng = rng or random.Random()
+    n = sample_size(epsilon, delta)
+    chain = generator.chain(database)
+    counts: Dict[Tuple[Term, ...], int] = {}
+    valid = 0
+    for _ in range(n):
+        walk = sample_walk(chain, rng)
+        if not walk.successful:
+            if allow_failing:
+                continue
+            raise FailingSequenceError(
+                f"the walk {walk.state.label()!r} is failing; Theorem 9 "
+                "requires a non-failing generator (Definition 8)"
+            )
+        valid += 1
+        for answer in query.answers(walk.result):
+            counts[answer] = counts.get(answer, 0) + 1
+    if not valid:
+        return {}
+    return {t: c / valid for t, c in counts.items()}
+
+
+def estimate_sequence_lengths(
+    database: Database,
+    generator: ChainGenerator,
+    walks: int = 50,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Lengths of sampled repairing sequences (Proposition 2 experiments)."""
+    rng = rng or random.Random()
+    chain = generator.chain(database)
+    return [sample_walk(chain, rng).length for _ in range(walks)]

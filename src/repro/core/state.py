@@ -1,0 +1,107 @@
+"""Repairing-sequence state (Definition 4).
+
+A :class:`RepairState` is one node of the repairing Markov chain: the
+sequence of operations applied so far, the current database, and the
+bookkeeping needed to enforce the sequence conditions incrementally:
+
+- ``banned`` — violations eliminated by some earlier step; req2 forbids
+  them from ever holding again;
+- ``added`` / ``deleted`` — fact sets for the *no cancellation* condition;
+- ``addition_records`` — for each earlier insertion, the database it was
+  applied to and the deletions performed since, so *global justification
+  of additions* can be re-checked when a new deletion arrives.
+
+States are immutable; :meth:`RepairState.child` produces the extended
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.core.operations import Operation
+from repro.core.violations import Violation
+from repro.db.facts import Database, Fact
+
+
+@dataclass(frozen=True)
+class AdditionRecord:
+    """Bookkeeping for one earlier insertion ``+F``.
+
+    ``db_before`` is the database the insertion was applied to
+    (``D^s_{i-1}``), and ``deletions_after`` accumulates the union ``H``
+    of all facts deleted by later operations.  Definition 4(3) requires
+    the insertion to remain justified on ``db_before - H``.
+    """
+
+    op: Operation
+    db_before: Database
+    deletions_after: FrozenSet[Fact] = frozenset()
+
+    def with_deletion(self, facts: FrozenSet[Fact]) -> "AdditionRecord":
+        """Record that *facts* were deleted after this insertion."""
+        return AdditionRecord(self.op, self.db_before, self.deletions_after | facts)
+
+
+@dataclass(frozen=True)
+class RepairState:
+    """A repairing sequence together with its derived data."""
+
+    db: Database
+    sequence: Tuple[Operation, ...] = ()
+    banned: FrozenSet[Violation] = frozenset()
+    current_violations: FrozenSet[Violation] = frozenset()
+    added: FrozenSet[Fact] = frozenset()
+    deleted: FrozenSet[Fact] = frozenset()
+    addition_records: Tuple[AdditionRecord, ...] = ()
+
+    @property
+    def depth(self) -> int:
+        """Length of the repairing sequence so far."""
+        return len(self.sequence)
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether the current database satisfies the constraints."""
+        return not self.current_violations
+
+    def child(
+        self,
+        op: Operation,
+        new_db: Database,
+        new_violations: FrozenSet[Violation],
+    ) -> "RepairState":
+        """The state reached by appending *op* (no validity checks here;
+        the engine validates before calling)."""
+        eliminated = self.current_violations - new_violations
+        if op.is_insert:
+            records = self.addition_records + (
+                AdditionRecord(op, self.db),
+            )
+            added = self.added | op.facts
+            deleted = self.deleted
+        else:
+            records = tuple(
+                record.with_deletion(op.facts) for record in self.addition_records
+            )
+            added = self.added
+            deleted = self.deleted | op.facts
+        return RepairState(
+            db=new_db,
+            sequence=self.sequence + (op,),
+            banned=self.banned | eliminated,
+            current_violations=new_violations,
+            added=added,
+            deleted=deleted,
+            addition_records=records,
+        )
+
+    def label(self) -> str:
+        """A compact human-readable label (used by the chain renderer)."""
+        if not self.sequence:
+            return "ε"
+        return ", ".join(str(op) for op in self.sequence)
+
+    def __str__(self) -> str:
+        return self.label()

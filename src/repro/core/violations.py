@@ -1,0 +1,109 @@
+"""Constraint violations ``V(D, Sigma)`` (Definition 2).
+
+A violation is a pair ``(kappa, h)`` of a constraint and a body
+homomorphism under which the constraint fails.  Violations are hashable,
+so the sets req2 reasons about ("eliminated violations must not
+reappear") are plain Python sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.db.facts import Database, Fact
+from repro.db.homomorphism import Assignment, freeze_assignment, thaw_assignment
+from repro.db.terms import Term, Var
+
+
+@dataclass(frozen=True)
+class Violation:
+    """``(kappa, h)``: constraint *constraint* is violated via *assignment*.
+
+    The assignment is stored in a canonical frozen form so violations are
+    hashable and comparable; :attr:`h` recovers the mapping.
+    """
+
+    constraint: Constraint
+    frozen_assignment: Tuple[Tuple[Var, Term], ...]
+
+    @staticmethod
+    def of(constraint: Constraint, assignment: Assignment) -> "Violation":
+        """Build a violation from a constraint and a live assignment."""
+        return Violation(constraint, freeze_assignment(assignment))
+
+    @property
+    def h(self) -> Assignment:
+        """The homomorphism as a dict."""
+        return thaw_assignment(self.frozen_assignment)
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        """The body image ``h(phi)`` — the facts jointly causing the violation."""
+        return self.constraint.body_image(self.h)
+
+    def holds_in(self, database: Database) -> bool:
+        """Whether this violation is present in *database*.
+
+        True iff the body image is contained in the database and the
+        constraint's head still fails there.  Used by req2 to test whether
+        an eliminated violation has been reintroduced.
+        """
+        if not all(fact in database for fact in self.facts):
+            return False
+        return not self.constraint.head_holds(self.h, database)
+
+    def __str__(self) -> str:
+        mapping = ", ".join(
+            f"{var.name} -> {value}" for var, value in self.frozen_assignment
+        )
+        return f"({self.constraint}, {{{mapping}}})"
+
+    def __repr__(self) -> str:
+        return f"Violation({self})"
+
+
+def violations_of(constraint: Constraint, database: Database) -> Iterator[Violation]:
+    """Yield ``V(D, kappa)`` for a single constraint."""
+    for assignment in constraint.violating_assignments(database):
+        yield Violation.of(constraint, assignment)
+
+
+def violations(database: Database, constraints: ConstraintSet) -> FrozenSet[Violation]:
+    """``V(D, Sigma)``: every violation of every constraint."""
+    out = set()
+    for constraint in constraints:
+        out.update(violations_of(constraint, database))
+    return frozenset(out)
+
+
+def violating_facts(
+    database: Database, constraints: ConstraintSet
+) -> FrozenSet[Fact]:
+    """All facts involved in at least one violation.
+
+    This is the paper's ``V_Sigma(D)`` from Example 4 (atoms involved in a
+    violation); it also drives the repair-localization optimization.
+    """
+    out: set = set()
+    for violation in violations(database, constraints):
+        out.update(violation.facts)
+    return frozenset(out)
+
+
+def conflict_pairs(
+    database: Database, constraints: ConstraintSet
+) -> FrozenSet[FrozenSet[Fact]]:
+    """The binary-conflict view ``V_Sigma(D)`` of Example 5.
+
+    Returns the set of fact sets (of any size) that jointly violate some
+    constraint; for key constraints these are exactly the conflicting
+    pairs ``{alpha, beta}``.
+    """
+    return frozenset(v.facts for v in violations(database, constraints))
+
+
+def is_consistent(database: Database, constraints: ConstraintSet) -> bool:
+    """``D |= Sigma`` — delegates to the constraint set."""
+    return constraints.is_satisfied(database)

@@ -1,0 +1,75 @@
+"""Well-behaved Markov chains (the Section 4 technical condition).
+
+Theorem 5's complexity analysis assumes *well-behaved* chains: the
+transition function is polynomial-time computable and all probabilities
+share a common denominator of polynomially many bits.  Every generator
+in this library satisfies the first condition by construction (weights
+are simple arithmetic over the state); this module makes the second
+condition checkable: it computes the least common denominator of all
+transition probabilities of a chain and reports its bit size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.chain import RepairingChain
+from repro.core.errors import ExplorationBudgetError
+
+
+@dataclass(frozen=True)
+class WellBehavedReport:
+    """Common-denominator statistics of a repairing Markov chain."""
+
+    denominator: int
+    bits: int
+    states_checked: int
+    transitions_checked: int
+
+    @property
+    def is_plausibly_polynomial(self) -> bool:
+        """A generous syntactic check: the denominator fits in a number of
+        bits polynomial (here: quadratic) in the number of states.
+
+        This cannot *prove* the asymptotic condition from one instance,
+        but a violation on small inputs is a strong red flag for a
+        hand-written generator.
+        """
+        budget = max(64, self.states_checked**2)
+        return self.bits <= budget
+
+
+def common_denominator(
+    chain: RepairingChain, max_states: Optional[int] = 50_000
+) -> WellBehavedReport:
+    """LCM of all transition-probability denominators of *chain*.
+
+    Explores the chain breadth-first (bounded by *max_states*) and folds
+    every transition probability's denominator into a running LCM.
+    Raises :class:`ExplorationBudgetError` when the chain is too large,
+    mirroring :func:`repro.core.exact.explore_chain`.
+    """
+    denominator = 1
+    states = 0
+    transitions = 0
+    frontier = [chain.initial_state()]
+    while frontier:
+        state = frontier.pop()
+        states += 1
+        if max_states is not None and states > max_states:
+            raise ExplorationBudgetError(
+                f"well-behavedness check exceeded {max_states} states"
+            )
+        for op, probability in chain.transitions(state):
+            transitions += 1
+            denominator = math.lcm(denominator, Fraction(probability).denominator)
+            frontier.append(chain.step(state, op))
+    return WellBehavedReport(
+        denominator=denominator,
+        bits=denominator.bit_length(),
+        states_checked=states,
+        transitions_checked=transitions,
+    )

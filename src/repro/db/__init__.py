@@ -1,0 +1,42 @@
+"""Relational substrate: terms, atoms, facts, schemas, databases, homomorphisms.
+
+This package implements the data model of Section 2 of the paper: databases
+are finite sets of facts over a relational schema, the active domain
+``dom(D)`` is the set of constants appearing in a database, and the base
+``B(D, Sigma)`` is the set of all facts formable from the constants of
+``D`` and a constraint set.  Constraint and query satisfaction are defined
+through homomorphisms, implemented in :mod:`repro.db.homomorphism`.
+"""
+
+from repro.db.terms import Var, Term, is_var, is_constant, term_str
+from repro.db.atoms import Atom
+from repro.db.facts import Fact, Database
+from repro.db.schema import Relation, Schema, SchemaError
+from repro.db.homomorphism import (
+    find_homomorphisms,
+    find_one_homomorphism,
+    has_homomorphism,
+    apply_assignment,
+)
+from repro.db.base import base_constants, base_size, enumerate_base
+
+__all__ = [
+    "Var",
+    "Term",
+    "is_var",
+    "is_constant",
+    "term_str",
+    "Atom",
+    "Fact",
+    "Database",
+    "Relation",
+    "Schema",
+    "SchemaError",
+    "find_homomorphisms",
+    "find_one_homomorphism",
+    "has_homomorphism",
+    "apply_assignment",
+    "base_constants",
+    "base_size",
+    "enumerate_base",
+]

@@ -1,0 +1,89 @@
+"""Relational atoms, possibly containing variables.
+
+An atom ``R(t1, ..., tn)`` pairs a relation name with a tuple of terms.
+A ground atom (no variables) can be converted to a :class:`repro.db.Fact`.
+Conjunctions of atoms (constraint bodies, CQ bodies) are represented as
+tuples of atoms and manipulated through the helpers here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from repro.db.terms import Term, Var, is_var, term_str
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``relation(terms...)`` over constants and variables."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("relation name must be non-empty")
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of term positions of the atom."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> frozenset:
+        """The set of variables occurring in the atom."""
+        return frozenset(t for t in self.terms if is_var(t))
+
+    @property
+    def constants(self) -> frozenset:
+        """The set of constants occurring in the atom."""
+        return frozenset(t for t in self.terms if not is_var(t))
+
+    def is_ground(self) -> bool:
+        """Return ``True`` iff the atom contains no variables."""
+        return not any(is_var(t) for t in self.terms)
+
+    def substitute(self, assignment: Mapping[Var, Term]) -> "Atom":
+        """Apply *assignment* to the atom's variables.
+
+        Variables missing from the assignment are left in place, so partial
+        substitutions are allowed.
+        """
+        return Atom(
+            self.relation,
+            tuple(assignment.get(t, t) if is_var(t) else t for t in self.terms),
+        )
+
+    def to_fact(self) -> "Fact":
+        """Convert a ground atom into a :class:`repro.db.Fact`.
+
+        Raises :class:`ValueError` if the atom still contains variables.
+        """
+        from repro.db.facts import Fact
+
+        if not self.is_ground():
+            raise ValueError(f"atom {self} is not ground")
+        return Fact(self.relation, self.terms)
+
+    def __str__(self) -> str:
+        inner = ", ".join(term_str(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> frozenset:
+    """All variables occurring in a collection of atoms."""
+    out: set = set()
+    for atom in atoms:
+        out.update(atom.variables)
+    return frozenset(out)
+
+
+def atoms_constants(atoms: Iterable[Atom]) -> frozenset:
+    """All constants occurring in a collection of atoms."""
+    out: set = set()
+    for atom in atoms:
+        out.update(atom.constants)
+    return frozenset(out)

@@ -1,0 +1,49 @@
+"""The base ``B(D, Sigma)`` of a database and constraint set.
+
+Definition 1 of the paper restricts operations to facts over the *base*:
+all facts ``R(c1, ..., cn)`` where ``R/n`` is a schema relation and each
+``ci`` occurs in ``dom(D)`` or in ``Sigma``.  The base is exponentially
+large in arity, so the library never materialises it except on demand
+(:func:`enumerate_base`, used only by the brute-force ABC baseline and in
+tests on tiny instances).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+from repro.db.terms import Term
+
+
+def base_constants(database: Database, constraints: Iterable = ()) -> FrozenSet[Term]:
+    """Constants allowed in base facts: ``dom(D)`` plus constants of Sigma.
+
+    *constraints* may be any iterable of objects exposing a ``constants``
+    attribute (as :class:`repro.constraints.Constraint` does); other
+    objects contribute nothing.
+    """
+    consts: set = set(database.dom)
+    for constraint in constraints:
+        consts.update(getattr(constraint, "constants", ()))
+    return frozenset(consts)
+
+
+def base_size(schema: Schema, constants: FrozenSet[Term]) -> int:
+    """Number of facts in the base ``B(D, Sigma)`` (without materialising it)."""
+    n = len(constants)
+    return sum(n**rel.arity for rel in schema)
+
+
+def enumerate_base(schema: Schema, constants: FrozenSet[Term]) -> Iterator[Fact]:
+    """Yield every fact of the base, in a deterministic order.
+
+    Only safe on small instances; the count is ``sum(|C|^arity)`` per
+    :func:`base_size`.
+    """
+    ordered = sorted(constants, key=lambda c: (type(c).__name__, str(c)))
+    for rel in schema:
+        for values in product(ordered, repeat=rel.arity):
+            yield Fact(rel.name, values)

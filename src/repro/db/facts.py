@@ -1,0 +1,184 @@
+"""Facts and databases.
+
+A :class:`Fact` is a ground atom ``R(c1, ..., cn)``.  A :class:`Database`
+is an immutable finite set of facts (Section 2 of the paper).  Databases
+are hashable and support set algebra, so they can be used directly as keys
+when grouping repairing sequences by their result (Definition 6 sums the
+probabilities of all absorbing sequences producing the same instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.db.terms import Term, is_var, term_str
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A ground atom ``relation(values...)``."""
+
+    relation: str
+    values: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if any(is_var(v) for v in self.values):
+            raise ValueError(f"facts must be ground, got variables in {self.values!r}")
+
+    @property
+    def arity(self) -> int:
+        """Number of attribute positions."""
+        return len(self.values)
+
+    def to_atom(self):
+        """View this fact as a (ground) :class:`repro.db.Atom`."""
+        from repro.db.atoms import Atom
+
+        return Atom(self.relation, self.values)
+
+    def __str__(self) -> str:
+        inner = ", ".join(term_str(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+
+class Database:
+    """An immutable set of facts with set algebra and cached indexes.
+
+    The class deliberately has *value semantics*: two databases with the
+    same facts are equal and hash alike.  All mutating operations return
+    new instances.
+    """
+
+    __slots__ = ("_facts", "__dict__")
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        frozen = frozenset(facts)
+        for f in frozen:
+            if not isinstance(f, Fact):
+                raise TypeError(f"Database holds Fact objects, got {type(f).__name__}")
+        self._facts = frozen
+
+    # ------------------------------------------------------------------
+    # Set protocol
+    # ------------------------------------------------------------------
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        """The underlying frozenset of facts."""
+        return self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.sorted_facts)
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __or__(self, other: "Database | AbstractSet[Fact]") -> "Database":
+        return Database(self._facts | _as_factset(other))
+
+    def __sub__(self, other: "Database | AbstractSet[Fact]") -> "Database":
+        return Database(self._facts - _as_factset(other))
+
+    def __and__(self, other: "Database | AbstractSet[Fact]") -> "Database":
+        return Database(self._facts & _as_factset(other))
+
+    def __le__(self, other: "Database | AbstractSet[Fact]") -> bool:
+        return self._facts <= _as_factset(other)
+
+    def __lt__(self, other: "Database | AbstractSet[Fact]") -> bool:
+        return self._facts < _as_factset(other)
+
+    def symmetric_difference(
+        self, other: "Database | AbstractSet[Fact]"
+    ) -> FrozenSet[Fact]:
+        """The paper's distance measure ``Delta(D, D')``."""
+        return self._facts ^ _as_factset(other)
+
+    # ------------------------------------------------------------------
+    # Cached derived data
+    # ------------------------------------------------------------------
+    @cached_property
+    def sorted_facts(self) -> Tuple[Fact, ...]:
+        """Facts in a deterministic (sorted) order."""
+        return tuple(sorted(self._facts, key=_fact_sort_key))
+
+    @cached_property
+    def dom(self) -> FrozenSet[Term]:
+        """The active domain ``dom(D)``: all constants in the database."""
+        out: set = set()
+        for fact in self._facts:
+            out.update(fact.values)
+        return frozenset(out)
+
+    @cached_property
+    def relations(self) -> FrozenSet[str]:
+        """Names of relations with at least one fact."""
+        return frozenset(f.relation for f in self._facts)
+
+    @cached_property
+    def by_relation(self) -> Dict[str, Tuple[Fact, ...]]:
+        """Facts grouped by relation name, each group sorted."""
+        groups: Dict[str, List[Fact]] = {}
+        for fact in self._facts:
+            groups.setdefault(fact.relation, []).append(fact)
+        return {
+            rel: tuple(sorted(fs, key=_fact_sort_key)) for rel, fs in groups.items()
+        }
+
+    def tuples(self, relation: str) -> Tuple[Tuple[Term, ...], ...]:
+        """The value tuples of *relation* (empty if the relation is absent)."""
+        return tuple(f.values for f in self.by_relation.get(relation, ()))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(*facts: Fact) -> "Database":
+        """Build a database from facts given positionally."""
+        return Database(facts)
+
+    @staticmethod
+    def from_tuples(data: Dict[str, Iterable[Tuple[Term, ...]]]) -> "Database":
+        """Build a database from ``{relation: [tuple, ...]}``."""
+        facts = [
+            Fact(rel, tuple(row)) for rel, rows in data.items() for row in rows
+        ]
+        return Database(facts)
+
+    def add(self, *facts: Fact) -> "Database":
+        """Return a new database with *facts* added."""
+        return Database(self._facts | set(facts))
+
+    def remove(self, *facts: Fact) -> "Database":
+        """Return a new database with *facts* removed (missing ones ignored)."""
+        return Database(self._facts - set(facts))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(f) for f in self.sorted_facts)
+        return f"Database({{{inner}}})"
+
+
+def _fact_sort_key(fact: Fact) -> Tuple:
+    return (fact.relation, tuple((type(v).__name__, str(v)) for v in fact.values))
+
+
+def _as_factset(other: "Database | AbstractSet[Fact]") -> FrozenSet[Fact]:
+    if isinstance(other, Database):
+        return other.facts
+    return frozenset(other)

@@ -1,0 +1,126 @@
+"""Homomorphism search.
+
+A homomorphism from a set of atoms ``A`` to a database ``D`` is a mapping
+``h`` from the terms of ``A`` to ``dom(D)`` that is the identity on
+constants and sends every atom of ``A`` to a fact of ``D`` (Section 2).
+Violation detection (Definition 2), TGD/EGD/DC satisfaction, and
+conjunctive-query evaluation all reduce to this search.
+
+The implementation is a backtracking join with a most-constrained-atom
+ordering: at each step the atom with the fewest unbound variables is
+matched next against the per-relation fact index of the database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db.atoms import Atom
+from repro.db.facts import Database, Fact
+from repro.db.terms import Term, Var, is_var
+
+#: An assignment of variables to constants.
+Assignment = Dict[Var, Term]
+
+
+def apply_assignment(atoms: Sequence[Atom], assignment: Mapping[Var, Term]) -> Tuple[Atom, ...]:
+    """Apply *assignment* to every atom in *atoms*."""
+    return tuple(atom.substitute(assignment) for atom in atoms)
+
+
+def _match_atom(
+    atom: Atom, fact: Fact, assignment: Assignment
+) -> Optional[Assignment]:
+    """Try to extend *assignment* so that *atom* maps onto *fact*.
+
+    Returns the extended assignment, or ``None`` if the match fails.  The
+    input assignment is never mutated.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    extension: Assignment = {}
+    for term, value in zip(atom.terms, fact.values):
+        if is_var(term):
+            bound = assignment.get(term, extension.get(term))
+            if bound is None:
+                extension[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    if not extension:
+        return dict(assignment)
+    merged = dict(assignment)
+    merged.update(extension)
+    return merged
+
+
+def _unbound_count(atom: Atom, assignment: Assignment) -> int:
+    return sum(1 for t in atom.terms if is_var(t) and t not in assignment)
+
+
+def find_homomorphisms(
+    atoms: Sequence[Atom],
+    database: Database,
+    partial: Optional[Mapping[Var, Term]] = None,
+) -> Iterator[Assignment]:
+    """Yield every homomorphism from *atoms* into *database*.
+
+    *partial* optionally pre-binds some variables (used to check TGD heads
+    for a fixed body homomorphism).  Each yielded assignment binds every
+    variable occurring in *atoms* plus the pre-bound ones.
+
+    The iterator is lazy: callers that only need existence should use
+    :func:`has_homomorphism`, which stops at the first match.
+    """
+    remaining: List[Atom] = list(atoms)
+    base: Assignment = dict(partial) if partial else {}
+    yield from _search(remaining, database, base)
+
+
+def _search(
+    remaining: List[Atom], database: Database, assignment: Assignment
+) -> Iterator[Assignment]:
+    if not remaining:
+        yield dict(assignment)
+        return
+    # Most-constrained atom first: fewest unbound variables.
+    index = min(
+        range(len(remaining)), key=lambda i: _unbound_count(remaining[i], assignment)
+    )
+    atom = remaining[index]
+    rest = remaining[:index] + remaining[index + 1 :]
+    for fact in database.by_relation.get(atom.relation, ()):
+        extended = _match_atom(atom, fact, assignment)
+        if extended is not None:
+            yield from _search(rest, database, extended)
+
+
+def find_one_homomorphism(
+    atoms: Sequence[Atom],
+    database: Database,
+    partial: Optional[Mapping[Var, Term]] = None,
+) -> Optional[Assignment]:
+    """The first homomorphism from *atoms* into *database*, or ``None``."""
+    for assignment in find_homomorphisms(atoms, database, partial):
+        return assignment
+    return None
+
+
+def has_homomorphism(
+    atoms: Sequence[Atom],
+    database: Database,
+    partial: Optional[Mapping[Var, Term]] = None,
+) -> bool:
+    """Whether some homomorphism from *atoms* into *database* exists."""
+    return find_one_homomorphism(atoms, database, partial) is not None
+
+
+def freeze_assignment(assignment: Mapping[Var, Term]) -> Tuple[Tuple[Var, Term], ...]:
+    """A canonical, hashable form of an assignment (sorted by variable)."""
+    return tuple(sorted(assignment.items(), key=lambda kv: kv[0].name))
+
+
+def thaw_assignment(frozen: Iterable[Tuple[Var, Term]]) -> Assignment:
+    """Inverse of :func:`freeze_assignment`."""
+    return dict(frozen)

@@ -1,0 +1,145 @@
+"""Relational schemas.
+
+A schema is a finite set of relation symbols with fixed arities (written
+``R/n`` in the paper).  Schemas validate databases, atoms, and constraints,
+and supply attribute names for the SQL backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.db.atoms import Atom
+from repro.db.facts import Database, Fact
+
+
+class SchemaError(ValueError):
+    """Raised when an atom, fact, or database does not fit a schema."""
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation symbol ``name/arity`` with optional attribute names."""
+
+    name: str
+    arity: int
+    attributes: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.arity <= 0:
+            raise SchemaError(f"relation {self.name} must have positive arity")
+        if not self.attributes:
+            object.__setattr__(
+                self, "attributes", tuple(f"a{i}" for i in range(self.arity))
+            )
+        if len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"relation {self.name}: {len(self.attributes)} attribute names "
+                f"for arity {self.arity}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """A finite collection of :class:`Relation` symbols."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: Dict[str, Relation] = {}
+        for rel in relations:
+            self._add(rel)
+
+    def _add(self, rel: Relation) -> None:
+        existing = self._relations.get(rel.name)
+        if existing is not None and existing.arity != rel.arity:
+            raise SchemaError(
+                f"conflicting arities for {rel.name}: "
+                f"{existing.arity} vs {rel.arity}"
+            )
+        self._relations[rel.name] = rel
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(**arities: int) -> "Schema":
+        """``Schema.of(R=2, S=3)`` builds a schema with ``R/2`` and ``S/3``."""
+        return Schema(Relation(name, arity) for name, arity in arities.items())
+
+    @staticmethod
+    def infer(database: Database, *extra_atoms: Atom) -> "Schema":
+        """Infer a schema from the relations used by a database and atoms."""
+        schema = Schema()
+        for fact in database.facts:
+            schema._add(Relation(fact.relation, fact.arity))
+        for atom in extra_atoms:
+            schema._add(Relation(atom.relation, atom.arity))
+        return schema
+
+    def extend(self, other: "Schema") -> "Schema":
+        """Union of two schemas; arities must agree on shared names."""
+        merged = Schema(self.relations)
+        for rel in other.relations:
+            merged._add(rel)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lookup / validation
+    # ------------------------------------------------------------------
+    @property
+    def relations(self) -> Tuple[Relation, ...]:
+        """All relation symbols, sorted by name."""
+        return tuple(self._relations[name] for name in sorted(self._relations))
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def get(self, name: str) -> Optional[Relation]:
+        """The relation called *name*, or ``None``."""
+        return self._relations.get(name)
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def arity(self, name: str) -> int:
+        """Arity of relation *name* (raises :class:`SchemaError` if absent)."""
+        return self[name].arity
+
+    def validate_fact(self, fact: Fact) -> None:
+        """Check a fact against the schema."""
+        rel = self.get(fact.relation)
+        if rel is None:
+            raise SchemaError(f"fact {fact} uses unknown relation {fact.relation!r}")
+        if rel.arity != fact.arity:
+            raise SchemaError(
+                f"fact {fact} has arity {fact.arity}, schema says {rel.arity}"
+            )
+
+    def validate_database(self, database: Database) -> None:
+        """Check every fact of a database against the schema."""
+        for fact in database.facts:
+            self.validate_fact(fact)
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Check an atom (possibly with variables) against the schema."""
+        rel = self.get(atom.relation)
+        if rel is None:
+            raise SchemaError(f"atom {atom} uses unknown relation {atom.relation!r}")
+        if rel.arity != atom.arity:
+            raise SchemaError(
+                f"atom {atom} has arity {atom.arity}, schema says {rel.arity}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(str(r) for r in self.relations)})"

@@ -1,0 +1,129 @@
+"""Inconsistency diagnosis: a human-readable report on ``V(D, Sigma)``.
+
+Before repairing, users typically want to *understand* the inconsistency:
+which constraints fail, how often, which facts are implicated, how the
+conflicts cluster, and how expensive exact repairing would be.  This
+module assembles that report from the core machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.core.localization import LocalizationError, conflict_components
+from repro.core.violations import violations
+from repro.db.facts import Database, Fact
+
+
+@dataclass
+class ConstraintDiagnosis:
+    """Violation statistics for one constraint."""
+
+    constraint: Constraint
+    violation_count: int
+    involved_facts: FrozenSet[Fact]
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether this constraint holds on the database."""
+        return self.violation_count == 0
+
+
+@dataclass
+class InconsistencyReport:
+    """The full diagnosis of a database against a constraint set."""
+
+    database_size: int
+    per_constraint: List[ConstraintDiagnosis]
+    violating_facts: FrozenSet[Fact]
+    components: Optional[Tuple[FrozenSet[Fact], ...]]
+
+    @property
+    def is_consistent(self) -> bool:
+        """``D |= Sigma``."""
+        return all(d.satisfied for d in self.per_constraint)
+
+    @property
+    def total_violations(self) -> int:
+        """Number of violations across all constraints."""
+        return sum(d.violation_count for d in self.per_constraint)
+
+    @property
+    def clean_fraction(self) -> float:
+        """Fraction of facts not involved in any violation."""
+        if self.database_size == 0:
+            return 1.0
+        return 1.0 - len(self.violating_facts) / self.database_size
+
+    @property
+    def largest_component(self) -> int:
+        """Size of the biggest conflict component (0 when consistent or
+        components are unavailable due to TGDs)."""
+        if not self.components:
+            return 0
+        return max(len(c) for c in self.components)
+
+    def format(self) -> str:
+        """Render the report as plain text."""
+        lines = [
+            f"database: {self.database_size} facts",
+            f"status:   {'CONSISTENT' if self.is_consistent else 'INCONSISTENT'}",
+        ]
+        for diagnosis in self.per_constraint:
+            mark = "ok " if diagnosis.satisfied else "VIOLATED"
+            lines.append(
+                f"  [{mark}] {diagnosis.constraint}  "
+                f"({diagnosis.violation_count} violation(s), "
+                f"{len(diagnosis.involved_facts)} fact(s))"
+            )
+        if not self.is_consistent:
+            lines.append(
+                f"violating facts: {len(self.violating_facts)} "
+                f"({100 * (1 - self.clean_fraction):.1f}% of the database)"
+            )
+            if self.components is not None:
+                sizes = sorted((len(c) for c in self.components), reverse=True)
+                lines.append(
+                    f"conflict components: {len(self.components)} "
+                    f"(sizes {sizes}) — exact repairing is exponential only "
+                    f"in the largest ({self.largest_component})"
+                )
+            else:
+                lines.append(
+                    "conflict components: unavailable (TGDs present; "
+                    "insertions may couple distant parts of the database)"
+                )
+        return "\n".join(lines)
+
+
+def diagnose(database: Database, constraints: ConstraintSet) -> InconsistencyReport:
+    """Build an :class:`InconsistencyReport` for ``(D, Sigma)``."""
+    per_constraint: List[ConstraintDiagnosis] = []
+    all_involved: set = set()
+    for constraint in constraints:
+        found = [v for v in violations(database, ConstraintSet([constraint]))]
+        involved: set = set()
+        for violation in found:
+            involved.update(violation.facts)
+        all_involved.update(involved)
+        per_constraint.append(
+            ConstraintDiagnosis(
+                constraint=constraint,
+                violation_count=len(found),
+                involved_facts=frozenset(involved),
+            )
+        )
+    try:
+        components: Optional[Tuple[FrozenSet[Fact], ...]] = conflict_components(
+            database, constraints
+        )
+    except LocalizationError:
+        components = None
+    return InconsistencyReport(
+        database_size=len(database),
+        per_constraint=per_constraint,
+        violating_facts=frozenset(all_involved),
+        components=components,
+    )

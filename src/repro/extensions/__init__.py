@@ -1,0 +1,57 @@
+"""Extensions beyond the paper's core: the Section 6 research agenda.
+
+Implemented items:
+
+- :mod:`repro.extensions.aggregates` — scalar aggregates (COUNT/SUM/
+  MIN/MAX/AVG) with the classical range semantics of Arenas et al. as
+  the baseline and full operational value distributions on top
+  ("More Expressive Languages" in Section 6);
+- :mod:`repro.extensions.nulls` — marked nulls as TGD witnesses
+  ("Null Values" in Section 6): one chase-style insertion per violation
+  instead of enumerating all base-constant witnesses;
+- :mod:`repro.extensions.equal_repairs` — the Greco-Molinaro style
+  semantics where every *repair* (not every repairing sequence) is
+  equally likely ("Equally Likely Repairs" in Section 6);
+- :mod:`repro.extensions.preferences` — preference-driven generators
+  that restrict each step to the most-preferred justified operations
+  ("Preferences" in Section 6).
+
+Repair localization ("Optimizations") lives in
+:mod:`repro.core.localization` since it accelerates the core semantics
+rather than changing it.
+"""
+
+from repro.extensions.aggregates import (
+    AggregateDistribution,
+    AggregateOp,
+    AggregateQuery,
+    aggregate_distribution,
+    aggregate_range,
+    approximate_aggregate,
+)
+from repro.extensions.nulls import Null, NullWitnessEngine, NullWitnessGenerator
+from repro.extensions.equal_repairs import equal_repair_distribution, equal_repair_oca
+from repro.extensions.preferences import (
+    OperationPreference,
+    PreferredOperationsGenerator,
+    prefer_deletions_over_insertions,
+    prefer_fewer_changes,
+)
+
+__all__ = [
+    "AggregateDistribution",
+    "AggregateOp",
+    "AggregateQuery",
+    "aggregate_distribution",
+    "aggregate_range",
+    "approximate_aggregate",
+    "Null",
+    "NullWitnessEngine",
+    "NullWitnessGenerator",
+    "equal_repair_distribution",
+    "equal_repair_oca",
+    "OperationPreference",
+    "PreferredOperationsGenerator",
+    "prefer_deletions_over_insertions",
+    "prefer_fewer_changes",
+]

@@ -1,0 +1,278 @@
+"""Aggregate queries over inconsistent databases (Section 6,
+"More Expressive Languages").
+
+The paper's future-work list asks for languages "with aggregates [2]".
+Reference [2] (Arenas et al., *Scalar aggregation in inconsistent
+databases*) answers an aggregate query with a *range*: the greatest
+lower and least upper bound of its value across all repairs.  The
+operational framework refines that all-or-nothing range into a full
+probability distribution over aggregate values — this module implements
+both, so they can be compared:
+
+- :func:`aggregate_range` — the classical range semantics over ABC
+  repairs (the baseline);
+- :func:`aggregate_distribution` — the exact distribution of the
+  aggregate value over operational repairs, with expectations;
+- :func:`approximate_aggregate` — the Theorem 9-style sampled estimate
+  of the expected aggregate value (the estimator averages a bounded
+  aggregate over sampled repairs, inheriting Hoeffding's additive
+  guarantee scaled by the value range).
+
+Aggregates are evaluated over the *set* of answer tuples of a
+conjunctive query (set semantics, consistent with the rest of the
+library), optionally grouped by a prefix of the head.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.abc_repairs import abc_repairs
+from repro.analysis.hoeffding import sample_size
+from repro.constraints.base import ConstraintSet
+from repro.core.chain import ChainGenerator
+from repro.core.repairs import RepairDistribution, repair_distribution
+from repro.core.sampling import sample_walk
+from repro.db.facts import Database
+from repro.db.terms import Term
+from repro.queries.cq import ConjunctiveQuery
+
+#: Group keys are tuples of head-prefix values; the global group is ().
+GroupKey = Tuple[Term, ...]
+Number = Union[int, float, Fraction]
+
+
+class AggregateOp(str, Enum):
+    """The scalar aggregate functions of [2]."""
+
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``op(value position) over cq grouped by a head prefix``.
+
+    ``group_width`` leading head positions form the group key; the
+    ``value_position`` (a head index) supplies the aggregated number for
+    SUM/MIN/MAX/AVG.  COUNT counts distinct answer tuples per group and
+    needs no value position.
+    """
+
+    op: AggregateOp
+    cq: ConjunctiveQuery
+    group_width: int = 0
+    value_position: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.group_width <= self.cq.arity:
+            raise ValueError(
+                f"group width {self.group_width} out of range for head arity "
+                f"{self.cq.arity}"
+            )
+        if self.op is not AggregateOp.COUNT:
+            if self.value_position is None:
+                raise ValueError(f"{self.op.value} needs a value_position")
+            if not 0 <= self.value_position < self.cq.arity:
+                raise ValueError("value_position out of range")
+
+    def evaluate(self, database: Database) -> Dict[GroupKey, Number]:
+        """Per-group aggregate values on one (consistent) database.
+
+        Groups with no answer rows are absent from the result; COUNT of
+        an absent group is 0 only at the global level (``group_width ==
+        0`` always yields an entry).
+        """
+        rows = self.cq.answers(database)
+        groups: Dict[GroupKey, List[Tuple[Term, ...]]] = {}
+        for row in rows:
+            groups.setdefault(tuple(row[: self.group_width]), []).append(row)
+        out: Dict[GroupKey, Number] = {}
+        for key, members in groups.items():
+            out[key] = self._fold(members)
+        if self.group_width == 0 and not out and self.op is AggregateOp.COUNT:
+            out[()] = 0
+        return out
+
+    def _fold(self, rows: List[Tuple[Term, ...]]) -> Number:
+        if self.op is AggregateOp.COUNT:
+            return len(rows)
+        assert self.value_position is not None
+        values = [_as_number(row[self.value_position]) for row in rows]
+        if self.op is AggregateOp.SUM:
+            return sum(values)
+        if self.op is AggregateOp.MIN:
+            return min(values)
+        if self.op is AggregateOp.MAX:
+            return max(values)
+        total = sum(values)
+        return Fraction(total, len(values)) if isinstance(total, int) else total / len(values)
+
+
+def _as_number(value: Term) -> Number:
+    if isinstance(value, bool) or not isinstance(value, (int, float, Fraction)):
+        try:
+            return int(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"aggregated value {value!r} is not numeric; store numbers "
+                "or numeric strings in the aggregated position"
+            ) from None
+    return value
+
+
+# ----------------------------------------------------------------------
+# Classical baseline: range semantics over ABC repairs
+# ----------------------------------------------------------------------
+def aggregate_range(
+    database: Database,
+    constraints: ConstraintSet,
+    query: AggregateQuery,
+    max_base: int = 16,
+    repairs: str = "abc",
+) -> Dict[GroupKey, Tuple[Number, Number]]:
+    """[glb, lub] of the aggregate across all classical repairs (per group).
+
+    *repairs* selects the repair notion: ``"abc"`` (symmetric-difference
+    minimal, exponential in the base when TGDs are present) or
+    ``"subset"`` (deletion-only maximal consistent subsets — the notion
+    of Chomicki & Marcinkowski, feasible for any constraint class).
+    Groups missing from some repair contribute nothing to that repair;
+    a group absent from *every* repair does not appear at all.
+    """
+    from repro.abc_repairs import subset_repairs
+
+    if repairs == "abc":
+        repair_set = abc_repairs(database, constraints, max_base=max_base)
+    elif repairs == "subset":
+        repair_set = subset_repairs(database, constraints)
+    else:
+        raise ValueError(f"unknown repair notion {repairs!r}")
+    ranges: Dict[GroupKey, Tuple[Number, Number]] = {}
+    for repair in repair_set:
+        for key, value in query.evaluate(repair).items():
+            if key in ranges:
+                low, high = ranges[key]
+                ranges[key] = (min(low, value), max(high, value))
+            else:
+                ranges[key] = (value, value)
+    return ranges
+
+
+# ----------------------------------------------------------------------
+# Operational semantics: a full distribution per group
+# ----------------------------------------------------------------------
+@dataclass
+class AggregateDistribution:
+    """Per-group distribution of aggregate values over operational repairs.
+
+    ``support[key][value]`` is the probability (conditioned on a repair
+    being produced) that the group exists and the aggregate equals
+    ``value``; ``missing[key]`` is the probability that the group has no
+    rows at all.
+    """
+
+    query: AggregateQuery
+    support: Dict[GroupKey, Dict[Number, Fraction]]
+    missing: Dict[GroupKey, Fraction]
+
+    def groups(self) -> Tuple[GroupKey, ...]:
+        """All group keys with positive existence probability."""
+        return tuple(sorted(self.support, key=repr))
+
+    def probability(self, key: GroupKey, value: Number) -> Fraction:
+        """P(aggregate of *key* equals *value*)."""
+        return self.support.get(tuple(key), {}).get(value, Fraction(0))
+
+    def expectation(self, key: GroupKey = ()) -> Optional[Fraction]:
+        """Expected aggregate value of *key*, conditioned on existence.
+
+        ``None`` when the group never exists.
+        """
+        distribution = self.support.get(tuple(key))
+        if not distribution:
+            return None
+        mass = sum(distribution.values(), Fraction(0))
+        weighted = sum(
+            (Fraction(value) * p for value, p in distribution.items()), Fraction(0)
+        )
+        return weighted / mass
+
+    def bounds(self, key: GroupKey = ()) -> Optional[Tuple[Number, Number]]:
+        """The operational counterpart of the classical [glb, lub] range."""
+        distribution = self.support.get(tuple(key))
+        if not distribution:
+            return None
+        return min(distribution), max(distribution)
+
+
+def aggregate_distribution(
+    database: Database,
+    generator: ChainGenerator,
+    query: AggregateQuery,
+    max_states: Optional[int] = 200_000,
+) -> AggregateDistribution:
+    """Exact per-group aggregate-value distribution over ``[[D]]^{M}``."""
+    repairs = repair_distribution(database, generator, max_states)
+    denominator = repairs.success_probability
+    support: Dict[GroupKey, Dict[Number, Fraction]] = {}
+    present_mass: Dict[GroupKey, Fraction] = {}
+    for repair, probability in repairs.items():
+        for key, value in query.evaluate(repair).items():
+            bucket = support.setdefault(key, {})
+            bucket[value] = bucket.get(value, Fraction(0)) + probability
+            present_mass[key] = present_mass.get(key, Fraction(0)) + probability
+    if denominator > 0:
+        for bucket in support.values():
+            for value in bucket:
+                bucket[value] /= denominator
+    missing = {
+        key: Fraction(1) - (mass / denominator if denominator else Fraction(0))
+        for key, mass in present_mass.items()
+    }
+    return AggregateDistribution(query=query, support=support, missing=missing)
+
+
+def approximate_aggregate(
+    database: Database,
+    generator: ChainGenerator,
+    query: AggregateQuery,
+    key: GroupKey = (),
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    rng: Optional[random.Random] = None,
+    value_bound: float = 1.0,
+) -> Optional[float]:
+    """Sampled estimate of the expected aggregate value of *key*.
+
+    Walks ``n = ln(2/delta) / (2 eps^2)`` repairs (Theorem 9's recipe)
+    and averages the group's aggregate over walks where it exists.
+    Hoeffding's bound applies to values in ``[0, value_bound]``, giving
+    ``|estimate - E| <= epsilon * value_bound`` with probability
+    ``1 - delta``; pass the natural bound of your aggregate (e.g. the
+    group's maximal possible COUNT).  Returns ``None`` if the group
+    never appeared.
+    """
+    rng = rng or random.Random()
+    chain = generator.chain(database)
+    key = tuple(key)
+    total = 0.0
+    appearances = 0
+    for _ in range(sample_size(epsilon, delta)):
+        walk = sample_walk(chain, rng)
+        if not walk.successful:
+            continue
+        values = query.evaluate(walk.result)
+        if key in values:
+            appearances += 1
+            total += float(values[key])
+    if not appearances:
+        return None
+    return total / appearances

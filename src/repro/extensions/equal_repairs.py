@@ -1,0 +1,59 @@
+"""Equally likely repairs (Section 6, "Equally Likely Repairs").
+
+The paper points at Greco & Molinaro's idea of measuring certainty by
+the *proportion of repairs* containing a tuple — every repair (not every
+repairing sequence) counts once.  This module flattens an operational
+repair distribution to the uniform distribution over its support and
+answers queries under it, so the two semantics can be compared on any
+workload.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Tuple
+
+from repro.core.chain import ChainGenerator
+from repro.core.oca import AnyQuery, OCAResult, oca_from_distribution
+from repro.core.repairs import RepairDistribution, repair_distribution
+from repro.db.facts import Database
+from repro.db.terms import Term
+
+
+def flatten_to_uniform(distribution: RepairDistribution) -> RepairDistribution:
+    """The uniform distribution over a distribution's support.
+
+    The failure mass is discarded: this semantics only looks at which
+    repairs exist, not how likely the chain is to reach them.
+    """
+    support = sorted(distribution.support, key=repr)
+    if not support:
+        return RepairDistribution({})
+    share = Fraction(1, len(support))
+    return RepairDistribution({repair: share for repair in support})
+
+
+def equal_repair_distribution(
+    database: Database,
+    generator: ChainGenerator,
+    max_states: Optional[int] = 200_000,
+) -> RepairDistribution:
+    """Each operational repair of ``D`` w.r.t. ``M_Sigma``, equally likely."""
+    return flatten_to_uniform(repair_distribution(database, generator, max_states))
+
+
+def equal_repair_oca(
+    database: Database,
+    generator: ChainGenerator,
+    query: AnyQuery,
+    candidates: Optional[Iterable[Tuple[Term, ...]]] = None,
+    max_states: Optional[int] = 200_000,
+) -> OCAResult:
+    """OCA under the equally-likely-repairs semantics.
+
+    ``CP(t)`` becomes the fraction of operational repairs in which ``t``
+    is an answer — the measure of certainty of [Greco & Molinaro 2012]
+    applied to the operational repair space.
+    """
+    flat = equal_repair_distribution(database, generator, max_states)
+    return oca_from_distribution(flat, query, candidates)

@@ -1,0 +1,122 @@
+"""Marked nulls as TGD witnesses (Section 6, "Null Values").
+
+The core engine instantiates a violated TGD's existential variables with
+every base constant — faithful to Definition 1 but exponentially
+branching.  The classical alternative (and the paper's suggested
+extension) is the chase convention: instantiate existentials with *fresh
+marked nulls*, giving exactly one canonical insertion per violation.
+
+:class:`NullWitnessEngine` swaps the insertion candidates accordingly;
+:class:`NullWitnessGenerator` wraps any generator so its chains use that
+engine.  Nulls are ordinary constants to the rest of the stack (naive
+evaluation), rendered as ``_:n0, _:n1, ...``.
+
+Nulls are numbered deterministically per state (by the violation's
+canonical order), so the chain remains a well-defined tree with value-
+semantics states.  One consequence: repairs that differ only in null
+*names* (isomorphic instances reached through different operation
+orders) count as distinct databases in the repair distribution, exactly
+as marked nulls behave in the chase literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Set, Tuple
+
+from repro.core.chain import ChainGenerator, Weight
+from repro.core.engine import RepairEngine
+from repro.core.justified import justified_deletions_for
+from repro.core.operations import Operation
+from repro.core.state import RepairState
+from repro.constraints.tgd import TGD
+from repro.db.facts import Database
+from repro.db.terms import Term
+
+
+@dataclass(frozen=True, order=True)
+class Null:
+    """A marked (labelled) null ``_:n<index>``.
+
+    Value semantics: two nulls with the same index are the same null.
+    Nulls compare/hash like any other constant, so the rest of the
+    library (facts, homomorphisms, SQL loading via ``str``) treats them
+    uniformly.
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"_:n{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Null({self.index})"
+
+
+def _next_null_index(database: Database) -> int:
+    """Smallest null index not used anywhere in *database*."""
+    highest = -1
+    for value in database.dom:
+        if isinstance(value, Null):
+            highest = max(highest, value.index)
+    return highest + 1
+
+
+class NullWitnessEngine(RepairEngine):
+    """A repairing engine whose TGD insertions use fresh nulls.
+
+    Deletion candidates are unchanged (Definition 3); each TGD violation
+    contributes exactly one insertion: the head image under the
+    extension mapping existential variables to fresh, deterministically
+    numbered nulls.
+    """
+
+    def _candidate_operations(self, state: RepairState) -> FrozenSet[Operation]:
+        ops: Set[Operation] = set()
+        next_index = _next_null_index(state.db)
+        for violation in sorted(state.current_violations, key=str):
+            ops.update(justified_deletions_for(violation))
+            constraint = violation.constraint
+            if not isinstance(constraint, TGD):
+                continue
+            existentials = sorted(
+                constraint.existential_variables, key=lambda v: v.name
+            )
+            extension = {
+                var: value
+                for var, value in violation.h.items()
+                if var in constraint.frontier_variables
+            }
+            for offset, var in enumerate(existentials):
+                extension[var] = Null(next_index + offset)
+            facts = frozenset(
+                atom.substitute(extension).to_fact() for atom in constraint.head
+            ) - state.db.facts
+            if facts:
+                ops.add(Operation.insert(facts))
+            next_index += len(existentials)
+        return frozenset(ops)
+
+
+class NullWitnessGenerator(ChainGenerator):
+    """Wrap a generator so its chains use :class:`NullWitnessEngine`.
+
+    The wrapped generator's :meth:`weights` is consulted unchanged; only
+    the candidate space differs.
+    """
+
+    def __init__(self, inner: ChainGenerator) -> None:
+        super().__init__(inner.constraints)
+        self.inner = inner
+
+    def make_engine(self, database: Database) -> RepairEngine:
+        return NullWitnessEngine(database, self.constraints)
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        return self.inner.weights(state, extensions)
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        return self.inner.supports_only_deletions

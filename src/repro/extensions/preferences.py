@@ -1,0 +1,74 @@
+"""Preference-driven generators (Section 6, "Preferences").
+
+A milder alternative to numeric probabilities: a *preference* partially
+orders the justified operations, and each step draws uniformly from the
+maximally preferred valid extensions — in the spirit of prioritized
+repairing (Staworko, Chomicki & Marcinkowski).
+
+A preference is any callable scoring ``(state, operation) -> key``;
+lower keys are more preferred (like ``sorted``).  Two stock preferences
+cover the common cases: prefer deletions over insertions, and prefer
+operations touching fewer facts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, Tuple, Union
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.core.chain import ChainGenerator, Weight
+from repro.core.operations import Operation
+from repro.core.state import RepairState
+
+#: Scores operations; smaller means more preferred.
+OperationPreference = Callable[[RepairState, Operation], object]
+
+
+def prefer_deletions_over_insertions(state: RepairState, op: Operation) -> object:
+    """Trust removal over invention: all deletions beat all insertions."""
+    return (0 if op.is_delete else 1,)
+
+
+def prefer_fewer_changes(state: RepairState, op: Operation) -> object:
+    """Minimal-change flavour: operations touching fewer facts win."""
+    return (len(op.facts),)
+
+
+class PreferredOperationsGenerator(ChainGenerator):
+    """Uniform over the *most preferred* valid extensions of each state.
+
+    Ties under the preference stay equally likely; strictly dominated
+    operations get probability zero (they are pruned from the chain).
+    Composes preferences lexicographically when given several.
+    """
+
+    def __init__(
+        self,
+        constraints: Union[ConstraintSet, Sequence[Constraint]],
+        preferences: Sequence[OperationPreference],
+    ) -> None:
+        super().__init__(constraints)
+        if not preferences:
+            raise ValueError("need at least one preference")
+        self.preferences = tuple(preferences)
+
+    def _score(self, state: RepairState, op: Operation) -> Tuple:
+        return tuple(pref(state, op) for pref in self.preferences)
+
+    def weights(
+        self, state: RepairState, extensions: Tuple[Operation, ...]
+    ) -> Mapping[Operation, Weight]:
+        scored = {op: self._score(state, op) for op in extensions}
+        best = min(scored.values())
+        return {op: 1 for op, score in scored.items() if score == best}
+
+    @property
+    def supports_only_deletions(self) -> bool:
+        """True when deletion-preference is first and always applicable.
+
+        Conservative: only claimed when the leading preference is the
+        stock deletions-first one, in which case an insertion is chosen
+        only if no deletion is available — which cannot happen for TGD,
+        EGD, or DC violations (some body atom is always deletable).
+        """
+        return self.preferences[0] is prefer_deletions_over_insertions

@@ -1,0 +1,88 @@
+"""Serialization: JSON and CSV round-trips for databases and constraints.
+
+JSON layout::
+
+    {"R": [["a", "b"], ["a", "c"]], "S": [["b"]]}
+
+CSV layout: one ``<relation>.csv`` file per relation inside a directory,
+no header, one fact per row.  Constraint files use the textual syntax of
+:mod:`repro.constraints.parser`, one constraint per line.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.constraints.base import ConstraintSet
+from repro.constraints.parser import parse_constraints
+from repro.db.facts import Database, Fact
+
+PathLike = Union[str, Path]
+
+
+def database_to_json(database: Database) -> str:
+    """Serialize a database to a JSON string."""
+    grouped: Dict[str, List[List]] = {}
+    for fact in database.sorted_facts:
+        grouped.setdefault(fact.relation, []).append(list(fact.values))
+    return json.dumps(grouped, indent=2, sort_keys=True, default=str)
+
+
+def database_from_json(text: str) -> Database:
+    """Parse a database from its JSON representation."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("database JSON must be an object of relation -> rows")
+    facts = []
+    for relation, rows in data.items():
+        for row in rows:
+            facts.append(Fact(relation, tuple(row)))
+    return Database(facts)
+
+
+def save_database(database: Database, path: PathLike) -> None:
+    """Write a database to a ``.json`` file."""
+    Path(path).write_text(database_to_json(database), encoding="utf-8")
+
+
+def load_database(path: PathLike) -> Database:
+    """Read a database from a ``.json`` file."""
+    return database_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def save_database_csv(database: Database, directory: PathLike) -> None:
+    """Write one headerless ``<relation>.csv`` per relation."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation, facts in database.by_relation.items():
+        with open(directory / f"{relation}.csv", "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            for fact in facts:
+                writer.writerow(fact.values)
+
+
+def load_database_csv(directory: PathLike) -> Database:
+    """Read every ``*.csv`` in *directory* as a relation."""
+    directory = Path(directory)
+    facts = []
+    for csv_path in sorted(directory.glob("*.csv")):
+        relation = csv_path.stem
+        with open(csv_path, newline="", encoding="utf-8") as fh:
+            for row in csv.reader(fh):
+                if row:
+                    facts.append(Fact(relation, tuple(row)))
+    return Database(facts)
+
+
+def load_constraints(path: PathLike) -> ConstraintSet:
+    """Read a constraint file (textual syntax, ``#`` comments allowed)."""
+    return ConstraintSet(parse_constraints(Path(path).read_text(encoding="utf-8")))
+
+
+def save_constraints(constraints: ConstraintSet, path: PathLike) -> None:
+    """Write constraints in their textual syntax, one per line."""
+    lines = [str(constraint) for constraint in constraints]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,160 @@
+"""A small shared lexer for the constraint and query parsers.
+
+The surface syntax follows the paper's rule-based notation::
+
+    R(x, y), R(x, z) -> y = z              # EGD (key)
+    R(x, y) -> exists z S(z, x)            # TGD (inclusion dependency)
+    Pref(x, y), Pref(y, x) -> false        # DC (denial)
+    forall y (Pref(x, y) | x = y)          # FO query body
+
+Tokens: identifiers, quoted string constants, integer constants, and the
+punctuation/operators used by both parsers.  Bare identifiers in term
+position denote variables; quoted strings and numbers denote constants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+class ParseError(ValueError):
+    """Raised on any lexical or syntactic error, with position info."""
+
+    def __init__(self, message: str, text: str = "", pos: int = -1) -> None:
+        if pos >= 0:
+            message = f"{message} (at position {pos}: ...{text[pos:pos + 20]!r})"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: a kind tag, the matched text, and its offset."""
+
+    kind: str
+    value: str
+    pos: int
+
+
+_TOKEN_SPEC: Tuple[Tuple[str, str], ...] = (
+    ("ARROW", r"->"),
+    ("NEQ", r"!=|<>"),
+    ("NOT", r"!|¬"),
+    ("AND", r"&&|&|∧"),
+    ("OR", r"\|\||\||∨"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("EQ", r"="),
+    ("DOT", r"\."),
+    ("DEFINE", r":-|:="),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NUMBER", r"-?\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("BOTTOM", r"⊥"),
+    ("WS", r"\s+"),
+)
+
+_MASTER_RE = re.compile("|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC))
+
+#: Keywords recognised among IDENT tokens (case-insensitive).
+KEYWORDS = frozenset(
+    {"exists", "forall", "not", "and", "or", "true", "false", "implies"}
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split *text* into tokens, dropping whitespace.
+
+    Raises :class:`ParseError` on unexpected characters.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _MASTER_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "IDENT" and value.lower() in KEYWORDS:
+            kind = value.upper() if value.lower() not in ("and", "or", "not") else {
+                "and": "AND",
+                "or": "OR",
+                "not": "NOT",
+            }[value.lower()]
+            if value.lower() in ("exists", "forall", "true", "false", "implies"):
+                kind = value.upper()
+        if kind != "WS":
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    return tokens
+
+
+class TokenStream:
+    """A peekable cursor over a token list, shared by both parsers."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Optional[Token]:
+        """The next token without consuming it, or ``None`` at end."""
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Token:
+        """Consume and return the next token."""
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        """Consume the next token if it has the given kind."""
+        token = self.peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    def expect(self, kind: str) -> Token:
+        """Consume a token of the given kind or raise :class:`ParseError`."""
+        token = self.peek()
+        if token is None or token.kind != kind:
+            found = token.kind if token else "end of input"
+            pos = token.pos if token else len(self.text)
+            raise ParseError(f"expected {kind}, found {found}", self.text, pos)
+        self.index += 1
+        return token
+
+    def at_end(self) -> bool:
+        """Whether all tokens have been consumed."""
+        return self.index >= len(self.tokens)
+
+    def expect_end(self) -> None:
+        """Raise unless the stream is exhausted."""
+        token = self.peek()
+        if token is not None:
+            raise ParseError(f"unexpected trailing input {token.value!r}", self.text, token.pos)
+
+
+def parse_term_token(token: Token):
+    """Interpret a STRING/NUMBER/IDENT token as a term.
+
+    Quoted strings and numbers are constants; bare identifiers are
+    variables (the paper's convention, where ``x, y, z`` range over
+    variables and data values are explicit constants).
+    """
+    from repro.db.terms import Var
+
+    if token.kind == "STRING":
+        return token.value[1:-1]
+    if token.kind == "NUMBER":
+        return int(token.value)
+    if token.kind == "IDENT":
+        return Var(token.value)
+    raise ParseError(f"expected a term, found {token.kind}", pos=token.pos)

@@ -1,0 +1,49 @@
+"""First-order queries over databases (Section 2).
+
+A query ``Q(x) = {x | phi}`` returns the tuples of active-domain constants
+satisfying the first-order formula ``phi``.  The package provides:
+
+- a formula AST (:mod:`repro.queries.ast`);
+- an active-domain evaluator (:mod:`repro.queries.eval`);
+- a textual parser (:func:`parse_query`, :func:`parse_formula`);
+- conjunctive queries with a homomorphism-based fast path
+  (:class:`ConjunctiveQuery`).
+"""
+
+from repro.queries.ast import (
+    Formula,
+    AtomFormula,
+    Equality,
+    Not,
+    And,
+    Or,
+    Implies,
+    Exists,
+    Forall,
+    TrueFormula,
+    FalseFormula,
+)
+from repro.queries.eval import evaluate_formula
+from repro.queries.query import Query
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_cq, parse_formula, parse_query
+
+__all__ = [
+    "Formula",
+    "AtomFormula",
+    "Equality",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "Forall",
+    "TrueFormula",
+    "FalseFormula",
+    "evaluate_formula",
+    "Query",
+    "ConjunctiveQuery",
+    "parse_formula",
+    "parse_query",
+    "parse_cq",
+]

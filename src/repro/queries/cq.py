@@ -1,0 +1,151 @@
+"""Conjunctive queries.
+
+A conjunctive query ``Q(x) :- R1(..), ..., Rk(..)`` is evaluated through
+homomorphism search (Section 2), which is far cheaper than the generic
+active-domain evaluator for the common case.  A CQ converts losslessly to
+a general :class:`repro.queries.Query` via :meth:`to_query`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.db.atoms import Atom, atoms_variables
+from repro.db.facts import Database
+from repro.db.homomorphism import find_homomorphisms
+from repro.db.terms import Term, Var, is_var
+from repro.queries.ast import And, AtomFormula, Exists, Formula
+from repro.queries.query import Query
+
+
+class ConjunctiveQuery:
+    """``Q(head) :- body`` where the body is a conjunction of atoms.
+
+    Body variables outside the head are existentially quantified.  The
+    head may also contain constants (returned verbatim in each answer).
+    """
+
+    def __init__(
+        self, head: Sequence[Term], body: Sequence[Atom], name: str = "Q"
+    ) -> None:
+        self.head: Tuple[Term, ...] = tuple(head)
+        self.body: Tuple[Atom, ...] = tuple(body)
+        self.name = name
+        if not self.body:
+            raise ValueError("conjunctive query bodies must be non-empty")
+        body_vars = atoms_variables(self.body)
+        missing = {t for t in self.head if is_var(t)} - set(body_vars)
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise ValueError(f"head variables not in body: {names}")
+
+    @property
+    def arity(self) -> int:
+        """Number of head positions."""
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query has an empty head."""
+        return not self.head
+
+    @property
+    def head_variables(self) -> Tuple[Var, ...]:
+        """Head positions that are variables, in order, without duplicates."""
+        seen = dict.fromkeys(t for t in self.head if is_var(t))
+        return tuple(seen)
+
+    @property
+    def existential_variables(self) -> FrozenSet[Var]:
+        """Body variables that are not head variables."""
+        return atoms_variables(self.body) - frozenset(self.head_variables)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def answers(
+        self,
+        database: Database,
+        domain: Optional[Iterable[Term]] = None,
+    ) -> FrozenSet[Tuple[Term, ...]]:
+        """All answers, via homomorphism search.
+
+        *domain* is accepted for interface parity with
+        :class:`repro.queries.Query` but is irrelevant: CQ answers always
+        consist of database constants.
+        """
+        del domain  # CQs are domain-independent
+        out = set()
+        for hom in find_homomorphisms(self.body, database):
+            out.add(tuple(hom[t] if is_var(t) else t for t in self.head))
+        return frozenset(out)
+
+    def holds(
+        self,
+        database: Database,
+        candidate: Tuple[Term, ...],
+        domain: Optional[Iterable[Term]] = None,
+    ) -> bool:
+        """Whether *candidate* is an answer (single membership test)."""
+        del domain
+        if len(candidate) != self.arity:
+            raise ValueError(
+                f"candidate arity {len(candidate)} does not match query arity {self.arity}"
+            )
+        partial = {}
+        for term, value in zip(self.head, candidate):
+            if is_var(term):
+                bound = partial.get(term)
+                if bound is not None and bound != value:
+                    return False
+                partial[term] = value
+            elif term != value:
+                return False
+        for _ in find_homomorphisms(self.body, database, partial):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_formula(self) -> Formula:
+        """The CQ as a first-order formula (existential conjunction)."""
+        conjunction: Formula = (
+            AtomFormula(self.body[0])
+            if len(self.body) == 1
+            else And(tuple(AtomFormula(a) for a in self.body))
+        )
+        existentials = tuple(
+            sorted(self.existential_variables, key=lambda v: v.name)
+        )
+        if existentials:
+            return Exists(existentials, conjunction)
+        return conjunction
+
+    def to_query(self) -> Query:
+        """The CQ as a general :class:`repro.queries.Query`.
+
+        Head constants are not expressible in a general query head, so
+        they must be absent (use variables plus equality atoms instead).
+        """
+        if any(not is_var(t) for t in self.head):
+            raise ValueError("cannot convert a CQ with head constants to a Query")
+        return Query(tuple(self.head), self.to_formula(), name=self.name)
+
+    def __str__(self) -> str:
+        from repro.db.terms import term_str
+
+        head = ", ".join(term_str(t) for t in self.head)
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.name}({head}) :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))

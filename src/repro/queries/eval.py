@@ -1,0 +1,130 @@
+"""Active-domain evaluation of first-order formulas.
+
+Quantifiers range over a finite evaluation domain — by default the active
+domain ``dom(D)`` of the database, optionally widened to the constants of
+the base ``B(D, Sigma)`` so that queries see constants introduced by
+constraints.  This is the standard finite-model semantics used by the
+paper's query definition ``Q(D) = {c in dom(D)^|x| : D |= phi(c)}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.db.facts import Database, Fact
+from repro.db.terms import Term, Var, is_var
+from repro.queries.ast import (
+    And,
+    AtomFormula,
+    Equality,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+)
+
+
+class EvaluationError(ValueError):
+    """Raised when a formula is evaluated with unbound free variables."""
+
+
+def evaluate_formula(
+    formula: Formula,
+    database: Database,
+    assignment: Optional[Mapping[Var, Term]] = None,
+    domain: Optional[Iterable[Term]] = None,
+) -> bool:
+    """Whether ``D |= phi`` under *assignment*.
+
+    *assignment* must bind every free variable of *formula*.  *domain* is
+    the range of quantified variables; it defaults to ``dom(D)`` united
+    with the constants appearing in the formula itself (so sentences over
+    an empty database still make sense).
+    """
+    bound: Dict[Var, Term] = dict(assignment) if assignment else {}
+    missing = formula.free_variables() - frozenset(bound)
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        raise EvaluationError(f"unbound free variables: {names}")
+    if domain is None:
+        dom: Tuple[Term, ...] = tuple(
+            sorted(
+                set(database.dom) | set(formula.constants()),
+                key=lambda c: (type(c).__name__, str(c)),
+            )
+        )
+    else:
+        dom = tuple(domain)
+    return _eval(formula, database, bound, dom)
+
+
+def _eval(
+    formula: Formula,
+    database: Database,
+    assignment: Dict[Var, Term],
+    domain: Tuple[Term, ...],
+) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, AtomFormula):
+        values = tuple(
+            assignment[t] if is_var(t) else t for t in formula.atom.terms
+        )
+        return Fact(formula.atom.relation, values) in database
+    if isinstance(formula, Equality):
+        left = assignment[formula.left] if is_var(formula.left) else formula.left
+        right = assignment[formula.right] if is_var(formula.right) else formula.right
+        return left == right
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, database, assignment, domain)
+    if isinstance(formula, And):
+        return all(_eval(op, database, assignment, domain) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(_eval(op, database, assignment, domain) for op in formula.operands)
+    if isinstance(formula, Implies):
+        if not _eval(formula.premise, database, assignment, domain):
+            return True
+        return _eval(formula.conclusion, database, assignment, domain)
+    if isinstance(formula, Exists):
+        return _eval_quantifier(formula.variables, formula.operand, database, assignment, domain, existential=True)
+    if isinstance(formula, Forall):
+        return _eval_quantifier(formula.variables, formula.operand, database, assignment, domain, existential=False)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+_MISSING = object()
+
+
+def _eval_quantifier(
+    variables: Tuple[Var, ...],
+    operand: Formula,
+    database: Database,
+    assignment: Dict[Var, Term],
+    domain: Tuple[Term, ...],
+    existential: bool,
+) -> bool:
+    var, rest = variables[0], variables[1:]
+    saved = assignment.get(var, _MISSING)
+    answer = not existential
+    for value in domain:
+        assignment[var] = value
+        if rest:
+            result = _eval_quantifier(
+                rest, operand, database, assignment, domain, existential
+            )
+        else:
+            result = _eval(operand, database, assignment, domain)
+        if result == existential:
+            answer = existential
+            break
+    if saved is _MISSING:
+        assignment.pop(var, None)
+    else:
+        assignment[var] = saved  # type: ignore[assignment]
+    return answer

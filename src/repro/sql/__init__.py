@@ -1,0 +1,42 @@
+"""SQL substrate for the Section 5 practical approximation scheme.
+
+The paper sketches how the additive-error scheme can run inside an RDBMS:
+sample per-key-group survivors, collect the removed tuples in ``R_del``,
+run the query with every ``R`` replaced by ``R - R_del``, and average the
+results over ``n`` runs.  This package implements exactly that over the
+standard library's SQLite:
+
+- :class:`SQLiteBackend` — load a :class:`repro.db.Database` into SQLite;
+- :mod:`repro.sql.compiler` — compile conjunctive and full first-order
+  queries to SQL (active-domain translation);
+- :mod:`repro.sql.rewriting` — the ``R -> R EXCEPT R_del`` rewriting;
+- :class:`KeyRepairSampler` — the end-to-end n-run sampling loop with
+  uniform, trust-based (Example 5), and exact per-group-chain policies.
+"""
+
+from repro.sql.backend import SQLiteBackend
+from repro.sql.compiler import compile_cq, compile_fo_query
+from repro.sql.generic import ConstraintRepairSampler
+from repro.sql.rewriting import DeletionRewriter
+from repro.sql.sampler import KeyRepairSampler, KeySpec, SamplerPolicy
+from repro.sql.violations import (
+    compile_violation_query,
+    conflict_components_sql,
+    conflict_hypergraph_sql,
+    violating_fact_sets,
+)
+
+__all__ = [
+    "SQLiteBackend",
+    "compile_cq",
+    "compile_fo_query",
+    "ConstraintRepairSampler",
+    "DeletionRewriter",
+    "KeyRepairSampler",
+    "KeySpec",
+    "SamplerPolicy",
+    "compile_violation_query",
+    "conflict_components_sql",
+    "conflict_hypergraph_sql",
+    "violating_fact_sets",
+]

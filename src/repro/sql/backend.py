@@ -1,0 +1,133 @@
+"""SQLite backend: load databases, run compiled queries.
+
+Relations map to tables named after the relation with columns
+``c0, ..., c{n-1}``; everything is stored as TEXT except integers, which
+SQLite keeps as INTEGER (both round-trip through :meth:`fetch_database`).
+An auxiliary ``_adom`` table holds the active domain for the first-order
+compiler's quantifier translation.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.facts import Database, Fact
+from repro.db.schema import Relation, Schema
+from repro.db.terms import Term
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+
+def _check_name(name: str) -> str:
+    """Validate an identifier before splicing it into SQL."""
+    if not _NAME_RE.match(name):
+        raise ValueError(f"unsafe SQL identifier: {name!r}")
+    return name
+
+
+class SQLiteBackend:
+    """A thin, explicit wrapper around one SQLite connection."""
+
+    ADOM_TABLE = "_adom"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(path)
+        self.schema: Optional[Schema] = None
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def create_schema(self, schema: Schema) -> None:
+        """Create one table per relation (dropping existing ones)."""
+        cursor = self.connection.cursor()
+        for relation in schema:
+            table = _check_name(relation.name)
+            cursor.execute(f"DROP TABLE IF EXISTS {table}")
+            columns = ", ".join(f"c{i}" for i in range(relation.arity))
+            cursor.execute(f"CREATE TABLE {table} ({columns})")
+        self.connection.commit()
+        self.schema = schema
+
+    def load(self, database: Database, schema: Optional[Schema] = None) -> None:
+        """Create tables for *database* and bulk-insert its facts."""
+        if schema is None:
+            schema = Schema.infer(database)
+        self.create_schema(schema)
+        cursor = self.connection.cursor()
+        for relation in schema:
+            rows = database.tuples(relation.name)
+            if not rows:
+                continue
+            table = _check_name(relation.name)
+            placeholders = ", ".join("?" for _ in range(relation.arity))
+            cursor.executemany(
+                f"INSERT INTO {table} VALUES ({placeholders})", rows
+            )
+        self._load_adom(database)
+        self.connection.commit()
+
+    def _load_adom(self, database: Database, extra: Iterable[Term] = ()) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute(f"DROP TABLE IF EXISTS {self.ADOM_TABLE}")
+        cursor.execute(f"CREATE TABLE {self.ADOM_TABLE} (v)")
+        values = set(database.dom) | set(extra)
+        cursor.executemany(
+            f"INSERT INTO {self.ADOM_TABLE} VALUES (?)",
+            [(value,) for value in sorted(values, key=lambda c: (type(c).__name__, str(c)))],
+        )
+
+    def extend_adom(self, values: Iterable[Term]) -> None:
+        """Add constants (e.g. query constants) to the active domain table."""
+        cursor = self.connection.cursor()
+        existing = {row[0] for row in cursor.execute(f"SELECT v FROM {self.ADOM_TABLE}")}
+        fresh = [(v,) for v in values if v not in existing]
+        if fresh:
+            cursor.executemany(f"INSERT INTO {self.ADOM_TABLE} VALUES (?)", fresh)
+            self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def execute(
+        self, sql: str, parameters: Sequence = ()
+    ) -> List[Tuple]:
+        """Run arbitrary SQL and fetch all rows."""
+        cursor = self.connection.cursor()
+        cursor.execute(sql, parameters)
+        return cursor.fetchall()
+
+    def query_tuples(self, sql: str, parameters: Sequence = ()) -> FrozenSet[Tuple]:
+        """Run a compiled query and return its rows as a frozenset."""
+        return frozenset(tuple(row) for row in self.execute(sql, parameters))
+
+    # ------------------------------------------------------------------
+    # Round-trip
+    # ------------------------------------------------------------------
+    def fetch_database(self, schema: Optional[Schema] = None) -> Database:
+        """Read the current table contents back into a :class:`Database`."""
+        schema = schema or self.schema
+        if schema is None:
+            raise ValueError("no schema known; pass one or call load() first")
+        facts = []
+        for relation in schema:
+            table = _check_name(relation.name)
+            for row in self.execute(f"SELECT * FROM {table}"):
+                facts.append(Fact(relation.name, tuple(row)))
+        return Database(facts)
+
+    def table_count(self, relation: str) -> int:
+        """Number of rows currently in *relation*'s table."""
+        table = _check_name(relation)
+        return self.execute(f"SELECT COUNT(*) FROM {table}")[0][0]
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

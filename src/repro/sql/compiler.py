@@ -1,0 +1,245 @@
+"""Compilation of conjunctive and first-order queries to SQLite SQL.
+
+Conjunctive queries become flat ``SELECT DISTINCT ... FROM ... WHERE``
+joins.  General first-order queries use the classical active-domain
+translation: head and quantified variables range over the ``_adom`` table
+(extended inline with the query's own constants), atoms become
+``EXISTS`` subqueries, and ``forall`` becomes ``NOT EXISTS NOT``.
+
+Both compilers accept a *relation_map* that substitutes the physical
+table (or a parenthesised subquery) used for each logical relation —
+this is the hook the ``R -> R EXCEPT R_del`` rewriting of Section 5
+plugs into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.db.terms import Term, Var, is_var
+from repro.queries.ast import (
+    And,
+    AtomFormula,
+    Equality,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.query import Query
+from repro.sql.backend import SQLiteBackend, _check_name
+
+
+@dataclass
+class CompiledQuery:
+    """A SQL string plus its positional parameters."""
+
+    sql: str
+    parameters: Tuple[Term, ...]
+    arity: int
+
+    def run(self, backend: SQLiteBackend) -> FrozenSet[Tuple[Term, ...]]:
+        """Execute on *backend*, mapping rows back to answer tuples.
+
+        Boolean queries (arity 0) return ``{()}`` or the empty set,
+        matching the in-memory evaluator.
+        """
+        rows = backend.query_tuples(self.sql, self.parameters)
+        if self.arity == 0:
+            return frozenset([()]) if rows else frozenset()
+        return rows
+
+
+def _physical(relation: str, relation_map: Optional[Mapping[str, str]]) -> str:
+    if relation_map and relation in relation_map:
+        return relation_map[relation]
+    return _check_name(relation)
+
+
+# ----------------------------------------------------------------------
+# Conjunctive queries
+# ----------------------------------------------------------------------
+def compile_cq(
+    cq: ConjunctiveQuery,
+    relation_map: Optional[Mapping[str, str]] = None,
+) -> CompiledQuery:
+    """Compile a conjunctive query into one flat join."""
+    params: List[Term] = []
+    from_parts: List[str] = []
+    where: List[str] = []
+    first_occurrence: Dict[Var, str] = {}
+    for index, atom in enumerate(cq.body):
+        alias = f"t{index}"
+        from_parts.append(f"{_physical(atom.relation, relation_map)} {alias}")
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.c{position}"
+            if is_var(term):
+                if term in first_occurrence:
+                    where.append(f"{column} = {first_occurrence[term]}")
+                else:
+                    first_occurrence[term] = column
+            else:
+                where.append(f"{column} = ?")
+                params.append(term)
+    select_parts: List[str] = []
+    for term in cq.head:
+        if is_var(term):
+            select_parts.append(first_occurrence[term])
+        else:
+            select_parts.append("?")
+    # Positional parameters must follow their textual position: the SELECT
+    # list (head constants) precedes the WHERE clause (body constants).
+    params = _cq_parameters_in_order(cq, relation_map)
+    select = ", ".join(select_parts) if select_parts else "1"
+    sql = f"SELECT DISTINCT {select} FROM {', '.join(from_parts)}"
+    if where:
+        sql += f" WHERE {' AND '.join(where)}"
+    return CompiledQuery(sql=sql, parameters=tuple(params), arity=cq.arity)
+
+
+def _cq_parameters_in_order(
+    cq: ConjunctiveQuery, relation_map: Optional[Mapping[str, str]]
+) -> List[Term]:
+    """Constants in the order their placeholders appear in the SQL text."""
+    params: List[Term] = [t for t in cq.head if not is_var(t)]
+    for atom in cq.body:
+        for term in atom.terms:
+            if not is_var(term):
+                params.append(term)
+    return params
+
+
+# ----------------------------------------------------------------------
+# First-order queries
+# ----------------------------------------------------------------------
+@dataclass
+class _FOContext:
+    """State threaded through the recursive FO compilation."""
+
+    relation_map: Optional[Mapping[str, str]]
+    domain_constants: Tuple[Term, ...]
+    params: List[Term] = field(default_factory=list)
+    alias_counter: int = 0
+
+    def fresh_alias(self) -> str:
+        self.alias_counter += 1
+        return f"a{self.alias_counter}"
+
+    def domain_sql(self) -> str:
+        """The quantifier range: ``_adom`` plus the query's own constants."""
+        parts = [f"SELECT v FROM {SQLiteBackend.ADOM_TABLE}"]
+        for constant in self.domain_constants:
+            parts.append("SELECT ?")
+            self.params.append(constant)
+        return "(" + " UNION ".join(parts) + ")"
+
+
+def compile_fo_query(
+    query: Query,
+    relation_map: Optional[Mapping[str, str]] = None,
+) -> CompiledQuery:
+    """Compile a first-order query via the active-domain translation."""
+    constants = tuple(
+        sorted(query.formula.constants(), key=lambda c: (type(c).__name__, str(c)))
+    )
+    ctx = _FOContext(relation_map=relation_map, domain_constants=constants)
+    env: Dict[Var, str] = {}
+    from_parts: List[str] = []
+    distinct_head = tuple(dict.fromkeys(query.head))
+    for var in distinct_head:
+        alias = ctx.fresh_alias()
+        from_parts.append(f"{ctx.domain_sql()} {alias}")
+        env[var] = f"{alias}.v"
+    condition = _compile_formula(query.formula, env, ctx)
+    select = ", ".join(env[v] for v in query.head) if query.head else "1"
+    if from_parts:
+        sql = (
+            f"SELECT DISTINCT {select} FROM {', '.join(from_parts)} "
+            f"WHERE {condition}"
+        )
+    else:
+        sql = f"SELECT DISTINCT {select} WHERE {condition}"
+    return CompiledQuery(sql=sql, parameters=tuple(ctx.params), arity=query.arity)
+
+
+def _term_sql(term: Term, env: Mapping[Var, str], ctx: _FOContext) -> str:
+    if is_var(term):
+        try:
+            return env[term]
+        except KeyError:
+            raise ValueError(f"unbound variable {term} in formula") from None
+    ctx.params.append(term)
+    return "?"
+
+
+def _compile_formula(
+    formula: Formula, env: Dict[Var, str], ctx: _FOContext
+) -> str:
+    if isinstance(formula, TrueFormula):
+        return "1 = 1"
+    if isinstance(formula, FalseFormula):
+        return "1 = 0"
+    if isinstance(formula, AtomFormula):
+        alias = ctx.fresh_alias()
+        table = _physical(formula.atom.relation, ctx.relation_map)
+        conditions = []
+        for position, term in enumerate(formula.atom.terms):
+            conditions.append(f"{alias}.c{position} = {_term_sql(term, env, ctx)}")
+        return (
+            f"EXISTS (SELECT 1 FROM {table} {alias} "
+            f"WHERE {' AND '.join(conditions)})"
+        )
+    if isinstance(formula, Equality):
+        left = _term_sql(formula.left, env, ctx)
+        right = _term_sql(formula.right, env, ctx)
+        return f"{left} = {right}"
+    if isinstance(formula, Not):
+        return f"NOT ({_compile_formula(formula.operand, env, ctx)})"
+    if isinstance(formula, And):
+        inner = " AND ".join(
+            f"({_compile_formula(op, env, ctx)})" for op in formula.operands
+        )
+        return f"({inner})"
+    if isinstance(formula, Or):
+        inner = " OR ".join(
+            f"({_compile_formula(op, env, ctx)})" for op in formula.operands
+        )
+        return f"({inner})"
+    if isinstance(formula, Implies):
+        premise = _compile_formula(formula.premise, env, ctx)
+        conclusion = _compile_formula(formula.conclusion, env, ctx)
+        return f"(NOT ({premise}) OR ({conclusion}))"
+    if isinstance(formula, Exists):
+        return _compile_quantifier(formula.variables, formula.operand, env, ctx, negate=False)
+    if isinstance(formula, Forall):
+        return _compile_quantifier(formula.variables, formula.operand, env, ctx, negate=True)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def _compile_quantifier(
+    variables: Tuple[Var, ...],
+    operand: Formula,
+    env: Dict[Var, str],
+    ctx: _FOContext,
+    negate: bool,
+) -> str:
+    """``exists`` -> EXISTS(...); ``forall`` -> NOT EXISTS(... NOT ...)."""
+    inner_env = dict(env)
+    from_parts = []
+    for var in variables:
+        alias = ctx.fresh_alias()
+        from_parts.append(f"{ctx.domain_sql()} {alias}")
+        inner_env[var] = f"{alias}.v"
+    body = _compile_formula(operand, inner_env, ctx)
+    if negate:
+        body = f"NOT ({body})"
+    return (
+        f"{'NOT ' if negate else ''}EXISTS "
+        f"(SELECT 1 FROM {', '.join(from_parts)} WHERE {body})"
+    )

@@ -1,0 +1,122 @@
+"""A SQL-backed sampler for arbitrary TGD-free constraints.
+
+Generalizes :class:`repro.sql.sampler.KeyRepairSampler` beyond keys:
+violations of *any* EGD/DC set are detected by SQL self-joins
+(:mod:`repro.sql.violations`), grouped into conflict components, and
+each component is repaired by its own in-memory repairing Markov chain
+(exact factorization for component-local generators — see
+:mod:`repro.core.localization`).  Queries run against the
+``R EXCEPT R_del`` rewriting, exactly as in Section 5.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.analysis.hoeffding import sample_size
+from repro.constraints.base import ConstraintSet
+from repro.core.chain import ChainGenerator
+from repro.core.generators import UniformGenerator
+from repro.core.sampling import sample_walk
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+from repro.db.terms import Term
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.query import Query
+from repro.sql.backend import SQLiteBackend
+from repro.sql.compiler import CompiledQuery, compile_cq, compile_fo_query
+from repro.sql.rewriting import DeletionRewriter
+from repro.sql.sampler import SamplingReport
+from repro.sql.violations import conflict_components_sql
+
+AnyQuery = Union[Query, ConjunctiveQuery]
+
+#: Builds the per-component chain generator from a constraint set.
+GeneratorFactory = Callable[[ConstraintSet], ChainGenerator]
+
+
+class ConstraintRepairSampler:
+    """Section 5's sampling loop for arbitrary denial-style constraints.
+
+    *generator_factory* receives the constraint set and returns the
+    chain generator used on each conflict component (default: the
+    uniform generator).  The factory is called once; the same generator
+    drives every component's chain.
+    """
+
+    def __init__(
+        self,
+        backend: SQLiteBackend,
+        schema: Schema,
+        constraints: ConstraintSet,
+        generator_factory: GeneratorFactory = UniformGenerator,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not constraints.deletion_only():
+            raise ValueError(
+                "ConstraintRepairSampler requires TGD-free constraints "
+                "(violations must be detectable by flat SQL joins)"
+            )
+        self.backend = backend
+        self.schema = schema
+        self.constraints = constraints
+        self.generator = generator_factory(constraints)
+        self.rng = rng or random.Random()
+        self.rewriter = DeletionRewriter(backend, schema)
+        self.components: Tuple = conflict_components_sql(backend, constraints)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_deletions(self) -> List[Fact]:
+        """One repair draw: deleted facts across all conflict components."""
+        deletions: List[Fact] = []
+        for component in self.components:
+            sub_db = Database(component)
+            walk = sample_walk(self.generator.chain(sub_db), self.rng)
+            deletions.extend(sorted(sub_db - walk.result, key=str))
+        return deletions
+
+    def sample_repair(self) -> Database:
+        """Draw one full repaired instance."""
+        self.rewriter.clear()
+        self.rewriter.mark_deleted(self.sample_deletions())
+        repaired = self.rewriter.live_database()
+        self.rewriter.clear()
+        return repaired
+
+    # ------------------------------------------------------------------
+    # Query compilation + campaigns (Section 5 loop)
+    # ------------------------------------------------------------------
+    def compile(self, query: AnyQuery) -> CompiledQuery:
+        """Compile *query* against the ``R EXCEPT R__del`` relation map."""
+        relation_map = self.rewriter.relation_map()
+        if isinstance(query, ConjunctiveQuery):
+            return compile_cq(query, relation_map)
+        return compile_fo_query(query, relation_map)
+
+    def run(
+        self,
+        query: AnyQuery,
+        runs: Optional[int] = None,
+        epsilon: float = 0.1,
+        delta: float = 0.1,
+    ) -> SamplingReport:
+        """Estimate ``CP`` for every observed tuple over ``runs`` repairs."""
+        if runs is None:
+            runs = sample_size(epsilon, delta)
+        compiled = self.compile(query)
+        counts: Dict[Tuple[Term, ...], int] = {}
+        for _ in range(runs):
+            self.rewriter.clear()
+            self.rewriter.mark_deleted(self.sample_deletions())
+            for answer in compiled.run(self.backend):
+                counts[answer] = counts.get(answer, 0) + 1
+        self.rewriter.clear()
+        return SamplingReport(
+            frequencies={t: c / runs for t, c in counts.items()},
+            runs=runs,
+            epsilon=epsilon,
+            delta=delta,
+        )

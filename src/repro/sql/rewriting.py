@@ -1,0 +1,95 @@
+"""The ``R -> R EXCEPT R_del`` rewriting (Section 5).
+
+Each sampling run collects the tuples deleted from relation ``R`` in a
+side table ``R__del``; queries are then compiled against the logical
+relation map ``R -> (SELECT * FROM R EXCEPT SELECT * FROM R__del)``.
+The paper's informal experiment observed that such rewritten queries
+perform similarly to the originals — benchmark E8 measures this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+from repro.sql.backend import SQLiteBackend, _check_name
+
+
+class DeletionRewriter:
+    """Manages per-relation deletion tables and the rewritten relation map."""
+
+    SUFFIX = "__del"
+
+    def __init__(self, backend: SQLiteBackend, schema: Schema) -> None:
+        self.backend = backend
+        self.schema = schema
+        self._create_deletion_tables()
+
+    def _create_deletion_tables(self) -> None:
+        cursor = self.backend.connection.cursor()
+        for relation in self.schema:
+            table = self.deletion_table(relation.name)
+            cursor.execute(f"DROP TABLE IF EXISTS {table}")
+            columns = ", ".join(f"c{i}" for i in range(relation.arity))
+            cursor.execute(f"CREATE TABLE {table} ({columns})")
+        self.backend.connection.commit()
+
+    def deletion_table(self, relation: str) -> str:
+        """Name of the side table holding deletions for *relation*."""
+        return _check_name(relation) + self.SUFFIX
+
+    # ------------------------------------------------------------------
+    # Per-run state
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Empty every deletion table (start of a sampling run)."""
+        cursor = self.backend.connection.cursor()
+        for relation in self.schema:
+            cursor.execute(f"DELETE FROM {self.deletion_table(relation.name)}")
+
+    def mark_deleted(self, facts: Iterable[Fact]) -> None:
+        """Record *facts* as deleted in this run."""
+        cursor = self.backend.connection.cursor()
+        for fact in facts:
+            table = self.deletion_table(fact.relation)
+            placeholders = ", ".join("?" for _ in fact.values)
+            cursor.execute(
+                f"INSERT INTO {table} VALUES ({placeholders})", fact.values
+            )
+
+    def deleted_count(self, relation: str) -> int:
+        """Rows currently marked deleted for *relation*."""
+        return self.backend.execute(
+            f"SELECT COUNT(*) FROM {self.deletion_table(relation)}"
+        )[0][0]
+
+    # ------------------------------------------------------------------
+    # The rewriting itself
+    # ------------------------------------------------------------------
+    def relation_map(self, relations: Optional[Sequence[str]] = None) -> Dict[str, str]:
+        """``R -> (SELECT * FROM R EXCEPT SELECT * FROM R__del)`` for every
+        relation (or the given subset)."""
+        names = (
+            [r.name for r in self.schema] if relations is None else list(relations)
+        )
+        out: Dict[str, str] = {}
+        for name in names:
+            table = _check_name(name)
+            out[name] = (
+                f"(SELECT * FROM {table} "
+                f"EXCEPT SELECT * FROM {self.deletion_table(name)})"
+            )
+        return out
+
+    def live_database(self) -> Database:
+        """The current repaired instance (original minus deletions)."""
+        facts = []
+        for relation in self.schema:
+            sql = (
+                f"SELECT * FROM {_check_name(relation.name)} "
+                f"EXCEPT SELECT * FROM {self.deletion_table(relation.name)}"
+            )
+            for row in self.backend.execute(sql):
+                facts.append(Fact(relation.name, tuple(row)))
+        return Database(facts)

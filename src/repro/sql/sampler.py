@@ -1,0 +1,217 @@
+"""The end-to-end SQL sampling scheme of Section 5.
+
+For key constraints, violations partition into independent *conflict
+groups* (tuples sharing a key value), so the global repairing Markov
+chain factorises into one tiny chain per group — the "localization of
+repairs" optimization the paper's Section 6 points to.  Each sampling
+run draws one repair by sampling every group independently, materialises
+the removed tuples in the ``R__del`` tables, and evaluates the query
+rewritten over ``R EXCEPT R__del``; tuple frequencies over ``n`` runs
+estimate ``CP`` with the additive Hoeffding guarantee.
+
+Three per-group policies:
+
+- ``KEEP_ONE_UNIFORM`` — keep exactly one tuple per group, uniformly (the
+  classical ABC-style repair sampling; "randomly pick at most one tuple
+  to be left there");
+- ``OPERATIONAL_UNIFORM`` — sample the group's repairing chain under the
+  uniform generator (pair deletions included, so *zero* survivors are
+  possible, as the operational semantics allows);
+- ``TRUST`` — sample the group's chain under Example 5's trust-based
+  generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.hoeffding import sample_size
+from repro.constraints.base import ConstraintSet
+from repro.constraints.shortcuts import key as key_constraints
+from repro.core.generators import TrustGenerator, UniformGenerator
+from repro.core.sampling import sample_walk
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+from repro.db.terms import Term
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.query import Query
+from repro.sql.backend import SQLiteBackend, _check_name
+from repro.sql.compiler import CompiledQuery, compile_cq, compile_fo_query
+from repro.sql.rewriting import DeletionRewriter
+
+AnyQuery = Union[Query, ConjunctiveQuery]
+
+
+class SamplerPolicy(str, Enum):
+    """How survivors are chosen inside one key-conflict group."""
+
+    KEEP_ONE_UNIFORM = "keep_one_uniform"
+    OPERATIONAL_UNIFORM = "operational_uniform"
+    TRUST = "trust"
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """A key constraint: *positions* form a key of *relation*/*arity*."""
+
+    relation: str
+    arity: int
+    positions: Tuple[int, ...]
+
+    def constraints(self) -> ConstraintSet:
+        """The EGDs expressing this key."""
+        return ConstraintSet(key_constraints(self.relation, self.arity, self.positions))
+
+
+@dataclass
+class ConflictGroup:
+    """Tuples of one relation sharing a key value."""
+
+    spec: KeySpec
+    key_value: Tuple[Term, ...]
+    facts: Tuple[Fact, ...]
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+
+@dataclass
+class SamplingReport:
+    """Result of a sampling campaign: estimates plus run statistics."""
+
+    frequencies: Dict[Tuple[Term, ...], float]
+    runs: int
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+
+    def cp(self, candidate: Tuple[Term, ...]) -> float:
+        """Estimated ``CP(t)`` (0.0 for unseen tuples)."""
+        return self.frequencies.get(tuple(candidate), 0.0)
+
+    def items(self) -> List[Tuple[Tuple[Term, ...], float]]:
+        """Estimates, most probable first."""
+        return sorted(self.frequencies.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+
+
+class KeyRepairSampler:
+    """Samples key-violation repairs directly inside SQLite."""
+
+    def __init__(
+        self,
+        backend: SQLiteBackend,
+        schema: Schema,
+        keys: Sequence[KeySpec],
+        policy: SamplerPolicy = SamplerPolicy.KEEP_ONE_UNIFORM,
+        trust: Optional[Mapping[Fact, Union[float, int]]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.backend = backend
+        self.schema = schema
+        self.keys = tuple(keys)
+        self.policy = SamplerPolicy(policy)
+        self.trust = dict(trust) if trust else {}
+        self.rng = rng or random.Random()
+        self.rewriter = DeletionRewriter(backend, schema)
+        self.groups: Tuple[ConflictGroup, ...] = tuple(self._find_groups())
+
+    # ------------------------------------------------------------------
+    # Conflict detection (one pass, reused by every run)
+    # ------------------------------------------------------------------
+    def _find_groups(self) -> List[ConflictGroup]:
+        groups: List[ConflictGroup] = []
+        for spec in self.keys:
+            table = _check_name(spec.relation)
+            rows = self.backend.execute(f"SELECT * FROM {table}")
+            buckets: Dict[Tuple[Term, ...], List[Fact]] = {}
+            for row in rows:
+                fact = Fact(spec.relation, tuple(row))
+                key_value = tuple(row[p] for p in spec.positions)
+                buckets.setdefault(key_value, []).append(fact)
+            for key_value, facts in sorted(buckets.items(), key=lambda kv: str(kv[0])):
+                distinct = sorted(set(facts), key=str)
+                if len(distinct) > 1:
+                    groups.append(
+                        ConflictGroup(spec, key_value, tuple(distinct))
+                    )
+        return groups
+
+    # ------------------------------------------------------------------
+    # Per-group sampling policies
+    # ------------------------------------------------------------------
+    def _group_deletions(self, group: ConflictGroup) -> List[Fact]:
+        if self.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
+            survivor = self.rng.choice(group.facts)
+            return [fact for fact in group.facts if fact != survivor]
+        constraints = group.spec.constraints()
+        sub_db = Database(group.facts)
+        if self.policy is SamplerPolicy.OPERATIONAL_UNIFORM:
+            generator = UniformGenerator(constraints)
+        else:
+            generator = TrustGenerator(constraints, self.trust)
+        walk = sample_walk(generator.chain(sub_db), self.rng)
+        return sorted(sub_db - walk.result, key=str)
+
+    def sample_deletions(self) -> List[Fact]:
+        """One repair draw: the deleted facts across all conflict groups."""
+        deletions: List[Fact] = []
+        for group in self.groups:
+            deletions.extend(self._group_deletions(group))
+        return deletions
+
+    # ------------------------------------------------------------------
+    # Query compilation under the rewriting
+    # ------------------------------------------------------------------
+    def compile(self, query: AnyQuery) -> CompiledQuery:
+        """Compile *query* against the ``R EXCEPT R__del`` relation map."""
+        relation_map = self.rewriter.relation_map()
+        if isinstance(query, ConjunctiveQuery):
+            return compile_cq(query, relation_map)
+        return compile_fo_query(query, relation_map)
+
+    def compile_original(self, query: AnyQuery) -> CompiledQuery:
+        """Compile *query* against the raw tables (for E8 comparisons)."""
+        if isinstance(query, ConjunctiveQuery):
+            return compile_cq(query)
+        return compile_fo_query(query)
+
+    # ------------------------------------------------------------------
+    # Sampling campaigns
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: AnyQuery,
+        runs: Optional[int] = None,
+        epsilon: float = 0.1,
+        delta: float = 0.1,
+    ) -> SamplingReport:
+        """Estimate ``CP`` for every observed tuple over ``runs`` repairs.
+
+        Without an explicit run count, ``n = ln(2/delta) / (2 eps^2)``
+        runs are performed (Section 5's recipe; 150 for the default
+        parameters).
+        """
+        if runs is None:
+            runs = sample_size(epsilon, delta)
+        compiled = self.compile(query)
+        counts: Dict[Tuple[Term, ...], int] = {}
+        for _ in range(runs):
+            self.rewriter.clear()
+            self.rewriter.mark_deleted(self.sample_deletions())
+            for answer in compiled.run(self.backend):
+                counts[answer] = counts.get(answer, 0) + 1
+        self.rewriter.clear()
+        frequencies = {t: c / runs for t, c in counts.items()}
+        return SamplingReport(
+            frequencies=frequencies, runs=runs, epsilon=epsilon, delta=delta
+        )
+
+    def sample_repair(self) -> Database:
+        """Draw one full repaired instance (useful for inspection/tests)."""
+        self.rewriter.clear()
+        self.rewriter.mark_deleted(self.sample_deletions())
+        repaired = self.rewriter.live_database()
+        self.rewriter.clear()
+        return repaired

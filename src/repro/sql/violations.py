@@ -1,0 +1,150 @@
+"""Constraint-violation detection inside SQLite.
+
+The in-memory engine finds violations by homomorphism search; at SQL
+scale the same search is a self-join.  For a TGD-free constraint
+(EGD or DC) with body ``R1(...), ..., Rk(...)``, the violating
+assignments of Definition 2 are exactly the rows of
+
+    SELECT t1.*, ..., tk.*  FROM R1 t1, ..., Rk tk
+    WHERE <join conditions>  [AND NOT <head equality>]
+
+Each result row is sliced back into the k body facts — the violation's
+body image ``h(phi)`` — which is all the deletion-only repair machinery
+needs (the conflict hypergraph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.constraints.dc import DC
+from repro.constraints.egd import EGD
+from repro.db.facts import Fact
+from repro.db.terms import Term, Var, is_var
+from repro.sql.backend import SQLiteBackend, _check_name
+
+
+def compile_violation_query(
+    constraint: Constraint,
+    relation_map: Optional[Mapping[str, str]] = None,
+) -> Tuple[str, Tuple[Term, ...]]:
+    """SQL returning one row per violating body homomorphism.
+
+    Supports EGDs and DCs (TGD violations need the head check, which is
+    not expressible as a single flat join without NOT EXISTS — see
+    :func:`compile_tgd_violation_query`).
+    """
+    if not isinstance(constraint, (EGD, DC)):
+        raise ValueError(
+            f"flat violation queries cover EGDs and DCs, got {type(constraint).__name__}"
+        )
+    select_parts: List[str] = []
+    from_parts: List[str] = []
+    where: List[str] = []
+    params: List[Term] = []
+    first_occurrence: Dict[Var, str] = {}
+    for index, atom in enumerate(constraint.body):
+        alias = f"t{index}"
+        physical = (
+            relation_map[atom.relation]
+            if relation_map and atom.relation in relation_map
+            else _check_name(atom.relation)
+        )
+        from_parts.append(f"{physical} {alias}")
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.c{position}"
+            select_parts.append(column)
+            if is_var(term):
+                if term in first_occurrence:
+                    where.append(f"{column} = {first_occurrence[term]}")
+                else:
+                    first_occurrence[term] = column
+            else:
+                where.append(f"{column} = ?")
+                params.append(term)
+    if isinstance(constraint, EGD):
+        left = (
+            first_occurrence[constraint.left]
+            if is_var(constraint.left)
+            else "?"
+        )
+        if left == "?":
+            params.append(constraint.left)
+        right = (
+            first_occurrence[constraint.right]
+            if is_var(constraint.right)
+            else "?"
+        )
+        if right == "?":
+            params.append(constraint.right)
+        where.append(f"NOT ({left} = {right})")
+    sql = f"SELECT {', '.join(select_parts)} FROM {', '.join(from_parts)}"
+    if where:
+        sql += f" WHERE {' AND '.join(where)}"
+    return sql, tuple(params)
+
+
+def violating_fact_sets(
+    backend: SQLiteBackend,
+    constraint: Constraint,
+    relation_map: Optional[Mapping[str, str]] = None,
+) -> FrozenSet[FrozenSet[Fact]]:
+    """The body images of every violation of *constraint*, via SQL."""
+    sql, params = compile_violation_query(constraint, relation_map)
+    edges: Set[FrozenSet[Fact]] = set()
+    for row in backend.execute(sql, params):
+        facts: List[Fact] = []
+        offset = 0
+        for atom in constraint.body:
+            facts.append(Fact(atom.relation, tuple(row[offset : offset + atom.arity])))
+            offset += atom.arity
+        edges.add(frozenset(facts))
+    return frozenset(edges)
+
+
+def conflict_hypergraph_sql(
+    backend: SQLiteBackend,
+    constraints: ConstraintSet,
+    relation_map: Optional[Mapping[str, str]] = None,
+) -> FrozenSet[FrozenSet[Fact]]:
+    """The full conflict hypergraph of a TGD-free constraint set, via SQL."""
+    if not constraints.deletion_only():
+        raise ValueError("SQL conflict hypergraphs require TGD-free constraints")
+    edges: Set[FrozenSet[Fact]] = set()
+    for constraint in constraints:
+        edges.update(violating_fact_sets(backend, constraint, relation_map))
+    return frozenset(edges)
+
+
+def conflict_components_sql(
+    backend: SQLiteBackend,
+    constraints: ConstraintSet,
+    relation_map: Optional[Mapping[str, str]] = None,
+) -> Tuple[FrozenSet[Fact], ...]:
+    """Connected components of the SQL-detected conflict hypergraph."""
+    edges = conflict_hypergraph_sql(backend, constraints, relation_map)
+    parent: Dict[Fact, Fact] = {}
+
+    def find(fact: Fact) -> Fact:
+        while parent[fact] is not fact:
+            parent[fact] = parent[parent[fact]]
+            fact = parent[fact]
+        return fact
+
+    for edge in sorted(edges, key=lambda e: sorted(map(str, e))):
+        members = sorted(edge, key=str)
+        for fact in members:
+            parent.setdefault(fact, fact)
+        root = find(members[0])
+        for fact in members[1:]:
+            parent[find(fact)] = root
+    groups: Dict[Fact, Set[Fact]] = {}
+    for fact in parent:
+        groups.setdefault(find(fact), set()).add(fact)
+    return tuple(
+        sorted(
+            (frozenset(group) for group in groups.values()),
+            key=lambda g: sorted(map(str, g)),
+        )
+    )

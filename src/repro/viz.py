@@ -1,0 +1,92 @@
+"""Rendering of repairing Markov chains.
+
+Reproduces the paper's Section 3 figure: the tree of repairing sequences
+with edge probabilities.  Two renderers: Graphviz DOT text (no external
+dependency — just the text) and a plain-ASCII tree for terminals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.chain import RepairingChain
+from repro.core.exact import ChainExploration, Edge, explore_chain
+from repro.core.state import RepairState
+
+
+def _short_label(label: str, relation_to_strip: Optional[str]) -> str:
+    if relation_to_strip:
+        label = label.replace(relation_to_strip, "")
+    return label
+
+
+def chain_to_dot(
+    chain: RepairingChain,
+    max_states: Optional[int] = 10_000,
+    strip_relation: Optional[str] = None,
+) -> str:
+    """Render the full chain as Graphviz DOT text.
+
+    *strip_relation* removes a relation name from labels, matching the
+    paper's figure which writes ``-(a, b)`` instead of ``-Pref(a, b)``.
+    """
+    exploration = explore_chain(chain, max_states=max_states, collect_edges=True)
+    assert exploration.edges is not None
+    lines = ["digraph repairing_chain {", '  rankdir="TB";', '  node [shape=box];']
+    seen: Dict[str, str] = {}
+
+    def node_id(label: str) -> str:
+        if label not in seen:
+            seen[label] = f"n{len(seen)}"
+            text = _short_label(label, strip_relation) or "ε"
+            lines.append(f'  {seen[label]} [label="{text}"];')
+        return seen[label]
+
+    node_id("ε")
+    for edge in exploration.edges:
+        parent = node_id(edge.parent)
+        child = node_id(edge.child)
+        lines.append(f'  {parent} -> {child} [label="{edge.probability}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def chain_to_ascii(
+    chain: RepairingChain,
+    max_states: Optional[int] = 10_000,
+    strip_relation: Optional[str] = None,
+) -> str:
+    """Render the chain as an indented ASCII tree with probabilities."""
+    exploration = explore_chain(chain, max_states=max_states, collect_edges=True)
+    assert exploration.edges is not None
+    children: Dict[str, List[Edge]] = {}
+    for edge in exploration.edges:
+        children.setdefault(edge.parent, []).append(edge)
+    lines: List[str] = ["ε"]
+
+    def walk(label: str, prefix: str) -> None:
+        edges = children.get(label, [])
+        for index, edge in enumerate(edges):
+            last = index == len(edges) - 1
+            connector = "└─" if last else "├─"
+            op_text = _short_label(str(edge.op), strip_relation)
+            lines.append(f"{prefix}{connector} [{edge.probability}] {op_text}")
+            walk(edge.child, prefix + ("   " if last else "│  "))
+
+    walk("ε", "")
+    return "\n".join(lines)
+
+
+def distribution_table(
+    items: List[Tuple[object, Fraction]],
+    header: Tuple[str, str] = ("repair", "probability"),
+) -> str:
+    """A small fixed-width table for repair/answer distributions."""
+    rows = [(str(key), f"{value} ({float(value):.4f})") for key, value in items]
+    width = max([len(header[0])] + [len(r[0]) for r in rows]) if rows else len(header[0])
+    lines = [f"{header[0]:<{width}}  {header[1]}"]
+    lines.append("-" * (width + 2 + len(header[1])))
+    for left, right in rows:
+        lines.append(f"{left:<{width}}  {right}")
+    return "\n".join(lines)

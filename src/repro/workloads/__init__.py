@@ -1,0 +1,31 @@
+"""Synthetic inconsistent-database workloads.
+
+The paper reports no datasets, so every experiment runs on synthetic
+workloads that exercise the same constraint shapes its examples use:
+preference tournaments with symmetric conflicts (Section 3), multi-source
+integration with trust levels and key conflicts (Example 5 / the intro),
+plain key-violation tables at scale (Section 5), and inclusion-dependency
+workloads with missing targets (TGD repairs).
+"""
+
+from repro.workloads.preferences import preference_workload, paper_preference_database
+from repro.workloads.integration import (
+    IntegrationWorkload,
+    integration_workload,
+)
+from repro.workloads.keyconflicts import key_conflict_workload, KeyConflictWorkload
+from repro.workloads.inclusion import inclusion_workload, InclusionWorkload
+from repro.workloads.retail import retail_workload, RetailWorkload
+
+__all__ = [
+    "retail_workload",
+    "RetailWorkload",
+    "preference_workload",
+    "paper_preference_database",
+    "IntegrationWorkload",
+    "integration_workload",
+    "key_conflict_workload",
+    "KeyConflictWorkload",
+    "inclusion_workload",
+    "InclusionWorkload",
+]

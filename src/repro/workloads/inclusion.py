@@ -1,0 +1,56 @@
+"""Inclusion-dependency workloads (TGD repairs with insertions).
+
+A pair of relations ``R/2`` and ``S/2`` with the paper's inclusion
+dependency ``R(x, y) -> exists z S(z, x)``; a tunable number of ``R``
+rows lack their ``S`` target, so repairing requires either inserting
+witnesses (justified additions) or deleting the offending ``R`` rows —
+the setting where failing sequences and the FPRAS impossibility show up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.constraints.base import ConstraintSet
+from repro.constraints.shortcuts import inclusion_dependency
+from repro.db.facts import Database, Fact
+
+
+@dataclass
+class InclusionWorkload:
+    """An inclusion-dependency workload."""
+
+    database: Database
+    constraints: ConstraintSet
+    satisfied_rows: int
+    dangling_rows: int
+
+
+def inclusion_workload(
+    satisfied_rows: int,
+    dangling_rows: int,
+    seed: Optional[int] = None,
+    source: str = "R",
+    target: str = "S",
+) -> InclusionWorkload:
+    """``satisfied_rows`` rows of ``R`` with an ``S`` witness plus
+    ``dangling_rows`` without one."""
+    rng = random.Random(seed)
+    facts: List[Fact] = []
+    for i in range(satisfied_rows):
+        x, y = f"a{i}", f"b{i}"
+        facts.append(Fact(source, (x, y)))
+        facts.append(Fact(target, (f"w{rng.randrange(10_000)}", x)))
+    for i in range(dangling_rows):
+        facts.append(Fact(source, (f"d{i}", f"e{i}")))
+    constraints = ConstraintSet(
+        [inclusion_dependency(source, 2, [0], target, 2, [1])]
+    )
+    return InclusionWorkload(
+        database=Database(facts),
+        constraints=constraints,
+        satisfied_rows=satisfied_rows,
+        dangling_rows=dangling_rows,
+    )

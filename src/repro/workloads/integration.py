@@ -1,0 +1,86 @@
+"""Multi-source data-integration workloads (Example 5 / the intro).
+
+Simulates integrating facts from several sources of differing
+reliability: each key receives candidate tuples from one or more
+sources; keys claimed by several sources become key-constraint conflict
+groups, and each fact's trust equals the reliability of its source —
+exactly the setting Example 5's trust-based generator targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.base import ConstraintSet
+from repro.constraints.shortcuts import key
+from repro.db.facts import Database, Fact
+
+
+@dataclass
+class IntegrationWorkload:
+    """An integrated database with per-fact trust and its key constraints."""
+
+    database: Database
+    constraints: ConstraintSet
+    trust: Dict[Fact, Fraction]
+    relation: str
+    source_of: Dict[Fact, str]
+
+    @property
+    def conflicting_keys(self) -> int:
+        """Number of key values supplied by more than one source."""
+        by_key: Dict[object, int] = {}
+        for fact in self.database.facts:
+            by_key[fact.values[0]] = by_key.get(fact.values[0], 0) + 1
+        return sum(1 for count in by_key.values() if count > 1)
+
+
+def integration_workload(
+    keys: int,
+    sources: Sequence[Tuple[str, float]],
+    conflict_rate: float = 0.3,
+    seed: Optional[int] = None,
+    relation: str = "R",
+) -> IntegrationWorkload:
+    """Integrate *keys* key values from *sources* ``(name, reliability)``.
+
+    Each key is supplied by one source; with probability *conflict_rate*
+    a second source supplies a different value for the same key, creating
+    a key violation.  Trust of each fact is its source's reliability.
+    """
+    if not sources:
+        raise ValueError("need at least one source")
+    if not 0 <= conflict_rate <= 1:
+        raise ValueError(f"conflict_rate must be in [0, 1], got {conflict_rate}")
+    rng = random.Random(seed)
+    facts: List[Fact] = []
+    trust: Dict[Fact, Fraction] = {}
+    source_of: Dict[Fact, str] = {}
+
+    def emit(key_value: str, value: str, source: Tuple[str, float]) -> None:
+        fact = Fact(relation, (key_value, value))
+        if fact in trust:
+            return
+        facts.append(fact)
+        trust[fact] = Fraction(str(source[1]))
+        source_of[fact] = source[0]
+
+    for index in range(keys):
+        key_value = f"k{index}"
+        primary = rng.choice(list(sources))
+        emit(key_value, f"v{index}_{primary[0]}", primary)
+        if len(sources) > 1 and rng.random() < conflict_rate:
+            other_sources = [s for s in sources if s[0] != primary[0]]
+            secondary = rng.choice(other_sources)
+            emit(key_value, f"v{index}_{secondary[0]}", secondary)
+    constraints = ConstraintSet(key(relation, 2, [0]))
+    return IntegrationWorkload(
+        database=Database(facts),
+        constraints=constraints,
+        trust=trust,
+        relation=relation,
+        source_of=source_of,
+    )

@@ -1,0 +1,78 @@
+"""Preference-tournament workloads (the Section 3 running example).
+
+Databases over a binary ``Pref`` relation with the non-symmetric denial
+constraint ``Pref(x, y), Pref(y, x) -> false``; a tunable fraction of
+product pairs are *conflicting* (preferred in both directions).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.constraints.base import ConstraintSet
+from repro.constraints.shortcuts import non_symmetric
+from repro.db.facts import Database, Fact
+
+
+def paper_preference_database() -> Tuple[Database, ConstraintSet]:
+    """The exact database and constraint of the Section 3 figure.
+
+    ``D = {Pref(a,b), Pref(a,c), Pref(a,d), Pref(b,a), Pref(b,d),
+    Pref(c,a)}`` with the single DC stating preference is not symmetric.
+    """
+    database = Database.from_tuples(
+        {
+            "Pref": [
+                ("a", "b"),
+                ("a", "c"),
+                ("a", "d"),
+                ("b", "a"),
+                ("b", "d"),
+                ("c", "a"),
+            ]
+        }
+    )
+    return database, ConstraintSet([non_symmetric("Pref")])
+
+
+def preference_workload(
+    products: int,
+    edges: int,
+    conflicts: int,
+    seed: Optional[int] = None,
+    relation: str = "Pref",
+) -> Tuple[Database, ConstraintSet]:
+    """A random preference database with a controlled number of conflicts.
+
+    Generates *edges* one-directional preferences plus *conflicts*
+    symmetric pairs (each contributing two facts that jointly violate the
+    DC).  Product names are ``p0, p1, ...``.
+    """
+    if products < 2:
+        raise ValueError("need at least two products")
+    rng = random.Random(seed)
+    names = [f"p{i}" for i in range(products)]
+    pairs = [
+        (a, b) for i, a in enumerate(names) for b in names[i + 1 :]
+    ]
+    rng.shuffle(pairs)
+    if conflicts > len(pairs):
+        raise ValueError(
+            f"asked for {conflicts} conflicts but only {len(pairs)} product pairs exist"
+        )
+    facts: List[Fact] = []
+    conflict_pairs = pairs[:conflicts]
+    for a, b in conflict_pairs:
+        facts.append(Fact(relation, (a, b)))
+        facts.append(Fact(relation, (b, a)))
+    remaining = pairs[conflicts:]
+    if edges > len(remaining):
+        raise ValueError(
+            f"asked for {edges} clean edges but only {len(remaining)} pairs remain"
+        )
+    for a, b in remaining[:edges]:
+        if rng.random() < 0.5:
+            a, b = b, a
+        facts.append(Fact(relation, (a, b)))
+    return Database(facts), ConstraintSet([non_symmetric(relation)])

@@ -1,0 +1,82 @@
+"""A multi-relation retail workload: keys plus a foreign key.
+
+``Customer(cid, name)`` and ``Orders(oid, cid, amount)`` with
+
+- a key on ``Customer.cid`` (conflicting customer records),
+- a key on ``Orders.oid`` (conflicting order amounts),
+- the foreign key ``Orders.cid ⊆ Customer.cid`` (dangling orders),
+
+exercising EGDs and a TGD together — the setting where insertions,
+failing sequences, and null witnesses all come into play.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.constraints.base import ConstraintSet
+from repro.constraints.shortcuts import inclusion_dependency, key
+from repro.db.facts import Database, Fact
+from repro.db.schema import Relation, Schema
+
+
+@dataclass
+class RetailWorkload:
+    """The generated instance plus its constraints and statistics."""
+
+    database: Database
+    constraints: ConstraintSet
+    schema: Schema
+    customers: int
+    duplicate_customers: int
+    orders: int
+    conflicting_orders: int
+    dangling_orders: int
+
+
+def retail_workload(
+    customers: int = 4,
+    duplicate_customers: int = 1,
+    orders: int = 4,
+    conflicting_orders: int = 1,
+    dangling_orders: int = 1,
+    seed: Optional[int] = None,
+) -> RetailWorkload:
+    """Generate a retail instance with the three inconsistency kinds.
+
+    Amount values are integers so aggregate queries apply directly.
+    Sized for exact chain exploration by default; scale the counts up
+    for sampling-only experiments.
+    """
+    rng = random.Random(seed)
+    facts: List[Fact] = []
+    for c in range(customers):
+        facts.append(Fact("Customer", (f"c{c}", f"name{c}")))
+    for c in range(duplicate_customers):
+        facts.append(Fact("Customer", (f"c{c}", f"alias{c}")))
+    for o in range(orders):
+        cid = f"c{rng.randrange(customers)}"
+        facts.append(Fact("Orders", (f"o{o}", cid, 10 * (o + 1))))
+    for o in range(conflicting_orders):
+        existing = next(f for f in facts if f.relation == "Orders" and f.values[0] == f"o{o}")
+        facts.append(Fact("Orders", (f"o{o}", existing.values[1], existing.values[2] + 5)))
+    for d in range(dangling_orders):
+        facts.append(Fact("Orders", (f"dangling{d}", f"ghost{d}", 99)))
+    constraints = ConstraintSet(
+        key("Customer", 2, [0])
+        + key("Orders", 3, [0])
+        + (inclusion_dependency("Orders", 3, [1], "Customer", 2, [0]),)
+    )
+    schema = Schema([Relation("Customer", 2), Relation("Orders", 3)])
+    return RetailWorkload(
+        database=Database(facts),
+        constraints=constraints,
+        schema=schema,
+        customers=customers,
+        duplicate_customers=duplicate_customers,
+        orders=orders,
+        conflicting_orders=conflicting_orders,
+        dangling_orders=dangling_orders,
+    )

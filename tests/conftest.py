@@ -1,0 +1,85 @@
+"""Shared fixtures: the paper's worked examples and small helpers."""
+
+import random
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    PreferenceGenerator,
+    TrustGenerator,
+    UniformGenerator,
+    key,
+    non_symmetric,
+    parse_constraints,
+)
+
+
+@pytest.fixture
+def paper_pref_db():
+    """The Section 3 preference database."""
+    return Database.from_tuples(
+        {
+            "Pref": [
+                ("a", "b"),
+                ("a", "c"),
+                ("a", "d"),
+                ("b", "a"),
+                ("b", "d"),
+                ("c", "a"),
+            ]
+        }
+    )
+
+
+@pytest.fixture
+def pref_sigma():
+    """The non-symmetric preference denial constraint."""
+    return ConstraintSet([non_symmetric("Pref")])
+
+
+@pytest.fixture
+def pref_generator(pref_sigma):
+    """Example 4's support-based generator."""
+    return PreferenceGenerator(pref_sigma)
+
+
+@pytest.fixture
+def key_db():
+    """The intro's two-fact key violation: R(a,b), R(a,c)."""
+    return Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+
+
+@pytest.fixture
+def key_sigma():
+    """Key on the first attribute of R/2."""
+    return ConstraintSet(key("R", 2, [0]))
+
+
+@pytest.fixture
+def example1_db():
+    """Example 1's database: R(a,b), R(a,c), T(a,b)."""
+    return Database.of(
+        Fact("R", ("a", "b")), Fact("R", ("a", "c")), Fact("T", ("a", "b"))
+    )
+
+
+@pytest.fixture
+def example1_sigma():
+    """Example 1's constraints: a TGD into S/3 and the key on R."""
+    return ConstraintSet(
+        parse_constraints(
+            """
+            R(x, y) -> exists z S(x, y, z)
+            R(x, y), R(x, z) -> y = z
+            """
+        )
+    )
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for sampling tests."""
+    return random.Random(20180610)  # the PODS 2018 conference date

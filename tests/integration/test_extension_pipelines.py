@@ -1,0 +1,94 @@
+"""Integration tests for the Section 6 extensions on the paper's examples."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    PreferenceGenerator,
+    UniformGenerator,
+    parse_constraints,
+    parse_query,
+    repair_distribution,
+)
+from repro.core.localization import localized_repair_distribution
+from repro.extensions import (
+    NullWitnessGenerator,
+    PreferredOperationsGenerator,
+    equal_repair_oca,
+    prefer_deletions_over_insertions,
+    prefer_fewer_changes,
+)
+from repro.workloads import integration_workload
+
+
+class TestEqualRepairsOnPaperExample:
+    def test_most_preferred_product_flattens_to_quarter(
+        self, paper_pref_db, pref_sigma
+    ):
+        """Under equally-likely repairs, 'a' is top in 1 of the 4 repairs:
+        CP drops from the operational 0.45 to 0.25."""
+        generator = PreferenceGenerator(pref_sigma)
+        query = parse_query("Q(x) :- forall y (Pref(x, y) | x = y)")
+        result = equal_repair_oca(paper_pref_db, generator, query)
+        assert result.items() == [(("a",), Fraction(1, 4))]
+
+
+class TestPreferenceGeneratorVsPrioritized:
+    def test_single_deletion_priorities_match_classical_repairs(
+        self, paper_pref_db, pref_sigma
+    ):
+        """Deletions-first + minimal-change reproduces the classical
+        one-tuple-per-conflict repair space with uniform weights."""
+        from repro.abc_repairs import abc_repairs
+
+        generator = PreferredOperationsGenerator(
+            pref_sigma, [prefer_deletions_over_insertions, prefer_fewer_changes]
+        )
+        dist = repair_distribution(paper_pref_db, generator)
+        assert dist.support == abc_repairs(paper_pref_db, pref_sigma)
+        for _, p in dist.items():
+            assert p == Fraction(1, 4)
+
+
+class TestNullWitnessOnExample1:
+    def test_example1_constraints_with_nulls(self, example1_db, example1_sigma):
+        """Null witnesses keep Example 1's chain finite and its repairs
+        consistent, without enumerating base-constant witnesses."""
+        generator = NullWitnessGenerator(UniformGenerator(example1_sigma))
+        dist = repair_distribution(example1_db, generator, max_states=50_000)
+        assert len(dist) >= 1
+        for repair in dist.support:
+            assert example1_sigma.is_satisfied(repair)
+
+    def test_null_chain_is_smaller_than_base_chain(
+        self, example1_db, example1_sigma
+    ):
+        from repro.core.exact import explore_chain
+
+        base_gen = UniformGenerator(example1_sigma)
+        null_gen = NullWitnessGenerator(base_gen)
+        base_states = explore_chain(
+            base_gen.chain(example1_db), max_states=200_000
+        ).num_states
+        null_states = explore_chain(
+            null_gen.chain(example1_db), max_states=200_000
+        ).num_states
+        assert null_states < base_states
+
+
+class TestLocalizationAtModerateScale:
+    def test_ten_conflict_groups(self):
+        """Ten independent conflicts: the global chain would need millions
+        of states; localization computes the exact distribution fast."""
+        wl = integration_workload(
+            keys=10, sources=[("a", 0.5), ("b", 0.5)], conflict_rate=1.0, seed=1
+        )
+        generator = UniformGenerator(wl.constraints)
+        dist = localized_repair_distribution(wl.database, generator)
+        # each of the 10 groups has 3 outcomes: keep-left/keep-right/drop-both
+        assert len(dist) == 3**10
+        assert dist.success_probability == Fraction(1)

@@ -1,0 +1,168 @@
+"""Integration tests: every numeric claim of the paper's worked examples.
+
+These are the ground truth for experiments E1-E4 in EXPERIMENTS.md.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    PreferenceGenerator,
+    TrustGenerator,
+    UniformGenerator,
+    explore_chain,
+    key,
+    parse_constraints,
+    parse_query,
+    repair_distribution,
+)
+from repro.abc_repairs import certain_answers
+from repro.core.oca import exact_oca
+from repro.workloads import paper_preference_database
+
+
+def removed(db, repair):
+    return frozenset(db - repair)
+
+
+class TestSection3Figure:
+    """E1: the repairing Markov chain tree of Section 3."""
+
+    def test_edge_probabilities(self, paper_pref_db, pref_sigma):
+        chain = PreferenceGenerator(pref_sigma).chain(paper_pref_db)
+        exploration = explore_chain(chain, collect_edges=True)
+        probabilities = {
+            (edge.parent, str(edge.op)): edge.probability
+            for edge in exploration.edges
+        }
+        # Root level (the figure's 2/9, 3/9, 1/9, 3/9):
+        assert probabilities[("ε", "-Pref(a, b)")] == Fraction(2, 9)
+        assert probabilities[("ε", "-Pref(b, a)")] == Fraction(3, 9)
+        assert probabilities[("ε", "-Pref(a, c)")] == Fraction(1, 9)
+        assert probabilities[("ε", "-Pref(c, a)")] == Fraction(3, 9)
+        # Second level, all eight leaf edges:
+        assert probabilities[("-Pref(a, b)", "-Pref(a, c)")] == Fraction(1, 3)
+        assert probabilities[("-Pref(a, b)", "-Pref(c, a)")] == Fraction(2, 3)
+        assert probabilities[("-Pref(b, a)", "-Pref(a, c)")] == Fraction(1, 4)
+        assert probabilities[("-Pref(b, a)", "-Pref(c, a)")] == Fraction(3, 4)
+        assert probabilities[("-Pref(a, c)", "-Pref(a, b)")] == Fraction(2, 4)
+        assert probabilities[("-Pref(a, c)", "-Pref(b, a)")] == Fraction(2, 4)
+        assert probabilities[("-Pref(c, a)", "-Pref(a, b)")] == Fraction(2, 5)
+        assert probabilities[("-Pref(c, a)", "-Pref(b, a)")] == Fraction(3, 5)
+
+    def test_tree_shape(self, paper_pref_db, pref_sigma):
+        chain = PreferenceGenerator(pref_sigma).chain(paper_pref_db)
+        exploration = explore_chain(chain, collect_edges=True)
+        assert len(exploration.leaves) == 8
+        assert exploration.max_depth == 2
+        assert exploration.total_probability == Fraction(1)
+        assert not exploration.failing_leaves
+
+    def test_example_in_text_probability_of_repair(self, paper_pref_db, pref_sigma):
+        """The text computes P(D - {Pref(b,a), Pref(c,a)}) = 3/9*3/4 + 3/9*3/5 = 0.45."""
+        dist = repair_distribution(paper_pref_db, PreferenceGenerator(pref_sigma))
+        target = paper_pref_db - {Fact("Pref", ("b", "a")), Fact("Pref", ("c", "a"))}
+        expected = Fraction(3, 9) * Fraction(3, 4) + Fraction(3, 9) * Fraction(3, 5)
+        assert dist.probability(target) == expected == Fraction(9, 20)
+
+
+class TestExample6:
+    """E2: the four repairs with their exact probabilities."""
+
+    def test_all_four_repairs(self, paper_pref_db, pref_sigma):
+        dist = repair_distribution(paper_pref_db, PreferenceGenerator(pref_sigma))
+        expectations = {
+            frozenset({Fact("Pref", ("a", "b")), Fact("Pref", ("a", "c"))}): (
+                Fraction(2, 9) * Fraction(1, 3) + Fraction(1, 9) * Fraction(2, 4)
+            ),
+            frozenset({Fact("Pref", ("a", "b")), Fact("Pref", ("c", "a"))}): (
+                Fraction(2, 9) * Fraction(2, 3) + Fraction(3, 9) * Fraction(2, 5)
+            ),
+            frozenset({Fact("Pref", ("b", "a")), Fact("Pref", ("a", "c"))}): (
+                Fraction(3, 9) * Fraction(1, 4) + Fraction(1, 9) * Fraction(2, 4)
+            ),
+            frozenset({Fact("Pref", ("b", "a")), Fact("Pref", ("c", "a"))}): (
+                Fraction(3, 9) * Fraction(3, 4) + Fraction(3, 9) * Fraction(3, 5)
+            ),
+        }
+        assert len(dist) == 4
+        for repair, probability in dist.items():
+            assert expectations[removed(paper_pref_db, repair)] == probability
+
+    def test_probabilities_sum_to_one(self, paper_pref_db, pref_sigma):
+        dist = repair_distribution(paper_pref_db, PreferenceGenerator(pref_sigma))
+        assert dist.success_probability == Fraction(1)
+
+    def test_reported_fractions(self, paper_pref_db, pref_sigma):
+        dist = repair_distribution(paper_pref_db, PreferenceGenerator(pref_sigma))
+        values = sorted(p for _, p in dist.items())
+        assert values == [
+            Fraction(7, 54),
+            Fraction(5, 36),
+            Fraction(38, 135),
+            Fraction(9, 20),
+        ]
+
+
+class TestExample7:
+    """E3: OCA of the 'most preferred product' query."""
+
+    QUERY = "Q(x) :- forall y (Pref(x, y) | x = y)"
+
+    def test_operational_answer(self, paper_pref_db, pref_sigma):
+        result = exact_oca(
+            paper_pref_db, PreferenceGenerator(pref_sigma), parse_query(self.QUERY)
+        )
+        assert result.items() == [(("a",), Fraction(9, 20))]
+
+    def test_abc_certain_answers_empty(self, paper_pref_db, pref_sigma):
+        answers = certain_answers(paper_pref_db, pref_sigma, parse_query(self.QUERY))
+        assert answers == frozenset()
+
+
+class TestIntroTrustExample:
+    """E4: the introduction's 50%-trust key conflict: 0.25 / 0.375 / 0.375."""
+
+    def test_repair_probabilities(self):
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        sigma = ConstraintSet(key("R", 2, [0]))
+        gen = TrustGenerator(
+            sigma,
+            {
+                Fact("R", ("a", "b")): Fraction(1, 2),
+                Fact("R", ("a", "c")): Fraction(1, 2),
+            },
+        )
+        dist = repair_distribution(db, gen)
+        assert dist.probability(Database()) == Fraction(1, 4)
+        assert dist.probability(Database.of(Fact("R", ("a", "b")))) == Fraction(3, 8)
+        assert dist.probability(Database.of(Fact("R", ("a", "c")))) == Fraction(3, 8)
+
+    def test_abc_only_allows_single_removals(self):
+        """The standard approach assigns 0.5/0.5 to the single removals
+        and cannot express the remove-both repair."""
+        from repro.abc_repairs import abc_repairs
+
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        sigma = ConstraintSet(key("R", 2, [0]))
+        repairs = abc_repairs(db, sigma)
+        assert Database() not in repairs
+        assert len(repairs) == 2
+
+
+class TestPaperFailingSequence:
+    """Section 3's failing-sequence example: Sigma = {R(x)->T(x), T(x)->false}."""
+
+    def test_failing_branch_probability(self):
+        sigma = ConstraintSet(parse_constraints("R(x) -> T(x)\nT(x) -> false"))
+        db = Database.of(Fact("R", ("a",)))
+        exploration = explore_chain(UniformGenerator(sigma).chain(db))
+        # Two branches from the root: +T(a) (fails: stuck, inconsistent)
+        # and -R(a) (succeeds with the empty repair).
+        assert exploration.failure_probability == Fraction(1, 2)
+        failing = exploration.failing_leaves[0]
+        assert failing.state.label() == "+T(a)"

@@ -1,0 +1,80 @@
+"""Property tests for aggregate semantics invariants.
+
+On random key-violation databases:
+
+- per-group probability masses plus the missing mass equal 1;
+- the conditional expectation lies within the operational bounds;
+- the classical subset-repair range is contained in the operational
+  bounds (the operational view also reaches non-maximal repairs);
+- COUNT under the uniform chain is maximised by some classical repair.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.core.generators import UniformGenerator
+from repro.db.atoms import Atom
+from repro.db.terms import Var
+from repro.extensions import (
+    AggregateOp,
+    AggregateQuery,
+    aggregate_distribution,
+    aggregate_range,
+)
+from repro.queries.cq import ConjunctiveQuery
+
+from tests.property.strategies import key_sigma, key_violation_databases
+
+K, V = Var("k"), Var("v")
+COUNT_KEYS = AggregateQuery(
+    AggregateOp.COUNT, ConjunctiveQuery((K,), (Atom("R", (K, V)),))
+)
+
+
+@given(key_violation_databases())
+@settings(max_examples=25, deadline=None)
+def test_masses_sum_to_one_per_group(db):
+    query = AggregateQuery(
+        AggregateOp.COUNT,
+        ConjunctiveQuery((K, V), (Atom("R", (K, V)),)),
+        group_width=1,
+    )
+    dist = aggregate_distribution(db, UniformGenerator(key_sigma()), query)
+    for key in dist.support:
+        mass = sum(dist.support[key].values(), Fraction(0))
+        assert mass + dist.missing[key] == Fraction(1)
+
+
+@given(key_violation_databases())
+@settings(max_examples=25, deadline=None)
+def test_expectation_within_bounds(db):
+    dist = aggregate_distribution(db, UniformGenerator(key_sigma()), COUNT_KEYS)
+    for key in dist.support:
+        expectation = dist.expectation(key)
+        low, high = dist.bounds(key)
+        assert Fraction(low) <= expectation <= Fraction(high)
+
+
+@given(key_violation_databases())
+@settings(max_examples=20, deadline=None)
+def test_classical_range_within_operational_bounds(db):
+    sigma = key_sigma()
+    classical = aggregate_range(db, sigma, COUNT_KEYS, repairs="subset")
+    dist = aggregate_distribution(db, UniformGenerator(sigma), COUNT_KEYS)
+    for key, (glb, lub) in classical.items():
+        bounds = dist.bounds(key)
+        assert bounds is not None
+        assert bounds[0] <= glb and lub <= bounds[1]
+
+
+@given(key_violation_databases())
+@settings(max_examples=20, deadline=None)
+def test_max_count_is_a_classical_repair_value(db):
+    """The largest achievable COUNT comes from a maximal (classical)
+    repair — deletions can only shrink counts."""
+    sigma = key_sigma()
+    classical = aggregate_range(db, sigma, COUNT_KEYS, repairs="subset")
+    dist = aggregate_distribution(db, UniformGenerator(sigma), COUNT_KEYS)
+    for key in dist.support:
+        assert dist.bounds(key)[1] == classical[key][1]

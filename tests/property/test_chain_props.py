@@ -1,0 +1,140 @@
+"""Property tests for the operational core.
+
+The paper's structural guarantees, checked on random instances:
+
+- Proposition 2: repairing sequences and chains are finite;
+- Proposition 3: the hitting distribution exists and sums to 1;
+- Proposition 4: every ABC repair is an operational repair under the
+  uniform generator;
+- Proposition 8: deletion-only generators are non-failing;
+- Definition 6: repairs are consistent; all repair probabilities plus
+  the failure mass equal 1.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.abc_repairs import abc_repairs
+from repro.core.exact import explore_chain
+from repro.core.generators import (
+    DeletionOnlyUniformGenerator,
+    PreferenceGenerator,
+    TrustGenerator,
+    UniformGenerator,
+)
+from repro.core.repairs import distribution_from_exploration
+
+from tests.property.strategies import (
+    key_sigma,
+    key_violation_databases,
+    pref_sigma,
+    preference_databases,
+    trust_maps,
+)
+
+MAX_STATES = 60_000
+
+
+@given(key_violation_databases())
+@settings(max_examples=30, deadline=None)
+def test_hitting_distribution_sums_to_one_keys(db):
+    exploration = explore_chain(
+        UniformGenerator(key_sigma()).chain(db), max_states=MAX_STATES
+    )
+    assert exploration.total_probability == Fraction(1)
+
+
+@given(preference_databases())
+@settings(max_examples=30, deadline=None)
+def test_hitting_distribution_sums_to_one_preferences(db):
+    exploration = explore_chain(
+        UniformGenerator(pref_sigma()).chain(db), max_states=MAX_STATES
+    )
+    assert exploration.total_probability == Fraction(1)
+
+
+@given(key_violation_databases())
+@settings(max_examples=30, deadline=None)
+def test_repairs_are_consistent(db):
+    sigma = key_sigma()
+    exploration = explore_chain(
+        UniformGenerator(sigma).chain(db), max_states=MAX_STATES
+    )
+    dist = distribution_from_exploration(exploration)
+    for repair in dist.support:
+        assert sigma.is_satisfied(repair)
+
+
+@given(key_violation_databases())
+@settings(max_examples=25, deadline=None)
+def test_deletion_only_is_non_failing_keys(db):
+    """Proposition 8 on EGD-only constraints."""
+    exploration = explore_chain(
+        DeletionOnlyUniformGenerator(key_sigma()).chain(db), max_states=MAX_STATES
+    )
+    assert exploration.failure_probability == Fraction(0)
+
+
+@given(preference_databases())
+@settings(max_examples=25, deadline=None)
+def test_deletion_only_is_non_failing_preferences(db):
+    exploration = explore_chain(
+        DeletionOnlyUniformGenerator(pref_sigma()).chain(db), max_states=MAX_STATES
+    )
+    assert exploration.failure_probability == Fraction(0)
+
+
+@given(key_violation_databases(max_keys=2, max_values=3))
+@settings(max_examples=20, deadline=None)
+def test_abc_repairs_are_operational_uniform(db):
+    """Proposition 4."""
+    sigma = key_sigma()
+    classical = abc_repairs(db, sigma)
+    exploration = explore_chain(
+        UniformGenerator(sigma).chain(db), max_states=MAX_STATES
+    )
+    dist = distribution_from_exploration(exploration)
+    assert classical <= dist.support
+
+
+@given(preference_databases(max_products=3, max_facts=5))
+@settings(max_examples=20, deadline=None)
+def test_abc_repairs_are_operational_uniform_pref(db):
+    sigma = pref_sigma()
+    classical = abc_repairs(db, sigma)
+    dist = distribution_from_exploration(
+        explore_chain(UniformGenerator(sigma).chain(db), max_states=MAX_STATES)
+    )
+    assert classical <= dist.support
+
+
+@given(key_violation_databases().flatmap(
+    lambda db: trust_maps(db).map(lambda trust: (db, trust))
+))
+@settings(max_examples=20, deadline=None)
+def test_trust_generator_valid_chain(db_and_trust):
+    """Trust chains are stochastically valid and non-failing."""
+    db, trust = db_and_trust
+    gen = TrustGenerator(key_sigma(), trust)
+    exploration = explore_chain(gen.chain(db), max_states=MAX_STATES)
+    assert exploration.total_probability == Fraction(1)
+    assert exploration.failure_probability == Fraction(0)
+
+
+@given(preference_databases())
+@settings(max_examples=20, deadline=None)
+def test_preference_generator_valid_chain(db):
+    gen = PreferenceGenerator(pref_sigma())
+    exploration = explore_chain(gen.chain(db), max_states=MAX_STATES)
+    assert exploration.total_probability == Fraction(1)
+
+
+@given(key_violation_databases())
+@settings(max_examples=25, deadline=None)
+def test_sequences_are_polynomially_short(db):
+    """Proposition 2: length bounded by |D| for deletion-style repairs."""
+    exploration = explore_chain(
+        UniformGenerator(key_sigma()).chain(db), max_states=MAX_STATES
+    )
+    assert exploration.max_depth <= len(db)

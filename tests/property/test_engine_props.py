@@ -1,0 +1,126 @@
+"""Property tests for repairing-sequence invariants (Definition 4).
+
+Random walks through the engine must satisfy req1, req2, no
+cancellation, and justification at every step — checked directly against
+the definitions rather than the engine's own bookkeeping.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import ConstraintSet, parse_constraints
+from repro.core.engine import RepairEngine
+from repro.core.justified import is_justified
+from repro.core.violations import violations
+from repro.db.facts import Database, Fact
+
+from tests.property.strategies import (
+    key_sigma,
+    key_violation_databases,
+    pref_sigma,
+    preference_databases,
+)
+
+
+def random_walk(engine, seed):
+    """Walk the engine to an absorbing state, recording each step."""
+    rng = random.Random(seed)
+    state = engine.initial_state()
+    trace = [state]
+    while True:
+        extensions = engine.extensions(state)
+        if not extensions:
+            return trace
+        state = engine.apply(state, rng.choice(extensions))
+        trace.append(state)
+
+
+def databases_of(trace):
+    return [state.db for state in trace]
+
+
+@given(key_violation_databases(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_req1_every_step_removes_a_violation(db, seed):
+    engine = RepairEngine(db, key_sigma())
+    trace = random_walk(engine, seed)
+    for before, after in zip(trace, trace[1:]):
+        eliminated = before.current_violations - after.current_violations
+        assert eliminated  # req1
+
+
+@given(key_violation_databases(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_req2_no_violation_reappears(db, seed):
+    sigma = key_sigma()
+    engine = RepairEngine(db, sigma)
+    trace = random_walk(engine, seed)
+    seen = [violations(state.db, sigma) for state in trace]
+    for i in range(1, len(seen)):
+        eliminated = seen[i - 1] - seen[i]
+        for later in seen[i + 1 :]:
+            assert not (eliminated & later)  # req2
+
+
+@given(preference_databases(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_every_step_is_justified(db, seed):
+    sigma = pref_sigma()
+    engine = RepairEngine(db, sigma)
+    trace = random_walk(engine, seed)
+    for before, after in zip(trace, trace[1:]):
+        op = after.sequence[-1]
+        assert is_justified(op, before.db, sigma)
+
+
+@given(key_violation_databases(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_no_cancellation_across_whole_sequence(db, seed):
+    engine = RepairEngine(db, key_sigma())
+    trace = random_walk(engine, seed)
+    final = trace[-1]
+    added = set()
+    deleted = set()
+    for op in final.sequence:
+        if op.is_insert:
+            added |= op.facts
+        else:
+            deleted |= op.facts
+    assert not (added & deleted)
+
+
+@given(key_violation_databases(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_walks_terminate_consistent_for_keys(db, seed):
+    """Deletion-reachable settings always end in a repair (Prop. 8)."""
+    sigma = key_sigma()
+    engine = RepairEngine(db, sigma)
+    final = random_walk(engine, seed)[-1]
+    assert sigma.is_satisfied(final.db)
+    assert final.db <= db  # only deletions available for EGDs
+
+
+def test_global_justification_with_tgd_interaction():
+    """Replay of Example 3's forbidden sequence fails validation."""
+    from repro.core.operations import Operation
+
+    sigma = ConstraintSet(
+        parse_constraints(
+            "R(x, y) -> exists z S(x, y, z)\nR(x, y), R(x, z) -> y = z"
+        )
+    )
+    db = Database.of(
+        Fact("R", ("a", "b")), Fact("R", ("a", "c")), Fact("T", ("a", "b"))
+    )
+    engine = RepairEngine(db, sigma)
+    import pytest
+
+    with pytest.raises(ValueError):
+        engine.replay(
+            [
+                Operation.insert(Fact("S", ("a", "b", "c"))),
+                Operation.delete(Fact("R", ("a", "b"))),
+            ]
+        )

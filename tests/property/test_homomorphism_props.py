@@ -1,0 +1,63 @@
+"""Property tests: homomorphism search soundness and completeness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.atoms import Atom
+from repro.db.facts import Database, Fact
+from repro.db.homomorphism import find_homomorphisms
+from repro.db.terms import Var
+
+from tests.property.strategies import small_binary_databases
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@given(small_binary_databases())
+@settings(max_examples=60)
+def test_homomorphisms_are_sound(db):
+    """Every found assignment really maps every atom onto a fact."""
+    atoms = [Atom("R", (X, Y)), Atom("R", (Y, Z))]
+    for hom in find_homomorphisms(atoms, db):
+        for atom in atoms:
+            assert atom.substitute(hom).to_fact() in db
+
+
+@given(small_binary_databases())
+@settings(max_examples=60)
+def test_homomorphisms_are_complete_vs_bruteforce(db):
+    """Backtracking search finds exactly the brute-force assignments."""
+    atoms = [Atom("R", (X, Y)), Atom("R", (Y, Z))]
+    found = {
+        (hom[X], hom[Y], hom[Z]) for hom in find_homomorphisms(atoms, db)
+    }
+    brute = set()
+    for x in db.dom:
+        for y in db.dom:
+            for z in db.dom:
+                if Fact("R", (x, y)) in db and Fact("R", (y, z)) in db:
+                    brute.add((x, y, z))
+    assert found == brute
+
+
+@given(small_binary_databases())
+@settings(max_examples=40)
+def test_no_duplicate_homomorphisms(db):
+    atoms = [Atom("R", (X, Y))]
+    homs = [tuple(sorted((v.name, c) for v, c in h.items()))
+            for h in find_homomorphisms(atoms, db)]
+    assert len(homs) == len(set(homs))
+
+
+@given(small_binary_databases(), st.sampled_from(["a", "b", "c", "d"]))
+@settings(max_examples=40)
+def test_partial_assignment_is_a_filter(db, constant):
+    """Binding x = constant yields exactly the matching subset."""
+    atoms = [Atom("R", (X, Y))]
+    unrestricted = {
+        (h[X], h[Y]) for h in find_homomorphisms(atoms, db)
+    }
+    restricted = {
+        (h[X], h[Y]) for h in find_homomorphisms(atoms, db, partial={X: constant})
+    }
+    assert restricted == {pair for pair in unrestricted if pair[0] == constant}

@@ -1,0 +1,80 @@
+"""Property tests: the justified-operation enumeration matches Definition 3.
+
+The enumerator builds candidates in the Proposition 1 shapes; the direct
+checker ``is_justified`` re-derives Definition 3 from scratch.  They
+must agree: everything enumerated is justified, and no justified
+operation over the violating facts is missed.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+
+from repro.core.justified import enumerate_justified_operations, is_justified
+from repro.core.operations import Operation
+from repro.core.violations import violating_facts, violations
+from repro.db.base import base_constants
+
+from tests.property.strategies import (
+    key_sigma,
+    key_violation_databases,
+    pref_sigma,
+    preference_databases,
+)
+
+
+@given(key_violation_databases())
+@settings(max_examples=30, deadline=None)
+def test_enumerated_deletions_are_justified_keys(db):
+    sigma = key_sigma()
+    ops = enumerate_justified_operations(db, sigma, base_constants(db, sigma))
+    current = violations(db, sigma)
+    for op in ops:
+        assert is_justified(op, db, sigma, current)
+
+
+@given(preference_databases())
+@settings(max_examples=30, deadline=None)
+def test_enumerated_deletions_are_justified_preferences(db):
+    sigma = pref_sigma()
+    ops = enumerate_justified_operations(db, sigma, base_constants(db, sigma))
+    for op in ops:
+        assert is_justified(op, db, sigma)
+
+
+@given(key_violation_databases())
+@settings(max_examples=20, deadline=None)
+def test_enumeration_is_complete_over_violating_facts(db):
+    """Every deletion of a subset of violating facts that Definition 3
+    accepts must be enumerated."""
+    sigma = key_sigma()
+    enumerated = enumerate_justified_operations(db, sigma, base_constants(db, sigma))
+    involved = sorted(violating_facts(db, sigma), key=str)
+    for size in (1, 2):
+        for subset in combinations(involved, size):
+            op = Operation.delete(frozenset(subset))
+            if is_justified(op, db, sigma):
+                assert op in enumerated
+
+
+@given(key_violation_databases())
+@settings(max_examples=25, deadline=None)
+def test_untouched_facts_never_deleted(db):
+    """No justified operation may involve a fact outside every violation."""
+    sigma = key_sigma()
+    involved = violating_facts(db, sigma)
+    ops = enumerate_justified_operations(db, sigma, base_constants(db, sigma))
+    for op in ops:
+        assert op.facts <= involved
+
+
+@given(key_violation_databases())
+@settings(max_examples=25, deadline=None)
+def test_every_enumerated_op_fixes_something(db):
+    """req1 at the operation level: applying the op removes a violation."""
+    sigma = key_sigma()
+    before = violations(db, sigma)
+    ops = enumerate_justified_operations(db, sigma, base_constants(db, sigma), before)
+    for op in ops:
+        after = violations(op.apply(db), sigma)
+        assert before - after

@@ -1,0 +1,59 @@
+"""Property tests: SQL violation detection equals in-memory detection."""
+
+from hypothesis import given, settings
+
+from repro.abc_repairs import conflict_hypergraph
+from repro.core.localization import conflict_components
+from repro.db.schema import Schema
+from repro.sql import SQLiteBackend, conflict_components_sql, conflict_hypergraph_sql
+
+from tests.property.strategies import (
+    key_sigma,
+    key_violation_databases,
+    pref_sigma,
+    preference_databases,
+    small_binary_databases,
+)
+
+
+@given(key_violation_databases())
+@settings(max_examples=30, deadline=None)
+def test_key_hypergraph_sql_equals_memory(db):
+    sigma = key_sigma()
+    with SQLiteBackend() as backend:
+        backend.load(db, Schema.of(R=2))
+        assert conflict_hypergraph_sql(backend, sigma) == conflict_hypergraph(
+            db, sigma
+        )
+
+
+@given(preference_databases())
+@settings(max_examples=30, deadline=None)
+def test_dc_hypergraph_sql_equals_memory(db):
+    sigma = pref_sigma()
+    with SQLiteBackend() as backend:
+        backend.load(db, Schema.of(Pref=2))
+        assert conflict_hypergraph_sql(backend, sigma) == conflict_hypergraph(
+            db, sigma
+        )
+
+
+@given(key_violation_databases())
+@settings(max_examples=25, deadline=None)
+def test_components_sql_equals_memory(db):
+    sigma = key_sigma()
+    with SQLiteBackend() as backend:
+        backend.load(db, Schema.of(R=2))
+        assert conflict_components_sql(backend, sigma) == conflict_components(
+            db, sigma
+        )
+
+
+@given(small_binary_databases())
+@settings(max_examples=25, deadline=None)
+def test_consistent_iff_no_edges(db):
+    sigma = key_sigma()
+    with SQLiteBackend() as backend:
+        backend.load(db, Schema.of(R=2))
+        edges = conflict_hypergraph_sql(backend, sigma)
+    assert bool(edges) == (not sigma.is_satisfied(db))

@@ -1,0 +1,139 @@
+"""Unit tests for the classical ABC-repair baseline."""
+
+import pytest
+
+from repro.abc_repairs import (
+    abc_repairs,
+    certain_answers,
+    conflict_hypergraph,
+    is_abc_repair,
+    maximal_consistent_subsets,
+    subset_repairs,
+)
+from repro.constraints import ConstraintSet, key, non_symmetric, parse_constraints
+from repro.db.facts import Database, Fact
+from repro.queries.parser import parse_cq, parse_query
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+
+
+class TestConflictHypergraph:
+    def test_key_pairs(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC, Fact("R", ("x", "y")))
+        edges = conflict_hypergraph(db, sigma)
+        assert edges == {frozenset({R_AB, R_AC})}
+
+    def test_rejects_tgds(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> S(x)"))
+        with pytest.raises(ValueError):
+            conflict_hypergraph(Database.of(R_AB), sigma)
+
+
+class TestMaximalConsistentSubsets:
+    def test_key_violation(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC)
+        assert maximal_consistent_subsets(db, sigma) == {
+            Database.of(R_AB),
+            Database.of(R_AC),
+        }
+
+    def test_consistent_database_is_its_own_repair(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB)
+        assert maximal_consistent_subsets(db, sigma) == {db}
+
+    def test_overlapping_conflicts(self):
+        # a conflicts with b and c; b and c are compatible with each other.
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC, Fact("R", ("a", "d")))
+        repairs = maximal_consistent_subsets(db, sigma)
+        assert repairs == {
+            Database.of(R_AB),
+            Database.of(R_AC),
+            Database.of(Fact("R", ("a", "d"))),
+        }
+
+    def test_preference_conflicts(self, paper_pref_db, pref_sigma):
+        repairs = maximal_consistent_subsets(paper_pref_db, pref_sigma)
+        # two independent symmetric conflicts: 2 x 2 = 4 repairs.
+        assert len(repairs) == 4
+        for repair in repairs:
+            assert pref_sigma.is_satisfied(repair)
+            # maximality: every removed fact would re-create a conflict
+            for fact in paper_pref_db - repair:
+                assert not pref_sigma.is_satisfied(repair.add(fact))
+
+    def test_multi_fact_hyperedge(self):
+        # a ternary denial constraint: all three facts together forbidden.
+        sigma = ConstraintSet(
+            parse_constraints("R(x, y), R(y, z), R(z, x) -> false")
+        )
+        db = Database.from_tuples({"R": [("a", "b"), ("b", "c"), ("c", "a")]})
+        repairs = maximal_consistent_subsets(db, sigma)
+        # remove any one of the cycle's facts (collapsed triples x=y=z
+        # do not occur since there are no self-loops).
+        assert len(repairs) == 3
+        assert all(len(repair) == 2 for repair in repairs)
+
+
+class TestABCRepairsWithTGDs:
+    def test_insertion_repair_found(self):
+        # R(x) -> S(x) over dom {a}: repairs are {R(a), S(a)} and {}.
+        sigma = ConstraintSet(parse_constraints("R(x) -> S(x)"))
+        db = Database.of(Fact("R", ("a",)))
+        repairs = abc_repairs(db, sigma)
+        assert repairs == {
+            Database.of(Fact("R", ("a",)), Fact("S", ("a",))),
+            Database(),
+        }
+
+    def test_base_budget_enforced(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> S(x, y, y)"))
+        db = Database.of(R_AB, R_AC)
+        with pytest.raises(ValueError):
+            abc_repairs(db, sigma, max_base=5)
+
+    def test_is_abc_repair(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC)
+        assert is_abc_repair(Database.of(R_AB), db, sigma)
+        assert not is_abc_repair(Database(), db, sigma)  # not Delta-minimal
+
+
+class TestSubsetRepairs:
+    def test_matches_abc_for_tgd_free(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC)
+        assert subset_repairs(db, sigma) == abc_repairs(db, sigma)
+
+    def test_with_tgds_restricts_to_deletions(self):
+        sigma = ConstraintSet(parse_constraints("R(x) -> S(x)"))
+        db = Database.of(Fact("R", ("a",)), Fact("S", ("b",)))
+        repairs = subset_repairs(db, sigma)
+        # cannot add S(a): the only maximal consistent subset drops R(a).
+        assert repairs == {Database.of(Fact("S", ("b",)))}
+
+
+class TestCertainAnswers:
+    def test_empty_for_conflicting_values(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC)
+        q = parse_cq("Q(y) :- R(x, y)")
+        assert certain_answers(db, sigma, q) == frozenset()
+
+    def test_shared_answers_survive(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC, Fact("R", ("k", "v")))
+        q = parse_cq("Q(x) :- R(x, y)")
+        # 'a' appears in every repair (one of its tuples always kept);
+        # so does 'k'.
+        assert certain_answers(db, sigma, q) == {("a",), ("k",)}
+
+    def test_example7_certain_answers_empty(self, paper_pref_db, pref_sigma):
+        """The paper: ABC certain answers to the 'most preferred' query
+        are empty, while the operational approach returns (a, 0.45)."""
+        q = parse_query("Q(x) :- forall y (Pref(x, y) | x = y)")
+        assert certain_answers(paper_pref_db, pref_sigma, q) == frozenset()

@@ -1,0 +1,202 @@
+"""Unit tests for aggregate queries over inconsistent databases."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import ConstraintSet, Database, Fact, TrustGenerator, UniformGenerator, key
+from repro.extensions import (
+    AggregateOp,
+    AggregateQuery,
+    aggregate_distribution,
+    aggregate_range,
+    approximate_aggregate,
+)
+from repro.queries.parser import parse_cq
+
+# Sales(key, region, amount) — key on position 0, conflicting amounts.
+S_A1 = Fact("Sales", ("o1", "north", 10))
+S_A2 = Fact("Sales", ("o1", "north", 30))  # conflicts with S_A1
+S_B = Fact("Sales", ("o2", "north", 5))
+S_C = Fact("Sales", ("o3", "south", 7))
+
+
+@pytest.fixture
+def db():
+    return Database.of(S_A1, S_A2, S_B, S_C)
+
+
+@pytest.fixture
+def sigma():
+    return ConstraintSet(key("Sales", 3, [0]))
+
+
+def sum_query(group_width=0):
+    return AggregateQuery(
+        AggregateOp.SUM,
+        parse_cq("Q(r, a) :- Sales(k, r, a)") if group_width else parse_cq(
+            "Q(a, k) :- Sales(k, r, a)"
+        ),
+        group_width=group_width,
+        value_position=1 if group_width else 0,
+    )
+
+
+class TestEvaluate:
+    def test_count_global(self, db):
+        q = AggregateQuery(AggregateOp.COUNT, parse_cq("Q(k) :- Sales(k, r, a)"))
+        assert q.evaluate(db) == {(): 3}  # distinct keys o1, o2, o3
+
+    def test_count_empty_global_is_zero(self):
+        q = AggregateQuery(AggregateOp.COUNT, parse_cq("Q(k) :- Sales(k, r, a)"))
+        assert q.evaluate(Database()) == {(): 0}
+
+    def test_sum_grouped_by_region(self, db):
+        q = AggregateQuery(
+            AggregateOp.SUM,
+            parse_cq("Q(r, a, k) :- Sales(k, r, a)"),
+            group_width=1,
+            value_position=1,
+        )
+        assert q.evaluate(db) == {("north",): 45, ("south",): 7}
+
+    def test_min_max(self, db):
+        base = parse_cq("Q(a, k) :- Sales(k, r, a)")
+        minq = AggregateQuery(AggregateOp.MIN, base, value_position=0)
+        maxq = AggregateQuery(AggregateOp.MAX, base, value_position=0)
+        assert minq.evaluate(db) == {(): 5}
+        assert maxq.evaluate(db) == {(): 30}
+
+    def test_avg_is_exact_fraction(self, db):
+        q = AggregateQuery(
+            AggregateOp.AVG, parse_cq("Q(a, k) :- Sales(k, r, a)"), value_position=0
+        )
+        assert q.evaluate(db) == {(): Fraction(52, 4)}
+
+    def test_numeric_strings_coerced(self):
+        db = Database.of(Fact("T", ("x", "42")))
+        q = AggregateQuery(
+            AggregateOp.SUM, parse_cq("Q(v, k) :- T(k, v)"), value_position=0
+        )
+        assert q.evaluate(db) == {(): 42}
+
+    def test_non_numeric_rejected(self):
+        db = Database.of(Fact("T", ("x", "not-a-number")))
+        q = AggregateQuery(
+            AggregateOp.SUM, parse_cq("Q(v, k) :- T(k, v)"), value_position=0
+        )
+        with pytest.raises(ValueError):
+            q.evaluate(db)
+
+    def test_validation(self):
+        cq = parse_cq("Q(k) :- Sales(k, r, a)")
+        with pytest.raises(ValueError):
+            AggregateQuery(AggregateOp.SUM, cq)  # missing value_position
+        with pytest.raises(ValueError):
+            AggregateQuery(AggregateOp.SUM, cq, value_position=5)
+        with pytest.raises(ValueError):
+            AggregateQuery(AggregateOp.COUNT, cq, group_width=7)
+
+
+class TestClassicalRange:
+    def test_sum_range_over_abc_repairs(self, db, sigma):
+        # repairs keep either amount 10 or 30 for o1: totals 22 or 42.
+        q = AggregateQuery(
+            AggregateOp.SUM, parse_cq("Q(a, k) :- Sales(k, r, a)"), value_position=0
+        )
+        assert aggregate_range(db, sigma, q) == {(): (22, 42)}
+
+    def test_count_range_is_tight_for_keys(self, db, sigma):
+        q = AggregateQuery(AggregateOp.COUNT, parse_cq("Q(k) :- Sales(k, r, a)"))
+        assert aggregate_range(db, sigma, q) == {(): (3, 3)}
+
+
+class TestOperationalDistribution:
+    def test_sum_distribution(self, db, sigma):
+        q = AggregateQuery(
+            AggregateOp.SUM, parse_cq("Q(a, k) :- Sales(k, r, a)"), value_position=0
+        )
+        dist = aggregate_distribution(db, UniformGenerator(sigma), q)
+        # uniform chain on the o1 conflict: keep-10, keep-30, drop-both.
+        assert dist.probability((), 22) == Fraction(1, 3)
+        assert dist.probability((), 42) == Fraction(1, 3)
+        assert dist.probability((), 12) == Fraction(1, 3)
+        assert dist.expectation(()) == Fraction(22 + 42 + 12, 3)
+
+    def test_bounds_extend_classical_range(self, db, sigma):
+        """The operational bounds include the drop-both outcome that the
+        classical range semantics cannot see."""
+        q = AggregateQuery(
+            AggregateOp.SUM, parse_cq("Q(a, k) :- Sales(k, r, a)"), value_position=0
+        )
+        classical = aggregate_range(db, sigma, q)[()]
+        operational = aggregate_distribution(db, UniformGenerator(sigma), q).bounds(())
+        assert operational[0] < classical[0]  # 12 < 22
+        assert operational[1] == classical[1]
+
+    def test_trust_weighted_expectation(self, db, sigma):
+        generator = TrustGenerator(sigma, {S_A1: Fraction(9, 10), S_A2: Fraction(1, 10)})
+        q = AggregateQuery(
+            AggregateOp.SUM, parse_cq("Q(a, k) :- Sales(k, r, a)"), value_position=0
+        )
+        dist = aggregate_distribution(db, generator, q)
+        # trusting the 10-amount fact pulls the expectation toward 22.
+        uniform = aggregate_distribution(db, UniformGenerator(sigma), q)
+        assert dist.expectation(()) < uniform.expectation(())
+
+    def test_group_missing_probability(self, sigma):
+        # one key, conflict; the group vanishes when both facts drop.
+        db = Database.of(S_A1, S_A2)
+        q = AggregateQuery(
+            AggregateOp.SUM,
+            parse_cq("Q(r, a, k) :- Sales(k, r, a)"),
+            group_width=1,
+            value_position=1,
+        )
+        dist = aggregate_distribution(db, UniformGenerator(sigma), q)
+        assert dist.missing[("north",)] == Fraction(1, 3)
+
+    def test_groups_listing(self, db, sigma):
+        q = AggregateQuery(
+            AggregateOp.SUM,
+            parse_cq("Q(r, a, k) :- Sales(k, r, a)"),
+            group_width=1,
+            value_position=1,
+        )
+        dist = aggregate_distribution(db, UniformGenerator(sigma), q)
+        assert dist.groups() == (("north",), ("south",))
+        assert dist.expectation(("missing",)) is None
+        assert dist.bounds(("missing",)) is None
+
+
+class TestApproximateAggregate:
+    def test_estimate_tracks_expectation(self, db, sigma):
+        q = AggregateQuery(
+            AggregateOp.SUM, parse_cq("Q(a, k) :- Sales(k, r, a)"), value_position=0
+        )
+        generator = UniformGenerator(sigma)
+        exact = float(aggregate_distribution(db, generator, q).expectation(()))
+        estimate = approximate_aggregate(
+            db,
+            generator,
+            q,
+            epsilon=0.05,
+            delta=0.05,
+            rng=random.Random(4),
+            value_bound=42,
+        )
+        assert estimate is not None
+        assert abs(estimate - exact) <= 0.05 * 42
+
+    def test_absent_group_returns_none(self, db, sigma):
+        q = AggregateQuery(
+            AggregateOp.SUM,
+            parse_cq("Q(r, a, k) :- Sales(k, r, a)"),
+            group_width=1,
+            value_position=1,
+        )
+        estimate = approximate_aggregate(
+            db, UniformGenerator(sigma), q, key=("nowhere",), rng=random.Random(1)
+        )
+        assert estimate is None

@@ -1,0 +1,96 @@
+"""Unit tests for Hoeffding arithmetic and error statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    absolute_errors,
+    additive_error_bound,
+    confidence_level,
+    convergence_series,
+    empirical_coverage,
+    hoeffding_failure_probability,
+    max_absolute_error,
+    sample_size,
+    total_variation_distance,
+)
+
+
+class TestSampleSize:
+    def test_paper_value(self):
+        """Section 5: for eps = delta = 0.1 the count is 150."""
+        assert sample_size(0.1, 0.1) == 150
+
+    def test_monotone_in_epsilon(self):
+        assert sample_size(0.05, 0.1) > sample_size(0.1, 0.1)
+
+    def test_monotone_in_delta(self):
+        assert sample_size(0.1, 0.01) > sample_size(0.1, 0.1)
+
+    def test_quadratic_scaling_in_epsilon(self):
+        # halving eps roughly quadruples n
+        ratio = sample_size(0.05, 0.1) / sample_size(0.1, 0.1)
+        assert 3.9 <= ratio <= 4.1
+
+    def test_logarithmic_scaling_in_delta(self):
+        n1 = sample_size(0.1, 0.1)
+        n2 = sample_size(0.1, 0.01)
+        assert n2 / n1 < 2  # log(200)/log(20) ~ 1.77
+
+    @pytest.mark.parametrize("eps,delta", [(0, 0.1), (-1, 0.1), (0.1, 0), (0.1, 1)])
+    def test_invalid_parameters(self, eps, delta):
+        with pytest.raises(ValueError):
+            sample_size(eps, delta)
+
+
+class TestBounds:
+    def test_failure_probability_formula(self):
+        assert hoeffding_failure_probability(100, 0.1) == pytest.approx(
+            2 * math.exp(-2)
+        )
+
+    def test_additive_bound_inverts_sample_size(self):
+        n = sample_size(0.07, 0.05)
+        assert additive_error_bound(n, 0.05) <= 0.07
+
+    def test_confidence_level(self):
+        n = sample_size(0.1, 0.1)
+        assert confidence_level(n, 0.1) >= 0.9
+
+    def test_confidence_clamped(self):
+        assert confidence_level(1, 0.01) == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            additive_error_bound(0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_failure_probability(0, 0.1)
+
+
+class TestErrorStats:
+    def test_absolute_errors_union_of_keys(self):
+        errors = absolute_errors({"a": 0.5}, {"a": 0.4, "b": 0.1})
+        assert errors["a"] == pytest.approx(0.1)
+        assert errors["b"] == pytest.approx(0.1)
+
+    def test_max_absolute_error(self):
+        assert max_absolute_error({"a": 1.0}, {"a": 0.75}) == pytest.approx(0.25)
+        assert max_absolute_error({}, {}) == 0.0
+
+    def test_total_variation(self):
+        tv = total_variation_distance({"a": 0.5, "b": 0.5}, {"a": 1.0})
+        assert tv == pytest.approx(0.5)
+        assert total_variation_distance({"a": 1.0}, {"a": 1.0}) == 0.0
+
+    def test_empirical_coverage(self):
+        trials = [0.5, 0.52, 0.48, 0.9]
+        assert empirical_coverage(trials, target=0.5, epsilon=0.05) == 0.75
+
+    def test_empirical_coverage_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_coverage([], 0.5, 0.1)
+
+    def test_convergence_series(self):
+        series = convergence_series(lambda n: 1.0 / n, [1, 2, 4])
+        assert series == [(1, 1.0), (2, 0.5), (4, 0.25)]

@@ -1,0 +1,50 @@
+"""Unit tests for the base B(D, Sigma)."""
+
+from repro.constraints.parser import parse_constraint
+from repro.db.base import base_constants, base_size, enumerate_base
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+
+
+class TestBaseConstants:
+    def test_database_constants(self):
+        db = Database.from_tuples({"R": [("a", "b")]})
+        assert base_constants(db) == {"a", "b"}
+
+    def test_constraint_constants_included(self):
+        db = Database.from_tuples({"R": [("a", "a")]})
+        constraint = parse_constraint("R(x, 'c') -> x = 'd'")
+        assert base_constants(db, [constraint]) == {"a", "c", "d"}
+
+    def test_objects_without_constants_ignored(self):
+        db = Database.from_tuples({"R": [("a", "a")]})
+        assert base_constants(db, [object()]) == {"a"}
+
+
+class TestBaseSize:
+    def test_counts_per_relation(self):
+        schema = Schema.of(R=2, S=1)
+        assert base_size(schema, frozenset({"a", "b"})) == 4 + 2
+
+    def test_empty_constants(self):
+        assert base_size(Schema.of(R=2), frozenset()) == 0
+
+
+class TestEnumerateBase:
+    def test_enumerates_all_facts(self):
+        schema = Schema.of(R=1, S=2)
+        facts = list(enumerate_base(schema, frozenset({"a", "b"})))
+        assert len(facts) == 2 + 4
+        assert Fact("S", ("b", "a")) in facts
+
+    def test_deterministic_order(self):
+        schema = Schema.of(R=2)
+        consts = frozenset({"b", "a", "c"})
+        assert list(enumerate_base(schema, consts)) == list(
+            enumerate_base(schema, consts)
+        )
+
+    def test_size_matches_enumeration(self):
+        schema = Schema.of(R=2, S=3)
+        consts = frozenset({"a", "b"})
+        assert len(list(enumerate_base(schema, consts))) == base_size(schema, consts)

@@ -1,0 +1,190 @@
+"""Unit tests for repairing Markov chains and the generator library."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import ConstraintSet, key, non_symmetric, parse_constraints
+from repro.core.chain import RepairingChain
+from repro.core.errors import InvalidGeneratorError
+from repro.core.generators import (
+    DeletionOnlyUniformGenerator,
+    FunctionGenerator,
+    PreferenceGenerator,
+    SingleFactDeletionGenerator,
+    TrustGenerator,
+    UniformGenerator,
+)
+from repro.core.operations import Operation
+from repro.db.facts import Database, Fact
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+
+
+@pytest.fixture
+def key_db():
+    return Database.of(R_AB, R_AC)
+
+
+@pytest.fixture
+def key_sigma():
+    return ConstraintSet(key("R", 2, [0]))
+
+
+class TestChainBasics:
+    def test_transitions_normalized(self, key_db, key_sigma):
+        chain = UniformGenerator(key_sigma).chain(key_db)
+        transitions = chain.transitions(chain.initial_state())
+        assert len(transitions) == 3
+        assert sum(p for _, p in transitions) == Fraction(1)
+        assert all(p == Fraction(1, 3) for _, p in transitions)
+
+    def test_absorbing_states_have_no_transitions(self, key_db, key_sigma):
+        chain = UniformGenerator(key_sigma).chain(key_db)
+        state = chain.initial_state()
+        (op, _) = chain.transitions(state)[0]
+        after = chain.step(state, op)
+        assert chain.transitions(after) == ()
+        assert chain.is_absorbing(after)
+
+    def test_probabilities_are_exact_fractions(self, key_db, key_sigma):
+        chain = UniformGenerator(key_sigma).chain(key_db)
+        for _, p in chain.transitions(chain.initial_state()):
+            assert isinstance(p, Fraction)
+
+    def test_constraints_coerced_from_sequence(self):
+        gen = UniformGenerator(key("R", 2, [0]))
+        assert isinstance(gen.constraints, ConstraintSet)
+
+
+class TestGeneratorValidity:
+    def test_all_zero_weights_invalid(self, key_db, key_sigma):
+        gen = FunctionGenerator(key_sigma, lambda state, exts: {})
+        chain = gen.chain(key_db)
+        with pytest.raises(InvalidGeneratorError):
+            chain.transitions(chain.initial_state())
+
+    def test_negative_weight_invalid(self, key_db, key_sigma):
+        gen = FunctionGenerator(key_sigma, lambda state, exts: {exts[0]: -1})
+        chain = gen.chain(key_db)
+        with pytest.raises(InvalidGeneratorError):
+            chain.transitions(chain.initial_state())
+
+    def test_weight_on_invalid_extension_rejected(self, key_db, key_sigma):
+        rogue = Operation.delete(Fact("R", ("zzz", "zzz")))
+
+        def weights(state, exts):
+            return {rogue: 1}
+
+        chain = FunctionGenerator(key_sigma, weights).chain(key_db)
+        with pytest.raises(InvalidGeneratorError):
+            chain.transitions(chain.initial_state())
+
+    def test_zero_weight_prunes_branch(self, key_db, key_sigma):
+        def weights(state, exts):
+            return {op: (1 if len(op.facts) == 1 else 0) for op in exts}
+
+        chain = FunctionGenerator(key_sigma, weights).chain(key_db)
+        transitions = chain.transitions(chain.initial_state())
+        assert len(transitions) == 2
+        assert all(len(op.facts) == 1 for op, _ in transitions)
+
+
+class TestUniformGenerator:
+    def test_equal_probabilities(self, key_db, key_sigma):
+        chain = UniformGenerator(key_sigma).chain(key_db)
+        transitions = chain.transitions(chain.initial_state())
+        probabilities = {p for _, p in transitions}
+        assert probabilities == {Fraction(1, 3)}
+
+    def test_non_failing_flag_for_tgd_free(self, key_sigma):
+        assert UniformGenerator(key_sigma).is_non_failing
+
+    def test_unknown_for_tgds(self):
+        sigma = ConstraintSet(parse_constraints("R(x) -> S(x)"))
+        assert not UniformGenerator(sigma).is_non_failing
+
+
+class TestDeletionOnlyGenerators:
+    def test_insertions_pruned(self):
+        sigma = ConstraintSet(parse_constraints("R(x) -> S(x)"))
+        db = Database.of(Fact("R", ("a",)))
+        chain = DeletionOnlyUniformGenerator(sigma).chain(db)
+        transitions = chain.transitions(chain.initial_state())
+        assert all(op.is_delete for op, _ in transitions)
+
+    def test_declared_non_failing(self):
+        sigma = ConstraintSet(parse_constraints("R(x) -> S(x)"))
+        gen = DeletionOnlyUniformGenerator(sigma)
+        assert gen.supports_only_deletions and gen.is_non_failing
+
+    def test_single_fact_generator(self, key_db, key_sigma):
+        chain = SingleFactDeletionGenerator(key_sigma).chain(key_db)
+        transitions = chain.transitions(chain.initial_state())
+        assert len(transitions) == 2
+        assert all(len(op.facts) == 1 for op, _ in transitions)
+
+
+class TestPreferenceGenerator:
+    def test_paper_figure_root_probabilities(self, paper_pref_db, pref_sigma):
+        chain = PreferenceGenerator(pref_sigma).chain(paper_pref_db)
+        transitions = dict(chain.transitions(chain.initial_state()))
+        probs = {
+            str(op): p for op, p in transitions.items()
+        }
+        assert probs["-Pref(a, b)"] == Fraction(2, 9)
+        assert probs["-Pref(b, a)"] == Fraction(3, 9)
+        assert probs["-Pref(a, c)"] == Fraction(1, 9)
+        assert probs["-Pref(c, a)"] == Fraction(3, 9)
+
+    def test_paper_figure_second_level(self, paper_pref_db, pref_sigma):
+        chain = PreferenceGenerator(pref_sigma).chain(paper_pref_db)
+        state = chain.initial_state()
+        by_label = {str(op): op for op, _ in chain.transitions(state)}
+        after = chain.step(state, by_label["-Pref(b, a)"])
+        transitions = {str(op): p for op, p in chain.transitions(after)}
+        assert transitions == {
+            "-Pref(a, c)": Fraction(1, 4),
+            "-Pref(c, a)": Fraction(3, 4),
+        }
+
+    def test_only_single_deletions_get_weight(self, paper_pref_db, pref_sigma):
+        chain = PreferenceGenerator(pref_sigma).chain(paper_pref_db)
+        for op, _ in chain.transitions(chain.initial_state()):
+            assert op.is_delete and len(op.facts) == 1
+
+
+class TestTrustGenerator:
+    def test_intro_example_weights(self, key_db, key_sigma):
+        gen = TrustGenerator(
+            key_sigma, {R_AB: Fraction(1, 2), R_AC: Fraction(1, 2)}
+        )
+        chain = gen.chain(key_db)
+        transitions = {str(op): p for op, p in chain.transitions(chain.initial_state())}
+        assert transitions["-R(a, b)"] == Fraction(3, 8)
+        assert transitions["-R(a, c)"] == Fraction(3, 8)
+        assert transitions["-{R(a, b), R(a, c)}"] == Fraction(1, 4)
+
+    def test_higher_trust_kept_more_often(self, key_db, key_sigma):
+        gen = TrustGenerator(key_sigma, {R_AB: Fraction(9, 10), R_AC: Fraction(1, 10)})
+        chain = gen.chain(key_db)
+        transitions = {str(op): p for op, p in chain.transitions(chain.initial_state())}
+        assert transitions["-R(a, c)"] > transitions["-R(a, b)"]
+
+    def test_float_trust_converted_exactly(self, key_sigma):
+        gen = TrustGenerator(key_sigma, {R_AB: 0.1})
+        assert gen.trust_of(R_AB) == Fraction(1, 10)
+
+    def test_default_trust(self, key_sigma):
+        gen = TrustGenerator(key_sigma, {})
+        assert gen.trust_of(R_AB) == Fraction(1, 2)
+
+    def test_trust_out_of_range_rejected(self, key_sigma):
+        with pytest.raises(ValueError):
+            TrustGenerator(key_sigma, {R_AB: 2})
+
+    def test_pair_weights_sum_to_one(self, key_sigma):
+        gen = TrustGenerator(key_sigma, {R_AB: Fraction(2, 3), R_AC: Fraction(1, 4)})
+        weights = gen.pair_weights(R_AB, R_AC)
+        assert sum(weights.values()) == Fraction(1)

@@ -1,0 +1,253 @@
+"""Unit tests for the ocqa command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.db.facts import Database, Fact
+from repro.io import save_database
+
+
+@pytest.fixture
+def paper_files(tmp_path):
+    """The Section 3 preference example on disk."""
+    db = Database.from_tuples(
+        {
+            "Pref": [
+                ("a", "b"),
+                ("a", "c"),
+                ("a", "d"),
+                ("b", "a"),
+                ("b", "d"),
+                ("c", "a"),
+            ]
+        }
+    )
+    db_path = tmp_path / "db.json"
+    save_database(db, db_path)
+    sigma_path = tmp_path / "sigma.txt"
+    sigma_path.write_text("Pref(x, y), Pref(y, x) -> false\n")
+    return str(db_path), str(sigma_path)
+
+
+@pytest.fixture
+def key_files(tmp_path):
+    db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+    db_path = tmp_path / "db.json"
+    save_database(db, db_path)
+    sigma_path = tmp_path / "sigma.txt"
+    sigma_path.write_text("R(x, y), R(x, z) -> y = z\n")
+    return str(db_path), str(sigma_path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestViolations:
+    def test_lists_violations(self, capsys, key_files):
+        db, sigma = key_files
+        code, out = run_cli(capsys, "violations", "--db", db, "--constraints", sigma)
+        assert code == 0
+        assert "2 violation(s)" in out
+
+
+class TestRepairs:
+    def test_uniform(self, capsys, key_files):
+        db, sigma = key_files
+        code, out = run_cli(capsys, "repairs", "--db", db, "--constraints", sigma)
+        assert code == 0
+        assert "1/3" in out
+
+    def test_preference_generator(self, capsys, paper_files):
+        db, sigma = paper_files
+        code, out = run_cli(
+            capsys,
+            "repairs",
+            "--db",
+            db,
+            "--constraints",
+            sigma,
+            "--generator",
+            "preference",
+        )
+        assert code == 0
+        assert "9/20" in out
+
+    def test_trust_generator_requires_file(self, paper_files):
+        db, sigma = paper_files
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "repairs",
+                    "--db",
+                    db,
+                    "--constraints",
+                    sigma,
+                    "--generator",
+                    "trust",
+                ]
+            )
+
+    def test_trust_generator_with_file(self, capsys, key_files, tmp_path):
+        db, sigma = key_files
+        trust_path = tmp_path / "trust.json"
+        trust_path.write_text(
+            json.dumps(
+                [
+                    {"relation": "R", "values": ["a", "b"], "trust": 0.5},
+                    {"relation": "R", "values": ["a", "c"], "trust": 0.5},
+                ]
+            )
+        )
+        code, out = run_cli(
+            capsys,
+            "repairs",
+            "--db",
+            db,
+            "--constraints",
+            sigma,
+            "--generator",
+            "trust",
+            "--trust",
+            str(trust_path),
+        )
+        assert code == 0
+        assert "3/8" in out and "1/4" in out
+
+
+class TestOCA:
+    def test_example7(self, capsys, paper_files):
+        db, sigma = paper_files
+        code, out = run_cli(
+            capsys,
+            "oca",
+            "--db",
+            db,
+            "--constraints",
+            sigma,
+            "--generator",
+            "preference",
+            "--query",
+            "Q(x) :- forall y (Pref(x, y) | x = y)",
+        )
+        assert code == 0
+        assert "9/20" in out
+
+
+class TestSample:
+    def test_estimates_printed(self, capsys, paper_files):
+        db, sigma = paper_files
+        code, out = run_cli(
+            capsys,
+            "sample",
+            "--db",
+            db,
+            "--constraints",
+            sigma,
+            "--generator",
+            "preference",
+            "--query",
+            "Q(x) :- forall y (Pref(x, y) | x = y)",
+            "--seed",
+            "1",
+        )
+        assert code == 0
+        assert "~CP" in out and "Theorem 9" in out
+
+
+class TestChain:
+    def test_ascii(self, capsys, key_files):
+        db, sigma = key_files
+        code, out = run_cli(capsys, "chain", "--db", db, "--constraints", sigma)
+        assert code == 0
+        assert "ε" in out
+
+    def test_dot(self, capsys, key_files):
+        db, sigma = key_files
+        code, out = run_cli(
+            capsys, "chain", "--db", db, "--constraints", sigma, "--format", "dot"
+        )
+        assert code == 0
+        assert out.startswith("digraph")
+
+
+class TestABC:
+    def test_repairs_and_certain_answers(self, capsys, key_files):
+        db, sigma = key_files
+        code, out = run_cli(
+            capsys,
+            "abc",
+            "--db",
+            db,
+            "--constraints",
+            sigma,
+            "--query",
+            "Q(x) :- R(x, y)",
+        )
+        assert code == 0
+        assert "2 ABC repair(s)" in out
+        assert "('a',)" in out
+
+
+class TestSQLSample:
+    def test_estimates_printed(self, capsys, key_files):
+        db, sigma = key_files
+        code, out = run_cli(
+            capsys,
+            "sql-sample",
+            "--db",
+            db,
+            "--constraints",
+            sigma,
+            "--query",
+            "Q(x) :- R(x, y)",
+            "--runs",
+            "30",
+            "--seed",
+            "5",
+        )
+        assert code == 0
+        assert "~CP" in out
+        assert "1 conflict components" in out
+
+    def test_rejects_tgds(self, tmp_path, key_files):
+        db, _ = key_files
+        sigma_path = tmp_path / "tgd.txt"
+        sigma_path.write_text("R(x, y) -> S(x)\n")
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "sql-sample",
+                    "--db",
+                    db,
+                    "--constraints",
+                    str(sigma_path),
+                    "--query",
+                    "Q(x) :- R(x, y)",
+                ]
+            )
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_generator(self, key_files):
+        db, sigma = key_files
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "repairs",
+                    "--db",
+                    db,
+                    "--constraints",
+                    sigma,
+                    "--generator",
+                    "bogus",
+                ]
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for the textual constraint parser."""
+
+import pytest
+
+from repro.constraints import DC, EGD, TGD, parse_constraint, parse_constraints
+from repro.db.terms import Var
+from repro.parsing import ParseError
+
+
+class TestEGDParsing:
+    def test_key(self):
+        constraint = parse_constraint("R(x, y), R(x, z) -> y = z")
+        assert isinstance(constraint, EGD)
+        assert constraint.left == Var("y")
+        assert constraint.right == Var("z")
+        assert len(constraint.body) == 2
+
+    def test_constant_right_side(self):
+        constraint = parse_constraint("R(x, y) -> y = 'fixed'")
+        assert isinstance(constraint, EGD)
+        assert constraint.right == "fixed"
+
+
+class TestTGDParsing:
+    def test_explicit_exists(self):
+        constraint = parse_constraint("R(x, y) -> exists z S(z, x)")
+        assert isinstance(constraint, TGD)
+        assert constraint.existential_variables == {Var("z")}
+
+    def test_implicit_exists(self):
+        constraint = parse_constraint("R(x, y) -> S(z, x)")
+        assert isinstance(constraint, TGD)
+        assert constraint.existential_variables == {Var("z")}
+
+    def test_full_tgd(self):
+        constraint = parse_constraint("R(x, y) -> S(y, x)")
+        assert isinstance(constraint, TGD)
+        assert constraint.existential_variables == frozenset()
+
+    def test_multi_head(self):
+        constraint = parse_constraint("R(x) -> exists z S(x, z), T(z)")
+        assert isinstance(constraint, TGD)
+        assert len(constraint.head) == 2
+
+    def test_multiple_existentials(self):
+        constraint = parse_constraint("R(x) -> exists z, w S(x, z, w)")
+        assert constraint.existential_variables == {Var("z"), Var("w")}
+
+    def test_undeclared_existential_rejected_when_exists_used(self):
+        with pytest.raises(ParseError):
+            parse_constraint("R(x) -> exists z S(x, z, w)")
+
+
+class TestDCParsing:
+    def test_false_head(self):
+        constraint = parse_constraint("Pref(x, y), Pref(y, x) -> false")
+        assert isinstance(constraint, DC)
+        assert len(constraint.body) == 2
+
+    def test_constants_in_body(self):
+        constraint = parse_constraint("R(x, 'admin') -> false")
+        assert isinstance(constraint, DC)
+        assert "admin" in constraint.constants
+
+    def test_numbers_are_int_constants(self):
+        constraint = parse_constraint("R(x, 3) -> false")
+        assert 3 in constraint.constants
+
+
+class TestErrors:
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_constraint("R(x, y)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_constraint("R(x) -> false extra")
+
+    def test_empty_head(self):
+        with pytest.raises(ParseError):
+            parse_constraint("R(x) -> ")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_constraint("R(x) -> y @ z")
+
+
+class TestParseConstraints:
+    def test_newline_separated(self):
+        constraints = parse_constraints(
+            """
+            R(x, y), R(x, z) -> y = z
+            R(x, y) -> exists w S(w, x)
+            """
+        )
+        assert len(constraints) == 2
+
+    def test_semicolons_and_comments(self):
+        constraints = parse_constraints(
+            "R(x, x) -> false ; S(x) -> T(x)  # a comment\n# full comment line"
+        )
+        assert len(constraints) == 2
+
+    def test_empty_input(self):
+        assert parse_constraints("  \n# nothing\n") == ()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x, y), R(x, z) -> y = z",
+            "R(x, y) -> exists z S(z, x)",
+            "Pref(x, y), Pref(y, x) -> false",
+            "R(x) -> exists z S(x, z), T(z)",
+            "R(x, y) -> S(y, x)",
+        ],
+    )
+    def test_str_reparses_to_equal_constraint(self, text):
+        constraint = parse_constraint(text)
+        assert parse_constraint(str(constraint)) == constraint

@@ -1,0 +1,151 @@
+"""Unit tests for TGD, EGD, DC semantics and ConstraintSet."""
+
+import pytest
+
+from repro.constraints import DC, EGD, TGD, ConstraintSet
+from repro.db.atoms import Atom
+from repro.db.facts import Database, Fact
+from repro.db.terms import Var
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestTGD:
+    def tgd(self):
+        # R(x, y) -> exists z S(z, x)
+        return TGD((Atom("R", (X, Y)),), (Atom("S", (Z, X)),))
+
+    def test_existential_variables(self):
+        assert self.tgd().existential_variables == {Z}
+        assert self.tgd().frontier_variables == {X}
+
+    def test_satisfied_when_witness_exists(self):
+        db = Database.from_tuples({"R": [("a", "b")], "S": [("w", "a")]})
+        assert self.tgd().is_satisfied(db)
+
+    def test_violated_without_witness(self):
+        db = Database.from_tuples({"R": [("a", "b")], "S": [("w", "zzz")]})
+        assert not self.tgd().is_satisfied(db)
+
+    def test_violating_assignments(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("c", "d")], "S": [("w", "a")]})
+        violating = list(self.tgd().violating_assignments(db))
+        assert len(violating) == 1
+        assert violating[0][X] == "c"
+
+    def test_vacuously_satisfied_on_empty(self):
+        assert self.tgd().is_satisfied(Database())
+
+    def test_multi_head(self):
+        tgd = TGD((Atom("R", (X,)),), (Atom("S", (X, Z)), Atom("T", (Z,))))
+        db = Database.from_tuples({"R": [("a",)], "S": [("a", "u")], "T": [("u",)]})
+        assert tgd.is_satisfied(db)
+        # S present but T missing the shared witness:
+        db2 = Database.from_tuples({"R": [("a",)], "S": [("a", "u")], "T": [("v",)]})
+        assert not tgd.is_satisfied(db2)
+
+    def test_head_images_enumerates_extensions(self):
+        tgd = self.tgd()
+        images = list(tgd.head_images({X: "a", Y: "b"}, frozenset({"a", "b"})))
+        facts = {frozenset(f) for _, f in images}
+        assert facts == {
+            frozenset({Fact("S", ("a", "a"))}),
+            frozenset({Fact("S", ("b", "a"))}),
+        }
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValueError):
+            TGD((Atom("R", (X,)),), ())
+
+    def test_str_mentions_exists(self):
+        assert "exists z" in str(self.tgd())
+
+
+class TestEGD:
+    def egd(self):
+        # R(x, y), R(x, z) -> y = z  (key on first attribute)
+        return EGD((Atom("R", (X, Y)), Atom("R", (X, Z))), Y, Z)
+
+    def test_satisfied(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("c", "d")]})
+        assert self.egd().is_satisfied(db)
+
+    def test_violated(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("a", "c")]})
+        assert not self.egd().is_satisfied(db)
+
+    def test_violations_come_in_symmetric_pairs(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("a", "c")]})
+        violating = list(self.egd().violating_assignments(db))
+        # (y->b, z->c) and (y->c, z->b)
+        assert len(violating) == 2
+
+    def test_equality_variable_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            EGD((Atom("R", (X, Y)),), X, Var("nope"))
+
+    def test_constant_side(self):
+        egd = EGD((Atom("R", (X, Y)),), Y, "b")
+        assert egd.is_satisfied(Database.from_tuples({"R": [("a", "b")]}))
+        assert not egd.is_satisfied(Database.from_tuples({"R": [("a", "c")]}))
+
+
+class TestDC:
+    def dc(self):
+        # Pref(x, y), Pref(y, x) -> false
+        return DC((Atom("Pref", (X, Y)), Atom("Pref", (Y, X))))
+
+    def test_satisfied(self):
+        db = Database.from_tuples({"Pref": [("a", "b"), ("b", "c")]})
+        assert self.dc().is_satisfied(db)
+
+    def test_violated(self):
+        db = Database.from_tuples({"Pref": [("a", "b"), ("b", "a")]})
+        assert not self.dc().is_satisfied(db)
+
+    def test_self_loop_violates(self):
+        # Pref(a, a) matches with x = y = a.
+        db = Database.from_tuples({"Pref": [("a", "a")]})
+        assert not self.dc().is_satisfied(db)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            DC(())
+
+
+class TestConstraintSet:
+    def test_deduplicates(self):
+        dc = DC((Atom("R", (X,)),))
+        assert len(ConstraintSet([dc, dc])) == 1
+
+    def test_is_satisfied_conjunction(self):
+        dc = DC((Atom("R", (X, X)),))
+        egd = EGD((Atom("R", (X, Y)), Atom("R", (X, Z))), Y, Z)
+        sigma = ConstraintSet([dc, egd])
+        assert sigma.is_satisfied(Database.from_tuples({"R": [("a", "b")]}))
+        assert not sigma.is_satisfied(Database.from_tuples({"R": [("a", "a")]}))
+        assert not sigma.is_satisfied(
+            Database.from_tuples({"R": [("a", "b"), ("a", "c")]})
+        )
+
+    def test_deletion_only_detection(self):
+        egd = EGD((Atom("R", (X, Y)), Atom("R", (X, Z))), Y, Z)
+        tgd = TGD((Atom("R", (X, Y)),), (Atom("S", (X,)),))
+        assert ConstraintSet([egd]).deletion_only()
+        assert not ConstraintSet([egd, tgd]).deletion_only()
+
+    def test_schema_covers_heads(self):
+        tgd = TGD((Atom("R", (X, Y)),), (Atom("S", (X,)),))
+        schema = ConstraintSet([tgd]).schema()
+        assert schema.arity("R") == 2
+        assert schema.arity("S") == 1
+
+    def test_rejects_non_constraints(self):
+        with pytest.raises(TypeError):
+            ConstraintSet(["R(x) -> false"])
+
+    def test_constraint_value_semantics(self):
+        a = DC((Atom("R", (X,)),))
+        b = DC((Atom("R", (X,)),))
+        assert a == b and hash(a) == hash(b)
+        assert a != EGD((Atom("R", (X, Y)),), X, Y)

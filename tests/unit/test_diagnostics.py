@@ -1,0 +1,94 @@
+"""Unit tests for the inconsistency diagnostics."""
+
+import pytest
+
+from repro import ConstraintSet, Database, Fact, key, parse_constraints
+from repro.diagnostics import diagnose
+
+
+@pytest.fixture
+def mixed_db():
+    return Database.of(
+        Fact("R", ("a", "b")),
+        Fact("R", ("a", "c")),
+        Fact("R", ("k", "v")),
+        Fact("R", ("x", "y")),
+    )
+
+
+@pytest.fixture
+def key_sigma():
+    return ConstraintSet(key("R", 2, [0]))
+
+
+class TestDiagnose:
+    def test_consistent_report(self, key_sigma):
+        report = diagnose(Database.of(Fact("R", ("a", "b"))), key_sigma)
+        assert report.is_consistent
+        assert report.total_violations == 0
+        assert report.clean_fraction == 1.0
+        assert "CONSISTENT" in report.format()
+
+    def test_violation_counts(self, mixed_db, key_sigma):
+        report = diagnose(mixed_db, key_sigma)
+        assert not report.is_consistent
+        assert report.total_violations == 2  # symmetric EGD assignments
+        assert len(report.violating_facts) == 2
+        assert report.clean_fraction == 0.5
+
+    def test_components_reported(self, mixed_db, key_sigma):
+        report = diagnose(mixed_db, key_sigma)
+        assert report.components is not None
+        assert len(report.components) == 1
+        assert report.largest_component == 2
+
+    def test_per_constraint_breakdown(self, mixed_db):
+        sigma = ConstraintSet(
+            parse_constraints(
+                "R(x, y), R(x, z) -> y = z\nR('never', x) -> false"
+            )
+        )
+        report = diagnose(mixed_db, sigma)
+        statuses = {str(d.constraint): d.satisfied for d in report.per_constraint}
+        assert statuses["R(x, y), R(x, z) -> y = z"] is False
+        assert statuses["R(never, x) -> false"] is True
+
+    def test_tgds_disable_components(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> S(x)"))
+        report = diagnose(Database.of(Fact("R", ("a", "b"))), sigma)
+        assert report.components is None
+        assert report.largest_component == 0
+        assert "unavailable" in report.format()
+
+    def test_empty_database(self, key_sigma):
+        report = diagnose(Database(), key_sigma)
+        assert report.is_consistent
+        assert report.clean_fraction == 1.0
+
+    def test_format_mentions_violations(self, mixed_db, key_sigma):
+        text = diagnose(mixed_db, key_sigma).format()
+        assert "INCONSISTENT" in text
+        assert "VIOLATED" in text
+        assert "conflict components: 1" in text
+
+
+class TestDiagnoseCLI:
+    def test_cli_diagnose(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import save_database
+
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        save_database(db, tmp_path / "db.json")
+        (tmp_path / "sigma.txt").write_text("R(x, y), R(x, z) -> y = z\n")
+        code = main(
+            [
+                "diagnose",
+                "--db",
+                str(tmp_path / "db.json"),
+                "--constraints",
+                str(tmp_path / "sigma.txt"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "INCONSISTENT" in out

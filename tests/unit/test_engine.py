@@ -1,0 +1,151 @@
+"""Unit tests for the repairing-sequence engine (Definition 4).
+
+Covers req1/req2, no cancellation (Example 2), and global justification
+of additions (Example 3).
+"""
+
+import pytest
+
+from repro.constraints import ConstraintSet, parse_constraints
+from repro.core.engine import RepairEngine
+from repro.core.operations import Operation
+from repro.db.facts import Database, Fact
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+T_AB = Fact("T", ("a", "b"))
+S_ABC = Fact("S", ("a", "b", "c"))
+
+
+@pytest.fixture
+def example1_engine():
+    db = Database.of(R_AB, R_AC, T_AB)
+    sigma = ConstraintSet(
+        parse_constraints(
+            """
+            R(x, y) -> exists z S(x, y, z)
+            R(x, y), R(x, z) -> y = z
+            """
+        )
+    )
+    return RepairEngine(db, sigma)
+
+
+class TestInitialState:
+    def test_violations_computed(self, example1_engine):
+        state = example1_engine.initial_state()
+        assert len(state.current_violations) == 4  # 2 TGD + 2 EGD assignments
+        assert state.depth == 0
+        assert not state.is_consistent
+
+    def test_consistent_database_is_terminal(self):
+        sigma = ConstraintSet(parse_constraints("R(x, x) -> false"))
+        engine = RepairEngine(Database.of(R_AB), sigma)
+        state = engine.initial_state()
+        assert state.is_consistent
+        assert engine.extensions(state) == ()
+        assert engine.is_complete(state)
+
+
+class TestNoCancellation:
+    def test_example2_cancelling_sequence_rejected(self):
+        """Example 2: -{R(a,b), R(a,c)} then +R(a,b) must be ruled out."""
+        db = Database.of(R_AB, R_AC, T_AB)
+        sigma = ConstraintSet(
+            parse_constraints(
+                """
+                T(x, y) -> R(x, y)
+                R(x, y), R(x, z) -> y = z
+                """
+            )
+        )
+        engine = RepairEngine(db, sigma)
+        state = engine.initial_state()
+        delete_both = Operation.delete([R_AB, R_AC])
+        assert delete_both in engine.extensions(state)
+        after = engine.apply(state, delete_both)
+        # Re-adding R(a, b) would fix the TGD violation of T(a, b), but it
+        # cancels the deletion:
+        assert Operation.insert(R_AB) not in engine.extensions(after)
+
+    def test_delete_after_add_rejected(self, example1_engine):
+        engine = example1_engine
+        state = engine.apply(engine.initial_state(), Operation.insert(S_ABC))
+        for op in engine.extensions(state):
+            assert not (op.is_delete and S_ABC in op.facts)
+
+
+class TestGlobalJustification:
+    def test_example3_sequence_rejected(self, example1_engine):
+        """Example 3: after +S(a,b,c), deleting R(a,b) strands the addition."""
+        engine = example1_engine
+        state = engine.apply(engine.initial_state(), Operation.insert(S_ABC))
+        extensions = engine.extensions(state)
+        assert Operation.delete(R_AB) not in extensions
+        assert Operation.delete([R_AB, R_AC]) not in extensions
+        # Deleting only R(a, c) keeps the justification for S(a, b, c):
+        assert Operation.delete(R_AC) in extensions
+
+    def test_valid_completion_via_other_branch(self, example1_engine):
+        engine = example1_engine
+        state = engine.replay(
+            [Operation.insert(S_ABC), Operation.delete(R_AC)]
+        )
+        assert state.is_consistent
+        assert engine.is_complete(state)
+
+
+class TestReq2:
+    def test_eliminated_violation_cannot_return(self):
+        # sigma: S(x) -> R(x);  R(x), T(x) -> false
+        # From D = {S(a), T(a)}: adding R(a) fixes the TGD but creates the
+        # DC violation; deleting T(a) then fixes the DC. The TGD violation
+        # (eliminated by +R(a)) must never reappear — and deleting R(a)
+        # after +R(a) is already blocked by no-cancellation. Check instead
+        # that the engine tracks the banned set.
+        sigma = ConstraintSet(parse_constraints("S(x) -> R(x)\nR(x), T(x) -> false"))
+        db = Database.of(Fact("S", ("a",)), Fact("T", ("a",)))
+        engine = RepairEngine(db, sigma)
+        state = engine.apply(engine.initial_state(), Operation.insert(Fact("R", ("a",))))
+        assert len(state.banned) == 1
+
+    def test_req2_blocks_reintroducing_deletion(self):
+        # sigma: R(x), T(x) -> false ; S(x) -> T(x)
+        # D = {R(a), T(a), S(a)}. Deleting T(a) fixes the DC but breaks the
+        # TGD for S(a); re-adding T(a) would reintroduce the eliminated DC
+        # violation — blocked by no-cancellation AND req2. The only valid
+        # continuation after -T(a) is -S(a).
+        sigma = ConstraintSet(parse_constraints("R(x), T(x) -> false\nS(x) -> T(x)"))
+        db = Database.of(Fact("R", ("a",)), Fact("T", ("a",)), Fact("S", ("a",)))
+        engine = RepairEngine(db, sigma)
+        state = engine.apply(engine.initial_state(), Operation.delete(Fact("T", ("a",))))
+        extensions = engine.extensions(state)
+        assert extensions == (Operation.delete(Fact("S", ("a",))),)
+
+    def test_failing_sequence_from_paper(self):
+        """The paper's failing example: Sigma = {R(x) -> T(x), T(x) -> false}."""
+        sigma = ConstraintSet(parse_constraints("R(x) -> T(x)\nT(x) -> false"))
+        db = Database.of(Fact("R", ("a",)))
+        engine = RepairEngine(db, sigma)
+        state = engine.apply(engine.initial_state(), Operation.insert(Fact("T", ("a",))))
+        # +T(a) fixed the TGD but violated the DC; deleting T(a) cancels,
+        # deleting R(a) strands the addition: the sequence is failing.
+        assert engine.extensions(state) == ()
+        assert not state.is_consistent
+        assert engine.is_failing(state)
+
+
+class TestReplay:
+    def test_replay_validates(self, example1_engine):
+        with pytest.raises(ValueError):
+            example1_engine.replay([Operation.delete(T_AB)])
+
+    def test_result(self, example1_engine):
+        result = example1_engine.result(
+            [Operation.delete([R_AB, R_AC])]
+        )
+        assert result == {T_AB}
+
+    def test_extensions_deterministic_order(self, example1_engine):
+        state = example1_engine.initial_state()
+        assert example1_engine.extensions(state) == example1_engine.extensions(state)

@@ -1,0 +1,53 @@
+"""Unit tests for the repair-distribution entropy measure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    TrustGenerator,
+    UniformGenerator,
+    key,
+    repair_distribution,
+)
+from repro.core.repairs import RepairDistribution
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+
+
+class TestEntropy:
+    def test_consistent_database_has_zero_entropy(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        dist = repair_distribution(Database.of(R_AB), UniformGenerator(sigma))
+        assert dist.entropy() == 0.0
+
+    def test_uniform_three_repairs(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        dist = repair_distribution(Database.of(R_AB, R_AC), UniformGenerator(sigma))
+        assert dist.entropy() == pytest.approx(1.585, abs=1e-3)  # log2(3)
+
+    def test_trust_reduces_entropy(self):
+        """A confident trust assignment concentrates the distribution."""
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC)
+        uniform = repair_distribution(db, UniformGenerator(sigma))
+        confident = repair_distribution(
+            db,
+            TrustGenerator(sigma, {R_AB: Fraction(99, 100), R_AC: Fraction(1, 100)}),
+        )
+        assert confident.entropy() < uniform.entropy()
+
+    def test_conditioned_on_success(self):
+        # failure mass must not distort the entropy
+        dist = RepairDistribution(
+            {Database.of(R_AB): Fraction(1, 4)},  # plus implicit 3/4 failure
+            failure_probability=Fraction(3, 4),
+        )
+        assert dist.entropy() == 0.0
+
+    def test_empty_distribution(self):
+        assert RepairDistribution({}).entropy() == 0.0

@@ -1,0 +1,217 @@
+"""Unit tests for exact chain exploration, repair distributions, and OCA."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import ConstraintSet, key, parse_constraints
+from repro.core.errors import ExplorationBudgetError
+from repro.core.exact import explore_chain
+from repro.core.generators import PreferenceGenerator, UniformGenerator
+from repro.core.oca import (
+    cp_from_distribution,
+    exact_cp,
+    exact_oca,
+    oca_from_distribution,
+)
+from repro.core.repairs import (
+    RepairDistribution,
+    distribution_from_exploration,
+    operational_repairs,
+    repair_distribution,
+)
+from repro.db.facts import Database, Fact
+from repro.queries.parser import parse_cq, parse_query
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+
+
+@pytest.fixture
+def key_setup():
+    db = Database.of(R_AB, R_AC)
+    sigma = ConstraintSet(key("R", 2, [0]))
+    return db, UniformGenerator(sigma)
+
+
+class TestExploration:
+    def test_leaf_probabilities_sum_to_one(self, key_setup):
+        db, gen = key_setup
+        exploration = explore_chain(gen.chain(db))
+        assert exploration.total_probability == Fraction(1)
+
+    def test_leaves_are_absorbing(self, key_setup):
+        db, gen = key_setup
+        chain = gen.chain(db)
+        for leaf in explore_chain(chain).leaves:
+            assert chain.is_absorbing(leaf.state)
+
+    def test_budget_enforced(self, key_setup):
+        db, gen = key_setup
+        with pytest.raises(ExplorationBudgetError):
+            explore_chain(gen.chain(db), max_states=2)
+
+    def test_collect_edges(self, key_setup):
+        db, gen = key_setup
+        exploration = explore_chain(gen.chain(db), collect_edges=True)
+        assert exploration.edges
+        assert all(edge.parent == "ε" for edge in exploration.edges)
+
+    def test_consistent_input_single_empty_leaf(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB)
+        exploration = explore_chain(UniformGenerator(sigma).chain(db))
+        assert len(exploration.leaves) == 1
+        leaf = exploration.leaves[0]
+        assert leaf.state.depth == 0
+        assert leaf.probability == Fraction(1)
+        assert leaf.successful
+
+    def test_max_depth_tracked(self, key_setup):
+        db, gen = key_setup
+        assert explore_chain(gen.chain(db)).max_depth == 1
+
+
+class TestRepairDistribution:
+    def test_key_example_distribution(self, key_setup):
+        db, gen = key_setup
+        dist = repair_distribution(db, gen)
+        assert dist.probability(Database.of(R_AB)) == Fraction(1, 3)
+        assert dist.probability(Database.of(R_AC)) == Fraction(1, 3)
+        assert dist.probability(Database()) == Fraction(1, 3)
+        assert dist.success_probability == Fraction(1)
+
+    def test_non_repair_probability_zero(self, key_setup):
+        db, gen = key_setup
+        dist = repair_distribution(db, gen)
+        assert dist.probability(db) == Fraction(0)
+
+    def test_support_and_len(self, key_setup):
+        db, gen = key_setup
+        dist = repair_distribution(db, gen)
+        assert len(dist) == 3
+        assert Database() in dist.support
+
+    def test_most_likely(self, paper_pref_db, pref_sigma):
+        dist = repair_distribution(paper_pref_db, PreferenceGenerator(pref_sigma))
+        best = dist.most_likely()
+        assert best is not None
+        assert best[1] == Fraction(9, 20)
+
+    def test_items_sorted_desc(self, paper_pref_db, pref_sigma):
+        dist = repair_distribution(paper_pref_db, PreferenceGenerator(pref_sigma))
+        probs = [p for _, p in dist.items()]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_zero_probability_entries_dropped(self):
+        dist = RepairDistribution({Database(): Fraction(0)})
+        assert len(dist) == 0
+
+    def test_operational_repairs_set(self, key_setup):
+        db, gen = key_setup
+        assert operational_repairs(db, gen) == {
+            Database.of(R_AB),
+            Database.of(R_AC),
+            Database(),
+        }
+
+    def test_failure_probability_from_exploration(self):
+        # The paper's failing-sequence constraint set.
+        sigma = ConstraintSet(parse_constraints("R(x) -> T(x)\nT(x) -> false"))
+        db = Database.of(Fact("R", ("a",)))
+        exploration = explore_chain(UniformGenerator(sigma).chain(db))
+        dist = distribution_from_exploration(exploration)
+        assert dist.failure_probability == Fraction(1, 2)
+        assert dist.success_probability == Fraction(1, 2)
+        assert dist.support == {Database()}
+
+
+class TestCP:
+    def test_cp_values(self, key_setup):
+        db, gen = key_setup
+        q = parse_cq("Q(y) :- R(x, y)")
+        assert exact_cp(db, gen, q, ("b",)) == Fraction(1, 3)
+        assert exact_cp(db, gen, q, ("c",)) == Fraction(1, 3)
+        assert exact_cp(db, gen, q, ("zzz",)) == Fraction(0)
+
+    def test_cp_conditional_on_success(self):
+        sigma = ConstraintSet(parse_constraints("R(x) -> T(x)\nT(x) -> false"))
+        db = Database.of(Fact("R", ("a",)))
+        gen = UniformGenerator(sigma)
+        # The only repair is {} (via -R(a)); the failing branch (+T(a))
+        # has probability 1/2 and must be conditioned away.
+        q = parse_query("Q() :- !R('a')")
+        assert exact_cp(db, gen, q, ()) == Fraction(1)
+
+    def test_cp_zero_when_no_repairs(self):
+        # T(a) -> false and S(x) -> T(x): from D = {T(a), S(a)} ... that
+        # has repairs; instead use an immediately-failing setting:
+        sigma = ConstraintSet(parse_constraints("R(x) -> T(x)\nT(x) -> false"))
+        db = Database.of(Fact("R", ("a",)))
+
+        # A generator that only takes the failing branch:
+        from repro.core.generators import FunctionGenerator
+
+        def only_insert(state, exts):
+            return {op: 1 for op in exts if op.is_insert}
+
+        gen = FunctionGenerator(sigma, only_insert)
+        q = parse_query("Q() :- true")
+        assert exact_cp(db, gen, q, ()) == Fraction(0)
+
+
+class TestOCA:
+    def test_example7(self, paper_pref_db, pref_sigma):
+        q = parse_query("Q(x) :- forall y (Pref(x, y) | x = y)")
+        result = exact_oca(paper_pref_db, PreferenceGenerator(pref_sigma), q)
+        assert result.items() == [(("a",), Fraction(9, 20))]
+
+    def test_cp_lookup_for_absent_tuple(self, paper_pref_db, pref_sigma):
+        q = parse_query("Q(x) :- forall y (Pref(x, y) | x = y)")
+        result = exact_oca(paper_pref_db, PreferenceGenerator(pref_sigma), q)
+        assert result.cp(("b",)) == Fraction(0)
+        assert ("a",) in result and ("b",) not in result
+
+    def test_certain_answers(self, key_setup):
+        db, gen = key_setup
+        q = parse_cq("Q(x) :- R(x, y)")
+        result = exact_oca(db, gen, q)
+        # 'a' survives in 2 of 3 repairs (not the empty one): CP = 2/3.
+        assert result.cp(("a",)) == Fraction(2, 3)
+        assert result.certain() == frozenset()
+
+    def test_certain_answer_probability_one(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(R_AB, R_AC, Fact("S", ("keep",)))
+        q = parse_cq("Q(x) :- S(x)")
+        result = exact_oca(db, UniformGenerator(sigma), q)
+        assert result.certain() == {("keep",)}
+
+    def test_candidates_restrict_output(self, key_setup):
+        db, gen = key_setup
+        q = parse_cq("Q(y) :- R(x, y)")
+        result = exact_oca(db, gen, q, candidates=[("b",)])
+        assert result.cp(("b",)) == Fraction(1, 3)
+        assert len(result) == 1
+
+    def test_above_threshold(self, paper_pref_db, pref_sigma):
+        q = parse_cq("Q(x, y) :- Pref(x, y)")
+        result = exact_oca(paper_pref_db, PreferenceGenerator(pref_sigma), q)
+        assert ("a", "d") in result.above(1)  # never conflicted
+        # Pref(a, b) survives in the repairs deleting Pref(b, a):
+        # 9/20 (with -Pref(c, a)) + 5/36 (with -Pref(a, c)) = 53/90.
+        assert result.cp(("a", "b")) == Fraction(53, 90)
+
+    def test_oca_from_distribution_equivalence(self, key_setup):
+        db, gen = key_setup
+        dist = repair_distribution(db, gen)
+        q = parse_cq("Q(y) :- R(x, y)")
+        via_dist = oca_from_distribution(dist, q)
+        direct = exact_oca(db, gen, q)
+        assert via_dist.as_dict() == direct.as_dict()
+
+    def test_cp_from_distribution(self, key_setup):
+        db, gen = key_setup
+        dist = repair_distribution(db, gen)
+        q = parse_cq("Q(y) :- R(x, y)")
+        assert cp_from_distribution(dist, q, ("b",)) == Fraction(1, 3)

@@ -1,0 +1,167 @@
+"""Unit tests for the Section 6 extensions: nulls, equal repairs, preferences."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    TrustGenerator,
+    UniformGenerator,
+    key,
+    parse_constraints,
+    repair_distribution,
+)
+from repro.core.exact import explore_chain
+from repro.extensions import (
+    Null,
+    NullWitnessEngine,
+    NullWitnessGenerator,
+    PreferredOperationsGenerator,
+    equal_repair_distribution,
+    equal_repair_oca,
+    prefer_deletions_over_insertions,
+    prefer_fewer_changes,
+)
+from repro.queries.parser import parse_cq
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+
+
+class TestNull:
+    def test_value_semantics(self):
+        assert Null(0) == Null(0) and Null(0) != Null(1)
+        assert len({Null(2), Null(2)}) == 1
+
+    def test_rendering(self):
+        assert str(Null(3)) == "_:n3"
+
+    def test_usable_in_facts(self):
+        fact = Fact("S", (Null(0), "a"))
+        assert Null(0) in Database.of(fact).dom
+
+
+class TestNullWitnessEngine:
+    def setup_method(self):
+        self.sigma = ConstraintSet(parse_constraints("R(x, y) -> exists z S(z, x)"))
+        self.db = Database.of(R_AB)
+
+    def test_single_insertion_candidate(self):
+        engine = NullWitnessEngine(self.db, self.sigma)
+        state = engine.initial_state()
+        insertions = [op for op in engine.extensions(state) if op.is_insert]
+        assert insertions == [
+            __import__("repro").Operation.insert(Fact("S", (Null(0), "a")))
+        ]
+
+    def test_chain_has_two_leaves(self):
+        generator = NullWitnessGenerator(UniformGenerator(self.sigma))
+        exploration = explore_chain(generator.chain(self.db))
+        assert len(exploration.leaves) == 2  # -R(a,b) or +S(_:n0, a)
+        assert exploration.total_probability == Fraction(1)
+
+    def test_null_repair_is_consistent(self):
+        generator = NullWitnessGenerator(UniformGenerator(self.sigma))
+        dist = repair_distribution(self.db, generator)
+        with_null = Database.of(R_AB, Fact("S", (Null(0), "a")))
+        assert dist.probability(with_null) == Fraction(1, 2)
+        assert self.sigma.is_satisfied(with_null)
+
+    def test_fresh_nulls_never_collide(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> exists z S(z, x)"))
+        db = Database.of(R_AB, Fact("R", ("c", "d")), Fact("S", (Null(5), "q")))
+        engine = NullWitnessEngine(db, sigma)
+        state = engine.initial_state()
+        new_nulls = set()
+        for op in engine.extensions(state):
+            if op.is_insert:
+                for fact in op.facts:
+                    new_nulls.update(
+                        v for v in fact.values if isinstance(v, Null)
+                    )
+        assert new_nulls and all(null.index > 5 for null in new_nulls)
+
+    def test_deletions_unchanged(self):
+        generator = NullWitnessGenerator(UniformGenerator(self.sigma))
+        chain = generator.chain(self.db)
+        ops = {str(op) for op, _ in chain.transitions(chain.initial_state())}
+        assert "-R(a, b)" in ops
+
+    def test_wrapper_forwards_deletion_flag(self):
+        from repro import DeletionOnlyUniformGenerator
+
+        generator = NullWitnessGenerator(DeletionOnlyUniformGenerator(self.sigma))
+        assert generator.supports_only_deletions
+
+
+class TestEqualRepairs:
+    def setup_method(self):
+        self.db = Database.of(R_AB, R_AC)
+        self.sigma = ConstraintSet(key("R", 2, [0]))
+
+    def test_flattening_ignores_chain_bias(self):
+        # heavily biased trust chain; equal semantics levels it out.
+        generator = TrustGenerator(
+            self.sigma, {R_AB: Fraction(99, 100), R_AC: Fraction(1, 100)}
+        )
+        biased = repair_distribution(self.db, generator)
+        assert biased.probability(Database.of(R_AB)) > Fraction(1, 2)
+        flat = equal_repair_distribution(self.db, generator)
+        assert flat.probability(Database.of(R_AB)) == Fraction(1, 3)
+        assert flat.success_probability == Fraction(1)
+
+    def test_oca_is_repair_fraction(self):
+        generator = UniformGenerator(self.sigma)
+        result = equal_repair_oca(self.db, generator, parse_cq("Q(x) :- R(x, y)"))
+        # 'a' appears in 2 of the 3 operational repairs.
+        assert result.cp(("a",)) == Fraction(2, 3)
+
+    def test_empty_support(self):
+        from repro.core.generators import FunctionGenerator
+
+        sigma = ConstraintSet(parse_constraints("R(x) -> T(x)\nT(x) -> false"))
+        gen = FunctionGenerator(
+            sigma, lambda s, exts: {op: 1 for op in exts if op.is_insert}
+        )
+        flat = equal_repair_distribution(Database.of(Fact("R", ("a",))), gen)
+        assert len(flat) == 0
+
+
+class TestPreferredOperationsGenerator:
+    def setup_method(self):
+        self.sigma = ConstraintSet(parse_constraints("R(x, y) -> exists z S(z, x)"))
+        self.db = Database.of(R_AB)
+
+    def test_deletions_dominate(self):
+        generator = PreferredOperationsGenerator(
+            self.sigma, [prefer_deletions_over_insertions]
+        )
+        dist = repair_distribution(self.db, generator)
+        assert dist.items() == [(Database(), Fraction(1))]
+
+    def test_fewer_changes_breaks_ties(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        generator = PreferredOperationsGenerator(
+            sigma, [prefer_deletions_over_insertions, prefer_fewer_changes]
+        )
+        dist = repair_distribution(Database.of(R_AB, R_AC), generator)
+        # the pair deletion is dominated; only single deletions remain.
+        assert dist.probability(Database()) == Fraction(0)
+        assert dist.probability(Database.of(R_AB)) == Fraction(1, 2)
+
+    def test_requires_a_preference(self):
+        with pytest.raises(ValueError):
+            PreferredOperationsGenerator(self.sigma, [])
+
+    def test_deletion_first_declares_non_failing(self):
+        generator = PreferredOperationsGenerator(
+            self.sigma, [prefer_deletions_over_insertions]
+        )
+        assert generator.supports_only_deletions and generator.is_non_failing
+
+    def test_other_orderings_do_not(self):
+        generator = PreferredOperationsGenerator(self.sigma, [prefer_fewer_changes])
+        assert not generator.supports_only_deletions

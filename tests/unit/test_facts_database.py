@@ -1,0 +1,115 @@
+"""Unit tests for Fact and Database value semantics."""
+
+import pytest
+
+from repro.db.facts import Database, Fact
+from repro.db.terms import Var
+
+
+class TestFact:
+    def test_equality(self):
+        assert Fact("R", ("a", "b")) == Fact("R", ("a", "b"))
+        assert Fact("R", ("a", "b")) != Fact("R", ("b", "a"))
+        assert Fact("R", ("a",)) != Fact("S", ("a",))
+
+    def test_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Fact("R", (Var("x"),))
+
+    def test_hashable(self):
+        assert len({Fact("R", ("a",)), Fact("R", ("a",))}) == 1
+
+    def test_str(self):
+        assert str(Fact("R", ("a", 2))) == "R(a, 2)"
+
+    def test_arity(self):
+        assert Fact("R", ("a", "b", "c")).arity == 3
+
+
+class TestDatabaseConstruction:
+    def test_of(self):
+        db = Database.of(Fact("R", ("a",)), Fact("R", ("b",)))
+        assert len(db) == 2
+
+    def test_from_tuples(self):
+        db = Database.from_tuples({"R": [("a", "b")], "S": [("c",)]})
+        assert Fact("R", ("a", "b")) in db
+        assert Fact("S", ("c",)) in db
+
+    def test_duplicates_collapse(self):
+        db = Database.of(Fact("R", ("a",)), Fact("R", ("a",)))
+        assert len(db) == 1
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            Database(["not a fact"])
+
+
+class TestDatabaseValueSemantics:
+    def test_equality_and_hash(self):
+        a = Database.of(Fact("R", ("a",)))
+        b = Database.of(Fact("R", ("a",)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_equality_with_raw_sets(self):
+        db = Database.of(Fact("R", ("a",)))
+        assert db == {Fact("R", ("a",))}
+
+    def test_set_algebra(self):
+        r1, r2, r3 = Fact("R", ("1",)), Fact("R", ("2",)), Fact("R", ("3",))
+        db = Database.of(r1, r2)
+        assert db | {r3} == {r1, r2, r3}
+        assert db - {r1} == {r2}
+        assert db & {r1, r3} == {r1}
+
+    def test_operations_return_new_instances(self):
+        db = Database.of(Fact("R", ("a",)))
+        out = db.add(Fact("R", ("b",)))
+        assert len(db) == 1
+        assert len(out) == 2
+
+    def test_symmetric_difference(self):
+        r1, r2, r3 = Fact("R", ("1",)), Fact("R", ("2",)), Fact("R", ("3",))
+        a = Database.of(r1, r2)
+        b = Database.of(r2, r3)
+        assert a.symmetric_difference(b) == {r1, r3}
+
+    def test_subset_relations(self):
+        small = Database.of(Fact("R", ("a",)))
+        big = small.add(Fact("R", ("b",)))
+        assert small <= big
+        assert small < big
+        assert not big < small
+
+
+class TestDatabaseDerivedData:
+    def test_dom(self):
+        db = Database.from_tuples({"R": [("a", "b")], "S": [("b", 3)]})
+        assert db.dom == {"a", "b", 3}
+
+    def test_relations(self):
+        db = Database.from_tuples({"R": [("a",)], "S": [("b",)]})
+        assert db.relations == {"R", "S"}
+
+    def test_by_relation_sorted(self):
+        db = Database.from_tuples({"R": [("b",), ("a",)]})
+        assert db.tuples("R") == (("a",), ("b",))
+
+    def test_tuples_of_missing_relation(self):
+        assert Database().tuples("R") == ()
+
+    def test_iteration_is_deterministic(self):
+        db = Database.from_tuples({"R": [("b",), ("a",)], "S": [("z",)]})
+        assert list(db) == list(db)
+
+    def test_empty_database(self):
+        db = Database()
+        assert len(db) == 0
+        assert db.dom == frozenset()
+        assert db.sorted_facts == ()
+
+    def test_remove_missing_fact_is_noop(self):
+        db = Database.of(Fact("R", ("a",)))
+        assert db.remove(Fact("R", ("zzz",))) == db

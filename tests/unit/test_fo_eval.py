@@ -1,0 +1,142 @@
+"""Unit tests for the first-order formula AST and evaluator."""
+
+import pytest
+
+from repro.db.atoms import Atom
+from repro.db.facts import Database
+from repro.db.terms import Var
+from repro.queries.ast import (
+    And,
+    AtomFormula,
+    Equality,
+    Exists,
+    FalseFormula,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.queries.eval import EvaluationError, evaluate_formula
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+R_XY = AtomFormula(Atom("R", (X, Y)))
+
+
+@pytest.fixture
+def db():
+    return Database.from_tuples({"R": [("a", "b"), ("b", "c")], "S": [("a",)]})
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert R_XY.free_variables() == {X, Y}
+
+    def test_quantifier_binds(self):
+        assert Exists((Y,), R_XY).free_variables() == {X}
+        assert Forall((X, Y), R_XY).free_variables() == frozenset()
+
+    def test_connectives_union(self):
+        formula = And((R_XY, Equality(Z, "a")))
+        assert formula.free_variables() == {X, Y, Z}
+
+    def test_constants_collected(self):
+        formula = Or((Equality(X, "c1"), AtomFormula(Atom("R", ("c2", Y)))))
+        assert formula.constants() == {"c1", "c2"}
+
+
+class TestAtomsAndEquality:
+    def test_atom_truth(self, db):
+        assert evaluate_formula(R_XY, db, {X: "a", Y: "b"})
+        assert not evaluate_formula(R_XY, db, {X: "b", Y: "a"})
+
+    def test_equality(self, db):
+        assert evaluate_formula(Equality(X, X), db, {X: "a"})
+        assert evaluate_formula(Equality(X, "a"), db, {X: "a"})
+        assert not evaluate_formula(Equality(X, Y), db, {X: "a", Y: "b"})
+
+    def test_unbound_variable_raises(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate_formula(R_XY, db, {X: "a"})
+
+
+class TestConnectives:
+    def test_not(self, db):
+        assert evaluate_formula(Not(R_XY), db, {X: "b", Y: "a"})
+
+    def test_and_or(self, db):
+        both = And((R_XY, AtomFormula(Atom("S", (X,)))))
+        assert evaluate_formula(both, db, {X: "a", Y: "b"})
+        assert not evaluate_formula(both, db, {X: "b", Y: "c"})
+        either = Or((R_XY, AtomFormula(Atom("S", (X,)))))
+        assert evaluate_formula(either, db, {X: "b", Y: "c"})
+
+    def test_implies(self, db):
+        formula = Implies(AtomFormula(Atom("S", (X,))), R_XY)
+        assert evaluate_formula(formula, db, {X: "a", Y: "b"})  # S(a) and R(a,b)
+        assert evaluate_formula(formula, db, {X: "b", Y: "zzz"})  # premise false
+        assert not evaluate_formula(formula, db, {X: "a", Y: "c"})
+
+    def test_constants_true_false(self, db):
+        assert evaluate_formula(TrueFormula(), db)
+        assert not evaluate_formula(FalseFormula(), db)
+
+    def test_operator_sugar(self, db):
+        formula = ~AtomFormula(Atom("S", (X,))) | AtomFormula(Atom("S", (X,)))
+        assert evaluate_formula(formula, db, {X: "a"})
+
+
+class TestQuantifiers:
+    def test_exists(self, db):
+        formula = Exists((Y,), R_XY)
+        assert evaluate_formula(formula, db, {X: "a"})
+        assert not evaluate_formula(formula, db, {X: "c"})
+
+    def test_forall(self, db):
+        # forall x S(x) is false (b, c lack S)
+        formula = Forall((X,), AtomFormula(Atom("S", (X,))))
+        assert not evaluate_formula(formula, db)
+        # forall x (S(x) -> exists y R(x, y)) holds: S = {a}, R(a, b)
+        formula2 = Forall(
+            (X,), Implies(AtomFormula(Atom("S", (X,))), Exists((Y,), R_XY))
+        )
+        assert evaluate_formula(formula2, db)
+
+    def test_multi_variable_quantifier(self, db):
+        formula = Exists((X, Y), R_XY)
+        assert evaluate_formula(formula, db)
+
+    def test_shadowing_restores_outer_binding(self, db):
+        # exists x R(x, y) where outer x is bound: the inner x must not leak.
+        inner = Exists((X,), R_XY)
+        formula = And((Equality(X, "b"), Exists((Y,), And((inner, Equality(X, "b"))))))
+        assert evaluate_formula(formula, db, {X: "b"})
+
+    def test_explicit_domain(self, db):
+        # restrict the quantifier range so exists fails
+        formula = Exists((X,), AtomFormula(Atom("S", (X,))))
+        assert evaluate_formula(formula, db)
+        assert not evaluate_formula(formula, db, domain=["b", "c"])
+
+    def test_empty_domain_semantics(self):
+        empty = Database()
+        assert not evaluate_formula(Exists((X,), Equality(X, X)), empty, domain=[])
+        assert evaluate_formula(Forall((X,), FalseFormula()), empty, domain=[])
+
+    def test_formula_constants_enter_default_domain(self):
+        # On an empty database, the constant of the formula is quantifiable.
+        empty = Database()
+        formula = Exists((X,), Equality(X, "c"))
+        assert evaluate_formula(formula, empty)
+
+
+class TestASTValidation:
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+        with pytest.raises(ValueError):
+            Or(())
+        with pytest.raises(ValueError):
+            Exists((), TrueFormula())
+        with pytest.raises(ValueError):
+            Forall((), TrueFormula())

@@ -1,0 +1,95 @@
+"""Unit tests for homomorphism search."""
+
+from repro.db.atoms import Atom
+from repro.db.facts import Database, Fact
+from repro.db.homomorphism import (
+    find_homomorphisms,
+    find_one_homomorphism,
+    freeze_assignment,
+    has_homomorphism,
+    thaw_assignment,
+)
+from repro.db.terms import Var
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+def homs(atoms, db, partial=None):
+    return list(find_homomorphisms(atoms, db, partial))
+
+
+class TestSingleAtom:
+    def test_all_matches_found(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("a", "c"), ("b", "c")]})
+        found = homs([Atom("R", (X, Y))], db)
+        assert len(found) == 3
+        assert {(h[X], h[Y]) for h in found} == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_constant_filtering(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("b", "c")]})
+        found = homs([Atom("R", ("a", Y))], db)
+        assert [h[Y] for h in found] == ["b"]
+
+    def test_repeated_variable_in_one_atom(self):
+        db = Database.from_tuples({"R": [("a", "a"), ("a", "b")]})
+        found = homs([Atom("R", (X, X))], db)
+        assert [h[X] for h in found] == ["a"]
+
+    def test_no_match(self):
+        db = Database.from_tuples({"R": [("a", "b")]})
+        assert not has_homomorphism([Atom("S", (X,))], db)
+        assert find_one_homomorphism([Atom("R", ("z", X))], db) is None
+
+
+class TestJoins:
+    def test_two_atom_join(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("b", "c")]})
+        found = homs([Atom("R", (X, Y)), Atom("R", (Y, Z))], db)
+        assert len(found) == 1
+        h = found[0]
+        assert (h[X], h[Y], h[Z]) == ("a", "b", "c")
+
+    def test_cross_relation_join(self):
+        db = Database.from_tuples({"R": [("a", "b")], "S": [("b",), ("c",)]})
+        found = homs([Atom("R", (X, Y)), Atom("S", (Y,))], db)
+        assert len(found) == 1
+
+    def test_non_injective_homomorphisms_allowed(self):
+        # x and y may map to the same constant.
+        db = Database.from_tuples({"R": [("a", "a")]})
+        found = homs([Atom("R", (X, Y))], db)
+        assert len(found) == 1
+        assert found[0][X] == found[0][Y] == "a"
+
+    def test_same_atom_twice_collapses(self):
+        db = Database.from_tuples({"R": [("a", "b")]})
+        found = homs([Atom("R", (X, Y)), Atom("R", (X, Y))], db)
+        assert len(found) == 1
+
+
+class TestPartialAssignments:
+    def test_partial_restricts_search(self):
+        db = Database.from_tuples({"R": [("a", "b"), ("c", "d")]})
+        found = homs([Atom("R", (X, Y))], db, partial={X: "c"})
+        assert len(found) == 1
+        assert found[0][Y] == "d"
+
+    def test_partial_appears_in_result(self):
+        db = Database.from_tuples({"R": [("a", "b")]})
+        found = homs([Atom("R", (X, Y))], db, partial={Z: "q"})
+        assert found[0][Z] == "q"
+
+    def test_inconsistent_partial_yields_nothing(self):
+        db = Database.from_tuples({"R": [("a", "b")]})
+        assert not homs([Atom("R", (X, Y))], db, partial={X: "zzz"})
+
+
+class TestFreezing:
+    def test_roundtrip(self):
+        assignment = {Y: "b", X: "a"}
+        frozen = freeze_assignment(assignment)
+        assert frozen == ((X, "a"), (Y, "b"))  # sorted by variable name
+        assert thaw_assignment(frozen) == assignment
+
+    def test_frozen_is_hashable(self):
+        assert hash(freeze_assignment({X: "a"})) == hash(freeze_assignment({X: "a"}))

@@ -1,0 +1,156 @@
+"""Unit tests for justified operations (Definition 3, Proposition 1).
+
+Checks every claim of Example 1: which fixing operations are justified,
+and which are not.
+"""
+
+from repro.constraints import ConstraintSet, parse_constraints
+from repro.core.justified import (
+    enumerate_justified_operations,
+    is_justified,
+    justified_deletions_for,
+    justified_insertions_for,
+)
+from repro.core.operations import Operation
+from repro.core.violations import violations
+from repro.db.base import base_constants
+from repro.db.facts import Database, Fact
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+T_AB = Fact("T", ("a", "b"))
+
+
+def example1():
+    db = Database.of(R_AB, R_AC, T_AB)
+    sigma = ConstraintSet(
+        parse_constraints(
+            """
+            R(x, y) -> exists z S(x, y, z)
+            R(x, y), R(x, z) -> y = z
+            """
+        )
+    )
+    return db, sigma
+
+
+class TestExample1:
+    def test_enumerated_operations(self):
+        db, sigma = example1()
+        ops = enumerate_justified_operations(db, sigma, base_constants(db, sigma))
+        deletions = {op for op in ops if op.is_delete}
+        # Deletions fix either the TGD (single body atoms) or the key
+        # (either single atom or the pair).
+        assert Operation.delete(R_AB) in deletions
+        assert Operation.delete(R_AC) in deletions
+        assert Operation.delete([R_AB, R_AC]) in deletions
+        # T(a, b) contributes to no violation, so it never appears.
+        assert all(T_AB not in op.facts for op in ops)
+
+    def test_unjustified_overreaching_insertion(self):
+        db, sigma = example1()
+        # Example 1's op1: adds S(a, b, c) plus the unjustified S(a, a, a).
+        op1 = Operation.insert([Fact("S", ("a", "b", "c")), Fact("S", ("a", "a", "a"))])
+        assert not is_justified(op1, db, sigma)
+
+    def test_justified_single_head_insertion(self):
+        db, sigma = example1()
+        assert is_justified(Operation.insert(Fact("S", ("a", "b", "c"))), db, sigma)
+
+    def test_unjustified_overreaching_deletion(self):
+        db, sigma = example1()
+        # Example 1's op2: removes R(a, b) plus the uninvolved T(a, b).
+        op2 = Operation.delete([R_AB, T_AB])
+        assert not is_justified(op2, db, sigma)
+
+    def test_justified_deletions(self):
+        db, sigma = example1()
+        for op in (
+            Operation.delete(R_AB),
+            Operation.delete(R_AC),
+            Operation.delete([R_AB, R_AC]),
+        ):
+            assert is_justified(op, db, sigma)
+
+    def test_insertions_cover_all_witnesses(self):
+        db, sigma = example1()
+        ops = enumerate_justified_operations(db, sigma, base_constants(db, sigma))
+        insertions = {op for op in ops if op.is_insert}
+        # one insertion per (violated R-fact, witness constant) pair:
+        # 2 violations x 3 constants {a, b, c}
+        assert len(insertions) == 6
+        assert all(len(op.facts) == 1 for op in insertions)
+
+
+class TestDeletionShapes:
+    def test_deletions_are_subsets_of_body_image(self):
+        db, sigma = example1()
+        for violation in violations(db, sigma):
+            for op in justified_deletions_for(violation):
+                assert op.is_delete
+                assert op.facts <= violation.facts
+
+    def test_collapsed_body_image(self):
+        # DC body R(x,y), R(y,x) with x = y = a: image is one fact.
+        sigma = ConstraintSet(parse_constraints("R(x, y), R(y, x) -> false"))
+        db = Database.of(Fact("R", ("a", "a")))
+        (violation,) = violations(db, sigma)
+        ops = list(justified_deletions_for(violation))
+        assert ops == [Operation.delete(Fact("R", ("a", "a")))]
+
+
+class TestInsertionShapes:
+    def test_insertions_only_for_tgds(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y), R(x, z) -> y = z"))
+        db = Database.of(R_AB, R_AC)
+        (v1, v2) = sorted(violations(db, sigma), key=str)
+        assert list(justified_insertions_for(v1, db, frozenset({"a", "b"}))) == []
+
+    def test_multi_head_insertion_is_a_set(self):
+        sigma = ConstraintSet(parse_constraints("R(x) -> exists z S(x, z), T(z)"))
+        db = Database.of(Fact("R", ("a",)))
+        (violation,) = violations(db, sigma)
+        ops = list(justified_insertions_for(violation, db, frozenset({"a"})))
+        assert ops == [Operation.insert([Fact("S", ("a", "a")), Fact("T", ("a",))])]
+
+    def test_partial_witness_shrinks_insertion(self):
+        # T(a) already present: only S(a, a) is missing for witness z=a.
+        sigma = ConstraintSet(parse_constraints("R(x) -> exists z S(x, z), T(z)"))
+        db = Database.of(Fact("R", ("a",)), Fact("T", ("a",)))
+        (violation,) = violations(db, sigma)
+        ops = list(justified_insertions_for(violation, db, frozenset({"a"})))
+        assert Operation.insert(Fact("S", ("a", "a"))) in ops
+
+    def test_minimality_filter(self):
+        # With T(b) present, the candidate {S(a,a), T(a)} for witness z=a
+        # is justified, but {S(a,b), T(b)} would double-add T(b) — the
+        # missing part is just {S(a,b)}, which IS minimal. Both witnesses
+        # give singleton-or-minimal additions; none contains an already
+        # present fact.
+        sigma = ConstraintSet(parse_constraints("R(x) -> exists z S(x, z), T(z)"))
+        db = Database.of(Fact("R", ("a",)), Fact("T", ("b",)))
+        (violation,) = violations(db, sigma)
+        ops = set(justified_insertions_for(violation, db, frozenset({"a", "b"})))
+        assert Operation.insert(Fact("S", ("a", "b"))) in ops
+        assert Operation.insert([Fact("S", ("a", "a")), Fact("T", ("a",))]) in ops
+        for op in ops:
+            assert not (op.facts & db.facts)
+
+
+class TestIsJustifiedEdgeCases:
+    def test_non_fixing_operation_rejected(self):
+        db, sigma = example1()
+        assert not is_justified(Operation.delete(T_AB), db, sigma)
+
+    def test_insertion_overlapping_database_rejected(self):
+        db, sigma = example1()
+        op = Operation.insert([Fact("S", ("a", "b", "c")), R_AB])
+        assert not is_justified(op, db, sigma)
+
+    def test_consistent_database_has_no_justified_ops(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y), R(x, z) -> y = z"))
+        db = Database.of(R_AB)
+        assert (
+            enumerate_justified_operations(db, sigma, base_constants(db, sigma))
+            == frozenset()
+        )

@@ -1,0 +1,112 @@
+"""Unit tests for the shared lexer/token stream."""
+
+import pytest
+
+from repro.db.terms import Var
+from repro.parsing import ParseError, TokenStream, parse_term_token, tokenize
+
+
+class TestTokenize:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("R(x, 'a') -> y = z")]
+        assert kinds == [
+            "IDENT",
+            "LPAREN",
+            "IDENT",
+            "COMMA",
+            "STRING",
+            "RPAREN",
+            "ARROW",
+            "IDENT",
+            "EQ",
+            "IDENT",
+        ]
+
+    def test_keywords_are_tagged(self):
+        kinds = {t.value: t.kind for t in tokenize("exists forall true false implies")}
+        assert kinds == {
+            "exists": "EXISTS",
+            "forall": "FORALL",
+            "true": "TRUE",
+            "false": "FALSE",
+            "implies": "IMPLIES",
+        }
+
+    def test_word_connectives(self):
+        kinds = [t.kind for t in tokenize("and or not")]
+        assert kinds == ["AND", "OR", "NOT"]
+
+    def test_negative_numbers(self):
+        (token,) = tokenize("-42")
+        assert token.kind == "NUMBER" and token.value == "-42"
+
+    def test_neq_variants(self):
+        assert tokenize("!=")[0].kind == "NEQ"
+        assert tokenize("<>")[0].kind == "NEQ"
+
+    def test_arrow_not_split(self):
+        kinds = [t.kind for t in tokenize("a->b")]
+        assert kinds == ["IDENT", "ARROW", "IDENT"]
+
+    def test_unicode_connectives(self):
+        kinds = [t.kind for t in tokenize("∧ ∨ ¬ ⊥")]
+        assert kinds == ["AND", "OR", "NOT", "BOTTOM"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("R(x) @ y")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert [t.pos for t in tokens] == [0, 3]
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        stream = TokenStream("a b")
+        assert stream.peek().value == "a"
+        assert stream.next().value == "a"
+        assert stream.next().value == "b"
+        assert stream.peek() is None
+        with pytest.raises(ParseError):
+            stream.next()
+
+    def test_accept_and_expect(self):
+        stream = TokenStream("( x")
+        assert stream.accept("LPAREN")
+        assert stream.accept("LPAREN") is None
+        assert stream.expect("IDENT").value == "x"
+        with pytest.raises(ParseError):
+            stream.expect("RPAREN")
+
+    def test_expect_end(self):
+        stream = TokenStream("x")
+        stream.next()
+        stream.expect_end()
+        stream2 = TokenStream("x y")
+        stream2.next()
+        with pytest.raises(ParseError):
+            stream2.expect_end()
+
+
+class TestParseTermToken:
+    def test_string_is_constant(self):
+        (token,) = tokenize("'hello'")
+        assert parse_term_token(token) == "hello"
+
+    def test_double_quoted(self):
+        (token,) = tokenize('"hi"')
+        assert parse_term_token(token) == "hi"
+
+    def test_number_is_int(self):
+        (token,) = tokenize("17")
+        assert parse_term_token(token) == 17
+
+    def test_ident_is_variable(self):
+        (token,) = tokenize("xyz")
+        assert parse_term_token(token) == Var("xyz")
+
+    def test_other_kinds_rejected(self):
+        (token,) = tokenize("(")
+        with pytest.raises(ParseError):
+            parse_term_token(token)

@@ -1,0 +1,118 @@
+"""Unit tests for repair localization (Section 6 optimization)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    PreferenceGenerator,
+    TrustGenerator,
+    UniformGenerator,
+    key,
+    non_symmetric,
+    parse_constraints,
+)
+from repro.core.localization import (
+    LocalizationError,
+    conflict_components,
+    localization_speedup_estimate,
+    localized_repair_distribution,
+)
+from repro.core.repairs import repair_distribution
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+R_KV1 = Fact("R", ("k", "v1"))
+R_KV2 = Fact("R", ("k", "v2"))
+R_OK = Fact("R", ("solo", "x"))
+
+
+@pytest.fixture
+def two_group_db():
+    return Database.of(R_AB, R_AC, R_KV1, R_KV2, R_OK)
+
+
+@pytest.fixture
+def key_sigma():
+    return ConstraintSet(key("R", 2, [0]))
+
+
+class TestConflictComponents:
+    def test_groups_found(self, two_group_db, key_sigma):
+        components = conflict_components(two_group_db, key_sigma)
+        assert set(components) == {
+            frozenset({R_AB, R_AC}),
+            frozenset({R_KV1, R_KV2}),
+        }
+
+    def test_consistent_database_no_components(self, key_sigma):
+        assert conflict_components(Database.of(R_AB, R_OK), key_sigma) == ()
+
+    def test_transitive_merging(self, key_sigma):
+        # three facts on one key form a single component
+        db = Database.of(R_KV1, R_KV2, Fact("R", ("k", "v3")))
+        (component,) = conflict_components(db, key_sigma)
+        assert len(component) == 3
+
+    def test_tgds_rejected(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> S(x)"))
+        with pytest.raises(LocalizationError):
+            conflict_components(Database.of(R_AB), sigma)
+
+    def test_speedup_estimate(self, two_group_db, key_sigma):
+        total, largest = localization_speedup_estimate(two_group_db, key_sigma)
+        assert (total, largest) == (4, 2)
+
+
+class TestLocalizedDistribution:
+    def test_matches_global_uniform(self, two_group_db, key_sigma):
+        generator = UniformGenerator(key_sigma)
+        global_dist = repair_distribution(two_group_db, generator)
+        local_dist = localized_repair_distribution(two_group_db, generator)
+        assert global_dist.support == local_dist.support
+        for repair in global_dist.support:
+            assert global_dist.probability(repair) == local_dist.probability(repair)
+
+    def test_matches_global_trust(self, two_group_db, key_sigma):
+        generator = TrustGenerator(
+            key_sigma,
+            {R_AB: Fraction(4, 5), R_AC: Fraction(1, 5), R_KV1: Fraction(1, 2)},
+        )
+        global_dist = repair_distribution(two_group_db, generator)
+        local_dist = localized_repair_distribution(two_group_db, generator)
+        for repair in global_dist.support | local_dist.support:
+            assert global_dist.probability(repair) == local_dist.probability(repair)
+
+    def test_untouched_facts_preserved(self, two_group_db, key_sigma):
+        local_dist = localized_repair_distribution(
+            two_group_db, UniformGenerator(key_sigma)
+        )
+        for repair in local_dist.support:
+            assert R_OK in repair
+
+    def test_consistent_database_identity(self, key_sigma):
+        db = Database.of(R_AB, R_OK)
+        dist = localized_repair_distribution(db, UniformGenerator(key_sigma))
+        assert dist.items() == [(db, Fraction(1))]
+
+    def test_nonlocal_generator_rejected(self, two_group_db):
+        sigma = ConstraintSet([non_symmetric("R")])
+        generator = PreferenceGenerator(sigma, relation="R")
+        with pytest.raises(LocalizationError):
+            localized_repair_distribution(two_group_db, generator)
+
+    def test_force_overrides_locality_check(self, two_group_db):
+        sigma = ConstraintSet([non_symmetric("Pref")])
+        db = Database.from_tuples({"Pref": [("a", "b"), ("b", "a")]})
+        generator = PreferenceGenerator(sigma)
+        dist = localized_repair_distribution(db, generator, force=True)
+        # single component: forced localization equals the global chain
+        global_dist = repair_distribution(db, generator)
+        assert dist.support == global_dist.support
+
+    def test_probabilities_sum_to_one(self, two_group_db, key_sigma):
+        dist = localized_repair_distribution(two_group_db, UniformGenerator(key_sigma))
+        assert dist.success_probability == Fraction(1)

@@ -1,0 +1,68 @@
+"""Unit tests for operations +F / -F (Definition 1)."""
+
+import pytest
+
+from repro.core.operations import Operation, OpKind
+from repro.db.facts import Database, Fact
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+
+
+class TestConstruction:
+    def test_insert_single_fact(self):
+        op = Operation.insert(R_AB)
+        assert op.is_insert and not op.is_delete
+        assert op.facts == {R_AB}
+
+    def test_delete_iterable(self):
+        op = Operation.delete([R_AB, R_AC])
+        assert op.is_delete
+        assert op.facts == {R_AB, R_AC}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.INSERT, frozenset())
+
+    def test_value_semantics(self):
+        assert Operation.insert(R_AB) == Operation.insert([R_AB])
+        assert Operation.insert(R_AB) != Operation.delete(R_AB)
+        assert len({Operation.delete(R_AB), Operation.delete(R_AB)}) == 1
+
+
+class TestApplication:
+    def test_insert_unions(self):
+        db = Database.of(R_AB)
+        assert Operation.insert(R_AC)(db) == {R_AB, R_AC}
+
+    def test_delete_subtracts(self):
+        db = Database.of(R_AB, R_AC)
+        assert Operation.delete(R_AB)(db) == {R_AC}
+
+    def test_uniform_on_any_database(self):
+        # Definition 1: an operation is a function on P(B), acting the
+        # same way regardless of the argument database.
+        op = Operation.insert(R_AC)
+        assert op(Database()) == {R_AC}
+        assert op(Database.of(R_AC)) == {R_AC}
+
+    def test_delete_missing_fact_is_noop(self):
+        db = Database.of(R_AB)
+        assert Operation.delete(R_AC)(db) == db
+
+    def test_apply_does_not_mutate(self):
+        db = Database.of(R_AB)
+        Operation.delete(R_AB)(db)
+        assert R_AB in db
+
+
+class TestRendering:
+    def test_single_fact_no_braces(self):
+        assert str(Operation.delete(R_AB)) == "-R(a, b)"
+
+    def test_set_with_braces(self):
+        text = str(Operation.delete([R_AB, R_AC]))
+        assert text.startswith("-{") and "R(a, b)" in text and "R(a, c)" in text
+
+    def test_insert_sign(self):
+        assert str(Operation.insert(R_AB)).startswith("+")

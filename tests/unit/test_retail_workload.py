@@ -1,0 +1,52 @@
+"""Unit tests for the retail workload generator."""
+
+import pytest
+
+from repro.core.violations import violations
+from repro.workloads import retail_workload
+
+
+class TestRetailWorkload:
+    def test_counts(self):
+        wl = retail_workload(
+            customers=4,
+            duplicate_customers=2,
+            orders=3,
+            conflicting_orders=1,
+            dangling_orders=2,
+            seed=1,
+        )
+        customer_rows = wl.database.tuples("Customer")
+        order_rows = wl.database.tuples("Orders")
+        assert len(customer_rows) == 4 + 2
+        assert len(order_rows) == 3 + 1 + 2
+
+    def test_violation_kinds_present(self):
+        wl = retail_workload(seed=2)
+        found = violations(wl.database, wl.constraints)
+        kinds = {type(v.constraint).__name__ for v in found}
+        assert kinds == {"EGD", "TGD"}
+
+    def test_dangling_orders_reference_ghosts(self):
+        wl = retail_workload(dangling_orders=2, seed=3)
+        customer_ids = {row[0] for row in wl.database.tuples("Customer")}
+        ghosts = [
+            row
+            for row in wl.database.tuples("Orders")
+            if row[1] not in customer_ids
+        ]
+        assert len(ghosts) == 2
+
+    def test_clean_instance_consistent(self):
+        wl = retail_workload(
+            duplicate_customers=0, conflicting_orders=0, dangling_orders=0, seed=4
+        )
+        assert wl.constraints.is_satisfied(wl.database)
+
+    def test_deterministic(self):
+        assert retail_workload(seed=9).database == retail_workload(seed=9).database
+
+    def test_amounts_are_integers(self):
+        wl = retail_workload(seed=5)
+        for row in wl.database.tuples("Orders"):
+            assert isinstance(row[2], int)

@@ -1,0 +1,91 @@
+"""Unit tests for schemas."""
+
+import pytest
+
+from repro.db.atoms import Atom
+from repro.db.facts import Database, Fact
+from repro.db.schema import Relation, Schema, SchemaError
+from repro.db.terms import Var
+
+
+class TestRelation:
+    def test_default_attribute_names(self):
+        rel = Relation("R", 3)
+        assert rel.attributes == ("a0", "a1", "a2")
+
+    def test_explicit_attribute_names(self):
+        rel = Relation("R", 2, ("key", "value"))
+        assert rel.attributes == ("key", "value")
+
+    def test_attribute_count_must_match(self):
+        with pytest.raises(SchemaError):
+            Relation("R", 2, ("only_one",))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", 0)
+
+    def test_str(self):
+        assert str(Relation("R", 2)) == "R/2"
+
+
+class TestSchema:
+    def test_of(self):
+        schema = Schema.of(R=2, S=3)
+        assert schema.arity("R") == 2
+        assert schema.arity("S") == 3
+
+    def test_infer_from_database(self):
+        db = Database.from_tuples({"R": [("a", "b")], "S": [("c",)]})
+        schema = Schema.infer(db)
+        assert schema.arity("R") == 2
+        assert schema.arity("S") == 1
+
+    def test_infer_with_extra_atoms(self):
+        schema = Schema.infer(Database(), Atom("T", (Var("x"),)))
+        assert "T" in schema
+
+    def test_conflicting_arities_rejected(self):
+        db = Database.of(Fact("R", ("a",)), Fact("R", ("a", "b")))
+        with pytest.raises(SchemaError):
+            Schema.infer(db)
+
+    def test_extend_merges(self):
+        merged = Schema.of(R=2).extend(Schema.of(S=1))
+        assert "R" in merged and "S" in merged
+
+    def test_extend_conflict(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=2).extend(Schema.of(R=3))
+
+    def test_lookup_missing(self):
+        schema = Schema.of(R=2)
+        assert schema.get("T") is None
+        with pytest.raises(SchemaError):
+            schema["T"]
+
+    def test_relations_sorted_by_name(self):
+        schema = Schema.of(Z=1, A=1)
+        assert [r.name for r in schema.relations] == ["A", "Z"]
+
+
+class TestValidation:
+    def test_validate_fact(self):
+        schema = Schema.of(R=2)
+        schema.validate_fact(Fact("R", ("a", "b")))
+        with pytest.raises(SchemaError):
+            schema.validate_fact(Fact("R", ("a",)))
+        with pytest.raises(SchemaError):
+            schema.validate_fact(Fact("T", ("a",)))
+
+    def test_validate_database(self):
+        schema = Schema.of(R=1)
+        schema.validate_database(Database.of(Fact("R", ("a",))))
+        with pytest.raises(SchemaError):
+            schema.validate_database(Database.of(Fact("S", ("a",))))
+
+    def test_validate_atom(self):
+        schema = Schema.of(R=2)
+        schema.validate_atom(Atom("R", (Var("x"), "a")))
+        with pytest.raises(SchemaError):
+            schema.validate_atom(Atom("R", (Var("x"),)))

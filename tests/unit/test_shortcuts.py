@@ -1,0 +1,102 @@
+"""Unit tests for constraint shortcut constructors."""
+
+import pytest
+
+from repro.constraints import (
+    DC,
+    EGD,
+    TGD,
+    functional_dependency,
+    inclusion_dependency,
+    key,
+    non_symmetric,
+)
+from repro.constraints.shortcuts import disjoint_positions, primary_key
+from repro.db.facts import Database
+
+
+class TestKey:
+    def test_one_egd_per_nonkey_position(self):
+        egds = key("R", 3, [0])
+        assert len(egds) == 2
+        assert all(isinstance(e, EGD) for e in egds)
+
+    def test_semantics(self):
+        sigma = key("R", 2, [0])[0]
+        assert sigma.is_satisfied(Database.from_tuples({"R": [("a", "b"), ("c", "b")]}))
+        assert not sigma.is_satisfied(
+            Database.from_tuples({"R": [("a", "b"), ("a", "c")]})
+        )
+
+    def test_composite_key(self):
+        egds = key("R", 3, [0, 1])
+        assert len(egds) == 1
+        db_ok = Database.from_tuples({"R": [("a", "b", "1"), ("a", "c", "2")]})
+        db_bad = Database.from_tuples({"R": [("a", "b", "1"), ("a", "b", "2")]})
+        assert egds[0].is_satisfied(db_ok)
+        assert not egds[0].is_satisfied(db_bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            key("R", 2, [5])
+
+    def test_all_positions_rejected(self):
+        with pytest.raises(ValueError):
+            key("R", 2, [0, 1])
+
+    def test_primary_key_shortcut(self):
+        assert primary_key("R", 3) == key("R", 3, [0])
+
+
+class TestFunctionalDependency:
+    def test_fd_semantics(self):
+        # position 1 determines position 2
+        egds = functional_dependency("R", 3, [1], [2])
+        db_bad = Database.from_tuples({"R": [("a", "k", "v1"), ("b", "k", "v2")]})
+        db_ok = Database.from_tuples({"R": [("a", "k", "v"), ("b", "k", "v")]})
+        assert not all(e.is_satisfied(db_bad) for e in egds)
+        assert all(e.is_satisfied(db_ok) for e in egds)
+
+    def test_trivial_dependents_skipped(self):
+        assert functional_dependency("R", 2, [0], [0]) == ()
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            functional_dependency("R", 2, [0], [9])
+
+
+class TestInclusionDependency:
+    def test_paper_example(self):
+        # R[1] <= S[2], i.e. R(x, y) -> exists z S(z, x)
+        tgd = inclusion_dependency("R", 2, [0], "S", 2, [1])
+        assert isinstance(tgd, TGD)
+        ok = Database.from_tuples({"R": [("a", "b")], "S": [("w", "a")]})
+        bad = Database.from_tuples({"R": [("a", "b")], "S": [("a", "w")]})
+        assert tgd.is_satisfied(ok)
+        assert not tgd.is_satisfied(bad)
+
+    def test_mismatched_positions_rejected(self):
+        with pytest.raises(ValueError):
+            inclusion_dependency("R", 2, [0, 1], "S", 2, [0])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            inclusion_dependency("R", 2, [7], "S", 2, [0])
+
+
+class TestDenialShortcuts:
+    def test_non_symmetric(self):
+        dc = non_symmetric("Pref")
+        assert isinstance(dc, DC)
+        assert not dc.is_satisfied(
+            Database.from_tuples({"Pref": [("a", "b"), ("b", "a")]})
+        )
+        assert dc.is_satisfied(Database.from_tuples({"Pref": [("a", "b")]}))
+
+    def test_disjoint_positions(self):
+        dc = disjoint_positions("R", 2, 0, 1)
+        # same constant as first attribute of one fact and second of another
+        assert not dc.is_satisfied(
+            Database.from_tuples({"R": [("a", "b"), ("c", "a")]})
+        )
+        assert dc.is_satisfied(Database.from_tuples({"R": [("a", "b"), ("c", "d")]}))

@@ -1,0 +1,185 @@
+"""Unit tests for the deletion rewriting and the SQL key-repair sampler."""
+
+import random
+
+import pytest
+
+from repro.constraints import ConstraintSet, key
+from repro.core.generators import TrustGenerator, UniformGenerator
+from repro.core.oca import exact_oca
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+from repro.queries.parser import parse_cq, parse_query
+from repro.sql.backend import SQLiteBackend
+from repro.sql.rewriting import DeletionRewriter
+from repro.sql.sampler import KeyRepairSampler, KeySpec, SamplerPolicy
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+R_KV = Fact("R", ("k", "v"))
+
+
+@pytest.fixture
+def db():
+    return Database.of(R_AB, R_AC, R_KV)
+
+
+@pytest.fixture
+def backend(db):
+    be = SQLiteBackend()
+    be.load(db)
+    yield be
+    be.close()
+
+
+class TestDeletionRewriter:
+    def test_live_database_tracks_deletions(self, backend, db):
+        rewriter = DeletionRewriter(backend, Schema.of(R=2))
+        assert rewriter.live_database() == db
+        rewriter.mark_deleted([R_AB])
+        assert rewriter.live_database() == db - {R_AB}
+        rewriter.clear()
+        assert rewriter.live_database() == db
+
+    def test_relation_map_excludes_deleted(self, backend):
+        rewriter = DeletionRewriter(backend, Schema.of(R=2))
+        rewriter.mark_deleted([R_AB])
+        cq = parse_cq("Q(x, y) :- R(x, y)")
+        from repro.sql.compiler import compile_cq
+
+        answers = compile_cq(cq, rewriter.relation_map()).run(backend)
+        assert answers == {("a", "c"), ("k", "v")}
+
+    def test_deleted_count(self, backend):
+        rewriter = DeletionRewriter(backend, Schema.of(R=2))
+        rewriter.mark_deleted([R_AB, R_AC])
+        assert rewriter.deleted_count("R") == 2
+
+    def test_original_table_untouched(self, backend):
+        rewriter = DeletionRewriter(backend, Schema.of(R=2))
+        rewriter.mark_deleted([R_AB])
+        assert backend.table_count("R") == 3
+
+
+class TestConflictDetection:
+    def test_groups_found(self, backend):
+        sampler = KeyRepairSampler(
+            backend, Schema.of(R=2), [KeySpec("R", 2, (0,))]
+        )
+        assert len(sampler.groups) == 1
+        (group,) = sampler.groups
+        assert set(group.facts) == {R_AB, R_AC}
+        assert group.key_value == ("a",)
+
+    def test_clean_table_no_groups(self):
+        db = Database.of(R_AB, R_KV)
+        with SQLiteBackend() as be:
+            be.load(db)
+            sampler = KeyRepairSampler(be, Schema.of(R=2), [KeySpec("R", 2, (0,))])
+            assert sampler.groups == ()
+
+
+class TestPolicies:
+    def test_keep_one_always_keeps_exactly_one(self, backend):
+        sampler = KeyRepairSampler(
+            backend,
+            Schema.of(R=2),
+            [KeySpec("R", 2, (0,))],
+            policy=SamplerPolicy.KEEP_ONE_UNIFORM,
+            rng=random.Random(3),
+        )
+        for _ in range(20):
+            repair = sampler.sample_repair()
+            a_tuples = [f for f in repair if f.values[0] == "a"]
+            assert len(a_tuples) == 1
+            assert R_KV in repair
+
+    def test_operational_uniform_can_drop_both(self, backend):
+        sampler = KeyRepairSampler(
+            backend,
+            Schema.of(R=2),
+            [KeySpec("R", 2, (0,))],
+            policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+            rng=random.Random(3),
+        )
+        sizes = set()
+        for _ in range(60):
+            repair = sampler.sample_repair()
+            sizes.add(len([f for f in repair if f.values[0] == "a"]))
+        assert sizes == {0, 1}  # remove-one and remove-both both occur
+
+    def test_trust_policy_prefers_trusted_fact(self, backend, rng):
+        sampler = KeyRepairSampler(
+            backend,
+            Schema.of(R=2),
+            [KeySpec("R", 2, (0,))],
+            policy=SamplerPolicy.TRUST,
+            trust={R_AB: 0.95, R_AC: 0.05},
+            rng=rng,
+        )
+        kept_ab = sum(R_AB in sampler.sample_repair() for _ in range(80))
+        kept_ac = sum(R_AC in sampler.sample_repair() for _ in range(80))
+        assert kept_ab > kept_ac
+
+    def test_repairs_always_satisfy_key(self, backend, rng):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        for policy in SamplerPolicy:
+            sampler = KeyRepairSampler(
+                backend,
+                Schema.of(R=2),
+                [KeySpec("R", 2, (0,))],
+                policy=policy,
+                trust={R_AB: 0.5, R_AC: 0.5},
+                rng=rng,
+            )
+            for _ in range(10):
+                assert sigma.is_satisfied(sampler.sample_repair())
+
+
+class TestSamplingCampaign:
+    def test_frequencies_match_exact_cp(self, backend, db):
+        """Operational-uniform SQL sampling approximates the exact
+        in-memory chain CP (repair localization is exact for keys)."""
+        sampler = KeyRepairSampler(
+            backend,
+            Schema.of(R=2),
+            [KeySpec("R", 2, (0,))],
+            policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+            rng=random.Random(11),
+        )
+        cq = parse_cq("Q(x) :- R(x, y)")
+        report = sampler.run(cq, epsilon=0.08, delta=0.05)
+        sigma = ConstraintSet(key("R", 2, [0]))
+        exact = exact_oca(db, UniformGenerator(sigma), cq)
+        assert abs(report.cp(("a",)) - float(exact.cp(("a",)))) <= 0.08
+        assert report.cp(("k",)) == 1.0
+
+    def test_run_count_default_is_hoeffding(self, backend):
+        sampler = KeyRepairSampler(
+            backend, Schema.of(R=2), [KeySpec("R", 2, (0,))], rng=random.Random(1)
+        )
+        report = sampler.run(parse_cq("Q(x) :- R(x, y)"), epsilon=0.1, delta=0.1)
+        assert report.runs == 150
+
+    def test_explicit_runs(self, backend):
+        sampler = KeyRepairSampler(
+            backend, Schema.of(R=2), [KeySpec("R", 2, (0,))], rng=random.Random(1)
+        )
+        report = sampler.run(parse_cq("Q(x) :- R(x, y)"), runs=10)
+        assert report.runs == 10
+
+    def test_fo_query_supported(self, backend):
+        sampler = KeyRepairSampler(
+            backend, Schema.of(R=2), [KeySpec("R", 2, (0,))], rng=random.Random(1)
+        )
+        q = parse_query("Q(x) :- exists y R(x, y)")
+        report = sampler.run(q, runs=20)
+        assert report.cp(("k",)) == 1.0
+
+    def test_report_items_sorted(self, backend):
+        sampler = KeyRepairSampler(
+            backend, Schema.of(R=2), [KeySpec("R", 2, (0,))], rng=random.Random(1)
+        )
+        report = sampler.run(parse_cq("Q(x) :- R(x, y)"), runs=40)
+        values = [v for _, v in report.items()]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,154 @@
+"""Unit tests for SQL violation detection and the generic sampler."""
+
+import random
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    TrustGenerator,
+    UniformGenerator,
+    key,
+    non_symmetric,
+    parse_constraint,
+    parse_constraints,
+)
+from repro.abc_repairs import conflict_hypergraph
+from repro.core.localization import conflict_components
+from repro.core.oca import exact_oca
+from repro.analysis import max_absolute_error
+from repro.db.schema import Schema
+from repro.queries.parser import parse_cq
+from repro.sql import (
+    ConstraintRepairSampler,
+    SQLiteBackend,
+    compile_violation_query,
+    conflict_components_sql,
+    conflict_hypergraph_sql,
+    violating_fact_sets,
+)
+
+R_AB = Fact("R", ("a", "b"))
+R_AC = Fact("R", ("a", "c"))
+
+
+@pytest.fixture
+def key_db():
+    return Database.of(R_AB, R_AC, Fact("R", ("k", "v")))
+
+
+@pytest.fixture
+def backend(key_db):
+    be = SQLiteBackend()
+    be.load(key_db)
+    yield be
+    be.close()
+
+
+class TestViolationQueries:
+    def test_egd_violations_match_memory(self, backend, key_db):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        (egd,) = sigma.constraints
+        via_sql = violating_fact_sets(backend, egd)
+        via_memory = conflict_hypergraph(key_db, sigma)
+        assert via_sql == via_memory
+
+    def test_dc_violations_match_memory(self):
+        db = Database.from_tuples(
+            {"Pref": [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c"), ("e", "f")]}
+        )
+        sigma = ConstraintSet([non_symmetric("Pref")])
+        with SQLiteBackend() as be:
+            be.load(db)
+            assert conflict_hypergraph_sql(be, sigma) == conflict_hypergraph(db, sigma)
+
+    def test_constants_in_constraint_body(self):
+        db = Database.from_tuples({"R": [("admin", "x"), ("user", "y")]})
+        dc = parse_constraint("R('admin', x) -> false")
+        with SQLiteBackend() as be:
+            be.load(db)
+            edges = violating_fact_sets(be, dc)
+        assert edges == {frozenset({Fact("R", ("admin", "x"))})}
+
+    def test_egd_with_constant_side(self):
+        db = Database.from_tuples({"R": [("a", "good"), ("b", "bad")]})
+        egd = parse_constraint("R(x, y) -> y = 'good'")
+        with SQLiteBackend() as be:
+            be.load(db)
+            edges = violating_fact_sets(be, egd)
+        assert edges == {frozenset({Fact("R", ("b", "bad"))})}
+
+    def test_tgd_rejected(self, backend):
+        tgd = parse_constraint("R(x, y) -> S(x)")
+        with pytest.raises(ValueError):
+            compile_violation_query(tgd)
+
+    def test_components_match_memory(self, backend, key_db):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        assert conflict_components_sql(backend, sigma) == conflict_components(
+            key_db, sigma
+        )
+
+
+class TestConstraintRepairSampler:
+    def test_requires_tgd_free(self, backend):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> S(x)"))
+        with pytest.raises(ValueError):
+            ConstraintRepairSampler(backend, Schema.of(R=2), sigma)
+
+    def test_repairs_are_consistent(self, backend):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        sampler = ConstraintRepairSampler(
+            backend, Schema.of(R=2), sigma, rng=random.Random(1)
+        )
+        for _ in range(15):
+            assert sigma.is_satisfied(sampler.sample_repair())
+
+    def test_matches_exact_chain_on_dc(self):
+        """Non-key denial constraint: something KeyRepairSampler cannot do."""
+        db = Database.from_tuples(
+            {"Pref": [("a", "b"), ("b", "a"), ("c", "d"), ("x", "y")]}
+        )
+        sigma = ConstraintSet([non_symmetric("Pref")])
+        q = parse_cq("Q(x, y) :- Pref(x, y)")
+        exact = exact_oca(db, UniformGenerator(sigma), q).as_dict()
+        with SQLiteBackend() as be:
+            be.load(db)
+            sampler = ConstraintRepairSampler(
+                be, Schema.of(Pref=2), sigma, rng=random.Random(7)
+            )
+            report = sampler.run(q, epsilon=0.07, delta=0.02)
+        assert max_absolute_error(exact, report.frequencies) <= 0.07
+
+    def test_trust_factory(self, backend, key_db):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        trust = {R_AB: 0.9, R_AC: 0.1}
+        sampler = ConstraintRepairSampler(
+            backend,
+            Schema.of(R=2),
+            sigma,
+            generator_factory=lambda s: TrustGenerator(s, trust),
+            rng=random.Random(2),
+        )
+        kept_ab = sum(R_AB in sampler.sample_repair() for _ in range(60))
+        kept_ac = sum(R_AC in sampler.sample_repair() for _ in range(60))
+        assert kept_ab > kept_ac
+
+    def test_multi_constraint_components(self):
+        """A key AND a DC interacting on overlapping facts."""
+        db = Database.from_tuples(
+            {"R": [("a", "b"), ("a", "c"), ("b", "a")]}
+        )
+        sigma = ConstraintSet(list(key("R", 2, [0])) + [non_symmetric("R")])
+        with SQLiteBackend() as be:
+            be.load(db)
+            sampler = ConstraintRepairSampler(
+                be, Schema.of(R=2), sigma, rng=random.Random(3)
+            )
+            # the key conflict {R(a,b), R(a,c)} and the DC conflict
+            # {R(a,b), R(b,a)} overlap on R(a,b): one component.
+            assert len(sampler.components) == 1
+            for _ in range(10):
+                assert sigma.is_satisfied(sampler.sample_repair())

@@ -1,0 +1,85 @@
+"""Unit tests for RepairState and AdditionRecord bookkeeping."""
+
+from repro.constraints import ConstraintSet, parse_constraints
+from repro.core.operations import Operation
+from repro.core.state import AdditionRecord, RepairState
+from repro.core.violations import violations
+from repro.db.facts import Database, Fact
+
+R_A = Fact("R", ("a",))
+S_A = Fact("S", ("a",))
+T_A = Fact("T", ("a",))
+
+
+def make_state():
+    sigma = ConstraintSet(parse_constraints("R(x) -> S(x)"))
+    db = Database.of(R_A)
+    return RepairState(db=db, current_violations=violations(db, sigma)), sigma
+
+
+class TestRepairState:
+    def test_initial_label_is_epsilon(self):
+        state, _ = make_state()
+        assert state.label() == "ε"
+        assert state.depth == 0
+
+    def test_child_tracks_insertion(self):
+        state, sigma = make_state()
+        op = Operation.insert(S_A)
+        new_db = op.apply(state.db)
+        child = state.child(op, new_db, violations(new_db, sigma))
+        assert child.depth == 1
+        assert child.added == {S_A}
+        assert child.deleted == frozenset()
+        assert len(child.addition_records) == 1
+        assert child.addition_records[0].db_before == state.db
+
+    def test_child_tracks_deletion_and_updates_records(self):
+        state, sigma = make_state()
+        add = Operation.insert(S_A)
+        mid = state.child(add, add.apply(state.db), frozenset())
+        delete = Operation.delete(R_A)
+        final = mid.child(delete, delete.apply(mid.db), frozenset())
+        assert final.deleted == {R_A}
+        (record,) = final.addition_records
+        assert record.deletions_after == {R_A}
+
+    def test_banned_accumulates_eliminated_violations(self):
+        state, sigma = make_state()
+        op = Operation.insert(S_A)
+        new_db = op.apply(state.db)
+        child = state.child(op, new_db, violations(new_db, sigma))
+        assert child.banned == state.current_violations
+
+    def test_is_consistent(self):
+        state, sigma = make_state()
+        assert not state.is_consistent
+        op = Operation.insert(S_A)
+        new_db = op.apply(state.db)
+        child = state.child(op, new_db, violations(new_db, sigma))
+        assert child.is_consistent
+
+    def test_label_concatenates_sequence(self):
+        state, sigma = make_state()
+        op = Operation.insert(S_A)
+        child = state.child(op, op.apply(state.db), frozenset())
+        assert child.label() == "+S(a)"
+        op2 = Operation.delete(T_A)
+        grandchild = child.child(op2, op2.apply(child.db), frozenset())
+        assert grandchild.label() == "+S(a), -T(a)"
+
+    def test_states_are_immutable_values(self):
+        state, _ = make_state()
+        op = Operation.insert(S_A)
+        child = state.child(op, op.apply(state.db), frozenset())
+        assert state.depth == 0  # parent unchanged
+        assert child.sequence[0] is op
+
+
+class TestAdditionRecord:
+    def test_with_deletion_accumulates(self):
+        record = AdditionRecord(Operation.insert(S_A), Database.of(R_A))
+        updated = record.with_deletion(frozenset({R_A}))
+        updated = updated.with_deletion(frozenset({T_A}))
+        assert updated.deletions_after == {R_A, T_A}
+        assert record.deletions_after == frozenset()  # original untouched

@@ -1,0 +1,101 @@
+"""Unit tests for terms and atoms."""
+
+import pytest
+
+from repro.db.atoms import Atom, atoms_constants, atoms_variables
+from repro.db.terms import Var, is_constant, is_var, term_str
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_hashable(self):
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert sorted([Var("z"), Var("a"), Var("m")]) == [
+            Var("a"),
+            Var("m"),
+            Var("z"),
+        ]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_str(self):
+        assert str(Var("x1")) == "x1"
+
+
+class TestTermPredicates:
+    def test_var_is_var(self):
+        assert is_var(Var("x"))
+        assert not is_constant(Var("x"))
+
+    def test_string_constant(self):
+        assert is_constant("a")
+        assert not is_var("a")
+
+    def test_int_constant(self):
+        assert is_constant(42)
+
+    def test_term_str_renders_both(self):
+        assert term_str(Var("x")) == "x"
+        assert term_str("a") == "a"
+        assert term_str(7) == "7"
+
+
+class TestAtom:
+    def test_arity(self):
+        atom = Atom("R", (Var("x"), "a", 3))
+        assert atom.arity == 3
+
+    def test_variables_and_constants(self):
+        atom = Atom("R", (Var("x"), "a", Var("y")))
+        assert atom.variables == {Var("x"), Var("y")}
+        assert atom.constants == {"a"}
+
+    def test_ground_check(self):
+        assert Atom("R", ("a", "b")).is_ground()
+        assert not Atom("R", (Var("x"), "b")).is_ground()
+
+    def test_substitute_partial(self):
+        atom = Atom("R", (Var("x"), Var("y")))
+        out = atom.substitute({Var("x"): "a"})
+        assert out == Atom("R", ("a", Var("y")))
+
+    def test_substitute_leaves_constants(self):
+        atom = Atom("R", ("c", Var("y")))
+        out = atom.substitute({Var("y"): "d"})
+        assert out == Atom("R", ("c", "d"))
+
+    def test_to_fact_requires_ground(self):
+        with pytest.raises(ValueError):
+            Atom("R", (Var("x"),)).to_fact()
+
+    def test_to_fact_roundtrip(self):
+        fact = Atom("R", ("a", "b")).to_fact()
+        assert fact.to_atom() == Atom("R", ("a", "b"))
+
+    def test_str(self):
+        assert str(Atom("R", (Var("x"), "a"))) == "R(x, a)"
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", ("a",))
+
+    def test_list_terms_coerced_to_tuple(self):
+        atom = Atom("R", [Var("x"), "a"])
+        assert isinstance(atom.terms, tuple)
+
+
+class TestAtomCollections:
+    def test_atoms_variables(self):
+        atoms = [Atom("R", (Var("x"), "a")), Atom("S", (Var("y"),))]
+        assert atoms_variables(atoms) == {Var("x"), Var("y")}
+
+    def test_atoms_constants(self):
+        atoms = [Atom("R", (Var("x"), "a")), Atom("S", (7,))]
+        assert atoms_constants(atoms) == {"a", 7}

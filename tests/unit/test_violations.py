@@ -1,0 +1,108 @@
+"""Unit tests for violations V(D, Sigma) (Definition 2)."""
+
+from repro.constraints import ConstraintSet, parse_constraint, parse_constraints
+from repro.core.violations import (
+    Violation,
+    conflict_pairs,
+    is_consistent,
+    violating_facts,
+    violations,
+    violations_of,
+)
+from repro.db.facts import Database, Fact
+from repro.db.terms import Var
+
+
+class TestViolationObject:
+    def setup_method(self):
+        self.constraint = parse_constraint("R(x, y), R(x, z) -> y = z")
+        self.db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+
+    def test_of_and_h_roundtrip(self):
+        assignment = {Var("x"): "a", Var("y"): "b", Var("z"): "c"}
+        violation = Violation.of(self.constraint, assignment)
+        assert violation.h == assignment
+
+    def test_facts_is_body_image(self):
+        violation = Violation.of(
+            self.constraint, {Var("x"): "a", Var("y"): "b", Var("z"): "c"}
+        )
+        assert violation.facts == {Fact("R", ("a", "b")), Fact("R", ("a", "c"))}
+
+    def test_holds_in(self):
+        violation = Violation.of(
+            self.constraint, {Var("x"): "a", Var("y"): "b", Var("z"): "c"}
+        )
+        assert violation.holds_in(self.db)
+        assert not violation.holds_in(self.db.remove(Fact("R", ("a", "b"))))
+
+    def test_hashable(self):
+        v1 = Violation.of(self.constraint, {Var("x"): "a", Var("y"): "b", Var("z"): "c"})
+        v2 = Violation.of(self.constraint, {Var("z"): "c", Var("y"): "b", Var("x"): "a"})
+        assert v1 == v2 and len({v1, v2}) == 1
+
+
+class TestViolationDetection:
+    def test_egd_violations(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y), R(x, z) -> y = z"))
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        found = violations(db, sigma)
+        assert len(found) == 2  # the two symmetric assignments
+
+    def test_tgd_violation_with_witness_absent(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> exists z S(z, x)"))
+        db = Database.of(Fact("R", ("a", "b")))
+        assert len(violations(db, sigma)) == 1
+
+    def test_tgd_satisfied_no_violations(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y) -> exists z S(z, x)"))
+        db = Database.of(Fact("R", ("a", "b")), Fact("S", ("w", "a")))
+        assert violations(db, sigma) == frozenset()
+
+    def test_dc_violations(self):
+        sigma = ConstraintSet(parse_constraints("Pref(x, y), Pref(y, x) -> false"))
+        db = Database.from_tuples({"Pref": [("a", "b"), ("b", "a"), ("c", "d")]})
+        found = violations(db, sigma)
+        assert len(found) == 2  # (x=a,y=b) and (x=b,y=a)
+
+    def test_multiple_constraints_tagged(self):
+        sigma = ConstraintSet(
+            parse_constraints(
+                """
+                R(x, y), R(x, z) -> y = z
+                R(x, y) -> exists w S(w, x)
+                """
+            )
+        )
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        found = violations(db, sigma)
+        kinds = {type(v.constraint).__name__ for v in found}
+        assert kinds == {"EGD", "TGD"}
+
+    def test_violations_of_single_constraint(self):
+        constraint = parse_constraint("R(x, x) -> false")
+        db = Database.of(Fact("R", ("a", "a")), Fact("R", ("a", "b")))
+        assert len(list(violations_of(constraint, db))) == 1
+
+
+class TestDerivedViews:
+    def test_violating_facts(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y), R(x, z) -> y = z"))
+        db = Database.of(
+            Fact("R", ("a", "b")), Fact("R", ("a", "c")), Fact("R", ("ok", "v"))
+        )
+        assert violating_facts(db, sigma) == {
+            Fact("R", ("a", "b")),
+            Fact("R", ("a", "c")),
+        }
+
+    def test_conflict_pairs(self):
+        sigma = ConstraintSet(parse_constraints("R(x, y), R(x, z) -> y = z"))
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        pairs = conflict_pairs(db, sigma)
+        assert pairs == {frozenset({Fact("R", ("a", "b")), Fact("R", ("a", "c"))})}
+
+    def test_is_consistent(self):
+        sigma = ConstraintSet(parse_constraints("R(x, x) -> false"))
+        assert is_consistent(Database.of(Fact("R", ("a", "b"))), sigma)
+        assert not is_consistent(Database.of(Fact("R", ("a", "a"))), sigma)

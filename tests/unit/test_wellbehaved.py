@@ -1,0 +1,58 @@
+"""Unit tests for the well-behavedness checker."""
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    Database,
+    Fact,
+    PreferenceGenerator,
+    TrustGenerator,
+    UniformGenerator,
+    key,
+)
+from repro.core.errors import ExplorationBudgetError
+from repro.core.wellbehaved import WellBehavedReport, common_denominator
+
+
+@pytest.fixture
+def key_chain():
+    db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+    return UniformGenerator(ConstraintSet(key("R", 2, [0]))).chain(db)
+
+
+class TestCommonDenominator:
+    def test_uniform_key_chain(self, key_chain):
+        report = common_denominator(key_chain)
+        # the only branch point has three 1/3 transitions
+        assert report.denominator == 3
+        assert report.transitions_checked == 3
+        assert report.states_checked == 4  # root + three leaves
+
+    def test_preference_chain(self, paper_pref_db, pref_sigma):
+        chain = PreferenceGenerator(pref_sigma).chain(paper_pref_db)
+        report = common_denominator(chain)
+        # denominators observed in the figure: 9, 3, 4, 5 -> lcm 180
+        assert report.denominator == 180
+        assert report.is_plausibly_polynomial
+
+    def test_trust_chain_denominator_bits(self):
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        sigma = ConstraintSet(key("R", 2, [0]))
+        gen = TrustGenerator(sigma, {Fact("R", ("a", "b")): 0.5})
+        report = common_denominator(gen.chain(db))
+        assert report.denominator >= 1
+        assert report.bits == report.denominator.bit_length()
+
+    def test_budget(self, paper_pref_db, pref_sigma):
+        chain = PreferenceGenerator(pref_sigma).chain(paper_pref_db)
+        with pytest.raises(ExplorationBudgetError):
+            common_denominator(chain, max_states=2)
+
+    def test_consistent_database_trivial(self):
+        db = Database.of(Fact("R", ("a", "b")))
+        chain = UniformGenerator(ConstraintSet(key("R", 2, [0]))).chain(db)
+        report = common_denominator(chain)
+        assert report == WellBehavedReport(
+            denominator=1, bits=1, states_checked=1, transitions_checked=0
+        )

@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic workload generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.violations import violations
+from repro.workloads import (
+    inclusion_workload,
+    integration_workload,
+    key_conflict_workload,
+    paper_preference_database,
+    preference_workload,
+)
+
+
+class TestPaperPreferenceDatabase:
+    def test_shape(self):
+        db, sigma = paper_preference_database()
+        assert len(db) == 6
+        assert len(violations(db, sigma)) == 4  # two symmetric pairs x 2 homs
+
+
+class TestPreferenceWorkload:
+    def test_conflict_count(self):
+        db, sigma = preference_workload(products=8, edges=5, conflicts=3, seed=1)
+        # each conflict is a symmetric pair matched by two assignments
+        assert len(violations(db, sigma)) == 2 * 3
+        assert len(db) == 5 + 2 * 3
+
+    def test_no_conflicts_is_consistent(self):
+        db, sigma = preference_workload(products=6, edges=8, conflicts=0, seed=2)
+        assert sigma.is_satisfied(db)
+
+    def test_deterministic_with_seed(self):
+        a = preference_workload(products=6, edges=4, conflicts=2, seed=42)[0]
+        b = preference_workload(products=6, edges=4, conflicts=2, seed=42)[0]
+        assert a == b
+
+    def test_too_many_conflicts_rejected(self):
+        with pytest.raises(ValueError):
+            preference_workload(products=3, edges=0, conflicts=10)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            preference_workload(products=3, edges=10, conflicts=0)
+
+    def test_too_few_products_rejected(self):
+        with pytest.raises(ValueError):
+            preference_workload(products=1, edges=0, conflicts=0)
+
+
+class TestIntegrationWorkload:
+    def test_trust_assigned_per_source(self):
+        wl = integration_workload(
+            keys=20,
+            sources=[("alpha", 0.9), ("beta", 0.4)],
+            conflict_rate=0.5,
+            seed=3,
+        )
+        assert set(wl.trust.values()) <= {Fraction("0.9"), Fraction("0.4")}
+        for fact, source in wl.source_of.items():
+            expected = Fraction("0.9") if source == "alpha" else Fraction("0.4")
+            assert wl.trust[fact] == expected
+
+    def test_conflicts_are_key_violations(self):
+        wl = integration_workload(
+            keys=30, sources=[("a", 0.5), ("b", 0.5)], conflict_rate=1.0, seed=4
+        )
+        assert wl.conflicting_keys == 30
+        assert not wl.constraints.is_satisfied(wl.database)
+
+    def test_zero_conflict_rate_consistent(self):
+        wl = integration_workload(
+            keys=10, sources=[("a", 0.5), ("b", 0.5)], conflict_rate=0.0, seed=5
+        )
+        assert wl.constraints.is_satisfied(wl.database)
+
+    def test_single_source_never_conflicts(self):
+        wl = integration_workload(
+            keys=10, sources=[("only", 0.7)], conflict_rate=1.0, seed=6
+        )
+        assert wl.conflicting_keys == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            integration_workload(keys=5, sources=[], seed=1)
+        with pytest.raises(ValueError):
+            integration_workload(keys=5, sources=[("a", 0.5)], conflict_rate=2.0)
+
+
+class TestKeyConflictWorkload:
+    def test_row_counts(self):
+        wl = key_conflict_workload(clean_rows=50, conflict_groups=5, group_size=3, seed=7)
+        assert wl.total_rows == 50 + 5 * 3
+
+    def test_violations_localised_to_groups(self):
+        wl = key_conflict_workload(clean_rows=10, conflict_groups=2, group_size=2, seed=8)
+        found = violations(wl.database, wl.constraints)
+        violating_keys = {list(v.facts)[0].values[0] for v in found}
+        assert violating_keys == {"dup0", "dup1"}
+
+    def test_key_spec_matches_constraints(self):
+        wl = key_conflict_workload(clean_rows=5, conflict_groups=1, seed=9)
+        assert wl.key_spec.relation == "R"
+        assert wl.key_spec.positions == (0,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            key_conflict_workload(clean_rows=1, conflict_groups=1, group_size=1)
+        with pytest.raises(ValueError):
+            key_conflict_workload(clean_rows=1, conflict_groups=1, arity=1)
+
+
+class TestInclusionWorkload:
+    def test_dangling_rows_violate(self):
+        wl = inclusion_workload(satisfied_rows=4, dangling_rows=3, seed=10)
+        assert len(violations(wl.database, wl.constraints)) == 3
+
+    def test_fully_satisfied_is_consistent(self):
+        wl = inclusion_workload(satisfied_rows=5, dangling_rows=0, seed=11)
+        assert wl.constraints.is_satisfied(wl.database)
