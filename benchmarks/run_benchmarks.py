@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Benchmark runner: records a wall-clock perf trajectory across PRs.
+
+Executes the three hot-path experiments —
+``bench_e1_preference_chain.py`` (chain construction + exhaustive
+exploration), ``bench_e5_exact_scaling.py`` (exact exploration scaling)
+and ``bench_e10_sequence_length.py`` (``Sample`` walks) — first as a
+pytest pass over the benchmark files themselves, then as directly timed
+scenarios, and writes the results to a JSON file (default
+``BENCH_PR1.json`` in the repository root) so subsequent PRs can compare
+against this PR's numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
+    [--repeat N] [--skip-pytest]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import (  # noqa: E402
+    PreferenceGenerator,
+    SingleFactDeletionGenerator,
+    UniformGenerator,
+    explore_chain,
+)
+from repro.core.sampling import estimate_sequence_lengths  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    key_conflict_workload,
+    paper_preference_database,
+    preference_workload,
+)
+
+BENCH_FILES = [
+    "bench_e1_preference_chain.py",
+    "bench_e5_exact_scaling.py",
+    "bench_e10_sequence_length.py",
+]
+
+#: Wall-clock seconds of the same scenarios on the seed code (commit
+#: f4d9477, pre-incremental engine), measured best-of-3 on the reference
+#: container; kept here so every regeneration of the report carries the
+#: speedup trajectory.
+SEED_BASELINE_SECONDS = {
+    "e1_paper_chain_explore": 0.00168,
+    "e5_exact_explore_conflicts_1": 0.000208,
+    "e5_exact_explore_conflicts_2": 0.00118,
+    "e5_exact_explore_conflicts_3": 0.00745,
+    "e5_exact_explore_conflicts_4": 0.05694,
+    "e10_sample_walks_groups_2": 0.00977,
+    "e10_sample_walks_groups_4": 0.04676,
+    "e10_sample_walks_groups_8": 0.63792,
+    "e10_sample_walks_groups_16": 9.62369,
+}
+
+
+def _timed(fn, repeat: int) -> float:
+    """Best-of-*repeat* wall clock, in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def scenario_e1(repeat: int) -> dict:
+    database, constraints = paper_preference_database()
+    generator = PreferenceGenerator(constraints)
+
+    def run():
+        exploration = explore_chain(generator.chain(database))
+        assert len(exploration.leaves) == 8
+
+    return {"e1_paper_chain_explore": _timed(run, repeat)}
+
+def scenario_e5(repeat: int) -> dict:
+    out = {}
+    for conflicts in (1, 2, 3, 4):
+        database, constraints = preference_workload(
+            products=2 * conflicts + 1, edges=0, conflicts=conflicts, seed=conflicts
+        )
+        generator = SingleFactDeletionGenerator(constraints)
+
+        def run():
+            exploration = explore_chain(
+                generator.chain(database), max_states=2_000_000
+            )
+            assert exploration.total_probability == 1
+
+        out[f"e5_exact_explore_conflicts_{conflicts}"] = _timed(run, repeat)
+    return out
+
+
+def scenario_e10(repeat: int) -> dict:
+    out = {}
+    for groups in (2, 4, 8, 16):
+        workload = key_conflict_workload(
+            clean_rows=0, conflict_groups=groups, group_size=2, arity=2, seed=groups
+        )
+        generator = UniformGenerator(workload.constraints)
+
+        def run():
+            lengths = estimate_sequence_lengths(
+                workload.database, generator, walks=30, rng=random.Random(groups)
+            )
+            assert len(lengths) == 30
+
+        out[f"e10_sample_walks_groups_{groups}"] = _timed(run, repeat)
+    return out
+
+
+def run_pytest_pass() -> dict:
+    """Wall-clock of the three benchmark files under pytest."""
+    out = {}
+    for name in BENCH_FILES:
+        path = REPO_ROOT / "benchmarks" / name
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "-q", "--no-header"],
+            cwd=REPO_ROOT,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+            },
+            capture_output=True,
+            text=True,
+        )
+        out[f"pytest_{name}"] = {
+            "seconds": time.perf_counter() - start,
+            "returncode": proc.returncode,
+        }
+        if proc.returncode != 0:
+            print(proc.stdout, file=sys.stderr)
+            print(proc.stderr, file=sys.stderr)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR1.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--skip-pytest",
+        action="store_true",
+        help="skip the pytest pass over the benchmark files",
+    )
+    args = parser.parse_args()
+
+    scenarios = {}
+    for label, fn in (("E1", scenario_e1), ("E5", scenario_e5), ("E10", scenario_e10)):
+        print(f"timing {label} ...", flush=True)
+        scenarios.update(fn(args.repeat))
+
+    report = {
+        "pr": 1,
+        "description": "incremental violation maintenance + indexed joins",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": args.repeat,
+        "scenarios_seconds": scenarios,
+        "seed_baseline_seconds": SEED_BASELINE_SECONDS,
+        "speedup_vs_seed": {
+            key: round(SEED_BASELINE_SECONDS[key] / value, 2)
+            for key, value in scenarios.items()
+            if key in SEED_BASELINE_SECONDS and value > 0
+        },
+    }
+    if not args.skip_pytest:
+        print("running pytest pass over benchmark files ...", flush=True)
+        report["pytest_pass"] = run_pytest_pass()
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    for key, value in sorted(scenarios.items()):
+        print(f"  {key}: {value * 1000:.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,10 @@ def conflict_hypergraph(
     """The violation body images of ``D`` as hyperedges.
 
     Only meaningful for TGD-free constraint sets (monotone violations);
-    raises :class:`ValueError` if a TGD is present.
+    raises :class:`ValueError` if a TGD is present.  Hyperedge discovery
+    runs through the indexed homomorphism search
+    (:attr:`repro.db.facts.Database.position_index`), the same machinery
+    the incremental repair engine seeds its delta searches with.
     """
     if not constraints.deletion_only():
         raise ValueError(
@@ -42,36 +45,54 @@ def maximal_consistent_subsets(
     """All subset-maximal consistent subsets of ``D`` (TGD-free case).
 
     These are exactly the ABC repairs when only deletions can fix
-    violations.  Enumerated by branching on an uncovered hyperedge:
-    every repair must exclude at least one fact of every conflict.
+    violations.  Enumerated by branching on an uncovered hyperedge —
+    every repair must exclude at least one fact of every conflict — with
+    two prunings over the naive search:
+
+    - *memoization*: different removal orders reach identical ``kept``
+      sets (removing ``a`` then ``b`` equals ``b`` then ``a``), which the
+      naive branching revisits exponentially often; visited sets are
+      skipped outright;
+    - *local maximality*: a candidate is kept iff no removed fact can be
+      added back without covering a hyperedge, checked against a
+      fact-to-edges index in time linear in the removed set instead of
+      the old quadratic pairwise subset filter over all results.
     """
     edges = conflict_hypergraph(database, constraints)
+    edge_list = tuple(sorted(edges, key=_edge_key))
+    edges_by_fact: Dict[Fact, List[FrozenSet[Fact]]] = {}
+    for edge in edge_list:
+        for fact in edge:
+            edges_by_fact.setdefault(fact, []).append(edge)
+    all_facts = database.facts
     results: Set[FrozenSet[Fact]] = set()
-    _branch(database.facts, frozenset(), tuple(sorted(edges, key=_edge_key)), results)
-    # Branching can produce non-maximal candidates; keep only maximal ones.
-    maximal = {
-        candidate
-        for candidate in results
-        if not any(candidate < other for other in results)
-    }
-    return frozenset(Database(facts) for facts in maximal)
+    visited: Set[FrozenSet[Fact]] = set()
+
+    def is_maximal(kept: FrozenSet[Fact]) -> bool:
+        for fact in all_facts - kept:
+            # ``fact`` is re-addable iff no conflict it belongs to lies
+            # fully inside ``kept + {fact}``; a re-addable fact witnesses
+            # non-maximality.
+            if not any(edge - {fact} <= kept for edge in edges_by_fact.get(fact, ())):
+                return False
+        return True
+
+    def branch(kept: FrozenSet[Fact], edges: Tuple[FrozenSet[Fact], ...]) -> None:
+        if kept in visited:
+            return
+        visited.add(kept)
+        live = tuple(edge for edge in edges if edge <= kept)
+        if not live:
+            if is_maximal(kept):
+                results.add(kept)
+            return
+        rest = live[1:]
+        for fact in sorted(live[0], key=str):
+            branch(kept - {fact}, rest)
+
+    branch(all_facts, edge_list)
+    return frozenset(Database(facts) for facts in results)
 
 
 def _edge_key(edge: FrozenSet[Fact]) -> Tuple:
     return (len(edge), tuple(sorted(str(f) for f in edge)))
-
-
-def _branch(
-    kept: FrozenSet[Fact],
-    removed: FrozenSet[Fact],
-    edges: Tuple[FrozenSet[Fact], ...],
-    results: Set[FrozenSet[Fact]],
-) -> None:
-    live = [edge for edge in edges if edge <= kept]
-    if not live:
-        results.add(kept)
-        return
-    edge = live[0]
-    rest = tuple(live[1:])
-    for fact in sorted(edge, key=str):
-        _branch(kept - {fact}, removed | {fact}, rest, results)

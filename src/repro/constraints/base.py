@@ -51,6 +51,35 @@ class Constraint(ABC):
         """All constants mentioned by the constraint (contributes to the base)."""
         return atoms_constants(self.body)
 
+    @property
+    def body_relations(self) -> FrozenSet[str]:
+        """Relation names mentioned by the body atoms.
+
+        The incremental violation engine uses this to skip constraints
+        whose body cannot possibly gain or lose a match under a
+        single-fact update.
+        """
+        cached = self.__dict__.get("_body_relations")
+        if cached is None:
+            cached = frozenset(a.relation for a in self.body)
+            self.__dict__["_body_relations"] = cached
+        return cached
+
+    @property
+    @abstractmethod
+    def head_relations(self) -> FrozenSet[str]:
+        """Relation names whose facts the head check inspects.
+
+        The incremental engine skips head re-checks for updates not
+        touching these relations, so every subclass must state its
+        dependency explicitly: an empty set asserts the head is
+        database-independent (EGDs compare terms, DC heads are
+        ``false``), while :class:`repro.constraints.TGD` returns its
+        head atoms' relations.  Deliberately abstract — inheriting a
+        silently-empty default would make a future database-inspecting
+        head produce stale violation sets instead of an error.
+        """
+
     # ------------------------------------------------------------------
     # Semantics
     # ------------------------------------------------------------------
@@ -102,7 +131,11 @@ class Constraint(ABC):
         return type(self) is type(other) and self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key()))
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((type(self).__name__, self._key()))
+            self.__dict__["_hash"] = cached
+        return cached
 
     @abstractmethod
     def _key(self) -> Tuple:

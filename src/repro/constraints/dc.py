@@ -25,6 +25,11 @@ class DC(Constraint):
         """A DC head is ``false``: every body homomorphism is a violation."""
         return False
 
+    @property
+    def head_relations(self):
+        """``false`` inspects no facts — database-independent."""
+        return frozenset()
+
     def __str__(self) -> str:
         body = ", ".join(str(a) for a in self.body)
         return f"{body} -> false"

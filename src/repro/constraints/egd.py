@@ -43,6 +43,11 @@ class EGD(Constraint):
                 out.add(side)
         return frozenset(out)
 
+    @property
+    def head_relations(self):
+        """An equality head inspects no facts — database-independent."""
+        return frozenset()
+
     def head_holds(self, assignment: Assignment, database: Database) -> bool:
         """Whether ``h(left) = h(right)`` under *assignment*."""
         left = assignment.get(self.left, self.left) if is_var(self.left) else self.left

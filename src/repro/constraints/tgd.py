@@ -52,6 +52,14 @@ class TGD(Constraint):
     def constants(self) -> FrozenSet[Term]:
         return atoms_constants(self.body) | atoms_constants(self.head)
 
+    @property
+    def head_relations(self) -> FrozenSet[str]:
+        cached = self.__dict__.get("_head_relations")
+        if cached is None:
+            cached = frozenset(a.relation for a in self.head)
+            self.__dict__["_head_relations"] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Semantics
     # ------------------------------------------------------------------

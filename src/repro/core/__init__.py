@@ -28,7 +28,12 @@ from repro.core.justified import (
     justified_insertions_for,
 )
 from repro.core.state import RepairState, AdditionRecord
-from repro.core.engine import RepairEngine
+from repro.core.engine import LRUCache, RepairEngine
+from repro.core.incremental import (
+    DeltaViolationIndex,
+    incremental_violations,
+    full_violations,
+)
 from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.generators import (
     UniformGenerator,
@@ -60,7 +65,9 @@ from repro.core.oca import (
 from repro.core.sampling import (
     Walk,
     ApproximationResult,
+    choose_transition,
     sample_walk,
+    sample_many,
     sample_once,
     approximate_cp,
     approximate_oca,
@@ -89,6 +96,10 @@ __all__ = [
     "RepairState",
     "AdditionRecord",
     "RepairEngine",
+    "LRUCache",
+    "DeltaViolationIndex",
+    "incremental_violations",
+    "full_violations",
     "ChainGenerator",
     "RepairingChain",
     "UniformGenerator",
@@ -112,7 +123,9 @@ __all__ = [
     "oca_from_distribution",
     "Walk",
     "ApproximationResult",
+    "choose_transition",
     "sample_walk",
+    "sample_many",
     "sample_once",
     "approximate_cp",
     "approximate_oca",

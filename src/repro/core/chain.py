@@ -19,7 +19,7 @@ from fractions import Fraction
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.constraints.base import Constraint, ConstraintSet
-from repro.core.engine import RepairEngine
+from repro.core.engine import LRUCache, RepairEngine
 from repro.core.errors import InvalidGeneratorError
 from repro.core.operations import Operation
 from repro.core.state import RepairState
@@ -112,9 +112,15 @@ class RepairingChain:
     chain's absorbing states.
     """
 
+    #: Bound on the per-chain ``state -> transitions`` memo.
+    TRANSITION_CACHE_LIMIT = 100_000
+
     def __init__(self, engine: RepairEngine, generator: ChainGenerator) -> None:
         self.engine = engine
         self.generator = generator
+        self._transition_cache: LRUCache[
+            RepairState, Tuple[Tuple[Operation, Fraction], ...]
+        ] = LRUCache(self.TRANSITION_CACHE_LIMIT)
 
     @property
     def database(self) -> Database:
@@ -137,7 +143,24 @@ class RepairingChain:
         Raises :class:`InvalidGeneratorError` when the generator breaks
         Definition 5 (negative weights, or all-zero weights at a state
         that still has valid extensions).
+
+        Transition tuples are memoized per state (bounded LRU): batched
+        sampling (:func:`repro.core.sampling.sample_many`) runs many
+        walks over one chain, and walks sharing a prefix then share the
+        extension enumeration and weight normalization.  Generators are
+        expected to be deterministic functions of the state, as
+        Definition 5 requires.
         """
+        cached = self._transition_cache.get(state)
+        if cached is not None:
+            return cached
+        computed = self._compute_transitions(state)
+        self._transition_cache.put(state, computed)
+        return computed
+
+    def _compute_transitions(
+        self, state: RepairState
+    ) -> Tuple[Tuple[Operation, Fraction], ...]:
         extensions = self.engine.extensions(state)
         if not extensions:
             return ()

@@ -6,13 +6,25 @@ justified (Definition 3) *and* keep the sequence repairing (Definition 4:
 req2, no cancellation, global justification of additions).  The engine is
 the substrate both for exact chain exploration (:mod:`repro.core.exact`)
 and for the randomized ``Sample`` walk (:mod:`repro.core.sampling`).
+
+Violation sets are maintained *incrementally*: each state carries
+``V(D', Sigma)`` (on :class:`repro.core.state.RepairState`), and the
+successor set for a candidate operation is derived from it by
+:class:`repro.core.incremental.DeltaViolationIndex` instead of a full
+recompute.  Per-``(database, operation)`` successor pairs and
+per-database violation sets are memoized in bounded LRU caches, so
+validating an extension and later applying it costs one delta total, and
+walks sharing a prefix share the work.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from collections import OrderedDict
+from functools import lru_cache
+from typing import FrozenSet, Generic, Iterable, List, Optional, Tuple, TypeVar
 
 from repro.constraints.base import ConstraintSet
+from repro.core.incremental import DeltaViolationIndex
 from repro.core.justified import enumerate_justified_operations, is_justified
 from repro.core.operations import Operation
 from repro.core.state import RepairState
@@ -21,34 +33,115 @@ from repro.db.base import base_constants
 from repro.db.facts import Database
 from repro.db.terms import Term
 
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+@lru_cache(maxsize=1 << 15)
+def _operation_sort_key(op: Operation) -> str:
+    """Memoized ``str(op)``: the deterministic extension order re-renders
+    the same (cached) operation objects at every state otherwise."""
+    return str(op)
+
+
+class LRUCache(Generic[K, V]):
+    """A small bounded mapping with least-recently-used eviction.
+
+    Replaces the old "drop everything at the size bound" policy, which
+    discarded the hot prefix states every ``Sample`` walk revisits.
+    """
+
+    __slots__ = ("limit", "_data")
+
+    def __init__(self, limit: int) -> None:
+        if limit <= 0:
+            raise ValueError("LRU cache limit must be positive")
+        self.limit = limit
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def get(self, key: K) -> Optional[V]:
+        data = self._data
+        value = data.get(key)
+        if value is not None:
+            data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if len(data) > self.limit:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __reduce__(self):
+        # Pickle as an *empty* cache: contents are pure memoization and
+        # can be arbitrarily large; shipping a chain to worker processes
+        # must not serialize hundreds of thousands of cached entries.
+        return (type(self), (self.limit,))
+
 
 class RepairEngine:
     """Enumerates repairing sequences for a fixed ``(D, Sigma)`` pair."""
 
     #: Bound on the per-engine violation cache (see :meth:`_violations`).
     VIOLATION_CACHE_LIMIT = 50_000
+    #: Bound on the per-engine ``(database, op) -> successor`` cache.
+    STEP_CACHE_LIMIT = 100_000
 
     def __init__(self, database: Database, constraints: ConstraintSet) -> None:
         self.database = database
         self.constraints = constraints
         self.base_constants: FrozenSet[Term] = base_constants(database, constraints)
-        self._violation_cache: dict = {}
+        self.delta_index = DeltaViolationIndex(constraints)
+        self._deletion_only = constraints.deletion_only()
+        self._violation_cache: LRUCache[Database, FrozenSet[Violation]] = LRUCache(
+            self.VIOLATION_CACHE_LIMIT
+        )
+        self._step_cache: LRUCache[
+            Tuple[Database, Operation], Tuple[Database, FrozenSet[Violation]]
+        ] = LRUCache(self.STEP_CACHE_LIMIT)
 
     def _violations(self, database: Database) -> FrozenSet[Violation]:
-        """``V(D', Sigma)`` with memoization.
+        """``V(D', Sigma)`` by full recomputation, memoized.
 
-        Chain exploration evaluates each candidate database twice (once
-        to validate the extension, once to apply it) and often reaches
-        the same database along different branches; caching the
-        violation sets removes the dominant redundant work.  The cache
-        is dropped wholesale at a size bound to keep memory linear.
+        Only the initial state (and direct callers) pay this; every step
+        taken through :meth:`extensions`/:meth:`apply` flows through the
+        incremental path of :meth:`_successor` instead.
         """
         cached = self._violation_cache.get(database)
         if cached is None:
             cached = violations(database, self.constraints)
-            if len(self._violation_cache) >= self.VIOLATION_CACHE_LIMIT:
-                self._violation_cache.clear()
-            self._violation_cache[database] = cached
+            self._violation_cache.put(database, cached)
+        return cached
+
+    def _successor(
+        self, state: RepairState, op: Operation
+    ) -> Tuple[Database, FrozenSet[Violation]]:
+        """``(op(D'), V(op(D'), Sigma))`` for *op* at *state*.
+
+        Derived from the state's own violation set by delta maintenance;
+        memoized per ``(database, op)`` so validating an extension and
+        then applying it — or re-reaching the same database along
+        another walk — computes the delta once.
+        """
+        key = (state.db, op)
+        cached = self._step_cache.get(key)
+        if cached is None:
+            new_db = op.apply(state.db)
+            new_violations = self._violation_cache.get(new_db)
+            if new_violations is None:
+                new_violations = self.delta_index.violations_after(
+                    state.db, state.current_violations, op, new_db
+                )
+                self._violation_cache.put(new_db, new_violations)
+            cached = (new_db, new_violations)
+            self._step_cache.put(key, cached)
         return cached
 
     # ------------------------------------------------------------------
@@ -63,8 +156,7 @@ class RepairEngine:
 
     def apply(self, state: RepairState, op: Operation) -> RepairState:
         """Extend *state* with *op* (must come from :meth:`extensions`)."""
-        new_db = op.apply(state.db)
-        new_violations = self._violations(new_db)
+        new_db, new_violations = self._successor(state, op)
         return state.child(op, new_db, new_violations)
 
     # ------------------------------------------------------------------
@@ -80,7 +172,7 @@ class RepairEngine:
             return ()
         candidates = self._candidate_operations(state)
         valid: List[Operation] = []
-        for op in sorted(candidates, key=str):
+        for op in sorted(candidates, key=_operation_sort_key):
             if self._extension_is_valid(state, op):
                 valid.append(op)
         return tuple(valid)
@@ -106,8 +198,16 @@ class RepairEngine:
         if op.is_delete and op.facts & state.added:
             return False
 
-        new_db = op.apply(state.db)
-        new_violations = self._violations(new_db)
+        # Monotone fast path: without TGDs, deleting facts only ever
+        # removes violations (V(D - F) is a subset of V(D)), and banned
+        # violations are always disjoint from the current ones, so req2
+        # cannot fail; no insertion exists whose justification could be
+        # re-checked either.  Validity is decided without touching the
+        # successor's violation set (it is computed lazily on apply).
+        if self._deletion_only and op.is_delete:
+            return True
+
+        _, new_violations = self._successor(state, op)
 
         # req2: previously eliminated violations must not hold again.
         for banned in state.banned:

@@ -1,0 +1,241 @@
+"""Incremental violation maintenance under single-operation updates.
+
+Every step of chain exploration and of every ``Sample`` walk replaces a
+database ``D`` by ``D + F`` or ``D - F`` and needs the new violation set
+``V(D ± F, Sigma)`` (Definition 2).  Recomputing it from scratch re-runs
+a full backtracking join per constraint; this module instead derives it
+from ``V(D, Sigma)`` with work proportional to the *delta*:
+
+- constraints mentioning none of ``F``'s relations (body or head) keep
+  their violations verbatim;
+- a **deletion** ``-F`` kills exactly the violations whose body image
+  intersects ``F``; for TGDs whose head mentions a deleted relation, the
+  deletion may also *destroy a witness* and surface new violations —
+  found by a joint body+head search seeded with one head atom pinned to
+  a deleted fact (:func:`repro.db.homomorphism.find_homomorphisms_pinned`);
+- an **insertion** ``+F`` can only create body homomorphisms that use
+  some fact of ``F``, so a pinned search per (body atom, fact) pair
+  enumerates exactly the new candidates; for TGDs whose head mentions an
+  inserted relation, surviving violations are re-checked because the new
+  facts may have completed a head witness.
+
+The correctness argument mirrors first-order incremental view
+maintenance over the conflict-hypergraph view of subset repairs
+(Chomicki & Marcinkowski): violations of monotone (denial-style)
+constraints behave exactly like hyperedges under deltas, and the TGD
+head cases are the only non-monotone interactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.constraints.base import Constraint, ConstraintSet
+from repro.constraints.tgd import TGD
+from repro.core.operations import Operation
+from repro.core.violations import Violation, violations
+from repro.db.facts import Database, Fact
+from repro.db.homomorphism import (
+    Assignment,
+    find_homomorphisms_pinned,
+    freeze_assignment,
+)
+
+
+class DeltaViolationIndex:
+    """Maintains ``V(D, Sigma)`` across single-operation updates.
+
+    Stateless with respect to any particular database — the caller keeps
+    ``(D, V(D, Sigma))`` pairs (they live on
+    :class:`repro.core.state.RepairState`) and asks for the successor
+    set.  One index is shared by an entire
+    :class:`repro.core.engine.RepairEngine`.
+    """
+
+    def __init__(self, constraints: ConstraintSet) -> None:
+        self.constraints = constraints
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def violations_after(
+        self,
+        old_db: Database,
+        old_violations: FrozenSet[Violation],
+        op: Operation,
+        new_db: Database,
+    ) -> FrozenSet[Violation]:
+        """``V(op(D), Sigma)`` given ``V(D, Sigma)``.
+
+        *new_db* must equal ``op.apply(old_db)`` (passed in so callers
+        that already materialized it don't pay twice).
+        """
+        if new_db is old_db:
+            return old_violations
+        if op.is_insert:
+            changed = frozenset(op.facts - old_db.facts)
+        else:
+            changed = frozenset(op.facts & old_db.facts)
+        if not changed:
+            return old_violations
+        changed_relations = frozenset(f.relation for f in changed)
+
+        grouped: Dict[Constraint, List[Violation]] = {}
+        for violation in old_violations:
+            grouped.setdefault(violation.constraint, []).append(violation)
+
+        out: Set[Violation] = set()
+        for constraint in self.constraints:
+            old_of_c = grouped.get(constraint, [])
+            body_hit = bool(changed_relations & constraint.body_relations)
+            head_hit = bool(changed_relations & constraint.head_relations)
+            if not body_hit and not head_hit:
+                out.update(old_of_c)
+            elif op.is_insert:
+                out.update(
+                    self._after_insert(
+                        constraint, old_of_c, changed, new_db, body_hit, head_hit
+                    )
+                )
+            else:
+                out.update(
+                    self._after_delete(
+                        constraint,
+                        old_of_c,
+                        changed,
+                        old_db,
+                        new_db,
+                        body_hit,
+                        head_hit,
+                    )
+                )
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Insertion: bodies can only gain matches, TGD heads can only gain
+    # witnesses.
+    # ------------------------------------------------------------------
+    def _after_insert(
+        self,
+        constraint: Constraint,
+        old_of_c: Sequence[Violation],
+        added: FrozenSet[Fact],
+        new_db: Database,
+        body_hit: bool,
+        head_hit: bool,
+    ) -> Iterable[Violation]:
+        if head_hit:
+            # The inserted facts may complete a head witness for an
+            # existing violation; re-check the (cheap, seeded) head.
+            survivors = [
+                v
+                for v in old_of_c
+                if not constraint.head_holds(v.h, new_db)
+            ]
+        else:
+            survivors = list(old_of_c)
+        if not body_hit:
+            return survivors
+        fresh: Set[Violation] = set()
+        for assignment in self._pinned_body_matches(constraint, added, new_db):
+            if not constraint.head_holds(assignment, new_db):
+                fresh.add(Violation.of(constraint, assignment))
+        return survivors + list(fresh)
+
+    def _pinned_body_matches(
+        self, constraint: Constraint, facts: FrozenSet[Fact], database: Database
+    ) -> Iterable[Assignment]:
+        """Body homomorphisms into *database* using some fact of *facts*.
+
+        Each returned assignment binds exactly the body variables (the
+        same shape the full search produces, so the resulting
+        :class:`Violation` values are identical).  Assignments found via
+        several pins are deduplicated.
+        """
+        seen: Set[Tuple] = set()
+        for fact in facts:
+            for index, atom in enumerate(constraint.body):
+                if atom.relation != fact.relation or atom.arity != fact.arity:
+                    continue
+                for assignment in find_homomorphisms_pinned(
+                    constraint.body, database, index, fact
+                ):
+                    frozen = freeze_assignment(assignment)
+                    if frozen not in seen:
+                        seen.add(frozen)
+                        yield assignment
+
+    # ------------------------------------------------------------------
+    # Deletion: bodies can only lose matches, TGD heads can only lose
+    # witnesses.
+    # ------------------------------------------------------------------
+    def _after_delete(
+        self,
+        constraint: Constraint,
+        old_of_c: Sequence[Violation],
+        removed: FrozenSet[Fact],
+        old_db: Database,
+        new_db: Database,
+        body_hit: bool,
+        head_hit: bool,
+    ) -> Iterable[Violation]:
+        if body_hit:
+            survivors = [v for v in old_of_c if v.facts.isdisjoint(removed)]
+        else:
+            # Body images are intact, and deletions can never make a
+            # failing head hold (TGD witnesses only disappear; EGD/DC
+            # heads ignore the database), so every violation survives.
+            survivors = list(old_of_c)
+        if not head_hit or not isinstance(constraint, TGD):
+            return survivors
+        # A deleted fact may have been the last witness of a satisfied
+        # body homomorphism: search (body + head) jointly over the *old*
+        # database with one head atom pinned to a deleted fact, then keep
+        # the body projections that are intact in, and violated by, the
+        # new database.
+        body_variables = constraint.body_variables
+        joint_atoms = list(constraint.body) + list(constraint.head)
+        body_count = len(constraint.body)
+        fresh: Dict[Tuple, Violation] = {}
+        for fact in removed:
+            for offset, atom in enumerate(constraint.head):
+                if atom.relation != fact.relation or atom.arity != fact.arity:
+                    continue
+                for joint in find_homomorphisms_pinned(
+                    joint_atoms, old_db, body_count + offset, fact
+                ):
+                    assignment = {
+                        var: value
+                        for var, value in joint.items()
+                        if var in body_variables
+                    }
+                    frozen = freeze_assignment(assignment)
+                    if frozen in fresh:
+                        continue
+                    image = constraint.body_image(assignment)
+                    if not all(f in new_db for f in image):
+                        continue
+                    if constraint.head_holds(assignment, new_db):
+                        continue
+                    fresh[frozen] = Violation(constraint, frozen)
+        return survivors + list(fresh.values())
+
+
+def incremental_violations(
+    old_db: Database,
+    old_violations: FrozenSet[Violation],
+    op: Operation,
+    constraints: ConstraintSet,
+    new_db: Database | None = None,
+) -> FrozenSet[Violation]:
+    """Functional convenience wrapper around :class:`DeltaViolationIndex`."""
+    if new_db is None:
+        new_db = op.apply(old_db)
+    return DeltaViolationIndex(constraints).violations_after(
+        old_db, old_violations, op, new_db
+    )
+
+
+#: The non-incremental reference computation (re-exported so equivalence
+#: tests and cold starts name the same definition the engine falls back to).
+full_violations = violations

@@ -18,8 +18,9 @@ complete a different witness).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import chain, combinations
-from typing import FrozenSet, Iterable, Iterator, Set
+from typing import FrozenSet, Iterable, Iterator, Set, Tuple
 
 from repro.constraints.base import ConstraintSet
 from repro.constraints.tgd import TGD
@@ -43,11 +44,23 @@ def _proper_nonempty_subsets(facts: FrozenSet[Fact]) -> Iterator[FrozenSet[Fact]
             yield frozenset(combo)
 
 
+@lru_cache(maxsize=1 << 15)
+def _deletion_ops(violation: Violation) -> Tuple[Operation, ...]:
+    """Memoized justified deletions for one violation.
+
+    The same violation is met at every state along every walk that has
+    not yet fixed it; caching returns the *same* operation objects, so
+    downstream hashing and sort-key caches hit too.
+    """
+    return tuple(
+        Operation.delete(subset) for subset in _nonempty_subsets(violation.facts)
+    )
+
+
 def justified_deletions_for(violation: Violation) -> Iterator[Operation]:
     """All justified deletions fixing *violation*: ``-F`` for non-empty
     ``F`` included in the body image ``h(phi)``."""
-    for subset in _nonempty_subsets(violation.facts):
-        yield Operation.delete(subset)
+    yield from _deletion_ops(violation)
 
 
 def justified_insertions_for(
@@ -80,7 +93,7 @@ def _insertion_is_minimal(
     """Definition 3 condition 1: no proper subset of *facts* fixes the
     violation already."""
     for subset in _proper_nonempty_subsets(facts):
-        if not violation.holds_in(database | subset):
+        if not violation.holds_in(database.with_added(subset)):
             return False
     return True
 
@@ -129,7 +142,7 @@ def is_justified(
             if not op.facts <= violation.facts:
                 continue
             if all(
-                not violation.holds_in(database - subset)
+                not violation.holds_in(database.with_removed(subset))
                 for subset in _proper_nonempty_subsets(op.facts)
             ):
                 return True

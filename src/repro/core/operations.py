@@ -66,10 +66,14 @@ class Operation:
         return self.kind is OpKind.DELETE
 
     def apply(self, database: Database) -> Database:
-        """``op(D') = D' + F`` or ``D' - F``."""
+        """``op(D') = D' + F`` or ``D' - F``.
+
+        Uses the structural-sharing constructors so the derived database
+        inherits the parent's fact indexes instead of rebuilding them.
+        """
         if self.is_insert:
-            return database | self.facts
-        return database - self.facts
+            return database.with_added(self.facts)
+        return database.with_removed(self.facts)
 
     def __call__(self, database: Database) -> Database:
         return self.apply(database)

@@ -17,15 +17,19 @@ additive guarantee is the best efficiently attainable kind.
 
 from __future__ import annotations
 
+import pickle
 import random
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from functools import lru_cache
+from math import lcm
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.hoeffding import sample_size
 from repro.core.chain import ChainGenerator, RepairingChain
-from repro.core.errors import FailingSequenceError
+from repro.core.errors import FailingSequenceError, InvalidGeneratorError
 from repro.core.oca import AnyQuery
+from repro.core.operations import Operation
 from repro.core.state import RepairState
 from repro.db.facts import Database
 from repro.db.terms import Term
@@ -49,6 +53,54 @@ class Walk:
         return self.state.depth
 
 
+@lru_cache(maxsize=1 << 14)
+def _prepared_draw(
+    transitions: Tuple[Tuple[Operation, Fraction], ...]
+) -> Tuple[int, Tuple[int, ...]]:
+    """``(denominator, cumulative integer weights)`` for a distribution.
+
+    Memoized on the transitions tuple: the chain hands out the same
+    cached tuple for a revisited state, so hot prefix states prepare
+    their integer weights once across all walks.
+    """
+    denominator = 1
+    for _, probability in transitions:
+        denominator = lcm(denominator, probability.denominator)
+    cumulative: List[int] = []
+    running = 0
+    for _, probability in transitions:
+        running += probability.numerator * (denominator // probability.denominator)
+        cumulative.append(running)
+    if running != denominator:
+        raise InvalidGeneratorError(
+            f"transition probabilities sum to {Fraction(running, denominator)}, "
+            "not 1; the chain is not stochastic (Definition 5)"
+        )
+    return denominator, tuple(cumulative)
+
+
+def choose_transition(
+    transitions: Sequence[Tuple[Operation, Fraction]],
+    rng: random.Random,
+) -> Operation:
+    """Draw one operation from an exact transition distribution.
+
+    The chain's probabilities are exact :class:`fractions.Fraction`
+    values, so the draw is performed over their common denominator with
+    integer arithmetic — no float conversion, hence no rounding drift
+    for tiny probabilities and no silent fallback when weights fail to
+    sum to 1 (that case now raises :class:`InvalidGeneratorError`
+    instead of quietly over-selecting the last operation).
+    """
+    transitions = tuple(transitions)
+    denominator, cumulative = _prepared_draw(transitions)
+    draw = rng.randrange(denominator)
+    for (op, _), bound in zip(transitions, cumulative):
+        if draw < bound:
+            return op
+    raise AssertionError("unreachable: the weights sum to the denominator")
+
+
 def sample_walk(
     chain: RepairingChain,
     rng: Optional[random.Random] = None,
@@ -65,15 +117,96 @@ def sample_walk(
         transitions = chain.transitions(state)
         if not transitions:
             return Walk(state=state, successful=state.is_consistent)
-        threshold = rng.random()
-        cumulative = 0.0
-        chosen = transitions[-1][0]
-        for op, probability in transitions:
-            cumulative += float(probability)
-            if threshold < cumulative:
-                chosen = op
-                break
-        state = chain.step(state, chosen)
+        state = chain.step(state, choose_transition(transitions, rng))
+
+
+def sample_many(
+    chain: RepairingChain,
+    walks: int,
+    rng: Optional[random.Random] = None,
+    processes: Optional[int] = None,
+) -> List[Walk]:
+    """Run *walks* independent ``Sample`` walks over one shared chain.
+
+    This is the batched driver behind :func:`approximate_cp`,
+    :func:`approximate_oca` and :func:`estimate_sequence_lengths`.
+    Sharing one chain (hence one engine) amortizes the expensive parts
+    across walks: transition distributions are memoized per state, and
+    violation deltas per ``(database, op)``, so the states near the root
+    that every walk traverses are computed once.
+
+    With *processes* > 1 the batch is fanned across worker processes
+    (fork start method); each worker runs its share of walks with an
+    independent RNG seeded from *rng*, so results are still i.i.d. draws
+    from the same walk distribution (though not bit-identical to the
+    serial order).  Falls back to the serial path when the platform has
+    no fork support or the chain cannot be shipped to workers.
+    """
+    return list(_walk_stream(chain, walks, rng, processes))
+
+
+def _walk_stream(
+    chain: RepairingChain,
+    walks: int,
+    rng: Optional[random.Random],
+    processes: Optional[int],
+) -> Iterator[Walk]:
+    """Lazy serial walks / eager parallel batch behind :func:`sample_many`.
+
+    The serial path yields walk-by-walk so consumers that abort on the
+    first failing walk (:func:`approximate_cp` with the default
+    ``allow_failing=False``) fail fast instead of paying for the whole
+    batch; the parallel path is inherently batched.
+    """
+    rng = rng or random.Random()
+    if processes and processes > 1 and walks > 1:
+        parallel = _sample_many_parallel(chain, walks, rng, processes)
+        if parallel is not None:
+            yield from parallel
+            return
+    for _ in range(walks):
+        yield sample_walk(chain, rng)
+
+
+def _sample_walks_job(args: Tuple[RepairingChain, int, int]) -> List[Walk]:
+    chain, seed, count = args
+    rng = random.Random(seed)
+    return [sample_walk(chain, rng) for _ in range(count)]
+
+
+def _sample_many_parallel(
+    chain: RepairingChain, walks: int, rng: random.Random, processes: int
+) -> Optional[List[Walk]]:
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+    except (ImportError, ValueError):
+        return None
+    # Probe shippability up front (FunctionGenerator closures etc. are
+    # not picklable); chain caches pickle as empty, so this is cheap.
+    # Keeping the probe separate from the map means errors raised *by
+    # the walks themselves* propagate instead of being silently retried
+    # on the serial path.
+    try:
+        pickle.dumps(chain)
+    except Exception:
+        return None
+    processes = min(processes, walks)
+    base, extra = divmod(walks, processes)
+    jobs = [
+        (chain, rng.getrandbits(64), base + (1 if i < extra else 0))
+        for i in range(processes)
+    ]
+    jobs = [job for job in jobs if job[2] > 0]
+    try:
+        pool = context.Pool(len(jobs))
+    except OSError:
+        # Sandboxes without working fork fall back to the serial path.
+        return None
+    with pool:
+        parts = pool.map(_sample_walks_job, jobs)
+    return [walk for part in parts for walk in part]
 
 
 def sample_once(
@@ -91,15 +224,27 @@ def sample_once(
     estimate discard these samples).
     """
     walk = sample_walk(chain, rng)
-    if not walk.successful:
-        if allow_failing:
-            return None
-        raise FailingSequenceError(
-            f"the walk {walk.state.label()!r} is failing; Theorem 9 requires "
-            "a non-failing generator (Definition 8) — use allow_failing=True "
-            "for the heuristic conditional estimate"
-        )
+    if not _accept_walk(walk, allow_failing):
+        return None
     return 1 if query.holds(walk.result, tuple(candidate)) else 0
+
+
+def _accept_walk(walk: Walk, allow_failing: bool) -> bool:
+    """Shared failing-walk policy for the estimators.
+
+    ``True`` for a successful walk, ``False`` for a failing walk being
+    discarded under *allow_failing*; otherwise raises
+    :class:`FailingSequenceError`.
+    """
+    if walk.successful:
+        return True
+    if allow_failing:
+        return False
+    raise FailingSequenceError(
+        f"the walk {walk.state.label()!r} is failing; Theorem 9 requires "
+        "a non-failing generator (Definition 8) — use allow_failing=True "
+        "for the heuristic conditional estimate"
+    )
 
 
 @dataclass
@@ -126,6 +271,7 @@ def approximate_cp(
     delta: float = 0.1,
     rng: Optional[random.Random] = None,
     allow_failing: bool = False,
+    processes: Optional[int] = None,
 ) -> ApproximationResult:
     """Additive ``(epsilon, delta)`` approximation of ``CP(t)`` (Theorem 9).
 
@@ -146,13 +292,12 @@ def approximate_cp(
     successes = 0
     valid = 0
     failing = 0
-    for _ in range(n):
-        outcome = sample_once(chain, query, candidate, rng, allow_failing)
-        if outcome is None:
+    for walk in _walk_stream(chain, n, rng, processes):
+        if not _accept_walk(walk, allow_failing):
             failing += 1
             continue
         valid += 1
-        successes += outcome
+        successes += 1 if query.holds(walk.result, tuple(candidate)) else 0
     estimate = successes / valid if valid else 0.0
     return ApproximationResult(
         estimate=estimate,
@@ -172,6 +317,7 @@ def approximate_oca(
     delta: float = 0.1,
     rng: Optional[random.Random] = None,
     allow_failing: bool = False,
+    processes: Optional[int] = None,
 ) -> Dict[Tuple[Term, ...], float]:
     """Estimate ``CP`` for every tuple observed in any sampled repair.
 
@@ -186,15 +332,9 @@ def approximate_oca(
     chain = generator.chain(database)
     counts: Dict[Tuple[Term, ...], int] = {}
     valid = 0
-    for _ in range(n):
-        walk = sample_walk(chain, rng)
-        if not walk.successful:
-            if allow_failing:
-                continue
-            raise FailingSequenceError(
-                f"the walk {walk.state.label()!r} is failing; Theorem 9 "
-                "requires a non-failing generator (Definition 8)"
-            )
+    for walk in _walk_stream(chain, n, rng, processes):
+        if not _accept_walk(walk, allow_failing):
+            continue
         valid += 1
         for answer in query.answers(walk.result):
             counts[answer] = counts.get(answer, 0) + 1
@@ -208,8 +348,8 @@ def estimate_sequence_lengths(
     generator: ChainGenerator,
     walks: int = 50,
     rng: Optional[random.Random] = None,
+    processes: Optional[int] = None,
 ) -> List[int]:
     """Lengths of sampled repairing sequences (Proposition 2 experiments)."""
-    rng = rng or random.Random()
     chain = generator.chain(database)
-    return [sample_walk(chain, rng).length for _ in range(walks)]
+    return [walk.length for walk in sample_many(chain, walks, rng, processes)]

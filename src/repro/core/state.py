@@ -4,6 +4,12 @@ A :class:`RepairState` is one node of the repairing Markov chain: the
 sequence of operations applied so far, the current database, and the
 bookkeeping needed to enforce the sequence conditions incrementally:
 
+- ``current_violations`` — ``V(D', Sigma)`` for the state's database;
+  this is the delta state of the incremental engine: every successor's
+  violation set is derived from it by
+  :class:`repro.core.incremental.DeltaViolationIndex` rather than
+  recomputed, so carrying it here is what makes each walk step cost
+  only the delta;
 - ``banned`` — violations eliminated by some earlier step; req2 forbids
   them from ever holding again;
 - ``added`` / ``deleted`` — fact sets for the *no cancellation* condition;

@@ -40,8 +40,24 @@ class Violation:
 
     @property
     def facts(self) -> FrozenSet[Fact]:
-        """The body image ``h(phi)`` — the facts jointly causing the violation."""
-        return self.constraint.body_image(self.h)
+        """The body image ``h(phi)`` — the facts jointly causing the violation.
+
+        Cached per instance: the incremental engine consults the body
+        image of every surviving violation on every walk step, and
+        re-substituting the assignment each time dominated that path.
+        """
+        cached = getattr(self, "_facts_cache", None)
+        if cached is None:
+            cached = self.constraint.body_image(self.h)
+            object.__setattr__(self, "_facts_cache", cached)
+        return cached
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_hash_cache", None)
+        if cached is None:
+            cached = hash((self.constraint, self.frozen_assignment))
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
 
     def holds_in(self, database: Database) -> bool:
         """Whether this violation is present in *database*.

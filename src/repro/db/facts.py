@@ -10,10 +10,13 @@ probabilities of all absorbing sequences producing the same instance).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 from repro.db.terms import Term, is_var, term_str
+
+#: Per-relation position-value index: ``{(position, value) -> facts}``.
+PositionIndex = Dict[Tuple[int, Term], Tuple["Fact", ...]]
 
 
 @dataclass(frozen=True, order=True)
@@ -141,6 +144,32 @@ class Database:
             rel: tuple(sorted(fs, key=_fact_sort_key)) for rel, fs in groups.items()
         }
 
+    @cached_property
+    def position_index(self) -> Dict[str, PositionIndex]:
+        """Hash index ``{relation: {(position, value) -> facts}}``.
+
+        The backtracking homomorphism search uses it to turn "facts of
+        ``R`` with value ``v`` at position ``i``" into one dict lookup
+        instead of a scan over :attr:`by_relation`.  Entry tuples carry
+        no ordering guarantee (callers needing determinism sort).
+        """
+        index: Dict[str, Dict[Tuple[int, Term], List[Fact]]] = {}
+        for fact in self._facts:
+            inner = index.setdefault(fact.relation, {})
+            for position, value in enumerate(fact.values):
+                inner.setdefault((position, value), []).append(fact)
+        return {
+            rel: {key: tuple(fs) for key, fs in inner.items()}
+            for rel, inner in index.items()
+        }
+
+    def facts_with(self, relation: str, position: int, value: Term) -> Tuple[Fact, ...]:
+        """Facts of *relation* carrying *value* at *position* (indexed)."""
+        inner = self.position_index.get(relation)
+        if inner is None:
+            return ()
+        return inner.get((position, value), ())
+
     def tuples(self, relation: str) -> Tuple[Tuple[Term, ...], ...]:
         """The value tuples of *relation* (empty if the relation is absent)."""
         return tuple(f.values for f in self.by_relation.get(relation, ()))
@@ -163,18 +192,103 @@ class Database:
 
     def add(self, *facts: Fact) -> "Database":
         """Return a new database with *facts* added."""
-        return Database(self._facts | set(facts))
+        return self.with_added(facts)
 
     def remove(self, *facts: Fact) -> "Database":
         """Return a new database with *facts* removed (missing ones ignored)."""
-        return Database(self._facts - set(facts))
+        return self.with_removed(facts)
+
+    # ------------------------------------------------------------------
+    # Structural-sharing single-op updates (the repair-walk hot path)
+    # ------------------------------------------------------------------
+    def with_added(self, facts: Iterable[Fact]) -> "Database":
+        """``D + F`` reusing this database's cached indexes.
+
+        Instead of rebuilding :attr:`by_relation` and
+        :attr:`position_index` from scratch, the relations untouched by
+        *facts* share their index entries with the parent; only the
+        affected relations are re-derived.  Returns ``self`` when every
+        fact is already present.
+        """
+        added = frozenset(facts) - self._facts
+        if not added:
+            return self
+        for f in added:
+            if not isinstance(f, Fact):
+                raise TypeError(f"Database holds Fact objects, got {type(f).__name__}")
+        return self._derive(self._facts | added, added, frozenset())
+
+    def with_removed(self, facts: Iterable[Fact]) -> "Database":
+        """``D - F`` reusing this database's cached indexes (see
+        :meth:`with_added`).  Returns ``self`` when no fact is present."""
+        removed = frozenset(facts) & self._facts
+        if not removed:
+            return self
+        return self._derive(self._facts - removed, frozenset(), removed)
+
+    def _derive(
+        self,
+        new_facts: FrozenSet[Fact],
+        added: FrozenSet[Fact],
+        removed: FrozenSet[Fact],
+    ) -> "Database":
+        child = Database.__new__(Database)
+        child._facts = new_facts
+        touched = frozenset(f.relation for f in added | removed)
+        caches = self.__dict__
+        if "by_relation" in caches:
+            groups = dict(caches["by_relation"])
+            for rel in touched:
+                group = [f for f in groups.get(rel, ()) if f not in removed]
+                group.extend(f for f in added if f.relation == rel)
+                if group:
+                    groups[rel] = tuple(sorted(group, key=_fact_sort_key))
+                else:
+                    groups.pop(rel, None)
+            child.__dict__["by_relation"] = groups
+        if "position_index" in caches:
+            index = dict(caches["position_index"])
+            for rel in touched:
+                inner = dict(index.get(rel, {}))
+                for fact in removed:
+                    if fact.relation != rel:
+                        continue
+                    for position, value in enumerate(fact.values):
+                        entry = tuple(
+                            f for f in inner[(position, value)] if f != fact
+                        )
+                        if entry:
+                            inner[(position, value)] = entry
+                        else:
+                            del inner[(position, value)]
+                for fact in added:
+                    if fact.relation != rel:
+                        continue
+                    for position, value in enumerate(fact.values):
+                        inner[(position, value)] = inner.get(
+                            (position, value), ()
+                        ) + (fact,)
+                if inner:
+                    index[rel] = inner
+                else:
+                    index.pop(rel, None)
+            child.__dict__["position_index"] = index
+        return child
 
     def __repr__(self) -> str:
         inner = ", ".join(str(f) for f in self.sorted_facts)
         return f"Database({{{inner}}})"
 
 
+@lru_cache(maxsize=1 << 16)
 def _fact_sort_key(fact: Fact) -> Tuple:
+    """Deterministic sort key for facts.
+
+    Cached across databases: the same facts flow through thousands of
+    derived databases during chain exploration and sampling, and
+    re-stringifying every term for each of those sorts dominates the
+    sorting cost otherwise.
+    """
     return (fact.relation, tuple((type(v).__name__, str(v)) for v in fact.values))
 
 

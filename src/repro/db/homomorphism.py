@@ -59,6 +59,37 @@ def _unbound_count(atom: Atom, assignment: Assignment) -> int:
     return sum(1 for t in atom.terms if is_var(t) and t not in assignment)
 
 
+def _candidate_facts(
+    atom: Atom, database: Database, assignment: Assignment
+) -> Iterable[Fact]:
+    """Facts that could match *atom* under *assignment*.
+
+    When some position of the atom is already determined (a constant, or
+    a variable bound by *assignment*), the database's
+    :attr:`repro.db.facts.Database.position_index` narrows the candidates
+    to one hash lookup — the smallest such entry is used.  Only fully
+    unconstrained atoms fall back to the per-relation scan.
+    """
+    best: Optional[Tuple[Fact, ...]] = None
+    for position, term in enumerate(atom.terms):
+        if is_var(term):
+            value = assignment.get(term)
+            if value is None:
+                continue
+        else:
+            value = term
+        entry = database.facts_with(atom.relation, position, value)
+        if not entry:
+            return ()
+        if best is None or len(entry) < len(best):
+            best = entry
+            if len(best) == 1:
+                break
+    if best is not None:
+        return best
+    return database.by_relation.get(atom.relation, ())
+
+
 def find_homomorphisms(
     atoms: Sequence[Atom],
     database: Database,
@@ -90,10 +121,36 @@ def _search(
     )
     atom = remaining[index]
     rest = remaining[:index] + remaining[index + 1 :]
-    for fact in database.by_relation.get(atom.relation, ()):
+    for fact in _candidate_facts(atom, database, assignment):
         extended = _match_atom(atom, fact, assignment)
         if extended is not None:
             yield from _search(rest, database, extended)
+
+
+def find_homomorphisms_pinned(
+    atoms: Sequence[Atom],
+    database: Database,
+    pin_index: int,
+    fact: Fact,
+    partial: Optional[Mapping[Var, Term]] = None,
+) -> Iterator[Assignment]:
+    """Homomorphisms from *atoms* into *database* with one atom pinned.
+
+    The atom at *pin_index* is forced to map onto *fact* (which need not
+    belong to *database*); the remaining atoms are searched normally.
+    This is the seeded entry point of the incremental violation engine:
+    after a single-fact update ``±F``, every new body homomorphism must
+    use ``F`` at some body atom, so re-running the search once per
+    (atom, fact) pin enumerates exactly the delta instead of the full
+    join.  Yields nothing when the pinned atom cannot match *fact*.
+    """
+    atoms = list(atoms)
+    base: Assignment = dict(partial) if partial else {}
+    seeded = _match_atom(atoms[pin_index], fact, base)
+    if seeded is None:
+        return
+    rest = atoms[:pin_index] + atoms[pin_index + 1 :]
+    yield from _search(rest, database, seeded)
 
 
 def find_one_homomorphism(

@@ -1,0 +1,200 @@
+"""Equivalence properties of the incremental violation engine.
+
+The acceptance bar for the incremental path is *observational
+equivalence* with the old full-recompute path:
+
+- ``DeltaViolationIndex.violations_after`` must agree with a from-scratch
+  ``violations(op(D), Sigma)`` on randomly generated databases,
+  constraint sets (EGDs, DCs and TGDs — the TGD head cases are the
+  non-monotone ones), and operations — checked on 240 seeded-random
+  instances plus Hypothesis-driven ones;
+- the repair engine built on it must induce exactly the same chains:
+  identical extensions, identical exact leaf distributions, identical
+  seeded sample walks.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import ConstraintSet, key, non_symmetric, parse_constraints
+from repro.core.engine import RepairEngine
+from repro.core.exact import explore_chain
+from repro.core.generators import UniformGenerator
+from repro.core.incremental import incremental_violations
+from repro.core.operations import Operation
+from repro.core.sampling import sample_walk
+from repro.core.violations import violations
+from repro.db.facts import Database, Fact
+
+from tests.property.strategies import (
+    key_sigma,
+    key_violation_databases,
+    preference_databases,
+    pref_sigma,
+)
+
+CONSTANTS = ("a", "b", "c")
+
+CONSTRAINT_POOL = [
+    lambda: ConstraintSet(key("R", 2, [0])),
+    lambda: ConstraintSet([non_symmetric("R")]),
+    lambda: ConstraintSet(parse_constraints("R(x, y) -> exists z S(x, z)")),
+    lambda: ConstraintSet(parse_constraints("S(x, y) -> T(x)")),
+    lambda: ConstraintSet(parse_constraints("S(x, y), S(x, z) -> y = z")),
+    lambda: ConstraintSet(
+        parse_constraints(
+            """
+            R(x, y) -> exists z S(x, z)
+            R(x, y), R(x, z) -> y = z
+            S(x, y), R(y, x) -> false
+            """
+        )
+    ),
+    lambda: ConstraintSet(
+        parse_constraints(
+            """
+            S(x, y) -> T(y)
+            T(x), R(x, x) -> false
+            """
+        )
+    ),
+]
+
+
+def _random_fact(rng: random.Random) -> Fact:
+    relation = rng.choice(["R", "S", "T"])
+    arity = 1 if relation == "T" else 2
+    return Fact(relation, tuple(rng.choice(CONSTANTS) for _ in range(arity)))
+
+
+def _random_instance(rng: random.Random):
+    sigma = rng.choice(CONSTRAINT_POOL)()
+    db = Database(_random_fact(rng) for _ in range(rng.randint(0, 7)))
+    if rng.random() < 0.5 and len(db):
+        count = rng.randint(1, min(2, len(db)))
+        op = Operation.delete(rng.sample(sorted(db.facts, key=str), count))
+    else:
+        op = Operation.insert(
+            frozenset(_random_fact(rng) for _ in range(rng.randint(1, 2)))
+        )
+    return db, sigma, op
+
+
+def test_incremental_equals_full_recompute_on_240_random_instances():
+    """The headline equivalence sweep (acceptance criterion: >= 200)."""
+    rng = random.Random(20180610)
+    checked = 0
+    for _ in range(240):
+        db, sigma, op = _random_instance(rng)
+        old = violations(db, sigma)
+        new_db = op.apply(db)
+        incremental = incremental_violations(db, old, op, sigma, new_db)
+        assert incremental == violations(new_db, sigma), (
+            f"delta mismatch for op {op} on {db!r} under {sigma!r}"
+        )
+        checked += 1
+    assert checked == 240
+
+
+def test_incremental_composes_along_operation_chains():
+    """Applying deltas step-by-step stays exact over whole sequences."""
+    rng = random.Random(7)
+    for _ in range(40):
+        db, sigma, _ = _random_instance(rng)
+        current = violations(db, sigma)
+        for _ in range(4):
+            _, _, op = _random_instance(rng)
+            new_db = op.apply(db)
+            current = incremental_violations(db, current, op, sigma, new_db)
+            assert current == violations(new_db, sigma)
+            db = new_db
+
+
+@given(key_violation_databases(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_incremental_matches_full_on_key_conflicts(db, seed):
+    rng = random.Random(seed)
+    sigma = key_sigma()
+    old = violations(db, sigma)
+    facts = sorted(db.facts, key=str)
+    if facts and rng.random() < 0.7:
+        op = Operation.delete(rng.choice(facts))
+    else:
+        op = Operation.insert(Fact("R", (f"k{rng.randint(0, 2)}", f"v{rng.randint(0, 2)}")))
+    new_db = op.apply(db)
+    assert incremental_violations(db, old, op, sigma, new_db) == violations(
+        new_db, sigma
+    )
+
+
+class FullRecomputeEngine(RepairEngine):
+    """The pre-incremental reference semantics: every candidate database
+    gets a from-scratch ``V(D', Sigma)`` and no monotone shortcut."""
+
+    def _successor(self, state, op):
+        new_db = op.apply(state.db)
+        return new_db, violations(new_db, self.constraints)
+
+    def _extension_is_valid(self, state, op):
+        deletion_only, self._deletion_only = self._deletion_only, False
+        try:
+            return super()._extension_is_valid(state, op)
+        finally:
+            self._deletion_only = deletion_only
+
+
+class FullRecomputeUniformGenerator(UniformGenerator):
+    def make_engine(self, database):
+        return FullRecomputeEngine(database, self.constraints)
+
+
+def _leaf_distribution(exploration):
+    out = {}
+    for leaf in exploration.leaves:
+        out[leaf.result] = out.get(leaf.result, Fraction(0)) + leaf.probability
+    return out
+
+
+@given(key_violation_databases(), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_walks_identical_to_full_recompute_engine(db, seed):
+    sigma = key_sigma()
+    fast = UniformGenerator(sigma).chain(db)
+    slow = FullRecomputeUniformGenerator(sigma).chain(db)
+    walk_fast = sample_walk(fast, random.Random(seed))
+    walk_slow = sample_walk(slow, random.Random(seed))
+    assert walk_fast.state.sequence == walk_slow.state.sequence
+    assert walk_fast.result == walk_slow.result
+    assert walk_fast.state.current_violations == walk_slow.state.current_violations
+
+
+@given(preference_databases(max_products=3, max_facts=4))
+@settings(max_examples=20, deadline=None)
+def test_exact_distribution_identical_to_full_recompute(db):
+    sigma = pref_sigma()
+    fast = explore_chain(UniformGenerator(sigma).chain(db), max_states=200_000)
+    slow = explore_chain(
+        FullRecomputeUniformGenerator(sigma).chain(db), max_states=200_000
+    )
+    assert _leaf_distribution(fast) == _leaf_distribution(slow)
+    assert fast.total_probability == slow.total_probability == 1
+
+
+def test_exact_distribution_identical_with_tgds():
+    """Insertion-capable chains (TGD heads in play) agree too."""
+    sigma = ConstraintSet(
+        parse_constraints(
+            "R(x, y) -> exists z S(x, y, z)\nR(x, y), R(x, z) -> y = z"
+        )
+    )
+    db = Database.of(
+        Fact("R", ("a", "b")), Fact("R", ("a", "c")), Fact("T", ("a", "b"))
+    )
+    fast = explore_chain(UniformGenerator(sigma).chain(db), max_states=200_000)
+    slow = explore_chain(
+        FullRecomputeUniformGenerator(sigma).chain(db), max_states=200_000
+    )
+    assert _leaf_distribution(fast) == _leaf_distribution(slow)

@@ -13,13 +13,17 @@ from repro.core.generators import (
     UniformGenerator,
 )
 from repro.core.oca import exact_cp
+from repro.core.errors import InvalidGeneratorError
 from repro.core.sampling import (
     approximate_cp,
     approximate_oca,
+    choose_transition,
     estimate_sequence_lengths,
+    sample_many,
     sample_once,
     sample_walk,
 )
+from repro.core.operations import Operation
 from repro.db.facts import Database, Fact
 from repro.queries.parser import parse_cq, parse_query
 
@@ -151,6 +155,71 @@ class TestApproximateOCA:
         db, gen = key_setup
         q = parse_cq("Q(x) :- Missing(x)")
         assert approximate_oca(db, gen, q, rng=rng) == {}
+
+
+class TestChooseTransition:
+    OPS = [
+        Operation.delete(Fact("R", (str(i), str(i)))) for i in range(3)
+    ]
+
+    def test_exact_distribution_over_uneven_fractions(self):
+        """Exact integer sampling honours tiny Fraction probabilities."""
+        transitions = [
+            (self.OPS[0], Fraction(1, 7)),
+            (self.OPS[1], Fraction(2, 7)),
+            (self.OPS[2], Fraction(4, 7)),
+        ]
+        rng = random.Random(3)
+        counts = {op: 0 for op in self.OPS}
+        n = 7000
+        for _ in range(n):
+            counts[choose_transition(transitions, rng)] += 1
+        for (op, p), slack in zip(transitions, (0.02, 0.02, 0.02)):
+            assert abs(counts[op] / n - float(p)) < slack
+
+    def test_degenerate_single_transition(self):
+        transitions = [(self.OPS[0], Fraction(1))]
+        assert choose_transition(transitions, random.Random(0)) is self.OPS[0]
+
+    def test_weight_sum_drift_raises(self):
+        """A non-stochastic distribution is an error, not a silent
+        fallback to the last transition."""
+        transitions = [
+            (self.OPS[0], Fraction(1, 3)),
+            (self.OPS[1], Fraction(1, 3)),
+        ]
+        with pytest.raises(InvalidGeneratorError):
+            choose_transition(transitions, random.Random(0))
+
+
+class TestSampleMany:
+    def test_matches_serial_walk_sequence(self, key_setup):
+        """The batched driver consumes the RNG exactly like a loop of
+        individual walks, so seeded results are reproducible."""
+        db, gen = key_setup
+        serial_chain = gen.chain(db)
+        rng = random.Random(42)
+        serial = [sample_walk(serial_chain, rng).result for _ in range(12)]
+        batched = [
+            w.result for w in sample_many(gen.chain(db), 12, random.Random(42))
+        ]
+        assert serial == batched
+
+    def test_walk_count(self, key_setup, rng):
+        db, gen = key_setup
+        assert len(sample_many(gen.chain(db), 17, rng)) == 17
+        assert sample_many(gen.chain(db), 0, rng) == []
+
+    def test_parallel_walks_draw_same_distribution(self, key_setup):
+        db, gen = key_setup
+        walks = sample_many(gen.chain(db), 24, random.Random(5), processes=2)
+        assert len(walks) == 24
+        results = {w.result for w in walks}
+        # three single-fact repairs exist; 24 draws hit more than one
+        assert len(results) >= 2
+        for walk in walks:
+            assert walk.successful
+            assert gen.constraints.is_satisfied(walk.result)
 
 
 class TestSequenceLengths:
