@@ -1,19 +1,23 @@
 #!/usr/bin/env python
 """Benchmark runner: records a wall-clock perf trajectory across PRs.
 
-Executes the three hot-path experiments —
+Executes the hot-path experiments —
 ``bench_e1_preference_chain.py`` (chain construction + exhaustive
-exploration), ``bench_e5_exact_scaling.py`` (exact exploration scaling)
-and ``bench_e10_sequence_length.py`` (``Sample`` walks) — first as a
-pytest pass over the benchmark files themselves, then as directly timed
-scenarios, and writes the results to a JSON file (default
-``BENCH_PR1.json`` in the repository root) so subsequent PRs can compare
-against this PR's numbers.
+exploration), ``bench_e5_exact_scaling.py`` (exact exploration scaling),
+``bench_e10_sequence_length.py`` (``Sample`` walks, reported per step)
+and ``bench_e11_sql_sampler.py`` (the SQL sampling campaign, per draw,
+in both the legacy fresh-chain-per-draw mode and the incremental
+chain-reusing mode) — first as a pytest pass over the benchmark files
+themselves, then as directly timed scenarios, and writes the results to
+a JSON file (default ``BENCH_PR2.json`` in the repository root) so
+subsequent PRs can compare against this PR's numbers.  When
+``BENCH_PR1.json`` is present its scenario timings are folded in as the
+previous-PR baseline (``speedup_vs_pr1``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
-    [--repeat N] [--skip-pytest]
+    [--repeat N] [--skip-pytest] [--quick]
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import argparse
 import json
 import platform
 import random
+import statistics
 import subprocess
 import sys
 import time
@@ -37,6 +42,8 @@ from repro import (  # noqa: E402
     explore_chain,
 )
 from repro.core.sampling import estimate_sequence_lengths  # noqa: E402
+from repro.queries import parse_cq  # noqa: E402
+from repro.sql import KeyRepairSampler, SamplerPolicy, SQLiteBackend  # noqa: E402
 from repro.workloads import (  # noqa: E402
     key_conflict_workload,
     paper_preference_database,
@@ -47,6 +54,7 @@ BENCH_FILES = [
     "bench_e1_preference_chain.py",
     "bench_e5_exact_scaling.py",
     "bench_e10_sequence_length.py",
+    "bench_e11_sql_sampler.py",
 ]
 
 #: Wall-clock seconds of the same scenarios on the seed code (commit
@@ -76,7 +84,7 @@ def _timed(fn, repeat: int) -> float:
     return best
 
 
-def scenario_e1(repeat: int) -> dict:
+def scenario_e1(repeat: int, quick: bool = False) -> dict:
     database, constraints = paper_preference_database()
     generator = PreferenceGenerator(constraints)
 
@@ -86,9 +94,10 @@ def scenario_e1(repeat: int) -> dict:
 
     return {"e1_paper_chain_explore": _timed(run, repeat)}
 
-def scenario_e5(repeat: int) -> dict:
+
+def scenario_e5(repeat: int, quick: bool = False) -> dict:
     out = {}
-    for conflicts in (1, 2, 3, 4):
+    for conflicts in (1, 2) if quick else (1, 2, 3, 4):
         database, constraints = preference_workload(
             products=2 * conflicts + 1, edges=0, conflicts=conflicts, seed=conflicts
         )
@@ -104,26 +113,75 @@ def scenario_e5(repeat: int) -> dict:
     return out
 
 
-def scenario_e10(repeat: int) -> dict:
+def scenario_e10(repeat: int, quick: bool = False) -> dict:
+    """``Sample`` walks; also reported per successor-enumeration step.
+
+    The walks are seeded, so the visited states — hence the number of
+    successor enumerations — are identical across PRs, and the per-step
+    cost ratio equals the wall-clock ratio of the same scenario key.
+    """
     out = {}
-    for groups in (2, 4, 8, 16):
+    for groups in (2, 4) if quick else (2, 4, 8, 16):
         workload = key_conflict_workload(
             clean_rows=0, conflict_groups=groups, group_size=2, arity=2, seed=groups
         )
         generator = UniformGenerator(workload.constraints)
+        steps = {"n": 0}
 
         def run():
             lengths = estimate_sequence_lengths(
                 workload.database, generator, walks=30, rng=random.Random(groups)
             )
             assert len(lengths) == 30
+            steps["n"] = sum(lengths)
 
-        out[f"e10_sample_walks_groups_{groups}"] = _timed(run, repeat)
+        seconds = _timed(run, repeat)
+        out[f"e10_sample_walks_groups_{groups}"] = seconds
+        out[f"e10_seconds_per_step_groups_{groups}"] = seconds / max(steps["n"], 1)
+    return out
+
+
+def scenario_e11(repeat: int, quick: bool = False) -> dict:
+    """One SQL sampling campaign, legacy vs incremental.
+
+    ``legacy`` rebuilds each conflict group's repairing chain on every
+    draw (the PR-1 behaviour, via ``reuse_chains=False``); ``incremental``
+    keeps one chain per group for the whole campaign and batches the
+    draws group by group over it.
+    """
+    runs = 10 if quick else 40
+    groups = 40 if quick else 150
+    clean = 500 if quick else 2000
+    workload = key_conflict_workload(
+        clean_rows=clean, conflict_groups=groups, group_size=3, arity=3, seed=17
+    )
+    query = parse_cq("Q(x) :- R(x, y, z)")
+    out = {}
+    for label, reuse in (("legacy", False), ("incremental", True)):
+        backend = SQLiteBackend()
+        backend.load(workload.database, workload.schema)
+        sampler = KeyRepairSampler(
+            backend,
+            workload.schema,
+            [workload.key_spec],
+            policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+            rng=random.Random(5),
+            reuse_chains=reuse,
+        )
+
+        def run():
+            report = sampler.run(query, runs=runs)
+            assert report.runs == runs
+
+        seconds = _timed(run, repeat)
+        out[f"e11_sql_sampler_{label}"] = seconds
+        out[f"e11_seconds_per_draw_{label}"] = seconds / runs
+        backend.close()
     return out
 
 
 def run_pytest_pass() -> dict:
-    """Wall-clock of the three benchmark files under pytest."""
+    """Wall-clock of the benchmark files under pytest."""
     out = {}
     for name in BENCH_FILES:
         path = REPO_ROOT / "benchmarks" / name
@@ -148,12 +206,22 @@ def run_pytest_pass() -> dict:
     return out
 
 
+def _pr1_baseline() -> dict:
+    path = REPO_ROOT / "BENCH_PR1.json"
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text()).get("scenarios_seconds", {})
+    except (json.JSONDecodeError, OSError):
+        return {}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR1.json",
+        default=REPO_ROOT / "BENCH_PR2.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -164,19 +232,48 @@ def main() -> int:
         action="store_true",
         help="skip the pytest pass over the benchmark files",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer sizes, single repetition, no pytest pass",
+    )
     args = parser.parse_args()
+    if args.quick:
+        args.repeat = 1
+        args.skip_pytest = True
 
     scenarios = {}
-    for label, fn in (("E1", scenario_e1), ("E5", scenario_e5), ("E10", scenario_e10)):
+    for label, fn in (
+        ("E1", scenario_e1),
+        ("E5", scenario_e5),
+        ("E10", scenario_e10),
+        ("E11", scenario_e11),
+    ):
         print(f"timing {label} ...", flush=True)
-        scenarios.update(fn(args.repeat))
+        scenarios.update(fn(args.repeat, args.quick))
+
+    pr1_baseline = _pr1_baseline()
+    speedup_vs_pr1 = {
+        key: round(pr1_baseline[key] / value, 2)
+        for key, value in scenarios.items()
+        if key in pr1_baseline and value > 0
+    }
+    e10_step_speedups = sorted(
+        ratio
+        for key, ratio in speedup_vs_pr1.items()
+        if key.startswith("e10_sample_walks_groups_")
+    )
 
     report = {
-        "pr": 1,
-        "description": "incremental violation maintenance + indexed joins",
+        "pr": 2,
+        "description": (
+            "delta-maintained justified-operation sets + incremental "
+            "SQL-scale sampling"
+        ),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeat": args.repeat,
+        "quick": args.quick,
         "scenarios_seconds": scenarios,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS,
         "speedup_vs_seed": {
@@ -184,7 +281,21 @@ def main() -> int:
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
+        "pr1_baseline_seconds": pr1_baseline,
+        "speedup_vs_pr1": speedup_vs_pr1,
     }
+    if e10_step_speedups:
+        # The walks are seeded (identical step counts across PRs), so the
+        # wall-clock ratio *is* the per-step successor-enumeration ratio.
+        report["e10_median_per_step_speedup_vs_pr1"] = round(
+            statistics.median(e10_step_speedups), 2
+        )
+    if "e11_seconds_per_draw_legacy" in scenarios:
+        report["e11_per_draw_speedup"] = round(
+            scenarios["e11_seconds_per_draw_legacy"]
+            / scenarios["e11_seconds_per_draw_incremental"],
+            2,
+        )
     if not args.skip_pytest:
         print("running pytest pass over benchmark files ...", flush=True)
         report["pytest_pass"] = run_pytest_pass()
@@ -193,6 +304,13 @@ def main() -> int:
     print(f"wrote {args.output}")
     for key, value in sorted(scenarios.items()):
         print(f"  {key}: {value * 1000:.2f} ms")
+    if "e10_median_per_step_speedup_vs_pr1" in report:
+        print(
+            "  E10 median per-step speedup vs PR1: "
+            f"{report['e10_median_per_step_speedup_vs_pr1']}x"
+        )
+    if "e11_per_draw_speedup" in report:
+        print(f"  E11 per-draw speedup: {report['e11_per_draw_speedup']}x")
     return 0
 
 

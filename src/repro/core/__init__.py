@@ -30,6 +30,7 @@ from repro.core.justified import (
 from repro.core.state import RepairState, AdditionRecord
 from repro.core.engine import LRUCache, RepairEngine
 from repro.core.incremental import (
+    DeltaOperationIndex,
     DeltaViolationIndex,
     incremental_violations,
     full_violations,
@@ -97,6 +98,7 @@ __all__ = [
     "AdditionRecord",
     "RepairEngine",
     "LRUCache",
+    "DeltaOperationIndex",
     "DeltaViolationIndex",
     "incremental_violations",
     "full_violations",

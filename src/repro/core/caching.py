@@ -1,0 +1,110 @@
+"""Bounded caches and cache-size configuration.
+
+Every memo the engine keeps — violation sets, successor pairs, justified
+operation maps, transition distributions — is a bounded LRU mapping.
+They all live on this class so their sizes can be tuned uniformly: each
+limit resolves, in order, from an explicit constructor argument, an
+environment variable (``REPRO_*_CACHE_LIMIT``), and the built-in
+default.  The caches also count hits and misses, which
+:func:`repro.diagnostics.cache_report` aggregates into a human-readable
+report.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, Generic, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+def env_cache_limit(variable: str, default: int) -> int:
+    """Resolve a cache size from the environment.
+
+    ``variable`` must hold a positive integer when set; anything else is
+    a configuration error worth failing loudly on (a silently ignored
+    typo would leave the operator convinced they resized the cache).
+    """
+    raw = os.environ.get(variable)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{variable} must be an integer cache size, got {raw!r}"
+        ) from exc
+    if value <= 0:
+        raise ValueError(f"{variable} must be positive, got {value}")
+    return value
+
+
+def resolve_cache_limit(
+    explicit: Optional[int], variable: str, default: int
+) -> int:
+    """Constructor argument > environment variable > default."""
+    if explicit is not None:
+        if explicit <= 0:
+            raise ValueError(f"cache limit must be positive, got {explicit}")
+        return explicit
+    return env_cache_limit(variable, default)
+
+
+class LRUCache(Generic[K, V]):
+    """A small bounded mapping with least-recently-used eviction.
+
+    Replaces the old "drop everything at the size bound" policy, which
+    discarded the hot prefix states every ``Sample`` walk revisits.
+    Lookups count hits and misses so :mod:`repro.diagnostics` can report
+    how well each memo is doing.
+    """
+
+    __slots__ = ("limit", "_data", "hits", "misses")
+
+    def __init__(self, limit: int) -> None:
+        if limit <= 0:
+            raise ValueError("LRU cache limit must be positive")
+        self.limit = limit
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: K) -> Optional[V]:
+        data = self._data
+        value = data.get(key)
+        if value is not None:
+            self.hits += 1
+            data.move_to_end(key)
+        else:
+            self.misses += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if len(data) > self.limit:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/occupancy counters for diagnostics."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "limit": self.limit,
+        }
+
+    def __reduce__(self):
+        # Pickle as an *empty* cache: contents are pure memoization and
+        # can be arbitrarily large; shipping a chain to worker processes
+        # must not serialize hundreds of thousands of cached entries.
+        return (type(self), (self.limit,))

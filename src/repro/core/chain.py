@@ -16,10 +16,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from fractions import Fraction
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.constraints.base import Constraint, ConstraintSet
-from repro.core.engine import LRUCache, RepairEngine
+from repro.core.caching import LRUCache, env_cache_limit
+from repro.core.engine import RepairEngine
 from repro.core.errors import InvalidGeneratorError
 from repro.core.operations import Operation
 from repro.core.state import RepairState
@@ -92,6 +93,22 @@ class ChainGenerator(ABC):
         return False
 
     @property
+    def state_free_weights(self) -> bool:
+        """Whether :meth:`weights` depends only on the state's *database*
+        (and the extensions), never on the sequence history.
+
+        All the paper's generators qualify — they inspect ``state.db``
+        or ``state.current_violations`` (itself a function of the
+        database).  When this holds *and* the engine is deletion-only
+        (so the valid extensions are database-determined too), the chain
+        memoizes transitions per database instead of per state,
+        collapsing every arrival order at the same database into one
+        entry.  ``False`` (the conservative default) keeps per-state
+        memoization.
+        """
+        return False
+
+    @property
     def is_non_failing(self) -> bool:
         """Best-effort syntactic check of Definition 8.
 
@@ -118,9 +135,21 @@ class RepairingChain:
     def __init__(self, engine: RepairEngine, generator: ChainGenerator) -> None:
         self.engine = engine
         self.generator = generator
+        # With history-free weights over a deletion-only engine, both
+        # the valid extensions and their weights are functions of the
+        # state's database alone, so transitions memoize per *database*:
+        # every deletion order arriving at the same database shares one
+        # entry (and one cheap cached-frozenset hash).
+        self._db_keyed = bool(
+            generator.state_free_weights and engine.deletion_only
+        )
         self._transition_cache: LRUCache[
-            RepairState, Tuple[Tuple[Operation, Fraction], ...]
-        ] = LRUCache(self.TRANSITION_CACHE_LIMIT)
+            object, Tuple[Tuple[Operation, Fraction], ...]
+        ] = LRUCache(env_cache_limit("REPRO_TRANSITION_CACHE_LIMIT", self.TRANSITION_CACHE_LIMIT))
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters of the chain-level memos (diagnostics)."""
+        return {"transitions": self._transition_cache.stats()}
 
     @property
     def database(self) -> Database:
@@ -151,11 +180,12 @@ class RepairingChain:
         expected to be deterministic functions of the state, as
         Definition 5 requires.
         """
-        cached = self._transition_cache.get(state)
+        key = state.db if self._db_keyed else state
+        cached = self._transition_cache.get(key)
         if cached is not None:
             return cached
         computed = self._compute_transitions(state)
-        self._transition_cache.put(state, computed)
+        self._transition_cache.put(key, computed)
         return computed
 
     def _compute_transitions(
@@ -165,31 +195,49 @@ class RepairingChain:
         if not extensions:
             return ()
         raw = self.generator.weights(state, extensions)
-        weights: Dict[Operation, Fraction] = {}
-        for op in extensions:
-            weight = _as_fraction(raw.get(op, 0))
+        if len(raw) > len(extensions) or any(op not in raw for op in extensions):
+            unknown = set(raw) - set(extensions)
+            if unknown:
+                sample = next(iter(unknown))
+                raise InvalidGeneratorError(
+                    f"generator assigned weight to an invalid extension: {sample}"
+                )
+        weight_vector = tuple(raw.get(op, 0) for op in extensions)
+        return self._normalize(state, extensions, weight_vector)
+
+    def _normalize(
+        self,
+        state: RepairState,
+        extensions: Tuple[Operation, ...],
+        weight_vector: Tuple[Weight, ...],
+    ) -> Tuple[Tuple[Operation, Fraction], ...]:
+        positive: List[Tuple[Operation, Weight]] = []
+        for op, weight in zip(extensions, weight_vector):
+            # Integer weights (by far the common case) are validated
+            # without a Fraction conversion per operation.
+            if not isinstance(weight, (int, Fraction)):
+                weight = _as_fraction(weight)
             if weight < 0:
                 raise InvalidGeneratorError(
                     f"negative weight {weight} for operation {op}"
                 )
-            if weight > 0:
-                weights[op] = weight
-        unknown = set(raw) - set(extensions)
-        if unknown:
-            sample = next(iter(unknown))
-            raise InvalidGeneratorError(
-                f"generator assigned weight to an invalid extension: {sample}"
-            )
-        total = sum(weights.values(), Fraction(0))
-        if total == 0:
+            if weight:
+                positive.append((op, weight))
+        if not positive:
             raise InvalidGeneratorError(
                 f"state {state.label()!r} has {len(extensions)} valid extensions "
                 "but the generator gave them zero total weight; it would become "
                 "absorbing without being complete (Definition 5, condition 1)"
             )
-        return tuple(
-            (op, weights[op] / total) for op in extensions if op in weights
-        )
+        first = positive[0][1]
+        if all(weight == first for _, weight in positive):
+            # Equal positive weights normalize to one shared 1/n — the
+            # common case (uniform generators), without n divisions.
+            probability = Fraction(1, len(positive))
+            return tuple((op, probability) for op, _ in positive)
+        weights = {op: _as_fraction(weight) for op, weight in positive}
+        total = sum(weights.values(), Fraction(0))
+        return tuple((op, weight / total) for op, weight in weights.items())
 
     def step(self, state: RepairState, op: Operation) -> RepairState:
         """Apply one operation (must be a positive-probability transition)."""

@@ -11,21 +11,31 @@ Violation sets are maintained *incrementally*: each state carries
 ``V(D', Sigma)`` (on :class:`repro.core.state.RepairState`), and the
 successor set for a candidate operation is derived from it by
 :class:`repro.core.incremental.DeltaViolationIndex` instead of a full
-recompute.  Per-``(database, operation)`` successor pairs and
-per-database violation sets are memoized in bounded LRU caches, so
-validating an extension and later applying it costs one delta total, and
-walks sharing a prefix share the work.
+recompute.  The *justified operation* sets are maintained the same way:
+:class:`repro.core.incremental.DeltaOperationIndex` keeps a per-database
+``violation -> operations`` map, derived from the predecessor state's
+map along recorded lineage, so a step re-derives operations only for the
+violations it touched instead of re-enumerating ``JustOp(D', Sigma)``.
+Per-``(database, operation)`` successor pairs, per-database violation
+sets and operation maps are memoized in bounded LRU caches (sizes
+configurable via constructor kwargs or ``REPRO_*_CACHE_LIMIT``
+environment variables), so validating an extension and later applying it
+costs one delta total, and walks sharing a prefix share the work.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from functools import lru_cache
-from typing import FrozenSet, Generic, Iterable, List, Optional, Tuple, TypeVar
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.constraints.base import ConstraintSet
-from repro.core.incremental import DeltaViolationIndex
-from repro.core.justified import enumerate_justified_operations, is_justified
+from repro.core.caching import LRUCache, env_cache_limit, resolve_cache_limit
+from repro.core.incremental import (
+    DeltaOperationIndex,
+    DeltaViolationIndex,
+    OperationMapState,
+)
+from repro.core.justified import is_justified
 from repro.core.operations import Operation
 from repro.core.state import RepairState
 from repro.core.violations import Violation, violations
@@ -33,79 +43,92 @@ from repro.db.base import base_constants
 from repro.db.facts import Database
 from repro.db.terms import Term
 
-K = TypeVar("K")
-V = TypeVar("V")
+__all__ = ["LRUCache", "RepairEngine"]
 
 
-@lru_cache(maxsize=1 << 15)
+@lru_cache(maxsize=env_cache_limit("REPRO_SORT_KEY_CACHE_LIMIT", 1 << 15))
 def _operation_sort_key(op: Operation) -> str:
     """Memoized ``str(op)``: the deterministic extension order re-renders
     the same (cached) operation objects at every state otherwise."""
     return str(op)
 
 
-class LRUCache(Generic[K, V]):
-    """A small bounded mapping with least-recently-used eviction.
-
-    Replaces the old "drop everything at the size bound" policy, which
-    discarded the hot prefix states every ``Sample`` walk revisits.
-    """
-
-    __slots__ = ("limit", "_data")
-
-    def __init__(self, limit: int) -> None:
-        if limit <= 0:
-            raise ValueError("LRU cache limit must be positive")
-        self.limit = limit
-        self._data: "OrderedDict[K, V]" = OrderedDict()
-
-    def get(self, key: K) -> Optional[V]:
-        data = self._data
-        value = data.get(key)
-        if value is not None:
-            data.move_to_end(key)
-        return value
-
-    def put(self, key: K, value: V) -> None:
-        data = self._data
-        data[key] = value
-        data.move_to_end(key)
-        if len(data) > self.limit:
-            data.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def clear(self) -> None:
-        self._data.clear()
-
-    def __reduce__(self):
-        # Pickle as an *empty* cache: contents are pure memoization and
-        # can be arbitrarily large; shipping a chain to worker processes
-        # must not serialize hundreds of thousands of cached entries.
-        return (type(self), (self.limit,))
-
-
 class RepairEngine:
-    """Enumerates repairing sequences for a fixed ``(D, Sigma)`` pair."""
+    """Enumerates repairing sequences for a fixed ``(D, Sigma)`` pair.
+
+    Cache sizes resolve from the constructor arguments, then the
+    ``REPRO_*_CACHE_LIMIT`` environment variables, then the class-level
+    defaults; :meth:`cache_stats` reports their hit/miss counters.
+    """
 
     #: Bound on the per-engine violation cache (see :meth:`_violations`).
     VIOLATION_CACHE_LIMIT = 50_000
     #: Bound on the per-engine ``(database, op) -> successor`` cache.
     STEP_CACHE_LIMIT = 100_000
+    #: Bound on the per-engine ``database -> JustOp map`` cache.
+    OPERATION_MAP_CACHE_LIMIT = 50_000
+    #: Bound on the ``database -> (parent, op)`` lineage hints that let a
+    #: cold operation-map lookup derive from its predecessor's map.
+    PARENT_HINT_CACHE_LIMIT = 100_000
 
-    def __init__(self, database: Database, constraints: ConstraintSet) -> None:
+    def __init__(
+        self,
+        database: Database,
+        constraints: ConstraintSet,
+        *,
+        violation_cache_limit: Optional[int] = None,
+        step_cache_limit: Optional[int] = None,
+        operation_map_cache_limit: Optional[int] = None,
+    ) -> None:
         self.database = database
         self.constraints = constraints
         self.base_constants: FrozenSet[Term] = base_constants(database, constraints)
         self.delta_index = DeltaViolationIndex(constraints)
+        self.op_index = DeltaOperationIndex(constraints, self.base_constants)
         self._deletion_only = constraints.deletion_only()
         self._violation_cache: LRUCache[Database, FrozenSet[Violation]] = LRUCache(
-            self.VIOLATION_CACHE_LIMIT
+            resolve_cache_limit(
+                violation_cache_limit,
+                "REPRO_VIOLATION_CACHE_LIMIT",
+                self.VIOLATION_CACHE_LIMIT,
+            )
         )
         self._step_cache: LRUCache[
             Tuple[Database, Operation], Tuple[Database, FrozenSet[Violation]]
-        ] = LRUCache(self.STEP_CACHE_LIMIT)
+        ] = LRUCache(
+            resolve_cache_limit(
+                step_cache_limit, "REPRO_STEP_CACHE_LIMIT", self.STEP_CACHE_LIMIT
+            )
+        )
+        self._opmap_cache: LRUCache[Database, OperationMapState] = LRUCache(
+            resolve_cache_limit(
+                operation_map_cache_limit,
+                "REPRO_OPERATION_MAP_CACHE_LIMIT",
+                self.OPERATION_MAP_CACHE_LIMIT,
+            )
+        )
+        self._parent_hints: LRUCache[Database, Tuple[Database, Operation]] = LRUCache(
+            self.PARENT_HINT_CACHE_LIMIT
+        )
+
+    @property
+    def deletion_only(self) -> bool:
+        """Whether the constraint set admits no insertions (no TGDs).
+
+        Deletion-only engines take a monotone fast path: candidates are
+        always valid extensions, and chains over history-free generators
+        may memoize transitions per database.
+        """
+        return self._deletion_only
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters of every engine-level memo (diagnostics)."""
+        return {
+            "violations": self._violation_cache.stats(),
+            "steps": self._step_cache.stats(),
+            "operation_maps": self._opmap_cache.stats(),
+            "parent_hints": self._parent_hints.stats(),
+        }
 
     def _violations(self, database: Database) -> FrozenSet[Violation]:
         """``V(D', Sigma)`` by full recomputation, memoized.
@@ -140,9 +163,41 @@ class RepairEngine:
                     state.db, state.current_violations, op, new_db
                 )
                 self._violation_cache.put(new_db, new_violations)
+            if new_db is not state.db:
+                # Remember the lineage so the successor's justified-op
+                # map can be delta-derived from this state's.
+                self._parent_hints.put(new_db, (state.db, op))
             cached = (new_db, new_violations)
             self._step_cache.put(key, cached)
         return cached
+
+    def _operation_map(
+        self, database: Database, current_violations: FrozenSet[Violation]
+    ) -> OperationMapState:
+        """``JustOp(D', Sigma)`` in delta form, memoized per database.
+
+        A cache miss first tries to delta-derive the map from the
+        database's recorded predecessor (:class:`DeltaOperationIndex`);
+        only databases with no cached lineage pay a full rebuild.
+        """
+        cached = self._opmap_cache.get(database)
+        if cached is not None:
+            return cached
+        hint = self._parent_hints.get(database)
+        if hint is not None:
+            parent_db, op = hint
+            parent_map = self._opmap_cache.get(parent_db)
+            if parent_map is not None:
+                derived = self.op_index.state_after(
+                    parent_map, op, database, current_violations, _operation_sort_key
+                )
+                self._opmap_cache.put(database, derived)
+                return derived
+        built = self.op_index.full_state(
+            database, current_violations, _operation_sort_key
+        )
+        self._opmap_cache.put(database, built)
+        return built
 
     # ------------------------------------------------------------------
     # States
@@ -171,24 +226,36 @@ class RepairEngine:
         if not state.current_violations:
             return ()
         candidates = self._candidate_operations(state)
+        if not isinstance(candidates, tuple):
+            # Subclass overrides may return an unordered set.
+            candidates = tuple(sorted(candidates, key=_operation_sort_key))
+        if self._deletion_only:
+            # Every candidate is a deletion (no TGDs, hence no justified
+            # insertions), the no-cancellation check is vacuous (nothing
+            # was ever added), and the monotone fast path of
+            # :meth:`_extension_is_valid` accepts every deletion — so the
+            # ordered candidates *are* the valid extensions.
+            return candidates
         valid: List[Operation] = []
-        for op in sorted(candidates, key=_operation_sort_key):
+        for op in candidates:
             if self._extension_is_valid(state, op):
                 valid.append(op)
         return tuple(valid)
 
-    def _candidate_operations(self, state: RepairState) -> FrozenSet[Operation]:
-        """Justified operations at *state*, before sequence-level filtering.
+    def _candidate_operations(self, state: RepairState) -> Tuple[Operation, ...]:
+        """Justified operations at *state* (deterministically ordered),
+        before sequence-level filtering.
 
-        Subclasses may override to change the candidate space (e.g.
-        null-witness insertions instead of base-constant enumeration).
+        Served by the delta-maintained :class:`DeltaOperationIndex`
+        instead of re-running
+        :func:`repro.core.justified.enumerate_justified_operations` per
+        state.  Subclasses may override to change the candidate space
+        (e.g. null-witness insertions instead of base-constant
+        enumeration); overrides must stay a deterministic function of
+        ``state.db`` alone (Definition 3 is state-history-free), since
+        results are shared between states reaching the same database.
         """
-        return enumerate_justified_operations(
-            state.db,
-            self.constraints,
-            self.base_constants,
-            state.current_violations,
-        )
+        return self._operation_map(state.db, state.current_violations).ordered
 
     def _extension_is_valid(self, state: RepairState, op: Operation) -> bool:
         # No cancellation (Definition 4, condition 2): a fact may not be

@@ -31,3 +31,15 @@ class FailingSequenceError(ReproError):
     generator (Definition 8); hitting a failing sequence means the
     precondition does not hold for this chain.
     """
+
+
+class FactSetTooLargeError(ReproError):
+    """A justification check would enumerate too many fact subsets.
+
+    Definition 3's minimality conditions quantify over proper subsets of
+    an operation's fact set — ``2^|F|`` candidates.  Constraint bodies
+    and head images are tiny in practice, so a fact set past the guard
+    (``REPRO_MAX_SUBSET_FACTS``, default 20) almost certainly indicates
+    a malformed operation; failing with this error beats enumerating a
+    million subsets.
+    """

@@ -38,6 +38,10 @@ class UniformGenerator(ChainGenerator):
     ) -> Mapping[Operation, Weight]:
         return {op: 1 for op in extensions}
 
+    @property
+    def state_free_weights(self) -> bool:
+        return True
+
 
 class DeletionOnlyUniformGenerator(ChainGenerator):
     """Uniform over *deletions*; insertions get probability 0.
@@ -64,6 +68,10 @@ class DeletionOnlyUniformGenerator(ChainGenerator):
     def supports_only_deletions(self) -> bool:
         return True
 
+    @property
+    def state_free_weights(self) -> bool:
+        return True
+
 
 class SingleFactDeletionGenerator(ChainGenerator):
     """Uniform over single-fact deletions only.
@@ -80,6 +88,10 @@ class SingleFactDeletionGenerator(ChainGenerator):
 
     @property
     def supports_only_deletions(self) -> bool:
+        return True
+
+    @property
+    def state_free_weights(self) -> bool:
         return True
 
 
@@ -127,6 +139,11 @@ class PreferenceGenerator(ChainGenerator):
 
     @property
     def supports_only_deletions(self) -> bool:
+        return True
+
+    @property
+    def state_free_weights(self) -> bool:
+        # Weights read ``state.db`` only (the support counts).
         return True
 
 
@@ -200,6 +217,12 @@ class TrustGenerator(ChainGenerator):
 
     @property
     def supports_only_deletions(self) -> bool:
+        return True
+
+    @property
+    def state_free_weights(self) -> bool:
+        # Weights read ``state.current_violations`` — a function of the
+        # state's database.
         return True
 
 

@@ -24,6 +24,16 @@ maintenance over the conflict-hypergraph view of subset repairs
 (Chomicki & Marcinkowski): violations of monotone (denial-style)
 constraints behave exactly like hyperedges under deltas, and the TGD
 head cases are the only non-monotone interactions.
+
+The same delta discipline extends from violations to the *justified
+operation* set ``JustOp(D', Sigma)`` (Definition 3):
+:class:`DeltaOperationIndex` keys every violation's justified operations
+on the violation itself and re-derives an entry only when the update
+could actually change it — deletions of a violation are functions of its
+body image alone, and insertions fixing a TGD violation depend on the
+database only through the TGD's *head* relations.  A step that leaves a
+violation alive and its constraint's head relations untouched therefore
+reuses the cached entry verbatim.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.constraints.base import Constraint, ConstraintSet
 from repro.constraints.tgd import TGD
+from repro.core.justified import justified_deletions_for, justified_insertions_for
 from repro.core.operations import Operation
 from repro.core.violations import Violation, violations
 from repro.db.facts import Database, Fact
@@ -40,6 +51,7 @@ from repro.db.homomorphism import (
     find_homomorphisms_pinned,
     freeze_assignment,
 )
+from repro.db.terms import Term
 
 
 class DeltaViolationIndex:
@@ -54,6 +66,7 @@ class DeltaViolationIndex:
 
     def __init__(self, constraints: ConstraintSet) -> None:
         self.constraints = constraints
+        self._no_tgds = constraints.deletion_only()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -78,6 +91,15 @@ class DeltaViolationIndex:
             changed = frozenset(op.facts & old_db.facts)
         if not changed:
             return old_violations
+        if not op.is_insert and self._no_tgds:
+            # Monotone fast path: without TGD heads a deletion can only
+            # kill violations, and it kills exactly those whose body
+            # image meets the removed facts — no per-constraint analysis
+            # needed (violations of untouched constraints are trivially
+            # disjoint from the removed facts).
+            return frozenset(
+                v for v in old_violations if v.facts.isdisjoint(changed)
+            )
         changed_relations = frozenset(f.relation for f in changed)
 
         grouped: Dict[Constraint, List[Violation]] = {}
@@ -219,6 +241,184 @@ class DeltaViolationIndex:
                         continue
                     fresh[frozen] = Violation(constraint, frozen)
         return survivors + list(fresh.values())
+
+
+#: Per-violation justified operations: the decomposition of
+#: ``JustOp(D', Sigma)`` Definition 3 induces (each operation is
+#: justified *by* some violation).
+OperationMap = Dict[Violation, Tuple[Operation, ...]]
+
+
+class OperationMapState:
+    """``JustOp(D', Sigma)`` for one database, in delta-friendly form.
+
+    - ``by_violation`` — each current violation's justified operations;
+    - ``counts`` — how many current violations justify each operation
+      (an operation leaves the candidate set only when its count hits 0);
+    - ``ordered`` — the candidate operations in the engine's
+      deterministic sort order, so successor states whose candidate set
+      only *shrinks* (every deletion step) derive their ordering by an
+      O(n) filter instead of a fresh sort.
+    """
+
+    __slots__ = ("by_violation", "counts", "ordered")
+
+    def __init__(
+        self,
+        by_violation: OperationMap,
+        counts: Dict[Operation, int],
+        ordered: Tuple[Operation, ...],
+    ) -> None:
+        self.by_violation = by_violation
+        self.counts = counts
+        self.ordered = ordered
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """The justified operations, deterministically ordered."""
+        return self.ordered
+
+
+class DeltaOperationIndex:
+    """Maintains ``JustOp(D, Sigma)`` across single-operation updates.
+
+    The analogue of :class:`DeltaViolationIndex` one level up: instead of
+    re-running :func:`repro.core.justified.enumerate_justified_operations`
+    at every state, the justified-operation set is derived from the
+    predecessor's by touching only the violations the step changed.
+
+    Reuse argument (why an entry survives a step): for a violation ``v``
+    alive in both ``D'`` and ``op(D')``,
+
+    - its justified *deletions* are the non-empty subsets of the body
+      image ``h(phi)`` — a function of ``v`` alone;
+    - its justified *insertions* (TGD violations only) are the missing
+      head images ``h'(psi) - D'`` filtered by minimality, and both the
+      missing part and the minimality re-check inspect only facts of the
+      TGD's head relations (the body image is contained in either
+      database because ``v`` is a current violation of both).
+
+    So an entry is re-derived exactly when the violation is new or the
+    update touched the constraint's head relations.
+    """
+
+    def __init__(
+        self, constraints: ConstraintSet, base_constants: FrozenSet[Term]
+    ) -> None:
+        self.constraints = constraints
+        self.base_constants = base_constants
+        #: Union of TGD head relations: an update not touching them can
+        #: never invalidate a surviving violation's entry.
+        self._tgd_head_relations: FrozenSet[str] = frozenset(
+            relation
+            for constraint in constraints
+            if isinstance(constraint, TGD)
+            for relation in constraint.head_relations
+        )
+        #: Entries re-derived against a concrete database.
+        self.derivations = 0
+        #: Entries carried over verbatim from the predecessor state.
+        self.reuses = 0
+
+    # ------------------------------------------------------------------
+    # Per-violation derivation
+    # ------------------------------------------------------------------
+    def ops_for(self, violation: Violation, database: Database) -> Tuple[Operation, ...]:
+        """The operations justified by *violation* at *database*."""
+        self.derivations += 1
+        ops = tuple(justified_deletions_for(violation))
+        if isinstance(violation.constraint, TGD):
+            ops += tuple(
+                justified_insertions_for(violation, database, self.base_constants)
+            )
+        return ops
+
+    # ------------------------------------------------------------------
+    # Full build (initial states, cache cold starts)
+    # ------------------------------------------------------------------
+    def full_state(
+        self,
+        database: Database,
+        current_violations: Iterable[Violation],
+        sort_key,
+    ) -> OperationMapState:
+        """Build the map from scratch (the non-incremental reference)."""
+        by_violation: OperationMap = {}
+        counts: Dict[Operation, int] = {}
+        for violation in current_violations:
+            entry = self.ops_for(violation, database)
+            by_violation[violation] = entry
+            for op in entry:
+                counts[op] = counts.get(op, 0) + 1
+        ordered = tuple(sorted(counts, key=sort_key))
+        return OperationMapState(by_violation, counts, ordered)
+
+    # ------------------------------------------------------------------
+    # Delta derivation
+    # ------------------------------------------------------------------
+    def state_after(
+        self,
+        old: OperationMapState,
+        op: Operation,
+        new_db: Database,
+        new_violations: FrozenSet[Violation],
+        sort_key,
+    ) -> OperationMapState:
+        """``JustOp(op(D'), Sigma)`` given the predecessor's map.
+
+        *new_violations* must be ``V(op(D'), Sigma)`` (the engine already
+        maintains it via :class:`DeltaViolationIndex`).
+        """
+        old_map = old.by_violation
+        if not self._tgd_head_relations:
+            changed_relations: FrozenSet[str] = frozenset()
+            heads_hit = False
+        else:
+            changed_relations = frozenset(f.relation for f in op.facts)
+            heads_hit = bool(changed_relations & self._tgd_head_relations)
+        by_violation: OperationMap = {}
+        counts = dict(old.counts)
+        changed = False
+        grew = False
+        for violation in new_violations:
+            entry = old_map.get(violation)
+            if entry is not None and (
+                not heads_hit
+                or not isinstance(violation.constraint, TGD)
+                or not (changed_relations & violation.constraint.head_relations)
+            ):
+                self.reuses += 1
+                by_violation[violation] = entry
+                continue
+            changed = True
+            if entry is not None:
+                # A TGD-head-touched violation: retract the stale entry
+                # before re-deriving against the new database.
+                for stale in entry:
+                    counts[stale] -= 1
+            fresh = self.ops_for(violation, new_db)
+            by_violation[violation] = fresh
+            for new_op in fresh:
+                previous = counts.get(new_op, 0)
+                if previous == 0:
+                    grew = True
+                counts[new_op] = previous + 1
+        for violation, entry in old_map.items():
+            if violation not in by_violation:
+                changed = True
+                for dead in entry:
+                    counts[dead] -= 1
+        if not changed:
+            return OperationMapState(by_violation, counts, old.ordered)
+        for dead in [candidate for candidate, count in counts.items() if count <= 0]:
+            del counts[dead]
+        if grew:
+            ordered = tuple(sorted(counts, key=sort_key))
+        else:
+            # The candidate set only shrank: the predecessor's order is
+            # still correct, restricted to the survivors.
+            ordered = tuple(c for c in old.ordered if c in counts)
+        return OperationMapState(by_violation, counts, ordered)
 
 
 def incremental_violations(

@@ -24,13 +24,28 @@ from typing import FrozenSet, Iterable, Iterator, Set, Tuple
 
 from repro.constraints.base import ConstraintSet
 from repro.constraints.tgd import TGD
+from repro.core.caching import env_cache_limit
+from repro.core.errors import FactSetTooLargeError
 from repro.core.operations import Operation
 from repro.core.violations import Violation, violations
 from repro.db.facts import Database, Fact
 from repro.db.terms import Term
 
+#: Largest fact set whose subsets the minimality checks will enumerate.
+MAX_SUBSET_FACTS = env_cache_limit("REPRO_MAX_SUBSET_FACTS", 20)
+
+
+def _guard_subset_enumeration(facts: FrozenSet[Fact]) -> None:
+    if len(facts) > MAX_SUBSET_FACTS:
+        raise FactSetTooLargeError(
+            f"refusing to enumerate the 2^{len(facts)} subsets of a "
+            f"{len(facts)}-fact set (guard: {MAX_SUBSET_FACTS}; raise "
+            "REPRO_MAX_SUBSET_FACTS if this is intentional)"
+        )
+
 
 def _nonempty_subsets(facts: FrozenSet[Fact]) -> Iterator[FrozenSet[Fact]]:
+    _guard_subset_enumeration(facts)
     ordered = sorted(facts, key=str)
     for size in range(1, len(ordered) + 1):
         for combo in combinations(ordered, size):
@@ -38,13 +53,14 @@ def _nonempty_subsets(facts: FrozenSet[Fact]) -> Iterator[FrozenSet[Fact]]:
 
 
 def _proper_nonempty_subsets(facts: FrozenSet[Fact]) -> Iterator[FrozenSet[Fact]]:
+    _guard_subset_enumeration(facts)
     ordered = sorted(facts, key=str)
     for size in range(1, len(ordered)):
         for combo in combinations(ordered, size):
             yield frozenset(combo)
 
 
-@lru_cache(maxsize=1 << 15)
+@lru_cache(maxsize=env_cache_limit("REPRO_DELETION_OPS_CACHE_LIMIT", 1 << 15))
 def _deletion_ops(violation: Violation) -> Tuple[Operation, ...]:
     """Memoized justified deletions for one violation.
 
@@ -92,6 +108,8 @@ def _insertion_is_minimal(
 ) -> bool:
     """Definition 3 condition 1: no proper subset of *facts* fixes the
     violation already."""
+    if len(facts) == 1:
+        return True  # no proper non-empty subsets exist
     for subset in _proper_nonempty_subsets(facts):
         if not violation.holds_in(database.with_added(subset)):
             return False
@@ -141,6 +159,11 @@ def is_justified(
             # which holds iff F is a subset of the body image inside D'.
             if not op.facts <= violation.facts:
                 continue
+            # A singleton deletion inside the body image is minimal by
+            # definition (it has no proper non-empty subsets), so skip
+            # the subset machinery entirely on this hot path.
+            if len(op.facts) == 1:
+                return True
             if all(
                 not violation.holds_in(database.with_removed(subset))
                 for subset in _proper_nonempty_subsets(op.facts)

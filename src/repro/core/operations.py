@@ -35,6 +35,15 @@ class Operation:
         if not self.facts:
             raise ValueError("operations must involve a non-empty set of facts")
 
+    def __hash__(self) -> int:
+        # Cached: operations are dict/cache keys on every engine hot
+        # path, and the dataclass-generated hash re-tuples per call.
+        cached = getattr(self, "_hash_cache", None)
+        if cached is None:
+            cached = hash((self.kind, self.facts))
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

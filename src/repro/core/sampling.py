@@ -93,6 +93,12 @@ def choose_transition(
     instead of quietly over-selecting the last operation).
     """
     transitions = tuple(transitions)
+    first_probability = transitions[0][1]
+    if all(probability is first_probability for _, probability in transitions):
+        # The chain hands equal-weight states one shared ``1/n`` Fraction
+        # object, so a plain uniform draw is exact — no common-denominator
+        # preparation (and no hashing of the transitions tuple) needed.
+        return transitions[rng.randrange(len(transitions))][0]
     denominator, cumulative = _prepared_draw(transitions)
     draw = rng.randrange(denominator)
     for (op, _), bound in zip(transitions, cumulative):

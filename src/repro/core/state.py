@@ -31,7 +31,7 @@ from repro.core.violations import Violation
 from repro.db.facts import Database, Fact
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdditionRecord:
     """Bookkeeping for one earlier insertion ``+F``.
 
@@ -50,7 +50,7 @@ class AdditionRecord:
         return AdditionRecord(self.op, self.db_before, self.deletions_after | facts)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RepairState:
     """A repairing sequence together with its derived data."""
 

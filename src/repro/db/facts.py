@@ -18,6 +18,10 @@ from repro.db.terms import Term, is_var, term_str
 #: Per-relation position-value index: ``{(position, value) -> facts}``.
 PositionIndex = Dict[Tuple[int, Term], Tuple["Fact", ...]]
 
+#: Longest chain of unmaterialized position-index deltas a derived
+#: database may keep (each pending delta holds its parent alive).
+_POSITION_DELTA_DEPTH_LIMIT = 64
+
 
 @dataclass(frozen=True, order=True)
 class Fact:
@@ -31,6 +35,15 @@ class Fact:
             object.__setattr__(self, "values", tuple(self.values))
         if any(is_var(v) for v in self.values):
             raise ValueError(f"facts must be ground, got variables in {self.values!r}")
+
+    def __hash__(self) -> int:
+        # Cached: facts flow through frozenset algebra on every engine
+        # step, and the dataclass-generated hash re-tuples per call.
+        cached = getattr(self, "_hash_cache", None)
+        if cached is None:
+            cached = hash((self.relation, self.values))
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
 
     @property
     def arity(self) -> int:
@@ -152,16 +165,37 @@ class Database:
         ``R`` with value ``v`` at position ``i``" into one dict lookup
         instead of a scan over :attr:`by_relation`.  Entry tuples carry
         no ordering guarantee (callers needing determinism sort).
+
+        Derived databases (:meth:`with_added` / :meth:`with_removed`)
+        record only their delta; the index materializes *lazily* by
+        replaying the delta chain from the nearest materialized
+        ancestor.  Deletion-only repair walks never consult successor
+        indexes (violations and justified operations are both
+        delta-maintained), so they skip the maintenance entirely.
         """
-        index: Dict[str, Dict[Tuple[int, Term], List[Fact]]] = {}
-        for fact in self._facts:
-            inner = index.setdefault(fact.relation, {})
-            for position, value in enumerate(fact.values):
-                inner.setdefault((position, value), []).append(fact)
-        return {
-            rel: {key: tuple(fs) for key, fs in inner.items()}
-            for rel, inner in index.items()
-        }
+        pending: List[Tuple["Database", FrozenSet[Fact], FrozenSet[Fact]]] = []
+        node = self
+        while "_position_delta" in node.__dict__:
+            parent, added, removed, _ = node.__dict__["_position_delta"]
+            pending.append((node, added, removed))
+            node = parent
+        if node is self:
+            index: Dict[str, Dict[Tuple[int, Term], List[Fact]]] = {}
+            for fact in self._facts:
+                inner = index.setdefault(fact.relation, {})
+                for position, value in enumerate(fact.values):
+                    inner.setdefault((position, value), []).append(fact)
+            return {
+                rel: {key: tuple(fs) for key, fs in inner.items()}
+                for rel, inner in index.items()
+            }
+        current = node.position_index  # cached, or a from-scratch build
+        for child, added, removed in reversed(pending):
+            current = _apply_position_delta(current, added, removed)
+            del child.__dict__["_position_delta"]
+            if child is not self:
+                child.__dict__["position_index"] = current
+        return current
 
     def facts_with(self, relation: str, position: int, value: Term) -> Tuple[Fact, ...]:
         """Facts of *relation* carrying *value* at *position* (indexed)."""
@@ -247,37 +281,58 @@ class Database:
                     groups.pop(rel, None)
             child.__dict__["by_relation"] = groups
         if "position_index" in caches:
-            index = dict(caches["position_index"])
-            for rel in touched:
-                inner = dict(index.get(rel, {}))
-                for fact in removed:
-                    if fact.relation != rel:
-                        continue
-                    for position, value in enumerate(fact.values):
-                        entry = tuple(
-                            f for f in inner[(position, value)] if f != fact
-                        )
-                        if entry:
-                            inner[(position, value)] = entry
-                        else:
-                            del inner[(position, value)]
-                for fact in added:
-                    if fact.relation != rel:
-                        continue
-                    for position, value in enumerate(fact.values):
-                        inner[(position, value)] = inner.get(
-                            (position, value), ()
-                        ) + (fact,)
-                if inner:
-                    index[rel] = inner
-                else:
-                    index.pop(rel, None)
-            child.__dict__["position_index"] = index
+            # Record the delta only; the child's index materializes
+            # lazily (see :attr:`position_index`) so walks that never
+            # run a homomorphism search on the successor skip the work.
+            child.__dict__["_position_delta"] = (self, added, removed, 1)
+        elif "_position_delta" in caches:
+            # The pending delta keeps the parent alive until (if ever)
+            # materialized, so cap the lineage: past the bound the child
+            # records nothing and would rebuild from scratch on demand,
+            # instead of pinning an unbounded ancestor chain.
+            depth = caches["_position_delta"][3] + 1
+            if depth <= _POSITION_DELTA_DEPTH_LIMIT:
+                child.__dict__["_position_delta"] = (self, added, removed, depth)
         return child
 
     def __repr__(self) -> str:
         inner = ", ".join(str(f) for f in self.sorted_facts)
         return f"Database({{{inner}}})"
+
+
+def _apply_position_delta(
+    parent_index: Dict[str, PositionIndex],
+    added: FrozenSet[Fact],
+    removed: FrozenSet[Fact],
+) -> Dict[str, PositionIndex]:
+    """A materialized :attr:`Database.position_index` after one delta.
+
+    Relations untouched by the delta share their entries with the parent
+    index; only the affected relations are re-derived.
+    """
+    touched = frozenset(f.relation for f in added | removed)
+    index = dict(parent_index)
+    for rel in touched:
+        inner = dict(index.get(rel, {}))
+        for fact in removed:
+            if fact.relation != rel:
+                continue
+            for position, value in enumerate(fact.values):
+                entry = tuple(f for f in inner[(position, value)] if f != fact)
+                if entry:
+                    inner[(position, value)] = entry
+                else:
+                    del inner[(position, value)]
+        for fact in added:
+            if fact.relation != rel:
+                continue
+            for position, value in enumerate(fact.values):
+                inner[(position, value)] = inner.get((position, value), ()) + (fact,)
+        if inner:
+            index[rel] = inner
+        else:
+            index.pop(rel, None)
+    return index
 
 
 @lru_cache(maxsize=1 << 16)

@@ -16,6 +16,9 @@ from repro.core.localization import LocalizationError, conflict_components
 from repro.core.violations import violations
 from repro.db.facts import Database, Fact
 
+#: ``cache name -> {"hits": .., "misses": .., "size": .., "limit": ..}``.
+CacheStats = Dict[str, Dict[str, int]]
+
 
 @dataclass
 class ConstraintDiagnosis:
@@ -96,6 +99,79 @@ class InconsistencyReport:
                     "insertions may couple distant parts of the database)"
                 )
         return "\n".join(lines)
+
+
+@dataclass
+class CacheReport:
+    """Hit/miss counters for every memo backing a chain or engine.
+
+    ``per_cache`` maps cache names (``violations``, ``steps``,
+    ``operation_maps``, ``transitions``, ...) to their counters;
+    ``shared`` holds the process-wide ``functools.lru_cache`` memos
+    (operation sort keys, per-violation deletion sets, fact sort keys,
+    prepared draws) that all engines share.
+    """
+
+    per_cache: CacheStats
+    shared: CacheStats
+
+    @staticmethod
+    def _hit_rate(stats: Dict[str, int]) -> float:
+        lookups = stats.get("hits", 0) + stats.get("misses", 0)
+        return stats.get("hits", 0) / lookups if lookups else 0.0
+
+    def format(self) -> str:
+        """Render the counters as plain text."""
+        lines = ["cache statistics:"]
+        for section, stats in (("instance", self.per_cache), ("shared", self.shared)):
+            for name, counters in sorted(stats.items()):
+                lines.append(
+                    f"  [{section}] {name}: {counters.get('hits', 0)} hit(s), "
+                    f"{counters.get('misses', 0)} miss(es), "
+                    f"{counters.get('size', 0)}/{counters.get('limit', 0)} entries "
+                    f"({100 * self._hit_rate(counters):.1f}% hit rate)"
+                )
+        return "\n".join(lines)
+
+
+def _shared_cache_stats() -> CacheStats:
+    """Counters of the module-level ``lru_cache`` memos."""
+    from repro.core.engine import _operation_sort_key
+    from repro.core.justified import _deletion_ops
+    from repro.core.sampling import _prepared_draw
+    from repro.db.facts import _fact_sort_key
+
+    out: CacheStats = {}
+    for name, fn in (
+        ("operation_sort_keys", _operation_sort_key),
+        ("deletion_ops", _deletion_ops),
+        ("prepared_draws", _prepared_draw),
+        ("fact_sort_keys", _fact_sort_key),
+    ):
+        info = fn.cache_info()
+        out[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.currsize,
+            "limit": info.maxsize or 0,
+        }
+    return out
+
+
+def cache_report(source) -> CacheReport:
+    """Cache counters for *source* — a ``RepairingChain`` or ``RepairEngine``.
+
+    Chains contribute their transition/distribution memos *and* their
+    engine's caches; engines contribute theirs alone.  The shared
+    process-wide ``lru_cache`` memos are always included.
+    """
+    per_cache: CacheStats = {}
+    engine = getattr(source, "engine", source)
+    if hasattr(engine, "cache_stats"):
+        per_cache.update(engine.cache_stats())
+    if source is not engine and hasattr(source, "cache_stats"):
+        per_cache.update(source.cache_stats())
+    return CacheReport(per_cache=per_cache, shared=_shared_cache_stats())
 
 
 def diagnose(database: Database, constraints: ConstraintSet) -> InconsistencyReport:

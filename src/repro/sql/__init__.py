@@ -20,7 +20,9 @@ from repro.sql.generic import ConstraintRepairSampler
 from repro.sql.rewriting import DeletionRewriter
 from repro.sql.sampler import KeyRepairSampler, KeySpec, SamplerPolicy
 from repro.sql.violations import (
+    SQLDeltaViolationIndex,
     compile_violation_query,
+    components_from_edges,
     conflict_components_sql,
     conflict_hypergraph_sql,
     violating_fact_sets,
@@ -35,7 +37,9 @@ __all__ = [
     "KeyRepairSampler",
     "KeySpec",
     "SamplerPolicy",
+    "SQLDeltaViolationIndex",
     "compile_violation_query",
+    "components_from_edges",
     "conflict_components_sql",
     "conflict_hypergraph_sql",
     "violating_fact_sets",

@@ -88,6 +88,33 @@ class SQLiteBackend:
             self.connection.commit()
 
     # ------------------------------------------------------------------
+    # Base-table deltas (the incremental maintenance entry points)
+    # ------------------------------------------------------------------
+    def insert_facts(self, facts: Iterable[Fact]) -> None:
+        """Insert *facts* into their base tables (tables must exist)."""
+        cursor = self.connection.cursor()
+        grouped: Dict[Tuple[str, int], List[Tuple[Term, ...]]] = {}
+        for fact in facts:
+            grouped.setdefault((fact.relation, fact.arity), []).append(fact.values)
+        for (relation, arity), rows in grouped.items():
+            table = _check_name(relation)
+            placeholders = ", ".join("?" for _ in range(arity))
+            cursor.executemany(f"INSERT INTO {table} VALUES ({placeholders})", rows)
+        self.connection.commit()
+
+    def delete_facts(self, facts: Iterable[Fact]) -> None:
+        """Delete *facts* (all duplicates of each row) from base tables."""
+        cursor = self.connection.cursor()
+        grouped: Dict[Tuple[str, int], List[Tuple[Term, ...]]] = {}
+        for fact in facts:
+            grouped.setdefault((fact.relation, fact.arity), []).append(fact.values)
+        for (relation, arity), rows in grouped.items():
+            table = _check_name(relation)
+            condition = " AND ".join(f"c{i} = ?" for i in range(arity))
+            cursor.executemany(f"DELETE FROM {table} WHERE {condition}", rows)
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
     def execute(
@@ -97,6 +124,11 @@ class SQLiteBackend:
         cursor = self.connection.cursor()
         cursor.execute(sql, parameters)
         return cursor.fetchall()
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        """Run one statement for every parameter row (bulk writes)."""
+        cursor = self.connection.cursor()
+        cursor.executemany(sql, rows)
 
     def query_tuples(self, sql: str, parameters: Sequence = ()) -> FrozenSet[Tuple]:
         """Run a compiled query and return its rows as a frozenset."""

@@ -12,13 +12,13 @@ each component is repaired by its own in-memory repairing Markov chain
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.hoeffding import sample_size
 from repro.constraints.base import ConstraintSet
-from repro.core.chain import ChainGenerator
+from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.generators import UniformGenerator
-from repro.core.sampling import sample_walk
+from repro.core.sampling import sample_many, sample_walk
 from repro.db.facts import Database, Fact
 from repro.db.schema import Schema
 from repro.db.terms import Term
@@ -28,7 +28,7 @@ from repro.sql.backend import SQLiteBackend
 from repro.sql.compiler import CompiledQuery, compile_cq, compile_fo_query
 from repro.sql.rewriting import DeletionRewriter
 from repro.sql.sampler import SamplingReport
-from repro.sql.violations import conflict_components_sql
+from repro.sql.violations import SQLDeltaViolationIndex
 
 AnyQuery = Union[Query, ConjunctiveQuery]
 
@@ -43,6 +43,14 @@ class ConstraintRepairSampler:
     chain generator used on each conflict component (default: the
     uniform generator).  The factory is called once; the same generator
     drives every component's chain.
+
+    Violation detection runs through an incremental
+    :class:`repro.sql.violations.SQLDeltaViolationIndex`: the full
+    self-joins execute once, and subsequent base-table deltas
+    (:meth:`apply_update`) refresh the conflict components from pinned
+    delta joins instead of re-running them.  Each component also keeps
+    one repairing chain per campaign (*reuse_chains*), so every draw's
+    walk shares the engine's delta-maintained state.
     """
 
     def __init__(
@@ -52,6 +60,7 @@ class ConstraintRepairSampler:
         constraints: ConstraintSet,
         generator_factory: GeneratorFactory = UniformGenerator,
         rng: Optional[random.Random] = None,
+        reuse_chains: bool = True,
     ) -> None:
         if not constraints.deletion_only():
             raise ValueError(
@@ -63,20 +72,75 @@ class ConstraintRepairSampler:
         self.constraints = constraints
         self.generator = generator_factory(constraints)
         self.rng = rng or random.Random()
+        self.reuse_chains = reuse_chains
         self.rewriter = DeletionRewriter(backend, schema)
-        self.components: Tuple = conflict_components_sql(backend, constraints)
+        self.violation_index = SQLDeltaViolationIndex(backend, constraints)
+        self.components: Tuple[FrozenSet[Fact], ...] = (
+            self.violation_index.components()
+        )
+        self._chains: Dict[FrozenSet[Fact], RepairingChain] = {}
+
+    # ------------------------------------------------------------------
+    # Incremental base-table maintenance
+    # ------------------------------------------------------------------
+    def apply_update(
+        self, added: Iterable[Fact] = (), removed: Iterable[Fact] = ()
+    ) -> None:
+        """Apply a base-table delta and re-derive the conflict components.
+
+        Deletions drop dead violation edges in memory; insertions run
+        pinned delta joins only for the constraints whose bodies mention
+        a touched relation.  Components are then recomputed from the
+        maintained edge sets (pure union-find — no SQL), and only
+        components whose fact sets changed lose their cached chains.
+        """
+        added = list(added)
+        removed = list(removed)
+        if removed:
+            self.backend.delete_facts(removed)
+            self.violation_index.apply_delete(removed)
+        if added:
+            self.backend.insert_facts(added)
+            self.backend.extend_adom(
+                value for fact in added for value in fact.values
+            )
+            self.violation_index.apply_insert(added)
+        self.components = self.violation_index.components()
+        live = set(self.components)
+        for stale in [key for key in self._chains if key not in live]:
+            del self._chains[stale]
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
+    def _component_chain(self, component: FrozenSet[Fact]) -> RepairingChain:
+        chain = self._chains.get(component)
+        if chain is None:
+            chain = self.generator.chain(Database(component))
+            if self.reuse_chains:
+                self._chains[component] = chain
+        return chain
+
     def sample_deletions(self) -> List[Fact]:
         """One repair draw: deleted facts across all conflict components."""
         deletions: List[Fact] = []
         for component in self.components:
-            sub_db = Database(component)
-            walk = sample_walk(self.generator.chain(sub_db), self.rng)
-            deletions.extend(sorted(sub_db - walk.result, key=str))
+            chain = self._component_chain(component)
+            walk = sample_walk(chain, self.rng)
+            deletions.extend(sorted(chain.database - walk.result, key=str))
         return deletions
+
+    def sample_deletions_many(self, runs: int) -> List[List[Fact]]:
+        """*runs* repair draws, batched component by component (see
+        :meth:`repro.sql.sampler.KeyRepairSampler.sample_deletions_many`)."""
+        per_run: List[List[Fact]] = [[] for _ in range(runs)]
+        for component in self.components:
+            chain = self._component_chain(component)
+            for deletions, walk in zip(
+                per_run, sample_many(chain, runs, self.rng)
+            ):
+                deletions.extend(sorted(chain.database - walk.result, key=str))
+        return per_run
 
     def sample_repair(self) -> Database:
         """Draw one full repaired instance."""
@@ -108,9 +172,13 @@ class ConstraintRepairSampler:
             runs = sample_size(epsilon, delta)
         compiled = self.compile(query)
         counts: Dict[Tuple[Term, ...], int] = {}
-        for _ in range(runs):
+        if self.reuse_chains:
+            batches: Iterable[List[Fact]] = self.sample_deletions_many(runs)
+        else:
+            batches = (self.sample_deletions() for _ in range(runs))
+        for deletions in batches:
             self.rewriter.clear()
-            self.rewriter.mark_deleted(self.sample_deletions())
+            self.rewriter.mark_deleted(deletions)
             for answer in compiled.run(self.backend):
                 counts[answer] = counts.get(answer, 0) + 1
         self.rewriter.clear()

@@ -51,11 +51,16 @@ class DeletionRewriter:
     def mark_deleted(self, facts: Iterable[Fact]) -> None:
         """Record *facts* as deleted in this run."""
         cursor = self.backend.connection.cursor()
+        grouped: Dict[Tuple[str, int], list] = {}
         for fact in facts:
-            table = self.deletion_table(fact.relation)
-            placeholders = ", ".join("?" for _ in fact.values)
-            cursor.execute(
-                f"INSERT INTO {table} VALUES ({placeholders})", fact.values
+            grouped.setdefault((fact.relation, len(fact.values)), []).append(
+                fact.values
+            )
+        for (relation, arity), rows in grouped.items():
+            table = self.deletion_table(relation)
+            placeholders = ", ".join("?" for _ in range(arity))
+            cursor.executemany(
+                f"INSERT INTO {table} VALUES ({placeholders})", rows
             )
 
     def deleted_count(self, relation: str) -> int:

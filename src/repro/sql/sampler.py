@@ -26,13 +26,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.hoeffding import sample_size
 from repro.constraints.base import ConstraintSet
 from repro.constraints.shortcuts import key as key_constraints
+from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.generators import TrustGenerator, UniformGenerator
-from repro.core.sampling import sample_walk
+from repro.core.sampling import sample_many, sample_walk
 from repro.db.facts import Database, Fact
 from repro.db.schema import Schema
 from repro.db.terms import Term
@@ -107,6 +108,7 @@ class KeyRepairSampler:
         policy: SamplerPolicy = SamplerPolicy.KEEP_ONE_UNIFORM,
         trust: Optional[Mapping[Fact, Union[float, int]]] = None,
         rng: Optional[random.Random] = None,
+        reuse_chains: bool = True,
     ) -> None:
         self.backend = backend
         self.schema = schema
@@ -114,45 +116,120 @@ class KeyRepairSampler:
         self.policy = SamplerPolicy(policy)
         self.trust = dict(trust) if trust else {}
         self.rng = rng or random.Random()
+        #: With *reuse_chains* (the default), each conflict group keeps
+        #: one repairing chain for the whole campaign: every draw walks
+        #: the same chain, so the engine's incremental machinery
+        #: (violation deltas, justified-operation maps, transition
+        #: memos) amortizes across all ``n`` runs instead of being
+        #: rebuilt per draw.  ``False`` restores the PR-1 behaviour
+        #: (fresh chain per group per draw) — kept for benchmarking.
+        self.reuse_chains = reuse_chains
         self.rewriter = DeletionRewriter(backend, schema)
-        self.groups: Tuple[ConflictGroup, ...] = tuple(self._find_groups())
+        self._chains: Dict[Tuple[Fact, ...], RepairingChain] = {}
+        self._generators: Dict[KeySpec, ChainGenerator] = {}
+        self._buckets: Dict[KeySpec, Dict[Tuple[Term, ...], set]] = {}
+        self._scan_buckets()
+        self.groups: Tuple[ConflictGroup, ...] = self._rebuild_groups()
 
     # ------------------------------------------------------------------
-    # Conflict detection (one pass, reused by every run)
+    # Conflict detection (one scan, then delta-maintained)
     # ------------------------------------------------------------------
-    def _find_groups(self) -> List[ConflictGroup]:
-        groups: List[ConflictGroup] = []
+    def _scan_buckets(self) -> None:
         for spec in self.keys:
             table = _check_name(spec.relation)
             rows = self.backend.execute(f"SELECT * FROM {table}")
-            buckets: Dict[Tuple[Term, ...], List[Fact]] = {}
+            buckets: Dict[Tuple[Term, ...], set] = {}
             for row in rows:
                 fact = Fact(spec.relation, tuple(row))
                 key_value = tuple(row[p] for p in spec.positions)
-                buckets.setdefault(key_value, []).append(fact)
+                buckets.setdefault(key_value, set()).add(fact)
+            self._buckets[spec] = buckets
+
+    def _rebuild_groups(self) -> Tuple[ConflictGroup, ...]:
+        groups: List[ConflictGroup] = []
+        for spec in self.keys:
+            buckets = self._buckets.get(spec, {})
             for key_value, facts in sorted(buckets.items(), key=lambda kv: str(kv[0])):
-                distinct = sorted(set(facts), key=str)
-                if len(distinct) > 1:
+                if len(facts) > 1:
                     groups.append(
-                        ConflictGroup(spec, key_value, tuple(distinct))
+                        ConflictGroup(spec, key_value, tuple(sorted(facts, key=str)))
                     )
-        return groups
+        return tuple(groups)
+
+    def apply_update(self, added: Iterable[Fact] = (), removed: Iterable[Fact] = ()) -> None:
+        """Apply a base-table delta and re-derive the conflict groups.
+
+        The groups are maintained from the in-memory key buckets — no
+        table re-scan — and only the groups whose fact sets actually
+        changed lose their cached chains (the fact tuple is the cache
+        key, so untouched groups keep their amortized state).
+        """
+        added = list(added)
+        removed = list(removed)
+        if removed:
+            self.backend.delete_facts(removed)
+        if added:
+            self.backend.insert_facts(added)
+            self.backend.extend_adom(
+                value for fact in added for value in fact.values
+            )
+        for spec in self.keys:
+            buckets = self._buckets[spec]
+            for fact in removed:
+                if fact.relation != spec.relation or fact.arity != spec.arity:
+                    continue
+                key_value = tuple(fact.values[p] for p in spec.positions)
+                bucket = buckets.get(key_value)
+                if bucket is not None:
+                    bucket.discard(fact)
+                    if not bucket:
+                        del buckets[key_value]
+            for fact in added:
+                if fact.relation != spec.relation or fact.arity != spec.arity:
+                    continue
+                key_value = tuple(fact.values[p] for p in spec.positions)
+                buckets.setdefault(key_value, set()).add(fact)
+        self.groups = self._rebuild_groups()
+        live = {group.facts for group in self.groups}
+        for stale in [key for key in self._chains if key not in live]:
+            del self._chains[stale]
 
     # ------------------------------------------------------------------
     # Per-group sampling policies
     # ------------------------------------------------------------------
+    def _group_generator(self, spec: KeySpec) -> ChainGenerator:
+        generator = self._generators.get(spec)
+        if generator is None:
+            constraints = spec.constraints()
+            if self.policy is SamplerPolicy.OPERATIONAL_UNIFORM:
+                generator = UniformGenerator(constraints)
+            else:
+                # TrustGenerator snapshots the trust mapping; without
+                # chain reuse it is rebuilt per call (PR-1 semantics:
+                # mutating ``self.trust`` affects subsequent draws).
+                # With reuse, the snapshot lives as long as the cached
+                # chains — mutate trust through a fresh sampler instead.
+                generator = TrustGenerator(constraints, self.trust)
+                if not self.reuse_chains:
+                    return generator
+            self._generators[spec] = generator
+        return generator
+
+    def _group_chain(self, group: ConflictGroup) -> RepairingChain:
+        chain = self._chains.get(group.facts)
+        if chain is None:
+            chain = self._group_generator(group.spec).chain(Database(group.facts))
+            if self.reuse_chains:
+                self._chains[group.facts] = chain
+        return chain
+
     def _group_deletions(self, group: ConflictGroup) -> List[Fact]:
         if self.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
             survivor = self.rng.choice(group.facts)
             return [fact for fact in group.facts if fact != survivor]
-        constraints = group.spec.constraints()
-        sub_db = Database(group.facts)
-        if self.policy is SamplerPolicy.OPERATIONAL_UNIFORM:
-            generator = UniformGenerator(constraints)
-        else:
-            generator = TrustGenerator(constraints, self.trust)
-        walk = sample_walk(generator.chain(sub_db), self.rng)
-        return sorted(sub_db - walk.result, key=str)
+        chain = self._group_chain(group)
+        walk = sample_walk(chain, self.rng)
+        return sorted(chain.database - walk.result, key=str)
 
     def sample_deletions(self) -> List[Fact]:
         """One repair draw: the deleted facts across all conflict groups."""
@@ -160,6 +237,31 @@ class KeyRepairSampler:
         for group in self.groups:
             deletions.extend(self._group_deletions(group))
         return deletions
+
+    def sample_deletions_many(self, runs: int) -> List[List[Fact]]:
+        """*runs* repair draws, batched group by group.
+
+        The batched driver (:func:`repro.core.sampling.sample_many`)
+        runs all of a group's walks over its one shared chain before
+        moving on, so hot prefix states are enumerated once per campaign
+        rather than once per draw.  Draws remain i.i.d. — walks are
+        independent and groups are independent — but the RNG is consumed
+        in a different order than ``runs`` separate
+        :meth:`sample_deletions` calls.
+        """
+        per_run: List[List[Fact]] = [[] for _ in range(runs)]
+        for group in self.groups:
+            if self.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
+                for deletions in per_run:
+                    survivor = self.rng.choice(group.facts)
+                    deletions.extend(f for f in group.facts if f != survivor)
+                continue
+            chain = self._group_chain(group)
+            for deletions, walk in zip(
+                per_run, sample_many(chain, runs, self.rng)
+            ):
+                deletions.extend(sorted(chain.database - walk.result, key=str))
+        return per_run
 
     # ------------------------------------------------------------------
     # Query compilation under the rewriting
@@ -197,9 +299,13 @@ class KeyRepairSampler:
             runs = sample_size(epsilon, delta)
         compiled = self.compile(query)
         counts: Dict[Tuple[Term, ...], int] = {}
-        for _ in range(runs):
+        if self.reuse_chains:
+            batches: Iterable[List[Fact]] = self.sample_deletions_many(runs)
+        else:
+            batches = (self.sample_deletions() for _ in range(runs))
+        for deletions in batches:
             self.rewriter.clear()
-            self.rewriter.mark_deleted(self.sample_deletions())
+            self.rewriter.mark_deleted(deletions)
             for answer in compiled.run(self.backend):
                 counts[answer] = counts.get(answer, 0) + 1
         self.rewriter.clear()

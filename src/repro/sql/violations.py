@@ -11,11 +11,17 @@ assignments of Definition 2 are exactly the rows of
 Each result row is sliced back into the k body facts — the violation's
 body image ``h(phi)`` — which is all the deletion-only repair machinery
 needs (the conflict hypergraph).
+
+Besides the one-shot full joins, :class:`SQLDeltaViolationIndex` keeps
+the per-constraint edge sets *incrementally* current under fact-level
+deltas (temp delta tables + pinned joins + per-constraint
+touched-relation filtering), mirroring the in-memory
+:class:`repro.core.incremental.DeltaViolationIndex` at SQL scale.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.constraints.base import Constraint, ConstraintSet
 from repro.constraints.dc import DC
@@ -28,17 +34,27 @@ from repro.sql.backend import SQLiteBackend, _check_name
 def compile_violation_query(
     constraint: Constraint,
     relation_map: Optional[Mapping[str, str]] = None,
+    delta_atom: Optional[int] = None,
+    delta_table: Optional[str] = None,
 ) -> Tuple[str, Tuple[Term, ...]]:
     """SQL returning one row per violating body homomorphism.
 
     Supports EGDs and DCs (TGD violations need the head check, which is
     not expressible as a single flat join without NOT EXISTS — see
     :func:`compile_tgd_violation_query`).
+
+    With *delta_atom*/*delta_table*, the body atom at that index ranges
+    over the (small) delta table instead of its live relation: the query
+    then returns exactly the violations *using a delta row at that
+    position* — the SQL mirror of the pinned homomorphism search the
+    in-memory :class:`repro.core.incremental.DeltaViolationIndex` runs.
     """
     if not isinstance(constraint, (EGD, DC)):
         raise ValueError(
             f"flat violation queries cover EGDs and DCs, got {type(constraint).__name__}"
         )
+    if (delta_atom is None) != (delta_table is None):
+        raise ValueError("delta_atom and delta_table must be given together")
     select_parts: List[str] = []
     from_parts: List[str] = []
     where: List[str] = []
@@ -46,11 +62,14 @@ def compile_violation_query(
     first_occurrence: Dict[Var, str] = {}
     for index, atom in enumerate(constraint.body):
         alias = f"t{index}"
-        physical = (
-            relation_map[atom.relation]
-            if relation_map and atom.relation in relation_map
-            else _check_name(atom.relation)
-        )
+        if index == delta_atom:
+            physical = _check_name(delta_table)
+        else:
+            physical = (
+                relation_map[atom.relation]
+                if relation_map and atom.relation in relation_map
+                else _check_name(atom.relation)
+            )
         from_parts.append(f"{physical} {alias}")
         for position, term in enumerate(atom.terms):
             column = f"{alias}.c{position}"
@@ -85,6 +104,19 @@ def compile_violation_query(
     return sql, tuple(params)
 
 
+def _rows_to_edges(constraint: Constraint, rows) -> Set[FrozenSet[Fact]]:
+    """Slice flat violation-query rows back into body-image fact sets."""
+    edges: Set[FrozenSet[Fact]] = set()
+    for row in rows:
+        facts: List[Fact] = []
+        offset = 0
+        for atom in constraint.body:
+            facts.append(Fact(atom.relation, tuple(row[offset : offset + atom.arity])))
+            offset += atom.arity
+        edges.add(frozenset(facts))
+    return edges
+
+
 def violating_fact_sets(
     backend: SQLiteBackend,
     constraint: Constraint,
@@ -92,15 +124,7 @@ def violating_fact_sets(
 ) -> FrozenSet[FrozenSet[Fact]]:
     """The body images of every violation of *constraint*, via SQL."""
     sql, params = compile_violation_query(constraint, relation_map)
-    edges: Set[FrozenSet[Fact]] = set()
-    for row in backend.execute(sql, params):
-        facts: List[Fact] = []
-        offset = 0
-        for atom in constraint.body:
-            facts.append(Fact(atom.relation, tuple(row[offset : offset + atom.arity])))
-            offset += atom.arity
-        edges.add(frozenset(facts))
-    return frozenset(edges)
+    return frozenset(_rows_to_edges(constraint, backend.execute(sql, params)))
 
 
 def conflict_hypergraph_sql(
@@ -117,13 +141,15 @@ def conflict_hypergraph_sql(
     return frozenset(edges)
 
 
-def conflict_components_sql(
-    backend: SQLiteBackend,
-    constraints: ConstraintSet,
-    relation_map: Optional[Mapping[str, str]] = None,
+def components_from_edges(
+    edges: Iterable[FrozenSet[Fact]],
 ) -> Tuple[FrozenSet[Fact], ...]:
-    """Connected components of the SQL-detected conflict hypergraph."""
-    edges = conflict_hypergraph_sql(backend, constraints, relation_map)
+    """Connected components of a conflict hypergraph given as edge sets.
+
+    Pure in-memory union-find, shared by the full SQL detection path and
+    the incremental one (recomputing components after a delta touches no
+    SQL at all — only the maintained edge sets).
+    """
     parent: Dict[Fact, Fact] = {}
 
     def find(fact: Fact) -> Fact:
@@ -148,3 +174,167 @@ def conflict_components_sql(
             key=lambda g: sorted(map(str, g)),
         )
     )
+
+
+def conflict_components_sql(
+    backend: SQLiteBackend,
+    constraints: ConstraintSet,
+    relation_map: Optional[Mapping[str, str]] = None,
+) -> Tuple[FrozenSet[Fact], ...]:
+    """Connected components of the SQL-detected conflict hypergraph."""
+    return components_from_edges(
+        conflict_hypergraph_sql(backend, constraints, relation_map)
+    )
+
+
+class SQLDeltaViolationIndex:
+    """Incremental violation maintenance inside SQLite.
+
+    The SQL mirror of :class:`repro.core.incremental.DeltaViolationIndex`
+    for TGD-free constraint sets: the per-constraint violation edge sets
+    (body images) are materialized once by full self-joins, then kept
+    current under fact-level deltas:
+
+    - a **deletion** kills exactly the edges meeting the removed facts —
+      resolved in memory, no SQL at all;
+    - an **insertion** can only create violations *using* an inserted
+      fact, so the new rows are staged into a per-relation ``TEMP`` delta
+      table and, for each constraint whose body mentions a touched
+      relation, one pinned join per matching body atom runs with that
+      atom ranging over the delta table (everything else over the live
+      view given by *relation_map*);
+    - constraints mentioning none of the touched relations are skipped
+      entirely (the per-constraint touched-relation filter).
+
+    The caller is responsible for ordering: apply the delta to the live
+    view (base tables / deletion side-tables) *before* calling
+    :meth:`apply_insert`, and call :meth:`apply_delete` for facts that
+    just left the live view.
+    """
+
+    DELTA_SUFFIX = "__delta"
+
+    def __init__(
+        self,
+        backend: SQLiteBackend,
+        constraints: ConstraintSet,
+        relation_map: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if not constraints.deletion_only():
+            raise ValueError(
+                "SQL-incremental violation maintenance requires TGD-free "
+                "constraints (flat self-joins)"
+            )
+        self.backend = backend
+        self.constraints = constraints
+        self.relation_map = dict(relation_map) if relation_map else None
+        self._edges: Dict[Constraint, Set[FrozenSet[Fact]]] = {
+            c: set(violating_fact_sets(backend, c, relation_map))
+            for c in constraints
+        }
+        self._delta_tables: Dict[Tuple[str, int], str] = {}
+        #: Diagnostics: full joins run, pinned delta joins run, and
+        #: constraints skipped by the touched-relation filter.
+        self.full_queries = len(self._edges)
+        self.delta_queries = 0
+        self.skipped_constraints = 0
+
+    # ------------------------------------------------------------------
+    # Current state
+    # ------------------------------------------------------------------
+    def current(self) -> FrozenSet[FrozenSet[Fact]]:
+        """The maintained conflict hypergraph (all constraints)."""
+        out: Set[FrozenSet[Fact]] = set()
+        for edges in self._edges.values():
+            out.update(edges)
+        return frozenset(out)
+
+    def edges_of(self, constraint: Constraint) -> FrozenSet[FrozenSet[Fact]]:
+        """The maintained edge set of one constraint."""
+        return frozenset(self._edges[constraint])
+
+    def components(self) -> Tuple[FrozenSet[Fact], ...]:
+        """Connected components of the maintained hypergraph."""
+        return components_from_edges(self.current())
+
+    def refresh(self) -> None:
+        """Rebuild every edge set by full self-joins (resync point)."""
+        for constraint in self._edges:
+            self._edges[constraint] = set(
+                violating_fact_sets(self.backend, constraint, self.relation_map)
+            )
+            self.full_queries += 1
+
+    # ------------------------------------------------------------------
+    # Deltas
+    # ------------------------------------------------------------------
+    def apply_delete(self, facts: Iterable[Fact]) -> None:
+        """Facts just removed from the live view: drop dead edges."""
+        removed = frozenset(facts)
+        if not removed:
+            return
+        touched = frozenset(f.relation for f in removed)
+        for constraint, edges in self._edges.items():
+            if not (touched & constraint.body_relations):
+                self.skipped_constraints += 1
+                continue
+            self._edges[constraint] = {
+                edge for edge in edges if edge.isdisjoint(removed)
+            }
+
+    def apply_insert(self, facts: Iterable[Fact]) -> None:
+        """Facts just added to the live view: find the edges they create."""
+        added = frozenset(facts)
+        if not added:
+            return
+        by_relation: Dict[str, List[Fact]] = {}
+        for fact in added:
+            by_relation.setdefault(fact.relation, []).append(fact)
+        staged: Set[Tuple[str, int]] = set()
+        for constraint, edges in self._edges.items():
+            if not (set(by_relation) & constraint.body_relations):
+                self.skipped_constraints += 1
+                continue
+            for index, atom in enumerate(constraint.body):
+                rows = by_relation.get(atom.relation)
+                if not rows:
+                    continue
+                key = (atom.relation, atom.arity)
+                table = self._delta_table(*key)
+                if key not in staged:
+                    self._stage(table, atom.arity, rows)
+                    staged.add(key)
+                sql, params = compile_violation_query(
+                    constraint,
+                    self.relation_map,
+                    delta_atom=index,
+                    delta_table=table,
+                )
+                edges.update(
+                    _rows_to_edges(constraint, self.backend.execute(sql, params))
+                )
+                self.delta_queries += 1
+
+    # ------------------------------------------------------------------
+    # Temp delta tables
+    # ------------------------------------------------------------------
+    def _delta_table(self, relation: str, arity: int) -> str:
+        key = (relation, arity)
+        table = self._delta_tables.get(key)
+        if table is None:
+            table = f"{_check_name(relation)}{self.DELTA_SUFFIX}"
+            columns = ", ".join(f"c{i}" for i in range(arity))
+            cursor = self.backend.connection.cursor()
+            cursor.execute(f"DROP TABLE IF EXISTS temp.{table}")
+            cursor.execute(f"CREATE TEMP TABLE {table} ({columns})")
+            self._delta_tables[key] = table
+        return table
+
+    def _stage(self, table: str, arity: int, facts: Sequence[Fact]) -> None:
+        cursor = self.backend.connection.cursor()
+        cursor.execute(f"DELETE FROM {table}")
+        placeholders = ", ".join("?" for _ in range(arity))
+        cursor.executemany(
+            f"INSERT INTO {table} VALUES ({placeholders})",
+            [fact.values for fact in facts],
+        )

@@ -4,6 +4,12 @@ import random
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): map a test to a paper experiment"
+    )
+
 from repro import (
     ConstraintSet,
     Database,

@@ -1,0 +1,202 @@
+"""Equivalence properties of the delta-maintained operation index.
+
+Mirrors ``test_incremental_props.py`` one level up: the acceptance bar
+for :class:`repro.core.incremental.DeltaOperationIndex` is observational
+equivalence with a full
+:func:`repro.core.justified.enumerate_justified_operations` recompute —
+on random instances, composed along whole operation chains, and through
+the engine (identical extensions at every state of random walks).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import ConstraintSet, key, non_symmetric, parse_constraints
+from repro.core.engine import RepairEngine, _operation_sort_key
+from repro.core.incremental import DeltaOperationIndex
+from repro.core.justified import enumerate_justified_operations
+from repro.core.operations import Operation
+from repro.core.sampling import sample_walk
+from repro.core.generators import UniformGenerator
+from repro.core.violations import violations
+from repro.db.base import base_constants
+from repro.db.facts import Database, Fact
+
+from tests.property.strategies import key_sigma, key_violation_databases
+
+CONSTANTS = ("a", "b", "c")
+
+CONSTRAINT_POOL = [
+    lambda: ConstraintSet(key("R", 2, [0])),
+    lambda: ConstraintSet([non_symmetric("R")]),
+    lambda: ConstraintSet(parse_constraints("R(x, y) -> exists z S(x, z)")),
+    lambda: ConstraintSet(parse_constraints("S(x, y) -> T(x)")),
+    lambda: ConstraintSet(parse_constraints("S(x, y), S(x, z) -> y = z")),
+    lambda: ConstraintSet(
+        parse_constraints(
+            """
+            R(x, y) -> exists z S(x, z)
+            R(x, y), R(x, z) -> y = z
+            S(x, y), R(y, x) -> false
+            """
+        )
+    ),
+    lambda: ConstraintSet(
+        parse_constraints(
+            """
+            S(x, y) -> T(y)
+            T(x), R(x, x) -> false
+            """
+        )
+    ),
+]
+
+
+def _random_fact(rng: random.Random) -> Fact:
+    relation = rng.choice(["R", "S", "T"])
+    arity = 1 if relation == "T" else 2
+    return Fact(relation, tuple(rng.choice(CONSTANTS) for _ in range(arity)))
+
+
+def _random_instance(rng: random.Random):
+    sigma = rng.choice(CONSTRAINT_POOL)()
+    db = Database(_random_fact(rng) for _ in range(rng.randint(0, 7)))
+    if rng.random() < 0.5 and len(db):
+        count = rng.randint(1, min(2, len(db)))
+        op = Operation.delete(rng.sample(sorted(db.facts, key=str), count))
+    else:
+        op = Operation.insert(
+            frozenset(_random_fact(rng) for _ in range(rng.randint(1, 2)))
+        )
+    return db, sigma, op
+
+
+def _reference_ops(db, sigma, constants):
+    return enumerate_justified_operations(db, sigma, constants, violations(db, sigma))
+
+
+def test_full_state_equals_enumeration_on_240_random_instances():
+    """The index's from-scratch build is the paper's ``JustOp`` set."""
+    rng = random.Random(20180611)
+    checked = 0
+    for _ in range(240):
+        db, sigma, _ = _random_instance(rng)
+        constants = base_constants(db, sigma)
+        index = DeltaOperationIndex(sigma, constants)
+        state = index.full_state(db, violations(db, sigma), _operation_sort_key)
+        assert frozenset(state.ordered) == _reference_ops(db, sigma, constants)
+        assert list(state.ordered) == sorted(state.ordered, key=_operation_sort_key)
+        checked += 1
+    assert checked == 240
+
+
+def test_delta_composes_along_operation_chains():
+    """state_after applied step-by-step stays exact over whole chains."""
+    rng = random.Random(11)
+    for _ in range(60):
+        db, sigma, _ = _random_instance(rng)
+        constants = base_constants(db, sigma)
+        index = DeltaOperationIndex(sigma, constants)
+        current = index.full_state(db, violations(db, sigma), _operation_sort_key)
+        for _ in range(4):
+            _, _, op = _random_instance(rng)
+            new_db = op.apply(db)
+            new_violations = violations(new_db, sigma)
+            current = index.state_after(
+                current, op, new_db, new_violations, _operation_sort_key
+            )
+            reference = DeltaOperationIndex(sigma, constants).full_state(
+                new_db, new_violations, _operation_sort_key
+            )
+            assert current.by_violation == reference.by_violation
+            assert current.counts == reference.counts
+            assert current.ordered == reference.ordered
+            db = new_db
+
+
+def test_delta_actually_reuses_entries():
+    """The point of the index: surviving violations are not re-derived."""
+    sigma = ConstraintSet(key("R", 2, [0]))
+    db = Database.of(
+        Fact("R", ("a", "b")),
+        Fact("R", ("a", "c")),
+        Fact("R", ("b", "b")),
+        Fact("R", ("b", "c")),
+    )
+    constants = base_constants(db, sigma)
+    index = DeltaOperationIndex(sigma, constants)
+    state = index.full_state(db, violations(db, sigma), _operation_sort_key)
+    op = Operation.delete(Fact("R", ("a", "b")))
+    new_db = op.apply(db)
+    before = index.derivations
+    index.state_after(state, op, new_db, violations(new_db, sigma), _operation_sort_key)
+    assert index.derivations == before  # the b-group violations were reused
+    assert index.reuses > 0
+
+
+@given(key_violation_databases(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_engine_extensions_match_enumeration_along_walks(db, seed):
+    """At every state of a random walk, the engine's (index-served)
+    extensions equal the sorted full enumeration."""
+    sigma = key_sigma()
+    engine = RepairEngine(db, sigma)
+    chain = UniformGenerator(sigma).chain(db)
+    rng = random.Random(seed)
+    state = chain.initial_state()
+    while True:
+        expected = tuple(
+            sorted(
+                enumerate_justified_operations(
+                    state.db, sigma, engine.base_constants, state.current_violations
+                ),
+                key=_operation_sort_key,
+            )
+        )
+        assert engine.extensions(state) == expected
+        transitions = chain.transitions(state)
+        if not transitions:
+            break
+        op = rng.choice(transitions)[0]
+        state = chain.step(state, op)
+
+
+def test_engine_extensions_match_reference_with_tgds():
+    """Insertion-capable chains (TGD heads in play) agree with a fresh
+    per-state reference engine too."""
+    sigma = ConstraintSet(
+        parse_constraints(
+            "R(x, y) -> exists z S(x, y, z)\nR(x, y), R(x, z) -> y = z"
+        )
+    )
+    db = Database.of(
+        Fact("R", ("a", "b")), Fact("R", ("a", "c")), Fact("T", ("a", "b"))
+    )
+    engine = RepairEngine(db, sigma)
+    rng = random.Random(3)
+    for trial in range(8):
+        state = engine.initial_state()
+        walk_rng = random.Random(trial)
+        while True:
+            fresh = RepairEngine(state.db, sigma)
+            fresh.base_constants = engine.base_constants
+            reference_state = state
+            assert engine.extensions(state) == tuple(
+                op
+                for op in sorted(
+                    enumerate_justified_operations(
+                        state.db,
+                        sigma,
+                        engine.base_constants,
+                        state.current_violations,
+                    ),
+                    key=_operation_sort_key,
+                )
+                if engine._extension_is_valid(reference_state, op)
+            )
+            ops = engine.extensions(state)
+            if not ops or state.depth >= 5:
+                break
+            state = engine.apply(state, walk_rng.choice(ops))

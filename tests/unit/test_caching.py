@@ -1,0 +1,111 @@
+"""Cache configuration, hit/miss counters, and the diagnostics report."""
+
+import pytest
+
+from repro import Database, Fact, UniformGenerator
+from repro.constraints import ConstraintSet, key
+from repro.core.caching import LRUCache, env_cache_limit, resolve_cache_limit
+from repro.core.engine import RepairEngine
+from repro.core.sampling import sample_walk
+from repro.diagnostics import CacheReport, cache_report
+
+
+class TestEnvCacheLimit:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_LIMIT", raising=False)
+        assert env_cache_limit("REPRO_TEST_LIMIT", 123) == 123
+
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_LIMIT", "77")
+        assert env_cache_limit("REPRO_TEST_LIMIT", 123) == 77
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_LIMIT", "lots")
+        with pytest.raises(ValueError, match="REPRO_TEST_LIMIT"):
+            env_cache_limit("REPRO_TEST_LIMIT", 123)
+
+    def test_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_LIMIT", "0")
+        with pytest.raises(ValueError, match="positive"):
+            env_cache_limit("REPRO_TEST_LIMIT", 123)
+
+    def test_explicit_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_LIMIT", "77")
+        assert resolve_cache_limit(5, "REPRO_TEST_LIMIT", 123) == 5
+        assert resolve_cache_limit(None, "REPRO_TEST_LIMIT", 123) == 77
+
+
+class TestLRUCounters:
+    def test_hits_and_misses_are_counted(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 1, "size": 1, "limit": 4}
+
+    def test_eviction_keeps_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)  # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+
+def _engine(**kwargs) -> RepairEngine:
+    sigma = ConstraintSet(key("R", 2, [0]))
+    db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+    return RepairEngine(db, sigma, **kwargs)
+
+
+class TestEngineCacheConfiguration:
+    def test_kwarg_overrides(self):
+        engine = _engine(
+            violation_cache_limit=11,
+            step_cache_limit=12,
+            operation_map_cache_limit=13,
+        )
+        assert engine._violation_cache.limit == 11
+        assert engine._step_cache.limit == 12
+        assert engine._opmap_cache.limit == 13
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VIOLATION_CACHE_LIMIT", "21")
+        monkeypatch.setenv("REPRO_STEP_CACHE_LIMIT", "22")
+        monkeypatch.setenv("REPRO_OPERATION_MAP_CACHE_LIMIT", "23")
+        engine = _engine()
+        assert engine._violation_cache.limit == 21
+        assert engine._step_cache.limit == 22
+        assert engine._opmap_cache.limit == 23
+
+    def test_defaults(self):
+        engine = _engine()
+        assert engine._violation_cache.limit == RepairEngine.VIOLATION_CACHE_LIMIT
+        assert engine._step_cache.limit == RepairEngine.STEP_CACHE_LIMIT
+
+
+class TestCacheReport:
+    def test_report_covers_engine_and_chain(self):
+        sigma = ConstraintSet(key("R", 2, [0]))
+        db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        chain = UniformGenerator(sigma).chain(db)
+        for _ in range(5):
+            sample_walk(chain)
+        report = cache_report(chain)
+        assert isinstance(report, CacheReport)
+        for name in ("violations", "steps", "operation_maps", "transitions"):
+            assert name in report.per_cache
+        assert report.per_cache["transitions"]["hits"] > 0
+        for name in ("operation_sort_keys", "deletion_ops", "fact_sort_keys"):
+            assert name in report.shared
+        text = report.format()
+        assert "transitions" in text and "hit rate" in text
+
+    def test_report_accepts_bare_engine(self):
+        engine = _engine()
+        engine.initial_state()
+        report = cache_report(engine)
+        assert "violations" in report.per_cache
+        assert "transitions" not in report.per_cache

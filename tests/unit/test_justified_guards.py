@@ -1,0 +1,70 @@
+"""The subset-enumeration guard and singleton fast path (Definition 3)."""
+
+import pytest
+
+from repro.constraints import ConstraintSet, key, parse_constraints
+from repro.core.errors import FactSetTooLargeError
+from repro.core import justified
+from repro.core.justified import (
+    _nonempty_subsets,
+    _proper_nonempty_subsets,
+    is_justified,
+    justified_deletions_for,
+)
+from repro.core.operations import Operation
+from repro.core.violations import violations
+from repro.db.facts import Database, Fact
+
+
+def _key_violation():
+    sigma = ConstraintSet(key("R", 2, [0]))
+    db = Database.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+    found = violations(db, sigma)
+    return db, sigma, next(iter(found))
+
+
+class TestSizeGuard:
+    def test_oversized_sets_raise_instead_of_enumerating(self):
+        facts = frozenset(Fact("R", (f"v{i}", "x")) for i in range(25))
+        with pytest.raises(FactSetTooLargeError, match="2\\^25"):
+            list(_nonempty_subsets(facts))
+        with pytest.raises(FactSetTooLargeError):
+            list(_proper_nonempty_subsets(facts))
+
+    def test_guard_is_tunable(self, monkeypatch):
+        monkeypatch.setattr(justified, "MAX_SUBSET_FACTS", 2)
+        facts = frozenset(Fact("R", (f"v{i}", "x")) for i in range(3))
+        with pytest.raises(FactSetTooLargeError, match="REPRO_MAX_SUBSET_FACTS"):
+            list(_nonempty_subsets(facts))
+
+    def test_sets_at_the_bound_still_enumerate(self):
+        facts = frozenset(Fact("R", (f"v{i}",)) for i in range(3))
+        assert len(list(_nonempty_subsets(facts))) == 7
+        assert len(list(_proper_nonempty_subsets(facts))) == 6
+
+
+class TestSingletonFastPath:
+    def test_singleton_deletion_inside_body_image_is_justified(self):
+        db, sigma, violation = _key_violation()
+        fact = next(iter(violation.facts))
+        assert is_justified(Operation.delete(fact), db, sigma)
+
+    def test_singleton_outside_body_image_is_not(self):
+        db, sigma, _ = _key_violation()
+        stranger = Fact("R", ("z", "z"))
+        assert not is_justified(Operation.delete(stranger), db | {stranger}, sigma)
+
+    def test_fast_path_agrees_with_subset_semantics_on_pairs(self):
+        """The early exit must not change any answer: cross-check every
+        deletion candidate on a DC whose body image has three facts."""
+        sigma = ConstraintSet(
+            parse_constraints("R(x, y), R(y, z), R(z, x) -> false")
+        )
+        db = Database.of(
+            Fact("R", ("a", "b")), Fact("R", ("b", "c")), Fact("R", ("c", "a"))
+        )
+        found = violations(db, sigma)
+        assert found
+        for violation in found:
+            for op in justified_deletions_for(violation):
+                assert is_justified(op, db, sigma)
