@@ -9,15 +9,21 @@ and ``bench_e11_sql_sampler.py`` (the SQL sampling campaign, per draw,
 in both the legacy fresh-chain-per-draw mode and the incremental
 chain-reusing mode) — first as a pytest pass over the benchmark files
 themselves, then as directly timed scenarios, and writes the results to
-a JSON file (default ``BENCH_PR2.json`` in the repository root) so
+a JSON file (default ``BENCH_PR3.json`` in the repository root) so
 subsequent PRs can compare against this PR's numbers.  When
-``BENCH_PR1.json`` is present its scenario timings are folded in as the
-previous-PR baseline (``speedup_vs_pr1``).
+``BENCH_PR2.json`` is present its scenario timings are folded in as the
+previous-PR baseline (``speedup_vs_pr2``).
+
+PR 3 additions: ``--backend {sqlite,postgres,memory}`` runs the E11
+campaign scenario against the selected pluggable backend (per-backend
+keys land in the report), and ``--adaptive`` times/records the
+fixed-Hoeffding vs empirical-Bernstein draw counts on the E10 and E11
+workloads (``adaptive_draws`` in the report).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
-    [--repeat N] [--skip-pytest] [--quick]
+    [--repeat N] [--skip-pytest] [--quick] [--backend NAME] [--adaptive]
 """
 
 from __future__ import annotations
@@ -26,7 +32,6 @@ import argparse
 import json
 import platform
 import random
-import statistics
 import subprocess
 import sys
 import time
@@ -41,9 +46,17 @@ from repro import (  # noqa: E402
     UniformGenerator,
     explore_chain,
 )
-from repro.core.sampling import estimate_sequence_lengths  # noqa: E402
+from repro.analysis.hoeffding import sample_size  # noqa: E402
+from repro.core.sampling import (  # noqa: E402
+    approximate_cp,
+    estimate_sequence_lengths,
+)
 from repro.queries import parse_cq  # noqa: E402
-from repro.sql import KeyRepairSampler, SamplerPolicy, SQLiteBackend  # noqa: E402
+from repro.sql import (  # noqa: E402
+    KeyRepairSampler,
+    SamplerPolicy,
+    create_backend,
+)
 from repro.workloads import (  # noqa: E402
     key_conflict_workload,
     paper_preference_database,
@@ -141,13 +154,15 @@ def scenario_e10(repeat: int, quick: bool = False) -> dict:
     return out
 
 
-def scenario_e11(repeat: int, quick: bool = False) -> dict:
-    """One SQL sampling campaign, legacy vs incremental.
+def scenario_e11(repeat: int, quick: bool = False, backend_name: str = "sqlite") -> dict:
+    """One SQL sampling campaign, legacy vs incremental, per backend.
 
     ``legacy`` rebuilds each conflict group's repairing chain on every
     draw (the PR-1 behaviour, via ``reuse_chains=False``); ``incremental``
     keeps one chain per group for the whole campaign and batches the
-    draws group by group over it.
+    draws group by group over it.  Scenario keys carry the backend name
+    for non-sqlite runs so per-backend trajectories accumulate alongside
+    the sqlite baseline.
     """
     runs = 10 if quick else 40
     groups = 40 if quick else 150
@@ -156,10 +171,10 @@ def scenario_e11(repeat: int, quick: bool = False) -> dict:
         clean_rows=clean, conflict_groups=groups, group_size=3, arity=3, seed=17
     )
     query = parse_cq("Q(x) :- R(x, y, z)")
+    suffix = "" if backend_name == "sqlite" else f"_{backend_name}"
     out = {}
     for label, reuse in (("legacy", False), ("incremental", True)):
-        backend = SQLiteBackend()
-        backend.load(workload.database, workload.schema)
+        backend = workload.load_into(create_backend(backend_name))
         sampler = KeyRepairSampler(
             backend,
             workload.schema,
@@ -174,8 +189,75 @@ def scenario_e11(repeat: int, quick: bool = False) -> dict:
             assert report.runs == runs
 
         seconds = _timed(run, repeat)
-        out[f"e11_sql_sampler_{label}"] = seconds
-        out[f"e11_seconds_per_draw_{label}"] = seconds / runs
+        out[f"e11_sql_sampler_{label}{suffix}"] = seconds
+        out[f"e11_seconds_per_draw_{label}{suffix}"] = seconds / runs
+        backend.close()
+    return out
+
+
+def scenario_adaptive(quick: bool = False, backend_name: str = "sqlite") -> dict:
+    """Fixed-Hoeffding vs empirical-Bernstein draw counts (E10 + E11).
+
+    Low-variance streams are where the adaptive rule pays: the E10-style
+    ``CP(t) = 1`` candidate and the E11 campaign under ``KEEP_ONE``
+    (every key survives every repair) stop at the zero-variance EB rate,
+    while the high-variance ``OPERATIONAL_UNIFORM`` campaign is capped
+    at — never above — the Hoeffding count.
+    """
+    epsilon, delta = 0.05, 0.1
+    hoeffding = sample_size(epsilon, delta)
+    out = {"epsilon": epsilon, "delta": delta, "hoeffding_draws": hoeffding}
+
+    # E10 shape: CP of a clean-key candidate (a zero-variance stream).
+    groups = 4 if quick else 8
+    workload = key_conflict_workload(
+        clean_rows=20, conflict_groups=groups, group_size=2, arity=2, seed=10
+    )
+    clean_key = sorted(
+        f.values[0]
+        for f in workload.database
+        if sum(1 for g in workload.database if g.values[0] == f.values[0]) == 1
+    )[0]
+    query2 = parse_cq("Q(x) :- R(x, y)")
+    result = approximate_cp(
+        workload.database,
+        UniformGenerator(workload.constraints),
+        query2,
+        (clean_key,),
+        epsilon=epsilon,
+        delta=delta,
+        rng=random.Random(1),
+        adaptive=True,
+    )
+    assert result.estimate == 1.0  # the (eps, delta) guarantee, trivially met
+    out["e10_cp_adaptive_draws"] = result.samples
+
+    # E11 shape: full campaigns over the SQL stack.
+    runs_workload = key_conflict_workload(
+        clean_rows=100 if quick else 400,
+        conflict_groups=10 if quick else 30,
+        group_size=3,
+        arity=3,
+        seed=11,
+    )
+    query3 = parse_cq("Q(x) :- R(x, y, z)")
+    for label, policy in (
+        ("keep_one", SamplerPolicy.KEEP_ONE_UNIFORM),
+        ("operational", SamplerPolicy.OPERATIONAL_UNIFORM),
+    ):
+        backend = runs_workload.load_into(create_backend(backend_name))
+        sampler = KeyRepairSampler(
+            backend,
+            runs_workload.schema,
+            [runs_workload.key_spec],
+            policy=policy,
+            rng=random.Random(6),
+            adaptive=True,
+        )
+        report = sampler.run(query3, epsilon=epsilon, delta=delta)
+        assert report.runs <= hoeffding
+        out[f"e11_{label}_adaptive_draws"] = report.runs
+        out[f"e11_{label}_stopped_early"] = report.stopped_early
         backend.close()
     return out
 
@@ -206,8 +288,8 @@ def run_pytest_pass() -> dict:
     return out
 
 
-def _pr1_baseline() -> dict:
-    path = REPO_ROOT / "BENCH_PR1.json"
+def _previous_baseline(filename: str) -> dict:
+    path = REPO_ROOT / filename
     if not path.exists():
         return {}
     try:
@@ -221,7 +303,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR2.json",
+        default=REPO_ROOT / "BENCH_PR3.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -237,6 +319,17 @@ def main() -> int:
         action="store_true",
         help="CI smoke mode: fewer sizes, single repetition, no pytest pass",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["sqlite", "postgres", "memory"],
+        default="sqlite",
+        help="SQL backend for the E11 campaign scenario",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="also record fixed-vs-adaptive (empirical-Bernstein) draw counts",
+    )
     args = parser.parse_args()
     if args.quick:
         args.repeat = 1
@@ -247,33 +340,30 @@ def main() -> int:
         ("E1", scenario_e1),
         ("E5", scenario_e5),
         ("E10", scenario_e10),
-        ("E11", scenario_e11),
     ):
         print(f"timing {label} ...", flush=True)
         scenarios.update(fn(args.repeat, args.quick))
+    print(f"timing E11 ({args.backend}) ...", flush=True)
+    scenarios.update(scenario_e11(args.repeat, args.quick, args.backend))
 
-    pr1_baseline = _pr1_baseline()
-    speedup_vs_pr1 = {
-        key: round(pr1_baseline[key] / value, 2)
+    pr2_baseline = _previous_baseline("BENCH_PR2.json")
+    speedup_vs_pr2 = {
+        key: round(pr2_baseline[key] / value, 2)
         for key, value in scenarios.items()
-        if key in pr1_baseline and value > 0
+        if key in pr2_baseline and value > 0
     }
-    e10_step_speedups = sorted(
-        ratio
-        for key, ratio in speedup_vs_pr1.items()
-        if key.startswith("e10_sample_walks_groups_")
-    )
 
     report = {
-        "pr": 2,
+        "pr": 3,
         "description": (
-            "delta-maintained justified-operation sets + incremental "
-            "SQL-scale sampling"
+            "pluggable SQL backend protocol (sqlite/postgres/memory) + "
+            "persistent campaigns with empirical-Bernstein adaptive stopping"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeat": args.repeat,
         "quick": args.quick,
+        "backend": args.backend,
         "scenarios_seconds": scenarios,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS,
         "speedup_vs_seed": {
@@ -281,21 +371,18 @@ def main() -> int:
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
-        "pr1_baseline_seconds": pr1_baseline,
-        "speedup_vs_pr1": speedup_vs_pr1,
+        "pr2_baseline_seconds": pr2_baseline,
+        "speedup_vs_pr2": speedup_vs_pr2,
     }
-    if e10_step_speedups:
-        # The walks are seeded (identical step counts across PRs), so the
-        # wall-clock ratio *is* the per-step successor-enumeration ratio.
-        report["e10_median_per_step_speedup_vs_pr1"] = round(
-            statistics.median(e10_step_speedups), 2
-        )
     if "e11_seconds_per_draw_legacy" in scenarios:
         report["e11_per_draw_speedup"] = round(
             scenarios["e11_seconds_per_draw_legacy"]
             / scenarios["e11_seconds_per_draw_incremental"],
             2,
         )
+    if args.adaptive:
+        print(f"recording adaptive draw counts ({args.backend}) ...", flush=True)
+        report["adaptive_draws"] = scenario_adaptive(args.quick, args.backend)
     if not args.skip_pytest:
         print("running pytest pass over benchmark files ...", flush=True)
         report["pytest_pass"] = run_pytest_pass()
@@ -304,13 +391,19 @@ def main() -> int:
     print(f"wrote {args.output}")
     for key, value in sorted(scenarios.items()):
         print(f"  {key}: {value * 1000:.2f} ms")
-    if "e10_median_per_step_speedup_vs_pr1" in report:
-        print(
-            "  E10 median per-step speedup vs PR1: "
-            f"{report['e10_median_per_step_speedup_vs_pr1']}x"
-        )
     if "e11_per_draw_speedup" in report:
         print(f"  E11 per-draw speedup: {report['e11_per_draw_speedup']}x")
+    if "adaptive_draws" in report:
+        adaptive = report["adaptive_draws"]
+        print(
+            "  adaptive draws (hoeffding "
+            f"{adaptive['hoeffding_draws']}): "
+            + ", ".join(
+                f"{k.replace('_adaptive_draws', '')}={v}"
+                for k, v in sorted(adaptive.items())
+                if k.endswith("_adaptive_draws")
+            )
+        )
     return 0
 
 

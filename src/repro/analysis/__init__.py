@@ -1,5 +1,12 @@
-"""Analysis toolkit: Hoeffding bounds and empirical error measurement."""
+"""Analysis toolkit: Hoeffding/Bernstein bounds and error measurement."""
 
+from repro.analysis.bernstein import (
+    BernsteinStopper,
+    adaptive_sample_size_bound,
+    bernoulli_sample_variance,
+    checkpoint_schedule,
+    empirical_bernstein_radius,
+)
 from repro.analysis.hoeffding import (
     sample_size,
     additive_error_bound,
@@ -15,6 +22,11 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "BernsteinStopper",
+    "adaptive_sample_size_bound",
+    "bernoulli_sample_variance",
+    "checkpoint_schedule",
+    "empirical_bernstein_radius",
     "sample_size",
     "additive_error_bound",
     "confidence_level",

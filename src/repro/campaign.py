@@ -1,0 +1,469 @@
+"""Sampling campaigns: warm chains, persistence, adaptive stopping.
+
+A *campaign* is the unit of amortization for the Section 5 sampling
+scheme.  PR 1 batched walks over one shared chain; PR 2 kept one chain
+per conflict group alive for a whole ``run()``; this module unifies
+those mechanisms — plus the Hoeffding budgeting — into one subsystem
+shared by :func:`repro.core.sampling.approximate_cp` /
+:func:`~repro.core.sampling.approximate_oca` and both SQL samplers
+(:class:`repro.sql.sampler.KeyRepairSampler`,
+:class:`repro.sql.generic.ConstraintRepairSampler`).
+
+A :class:`SamplingCampaign`
+
+- **owns the warm chains**: one repairing chain per conflict group /
+  component, cached across draws *and* across ``run()`` calls;
+- **owns per-group RNG streams**: each group draws from its own
+  deterministic stream (seeded from the campaign seed and the group
+  key), so draw sequences are independent of batch boundaries — the
+  property that makes checkpoint/resume reproduce uninterrupted runs
+  bit for bit;
+- **checkpoints to disk** (pickle, atomic replace): chains, RNG states,
+  and partial tallies, guarded by a schema/constraint *fingerprint* so
+  stale or mismatched checkpoints are rejected loudly
+  (:class:`CheckpointMismatchError`) instead of silently skewing CP
+  estimates;
+- **shards draws across worker processes** per group, through
+  :func:`repro.core.sampling.sample_many`'s fork-based fan-out (sharded
+  campaigns are still i.i.d., but not draw-for-draw identical to serial
+  ones — keep ``processes=None`` when resumability matters);
+- **supports adaptive stopping**: with ``adaptive=True`` the estimation
+  loop draws in geometric batches and stops as soon as the
+  empirical-Bernstein rule (:mod:`repro.analysis.bernstein`) certifies
+  the additive ``(epsilon, delta)`` guarantee — never exceeding the
+  fixed Hoeffding count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.bernstein import BernsteinStopper
+from repro.analysis.hoeffding import sample_size
+from repro.core.chain import RepairingChain
+from repro.core.sampling import Walk, sample_many
+
+#: Bumped whenever the checkpoint payload layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointMismatchError(RuntimeError):
+    """A checkpoint does not belong to this campaign (wrong fingerprint,
+    incompatible version, or corrupt payload)."""
+
+
+def campaign_fingerprint(*parts: Any) -> str:
+    """A stable digest identifying a campaign's semantic inputs.
+
+    Samplers feed it the schema fingerprint, the constraint set, the
+    policy/generator, and any trust assignment; resuming a checkpoint
+    whose fingerprint differs raises :class:`CheckpointMismatchError`.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def generator_signature(generator: Any) -> Tuple:
+    """Best-effort semantic identity of a chain generator.
+
+    Covers the class plus the configuration the in-repo generators
+    carry (constraint set, trust mapping, preference relation).  A
+    generator with an opaque payload (e.g. ``FunctionGenerator``'s
+    closure) additionally contributes its object identity, so two
+    distinct opaque generators never alias each other's warm chains or
+    checkpoints — at the cost of cross-process reuse for that class.
+    """
+    parts: List[Any] = [type(generator).__qualname__]
+    constraints = getattr(generator, "constraints", None)
+    if constraints is not None:
+        parts.append(tuple(sorted(str(c) for c in constraints)))
+    trust = getattr(generator, "trust", None)
+    if trust is not None:
+        try:
+            parts.append(tuple(sorted((str(k), str(v)) for k, v in trust.items())))
+        except AttributeError:
+            parts.append(("trust", repr(trust)))
+    for attr in ("default_trust", "relation"):
+        value = getattr(generator, attr, None)
+        if value is not None:
+            parts.append((attr, str(value)))
+    if hasattr(generator, "_fn"):
+        parts.append(("identity", id(generator)))
+    return tuple(parts)
+
+
+def _key_str(key: Any) -> str:
+    """A deterministic, process-independent string form of a group key.
+
+    Collection parts are length-prefixed before joining, so the encoding
+    is injective even when member strings contain the separator — two
+    distinct conflict groups can never alias one warm chain / RNG
+    stream.
+    """
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (tuple, list, set, frozenset)):
+        parts = sorted(str(item) for item in key)
+        return "|".join(f"{len(part)}#{part}" for part in parts)
+    return str(key)
+
+
+#: ``draw(batch)`` returns one outcome per draw: an iterable of observed
+#: answer tuples, or ``None`` for a discarded draw (failing walk under
+#: ``allow_failing``).
+DrawFn = Callable[[int], Sequence[Optional[Iterable[Tuple]]]]
+
+
+@dataclass
+class CampaignResult:
+    """The cumulative outcome of a campaign's estimation loop."""
+
+    frequencies: Dict[Tuple, float]
+    counts: Dict[Tuple, int]
+    draws: int
+    valid: int
+    discarded: int
+    target: int
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    adaptive: bool = False
+    stopped_early: bool = False
+    #: False when the loop paused early (``max_draws``) before reaching
+    #: the target or an adaptive stop — resume by calling again.
+    complete: bool = True
+
+
+class SamplingCampaign:
+    """Persistent state for one sampling campaign (see module docs)."""
+
+    def __init__(
+        self,
+        fingerprint: str = "",
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        processes: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        adaptive: bool = False,
+    ) -> None:
+        if seed is None:
+            seed = (rng or random.Random()).getrandbits(64)
+        self.fingerprint = fingerprint
+        self.seed = seed
+        self.processes = processes
+        self.checkpoint_path = checkpoint_path
+        self.adaptive = adaptive
+        self._chains: Dict[str, RepairingChain] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        self.counts: Dict[Tuple, int] = {}
+        self.draws_done = 0
+        self.valid_draws = 0
+        self.discarded = 0
+        #: Identity of the estimand the current tallies belong to (e.g. a
+        #: digest of the compiled query).  Guards against resuming an
+        #: in-progress estimation with a *different* query: merged
+        #: tallies would estimate neither.
+        self._estimation_key: Optional[str] = None
+        #: Whether the last estimation finished (reached its target or an
+        #: adaptive stop).  A finished campaign's next :meth:`estimate`
+        #: starts fresh tallies — while keeping the warm chains and the
+        #: advanced RNG streams, which is what "sharing warm chains
+        #: across campaigns" means.  An unfinished one (interrupted via
+        #: ``max_draws`` or restored mid-run from a checkpoint) resumes.
+        self.estimation_complete = True
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def bind_fingerprint(self, fingerprint: str) -> None:
+        """Claim this campaign for a sampler's semantic inputs.
+
+        A fresh campaign adopts the fingerprint; a campaign restored from
+        a checkpoint (or previously bound) must match it exactly.
+        """
+        if not self.fingerprint:
+            self.fingerprint = fingerprint
+            return
+        if fingerprint != self.fingerprint:
+            raise CheckpointMismatchError(
+                "campaign fingerprint mismatch: the campaign (or its "
+                "checkpoint) was built for a different schema/constraint/"
+                "policy configuration; its warm chains and tallies would "
+                "silently skew the CP estimates"
+            )
+
+    # ------------------------------------------------------------------
+    # Warm chains + per-group RNG streams
+    # ------------------------------------------------------------------
+    def rng_for(self, key: Any) -> random.Random:
+        """The deterministic RNG stream owned by group *key*."""
+        ks = _key_str(key)
+        rng = self._rngs.get(ks)
+        if rng is None:
+            rng = random.Random(f"{self.seed}:{ks}")
+            self._rngs[ks] = rng
+        return rng
+
+    def chain(
+        self, key: Any, factory: Callable[[], RepairingChain]
+    ) -> RepairingChain:
+        """The warm chain for group *key*, built on first use."""
+        ks = _key_str(key)
+        chain = self._chains.get(ks)
+        if chain is None:
+            chain = factory()
+            self._chains[ks] = chain
+        return chain
+
+    def prune_chains(self, live_keys: Iterable[Any]) -> None:
+        """Drop chains whose groups no longer exist (RNG streams are kept
+        so a regenerated group resumes its stream deterministically)."""
+        keep = {_key_str(key) for key in live_keys}
+        for stale in [ks for ks in self._chains if ks not in keep]:
+            del self._chains[stale]
+
+    def walks(self, key: Any, chain: RepairingChain, count: int) -> List[Walk]:
+        """*count* walks of *key*'s chain from its own RNG stream,
+        optionally sharded across worker processes."""
+        return sample_many(chain, count, self.rng_for(key), self.processes)
+
+    # ------------------------------------------------------------------
+    # The estimation loop
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        draw: DrawFn,
+        runs: Optional[int] = None,
+        epsilon: float = 0.1,
+        delta: float = 0.1,
+        adaptive: Optional[bool] = None,
+        max_draws: Optional[int] = None,
+        estimation_key: Optional[str] = None,
+    ) -> CampaignResult:
+        """Accumulate draws until the target (or an adaptive stop).
+
+        Continues from the campaign's current tallies, so calling again
+        after an interruption (or after :meth:`resume`) finishes the
+        remaining draws.  *max_draws* caps this call's consumption (the
+        result then has ``complete=False``); with *adaptive*, draws
+        arrive in geometric batches and stop early when the
+        empirical-Bernstein rule allows.
+
+        *estimation_key* names the estimand (e.g. a digest of the
+        compiled query): resuming *unfinished* tallies under a different
+        key raises :class:`CheckpointMismatchError` instead of silently
+        merging two queries' counts; call :meth:`reset_tallies` first to
+        abandon the in-progress estimation deliberately.
+        """
+        adaptive = self.adaptive if adaptive is None else adaptive
+        target = runs if runs is not None else sample_size(epsilon, delta)
+        if self.estimation_complete and self.draws_done:
+            self.reset_tallies()
+        if self.draws_done and estimation_key != self._estimation_key:
+            # A keyless in-progress estimation vs. a keyed caller (or
+            # vice versa) is also a mismatch — None is an identity here,
+            # not a wildcard.
+            raise CheckpointMismatchError(
+                "the campaign holds unfinished tallies for a different "
+                "estimand (query); resuming would merge incompatible "
+                "counts — reset_tallies() first to discard them"
+            )
+        self._estimation_key = estimation_key
+        # In progress from here: per-batch checkpoints written inside the
+        # loop must record an *unfinished* estimation, so a crash-resume
+        # continues from the checkpointed draws instead of resetting.
+        self.estimation_complete = False
+        stopper = (
+            BernsteinStopper(epsilon, delta, limit=target) if adaptive else None
+        )
+        consumed = 0
+        stopped_early = False
+        while True:
+            if stopper is not None:
+                batch = stopper.next_batch(self.draws_done)
+            else:
+                batch = target - self.draws_done
+            if batch <= 0:
+                break
+            if max_draws is not None:
+                batch = min(batch, max_draws - consumed)
+                if batch <= 0:
+                    break
+            for outcome in draw(batch):
+                self.draws_done += 1
+                consumed += 1
+                if outcome is None:
+                    self.discarded += 1
+                    continue
+                self.valid_draws += 1
+                for answer in outcome:
+                    if type(answer) is not tuple:
+                        answer = tuple(answer)
+                    self.counts[answer] = self.counts.get(answer, 0) + 1
+            if self.checkpoint_path:
+                self.save_checkpoint()
+            if (
+                stopper is not None
+                and self.draws_done < target
+                and stopper.due(self.draws_done)
+                and self.valid_draws >= 2
+                and stopper.should_stop(self.valid_draws, self.counts)
+            ):
+                stopped_early = True
+                break
+        self.estimation_complete = stopped_early or self.draws_done >= target
+        if self.checkpoint_path:
+            self.save_checkpoint()
+        frequencies = (
+            {t: c / self.valid_draws for t, c in self.counts.items()}
+            if self.valid_draws
+            else {}
+        )
+        return CampaignResult(
+            frequencies=frequencies,
+            counts=dict(self.counts),
+            draws=self.draws_done,
+            valid=self.valid_draws,
+            discarded=self.discarded,
+            target=target,
+            epsilon=epsilon,
+            delta=delta,
+            adaptive=adaptive,
+            stopped_early=stopped_early,
+            complete=self.estimation_complete,
+        )
+
+    def reset_tallies(self) -> None:
+        """Start a fresh estimation (warm chains and RNG streams kept)."""
+        self.counts = {}
+        self.draws_done = 0
+        self.valid_draws = 0
+        self.discarded = 0
+        self._estimation_key = None
+        self.estimation_complete = True
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: Optional[str] = None) -> str:
+        """Write the campaign state to disk (atomic replace).
+
+        Chains are included best-effort: a chain whose generator cannot
+        pickle (e.g. closure-based) is dropped from the payload — the
+        resumed campaign rebuilds it cold, with identical draw sequences
+        (the RNG streams, not the chain caches, determine the draws).
+        """
+        path = path or self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured")
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "rng_states": {ks: rng.getstate() for ks, rng in self._rngs.items()},
+            "counts": dict(self.counts),
+            "draws_done": self.draws_done,
+            "valid_draws": self.valid_draws,
+            "discarded": self.discarded,
+            "estimation_key": self._estimation_key,
+            "estimation_complete": self.estimation_complete,
+            "chains": self._chains,
+        }
+        try:
+            blob = pickle.dumps(payload)
+        except Exception:
+            payload["chains"] = {}
+            blob = pickle.dumps(payload)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        fingerprint: Optional[str] = None,
+        processes: Optional[int] = None,
+        adaptive: bool = False,
+        checkpoint_path: Optional[str] = None,
+    ) -> "SamplingCampaign":
+        """Restore a campaign from *path*, validating its fingerprint.
+
+        A checkpoint written for a different schema/constraint
+        configuration (or an incompatible format version) raises
+        :class:`CheckpointMismatchError` — stale warm chains must never
+        silently feed new estimates.
+        """
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            raise CheckpointMismatchError(
+                f"unreadable campaign checkpoint {path!r}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointMismatchError(
+                f"campaign checkpoint {path!r} has incompatible version "
+                f"{payload.get('version') if isinstance(payload, dict) else '?'} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if fingerprint is not None and payload.get("fingerprint") != fingerprint:
+            raise CheckpointMismatchError(
+                f"campaign checkpoint {path!r} was written for a different "
+                "schema/constraint/policy configuration; refusing to reuse "
+                "its warm chains and tallies"
+            )
+        campaign = cls(
+            fingerprint=payload.get("fingerprint", ""),
+            seed=payload["seed"],
+            processes=processes,
+            checkpoint_path=checkpoint_path or path,
+            adaptive=adaptive,
+        )
+        campaign.counts = dict(payload.get("counts", {}))
+        campaign.draws_done = payload.get("draws_done", 0)
+        campaign.valid_draws = payload.get("valid_draws", 0)
+        campaign.discarded = payload.get("discarded", 0)
+        campaign._estimation_key = payload.get("estimation_key")
+        campaign.estimation_complete = payload.get("estimation_complete", True)
+        campaign._chains = dict(payload.get("chains", {}))
+        for ks, state in payload.get("rng_states", {}).items():
+            rng = random.Random()
+            rng.setstate(state)
+            campaign._rngs[ks] = rng
+        return campaign
+
+    @classmethod
+    def attach(
+        cls,
+        checkpoint_path: Optional[str],
+        fingerprint: str,
+        rng: Optional[random.Random] = None,
+        processes: Optional[int] = None,
+        adaptive: bool = False,
+    ) -> "SamplingCampaign":
+        """Resume from *checkpoint_path* if it exists, else start fresh
+        (checkpointing there).  The samplers' standard entry point."""
+        if checkpoint_path and os.path.exists(checkpoint_path):
+            return cls.resume(
+                checkpoint_path,
+                fingerprint,
+                processes=processes,
+                adaptive=adaptive,
+            )
+        return cls(
+            fingerprint=fingerprint,
+            rng=rng,
+            processes=processes,
+            checkpoint_path=checkpoint_path,
+            adaptive=adaptive,
+        )

@@ -140,12 +140,14 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         delta=args.delta,
         rng=rng,
         allow_failing=args.allow_failing,
+        adaptive=args.adaptive,
     )
     for candidate, estimate in sorted(estimates.items(), key=lambda kv: -kv[1]):
         print(f"{candidate}  ~CP = {estimate:.4f}")
+    rule = "empirical-Bernstein adaptive" if args.adaptive else "Hoeffding"
     print(
         f"(epsilon={args.epsilon}, delta={args.delta}; additive-error guarantee "
-        "per Theorem 9)"
+        f"per Theorem 9, {rule} stopping)"
     )
     return 0
 
@@ -178,25 +180,32 @@ def _cmd_abc(args: argparse.Namespace) -> int:
 
 def _cmd_sql_sample(args: argparse.Namespace) -> int:
     from repro.db.schema import Schema
-    from repro.sql import ConstraintRepairSampler, SQLiteBackend
+    from repro.sql import ConstraintRepairSampler, create_backend
 
     database = load_database(args.db)
     constraints = load_constraints(args.constraints)
     query = parse_query(args.query)
     schema = Schema.infer(database).extend(constraints.schema())
-    with SQLiteBackend() as backend:
+    with create_backend(args.backend) as backend:
         backend.load(database, schema)
         sampler = ConstraintRepairSampler(
-            backend, schema, constraints, rng=random.Random(args.seed)
+            backend,
+            schema,
+            constraints,
+            rng=random.Random(args.seed),
+            checkpoint_path=args.checkpoint,
+            processes=args.processes,
+            adaptive=args.adaptive,
         )
         report = sampler.run(
             query, runs=args.runs, epsilon=args.epsilon, delta=args.delta
         )
     for candidate, estimate in report.items():
         print(f"{candidate}  ~CP = {estimate:.4f}")
+    suffix = " (empirical-Bernstein early stop)" if report.stopped_early else ""
     print(
         f"({report.runs} sampling runs over {len(sampler.components)} "
-        "conflict components)"
+        f"conflict components{suffix})"
     )
     return 0
 
@@ -237,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="discard failing walks instead of erroring (heuristic mode)",
     )
+    p.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="empirical-Bernstein adaptive stopping (never more draws "
+        "than the Hoeffding count)",
+    )
     p.set_defaults(fn=_cmd_sample)
 
     p = sub.add_parser("chain", help="render the repairing Markov chain")
@@ -251,7 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "sql-sample",
-        help="Section 5 scheme: sample repairs inside SQLite (TGD-free constraints)",
+        help="Section 5 scheme: sample repairs inside a SQL backend "
+        "(TGD-free constraints)",
     )
     _add_common(p)
     p.add_argument("--query", required=True)
@@ -259,6 +275,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delta", type=float, default=0.1)
     p.add_argument("--runs", type=int, default=None, help="override the Hoeffding count")
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--backend",
+        choices=["sqlite", "postgres", "memory"],
+        default=None,
+        help="SQL backend (default: $REPRO_SQL_BACKEND, else sqlite)",
+    )
+    p.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="empirical-Bernstein adaptive stopping",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        help="campaign checkpoint file (resume warm chains across runs)",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="shard each conflict group's draws across worker processes",
+    )
     p.set_defaults(fn=_cmd_sql_sample)
 
     return parser

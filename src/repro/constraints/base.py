@@ -137,6 +137,14 @@ class Constraint(ABC):
             self.__dict__["_hash"] = cached
         return cached
 
+    def __getstate__(self):
+        # Never pickle the cached hash: it is per-process (randomized
+        # str hashing) and a stale value breaks dict/set lookups after
+        # cross-process unpickling (see repro.db.facts.Fact.__getstate__).
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @abstractmethod
     def _key(self) -> Tuple:
         ...

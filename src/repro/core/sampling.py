@@ -19,13 +19,12 @@ from __future__ import annotations
 
 import pickle
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from functools import lru_cache
 from math import lcm
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.analysis.hoeffding import sample_size
 from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.errors import FailingSequenceError, InvalidGeneratorError
 from repro.core.oca import AnyQuery
@@ -268,6 +267,43 @@ class ApproximationResult:
         return self.estimate
 
 
+def _estimation_campaign(campaign, adaptive: Optional[bool], processes: Optional[int]):
+    """The campaign an estimator runs through (building one if needed).
+
+    Local import: :mod:`repro.campaign` provides the unified estimation
+    loop (warm chains, checkpointing, adaptive stopping) on top of this
+    module's walk primitives.
+    """
+    from repro.campaign import SamplingCampaign
+
+    if campaign is None:
+        return SamplingCampaign(adaptive=bool(adaptive), processes=processes), True
+    return campaign, False
+
+
+def _chain_key(
+    generator: ChainGenerator, database: Database, private: bool
+) -> str:
+    """The warm-chain cache key for an estimator call.
+
+    For a *private* (per-call) campaign the cache holds exactly one
+    chain, so a constant key avoids stringifying the whole instance.  A
+    shared campaign keys on the generator's semantic signature (class
+    plus configuration — see
+    :func:`repro.campaign.generator_signature`) and the exact instance,
+    so it reuses a chain only for the same repair distribution instead
+    of silently walking a stale chain.
+    """
+    if private:
+        return "root"
+    from repro.campaign import campaign_fingerprint, generator_signature
+
+    return campaign_fingerprint(
+        generator_signature(generator),
+        tuple(str(fact) for fact in database.sorted_facts),
+    )
+
+
 def approximate_cp(
     database: Database,
     generator: ChainGenerator,
@@ -278,6 +314,8 @@ def approximate_cp(
     rng: Optional[random.Random] = None,
     allow_failing: bool = False,
     processes: Optional[int] = None,
+    adaptive: Optional[bool] = None,
+    campaign=None,
 ) -> ApproximationResult:
     """Additive ``(epsilon, delta)`` approximation of ``CP(t)`` (Theorem 9).
 
@@ -291,27 +329,44 @@ def approximate_cp(
     no longer Hoeffding-guaranteed) estimator of the conditional
     probability; the paper leaves guarantees for the insertion+deletion
     case open (Section 6).
+
+    The estimation loop runs through a
+    :class:`repro.campaign.SamplingCampaign` (pass *campaign* to share
+    its warm chain and tallies across calls).  With *adaptive*, draws
+    arrive in geometric batches and stop early once the
+    empirical-Bernstein rule (:mod:`repro.analysis.bernstein`) certifies
+    the same ``(epsilon, delta)`` guarantee — never using more than the
+    Hoeffding count; ``samples`` then reports the draws actually taken.
     """
     rng = rng or random.Random()
-    n = sample_size(epsilon, delta)
-    chain = generator.chain(database)
-    successes = 0
-    valid = 0
-    failing = 0
-    for walk in _walk_stream(chain, n, rng, processes):
-        if not _accept_walk(walk, allow_failing):
-            failing += 1
-            continue
-        valid += 1
-        successes += 1 if query.holds(walk.result, tuple(candidate)) else 0
-    estimate = successes / valid if valid else 0.0
+    campaign, private = _estimation_campaign(campaign, adaptive, processes)
+    chain = campaign.chain(
+        _chain_key(generator, database, private),
+        lambda: generator.chain(database),
+    )
+    target = tuple(candidate)
+
+    def draw(batch: int):
+        outcomes = []
+        for walk in _walk_stream(chain, batch, rng, processes):
+            if not _accept_walk(walk, allow_failing):
+                outcomes.append(None)
+            elif query.holds(walk.result, target):
+                outcomes.append(((),))
+            else:
+                outcomes.append(())
+        return outcomes
+
+    result = campaign.estimate(
+        draw, epsilon=epsilon, delta=delta, adaptive=adaptive
+    )
     return ApproximationResult(
-        estimate=estimate,
+        estimate=result.frequencies.get((), 0.0),
         epsilon=epsilon,
         delta=delta,
-        samples=n,
-        successes=successes,
-        failing_walks=failing,
+        samples=result.draws,
+        successes=result.counts.get((), 0),
+        failing_walks=result.discarded,
     )
 
 
@@ -324,6 +379,8 @@ def approximate_oca(
     rng: Optional[random.Random] = None,
     allow_failing: bool = False,
     processes: Optional[int] = None,
+    adaptive: Optional[bool] = None,
+    campaign=None,
 ) -> Dict[Tuple[Term, ...], float]:
     """Estimate ``CP`` for every tuple observed in any sampled repair.
 
@@ -332,21 +389,35 @@ def approximate_oca(
     individual tuple's estimate carries the additive ``(epsilon, delta)``
     guarantee; tuples never observed have true ``CP <= epsilon`` with
     probability ``1 - delta``.
+
+    Like :func:`approximate_cp`, runs through a
+    :class:`repro.campaign.SamplingCampaign`; *adaptive* enables
+    empirical-Bernstein early stopping over every tracked tuple's
+    stream (including the implicit all-zeros stream, preserving the
+    unseen-tuple reading above).
     """
     rng = rng or random.Random()
-    n = sample_size(epsilon, delta)
-    chain = generator.chain(database)
-    counts: Dict[Tuple[Term, ...], int] = {}
-    valid = 0
-    for walk in _walk_stream(chain, n, rng, processes):
-        if not _accept_walk(walk, allow_failing):
-            continue
-        valid += 1
-        for answer in query.answers(walk.result):
-            counts[answer] = counts.get(answer, 0) + 1
-    if not valid:
+    campaign, private = _estimation_campaign(campaign, adaptive, processes)
+    chain = campaign.chain(
+        _chain_key(generator, database, private),
+        lambda: generator.chain(database),
+    )
+
+    def draw(batch: int):
+        outcomes = []
+        for walk in _walk_stream(chain, batch, rng, processes):
+            if not _accept_walk(walk, allow_failing):
+                outcomes.append(None)
+            else:
+                outcomes.append(query.answers(walk.result))
+        return outcomes
+
+    result = campaign.estimate(
+        draw, epsilon=epsilon, delta=delta, adaptive=adaptive
+    )
+    if not result.valid:
         return {}
-    return {t: c / valid for t, c in counts.items()}
+    return dict(result.frequencies)
 
 
 def estimate_sequence_lengths(

@@ -59,6 +59,14 @@ class Violation:
             object.__setattr__(self, "_hash_cache", cached)
         return cached
 
+    def __getstate__(self):
+        # Never pickle the cached hash: it is per-process (randomized
+        # str hashing) and a stale value breaks set/dict lookups after
+        # cross-process unpickling (see Fact.__getstate__).
+        state = dict(self.__dict__)
+        state.pop("_hash_cache", None)
+        return state
+
     def holds_in(self, database: Database) -> bool:
         """Whether this violation is present in *database*.
 

@@ -45,6 +45,16 @@ class Fact:
             object.__setattr__(self, "_hash_cache", cached)
         return cached
 
+    def __getstate__(self):
+        # The cached hash must not cross process boundaries: str hashing
+        # is per-process randomized, and a pickled stale hash makes equal
+        # facts hash differently after unpickling — silently breaking
+        # every frozenset lookup (campaign checkpoints resume chains in
+        # fresh processes).
+        state = dict(self.__dict__)
+        state.pop("_hash_cache", None)
+        return state
+
     @property
     def arity(self) -> int:
         """Number of attribute positions."""

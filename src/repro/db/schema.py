@@ -116,6 +116,17 @@ class Schema:
         """Arity of relation *name* (raises :class:`SchemaError` if absent)."""
         return self[name].arity
 
+    def fingerprint(self) -> str:
+        """A stable textual identity for this schema.
+
+        Relations sorted by name with arities and attribute names; used
+        by :mod:`repro.campaign` to detect stale sampling checkpoints.
+        """
+        return ";".join(
+            f"{rel.name}/{rel.arity}({','.join(rel.attributes)})"
+            for rel in self.relations
+        )
+
     def validate_fact(self, fact: Fact) -> None:
         """Check a fact against the schema."""
         rel = self.get(fact.relation)

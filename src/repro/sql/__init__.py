@@ -3,21 +3,40 @@
 The paper sketches how the additive-error scheme can run inside an RDBMS:
 sample per-key-group survivors, collect the removed tuples in ``R_del``,
 run the query with every ``R`` replaced by ``R - R_del``, and average the
-results over ``n`` runs.  This package implements exactly that over the
-standard library's SQLite:
+results over ``n`` runs.  This package implements exactly that over a
+*pluggable backend protocol*:
 
-- :class:`SQLiteBackend` — load a :class:`repro.db.Database` into SQLite;
+- :class:`SQLBackend` — the protocol (structured table operations plus
+  optional raw SQL with dialect hooks) every consumer targets;
+- :class:`SQLiteBackend` — the standard library implementation (the only
+  module importing :mod:`sqlite3`);
+- :class:`repro.sql.postgres.PostgresBackend` — PostgreSQL over psycopg
+  (optional dependency; imported lazily);
+- :class:`InMemoryBackend` — the same protocol over the core
+  :class:`repro.db.Database` machinery, so the whole sampler stack runs
+  without any database engine;
+- :func:`create_backend` — select one by name or ``REPRO_SQL_BACKEND``;
 - :mod:`repro.sql.compiler` — compile conjunctive and full first-order
-  queries to SQL (active-domain translation);
+  queries to dialect-neutral SQL (active-domain translation);
 - :mod:`repro.sql.rewriting` — the ``R -> R EXCEPT R_del`` rewriting;
-- :class:`KeyRepairSampler` — the end-to-end n-run sampling loop with
-  uniform, trust-based (Example 5), and exact per-group-chain policies.
+- :class:`KeyRepairSampler` / :class:`ConstraintRepairSampler` — the
+  end-to-end n-run sampling loops, running their campaigns through
+  :class:`repro.campaign.SamplingCampaign`.
 """
 
-from repro.sql.backend import SQLiteBackend
+from repro.sql.backend import (
+    BackendFeatureError,
+    BackendUnavailableError,
+    DBAPIBackend,
+    SQLBackend,
+    SQLiteBackend,
+    create_backend,
+)
 from repro.sql.compiler import compile_cq, compile_fo_query
+from repro.sql.dialect import SQLDialect, check_name
 from repro.sql.generic import ConstraintRepairSampler
-from repro.sql.rewriting import DeletionRewriter
+from repro.sql.memory import InMemoryBackend
+from repro.sql.rewriting import DeletionRewriter, LiveRelationMap
 from repro.sql.sampler import KeyRepairSampler, KeySpec, SamplerPolicy
 from repro.sql.violations import (
     SQLDeltaViolationIndex,
@@ -29,11 +48,20 @@ from repro.sql.violations import (
 )
 
 __all__ = [
+    "BackendFeatureError",
+    "BackendUnavailableError",
+    "DBAPIBackend",
+    "SQLBackend",
     "SQLiteBackend",
+    "InMemoryBackend",
+    "create_backend",
+    "SQLDialect",
+    "check_name",
     "compile_cq",
     "compile_fo_query",
     "ConstraintRepairSampler",
     "DeletionRewriter",
+    "LiveRelationMap",
     "KeyRepairSampler",
     "KeySpec",
     "SamplerPolicy",

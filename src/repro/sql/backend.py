@@ -1,142 +1,198 @@
-"""SQLite backend: load databases, run compiled queries.
+"""The pluggable SQL backend protocol and its SQLite implementation.
 
 Relations map to tables named after the relation with columns
-``c0, ..., c{n-1}``; everything is stored as TEXT except integers, which
-SQLite keeps as INTEGER (both round-trip through :meth:`fetch_database`).
-An auxiliary ``_adom`` table holds the active domain for the first-order
-compiler's quantifier translation.
+``c0, ..., c{n-1}``; an auxiliary ``_adom`` table holds the active
+domain for the first-order compiler's quantifier translation.
+
+:class:`SQLBackend` is the protocol every consumer in this package
+(violation detection, the deletion rewriting, both samplers, the query
+compilers) targets.  It splits into two layers:
+
+- **structured table operations** (``create_table``, ``insert_rows``,
+  ``select_all``, ``table_count``, temp delta tables, adom maintenance,
+  fact-level deltas) that every backend supports, including the
+  databaseless :class:`repro.sql.memory.InMemoryBackend`;
+- **raw parameterized SQL** (``execute`` / ``executemany`` /
+  ``query_tuples``) available when :attr:`SQLBackend.supports_sql` is
+  true; consumers always write qmark (``?``) placeholders and plain
+  Python terms — the backend's :class:`repro.sql.dialect.SQLDialect`
+  translates placeholders and transports values.
+
+Three implementations ship: :class:`SQLiteBackend` (below, the only
+module allowed to ``import sqlite3``),
+:class:`repro.sql.postgres.PostgresBackend` (optional psycopg), and
+:class:`repro.sql.memory.InMemoryBackend` (routes the protocol onto the
+core :class:`repro.db.facts.Database` machinery).  Use
+:func:`create_backend` to select one by name or via the
+``REPRO_SQL_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
 
-import re
-import sqlite3
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.db.facts import Database, Fact
-from repro.db.schema import Relation, Schema
+from repro.db.schema import Schema, SchemaError
 from repro.db.terms import Term
+from repro.sql.dialect import (
+    ADOM_TABLE,
+    _NAME_RE,  # noqa: F401  (backwards-compatible re-export)
+    SQLITE_DIALECT,
+    SQLDialect,
+    check_name,
+)
 
-_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+#: Backwards-compatible alias; new code should import from
+#: :mod:`repro.sql.dialect`.
+_check_name = check_name
 
 
-def _check_name(name: str) -> str:
-    """Validate an identifier before splicing it into SQL."""
-    if not _NAME_RE.match(name):
-        raise ValueError(f"unsafe SQL identifier: {name!r}")
-    return name
+class BackendFeatureError(RuntimeError):
+    """An operation the selected backend cannot perform (e.g. raw SQL on
+    the in-memory backend)."""
 
 
-class SQLiteBackend:
-    """A thin, explicit wrapper around one SQLite connection."""
+class BackendUnavailableError(RuntimeError):
+    """The backend's driver or server is not available in this
+    environment (e.g. psycopg is not installed)."""
 
-    ADOM_TABLE = "_adom"
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self.connection = sqlite3.connect(path)
+def _validate_row_arity(relation: str, arity: int, rows: Iterable[Sequence]) -> None:
+    """Fail loudly on arity mismatches instead of surfacing a cryptic
+    driver error from deep inside a bulk insert."""
+    for row in rows:
+        if len(row) != arity:
+            raise SchemaError(
+                f"relation {relation} expects arity {arity}, got a row of "
+                f"length {len(row)}: {tuple(row)!r}"
+            )
+
+
+class SQLBackend:
+    """The backend protocol: shared logic over a small primitive surface.
+
+    Subclasses provide the primitives (``execute``/``executemany`` for
+    SQL backends, or the structured table operations directly); the base
+    class builds loading, fact-level deltas, and round-tripping on top.
+    """
+
+    ADOM_TABLE = ADOM_TABLE
+    #: Whether :meth:`execute` accepts raw SQL.  Consumers that generate
+    #: SQL check this and fall back to structured/in-memory evaluation.
+    supports_sql: bool = True
+    dialect: SQLDialect = SQLITE_DIALECT
+
+    def __init__(self) -> None:
         self.schema: Optional[Schema] = None
 
     # ------------------------------------------------------------------
-    # Loading
+    # Primitives (implemented by subclasses)
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        """Run arbitrary qmark-style SQL and fetch all rows (decoded)."""
+        raise NotImplementedError
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        """Run one statement for every parameter row (bulk writes)."""
+        raise NotImplementedError
+
+    def create_table(self, table: str, arity: int, temp: bool = False) -> None:
+        """(Re)create *table* with ``c0..c{arity-1}`` columns."""
+        raise NotImplementedError
+
+    def drop_table(self, table: str, temp: bool = False) -> None:
+        raise NotImplementedError
+
+    def clear_table(self, table: str) -> None:
+        """Delete every row of *table*."""
+        raise NotImplementedError
+
+    def insert_rows(self, table: str, arity: int, rows: Sequence[Sequence[Term]]) -> None:
+        raise NotImplementedError
+
+    def delete_rows(self, table: str, arity: int, rows: Sequence[Sequence[Term]]) -> None:
+        """Delete all occurrences of each row from *table*."""
+        raise NotImplementedError
+
+    def select_all(self, table: str) -> List[Tuple[Term, ...]]:
+        """Every row of *table*, decoded back to Python terms."""
+        raise NotImplementedError
+
+    def table_count(self, relation: str) -> int:
+        """Number of rows currently in *relation*'s table."""
+        raise NotImplementedError
+
+    def recreate_adom(self, values: Iterable[Term]) -> None:
+        """(Re)build the active-domain table from *values*."""
+        raise NotImplementedError
+
+    def adom_values(self) -> FrozenSet[Term]:
+        """The current contents of the active-domain table."""
+        raise NotImplementedError
+
+    def extend_adom(self, values: Iterable[Term]) -> None:
+        """Add constants (e.g. query constants) to the active domain."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """Make pending writes durable (no-op for non-transactional
+        backends)."""
+
+    def close(self) -> None:
+        """Release the underlying resources."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared logic
     # ------------------------------------------------------------------
     def create_schema(self, schema: Schema) -> None:
         """Create one table per relation (dropping existing ones)."""
-        cursor = self.connection.cursor()
         for relation in schema:
-            table = _check_name(relation.name)
-            cursor.execute(f"DROP TABLE IF EXISTS {table}")
-            columns = ", ".join(f"c{i}" for i in range(relation.arity))
-            cursor.execute(f"CREATE TABLE {table} ({columns})")
-        self.connection.commit()
+            self.create_table(relation.name, relation.arity)
         self.schema = schema
 
     def load(self, database: Database, schema: Optional[Schema] = None) -> None:
-        """Create tables for *database* and bulk-insert its facts."""
+        """Create tables for *database* and bulk-insert its facts.
+
+        Rows are validated against the schema's arities up front, so a
+        mismatch fails with a clear :class:`repro.db.schema.SchemaError`
+        instead of a driver-level operational error mid-insert.
+        """
         if schema is None:
             schema = Schema.infer(database)
         self.create_schema(schema)
-        cursor = self.connection.cursor()
         for relation in schema:
             rows = database.tuples(relation.name)
             if not rows:
                 continue
-            table = _check_name(relation.name)
-            placeholders = ", ".join("?" for _ in range(relation.arity))
-            cursor.executemany(
-                f"INSERT INTO {table} VALUES ({placeholders})", rows
-            )
-        self._load_adom(database)
-        self.connection.commit()
+            # insert_rows validates row arity, raising a clear SchemaError.
+            self.insert_rows(relation.name, relation.arity, rows)
+        self.recreate_adom(database.dom)
+        self.commit()
 
-    def _load_adom(self, database: Database, extra: Iterable[Term] = ()) -> None:
-        cursor = self.connection.cursor()
-        cursor.execute(f"DROP TABLE IF EXISTS {self.ADOM_TABLE}")
-        cursor.execute(f"CREATE TABLE {self.ADOM_TABLE} (v)")
-        values = set(database.dom) | set(extra)
-        cursor.executemany(
-            f"INSERT INTO {self.ADOM_TABLE} VALUES (?)",
-            [(value,) for value in sorted(values, key=lambda c: (type(c).__name__, str(c)))],
-        )
-
-    def extend_adom(self, values: Iterable[Term]) -> None:
-        """Add constants (e.g. query constants) to the active domain table."""
-        cursor = self.connection.cursor()
-        existing = {row[0] for row in cursor.execute(f"SELECT v FROM {self.ADOM_TABLE}")}
-        fresh = [(v,) for v in values if v not in existing]
-        if fresh:
-            cursor.executemany(f"INSERT INTO {self.ADOM_TABLE} VALUES (?)", fresh)
-            self.connection.commit()
-
-    # ------------------------------------------------------------------
-    # Base-table deltas (the incremental maintenance entry points)
-    # ------------------------------------------------------------------
-    def insert_facts(self, facts: Iterable[Fact]) -> None:
-        """Insert *facts* into their base tables (tables must exist)."""
-        cursor = self.connection.cursor()
+    def _grouped_facts(
+        self, facts: Iterable[Fact]
+    ) -> Dict[Tuple[str, int], List[Tuple[Term, ...]]]:
         grouped: Dict[Tuple[str, int], List[Tuple[Term, ...]]] = {}
         for fact in facts:
+            if self.schema is not None:
+                self.schema.validate_fact(fact)
             grouped.setdefault((fact.relation, fact.arity), []).append(fact.values)
-        for (relation, arity), rows in grouped.items():
-            table = _check_name(relation)
-            placeholders = ", ".join("?" for _ in range(arity))
-            cursor.executemany(f"INSERT INTO {table} VALUES ({placeholders})", rows)
-        self.connection.commit()
+        return grouped
+
+    def insert_facts(self, facts: Iterable[Fact]) -> None:
+        """Insert *facts* into their base tables (tables must exist)."""
+        for (relation, arity), rows in self._grouped_facts(facts).items():
+            self.insert_rows(relation, arity, rows)
+        self.commit()
 
     def delete_facts(self, facts: Iterable[Fact]) -> None:
         """Delete *facts* (all duplicates of each row) from base tables."""
-        cursor = self.connection.cursor()
-        grouped: Dict[Tuple[str, int], List[Tuple[Term, ...]]] = {}
-        for fact in facts:
-            grouped.setdefault((fact.relation, fact.arity), []).append(fact.values)
-        for (relation, arity), rows in grouped.items():
-            table = _check_name(relation)
-            condition = " AND ".join(f"c{i} = ?" for i in range(arity))
-            cursor.executemany(f"DELETE FROM {table} WHERE {condition}", rows)
-        self.connection.commit()
+        for (relation, arity), rows in self._grouped_facts(facts).items():
+            self.delete_rows(relation, arity, rows)
+        self.commit()
 
-    # ------------------------------------------------------------------
-    # Querying
-    # ------------------------------------------------------------------
-    def execute(
-        self, sql: str, parameters: Sequence = ()
-    ) -> List[Tuple]:
-        """Run arbitrary SQL and fetch all rows."""
-        cursor = self.connection.cursor()
-        cursor.execute(sql, parameters)
-        return cursor.fetchall()
-
-    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
-        """Run one statement for every parameter row (bulk writes)."""
-        cursor = self.connection.cursor()
-        cursor.executemany(sql, rows)
-
-    def query_tuples(self, sql: str, parameters: Sequence = ()) -> FrozenSet[Tuple]:
-        """Run a compiled query and return its rows as a frozenset."""
-        return frozenset(tuple(row) for row in self.execute(sql, parameters))
-
-    # ------------------------------------------------------------------
-    # Round-trip
-    # ------------------------------------------------------------------
     def fetch_database(self, schema: Optional[Schema] = None) -> Database:
         """Read the current table contents back into a :class:`Database`."""
         schema = schema or self.schema
@@ -144,22 +200,210 @@ class SQLiteBackend:
             raise ValueError("no schema known; pass one or call load() first")
         facts = []
         for relation in schema:
-            table = _check_name(relation.name)
-            for row in self.execute(f"SELECT * FROM {table}"):
+            for row in self.select_all(relation.name):
                 facts.append(Fact(relation.name, tuple(row)))
         return Database(facts)
 
-    def table_count(self, relation: str) -> int:
-        """Number of rows currently in *relation*'s table."""
-        table = _check_name(relation)
-        return self.execute(f"SELECT COUNT(*) FROM {table}")[0][0]
+    def live_database(
+        self,
+        relation_map: Optional[Mapping[str, str]] = None,
+        schema: Optional[Schema] = None,
+    ) -> Database:
+        """The instance given by *relation_map*'s live views.
 
-    def close(self) -> None:
-        """Close the underlying connection."""
-        self.connection.close()
+        With no map this equals :meth:`fetch_database`; with the deletion
+        rewriter's map it is the current repaired instance.
+        """
+        schema = schema or self.schema
+        if schema is None:
+            raise ValueError("no schema known; pass one or call load() first")
+        facts = []
+        for relation in schema:
+            physical = (
+                relation_map[relation.name]
+                if relation_map and relation.name in relation_map
+                else check_name(relation.name)
+            )
+            for row in self.execute(f"SELECT * FROM {physical} lv"):
+                facts.append(Fact(relation.name, tuple(row)))
+        return Database(facts)
 
-    def __enter__(self) -> "SQLiteBackend":
+    def query_tuples(self, sql: str, parameters: Sequence = ()) -> FrozenSet[Tuple]:
+        """Run a compiled query and return its rows as a frozenset."""
+        return frozenset(tuple(row) for row in self.execute(sql, parameters))
+
+    def evaluate_query(self, query, relation_map: Optional[Mapping[str, str]] = None):
+        """In-memory query evaluation hook (backends without SQL only)."""
+        raise BackendFeatureError(
+            f"{type(self).__name__} evaluates queries through compiled SQL; "
+            "evaluate_query is only available on backends with "
+            "supports_sql=False"
+        )
+
+    def __enter__(self) -> "SQLBackend":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class DBAPIBackend(SQLBackend):
+    """Shared implementation over a DB-API 2.0 connection + a dialect.
+
+    Subclasses supply ``self.connection`` and ``self.dialect``; every
+    operation funnels through :meth:`execute`/:meth:`executemany`, which
+    translate placeholders and transport values via the dialect.
+    """
+
+    def __init__(self, connection, dialect: SQLDialect) -> None:
+        super().__init__()
+        self.connection = connection
+        self.dialect = dialect
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        cursor = self.connection.cursor()
+        if self.dialect.transparent:
+            cursor.execute(self.dialect.translate(sql), tuple(parameters))
+            if cursor.description is None:
+                return []
+            return cursor.fetchall()
+        cursor.execute(
+            self.dialect.translate(sql), self.dialect.encode_row(parameters)
+        )
+        if cursor.description is None:
+            return []
+        return [self.dialect.decode_row(row) for row in cursor.fetchall()]
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        cursor = self.connection.cursor()
+        if self.dialect.transparent:
+            cursor.executemany(self.dialect.translate(sql), rows)
+            return
+        cursor.executemany(
+            self.dialect.translate(sql),
+            [self.dialect.encode_row(row) for row in rows],
+        )
+
+    def commit(self) -> None:
+        self.connection.commit()
+
+    def create_table(self, table: str, arity: int, temp: bool = False) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute(self.dialect.drop_table_sql(table, temp))
+        cursor.execute(self.dialect.create_table_sql(table, arity, temp))
+        self.connection.commit()
+
+    def drop_table(self, table: str, temp: bool = False) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute(self.dialect.drop_table_sql(table, temp))
+        self.connection.commit()
+
+    def clear_table(self, table: str) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute(f"DELETE FROM {check_name(table)}")
+
+    # insert_rows/delete_rows deliberately do not commit: they sit on the
+    # per-draw hot path (deletion side tables, temp delta staging).  The
+    # durable entry points (load, insert_facts, delete_facts, adom
+    # maintenance) commit explicitly; everything else rides the open
+    # transaction, which the same connection reads back consistently on
+    # both SQLite and PostgreSQL.
+    def insert_rows(self, table: str, arity: int, rows: Sequence[Sequence[Term]]) -> None:
+        if not rows:
+            return
+        _validate_row_arity(table, arity, rows)
+        self.executemany(
+            f"INSERT INTO {check_name(table)} VALUES "
+            f"({', '.join('?' for _ in range(arity))})",
+            rows,
+        )
+
+    def delete_rows(self, table: str, arity: int, rows: Sequence[Sequence[Term]]) -> None:
+        if not rows:
+            return
+        _validate_row_arity(table, arity, rows)
+        condition = " AND ".join(f"c{i} = ?" for i in range(arity))
+        self.executemany(
+            f"DELETE FROM {check_name(table)} WHERE {condition}", rows
+        )
+
+    def select_all(self, table: str) -> List[Tuple[Term, ...]]:
+        return self.execute(f"SELECT * FROM {check_name(table)}")
+
+    def table_count(self, relation: str) -> int:
+        return self.execute(f"SELECT COUNT(*) FROM {check_name(relation)}")[0][0]
+
+    # ------------------------------------------------------------------
+    # Active domain
+    # ------------------------------------------------------------------
+    def recreate_adom(self, values: Iterable[Term]) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute(self.dialect.drop_table_sql(self.ADOM_TABLE))
+        cursor.execute(self.dialect.create_adom_sql())
+        unique = sorted(set(values), key=lambda c: (type(c).__name__, str(c)))
+        if unique:
+            self.executemany(
+                f"INSERT INTO {self.ADOM_TABLE} VALUES (?)",
+                [(value,) for value in unique],
+            )
+        self.connection.commit()
+
+    def adom_values(self) -> FrozenSet[Term]:
+        return frozenset(
+            row[0] for row in self.execute(f"SELECT v FROM {self.ADOM_TABLE}")
+        )
+
+    def extend_adom(self, values: Iterable[Term]) -> None:
+        existing = self.adom_values()
+        fresh = [(v,) for v in values if v not in existing]
+        if fresh:
+            self.executemany(f"INSERT INTO {self.ADOM_TABLE} VALUES (?)", fresh)
+            self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+class SQLiteBackend(DBAPIBackend):
+    """A thin, explicit wrapper around one SQLite connection.
+
+    The only place in the codebase that imports :mod:`sqlite3`.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        import sqlite3
+
+        super().__init__(sqlite3.connect(path), SQLITE_DIALECT)
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+
+#: Names accepted by :func:`create_backend` / ``REPRO_SQL_BACKEND``.
+BACKEND_NAMES = ("sqlite", "postgres", "memory")
+
+
+def create_backend(name: Optional[str] = None, **kwargs) -> SQLBackend:
+    """Instantiate a backend by *name* (default: ``REPRO_SQL_BACKEND``).
+
+    ``sqlite`` accepts ``path=``; ``postgres`` accepts ``dsn=`` (or the
+    ``REPRO_PG_DSN`` / standard ``PG*`` environment variables);
+    ``memory`` takes no arguments.
+    """
+    name = (name or os.environ.get("REPRO_SQL_BACKEND", "sqlite")).lower()
+    if name == "sqlite":
+        return SQLiteBackend(**kwargs)
+    if name in ("postgres", "postgresql"):
+        from repro.sql.postgres import PostgresBackend
+
+        return PostgresBackend(**kwargs)
+    if name == "memory":
+        from repro.sql.memory import InMemoryBackend
+
+        return InMemoryBackend(**kwargs)
+    raise ValueError(
+        f"unknown SQL backend {name!r}; expected one of {BACKEND_NAMES}"
+    )

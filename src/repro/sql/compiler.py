@@ -1,4 +1,4 @@
-"""Compilation of conjunctive and first-order queries to SQLite SQL.
+"""Compilation of conjunctive and first-order queries to SQL.
 
 Conjunctive queries become flat ``SELECT DISTINCT ... FROM ... WHERE``
 joins.  General first-order queries use the classical active-domain
@@ -10,12 +10,20 @@ Both compilers accept a *relation_map* that substitutes the physical
 table (or a parenthesised subquery) used for each logical relation —
 this is the hook the ``R -> R EXCEPT R_del`` rewriting of Section 5
 plugs into.
+
+The emitted SQL is dialect-neutral (validated bare identifiers, ``?``
+placeholders, aliased subqueries): each backend's dialect translates
+placeholders and transports parameter values, so the same
+:class:`CompiledQuery` runs on SQLite and PostgreSQL unchanged.  The
+compiled query also remembers its *source* query and relation map, so
+backends without SQL support (``supports_sql=False``) evaluate it with
+the repository's own query evaluators instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from repro.db.terms import Term, Var, is_var
 from repro.queries.ast import (
@@ -33,24 +41,39 @@ from repro.queries.ast import (
 )
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.query import Query
-from repro.sql.backend import SQLiteBackend, _check_name
+from repro.sql.backend import SQLBackend
+from repro.sql.dialect import ADOM_TABLE, check_name
 
 
 @dataclass
 class CompiledQuery:
-    """A SQL string plus its positional parameters."""
+    """A SQL string plus its positional parameters and its provenance."""
 
     sql: str
     parameters: Tuple[Term, ...]
     arity: int
+    #: The query this SQL was compiled from; lets backends without SQL
+    #: support evaluate the same semantics in memory.
+    source: Optional[Union[Query, ConjunctiveQuery]] = None
+    #: The relation map the compilation targeted (e.g. the deletion
+    #: rewriter's live views).
+    relation_map: Optional[Mapping[str, str]] = None
 
-    def run(self, backend: SQLiteBackend) -> FrozenSet[Tuple[Term, ...]]:
+    def run(self, backend: SQLBackend) -> FrozenSet[Tuple[Term, ...]]:
         """Execute on *backend*, mapping rows back to answer tuples.
 
         Boolean queries (arity 0) return ``{()}`` or the empty set,
         matching the in-memory evaluator.
         """
-        rows = backend.query_tuples(self.sql, self.parameters)
+        if backend.supports_sql:
+            rows = backend.query_tuples(self.sql, self.parameters)
+        else:
+            if self.source is None:
+                raise ValueError(
+                    "this CompiledQuery has no source query; it cannot run "
+                    "on a backend without SQL support"
+                )
+            rows = backend.evaluate_query(self.source, self.relation_map)
         if self.arity == 0:
             return frozenset([()]) if rows else frozenset()
         return rows
@@ -59,7 +82,7 @@ class CompiledQuery:
 def _physical(relation: str, relation_map: Optional[Mapping[str, str]]) -> str:
     if relation_map and relation in relation_map:
         return relation_map[relation]
-    return _check_name(relation)
+    return check_name(relation)
 
 
 # ----------------------------------------------------------------------
@@ -100,7 +123,13 @@ def compile_cq(
     sql = f"SELECT DISTINCT {select} FROM {', '.join(from_parts)}"
     if where:
         sql += f" WHERE {' AND '.join(where)}"
-    return CompiledQuery(sql=sql, parameters=tuple(params), arity=cq.arity)
+    return CompiledQuery(
+        sql=sql,
+        parameters=tuple(params),
+        arity=cq.arity,
+        source=cq,
+        relation_map=relation_map,
+    )
 
 
 def _cq_parameters_in_order(
@@ -133,7 +162,7 @@ class _FOContext:
 
     def domain_sql(self) -> str:
         """The quantifier range: ``_adom`` plus the query's own constants."""
-        parts = [f"SELECT v FROM {SQLiteBackend.ADOM_TABLE}"]
+        parts = [f"SELECT v FROM {ADOM_TABLE}"]
         for constant in self.domain_constants:
             parts.append("SELECT ?")
             self.params.append(constant)
@@ -165,7 +194,13 @@ def compile_fo_query(
         )
     else:
         sql = f"SELECT DISTINCT {select} WHERE {condition}"
-    return CompiledQuery(sql=sql, parameters=tuple(ctx.params), arity=query.arity)
+    return CompiledQuery(
+        sql=sql,
+        parameters=tuple(ctx.params),
+        arity=query.arity,
+        source=query,
+        relation_map=relation_map,
+    )
 
 
 def _term_sql(term: Term, env: Mapping[Var, str], ctx: _FOContext) -> str:

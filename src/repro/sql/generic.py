@@ -7,27 +7,32 @@ each component is repaired by its own in-memory repairing Markov chain
 (exact factorization for component-local generators — see
 :mod:`repro.core.localization`).  Queries run against the
 ``R EXCEPT R_del`` rewriting, exactly as in Section 5.
+
+Like the key sampler, this targets the
+:class:`repro.sql.backend.SQLBackend` protocol (SQLite, PostgreSQL, or
+the in-memory backend) and runs its estimation loop through a
+:class:`repro.campaign.SamplingCampaign`: warm per-component chains,
+per-component RNG streams, optional on-disk checkpointing, and
+empirical-Bernstein adaptive stopping.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple, Union
 
-from repro.analysis.hoeffding import sample_size
+from repro.campaign import SamplingCampaign, generator_signature
 from repro.constraints.base import ConstraintSet
 from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.generators import UniformGenerator
-from repro.core.sampling import sample_many, sample_walk
+from repro.core.sampling import sample_walk
 from repro.db.facts import Database, Fact
 from repro.db.schema import Schema
-from repro.db.terms import Term
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.query import Query
-from repro.sql.backend import SQLiteBackend
-from repro.sql.compiler import CompiledQuery, compile_cq, compile_fo_query
+from repro.sql.backend import SQLBackend
 from repro.sql.rewriting import DeletionRewriter
-from repro.sql.sampler import SamplingReport
+from repro.sql.sampler import BaseCampaignSampler
 from repro.sql.violations import SQLDeltaViolationIndex
 
 AnyQuery = Union[Query, ConjunctiveQuery]
@@ -36,7 +41,7 @@ AnyQuery = Union[Query, ConjunctiveQuery]
 GeneratorFactory = Callable[[ConstraintSet], ChainGenerator]
 
 
-class ConstraintRepairSampler:
+class ConstraintRepairSampler(BaseCampaignSampler):
     """Section 5's sampling loop for arbitrary denial-style constraints.
 
     *generator_factory* receives the constraint set and returns the
@@ -55,12 +60,16 @@ class ConstraintRepairSampler:
 
     def __init__(
         self,
-        backend: SQLiteBackend,
+        backend: SQLBackend,
         schema: Schema,
         constraints: ConstraintSet,
         generator_factory: GeneratorFactory = UniformGenerator,
         rng: Optional[random.Random] = None,
         reuse_chains: bool = True,
+        campaign: Optional[SamplingCampaign] = None,
+        checkpoint_path: Optional[str] = None,
+        processes: Optional[int] = None,
+        adaptive: bool = False,
     ) -> None:
         if not constraints.deletion_only():
             raise ValueError(
@@ -74,11 +83,19 @@ class ConstraintRepairSampler:
         self.rng = rng or random.Random()
         self.reuse_chains = reuse_chains
         self.rewriter = DeletionRewriter(backend, schema)
+        self._init_campaign(campaign, checkpoint_path, processes, adaptive)
         self.violation_index = SQLDeltaViolationIndex(backend, constraints)
         self.components: Tuple[FrozenSet[Fact], ...] = (
             self.violation_index.components()
         )
-        self._chains: Dict[FrozenSet[Fact], RepairingChain] = {}
+
+    def _fingerprint_parts(self) -> Tuple:
+        return (
+            "ConstraintRepairSampler",
+            self.schema.fingerprint(),
+            tuple(sorted(str(c) for c in self.constraints)),
+            generator_signature(self.generator),
+        )
 
     # ------------------------------------------------------------------
     # Incremental base-table maintenance
@@ -106,27 +123,24 @@ class ConstraintRepairSampler:
             )
             self.violation_index.apply_insert(added)
         self.components = self.violation_index.components()
-        live = set(self.components)
-        for stale in [key for key in self._chains if key not in live]:
-            del self._chains[stale]
+        self.campaign.prune_chains(self.components)
+        self._refresh_campaign_identity()
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
     def _component_chain(self, component: FrozenSet[Fact]) -> RepairingChain:
-        chain = self._chains.get(component)
-        if chain is None:
-            chain = self.generator.chain(Database(component))
-            if self.reuse_chains:
-                self._chains[component] = chain
-        return chain
+        factory = lambda: self.generator.chain(Database(component))  # noqa: E731
+        if not self.reuse_chains:
+            return factory()
+        return self.campaign.chain(component, factory)
 
     def sample_deletions(self) -> List[Fact]:
         """One repair draw: deleted facts across all conflict components."""
         deletions: List[Fact] = []
         for component in self.components:
             chain = self._component_chain(component)
-            walk = sample_walk(chain, self.rng)
+            walk = sample_walk(chain, self.campaign.rng_for(component))
             deletions.extend(sorted(chain.database - walk.result, key=str))
         return deletions
 
@@ -137,54 +151,7 @@ class ConstraintRepairSampler:
         for component in self.components:
             chain = self._component_chain(component)
             for deletions, walk in zip(
-                per_run, sample_many(chain, runs, self.rng)
+                per_run, self.campaign.walks(component, chain, runs)
             ):
                 deletions.extend(sorted(chain.database - walk.result, key=str))
         return per_run
-
-    def sample_repair(self) -> Database:
-        """Draw one full repaired instance."""
-        self.rewriter.clear()
-        self.rewriter.mark_deleted(self.sample_deletions())
-        repaired = self.rewriter.live_database()
-        self.rewriter.clear()
-        return repaired
-
-    # ------------------------------------------------------------------
-    # Query compilation + campaigns (Section 5 loop)
-    # ------------------------------------------------------------------
-    def compile(self, query: AnyQuery) -> CompiledQuery:
-        """Compile *query* against the ``R EXCEPT R__del`` relation map."""
-        relation_map = self.rewriter.relation_map()
-        if isinstance(query, ConjunctiveQuery):
-            return compile_cq(query, relation_map)
-        return compile_fo_query(query, relation_map)
-
-    def run(
-        self,
-        query: AnyQuery,
-        runs: Optional[int] = None,
-        epsilon: float = 0.1,
-        delta: float = 0.1,
-    ) -> SamplingReport:
-        """Estimate ``CP`` for every observed tuple over ``runs`` repairs."""
-        if runs is None:
-            runs = sample_size(epsilon, delta)
-        compiled = self.compile(query)
-        counts: Dict[Tuple[Term, ...], int] = {}
-        if self.reuse_chains:
-            batches: Iterable[List[Fact]] = self.sample_deletions_many(runs)
-        else:
-            batches = (self.sample_deletions() for _ in range(runs))
-        for deletions in batches:
-            self.rewriter.clear()
-            self.rewriter.mark_deleted(deletions)
-            for answer in compiled.run(self.backend):
-                counts[answer] = counts.get(answer, 0) + 1
-        self.rewriter.clear()
-        return SamplingReport(
-            frequencies={t: c / runs for t, c in counts.items()},
-            runs=runs,
-            epsilon=epsilon,
-            delta=delta,
-        )

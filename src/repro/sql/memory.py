@@ -1,0 +1,195 @@
+"""A databaseless backend: the SQL protocol over plain Python tables.
+
+:class:`InMemoryBackend` implements the structured half of the
+:class:`repro.sql.backend.SQLBackend` protocol — schema DDL, bulk load,
+fact-level deltas, temp delta tables, active-domain maintenance — over
+ordinary dictionaries of row lists, and answers queries through the
+repository's own evaluators instead of compiled SQL:
+
+- compiled queries (:class:`repro.sql.compiler.CompiledQuery`) fall back
+  to :meth:`evaluate_query`, which evaluates the *source* query over the
+  current live instance (CQs by homomorphism search, FO queries by the
+  active-domain evaluator with exactly the ``_adom`` semantics the SQL
+  translation uses);
+- violation detection (:mod:`repro.sql.violations`) routes onto the core
+  constraint machinery (``violating_assignments`` / pinned homomorphism
+  search), mirroring :class:`repro.core.incremental.DeltaViolationIndex`.
+
+This lets the entire SQL sampler stack — rewriting, campaigns, both
+samplers — run in CI environments without any database engine, and
+serves as the semantic reference the SQL backends are conformance-tested
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+from repro.db.terms import Term
+from repro.sql.backend import BackendFeatureError, SQLBackend, _validate_row_arity
+from repro.sql.dialect import SQLDialect, check_name
+
+
+class MemoryDialect(SQLDialect):
+    """Placeholder dialect: identifier validation only (no SQL is run)."""
+
+    name = "memory"
+
+
+MEMORY_DIALECT = MemoryDialect()
+
+
+class InMemoryBackend(SQLBackend):
+    """The SQL backend protocol over in-process row storage."""
+
+    supports_sql = False
+    dialect = MEMORY_DIALECT
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tables: Dict[str, List[Tuple[Term, ...]]] = {}
+        self._arities: Dict[str, int] = {}
+        self._adom: Set[Term] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Structured primitives
+    # ------------------------------------------------------------------
+    def _table(self, table: str) -> List[Tuple[Term, ...]]:
+        self._check_open()
+        try:
+            return self._tables[check_name(table)]
+        except KeyError:
+            raise BackendFeatureError(f"no such table: {table}") from None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendFeatureError("backend is closed")
+
+    def create_table(self, table: str, arity: int, temp: bool = False) -> None:
+        self._check_open()
+        self._tables[check_name(table)] = []
+        self._arities[table] = arity
+
+    def drop_table(self, table: str, temp: bool = False) -> None:
+        self._check_open()
+        self._tables.pop(check_name(table), None)
+        self._arities.pop(table, None)
+
+    def clear_table(self, table: str) -> None:
+        del self._table(table)[:]
+
+    def insert_rows(self, table: str, arity: int, rows: Sequence[Sequence[Term]]) -> None:
+        if not rows:
+            return
+        _validate_row_arity(table, arity, rows)
+        self._table(table).extend(tuple(row) for row in rows)
+
+    def delete_rows(self, table: str, arity: int, rows: Sequence[Sequence[Term]]) -> None:
+        if not rows:
+            return
+        _validate_row_arity(table, arity, rows)
+        doomed = {tuple(row) for row in rows}
+        current = self._table(table)
+        current[:] = [row for row in current if row not in doomed]
+
+    def select_all(self, table: str) -> List[Tuple[Term, ...]]:
+        return list(self._table(table))
+
+    def table_count(self, relation: str) -> int:
+        return len(self._table(relation))
+
+    # ------------------------------------------------------------------
+    # Raw SQL is the one thing this backend cannot do
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        raise BackendFeatureError(
+            "InMemoryBackend cannot run raw SQL; use the structured "
+            "protocol operations or a compiled query's source fallback"
+        )
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        raise BackendFeatureError(
+            "InMemoryBackend cannot run raw SQL; use the structured "
+            "protocol operations instead"
+        )
+
+    # ------------------------------------------------------------------
+    # Active domain
+    # ------------------------------------------------------------------
+    def recreate_adom(self, values: Iterable[Term]) -> None:
+        self._check_open()
+        self._adom = set(values)
+
+    def adom_values(self) -> FrozenSet[Term]:
+        self._check_open()
+        return frozenset(self._adom)
+
+    def extend_adom(self, values: Iterable[Term]) -> None:
+        self._check_open()
+        self._adom.update(values)
+
+    # ------------------------------------------------------------------
+    # Live views + query evaluation
+    # ------------------------------------------------------------------
+    def live_database(
+        self,
+        relation_map: Optional[Mapping[str, str]] = None,
+        schema: Optional[Schema] = None,
+    ) -> Database:
+        """The instance under *relation_map*'s live views, set-built.
+
+        Maps produced by :class:`repro.sql.rewriting.DeletionRewriter`
+        carry structured ``(base, deletions)`` pairs; a plain string map
+        cannot be interpreted without SQL and is rejected.
+        """
+        schema = schema or self.schema
+        if schema is None:
+            raise ValueError("no schema known; pass one or call load() first")
+        pairs = getattr(relation_map, "pairs", None)
+        if relation_map and pairs is None:
+            raise BackendFeatureError(
+                "InMemoryBackend needs a structured relation map (a "
+                "DeletionRewriter LiveRelationMap), not raw SQL views"
+            )
+        facts = []
+        for relation in schema:
+            rows = self.select_all(relation.name)
+            if pairs and relation.name in pairs:
+                _, deletion_table = pairs[relation.name]
+                removed = set(self.select_all(deletion_table))
+                rows = [row for row in rows if row not in removed]
+            facts.extend(Fact(relation.name, tuple(row)) for row in rows)
+        return Database(facts)
+
+    def evaluate_query(
+        self, query, relation_map: Optional[Mapping[str, str]] = None
+    ) -> FrozenSet[Tuple[Term, ...]]:
+        """Evaluate a source query over the current live instance.
+
+        First-order queries range over the maintained active domain plus
+        the query's own constants — exactly the ``_adom UNION constants``
+        range the SQL translation builds — so answers agree with the SQL
+        backends cell for cell.
+        """
+        from repro.queries.cq import ConjunctiveQuery
+
+        database = self.live_database(relation_map)
+        if isinstance(query, ConjunctiveQuery):
+            return query.answers(database)
+        domain = sorted(
+            self.adom_values() | set(query.formula.constants()),
+            key=lambda c: (type(c).__name__, str(c)),
+        )
+        return query.answers(database, domain=domain)
+
+    def close(self) -> None:
+        self._closed = True
+        self._tables.clear()
+        self._arities.clear()
+        self._adom.clear()
+
+    def __enter__(self) -> "InMemoryBackend":
+        return self

@@ -1,0 +1,91 @@
+"""PostgreSQL backend (optional dependency).
+
+Implements the :class:`repro.sql.backend.SQLBackend` protocol over a
+psycopg (v3) or psycopg2 connection.  All engine differences live in
+:class:`repro.sql.dialect.PostgresDialect`: ``%s`` placeholders, TEXT
+columns with tagged value transport, and unqualified temp-table drops.
+Everything else — loading, deltas, temp delta tables, the deletion
+rewriting, compiled queries — is the shared
+:class:`repro.sql.backend.DBAPIBackend` logic, byte-for-byte the same
+SQL the SQLite backend runs.
+
+The driver is imported lazily so the rest of the package works in
+environments without psycopg; constructing the backend there raises
+:class:`repro.sql.backend.BackendUnavailableError` (tests use
+:func:`postgres_available` to skip cleanly).
+
+Connection selection, in order: an explicit ``connection``, an explicit
+``dsn``, the ``REPRO_PG_DSN`` environment variable, then libpq's own
+``PG*`` environment variables.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.sql.backend import BackendUnavailableError, DBAPIBackend
+from repro.sql.dialect import POSTGRES_DIALECT
+
+#: Environment variable holding the default connection string.
+DSN_ENV_VAR = "REPRO_PG_DSN"
+
+
+def _load_driver():
+    try:
+        import psycopg
+
+        return psycopg
+    except ImportError:
+        pass
+    try:
+        import psycopg2
+
+        return psycopg2
+    except ImportError:
+        raise BackendUnavailableError(
+            "the PostgreSQL backend needs psycopg (or psycopg2); install "
+            "one or select the sqlite/memory backend"
+        ) from None
+
+
+def default_dsn() -> str:
+    """The connection string from ``REPRO_PG_DSN`` (possibly empty —
+    libpq then falls back to its ``PG*`` environment variables)."""
+    return os.environ.get(DSN_ENV_VAR, "")
+
+
+class PostgresBackend(DBAPIBackend):
+    """The SQL backend protocol over one PostgreSQL connection."""
+
+    def __init__(self, dsn: Optional[str] = None, connection=None) -> None:
+        if connection is None:
+            driver = _load_driver()
+            try:
+                connection = driver.connect(dsn if dsn is not None else default_dsn())
+            except Exception as exc:  # driver-specific OperationalError
+                raise BackendUnavailableError(
+                    f"could not connect to PostgreSQL: {exc}"
+                ) from exc
+        super().__init__(connection, POSTGRES_DIALECT)
+
+    def close(self) -> None:
+        # Abort any open transaction so close() never blocks on it.
+        try:
+            self.connection.rollback()
+        except Exception:
+            pass
+        self.connection.close()
+
+    def __enter__(self) -> "PostgresBackend":
+        return self
+
+
+def postgres_available(dsn: Optional[str] = None) -> bool:
+    """Whether a PostgreSQL server is reachable (for test skips)."""
+    try:
+        backend = PostgresBackend(dsn)
+    except BackendUnavailableError:
+        return False
+    backend.close()
+    return True

@@ -5,6 +5,14 @@ side table ``R__del``; queries are then compiled against the logical
 relation map ``R -> (SELECT * FROM R EXCEPT SELECT * FROM R__del)``.
 The paper's informal experiment observed that such rewritten queries
 perform similarly to the originals — benchmark E8 measures this.
+
+The rewriter speaks only the structured half of the
+:class:`repro.sql.backend.SQLBackend` protocol (table creation, clears,
+bulk inserts), so it works unchanged on SQLite, PostgreSQL, and the
+in-memory backend.  Its relation map is a :class:`LiveRelationMap` — a
+plain ``dict`` of SQL view text for the compilers, carrying the
+structured ``(base, deletions)`` pairs that databaseless backends use to
+build the same live view without SQL.
 """
 
 from __future__ import annotations
@@ -13,7 +21,26 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.db.facts import Database, Fact
 from repro.db.schema import Schema
-from repro.sql.backend import SQLiteBackend, _check_name
+from repro.sql.backend import SQLBackend
+from repro.sql.dialect import check_name
+
+
+class LiveRelationMap(Dict[str, str]):
+    """``relation -> live-view SQL`` plus structured view pairs.
+
+    To SQL consumers this is an ordinary relation map (values are
+    parenthesised ``EXCEPT`` subqueries).  Backends with
+    ``supports_sql=False`` instead read :attr:`pairs`, mapping each
+    relation to its ``(base_table, deletion_table)`` pair.
+    """
+
+    def __init__(
+        self,
+        entries: Mapping[str, str],
+        pairs: Mapping[str, Tuple[str, str]],
+    ) -> None:
+        super().__init__(entries)
+        self.pairs: Dict[str, Tuple[str, str]] = dict(pairs)
 
 
 class DeletionRewriter:
@@ -21,80 +48,65 @@ class DeletionRewriter:
 
     SUFFIX = "__del"
 
-    def __init__(self, backend: SQLiteBackend, schema: Schema) -> None:
+    def __init__(self, backend: SQLBackend, schema: Schema) -> None:
         self.backend = backend
         self.schema = schema
         self._create_deletion_tables()
 
     def _create_deletion_tables(self) -> None:
-        cursor = self.backend.connection.cursor()
         for relation in self.schema:
-            table = self.deletion_table(relation.name)
-            cursor.execute(f"DROP TABLE IF EXISTS {table}")
-            columns = ", ".join(f"c{i}" for i in range(relation.arity))
-            cursor.execute(f"CREATE TABLE {table} ({columns})")
-        self.backend.connection.commit()
+            self.backend.create_table(
+                self.deletion_table(relation.name), relation.arity
+            )
 
     def deletion_table(self, relation: str) -> str:
         """Name of the side table holding deletions for *relation*."""
-        return _check_name(relation) + self.SUFFIX
+        return check_name(relation) + self.SUFFIX
 
     # ------------------------------------------------------------------
     # Per-run state
     # ------------------------------------------------------------------
     def clear(self) -> None:
         """Empty every deletion table (start of a sampling run)."""
-        cursor = self.backend.connection.cursor()
         for relation in self.schema:
-            cursor.execute(f"DELETE FROM {self.deletion_table(relation.name)}")
+            self.backend.clear_table(self.deletion_table(relation.name))
 
     def mark_deleted(self, facts: Iterable[Fact]) -> None:
         """Record *facts* as deleted in this run."""
-        cursor = self.backend.connection.cursor()
         grouped: Dict[Tuple[str, int], list] = {}
         for fact in facts:
             grouped.setdefault((fact.relation, len(fact.values)), []).append(
                 fact.values
             )
         for (relation, arity), rows in grouped.items():
-            table = self.deletion_table(relation)
-            placeholders = ", ".join("?" for _ in range(arity))
-            cursor.executemany(
-                f"INSERT INTO {table} VALUES ({placeholders})", rows
-            )
+            self.backend.insert_rows(self.deletion_table(relation), arity, rows)
 
     def deleted_count(self, relation: str) -> int:
         """Rows currently marked deleted for *relation*."""
-        return self.backend.execute(
-            f"SELECT COUNT(*) FROM {self.deletion_table(relation)}"
-        )[0][0]
+        return self.backend.table_count(self.deletion_table(relation))
 
     # ------------------------------------------------------------------
     # The rewriting itself
     # ------------------------------------------------------------------
-    def relation_map(self, relations: Optional[Sequence[str]] = None) -> Dict[str, str]:
+    def relation_map(
+        self, relations: Optional[Sequence[str]] = None
+    ) -> LiveRelationMap:
         """``R -> (SELECT * FROM R EXCEPT SELECT * FROM R__del)`` for every
         relation (or the given subset)."""
         names = (
             [r.name for r in self.schema] if relations is None else list(relations)
         )
-        out: Dict[str, str] = {}
+        entries: Dict[str, str] = {}
+        pairs: Dict[str, Tuple[str, str]] = {}
         for name in names:
-            table = _check_name(name)
-            out[name] = (
-                f"(SELECT * FROM {table} "
-                f"EXCEPT SELECT * FROM {self.deletion_table(name)})"
+            table = check_name(name)
+            deletion = self.deletion_table(name)
+            entries[name] = (
+                f"(SELECT * FROM {table} EXCEPT SELECT * FROM {deletion})"
             )
-        return out
+            pairs[name] = (table, deletion)
+        return LiveRelationMap(entries, pairs)
 
     def live_database(self) -> Database:
         """The current repaired instance (original minus deletions)."""
-        facts = []
-        for relation in self.schema:
-            sql = (
-                f"SELECT * FROM {_check_name(relation.name)} "
-                f"EXCEPT SELECT * FROM {self.deletion_table(relation.name)}"
-            )
-            for row in self.backend.execute(sql):
-                facts.append(Fact(relation.name, tuple(row)))
-        return Database(facts)
+        return self.backend.live_database(self.relation_map(), self.schema)

@@ -7,7 +7,9 @@ repairs" optimization the paper's Section 6 points to.  Each sampling
 run draws one repair by sampling every group independently, materialises
 the removed tuples in the ``R__del`` tables, and evaluates the query
 rewritten over ``R EXCEPT R__del``; tuple frequencies over ``n`` runs
-estimate ``CP`` with the additive Hoeffding guarantee.
+estimate ``CP`` with the additive Hoeffding guarantee (or the
+empirical-Bernstein adaptive variant — see
+:class:`repro.campaign.SamplingCampaign`).
 
 Three per-group policies:
 
@@ -19,6 +21,12 @@ Three per-group policies:
   possible, as the operational semantics allows);
 - ``TRUST`` — sample the group's chain under Example 5's trust-based
   generator.
+
+The sampler targets the :class:`repro.sql.backend.SQLBackend` protocol,
+so the same code runs on SQLite, PostgreSQL, and the in-memory backend.
+All per-group randomness flows through the campaign's per-group RNG
+streams: draws are independent of batch boundaries, and a campaign
+checkpointed to disk resumes with bit-identical draw sequences.
 """
 
 from __future__ import annotations
@@ -26,24 +34,40 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.analysis.hoeffding import sample_size
+from repro.campaign import SamplingCampaign, campaign_fingerprint
 from repro.constraints.base import ConstraintSet
 from repro.constraints.shortcuts import key as key_constraints
 from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.generators import TrustGenerator, UniformGenerator
-from repro.core.sampling import sample_many, sample_walk
+from repro.core.sampling import sample_walk
 from repro.db.facts import Database, Fact
 from repro.db.schema import Schema
 from repro.db.terms import Term
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.query import Query
-from repro.sql.backend import SQLiteBackend, _check_name
+from repro.sql.backend import SQLBackend
 from repro.sql.compiler import CompiledQuery, compile_cq, compile_fo_query
 from repro.sql.rewriting import DeletionRewriter
 
 AnyQuery = Union[Query, ConjunctiveQuery]
+
+
+def instance_digest(backend: SQLBackend, schema: Schema) -> str:
+    """A stable digest of the instance currently loaded in *backend*.
+
+    Folded into the samplers' campaign fingerprints so a checkpoint
+    written against one data instance is rejected when the base tables
+    have since changed — schema and policy alone cannot catch a data
+    refresh, and merging tallies across instances silently skews CP.
+    """
+    return campaign_fingerprint(
+        *(
+            (relation.name, tuple(sorted(map(str, backend.select_all(relation.name)))))
+            for relation in schema
+        )
+    )
 
 
 class SamplerPolicy(str, Enum):
@@ -87,6 +111,10 @@ class SamplingReport:
     runs: int
     epsilon: Optional[float] = None
     delta: Optional[float] = None
+    #: Whether the empirical-Bernstein rule ended the campaign before the
+    #: fixed Hoeffding count (``runs`` then reports the draws taken).
+    adaptive: bool = False
+    stopped_early: bool = False
 
     def cp(self, candidate: Tuple[Term, ...]) -> float:
         """Estimated ``CP(t)`` (0.0 for unseen tuples)."""
@@ -97,18 +125,181 @@ class SamplingReport:
         return sorted(self.frequencies.items(), key=lambda kv: (-kv[1], repr(kv[0])))
 
 
-class KeyRepairSampler:
-    """Samples key-violation repairs directly inside SQLite."""
+class BaseCampaignSampler:
+    """Campaign plumbing shared by the SQL samplers.
+
+    Subclasses set ``backend``, ``schema``, ``rng``, ``reuse_chains``,
+    and ``rewriter`` before calling :meth:`_init_campaign`, implement
+    :meth:`_fingerprint_parts`, and provide ``sample_deletions`` /
+    ``sample_deletions_many``; everything else — lazy instance digest,
+    campaign attach/bind, query compilation under the rewriting, and the
+    estimation loop — lives here exactly once.
+    """
+
+    backend: SQLBackend
+    schema: Schema
+    rng: random.Random
+    reuse_chains: bool
+    rewriter: DeletionRewriter
+    campaign: SamplingCampaign
+
+    def _init_campaign(
+        self,
+        campaign: Optional[SamplingCampaign],
+        checkpoint_path: Optional[str],
+        processes: Optional[int],
+        adaptive: bool,
+    ) -> None:
+        #: Lazily computed (full-table scan) — only needed when the
+        #: fingerprint is actually compared, i.e. when a checkpoint or an
+        #: externally shared campaign is in play.
+        self._data_digest: Optional[str] = None
+        if campaign is None:
+            if checkpoint_path is None:
+                campaign = SamplingCampaign(
+                    rng=self.rng, processes=processes, adaptive=adaptive
+                )
+            else:
+                campaign = SamplingCampaign.attach(
+                    checkpoint_path,
+                    self.fingerprint(),
+                    rng=self.rng,
+                    processes=processes,
+                    adaptive=adaptive,
+                )
+        else:
+            campaign.bind_fingerprint(self.fingerprint())
+        self.campaign = campaign
+
+    def fingerprint(self) -> str:
+        """The campaign identity of this sampler's semantic inputs."""
+        if self._data_digest is None:
+            self._data_digest = instance_digest(self.backend, self.schema)
+        return campaign_fingerprint(self._data_digest, *self._fingerprint_parts())
+
+    def _fingerprint_parts(self) -> Tuple:
+        """Sampler-specific fingerprint components (policy, keys, ...)."""
+        raise NotImplementedError
+
+    def _refresh_campaign_identity(self) -> None:
+        """Re-bind the campaign to the current (post-update) instance.
+
+        Called after a base-table delta: the data digest changes with
+        the tables, and checkpoints written afterwards must validate
+        against the instance they were actually drawn from.  Campaigns
+        that never bound a fingerprint (the default private path) skip
+        the rescan entirely.
+        """
+        self._data_digest = None
+        if self.campaign.fingerprint:
+            self.campaign.fingerprint = self.fingerprint()
+
+    def sample_deletions(self) -> List[Fact]:
+        raise NotImplementedError
+
+    def sample_deletions_many(self, runs: int) -> List[List[Fact]]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Query compilation under the rewriting
+    # ------------------------------------------------------------------
+    def compile(self, query: AnyQuery) -> CompiledQuery:
+        """Compile *query* against the ``R EXCEPT R__del`` relation map."""
+        relation_map = self.rewriter.relation_map()
+        if isinstance(query, ConjunctiveQuery):
+            return compile_cq(query, relation_map)
+        return compile_fo_query(query, relation_map)
+
+    def compile_original(self, query: AnyQuery) -> CompiledQuery:
+        """Compile *query* against the raw tables (for E8 comparisons)."""
+        if isinstance(query, ConjunctiveQuery):
+            return compile_cq(query)
+        return compile_fo_query(query)
+
+    # ------------------------------------------------------------------
+    # The estimation loop
+    # ------------------------------------------------------------------
+    def _draw_answer_sets(self, compiled: CompiledQuery, batch: int):
+        """*batch* draws: mark deletions, evaluate, collect answer sets."""
+        if self.reuse_chains:
+            batches: Iterable[List[Fact]] = self.sample_deletions_many(batch)
+        else:
+            batches = (self.sample_deletions() for _ in range(batch))
+        outcomes = []
+        for deletions in batches:
+            self.rewriter.clear()
+            self.rewriter.mark_deleted(deletions)
+            outcomes.append(compiled.run(self.backend))
+        self.rewriter.clear()
+        return outcomes
+
+    def run(
+        self,
+        query: AnyQuery,
+        runs: Optional[int] = None,
+        epsilon: float = 0.1,
+        delta: float = 0.1,
+        adaptive: Optional[bool] = None,
+        max_draws: Optional[int] = None,
+    ) -> SamplingReport:
+        """Estimate ``CP`` for every observed tuple over ``runs`` repairs.
+
+        Without an explicit run count, ``n = ln(2/delta) / (2 eps^2)``
+        runs are performed (Section 5's recipe; 150 for the default
+        parameters).  With *adaptive* (or a campaign built with
+        ``adaptive=True``), the empirical-Bernstein rule may stop the
+        campaign earlier (see :mod:`repro.analysis.bernstein` for the
+        exact guarantee accounting).  A campaign with a checkpoint path
+        persists its progress and resumes across processes; *max_draws*
+        caps this call's draws for deliberate interruption.  The compiled
+        query's identity travels with the tallies, so an interrupted
+        campaign resumed under a different query is rejected rather than
+        merged.
+        """
+        compiled = self.compile(query)
+        result = self.campaign.estimate(
+            lambda batch: self._draw_answer_sets(compiled, batch),
+            runs=runs,
+            epsilon=epsilon,
+            delta=delta,
+            adaptive=adaptive,
+            max_draws=max_draws,
+            estimation_key=campaign_fingerprint(compiled.sql, compiled.parameters),
+        )
+        return SamplingReport(
+            frequencies=result.frequencies,
+            runs=result.valid,
+            epsilon=epsilon,
+            delta=delta,
+            adaptive=result.adaptive,
+            stopped_early=result.stopped_early,
+        )
+
+    def sample_repair(self) -> Database:
+        """Draw one full repaired instance (useful for inspection/tests)."""
+        self.rewriter.clear()
+        self.rewriter.mark_deleted(self.sample_deletions())
+        repaired = self.rewriter.live_database()
+        self.rewriter.clear()
+        return repaired
+
+
+class KeyRepairSampler(BaseCampaignSampler):
+    """Samples key-violation repairs directly inside the SQL backend."""
 
     def __init__(
         self,
-        backend: SQLiteBackend,
+        backend: SQLBackend,
         schema: Schema,
         keys: Sequence[KeySpec],
         policy: SamplerPolicy = SamplerPolicy.KEEP_ONE_UNIFORM,
         trust: Optional[Mapping[Fact, Union[float, int]]] = None,
         rng: Optional[random.Random] = None,
         reuse_chains: bool = True,
+        campaign: Optional[SamplingCampaign] = None,
+        checkpoint_path: Optional[str] = None,
+        processes: Optional[int] = None,
+        adaptive: bool = False,
     ) -> None:
         self.backend = backend
         self.schema = schema
@@ -125,19 +316,29 @@ class KeyRepairSampler:
         #: (fresh chain per group per draw) — kept for benchmarking.
         self.reuse_chains = reuse_chains
         self.rewriter = DeletionRewriter(backend, schema)
-        self._chains: Dict[Tuple[Fact, ...], RepairingChain] = {}
+        #: The campaign owning warm chains, per-group RNG streams, the
+        #: estimation tallies, and (optionally) the on-disk checkpoint.
+        self._init_campaign(campaign, checkpoint_path, processes, adaptive)
         self._generators: Dict[KeySpec, ChainGenerator] = {}
         self._buckets: Dict[KeySpec, Dict[Tuple[Term, ...], set]] = {}
         self._scan_buckets()
         self.groups: Tuple[ConflictGroup, ...] = self._rebuild_groups()
+
+    def _fingerprint_parts(self) -> Tuple:
+        return (
+            "KeyRepairSampler",
+            self.schema.fingerprint(),
+            self.keys,
+            self.policy.value,
+            sorted((str(f), str(t)) for f, t in self.trust.items()),
+        )
 
     # ------------------------------------------------------------------
     # Conflict detection (one scan, then delta-maintained)
     # ------------------------------------------------------------------
     def _scan_buckets(self) -> None:
         for spec in self.keys:
-            table = _check_name(spec.relation)
-            rows = self.backend.execute(f"SELECT * FROM {table}")
+            rows = self.backend.select_all(spec.relation)
             buckets: Dict[Tuple[Term, ...], set] = {}
             for row in rows:
                 fact = Fact(spec.relation, tuple(row))
@@ -190,9 +391,8 @@ class KeyRepairSampler:
                 key_value = tuple(fact.values[p] for p in spec.positions)
                 buckets.setdefault(key_value, set()).add(fact)
         self.groups = self._rebuild_groups()
-        live = {group.facts for group in self.groups}
-        for stale in [key for key in self._chains if key not in live]:
-            del self._chains[stale]
+        self.campaign.prune_chains(group.facts for group in self.groups)
+        self._refresh_campaign_identity()
 
     # ------------------------------------------------------------------
     # Per-group sampling policies
@@ -216,19 +416,20 @@ class KeyRepairSampler:
         return generator
 
     def _group_chain(self, group: ConflictGroup) -> RepairingChain:
-        chain = self._chains.get(group.facts)
-        if chain is None:
-            chain = self._group_generator(group.spec).chain(Database(group.facts))
-            if self.reuse_chains:
-                self._chains[group.facts] = chain
-        return chain
+        factory = lambda: self._group_generator(group.spec).chain(  # noqa: E731
+            Database(group.facts)
+        )
+        if not self.reuse_chains:
+            return factory()
+        return self.campaign.chain(group.facts, factory)
 
     def _group_deletions(self, group: ConflictGroup) -> List[Fact]:
+        rng = self.campaign.rng_for(group.facts)
         if self.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
-            survivor = self.rng.choice(group.facts)
+            survivor = rng.choice(group.facts)
             return [fact for fact in group.facts if fact != survivor]
         chain = self._group_chain(group)
-        walk = sample_walk(chain, self.rng)
+        walk = sample_walk(chain, rng)
         return sorted(chain.database - walk.result, key=str)
 
     def sample_deletions(self) -> List[Fact]:
@@ -241,83 +442,27 @@ class KeyRepairSampler:
     def sample_deletions_many(self, runs: int) -> List[List[Fact]]:
         """*runs* repair draws, batched group by group.
 
-        The batched driver (:func:`repro.core.sampling.sample_many`)
-        runs all of a group's walks over its one shared chain before
-        moving on, so hot prefix states are enumerated once per campaign
-        rather than once per draw.  Draws remain i.i.d. — walks are
-        independent and groups are independent — but the RNG is consumed
-        in a different order than ``runs`` separate
-        :meth:`sample_deletions` calls.
+        The batched driver (:meth:`repro.campaign.SamplingCampaign.walks`
+        over :func:`repro.core.sampling.sample_many`) runs all of a
+        group's walks over its one shared chain before moving on, so hot
+        prefix states are enumerated once per campaign rather than once
+        per draw; with campaign ``processes`` the walks shard across
+        worker processes per group.  Draws remain i.i.d. — walks are
+        independent and each group consumes its own RNG stream, so the
+        draw sequences are also independent of how a campaign is split
+        into batches (the property behind checkpoint/resume equality).
         """
         per_run: List[List[Fact]] = [[] for _ in range(runs)]
         for group in self.groups:
             if self.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
+                rng = self.campaign.rng_for(group.facts)
                 for deletions in per_run:
-                    survivor = self.rng.choice(group.facts)
+                    survivor = rng.choice(group.facts)
                     deletions.extend(f for f in group.facts if f != survivor)
                 continue
             chain = self._group_chain(group)
             for deletions, walk in zip(
-                per_run, sample_many(chain, runs, self.rng)
+                per_run, self.campaign.walks(group.facts, chain, runs)
             ):
                 deletions.extend(sorted(chain.database - walk.result, key=str))
         return per_run
-
-    # ------------------------------------------------------------------
-    # Query compilation under the rewriting
-    # ------------------------------------------------------------------
-    def compile(self, query: AnyQuery) -> CompiledQuery:
-        """Compile *query* against the ``R EXCEPT R__del`` relation map."""
-        relation_map = self.rewriter.relation_map()
-        if isinstance(query, ConjunctiveQuery):
-            return compile_cq(query, relation_map)
-        return compile_fo_query(query, relation_map)
-
-    def compile_original(self, query: AnyQuery) -> CompiledQuery:
-        """Compile *query* against the raw tables (for E8 comparisons)."""
-        if isinstance(query, ConjunctiveQuery):
-            return compile_cq(query)
-        return compile_fo_query(query)
-
-    # ------------------------------------------------------------------
-    # Sampling campaigns
-    # ------------------------------------------------------------------
-    def run(
-        self,
-        query: AnyQuery,
-        runs: Optional[int] = None,
-        epsilon: float = 0.1,
-        delta: float = 0.1,
-    ) -> SamplingReport:
-        """Estimate ``CP`` for every observed tuple over ``runs`` repairs.
-
-        Without an explicit run count, ``n = ln(2/delta) / (2 eps^2)``
-        runs are performed (Section 5's recipe; 150 for the default
-        parameters).
-        """
-        if runs is None:
-            runs = sample_size(epsilon, delta)
-        compiled = self.compile(query)
-        counts: Dict[Tuple[Term, ...], int] = {}
-        if self.reuse_chains:
-            batches: Iterable[List[Fact]] = self.sample_deletions_many(runs)
-        else:
-            batches = (self.sample_deletions() for _ in range(runs))
-        for deletions in batches:
-            self.rewriter.clear()
-            self.rewriter.mark_deleted(deletions)
-            for answer in compiled.run(self.backend):
-                counts[answer] = counts.get(answer, 0) + 1
-        self.rewriter.clear()
-        frequencies = {t: c / runs for t, c in counts.items()}
-        return SamplingReport(
-            frequencies=frequencies, runs=runs, epsilon=epsilon, delta=delta
-        )
-
-    def sample_repair(self) -> Database:
-        """Draw one full repaired instance (useful for inspection/tests)."""
-        self.rewriter.clear()
-        self.rewriter.mark_deleted(self.sample_deletions())
-        repaired = self.rewriter.live_database()
-        self.rewriter.clear()
-        return repaired

@@ -1,4 +1,4 @@
-"""Constraint-violation detection inside SQLite.
+"""Constraint-violation detection at SQL scale, over any backend.
 
 The in-memory engine finds violations by homomorphism search; at SQL
 scale the same search is a self-join.  For a TGD-free constraint
@@ -17,6 +17,13 @@ the per-constraint edge sets *incrementally* current under fact-level
 deltas (temp delta tables + pinned joins + per-constraint
 touched-relation filtering), mirroring the in-memory
 :class:`repro.core.incremental.DeltaViolationIndex` at SQL scale.
+
+Both entry points target the :class:`repro.sql.backend.SQLBackend`
+protocol.  On a backend without SQL support
+(:class:`repro.sql.memory.InMemoryBackend`) the same semantics route
+onto the core machinery: full detection runs
+``constraint.violating_assignments`` and the insert delta runs the same
+pinned homomorphism search the in-memory incremental index uses.
 """
 
 from __future__ import annotations
@@ -27,8 +34,13 @@ from repro.constraints.base import Constraint, ConstraintSet
 from repro.constraints.dc import DC
 from repro.constraints.egd import EGD
 from repro.db.facts import Fact
+from repro.db.homomorphism import find_homomorphisms_pinned
 from repro.db.terms import Term, Var, is_var
-from repro.sql.backend import SQLiteBackend, _check_name
+from repro.sql.backend import SQLBackend
+from repro.sql.dialect import check_name
+
+#: Backwards-compatible alias (pre-dialect callers imported it from here).
+_check_name = check_name
 
 
 def compile_violation_query(
@@ -63,12 +75,12 @@ def compile_violation_query(
     for index, atom in enumerate(constraint.body):
         alias = f"t{index}"
         if index == delta_atom:
-            physical = _check_name(delta_table)
+            physical = check_name(delta_table)
         else:
             physical = (
                 relation_map[atom.relation]
                 if relation_map and atom.relation in relation_map
-                else _check_name(atom.relation)
+                else check_name(atom.relation)
             )
         from_parts.append(f"{physical} {alias}")
         for position, term in enumerate(atom.terms):
@@ -117,27 +129,59 @@ def _rows_to_edges(constraint: Constraint, rows) -> Set[FrozenSet[Fact]]:
     return edges
 
 
+def _memory_edges(
+    constraint: Constraint, database
+) -> Set[FrozenSet[Fact]]:
+    """Full detection through the core machinery (no SQL)."""
+    return {
+        constraint.body_image(assignment)
+        for assignment in constraint.violating_assignments(database)
+    }
+
+
 def violating_fact_sets(
-    backend: SQLiteBackend,
+    backend: SQLBackend,
     constraint: Constraint,
     relation_map: Optional[Mapping[str, str]] = None,
+    database=None,
 ) -> FrozenSet[FrozenSet[Fact]]:
-    """The body images of every violation of *constraint*, via SQL."""
+    """The body images of every violation of *constraint*.
+
+    *database* lets multi-constraint callers on SQL-less backends build
+    the live instance once and share it across constraints (ignored for
+    SQL backends).
+    """
+    if not backend.supports_sql:
+        if database is None:
+            database = backend.live_database(relation_map)
+        return frozenset(_memory_edges(constraint, database))
     sql, params = compile_violation_query(constraint, relation_map)
     return frozenset(_rows_to_edges(constraint, backend.execute(sql, params)))
 
 
+def _shared_live_database(
+    backend: SQLBackend, relation_map: Optional[Mapping[str, str]]
+):
+    """The one-per-pass live instance for SQL-less backends (else None)."""
+    if backend.supports_sql:
+        return None
+    return backend.live_database(relation_map)
+
+
 def conflict_hypergraph_sql(
-    backend: SQLiteBackend,
+    backend: SQLBackend,
     constraints: ConstraintSet,
     relation_map: Optional[Mapping[str, str]] = None,
 ) -> FrozenSet[FrozenSet[Fact]]:
-    """The full conflict hypergraph of a TGD-free constraint set, via SQL."""
+    """The full conflict hypergraph of a TGD-free constraint set."""
     if not constraints.deletion_only():
         raise ValueError("SQL conflict hypergraphs require TGD-free constraints")
+    shared = _shared_live_database(backend, relation_map)
     edges: Set[FrozenSet[Fact]] = set()
     for constraint in constraints:
-        edges.update(violating_fact_sets(backend, constraint, relation_map))
+        edges.update(
+            violating_fact_sets(backend, constraint, relation_map, database=shared)
+        )
     return frozenset(edges)
 
 
@@ -177,18 +221,18 @@ def components_from_edges(
 
 
 def conflict_components_sql(
-    backend: SQLiteBackend,
+    backend: SQLBackend,
     constraints: ConstraintSet,
     relation_map: Optional[Mapping[str, str]] = None,
 ) -> Tuple[FrozenSet[Fact], ...]:
-    """Connected components of the SQL-detected conflict hypergraph."""
+    """Connected components of the detected conflict hypergraph."""
     return components_from_edges(
         conflict_hypergraph_sql(backend, constraints, relation_map)
     )
 
 
 class SQLDeltaViolationIndex:
-    """Incremental violation maintenance inside SQLite.
+    """Incremental violation maintenance over any backend.
 
     The SQL mirror of :class:`repro.core.incremental.DeltaViolationIndex`
     for TGD-free constraint sets: the per-constraint violation edge sets
@@ -206,6 +250,11 @@ class SQLDeltaViolationIndex:
     - constraints mentioning none of the touched relations are skipped
       entirely (the per-constraint touched-relation filter).
 
+    On a backend without SQL support the insert delta runs the same
+    pinned strategy through :func:`find_homomorphisms_pinned` over the
+    live in-memory view — one pinned search per (constraint, body atom,
+    inserted fact) instead of one pinned join per (constraint, atom).
+
     The caller is responsible for ordering: apply the delta to the live
     view (base tables / deletion side-tables) *before* calling
     :meth:`apply_insert`, and call :meth:`apply_delete` for facts that
@@ -216,7 +265,7 @@ class SQLDeltaViolationIndex:
 
     def __init__(
         self,
-        backend: SQLiteBackend,
+        backend: SQLBackend,
         constraints: ConstraintSet,
         relation_map: Optional[Mapping[str, str]] = None,
     ) -> None:
@@ -227,14 +276,21 @@ class SQLDeltaViolationIndex:
             )
         self.backend = backend
         self.constraints = constraints
-        self.relation_map = dict(relation_map) if relation_map else None
+        if relation_map is None or not relation_map:
+            self.relation_map: Optional[Mapping[str, str]] = None
+        elif hasattr(relation_map, "pairs"):
+            # Keep the structured live-view pairs for SQL-less backends.
+            self.relation_map = relation_map
+        else:
+            self.relation_map = dict(relation_map)
+        shared = _shared_live_database(backend, self.relation_map)
         self._edges: Dict[Constraint, Set[FrozenSet[Fact]]] = {
-            c: set(violating_fact_sets(backend, c, relation_map))
+            c: set(violating_fact_sets(backend, c, self.relation_map, database=shared))
             for c in constraints
         }
         self._delta_tables: Dict[Tuple[str, int], str] = {}
-        #: Diagnostics: full joins run, pinned delta joins run, and
-        #: constraints skipped by the touched-relation filter.
+        #: Diagnostics: full joins run, pinned delta joins/searches run,
+        #: and constraints skipped by the touched-relation filter.
         self.full_queries = len(self._edges)
         self.delta_queries = 0
         self.skipped_constraints = 0
@@ -258,10 +314,13 @@ class SQLDeltaViolationIndex:
         return components_from_edges(self.current())
 
     def refresh(self) -> None:
-        """Rebuild every edge set by full self-joins (resync point)."""
+        """Rebuild every edge set by full detection (resync point)."""
+        shared = _shared_live_database(self.backend, self.relation_map)
         for constraint in self._edges:
             self._edges[constraint] = set(
-                violating_fact_sets(self.backend, constraint, self.relation_map)
+                violating_fact_sets(
+                    self.backend, constraint, self.relation_map, database=shared
+                )
             )
             self.full_queries += 1
 
@@ -290,6 +349,9 @@ class SQLDeltaViolationIndex:
         by_relation: Dict[str, List[Fact]] = {}
         for fact in added:
             by_relation.setdefault(fact.relation, []).append(fact)
+        if not self.backend.supports_sql:
+            self._apply_insert_memory(by_relation)
+            return
         staged: Set[Tuple[str, int]] = set()
         for constraint, edges in self._edges.items():
             if not (set(by_relation) & constraint.body_relations):
@@ -315,6 +377,25 @@ class SQLDeltaViolationIndex:
                 )
                 self.delta_queries += 1
 
+    def _apply_insert_memory(self, by_relation: Dict[str, List[Fact]]) -> None:
+        """The pinned-search insert delta for backends without SQL."""
+        database = self.backend.live_database(self.relation_map)
+        for constraint, edges in self._edges.items():
+            if not (set(by_relation) & constraint.body_relations):
+                self.skipped_constraints += 1
+                continue
+            for index, atom in enumerate(constraint.body):
+                rows = by_relation.get(atom.relation)
+                if not rows:
+                    continue
+                for fact in rows:
+                    for assignment in find_homomorphisms_pinned(
+                        constraint.body, database, index, fact
+                    ):
+                        if not constraint.head_holds(assignment, database):
+                            edges.add(constraint.body_image(assignment))
+                self.delta_queries += 1
+
     # ------------------------------------------------------------------
     # Temp delta tables
     # ------------------------------------------------------------------
@@ -322,19 +403,11 @@ class SQLDeltaViolationIndex:
         key = (relation, arity)
         table = self._delta_tables.get(key)
         if table is None:
-            table = f"{_check_name(relation)}{self.DELTA_SUFFIX}"
-            columns = ", ".join(f"c{i}" for i in range(arity))
-            cursor = self.backend.connection.cursor()
-            cursor.execute(f"DROP TABLE IF EXISTS temp.{table}")
-            cursor.execute(f"CREATE TEMP TABLE {table} ({columns})")
+            table = f"{check_name(relation)}{self.DELTA_SUFFIX}"
+            self.backend.create_table(table, arity, temp=True)
             self._delta_tables[key] = table
         return table
 
     def _stage(self, table: str, arity: int, facts: Sequence[Fact]) -> None:
-        cursor = self.backend.connection.cursor()
-        cursor.execute(f"DELETE FROM {table}")
-        placeholders = ", ".join("?" for _ in range(arity))
-        cursor.executemany(
-            f"INSERT INTO {table} VALUES ({placeholders})",
-            [fact.values for fact in facts],
-        )
+        self.backend.clear_table(table)
+        self.backend.insert_rows(table, arity, [fact.values for fact in facts])

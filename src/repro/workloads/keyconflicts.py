@@ -36,6 +36,15 @@ class KeyConflictWorkload:
         """Total number of facts in the generated database."""
         return len(self.database)
 
+    def load_into(self, backend):
+        """Load the workload into any :class:`repro.sql.SQLBackend`.
+
+        Returns the backend, so call sites can chain:
+        ``workload.load_into(create_backend("memory"))``.
+        """
+        backend.load(self.database, self.schema)
+        return backend
+
 
 def key_conflict_workload(
     clean_rows: int,

@@ -1,0 +1,155 @@
+"""Unit tests for the empirical-Bernstein adaptive stopping rule."""
+
+import random
+
+import pytest
+
+from repro.analysis.bernstein import (
+    BernsteinStopper,
+    adaptive_sample_size_bound,
+    bernoulli_sample_variance,
+    checkpoint_schedule,
+    empirical_bernstein_radius,
+)
+from repro.analysis.hoeffding import sample_size
+
+
+class TestVariance:
+    def test_bernoulli_sample_variance_matches_definition(self):
+        # 3 ones, 7 zeros: mean 0.3, unbiased variance = sum((x-m)^2)/(n-1)
+        xs = [1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
+        mean = sum(xs) / len(xs)
+        expected = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+        assert bernoulli_sample_variance(3, 10) == pytest.approx(expected)
+
+    def test_degenerate_streams_have_zero_variance(self):
+        assert bernoulli_sample_variance(0, 50) == 0.0
+        assert bernoulli_sample_variance(50, 50) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_sample_variance(1, 1)
+        with pytest.raises(ValueError):
+            bernoulli_sample_variance(11, 10)
+
+
+class TestRadius:
+    def test_shrinks_with_n(self):
+        radii = [empirical_bernstein_radius(n, 0.25, 0.05) for n in (10, 100, 1000)]
+        assert radii[0] > radii[1] > radii[2]
+
+    def test_zero_variance_beats_hoeffding_rate(self):
+        # O(log/n) vs O(1/sqrt n): at n = 600 the EB radius of a
+        # zero-variance stream is far below Hoeffding's epsilon there.
+        assert empirical_bernstein_radius(600, 0.0, 0.05) < 0.05
+
+    def test_grows_with_variance(self):
+        assert empirical_bernstein_radius(100, 0.25, 0.1) > empirical_bernstein_radius(
+            100, 0.01, 0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            empirical_bernstein_radius(1, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            empirical_bernstein_radius(10, -0.1, 0.1)
+        with pytest.raises(ValueError):
+            empirical_bernstein_radius(10, 0.1, 1.5)
+
+
+class TestSchedule:
+    def test_geometric_and_ends_at_limit(self):
+        points = checkpoint_schedule(600, start=8, growth=1.5)
+        assert points[0] == 8
+        assert points[-1] == 600
+        assert all(b > a for a, b in zip(points, points[1:]))
+
+    def test_small_limits(self):
+        assert checkpoint_schedule(1) == (1,)
+        assert checkpoint_schedule(5)[-1] == 5
+
+
+class TestStopper:
+    def test_never_exceeds_hoeffding(self):
+        epsilon, delta = 0.1, 0.1
+        stopper = BernsteinStopper(epsilon, delta)
+        assert stopper.limit == sample_size(epsilon, delta)
+        assert stopper.checkpoints[-1] == stopper.limit
+
+    def test_stops_early_on_low_variance(self):
+        """Simulated campaign with deterministic answers stops early."""
+        epsilon, delta = 0.05, 0.1
+        stopper = BernsteinStopper(epsilon, delta)
+        done = 0
+        counts = {}
+        while True:
+            batch = stopper.next_batch(done)
+            if batch == 0:
+                break
+            done += batch
+            counts[("t",)] = done  # the answer appears in every draw
+            if stopper.should_stop(done, counts):
+                break
+        assert done < sample_size(epsilon, delta)
+
+    def test_does_not_stop_on_high_variance(self):
+        """A fair-coin stream keeps drawing to the Hoeffding cap."""
+        epsilon, delta = 0.1, 0.1
+        stopper = BernsteinStopper(epsilon, delta)
+        rng = random.Random(3)
+        done = 0
+        successes = 0
+        stopped = False
+        while True:
+            batch = stopper.next_batch(done)
+            if batch == 0:
+                break
+            successes += sum(rng.random() < 0.5 for _ in range(batch))
+            done += batch
+            if done < stopper.limit and stopper.should_stop(done, {"t": successes}):
+                stopped = True
+                break
+        assert not stopped
+        assert done == stopper.limit
+
+    def test_guarantee_holds_empirically_on_stopped_streams(self):
+        """When the stopper halts, the estimate is within epsilon of the
+        true mean (far more often than 1 - delta)."""
+        epsilon, delta = 0.1, 0.1
+        true_p = 0.97
+        failures = 0
+        trials = 60
+        for trial in range(trials):
+            rng = random.Random(trial)
+            stopper = BernsteinStopper(epsilon, delta)
+            done = 0
+            successes = 0
+            while True:
+                batch = stopper.next_batch(done)
+                if batch == 0:
+                    break
+                successes += sum(rng.random() < true_p for _ in range(batch))
+                done += batch
+                if stopper.should_stop(done, {"t": successes}):
+                    break
+            if abs(successes / done - true_p) > epsilon:
+                failures += 1
+        assert failures / trials <= delta
+
+    def test_unseen_stream_is_always_tracked(self):
+        """Even with only high-count streams, the implicit all-zeros
+        stream (unseen tuples) must satisfy the bound before stopping."""
+        stopper = BernsteinStopper(0.1, 0.1)
+        # At n = 12 the zero-variance radius is still above 0.1 because
+        # of the 7 ln(2/delta') / (3 (n-1)) term.
+        assert not stopper.evaluate(12, [12]).stop
+
+
+class TestAdaptiveBound:
+    def test_bound_at_most_hoeffding(self):
+        for variance in (0.0, 0.05, 0.25):
+            bound = adaptive_sample_size_bound(0.1, 0.1, variance)
+            assert bound <= sample_size(0.1, 0.1)
+
+    def test_low_variance_saves_draws(self):
+        assert adaptive_sample_size_bound(0.05, 0.1, 0.0) < sample_size(0.05, 0.1)
