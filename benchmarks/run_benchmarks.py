@@ -20,10 +20,18 @@ keys land in the report), and ``--adaptive`` times/records the
 fixed-Hoeffding vs empirical-Bernstein draw counts on the E10 and E11
 workloads (``adaptive_draws`` in the report).
 
+PR 4 additions: ``--workers N`` records the distributed-sampling
+scaling curve (``e12_local_pool_workers_*``: one E11-style campaign
+sharded over a persistent local worker pool of 1..N processes, against
+the serial baseline) and the per-batch overhead of the persistent pool
+vs the PR 3 fork fan-out, which re-spawned worker processes on every
+batch (``worker_pool_overhead`` in the report).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
     [--repeat N] [--skip-pytest] [--quick] [--backend NAME] [--adaptive]
+    [--workers N]
 """
 
 from __future__ import annotations
@@ -262,6 +270,130 @@ def scenario_adaptive(quick: bool = False, backend_name: str = "sqlite") -> dict
     return out
 
 
+def scenario_workers(repeat: int, quick: bool, max_workers: int) -> dict:
+    """The distributed-sampling scaling curve (E12).
+
+    One walk-dominated campaign (big conflict groups, Hoeffding-scale
+    draw count) is run serially, then sharded over a persistent local
+    worker pool of 1..*max_workers* processes.  Thanks to the
+    draw-indexed substreams the estimates are byte-identical in every
+    configuration (asserted here), so the curve measures pure execution
+    scaling, not sampling noise.  Interpret it against the recorded
+    ``cpu_count``: on a single-core container the curve can only show
+    the coordination overhead floor (each point still byte-identical),
+    while the hardware-independent persistent-pool win is recorded
+    separately in ``worker_pool_overhead``.
+    """
+    from repro.sql import KeyRepairSampler, SamplerPolicy
+
+    runs = 100 if quick else 600
+    workload = key_conflict_workload(
+        clean_rows=100,
+        conflict_groups=20 if quick else 40,
+        group_size=6,
+        arity=3,
+        seed=21,
+    )
+    query = parse_cq("Q(x) :- R(x, y, z)")
+    out = {}
+    baseline_freqs = None
+    for workers in range(0, max_workers + 1):
+        backend = workload.load_into(create_backend("sqlite"))
+        sampler = KeyRepairSampler(
+            backend,
+            workload.schema,
+            [workload.key_spec],
+            policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+            rng=random.Random(12),
+            workers=workers or None,
+        )
+        label = f"e12_local_pool_workers_{workers}" if workers else "e12_serial"
+        reports = []
+
+        def run():
+            reports.append(sampler.run(query, runs=runs))
+
+        seconds = _timed(run, repeat)
+        sampler.close_coordinator()
+        backend.close()
+        if baseline_freqs is None:
+            baseline_freqs = reports[-1].frequencies
+        else:
+            assert reports[-1].frequencies == baseline_freqs, (
+                "distributed campaign diverged from the serial baseline"
+            )
+        out[label] = seconds
+        out[f"{label}_per_draw"] = seconds / runs
+    return out
+
+
+def scenario_pool_overhead(quick: bool) -> dict:
+    """Persistent-pool vs PR 3 fork fan-out, per batch.
+
+    The PR 3 path (``sample_many(..., processes=2)``) forked a fresh
+    worker pool for *every* batch of walks; the persistent
+    ``LocalPoolTransport`` pool forks once per campaign and keeps warm
+    chains/caches across batches.  Both run the same number of walk
+    batches over the same chain; the difference is pure per-batch spawn
+    and re-warm-up overhead.
+    """
+    from repro.campaign import SamplingCampaign
+    from repro.core.sampling import sample_many
+    from repro.distributed import Coordinator, LocalPoolTransport
+    from repro.distributed.worker import ShardContext
+
+    batches = 6 if quick else 12
+    batch_size = 20 if quick else 40
+    workload = key_conflict_workload(
+        clean_rows=0, conflict_groups=6, group_size=2, arity=2, seed=33
+    )
+    generator = UniformGenerator(workload.constraints)
+    chain = generator.chain(workload.database)
+    query = parse_cq("Q(x) :- R(x, y)")
+
+    start = time.perf_counter()
+    rng = random.Random(1)
+    for _ in range(batches):
+        sample_many(chain, batch_size, rng, processes=2)
+    fork_seconds = time.perf_counter() - start
+
+    campaign = SamplingCampaign(seed=5)
+    context = ShardContext.create(
+        "chain",
+        {
+            "facts": tuple(workload.database),
+            "generator": generator,
+            "query": query,
+            "candidate": None,
+            "allow_failing": False,
+            "seed": campaign.seed,
+            "stream_key": "root",
+        },
+    )
+    coordinator = Coordinator(
+        LocalPoolTransport.spawn(2), shard_size=max(1, batch_size // 2)
+    )
+    try:
+        start = time.perf_counter()
+        for index in range(batches):
+            coordinator.run_range(context, index * batch_size, batch_size)
+        pool_seconds = time.perf_counter() - start
+    finally:
+        coordinator.close()
+
+    return {
+        "batches": batches,
+        "batch_size": batch_size,
+        "fork_fanout_seconds_per_batch": fork_seconds / batches,
+        "persistent_pool_seconds_per_batch": pool_seconds / batches,
+        "persistent_pool_speedup_per_batch": round(
+            fork_seconds / pool_seconds, 2
+        )
+        if pool_seconds > 0
+        else None,
+    }
+
+
 def run_pytest_pass() -> dict:
     """Wall-clock of the benchmark files under pytest."""
     out = {}
@@ -303,7 +435,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR3.json",
+        default=REPO_ROOT / "BENCH_PR4.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -330,6 +462,15 @@ def main() -> int:
         action="store_true",
         help="also record fixed-vs-adaptive (empirical-Bernstein) draw counts",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record the local-pool scaling curve (serial + pools of "
+        "1..N persistent workers) and the per-batch overhead vs the "
+        "PR 3 fork fan-out",
+    )
     args = parser.parse_args()
     if args.quick:
         args.repeat = 1
@@ -346,21 +487,30 @@ def main() -> int:
     print(f"timing E11 ({args.backend}) ...", flush=True)
     scenarios.update(scenario_e11(args.repeat, args.quick, args.backend))
 
-    pr2_baseline = _previous_baseline("BENCH_PR2.json")
-    speedup_vs_pr2 = {
-        key: round(pr2_baseline[key] / value, 2)
+    if args.workers:
+        print(
+            f"timing E12 local-pool scaling (1..{args.workers} workers) ...",
+            flush=True,
+        )
+        scenarios.update(scenario_workers(args.repeat, args.quick, args.workers))
+
+    pr3_baseline = _previous_baseline("BENCH_PR3.json")
+    speedup_vs_pr3 = {
+        key: round(pr3_baseline[key] / value, 2)
         for key, value in scenarios.items()
-        if key in pr2_baseline and value > 0
+        if key in pr3_baseline and value > 0
     }
 
     report = {
-        "pr": 3,
+        "pr": 4,
         "description": (
-            "pluggable SQL backend protocol (sqlite/postgres/memory) + "
-            "persistent campaigns with empirical-Bernstein adaptive stopping"
+            "distributed sampling service: coordinator/worker campaign "
+            "sharding (persistent local pools + remote socket workers, "
+            "draw-indexed substream determinism)"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": __import__("os").cpu_count(),
         "repeat": args.repeat,
         "quick": args.quick,
         "backend": args.backend,
@@ -371,8 +521,8 @@ def main() -> int:
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
-        "pr2_baseline_seconds": pr2_baseline,
-        "speedup_vs_pr2": speedup_vs_pr2,
+        "pr3_baseline_seconds": pr3_baseline,
+        "speedup_vs_pr3": speedup_vs_pr3,
     }
     if "e11_seconds_per_draw_legacy" in scenarios:
         report["e11_per_draw_speedup"] = round(
@@ -380,6 +530,9 @@ def main() -> int:
             / scenarios["e11_seconds_per_draw_incremental"],
             2,
         )
+    if args.workers:
+        print("timing persistent-pool vs fork fan-out per-batch overhead ...", flush=True)
+        report["worker_pool_overhead"] = scenario_pool_overhead(args.quick)
     if args.adaptive:
         print(f"recording adaptive draw counts ({args.backend}) ...", flush=True)
         report["adaptive_draws"] = scenario_adaptive(args.quick, args.backend)
@@ -393,6 +546,15 @@ def main() -> int:
         print(f"  {key}: {value * 1000:.2f} ms")
     if "e11_per_draw_speedup" in report:
         print(f"  E11 per-draw speedup: {report['e11_per_draw_speedup']}x")
+    if "worker_pool_overhead" in report:
+        overhead = report["worker_pool_overhead"]
+        print(
+            "  per-batch: fork fan-out "
+            f"{overhead['fork_fanout_seconds_per_batch'] * 1000:.2f} ms vs "
+            "persistent pool "
+            f"{overhead['persistent_pool_seconds_per_batch'] * 1000:.2f} ms "
+            f"({overhead['persistent_pool_speedup_per_batch']}x)"
+        )
     if "adaptive_draws" in report:
         adaptive = report["adaptive_draws"]
         print(

@@ -197,8 +197,40 @@ class BernsteinStopper:
         )
         return StopDecision(stop=worst <= self.epsilon, n=n, worst_radius=worst)
 
-    def should_stop(self, n: int, counts: Mapping[object, int]) -> bool:
-        """Convenience wrapper over :meth:`evaluate` for count mappings."""
+    def evaluate_target(self, n: int, successes: int) -> StopDecision:
+        """Whether *one* stream's EB radius is within epsilon after *n*.
+
+        The per-tuple rule for targeted ``CP(t)`` estimation: only the
+        candidate's own stream is tested — neither the other observed
+        tuples' streams nor the implicit all-zeros stream — so a
+        low-variance candidate resolves as soon as *its* interval does,
+        even while unrelated answers are still high-variance.  An early
+        stop therefore certifies the target's estimate alone; the other
+        tuples' frequencies are reported without the adaptive guarantee
+        (they keep the plain Hoeffding reading only if the campaign runs
+        to the cap).
+        """
+        if n < 2:
+            return StopDecision(stop=False, n=n, worst_radius=float("inf"))
+        radius = empirical_bernstein_radius(
+            n, bernoulli_sample_variance(successes, n), self.checkpoint_delta
+        )
+        return StopDecision(stop=radius <= self.epsilon, n=n, worst_radius=radius)
+
+    def should_stop(
+        self,
+        n: int,
+        counts: Mapping[object, int],
+        target: Optional[object] = None,
+    ) -> bool:
+        """Convenience wrapper over :meth:`evaluate` for count mappings.
+
+        With *target*, only that answer tuple's stream is tested (see
+        :meth:`evaluate_target`); a target absent from *counts* is the
+        all-zeros stream.
+        """
+        if target is not None:
+            return self.evaluate_target(n, counts.get(target, 0)).stop
         return self.evaluate(n, counts.values()).stop
 
 

@@ -18,15 +18,30 @@ A :class:`SamplingCampaign`
   key), so draw sequences are independent of batch boundaries — the
   property that makes checkpoint/resume reproduce uninterrupted runs
   bit for bit;
+- **owns draw-indexed substreams**: draw *i* of group *g* additionally
+  has its own derived RNG (:meth:`SamplingCampaign.rng_at`), seeded from
+  the campaign seed, the group key, and the draw index.  Because a
+  substream draw depends on nothing but ``(seed, group, index)``, any
+  draw range can be computed anywhere — a remote worker, a local pool
+  process, or the parent — and produce byte-identical results; this is
+  the determinism contract behind :mod:`repro.distributed` (and what
+  lets a shard be re-leased from a dead worker without skewing a single
+  draw).  The campaign's :attr:`~SamplingCampaign.draw_cursor` assigns
+  the global draw indices and is checkpointed with the tallies;
 - **checkpoints to disk** (pickle, atomic replace): chains, RNG states,
   and partial tallies, guarded by a schema/constraint *fingerprint* so
   stale or mismatched checkpoints are rejected loudly
   (:class:`CheckpointMismatchError`) instead of silently skewing CP
   estimates;
-- **shards draws across worker processes** per group, through
-  :func:`repro.core.sampling.sample_many`'s fork-based fan-out (sharded
-  campaigns are still i.i.d., but not draw-for-draw identical to serial
-  ones — keep ``processes=None`` when resumability matters);
+- **shards draws across workers** through :mod:`repro.distributed`: the
+  samplers and estimators accept ``workers=N`` (a persistent local
+  worker pool — the :class:`repro.distributed.LocalPoolTransport`
+  replacement for the old per-batch fork fan-out) and
+  ``worker_addresses`` (remote ``ocqa worker`` processes).  Because
+  draws are substream-indexed, sharded campaigns are draw-for-draw
+  identical to serial ones, whatever the worker count or failures;
+  (:func:`repro.core.sampling.sample_many`'s fork fan-out remains for
+  the standalone walk API);
 - **supports adaptive stopping**: with ``adaptive=True`` the estimation
   loop draws in geometric batches and stops as soon as the
   empirical-Bernstein rule (:mod:`repro.analysis.bernstein`) certifies
@@ -46,10 +61,19 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.analysis.bernstein import BernsteinStopper
 from repro.analysis.hoeffding import sample_size
 from repro.core.chain import RepairingChain
-from repro.core.sampling import Walk, sample_many
 
 #: Bumped whenever the checkpoint payload layout changes.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+
+def draw_rng(seed: Any, key: Any, index: int) -> random.Random:
+    """The RNG substream of draw *index* for group *key* under *seed*.
+
+    The module-level form of :meth:`SamplingCampaign.rng_at`: workers in
+    :mod:`repro.distributed` reproduce a coordinator's draws from just
+    ``(seed, key, index)``, without holding the campaign object.
+    """
+    return random.Random(f"{seed}:{_key_str(key)}#{index}")
 
 
 class CheckpointMismatchError(RuntimeError):
@@ -162,6 +186,11 @@ class SamplingCampaign:
         self.adaptive = adaptive
         self._chains: Dict[str, RepairingChain] = {}
         self._rngs: Dict[str, random.Random] = {}
+        #: Next global draw index to hand out (see :meth:`claim_draws`).
+        #: Like the RNG streams, the cursor only ever advances — a fresh
+        #: estimation on a warm campaign continues the substreams rather
+        #: than replaying them.
+        self.draw_cursor = 0
         self.counts: Dict[Tuple, int] = {}
         self.draws_done = 0
         self.valid_draws = 0
@@ -203,13 +232,43 @@ class SamplingCampaign:
     # Warm chains + per-group RNG streams
     # ------------------------------------------------------------------
     def rng_for(self, key: Any) -> random.Random:
-        """The deterministic RNG stream owned by group *key*."""
+        """The deterministic *sequential* RNG stream owned by group *key*.
+
+        Kept for external callers with genuinely sequential needs; the
+        samplers and estimators draw from :meth:`rng_at` substreams
+        instead — drawing campaign randomness from this stream would
+        reintroduce order-dependence and break the serial == distributed
+        byte-identity contract.
+        """
         ks = _key_str(key)
         rng = self._rngs.get(ks)
         if rng is None:
             rng = random.Random(f"{self.seed}:{ks}")
             self._rngs[ks] = rng
         return rng
+
+    def rng_at(self, key: Any, index: int) -> random.Random:
+        """The independent RNG substream of draw *index* for group *key*.
+
+        Unlike :meth:`rng_for`'s sequential streams, a substream is a
+        pure function of ``(seed, key, index)``: computing draw 40 does
+        not require having computed draws 0–39 first.  The samplers draw
+        every repair from substreams, which is what makes a draw range
+        shippable to any worker (:mod:`repro.distributed`) — or
+        re-shippable after a worker death — with byte-identical results.
+        """
+        return draw_rng(self.seed, key, index)
+
+    def claim_draws(self, count: int) -> int:
+        """Reserve *count* consecutive global draw indices.
+
+        Returns the first reserved index and advances
+        :attr:`draw_cursor`.  The cursor is checkpointed, so a resumed
+        campaign continues exactly where the interrupted one stopped.
+        """
+        start = self.draw_cursor
+        self.draw_cursor += count
+        return start
 
     def chain(
         self, key: Any, factory: Callable[[], RepairingChain]
@@ -229,11 +288,6 @@ class SamplingCampaign:
         for stale in [ks for ks in self._chains if ks not in keep]:
             del self._chains[stale]
 
-    def walks(self, key: Any, chain: RepairingChain, count: int) -> List[Walk]:
-        """*count* walks of *key*'s chain from its own RNG stream,
-        optionally sharded across worker processes."""
-        return sample_many(chain, count, self.rng_for(key), self.processes)
-
     # ------------------------------------------------------------------
     # The estimation loop
     # ------------------------------------------------------------------
@@ -246,6 +300,7 @@ class SamplingCampaign:
         adaptive: Optional[bool] = None,
         max_draws: Optional[int] = None,
         estimation_key: Optional[str] = None,
+        stop_target: Optional[Tuple] = None,
     ) -> CampaignResult:
         """Accumulate draws until the target (or an adaptive stop).
 
@@ -261,6 +316,13 @@ class SamplingCampaign:
         key raises :class:`CheckpointMismatchError` instead of silently
         merging two queries' counts; call :meth:`reset_tallies` first to
         abandon the in-progress estimation deliberately.
+
+        *stop_target* restricts the adaptive rule to one answer tuple's
+        stream (per-tuple early termination for targeted ``CP(t)``
+        queries): the campaign stops as soon as *that* tuple's
+        empirical-Bernstein interval is within epsilon, instead of
+        waiting for the max over every observed tuple.  The early stop
+        then certifies only the target's estimate.
         """
         adaptive = self.adaptive if adaptive is None else adaptive
         target = runs if runs is not None else sample_size(epsilon, delta)
@@ -314,7 +376,9 @@ class SamplingCampaign:
                 and self.draws_done < target
                 and stopper.due(self.draws_done)
                 and self.valid_draws >= 2
-                and stopper.should_stop(self.valid_draws, self.counts)
+                and stopper.should_stop(
+                    self.valid_draws, self.counts, target=stop_target
+                )
             ):
                 stopped_early = True
                 break
@@ -368,6 +432,7 @@ class SamplingCampaign:
             "fingerprint": self.fingerprint,
             "seed": self.seed,
             "rng_states": {ks: rng.getstate() for ks, rng in self._rngs.items()},
+            "draw_cursor": self.draw_cursor,
             "counts": dict(self.counts),
             "draws_done": self.draws_done,
             "valid_draws": self.valid_draws,
@@ -430,6 +495,7 @@ class SamplingCampaign:
             adaptive=adaptive,
         )
         campaign.counts = dict(payload.get("counts", {}))
+        campaign.draw_cursor = payload.get("draw_cursor", 0)
         campaign.draws_done = payload.get("draws_done", 0)
         campaign.valid_draws = payload.get("valid_draws", 0)
         campaign.discarded = payload.get("discarded", 0)

@@ -13,6 +13,9 @@ Examples::
                     --epsilon 0.05 --delta 0.05 --seed 7
     ocqa chain      --db d.json --constraints sigma.txt --format ascii
     ocqa abc        --db d.json --constraints sigma.txt --query "Q(x) :- R(x, y)"
+    ocqa worker     --listen 0.0.0.0:7461
+    ocqa sql-sample --db d.json --constraints sigma.txt --query "..." \
+                    --worker host1:7461 --worker host2:7461 --seed 7
 """
 
 from __future__ import annotations
@@ -141,6 +144,8 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         rng=rng,
         allow_failing=args.allow_failing,
         adaptive=args.adaptive,
+        workers=args.workers,
+        worker_addresses=args.worker or (),
     )
     for candidate, estimate in sorted(estimates.items(), key=lambda kv: -kv[1]):
         print(f"{candidate}  ~CP = {estimate:.4f}")
@@ -196,10 +201,15 @@ def _cmd_sql_sample(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             processes=args.processes,
             adaptive=args.adaptive,
+            workers=args.workers,
+            worker_addresses=args.worker or (),
         )
-        report = sampler.run(
-            query, runs=args.runs, epsilon=args.epsilon, delta=args.delta
-        )
+        try:
+            report = sampler.run(
+                query, runs=args.runs, epsilon=args.epsilon, delta=args.delta
+            )
+        finally:
+            sampler.close_coordinator()
     for candidate, estimate in report.items():
         print(f"{candidate}  ~CP = {estimate:.4f}")
     suffix = " (empirical-Bernstein early stop)" if report.stopped_early else ""
@@ -208,6 +218,43 @@ def _cmd_sql_sample(args: argparse.Namespace) -> int:
         f"conflict components{suffix})"
     )
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import serve
+
+    host, _, port = args.listen.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(
+            f"--listen must be host:port (port 0 picks a free one), "
+            f"got {args.listen!r}"
+        )
+    serve(host, int(port), name=args.name)
+    return 0
+
+
+def _add_distribution(parser: argparse.ArgumentParser) -> None:
+    """Campaign-sharding options shared by the sampling subcommands.
+
+    Determinism note: with a fixed ``--seed``, every configuration of
+    these flags — serial, local pool, remote workers, and any mid-run
+    worker deaths — produces byte-identical estimates (draws are
+    indexed substreams of the campaign seed; see
+    :mod:`repro.distributed`).
+    """
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard draws across N persistent local worker processes",
+    )
+    parser.add_argument(
+        "--worker",
+        action="append",
+        metavar="HOST:PORT",
+        help="add a remote worker (started with 'ocqa worker --listen'); "
+        "repeatable",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -252,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="empirical-Bernstein adaptive stopping (never more draws "
         "than the Hoeffding count)",
     )
+    _add_distribution(p)
     p.set_defaults(fn=_cmd_sample)
 
     p = sub.add_parser("chain", help="render the repairing Markov chain")
@@ -295,9 +343,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes",
         type=int,
         default=None,
-        help="shard each conflict group's draws across worker processes",
+        help="legacy alias for --workers (a persistent local pool)",
     )
+    _add_distribution(p)
     p.set_defaults(fn=_cmd_sql_sample)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a sampling worker serving shard requests over TCP "
+        "(see the README's distributed deployment how-to)",
+    )
+    p.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="bind address (port 0 picks a free port, printed on start)",
+    )
+    p.add_argument("--name", default=None, help="worker name for logs/leases")
+    p.set_defaults(fn=_cmd_worker)
 
     return parser
 

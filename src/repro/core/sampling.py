@@ -267,8 +267,17 @@ class ApproximationResult:
         return self.estimate
 
 
-def _estimation_campaign(campaign, adaptive: Optional[bool], processes: Optional[int]):
+def _estimation_campaign(
+    campaign,
+    adaptive: Optional[bool],
+    processes: Optional[int],
+    rng: Optional[random.Random] = None,
+):
     """The campaign an estimator runs through (building one if needed).
+
+    A private (per-call) campaign seeds from the caller's *rng*, so a
+    seeded estimator call is deterministic end to end — the property the
+    draw-indexed substreams (hence distributed byte-identity) build on.
 
     Local import: :mod:`repro.campaign` provides the unified estimation
     loop (warm chains, checkpointing, adaptive stopping) on top of this
@@ -277,8 +286,31 @@ def _estimation_campaign(campaign, adaptive: Optional[bool], processes: Optional
     from repro.campaign import SamplingCampaign
 
     if campaign is None:
-        return SamplingCampaign(adaptive=bool(adaptive), processes=processes), True
+        return (
+            SamplingCampaign(rng=rng, adaptive=bool(adaptive), processes=processes),
+            True,
+        )
     return campaign, False
+
+
+def _estimator_coordinator(
+    processes: Optional[int],
+    workers: Optional[int],
+    worker_addresses: Sequence[str],
+    coordinator,
+):
+    """The (coordinator, owned) pair for an estimator call.
+
+    An explicit *coordinator* is reused as-is (and not closed here);
+    otherwise :meth:`repro.distributed.Coordinator.from_options` decides
+    — ``None`` means the serial path.
+    """
+    if coordinator is not None:
+        return coordinator, False
+    from repro.distributed import Coordinator
+
+    built = Coordinator.from_options(processes, workers, worker_addresses)
+    return built, built is not None
 
 
 def _chain_key(
@@ -304,6 +336,60 @@ def _chain_key(
     )
 
 
+def _chain_shard_context(
+    database: Database,
+    generator: ChainGenerator,
+    query: AnyQuery,
+    candidate: Optional[Tuple[Term, ...]],
+    allow_failing: bool,
+    seed,
+    stream_key: str,
+):
+    """A distributed shard context for the core chain estimators."""
+    from repro.distributed import ShardContext
+
+    return ShardContext.create(
+        "chain",
+        {
+            "facts": tuple(database),
+            "generator": generator,
+            "query": query,
+            "candidate": candidate,
+            "allow_failing": allow_failing,
+            "seed": seed,
+            "stream_key": stream_key,
+        },
+    )
+
+
+def _substream_draw(
+    campaign,
+    chain: RepairingChain,
+    stream_key: str,
+    allow_failing: bool,
+    per_walk,
+):
+    """The serial draw function over draw-indexed substreams.
+
+    Walk ``i`` uses the campaign's ``(seed, stream_key, i)`` substream —
+    exactly what a remote worker computes for the same index, which is
+    why serial and distributed runs are byte-identical.
+    """
+
+    def draw(batch: int):
+        start = campaign.claim_draws(batch)
+        outcomes = []
+        for index in range(start, start + batch):
+            walk = sample_walk(chain, campaign.rng_at(stream_key, index))
+            if not _accept_walk(walk, allow_failing):
+                outcomes.append(None)
+            else:
+                outcomes.append(per_walk(walk))
+        return outcomes
+
+    return draw
+
+
 def approximate_cp(
     database: Database,
     generator: ChainGenerator,
@@ -316,6 +402,9 @@ def approximate_cp(
     processes: Optional[int] = None,
     adaptive: Optional[bool] = None,
     campaign=None,
+    workers: Optional[int] = None,
+    worker_addresses: Sequence[str] = (),
+    coordinator=None,
 ) -> ApproximationResult:
     """Additive ``(epsilon, delta)`` approximation of ``CP(t)`` (Theorem 9).
 
@@ -337,29 +426,50 @@ def approximate_cp(
     empirical-Bernstein rule (:mod:`repro.analysis.bernstein`) certifies
     the same ``(epsilon, delta)`` guarantee — never using more than the
     Hoeffding count; ``samples`` then reports the draws actually taken.
+    Adaptive stopping is *per-tuple* here: being a targeted ``CP(t)``
+    query, the rule tests only the candidate's own stream.
+
+    Every walk draws from the campaign's draw-indexed RNG substreams, so
+    a seeded call is deterministic and shardable: pass ``workers=N`` for
+    a persistent local worker pool (``processes`` is the legacy alias),
+    ``worker_addresses`` for remote ``ocqa worker`` processes, or an
+    explicit *coordinator* — the estimate is byte-identical in every
+    configuration, including after mid-shard worker deaths.
     """
     rng = rng or random.Random()
-    campaign, private = _estimation_campaign(campaign, adaptive, processes)
-    chain = campaign.chain(
-        _chain_key(generator, database, private),
-        lambda: generator.chain(database),
-    )
+    campaign, private = _estimation_campaign(campaign, adaptive, processes, rng)
+    stream_key = _chain_key(generator, database, private)
+    chain = campaign.chain(stream_key, lambda: generator.chain(database))
     target = tuple(candidate)
-
-    def draw(batch: int):
-        outcomes = []
-        for walk in _walk_stream(chain, batch, rng, processes):
-            if not _accept_walk(walk, allow_failing):
-                outcomes.append(None)
-            elif query.holds(walk.result, target):
-                outcomes.append(((),))
-            else:
-                outcomes.append(())
-        return outcomes
-
-    result = campaign.estimate(
-        draw, epsilon=epsilon, delta=delta, adaptive=adaptive
+    coordinator, owns_coordinator = _estimator_coordinator(
+        processes, workers, worker_addresses, coordinator
     )
+    try:
+        if coordinator is not None:
+            context = _chain_shard_context(
+                database, generator, query, target, allow_failing,
+                campaign.seed, stream_key,
+            )
+
+            def draw(batch: int):
+                return coordinator.run_range(
+                    context, campaign.claim_draws(batch), batch
+                )
+
+        else:
+            draw = _substream_draw(
+                campaign,
+                chain,
+                stream_key,
+                allow_failing,
+                lambda walk: ((),) if query.holds(walk.result, target) else (),
+            )
+        result = campaign.estimate(
+            draw, epsilon=epsilon, delta=delta, adaptive=adaptive, stop_target=()
+        )
+    finally:
+        if owns_coordinator:
+            coordinator.close()
     return ApproximationResult(
         estimate=result.frequencies.get((), 0.0),
         epsilon=epsilon,
@@ -381,6 +491,9 @@ def approximate_oca(
     processes: Optional[int] = None,
     adaptive: Optional[bool] = None,
     campaign=None,
+    workers: Optional[int] = None,
+    worker_addresses: Sequence[str] = (),
+    coordinator=None,
 ) -> Dict[Tuple[Term, ...], float]:
     """Estimate ``CP`` for every tuple observed in any sampled repair.
 
@@ -394,27 +507,44 @@ def approximate_oca(
     :class:`repro.campaign.SamplingCampaign`; *adaptive* enables
     empirical-Bernstein early stopping over every tracked tuple's
     stream (including the implicit all-zeros stream, preserving the
-    unseen-tuple reading above).
+    unseen-tuple reading above).  Walks draw from the campaign's
+    draw-indexed substreams, so ``workers`` / ``worker_addresses`` /
+    *coordinator* shard them with byte-identical results (see
+    :mod:`repro.distributed`).
     """
     rng = rng or random.Random()
-    campaign, private = _estimation_campaign(campaign, adaptive, processes)
-    chain = campaign.chain(
-        _chain_key(generator, database, private),
-        lambda: generator.chain(database),
+    campaign, private = _estimation_campaign(campaign, adaptive, processes, rng)
+    stream_key = _chain_key(generator, database, private)
+    chain = campaign.chain(stream_key, lambda: generator.chain(database))
+    coordinator, owns_coordinator = _estimator_coordinator(
+        processes, workers, worker_addresses, coordinator
     )
+    try:
+        if coordinator is not None:
+            context = _chain_shard_context(
+                database, generator, query, None, allow_failing,
+                campaign.seed, stream_key,
+            )
 
-    def draw(batch: int):
-        outcomes = []
-        for walk in _walk_stream(chain, batch, rng, processes):
-            if not _accept_walk(walk, allow_failing):
-                outcomes.append(None)
-            else:
-                outcomes.append(query.answers(walk.result))
-        return outcomes
+            def draw(batch: int):
+                return coordinator.run_range(
+                    context, campaign.claim_draws(batch), batch
+                )
 
-    result = campaign.estimate(
-        draw, epsilon=epsilon, delta=delta, adaptive=adaptive
-    )
+        else:
+            draw = _substream_draw(
+                campaign,
+                chain,
+                stream_key,
+                allow_failing,
+                lambda walk: query.answers(walk.result),
+            )
+        result = campaign.estimate(
+            draw, epsilon=epsilon, delta=delta, adaptive=adaptive
+        )
+    finally:
+        if owns_coordinator:
+            coordinator.close()
     if not result.valid:
         return {}
     return dict(result.frequencies)

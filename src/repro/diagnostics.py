@@ -109,11 +109,17 @@ class CacheReport:
     ``operation_maps``, ``transitions``, ...) to their counters;
     ``shared`` holds the process-wide ``functools.lru_cache`` memos
     (operation sort keys, per-violation deletion sets, fact sort keys,
-    prepared draws) that all engines share.
+    prepared draws) that all engines share; ``workers`` aggregates the
+    counters reported back by sampling worker processes (local pool or
+    remote — see :func:`record_worker_cache_stats`), summed across the
+    fleet.
     """
 
     per_cache: CacheStats
     shared: CacheStats
+    workers: CacheStats = field(default_factory=dict)
+    #: Number of worker processes whose counters ``workers`` aggregates.
+    worker_count: int = 0
 
     @staticmethod
     def _hit_rate(stats: Dict[str, int]) -> float:
@@ -123,7 +129,10 @@ class CacheReport:
     def format(self) -> str:
         """Render the counters as plain text."""
         lines = ["cache statistics:"]
-        for section, stats in (("instance", self.per_cache), ("shared", self.shared)):
+        sections = [("instance", self.per_cache), ("shared", self.shared)]
+        if self.workers:
+            sections.append((f"workers x{self.worker_count}", self.workers))
+        for section, stats in sections:
             for name, counters in sorted(stats.items()):
                 lines.append(
                     f"  [{section}] {name}: {counters.get('hits', 0)} hit(s), "
@@ -158,20 +167,70 @@ def _shared_cache_stats() -> CacheStats:
     return out
 
 
-def cache_report(source) -> CacheReport:
+#: Latest cache-counter snapshot per sampling worker, keyed by worker
+#: name.  Coordinators record these from every shard result; snapshots
+#: are cumulative per worker, so keeping the latest (not summing
+#: arrivals) is exact.
+_WORKER_CACHE_STATS: Dict[str, CacheStats] = {}
+
+
+def record_worker_cache_stats(worker: str, stats: CacheStats) -> None:
+    """Record a worker process's cumulative cache counters.
+
+    Called by :class:`repro.distributed.Coordinator` with the counters
+    attached to each shard result.  This is what makes
+    :func:`cache_report` truthful under multiprocess/distributed runs:
+    the memo traffic happens in the workers, and before this registry
+    the report silently showed only the parent's (mostly idle) caches.
+    """
+    _WORKER_CACHE_STATS[worker] = {
+        name: dict(counters) for name, counters in stats.items()
+    }
+
+
+def reset_worker_cache_stats() -> None:
+    """Forget all recorded worker counters (test isolation)."""
+    _WORKER_CACHE_STATS.clear()
+
+
+def aggregated_worker_cache_stats() -> CacheStats:
+    """Worker counters summed across the fleet, keyed by cache name.
+
+    ``size``/``limit`` are summed too — the caches are per-process, so
+    the totals describe the fleet's aggregate footprint.
+    """
+    total: CacheStats = {}
+    for stats in _WORKER_CACHE_STATS.values():
+        for name, counters in stats.items():
+            bucket = total.setdefault(name, {})
+            for key, value in counters.items():
+                bucket[key] = bucket.get(key, 0) + value
+    return total
+
+
+def cache_report(source=None) -> CacheReport:
     """Cache counters for *source* — a ``RepairingChain`` or ``RepairEngine``.
 
     Chains contribute their transition/distribution memos *and* their
     engine's caches; engines contribute theirs alone.  The shared
-    process-wide ``lru_cache`` memos are always included.
+    process-wide ``lru_cache`` memos are always included, and so are the
+    aggregated counters of any sampling workers that have reported in
+    (see :func:`record_worker_cache_stats`) — pass ``source=None`` for a
+    process/fleet-level report with no instance section.
     """
     per_cache: CacheStats = {}
-    engine = getattr(source, "engine", source)
-    if hasattr(engine, "cache_stats"):
-        per_cache.update(engine.cache_stats())
-    if source is not engine and hasattr(source, "cache_stats"):
-        per_cache.update(source.cache_stats())
-    return CacheReport(per_cache=per_cache, shared=_shared_cache_stats())
+    if source is not None:
+        engine = getattr(source, "engine", source)
+        if hasattr(engine, "cache_stats"):
+            per_cache.update(engine.cache_stats())
+        if source is not engine and hasattr(source, "cache_stats"):
+            per_cache.update(source.cache_stats())
+    return CacheReport(
+        per_cache=per_cache,
+        shared=_shared_cache_stats(),
+        workers=aggregated_worker_cache_stats(),
+        worker_count=len(_WORKER_CACHE_STATS),
+    )
 
 
 def diagnose(database: Database, constraints: ConstraintSet) -> InconsistencyReport:

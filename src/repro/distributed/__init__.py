@@ -1,0 +1,66 @@
+"""Distributed sampling service: coordinator/worker campaign sharding.
+
+Scale a :class:`repro.campaign.SamplingCampaign` beyond one process —
+and one machine — without giving up determinism:
+
+- :class:`Coordinator` cuts a campaign's draw budget into leased shards
+  and dispatches them over :class:`WorkerTransport` implementations;
+- :class:`~repro.distributed.pool.LocalPoolTransport` runs persistent
+  local worker processes (the fork-fan-out replacement);
+- :class:`~repro.distributed.transport.SocketTransport` reaches
+  ``ocqa worker --listen host:port`` processes on other machines over a
+  small length-prefixed JSON/pickle protocol with heartbeats and lease
+  timeouts;
+- every draw is a pure function of ``(campaign seed, group key, draw
+  index)``, so any shard can be computed anywhere — or recomputed after
+  a worker death — and the merged estimates are byte-identical to a
+  single-process run.
+
+See the README's "Distributed sampling service" section for deployment
+and protocol reference.
+"""
+
+from repro.distributed.coordinator import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_SHARD_SIZE,
+    Coordinator,
+)
+from repro.distributed.lease import (
+    DistributedSamplingError,
+    LeaseTable,
+    ShardLease,
+)
+from repro.distributed.pool import LocalPoolTransport
+from repro.distributed.protocol import ProtocolError, WorkerError
+from repro.distributed.transport import (
+    InlineTransport,
+    SocketTransport,
+    WorkerTransport,
+    WorkerUnavailable,
+)
+from repro.distributed.worker import (
+    ShardContext,
+    ShardExecutor,
+    WorkerServer,
+    serve,
+)
+
+__all__ = [
+    "Coordinator",
+    "DistributedSamplingError",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_SHARD_SIZE",
+    "InlineTransport",
+    "LeaseTable",
+    "LocalPoolTransport",
+    "ProtocolError",
+    "ShardContext",
+    "ShardExecutor",
+    "ShardLease",
+    "SocketTransport",
+    "WorkerError",
+    "WorkerServer",
+    "WorkerTransport",
+    "WorkerUnavailable",
+    "serve",
+]

@@ -1,0 +1,284 @@
+"""The coordinator: shard dispatch, lease recovery, tally merging.
+
+A :class:`Coordinator` owns a set of :class:`~repro.distributed.transport.WorkerTransport`
+instances (remote sockets, persistent local pool processes, or both) and
+turns "compute draws ``[start, start + count)`` of this campaign" into
+leased shards:
+
+1. the range is cut into contiguous shards in a
+   :class:`~repro.distributed.lease.LeaseTable`;
+2. one driver thread per live worker checks shards out, ships the
+   campaign's :class:`~repro.distributed.worker.ShardContext` (once per
+   worker — contexts stay warm across batches *and* across ``run``
+   calls), and executes them with a lease timeout; worker heartbeats
+   reset the timer, silence or a broken pipe expires it;
+3. an expired or failed lease is released back and re-leased to another
+   worker — draws are index-deterministic, so the replacement produces
+   byte-identical outcomes (a racing duplicate is simply dropped);
+4. outcomes are re-assembled in draw-index order, so the campaign's
+   estimation loop consumes exactly the sequence a serial run would —
+   tallies, adaptive-stopping boundaries, and checkpoints merge into
+   the *existing* campaign/checkpoint format with no distributed
+   special-casing;
+5. worker cache counters attached to each result are recorded with
+   :func:`repro.diagnostics.record_worker_cache_stats`, so
+   :func:`repro.diagnostics.cache_report` aggregates the whole fleet
+   instead of silently reporting only the parent process.
+
+If every worker dies mid-range, the coordinator finishes the remaining
+shards inline (same executor code path, same outcomes) rather than
+failing the campaign — disable with ``fallback_inline=False`` to surface
+the failure instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.distributed.lease import DistributedSamplingError, LeaseTable, ShardLease
+from repro.distributed.protocol import WorkerError
+from repro.distributed.transport import (
+    InlineTransport,
+    SocketTransport,
+    WorkerTransport,
+    WorkerUnavailable,
+)
+from repro.distributed.worker import ShardContext
+
+#: Draws per shard when the caller does not choose: small enough that a
+#: 2-worker run interleaves, large enough that framing cost stays noise.
+DEFAULT_SHARD_SIZE = 25
+
+#: Seconds of silence (no heartbeat, no result) after which a worker's
+#: lease is considered dead.  Workers heartbeat every ~2s while
+#: computing, so expiry genuinely means a dead or wedged worker.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+class Coordinator:
+    """Shards draw ranges across workers and merges their outcomes."""
+
+    def __init__(
+        self,
+        transports: Sequence[WorkerTransport],
+        *,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_attempts: int = 4,
+        fallback_inline: bool = True,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        self.transports: List[WorkerTransport] = list(transports)
+        if not self.transports:
+            self.transports = [InlineTransport()]
+        self.shard_size = shard_size
+        self.lease_timeout = lease_timeout
+        self.max_attempts = max_attempts
+        self.fallback_inline = fallback_inline
+        #: Number of shards recomputed after a lost lease (observability).
+        self.releases = 0
+        #: Per-worker failure messages, in observation order.
+        self.failure_log: List[str] = []
+        self._fatal_lock = threading.Lock()
+        self._fatal: Optional[BaseException] = None
+        #: Lazily-built executor for the all-workers-dead fallback; kept
+        #: across batches so its warm contexts amortize like a worker's.
+        self._inline: Optional[InlineTransport] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def local_pool(cls, workers: int, **kwargs) -> "Coordinator":
+        """A coordinator over *workers* persistent local processes."""
+        from repro.distributed.pool import LocalPoolTransport
+
+        return cls(LocalPoolTransport.spawn(workers), **kwargs)
+
+    @classmethod
+    def connect(cls, addresses: Sequence[str], **kwargs) -> "Coordinator":
+        """A coordinator over remote ``host:port`` workers."""
+        return cls([SocketTransport.parse(a) for a in addresses], **kwargs)
+
+    @classmethod
+    def from_options(
+        cls,
+        processes: Optional[int] = None,
+        workers: Optional[int] = None,
+        worker_addresses: Sequence[str] = (),
+        **kwargs,
+    ) -> Optional["Coordinator"]:
+        """The coordinator implied by the samplers'/estimators' options.
+
+        The one place the option precedence lives: ``workers`` wins over
+        the legacy ``processes`` alias (which means a pool only when
+        ``> 1`` — ``--processes 1`` historically meant serial, while
+        ``workers=1`` is an explicit one-process pool);
+        ``worker_addresses`` adds remote ``host:port`` workers.  Returns
+        ``None`` when nothing asks for distribution (the serial path).
+        """
+        from repro.distributed.pool import LocalPoolTransport
+
+        pool = (
+            workers
+            if workers is not None
+            else (processes if processes and processes > 1 else None)
+        )
+        if not pool and not worker_addresses:
+            return None
+        transports: List[WorkerTransport] = [
+            SocketTransport.parse(address) for address in worker_addresses
+        ]
+        if pool:
+            transports.extend(LocalPoolTransport.spawn(pool))
+        return cls(transports, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run_range(
+        self, context: ShardContext, start: int, count: int
+    ) -> List[Any]:
+        """Outcomes for draws ``[start, start + count)``, index-ordered.
+
+        Retryable worker failures re-lease shards; fatal worker errors
+        (deterministic exceptions such as a failing repair sequence)
+        re-raise here, mapped back to the original exception type when
+        it is importable.
+        """
+        if count <= 0:
+            return []
+        table = LeaseTable(
+            start, count, self.shard_size, max_attempts=self.max_attempts
+        )
+        live = [t for t in self.transports if t.alive]
+        threads = [
+            threading.Thread(
+                target=self._drive, args=(transport, context, table), daemon=True
+            )
+            for transport in live
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with self._fatal_lock:
+            if self._fatal is not None:
+                fatal, self._fatal = self._fatal, None
+                raise fatal
+        if not table.done:
+            leftovers = table.unfinished()
+            if not self.fallback_inline:
+                raise DistributedSamplingError(
+                    f"{len(leftovers)} shard(s) unfinished and inline "
+                    "fallback disabled: " + "; ".join(table.failure_log())
+                )
+            self._finish_inline(context, table, leftovers)
+        return table.assemble()
+
+    def _drive(
+        self,
+        transport: WorkerTransport,
+        context: ShardContext,
+        table: LeaseTable,
+    ) -> None:
+        """One worker's checkout→run→complete loop (runs on its thread)."""
+        while True:
+            with self._fatal_lock:
+                if self._fatal is not None:
+                    return
+            lease = table.checkout(transport.name)
+            if lease is None:
+                return
+            try:
+                outcomes, cache_stats = transport.run_shard(
+                    context,
+                    lease.shard_id,
+                    lease.start,
+                    lease.count,
+                    timeout=self.lease_timeout,
+                )
+            except WorkerUnavailable as exc:
+                self.releases += 1
+                self.failure_log.append(f"{transport.name}: {exc}")
+                table.release(lease, str(exc))
+                return  # this worker is gone; others pick the shard up
+            except WorkerError as exc:
+                if exc.fatal:
+                    with self._fatal_lock:
+                        if self._fatal is None:
+                            self._fatal = _map_worker_error(exc)
+                    table.release(lease, f"fatal: {exc}")
+                    return
+                self.releases += 1
+                self.failure_log.append(f"{transport.name}: {exc}")
+                table.release(lease, str(exc))
+                continue  # transient worker-side error; keep serving
+            table.complete(lease, outcomes)
+            self._record_cache_stats(transport.name, cache_stats)
+
+    def _finish_inline(
+        self,
+        context: ShardContext,
+        table: LeaseTable,
+        leftovers: List[ShardLease],
+    ) -> None:
+        """Compute unfinished shards in-process (all workers lost).
+
+        The inline executor persists on the coordinator, so a campaign
+        that outlives its whole fleet pays the context build once, not
+        once per batch.
+        """
+        if self._inline is None:
+            self._inline = InlineTransport(name="inline-fallback")
+        cache_stats = {}
+        for lease in leftovers:
+            outcomes, cache_stats = self._inline.run_shard(
+                context, lease.shard_id, lease.start, lease.count
+            )
+            table.complete(lease, outcomes)
+        self._record_cache_stats(self._inline.name, cache_stats)
+
+    @staticmethod
+    def _record_cache_stats(
+        worker: str, cache_stats: Dict[str, Dict[str, int]]
+    ) -> None:
+        if not cache_stats:
+            return
+        from repro.diagnostics import record_worker_cache_stats
+
+        record_worker_cache_stats(worker, cache_stats)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for t in self.transports if t.alive)
+
+    def close(self) -> None:
+        for transport in self.transports:
+            transport.close()
+        if self._inline is not None:
+            self._inline.close()
+            self._inline = None
+
+
+def _map_worker_error(error: WorkerError) -> BaseException:
+    """Re-raise a worker's fatal exception under its original type when
+    that type is part of this package's public error surface."""
+    from repro.core.errors import FailingSequenceError, InvalidGeneratorError
+
+    known = {
+        "FailingSequenceError": FailingSequenceError,
+        "InvalidGeneratorError": InvalidGeneratorError,
+        "ValueError": ValueError,
+        "KeyError": KeyError,
+        "TypeError": TypeError,
+    }
+    exc_type = known.get(error.exception_type or "")
+    if exc_type is not None:
+        return exc_type(str(error))
+    return error

@@ -1,0 +1,201 @@
+"""Shard leases: who is computing which draw range, and for how long.
+
+The coordinator splits a batch of global draw indices into *shards*
+(contiguous ``[start, start + count)`` ranges) and hands each one out
+under a :class:`ShardLease`.  The :class:`LeaseTable` is the single
+source of truth for shard state:
+
+- **pending** — not yet assigned (or released back after a failure);
+- **leased** — held by a named worker until its deadline;
+- **done** — outcomes recorded.
+
+Because every draw is a pure function of ``(campaign seed, group key,
+draw index)`` (see :meth:`repro.campaign.SamplingCampaign.rng_at`),
+re-leasing is always safe: a shard recomputed by a different worker — or
+computed twice because a slow worker raced its replacement — yields the
+exact same outcomes, so the table simply keeps the first completion and
+drops duplicates.
+
+The table is thread-safe: the coordinator drives one thread per worker,
+all checking out of and completing into the same table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class DistributedSamplingError(RuntimeError):
+    """The distributed run could not complete (e.g. a shard exhausted its
+    retry budget, or every worker died with fallback disabled)."""
+
+
+@dataclass
+class ShardLease:
+    """One contiguous draw range and its assignment history."""
+
+    shard_id: int
+    start: int
+    count: int
+    attempts: int = 0
+    worker: Optional[str] = None
+    leased_at: Optional[float] = None
+    #: Human-readable failure trail (worker name + error per attempt),
+    #: surfaced in :class:`DistributedSamplingError` messages.
+    failures: List[str] = field(default_factory=list)
+
+
+class LeaseTable:
+    """Thread-safe shard state for one dispatched draw range."""
+
+    def __init__(
+        self, start: int, count: int, shard_size: int, max_attempts: int = 4
+    ) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        self.start = start
+        self.count = count
+        self.max_attempts = max_attempts
+        self._shards: List[ShardLease] = []
+        offset = start
+        shard_id = 0
+        while offset < start + count:
+            size = min(shard_size, start + count - offset)
+            self._shards.append(ShardLease(shard_id, offset, size))
+            shard_id += 1
+            offset += size
+        self._pending: List[int] = list(range(len(self._shards)))
+        self._outcomes: Dict[int, List[Any]] = {}
+        self._failed: Optional[ShardLease] = None
+        self._lock = threading.Lock()
+        self._progress = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    # Worker-side operations
+    # ------------------------------------------------------------------
+    def checkout(self, worker: str, wait: bool = True) -> Optional[ShardLease]:
+        """Lease the next pending shard to *worker*.
+
+        Returns ``None`` once every shard is done (or a shard failed
+        terminally).  With *wait*, blocks while other workers still hold
+        active leases — their shard may yet be released back (worker
+        death), in which case this worker picks it up.
+        """
+        with self._progress:
+            while True:
+                if self._failed is not None or self.complete_locked():
+                    return None
+                if self._pending:
+                    lease = self._shards[self._pending.pop(0)]
+                    lease.attempts += 1
+                    lease.worker = worker
+                    lease.leased_at = time.monotonic()
+                    return lease
+                if not wait:
+                    return None
+                self._progress.wait(timeout=0.5)
+
+    def complete(self, lease: ShardLease, outcomes: List[Any]) -> bool:
+        """Record a finished shard; returns ``False`` for duplicates.
+
+        Duplicate completions (a re-leased shard whose original worker
+        finished after all) are dropped — both copies are byte-identical
+        by construction, so first-wins is exact, not approximate.
+        """
+        if len(outcomes) != lease.count:
+            raise DistributedSamplingError(
+                f"shard {lease.shard_id} returned {len(outcomes)} outcome(s) "
+                f"for a {lease.count}-draw range — a worker is not honouring "
+                "the draw-index contract"
+            )
+        with self._progress:
+            if lease.shard_id in self._outcomes:
+                return False
+            self._outcomes[lease.shard_id] = list(outcomes)
+            self._progress.notify_all()
+            return True
+
+    def release(self, lease: ShardLease, error: str) -> None:
+        """Return a leased shard to the pending queue after a failure.
+
+        A shard that has burnt :attr:`max_attempts` leases marks the
+        whole table failed — every ``checkout`` then returns ``None``
+        and :meth:`assemble` raises with the failure trail.
+        """
+        with self._progress:
+            lease.failures.append(f"{lease.worker or '?'}: {error}")
+            lease.worker = None
+            lease.leased_at = None
+            if lease.shard_id in self._outcomes:
+                # A racing duplicate already completed it; nothing to redo.
+                self._progress.notify_all()
+                return
+            if lease.attempts >= self.max_attempts:
+                self._failed = lease
+            else:
+                self._pending.append(lease.shard_id)
+            self._progress.notify_all()
+
+    # ------------------------------------------------------------------
+    # Coordinator-side state
+    # ------------------------------------------------------------------
+    def complete_locked(self) -> bool:
+        return len(self._outcomes) == len(self._shards)
+
+    @property
+    def done(self) -> bool:
+        """Whether every shard has recorded outcomes."""
+        with self._lock:
+            return self.complete_locked()
+
+    def unfinished(self) -> List[ShardLease]:
+        """Shards without outcomes (for inline fallback / diagnostics)."""
+        with self._lock:
+            return [
+                shard
+                for shard in self._shards
+                if shard.shard_id not in self._outcomes
+            ]
+
+    def failure_log(self) -> List[str]:
+        """Every recorded lease failure, in observation order."""
+        with self._lock:
+            return [line for shard in self._shards for line in shard.failures]
+
+    def assemble(self) -> List[Any]:
+        """All outcomes, in global draw-index order.
+
+        The index-ordered concatenation is what makes the distributed
+        estimation loop consume *exactly* the sequence a serial run
+        would, so tallies, adaptive-stopping boundaries, and checkpoints
+        all agree byte for byte.
+        """
+        with self._lock:
+            if self._failed is not None:
+                raise DistributedSamplingError(
+                    f"shard {self._failed.shard_id} (draws "
+                    f"[{self._failed.start}, "
+                    f"{self._failed.start + self._failed.count})) failed "
+                    f"{self._failed.attempts} time(s): "
+                    + "; ".join(self._failed.failures)
+                )
+            if not self.complete_locked():
+                missing = [
+                    s.shard_id
+                    for s in self._shards
+                    if s.shard_id not in self._outcomes
+                ]
+                raise DistributedSamplingError(
+                    f"shards {missing} never completed (all workers lost?)"
+                )
+            ordered: List[Any] = []
+            for shard in self._shards:
+                ordered.extend(self._outcomes[shard.shard_id])
+            return ordered

@@ -1,0 +1,144 @@
+"""The coordinator/worker wire protocol (length-prefixed JSON + pickle).
+
+Every message is one *frame*:
+
+====================  =======================================================
+bytes                 meaning
+====================  =======================================================
+``4``                 magic ``b"RPW1"`` (protocol version 1)
+``4``                 header length ``H`` (big-endian unsigned)
+``4``                 blob length ``B`` (big-endian unsigned)
+``H``                 UTF-8 JSON header — always an object with a ``"type"``
+                      key plus small scalar fields (ids, ranges, counts)
+``B``                 optional pickle blob carrying the Python payload
+                      (shard contexts, outcome lists, cache counters)
+====================  =======================================================
+
+Control flow lives in the JSON header so a frame is inspectable without
+unpickling; bulk payloads (facts, schemas, answer sets) ride the pickle
+blob.  Message types:
+
+- ``hello`` / ``welcome`` — connection handshake (worker name, protocol
+  version; mismatched versions are refused loudly);
+- ``context`` / ``context_ok`` — ship a :class:`ShardContext` once per
+  worker; the worker builds and caches the warm sampling runtime;
+- ``run`` — execute draws ``[start, start + count)`` of a context;
+- ``heartbeat`` — sent by the worker *while computing* a shard, so the
+  coordinator's lease timer distinguishes a slow shard from a dead
+  worker;
+- ``result`` — the shard's outcomes (blob) plus the worker's cache
+  counters;
+- ``error`` — a Python exception from the worker; ``fatal`` marks
+  errors that re-leasing cannot fix (e.g. a failing repair sequence),
+  which the coordinator re-raises instead of retrying;
+- ``ping`` / ``pong`` — liveness probe;
+- ``shutdown`` — ask the worker process to exit its serve loop.
+
+Pickle is trusted here by design: the coordinator and its workers are
+one deployment (same codebase, same operator), exactly like the stdlib
+``multiprocessing`` transport this subsystem generalizes.  Do not expose
+a worker port to untrusted networks.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Optional, Tuple
+
+#: Protocol magic + version; bumped on any frame-layout change.
+MAGIC = b"RPW1"
+
+_HEADER = struct.Struct("!4sII")
+
+#: Hard cap on a single frame's payload (header + blob), as a guard
+#: against a corrupt or foreign byte stream being read as a length.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream is not speaking this protocol (bad magic, oversize
+    frame, truncated payload, or a non-object header)."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection mid-frame (or before one)."""
+
+
+def encode_frame(header: dict, payload: Any = None) -> bytes:
+    """Serialize one frame (header JSON + optional pickled *payload*)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    blob = b"" if payload is None else pickle.dumps(payload)
+    return _HEADER.pack(MAGIC, len(header_bytes), len(blob)) + header_bytes + blob
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection with {remaining} byte(s) of a "
+                "frame outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, header: dict, payload: Any = None) -> None:
+    """Send one frame over *sock* (blocking, complete)."""
+    sock.sendall(encode_frame(header, payload))
+
+
+def recv_message(sock: socket.socket) -> Tuple[dict, Any]:
+    """Receive one frame; returns ``(header, payload)``.
+
+    *payload* is ``None`` when the frame carried no blob.  Raises
+    :class:`ConnectionClosed` on EOF and :class:`ProtocolError` on a
+    malformed frame; ``socket.timeout`` propagates to the caller (the
+    transports turn it into lease-expiry handling).
+    """
+    magic, header_len, blob_len = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r}; peer is not a repro worker "
+            f"(or speaks an incompatible protocol version)"
+        )
+    if header_len + blob_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {header_len + blob_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap; refusing to read it"
+        )
+    try:
+        header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError(f"frame header is not a typed object: {header!r}")
+    payload = None
+    if blob_len:
+        payload = pickle.loads(_recv_exact(sock, blob_len))
+    return header, payload
+
+
+class WorkerError(RuntimeError):
+    """An exception reported by a worker over the protocol.
+
+    ``fatal`` means re-leasing the shard elsewhere would deterministically
+    hit the same exception (the draws are index-determined), so the
+    coordinator re-raises instead of retrying.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        exception_type: Optional[str] = None,
+        fatal: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.exception_type = exception_type
+        self.fatal = fatal

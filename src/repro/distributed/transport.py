@@ -1,0 +1,291 @@
+"""Transports: how the coordinator reaches one worker.
+
+A :class:`WorkerTransport` hides *where* a worker lives behind three
+operations — ship a context, run a shard, close.  Implementations:
+
+- :class:`InlineTransport` — the worker is the coordinator's own
+  process.  The zero-worker special case, and the fallback the
+  coordinator uses to finish a run after every real worker has died.
+- :class:`SocketTransport` — a remote worker over TCP, speaking
+  :mod:`repro.distributed.protocol`.  Liveness is heartbeat-based: any
+  frame (heartbeat or result) resets the lease timer; silence beyond
+  the lease timeout means the worker is gone and raises
+  :class:`WorkerUnavailable` so the coordinator re-leases the shard.
+- :class:`repro.distributed.pool.LocalPoolTransport` — a persistent
+  local process over a pipe (the fork-fan-out replacement).
+
+Transport failures (:class:`WorkerUnavailable`) are *retryable*: the
+shard is re-leased to another worker and, because draws are
+index-deterministic, the replacement produces byte-identical outcomes.
+Worker-reported *fatal* errors (:class:`~repro.distributed.protocol.WorkerError`
+with ``fatal=True``) are not retried — the same draw would fail the
+same way anywhere.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    WorkerError,
+    recv_message,
+    send_message,
+)
+from repro.distributed.worker import ShardContext, ShardExecutor, worker_cache_stats
+
+#: ``(outcomes, cache_stats)`` as returned by a transport's run_shard.
+ShardOutcome = Tuple[List[Any], Dict[str, Dict[str, int]]]
+
+
+class WorkerUnavailable(RuntimeError):
+    """The worker behind a transport is unreachable or dead; the shard it
+    held should be re-leased elsewhere."""
+
+
+class WorkerTransport:
+    """One worker, wherever it runs."""
+
+    name: str = "worker"
+    #: Cleared when the transport observes its worker die; the
+    #: coordinator skips dead transports on subsequent ranges.
+    alive: bool = True
+
+    def ensure_context(self, context: ShardContext) -> None:
+        """Ship *context* to the worker (idempotent, cached by id)."""
+        raise NotImplementedError
+
+    def run_shard(
+        self, context: ShardContext, shard_id: int, start: int, count: int,
+        timeout: Optional[float] = None,
+    ) -> ShardOutcome:
+        """Execute one shard; raises :class:`WorkerUnavailable` on death."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the worker (process, socket, ...)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<{type(self).__name__} {self.name} ({state})>"
+
+
+class InlineTransport(WorkerTransport):
+    """Run shards in the calling process, through the same executor code
+    path as real workers — so inline results are byte-identical to
+    remote ones by construction."""
+
+    def __init__(self, name: str = "inline") -> None:
+        self.name = name
+        self.executor = ShardExecutor()
+
+    def ensure_context(self, context: ShardContext) -> None:
+        self.executor.ensure_context(context)
+
+    def run_shard(
+        self, context: ShardContext, shard_id: int, start: int, count: int,
+        timeout: Optional[float] = None,
+    ) -> ShardOutcome:
+        self.ensure_context(context)
+        outcomes = self.executor.run_shard(context.context_id, start, count)
+        return outcomes, worker_cache_stats()
+
+    def close(self) -> None:
+        self.executor.close()
+
+
+class SocketTransport(WorkerTransport):
+    """A remote worker over TCP (see :mod:`repro.distributed.protocol`).
+
+    The connection is opened lazily on first use and kept for the
+    transport's lifetime; contexts are shipped once and cached by
+    content id on the worker.  While a shard computes, the worker
+    heartbeats every few seconds — the receive loop treats any frame as
+    liveness and only declares the worker dead after *timeout* seconds
+    of silence.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.name = name or f"{host}:{port}"
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self._shipped: set = set()
+
+    @classmethod
+    def parse(cls, address: str) -> "SocketTransport":
+        """Build from a ``host:port`` string (the CLI's ``--worker``)."""
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"worker address {address!r} is not of the form host:port"
+            )
+        return cls(host, int(port))
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_message(sock, {"type": "hello"})
+            sock.settimeout(self.connect_timeout)
+            header, _ = recv_message(sock)
+            if header.get("type") != "welcome":
+                raise ProtocolError(
+                    f"worker {self.name} answered the hello with "
+                    f"{header.get('type')!r}"
+                )
+        except (OSError, ProtocolError) as exc:
+            self._drop()
+            raise WorkerUnavailable(
+                f"cannot reach worker {self.name}: {exc}"
+            ) from exc
+        self._sock = sock
+        self.alive = True
+        return sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._shipped.clear()
+        self.alive = False
+
+    # ------------------------------------------------------------------
+    # Protocol operations
+    # ------------------------------------------------------------------
+    def ensure_context(self, context: ShardContext) -> None:
+        if context.context_id in self._shipped:
+            return
+        sock = self._connection()
+        try:
+            send_message(sock, {"type": "context"}, context)
+            sock.settimeout(self.connect_timeout * 6)
+            header, _ = recv_message(sock)
+        except WorkerError:
+            raise
+        except (OSError, ConnectionClosed) as exc:
+            self._drop()
+            raise WorkerUnavailable(
+                f"worker {self.name} lost while shipping a context: {exc}"
+            ) from exc
+        if header.get("type") == "error":
+            raise WorkerError(
+                header.get("message", "context build failed"),
+                exception_type=header.get("exception"),
+                fatal=bool(header.get("fatal", True)),
+            )
+        if header.get("type") != "context_ok":
+            self._drop()
+            raise WorkerUnavailable(
+                f"worker {self.name} answered a context frame with "
+                f"{header.get('type')!r}"
+            )
+        self._shipped.add(context.context_id)
+
+    def run_shard(
+        self, context: ShardContext, shard_id: int, start: int, count: int,
+        timeout: Optional[float] = None,
+    ) -> ShardOutcome:
+        self.ensure_context(context)
+        sock = self._connection()
+        try:
+            # At most one retry: the worker answers ``need_context`` when
+            # its LRU evicted the (previously shipped) context, we
+            # re-ship, and a fresh build cannot be evicted again before
+            # this shard runs.
+            for _attempt in range(2):
+                send_message(
+                    sock,
+                    {
+                        "type": "run",
+                        "context": context.context_id,
+                        "shard": shard_id,
+                        "start": start,
+                        "count": count,
+                    },
+                )
+                reshipped = False
+                while True:
+                    sock.settimeout(timeout)
+                    header, payload = recv_message(sock)
+                    kind = header.get("type")
+                    if kind == "heartbeat":
+                        continue  # any frame resets the lease timer
+                    if kind == "need_context":
+                        self._shipped.discard(context.context_id)
+                        self.ensure_context(context)
+                        reshipped = True
+                        break
+                    if kind == "error":
+                        raise WorkerError(
+                            header.get("message", "worker error"),
+                            exception_type=header.get("exception"),
+                            fatal=bool(header.get("fatal")),
+                        )
+                    if kind == "result":
+                        return payload["outcomes"], payload.get("cache_stats", {})
+                    raise ProtocolError(
+                        f"unexpected {kind!r} frame while awaiting a result"
+                    )
+                if not reshipped:
+                    break
+            raise ProtocolError(
+                f"worker {self.name} still lacks context "
+                f"{context.context_id} after a re-ship"
+            )
+        except WorkerError:
+            raise
+        except (OSError, ConnectionClosed, ProtocolError, socket.timeout) as exc:
+            self._drop()
+            raise WorkerUnavailable(
+                f"worker {self.name} lost mid-shard: {exc}"
+            ) from exc
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe (used by the CLI's preflight)."""
+        try:
+            sock = self._connection()
+            send_message(sock, {"type": "ping"})
+            sock.settimeout(self.connect_timeout)
+            header, _ = recv_message(sock)
+            return header.get("type") == "pong"
+        except (WorkerUnavailable, OSError, ProtocolError):
+            return False
+
+    def shutdown_worker(self) -> None:
+        """Ask the remote worker process to exit its serve loop."""
+        try:
+            sock = self._connection()
+            send_message(sock, {"type": "shutdown"})
+        except (WorkerUnavailable, OSError):
+            pass
+        self.close()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._shipped.clear()

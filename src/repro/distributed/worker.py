@@ -1,0 +1,510 @@
+"""Worker side of the distributed sampling service.
+
+A worker holds *warm sampling contexts*: for each campaign shipped to it
+(a :class:`ShardContext`), it builds the full sampling runtime **once**
+— loaded instance in a local scratch backend, violation/conflict
+indexes, per-group repairing chains, compiled query — and keeps it
+across every shard of that campaign.  This is the persistent-pool
+answer to the PR 3 fork fan-out, which re-spawned workers (and rebuilt
+nothing-shared state) on every batch.
+
+Draw determinism: a shard is a contiguous range of global draw indices,
+and every draw is computed from
+:func:`repro.campaign.draw_rng`'s ``(seed, group, index)`` substreams —
+so the same shard computed by any worker (or by the coordinator inline)
+yields byte-identical outcomes.
+
+Three hosting modes share the same :class:`ShardExecutor`:
+
+- **socket service** — ``ocqa worker --listen host:port`` runs
+  :func:`serve`, speaking :mod:`repro.distributed.protocol` to a remote
+  coordinator (heartbeat frames flow while a shard computes);
+- **local pool** — :mod:`repro.distributed.pool` forks persistent
+  processes that run :func:`pool_worker_main` over a pipe;
+- **inline** — :class:`repro.distributed.transport.InlineTransport`
+  executes shards in the coordinator's own process (the zero-worker
+  special case, and the fallback when every worker has died).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import socket
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign import SamplingCampaign, draw_rng
+from repro.core.errors import FailingSequenceError
+from repro.distributed.protocol import (
+    MAGIC,
+    ConnectionClosed,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+#: Exception types a worker reports as *fatal*: re-leasing the shard
+#: would deterministically fail the same way, so the coordinator should
+#: re-raise instead of retrying.
+FATAL_EXCEPTIONS: Tuple[type, ...] = (
+    FailingSequenceError,
+    ValueError,
+    TypeError,
+    KeyError,
+)
+
+#: How many warm campaign contexts one worker keeps (LRU-evicted).
+DEFAULT_CONTEXT_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """A self-contained, picklable description of one campaign's draws.
+
+    ``kind`` selects the runtime builder; ``payload`` carries everything
+    needed to rebuild the sampling state from scratch on a bare worker:
+    the facts, schema/constraints, policy/generator, the query, and the
+    campaign seed.  ``context_id`` is a content digest, so a persistent
+    worker serving several coordinator runs of the same campaign reuses
+    one warm context.
+    """
+
+    context_id: str
+    kind: str
+    payload: Dict[str, Any]
+
+    @staticmethod
+    def create(kind: str, payload: Dict[str, Any]) -> "ShardContext":
+        try:
+            blob = pickle.dumps((kind, payload))
+        except Exception as exc:
+            raise ValueError(
+                f"this campaign cannot be distributed: its {kind} context "
+                f"does not pickle ({exc}); run without workers instead"
+            ) from exc
+        return ShardContext(
+            context_id=hashlib.sha256(blob).hexdigest()[:32],
+            kind=kind,
+            payload=payload,
+        )
+
+
+class _ChainRuntime:
+    """Warm runtime for the core estimators (one chain, one query)."""
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        from repro.db.facts import Database
+
+        self.seed = payload["seed"]
+        self.query = payload["query"]
+        self.candidate = payload.get("candidate")
+        self.allow_failing = bool(payload.get("allow_failing"))
+        self.stream_key = payload.get("stream_key", "root")
+        self.chain = payload["generator"].chain(Database(payload["facts"]))
+
+    def outcomes(self, start: int, count: int) -> List[Any]:
+        from repro.core.sampling import _accept_walk, sample_walk
+
+        outcomes: List[Any] = []
+        for index in range(start, start + count):
+            walk = sample_walk(
+                self.chain, draw_rng(self.seed, self.stream_key, index)
+            )
+            if not _accept_walk(walk, self.allow_failing):
+                outcomes.append(None)
+            elif self.candidate is not None:
+                outcomes.append(
+                    ((),) if self.query.holds(walk.result, self.candidate) else ()
+                )
+            else:
+                outcomes.append(self.query.answers(walk.result))
+        return outcomes
+
+
+class _SamplerRuntime:
+    """Warm runtime for the SQL samplers (scratch backend + warm chains).
+
+    The worker always materialises the instance in a local SQLite
+    scratch database: draws depend only on the facts and the RNG
+    substreams, and query evaluation is backend-agnostic (the
+    conformance suite pins sqlite == postgres == memory), so a worker
+    needs no connection to the coordinator's database.
+    """
+
+    def __init__(self, kind: str, payload: Dict[str, Any]) -> None:
+        from repro.db.facts import Database
+        from repro.sql.backend import SQLiteBackend
+
+        # check_same_thread=False: inline executors run inside whichever
+        # coordinator driver thread holds the shard (one at a time), and
+        # close from the main thread.
+        self.backend = SQLiteBackend(check_same_thread=False)
+        database = Database(payload["facts"])
+        self.backend.load(database, payload["schema"])
+        campaign = SamplingCampaign(seed=payload["seed"])
+        if kind == "key_sampler":
+            from repro.sql.sampler import KeyRepairSampler
+
+            self.sampler = KeyRepairSampler(
+                self.backend,
+                payload["schema"],
+                payload["keys"],
+                policy=payload["policy"],
+                trust=payload.get("trust") or {},
+                reuse_chains=payload.get("reuse_chains", True),
+                campaign=campaign,
+            )
+        else:
+            from repro.sql.generic import ConstraintRepairSampler
+
+            generator = payload["generator"]
+            self.sampler = ConstraintRepairSampler(
+                self.backend,
+                payload["schema"],
+                payload["constraints"],
+                generator_factory=lambda _constraints: generator,
+                reuse_chains=payload.get("reuse_chains", True),
+                campaign=campaign,
+            )
+        self.compiled = self.sampler.compile(payload["query"])
+
+    def outcomes(self, start: int, count: int) -> List[Any]:
+        return self.sampler.outcomes_for_range(self.compiled, start, count)
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+def _build_runtime(context: ShardContext):
+    if context.kind == "chain":
+        return _ChainRuntime(context.payload)
+    if context.kind in ("key_sampler", "constraint_sampler"):
+        return _SamplerRuntime(context.kind, context.payload)
+    raise ValueError(f"unknown shard context kind {context.kind!r}")
+
+
+def worker_cache_stats() -> Dict[str, Dict[str, int]]:
+    """This process's shared memo counters (for coordinator aggregation).
+
+    Workers attach these to every ``result`` frame;
+    :func:`repro.diagnostics.record_worker_cache_stats` folds them into
+    :func:`repro.diagnostics.cache_report`, fixing the long-standing
+    blind spot where multiprocess runs reported only the parent's
+    counters.
+    """
+    from repro.diagnostics import _shared_cache_stats
+
+    return _shared_cache_stats()
+
+
+class ShardExecutor:
+    """Builds, caches, and runs warm shard contexts (all hosting modes)."""
+
+    def __init__(self, context_limit: int = DEFAULT_CONTEXT_LIMIT) -> None:
+        self.context_limit = max(1, context_limit)
+        self._runtimes: "OrderedDict[str, Any]" = OrderedDict()
+        self.shards_run = 0
+        self.contexts_built = 0
+
+    def has_context(self, context_id: str) -> bool:
+        return context_id in self._runtimes
+
+    def ensure_context(self, context: ShardContext) -> None:
+        """Build (or refresh the LRU slot of) *context*'s runtime."""
+        runtime = self._runtimes.get(context.context_id)
+        if runtime is not None:
+            self._runtimes.move_to_end(context.context_id)
+            return
+        runtime = _build_runtime(context)
+        self.contexts_built += 1
+        self._runtimes[context.context_id] = runtime
+        while len(self._runtimes) > self.context_limit:
+            _, stale = self._runtimes.popitem(last=False)
+            if hasattr(stale, "close"):
+                stale.close()
+
+    def run_shard(self, context_id: str, start: int, count: int) -> List[Any]:
+        """Outcomes for draws ``[start, start + count)`` of a context."""
+        runtime = self._runtimes.get(context_id)
+        if runtime is None:
+            raise KeyError(
+                f"unknown shard context {context_id!r}; the coordinator must "
+                "ship the context before (or with) the first shard"
+            )
+        self._runtimes.move_to_end(context_id)
+        self.shards_run += 1
+        return runtime.outcomes(start, count)
+
+    def close(self) -> None:
+        for runtime in self._runtimes.values():
+            if hasattr(runtime, "close"):
+                runtime.close()
+        self._runtimes.clear()
+
+
+class _Heartbeat:
+    """Background thread sending heartbeat frames while a shard computes.
+
+    The coordinator's lease timer treats any frame as liveness, so a
+    long shard on a healthy worker never expires its lease, while a
+    killed worker stops heartbeating immediately.
+    """
+
+    def __init__(
+        self, send: Callable[[dict], None], interval: float, shard_id: int
+    ) -> None:
+        self._send = send
+        self._interval = interval
+        self._shard_id = shard_id
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._send({"type": "heartbeat", "shard": self._shard_id})
+            except OSError:
+                return
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+class WorkerServer:
+    """A socket-serving worker (one coordinator connection at a time)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: Optional[str] = None,
+        heartbeat_interval: float = 2.0,
+        context_limit: int = DEFAULT_CONTEXT_LIMIT,
+    ) -> None:
+        self.executor = ShardExecutor(context_limit)
+        self.heartbeat_interval = heartbeat_interval
+        self._shutdown = threading.Event()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(8)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self.name = name or f"worker@{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until a ``shutdown`` frame."""
+        self._sock.settimeout(0.5)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _addr = self._sock.accept()
+                except socket.timeout:
+                    continue
+                try:
+                    self._serve_connection(conn)
+                finally:
+                    conn.close()
+        finally:
+            self._sock.close()
+            self.executor.close()
+
+    def start(self) -> threading.Thread:
+        """Serve on a daemon thread (for tests and embedded workers)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(None)
+        send_lock = threading.Lock()
+
+        def send(header: dict, payload: Any = None) -> None:
+            with send_lock:
+                send_message(conn, header, payload)
+
+        while not self._shutdown.is_set():
+            try:
+                header, payload = recv_message(conn)
+            except ConnectionClosed:
+                return
+            except ProtocolError as exc:
+                try:
+                    send({"type": "error", "message": str(exc), "fatal": True})
+                except OSError:
+                    pass
+                return
+            try:
+                if not self._handle(header, payload, send):
+                    return
+            except OSError:
+                return
+
+    def _handle(
+        self, header: dict, payload: Any, send: Callable[..., None]
+    ) -> bool:
+        kind = header["type"]
+        if kind == "hello":
+            send(
+                {
+                    "type": "welcome",
+                    "name": self.name,
+                    "magic": MAGIC.decode("ascii"),
+                }
+            )
+            return True
+        if kind == "ping":
+            send({"type": "pong", "name": self.name})
+            return True
+        if kind == "context":
+            try:
+                self.executor.ensure_context(payload)
+                send({"type": "context_ok", "context": payload.context_id})
+            except Exception as exc:  # report, keep serving
+                send(
+                    {
+                        "type": "error",
+                        "message": f"context build failed: {exc}",
+                        "exception": type(exc).__name__,
+                        "fatal": True,
+                    }
+                )
+            return True
+        if kind == "run":
+            shard_id = header.get("shard", -1)
+            if not self.executor.has_context(header["context"]):
+                # The context was LRU-evicted (or never shipped over this
+                # connection): ask the coordinator to re-ship instead of
+                # failing the shard.
+                send({"type": "need_context", "context": header["context"]})
+                return True
+            with _Heartbeat(send, self.heartbeat_interval, shard_id):
+                try:
+                    outcomes = self.executor.run_shard(
+                        header["context"], header["start"], header["count"]
+                    )
+                except Exception as exc:
+                    send(
+                        {
+                            "type": "error",
+                            "message": f"{type(exc).__name__}: {exc}",
+                            "exception": type(exc).__name__,
+                            "fatal": isinstance(exc, FATAL_EXCEPTIONS),
+                        }
+                    )
+                    return True
+            send(
+                {
+                    "type": "result",
+                    "shard": shard_id,
+                    "count": len(outcomes),
+                    "worker": self.name,
+                },
+                {"outcomes": outcomes, "cache_stats": worker_cache_stats()},
+            )
+            return True
+        if kind == "shutdown":
+            self.shutdown()
+            return False
+        send(
+            {
+                "type": "error",
+                "message": f"unknown message type {kind!r}",
+                "fatal": True,
+            }
+        )
+        return True
+
+
+def serve(
+    host: str,
+    port: int,
+    *,
+    name: Optional[str] = None,
+    announce: bool = True,
+) -> None:
+    """Run a blocking socket worker (the ``ocqa worker`` entry point)."""
+    server = WorkerServer(host, port, name=name)
+    if announce:
+        print(
+            f"repro worker {server.name} listening on "
+            f"{server.host}:{server.port}",
+            flush=True,
+        )
+    server.serve_forever()
+
+
+def pool_worker_main(conn) -> None:
+    """Serve shard requests over a :mod:`multiprocessing` pipe.
+
+    The persistent local-pool counterpart of the socket server: one
+    message in, one message out, same :class:`ShardExecutor` underneath.
+    Messages are ``(kind, data)`` tuples; see
+    :class:`repro.distributed.pool.LocalPoolTransport` for the sender.
+    """
+    executor = ShardExecutor()
+    try:
+        while True:
+            try:
+                kind, data = conn.recv()
+            except (EOFError, OSError):
+                return
+            if kind == "shutdown":
+                conn.send(("bye", None))
+                return
+            try:
+                if kind == "context":
+                    executor.ensure_context(data)
+                    conn.send(("context_ok", data.context_id))
+                elif kind == "run":
+                    if not executor.has_context(data["context"]):
+                        # LRU-evicted context: request a re-ship rather
+                        # than failing the shard.
+                        conn.send(("need_context", data["context"]))
+                        continue
+                    outcomes = executor.run_shard(
+                        data["context"], data["start"], data["count"]
+                    )
+                    conn.send(
+                        (
+                            "result",
+                            {
+                                "shard": data["shard"],
+                                "outcomes": outcomes,
+                                "cache_stats": worker_cache_stats(),
+                            },
+                        )
+                    )
+                elif kind == "ping":
+                    conn.send(("pong", None))
+                else:
+                    conn.send(
+                        ("error", {"message": f"unknown request {kind!r}", "fatal": True})
+                    )
+            except Exception as exc:
+                conn.send(
+                    (
+                        "error",
+                        {
+                            "message": f"{type(exc).__name__}: {exc}",
+                            "exception": type(exc).__name__,
+                            "fatal": isinstance(exc, FATAL_EXCEPTIONS),
+                        },
+                    )
+                )
+    finally:
+        executor.close()

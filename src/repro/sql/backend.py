@@ -371,12 +371,20 @@ class SQLiteBackend(DBAPIBackend):
     """A thin, explicit wrapper around one SQLite connection.
 
     The only place in the codebase that imports :mod:`sqlite3`.
+
+    *check_same_thread=False* relaxes sqlite's thread-affinity check for
+    backends that are handed between threads with external
+    serialization — e.g. the scratch backends of in-process shard
+    executors, which the coordinator's driver threads use one at a time.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:", check_same_thread: bool = True) -> None:
         import sqlite3
 
-        super().__init__(sqlite3.connect(path), SQLITE_DIALECT)
+        super().__init__(
+            sqlite3.connect(path, check_same_thread=check_same_thread),
+            SQLITE_DIALECT,
+        )
 
     def __enter__(self) -> "SQLiteBackend":
         return self

@@ -19,7 +19,7 @@ empirical-Bernstein adaptive stopping.
 from __future__ import annotations
 
 import random
-from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign import SamplingCampaign, generator_signature
 from repro.constraints.base import ConstraintSet
@@ -70,6 +70,9 @@ class ConstraintRepairSampler(BaseCampaignSampler):
         checkpoint_path: Optional[str] = None,
         processes: Optional[int] = None,
         adaptive: bool = False,
+        workers: Optional[int] = None,
+        worker_addresses: Sequence[str] = (),
+        coordinator=None,
     ) -> None:
         if not constraints.deletion_only():
             raise ValueError(
@@ -83,7 +86,15 @@ class ConstraintRepairSampler(BaseCampaignSampler):
         self.rng = rng or random.Random()
         self.reuse_chains = reuse_chains
         self.rewriter = DeletionRewriter(backend, schema)
-        self._init_campaign(campaign, checkpoint_path, processes, adaptive)
+        self._init_campaign(
+            campaign,
+            checkpoint_path,
+            processes,
+            adaptive,
+            workers=workers,
+            worker_addresses=worker_addresses,
+            coordinator=coordinator,
+        )
         self.violation_index = SQLDeltaViolationIndex(backend, constraints)
         self.components: Tuple[FrozenSet[Fact], ...] = (
             self.violation_index.components()
@@ -135,23 +146,39 @@ class ConstraintRepairSampler(BaseCampaignSampler):
             return factory()
         return self.campaign.chain(component, factory)
 
-    def sample_deletions(self) -> List[Fact]:
-        """One repair draw: deleted facts across all conflict components."""
-        deletions: List[Fact] = []
+    def deletions_for_range(self, start: int, count: int) -> List[List[Fact]]:
+        """Deleted facts for draws ``[start, start + count)``, batched
+        component by component over each component's warm chain.  Draw
+        ``i`` of a component comes from the campaign's ``(seed,
+        component, i)`` substream, so any range is computable by any
+        process (see
+        :meth:`repro.sql.sampler.KeyRepairSampler.deletions_for_range`)."""
+        per_run: List[List[Fact]] = [[] for _ in range(count)]
         for component in self.components:
-            chain = self._component_chain(component)
-            walk = sample_walk(chain, self.campaign.rng_for(component))
-            deletions.extend(sorted(chain.database - walk.result, key=str))
-        return deletions
-
-    def sample_deletions_many(self, runs: int) -> List[List[Fact]]:
-        """*runs* repair draws, batched component by component (see
-        :meth:`repro.sql.sampler.KeyRepairSampler.sample_deletions_many`)."""
-        per_run: List[List[Fact]] = [[] for _ in range(runs)]
-        for component in self.components:
-            chain = self._component_chain(component)
-            for deletions, walk in zip(
-                per_run, self.campaign.walks(component, chain, runs)
-            ):
-                deletions.extend(sorted(chain.database - walk.result, key=str))
+            chain = None if not self.reuse_chains else self._component_chain(component)
+            for offset, deletions in enumerate(per_run):
+                component_chain = (
+                    chain if chain is not None else self._component_chain(component)
+                )
+                walk = sample_walk(
+                    component_chain,
+                    self.campaign.rng_at(component, start + offset),
+                )
+                deletions.extend(
+                    sorted(component_chain.database - walk.result, key=str)
+                )
         return per_run
+
+    def _shard_context_payload(self, query: AnyQuery) -> Tuple[str, dict]:
+        return (
+            "constraint_sampler",
+            {
+                "facts": tuple(self.backend.fetch_database(self.schema)),
+                "schema": self.schema,
+                "constraints": self.constraints,
+                "generator": self.generator,
+                "reuse_chains": self.reuse_chains,
+                "seed": self.campaign.seed,
+                "query": query,
+            },
+        )

@@ -22,13 +22,24 @@ Connection selection, in order: an explicit ``connection``, an explicit
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.sql.backend import BackendUnavailableError, DBAPIBackend
+from repro.db.terms import Term
+from repro.sql.backend import BackendUnavailableError, DBAPIBackend, _validate_row_arity
+from repro.sql.dialect import check_name
 from repro.sql.dialect import POSTGRES_DIALECT
 
 #: Environment variable holding the default connection string.
 DSN_ENV_VAR = "REPRO_PG_DSN"
+
+#: Set to ``0``/``false`` to force the generic ``executemany`` insert
+#: path (used by the conformance test to compare both paths; also an
+#: escape hatch should a driver's COPY support misbehave).
+COPY_ENV_VAR = "REPRO_PG_COPY"
+
+
+def _copy_enabled() -> bool:
+    return os.environ.get(COPY_ENV_VAR, "1").lower() not in ("0", "false", "no")
 
 
 def _load_driver():
@@ -68,6 +79,35 @@ class PostgresBackend(DBAPIBackend):
                     f"could not connect to PostgreSQL: {exc}"
                 ) from exc
         super().__init__(connection, POSTGRES_DIALECT)
+
+    def insert_rows(
+        self, table: str, arity: int, rows: Sequence[Sequence[Term]]
+    ) -> None:
+        """Bulk insert, via ``COPY ... FROM STDIN`` where the driver
+        supports it (psycopg 3's ``cursor.copy``).
+
+        ``COPY`` streams the whole batch through one command instead of
+        ``executemany``'s statement-per-row round trips — the bulk-load
+        fast path for big instances.  Values cross in the dialect's
+        tagged text transport, exactly as the ``executemany`` path sends
+        them, so the loaded table contents are identical (asserted by
+        the conformance test); psycopg's ``write_row`` handles COPY
+        escaping, so tabs/newlines/backslashes in terms are safe.
+        psycopg2 connections (no ``cursor.copy``) and
+        ``REPRO_PG_COPY=0`` fall back to the generic path.
+        """
+        if not rows:
+            return
+        cursor = self.connection.cursor()
+        if not _copy_enabled() or not hasattr(cursor, "copy"):
+            super().insert_rows(table, arity, rows)
+            return
+        _validate_row_arity(table, arity, rows)
+        columns = ", ".join(f"c{i}" for i in range(arity))
+        statement = f"COPY {check_name(table)} ({columns}) FROM STDIN"
+        with cursor.copy(statement) as copy:
+            for row in rows:
+                copy.write_row(self.dialect.encode_row(row))
 
     def close(self) -> None:
         # Abort any open transaction so close() never blocks on it.

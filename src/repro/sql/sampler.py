@@ -24,9 +24,15 @@ Three per-group policies:
 
 The sampler targets the :class:`repro.sql.backend.SQLBackend` protocol,
 so the same code runs on SQLite, PostgreSQL, and the in-memory backend.
-All per-group randomness flows through the campaign's per-group RNG
-streams: draws are independent of batch boundaries, and a campaign
-checkpointed to disk resumes with bit-identical draw sequences.
+All per-group randomness flows through the campaign's draw-indexed RNG
+substreams (:meth:`repro.campaign.SamplingCampaign.rng_at`): draw ``i``
+of group ``g`` depends only on ``(campaign seed, g, i)``, so draws are
+independent of batch boundaries, a checkpointed campaign resumes with
+bit-identical sequences, and any draw range can be computed by any
+worker — the contract behind :mod:`repro.distributed`.  Pass ``workers``
+(persistent local pool) or ``worker_addresses`` (remote ``host:port``
+workers started with ``ocqa worker``) to shard a campaign's draws; the
+merged estimates are byte-identical to a single-process run.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.campaign import SamplingCampaign, campaign_fingerprint
 from repro.constraints.base import ConstraintSet
@@ -149,6 +155,9 @@ class BaseCampaignSampler:
         checkpoint_path: Optional[str],
         processes: Optional[int],
         adaptive: bool,
+        workers: Optional[int] = None,
+        worker_addresses: Sequence[str] = (),
+        coordinator=None,
     ) -> None:
         #: Lazily computed (full-table scan) — only needed when the
         #: fingerprint is actually compared, i.e. when a checkpoint or an
@@ -170,6 +179,42 @@ class BaseCampaignSampler:
         else:
             campaign.bind_fingerprint(self.fingerprint())
         self.campaign = campaign
+        self._init_distribution(processes, workers, worker_addresses, coordinator)
+
+    def _init_distribution(
+        self,
+        processes: Optional[int],
+        workers: Optional[int],
+        worker_addresses: Sequence[str],
+        coordinator,
+    ) -> None:
+        """Set up the (optional) coordinator sharding this campaign.
+
+        ``workers=N`` starts a persistent local pool — the
+        :class:`repro.distributed.LocalPoolTransport` replacement for
+        the old per-batch fork fan-out; ``processes=N`` is kept as an
+        alias for it.  ``worker_addresses`` adds remote ``host:port``
+        workers; an explicit *coordinator* is used as-is (and not closed
+        by this sampler).  Draws are substream-deterministic, so every
+        configuration — including none — produces identical estimates.
+        """
+        self.coordinator = coordinator
+        self._owns_coordinator = False
+        if coordinator is None and (workers or processes or worker_addresses):
+            from repro.distributed import Coordinator
+
+            self.coordinator = Coordinator.from_options(
+                processes, workers, worker_addresses
+            )
+            self._owns_coordinator = self.coordinator is not None
+        self._shard_contexts: Dict[str, Any] = {}
+
+    def close_coordinator(self) -> None:
+        """Shut down a coordinator this sampler started (no-op otherwise)."""
+        if self.coordinator is not None and self._owns_coordinator:
+            self.coordinator.close()
+        self.coordinator = None
+        self._owns_coordinator = False
 
     def fingerprint(self) -> str:
         """The campaign identity of this sampler's semantic inputs."""
@@ -188,17 +233,32 @@ class BaseCampaignSampler:
         the tables, and checkpoints written afterwards must validate
         against the instance they were actually drawn from.  Campaigns
         that never bound a fingerprint (the default private path) skip
-        the rescan entirely.
+        the rescan entirely.  Cached distributed shard contexts embed a
+        snapshot of the instance, so they are dropped too — the next
+        distributed batch ships the post-update facts instead of having
+        workers silently sample the stale snapshot.
         """
         self._data_digest = None
+        self._shard_contexts.clear()
         if self.campaign.fingerprint:
             self.campaign.fingerprint = self.fingerprint()
 
-    def sample_deletions(self) -> List[Fact]:
+    def deletions_for_range(self, start: int, count: int) -> List[List[Fact]]:
+        """Deleted facts for draws ``[start, start + count)``.
+
+        Pure in the draw indices: the result depends only on the
+        campaign seed, the conflict groups, and the range — never on
+        which process computes it or how a campaign was batched.
+        """
         raise NotImplementedError
 
+    def sample_deletions(self) -> List[Fact]:
+        """One repair draw (consumes the next global draw index)."""
+        return self.deletions_for_range(self.campaign.claim_draws(1), 1)[0]
+
     def sample_deletions_many(self, runs: int) -> List[List[Fact]]:
-        raise NotImplementedError
+        """*runs* repair draws (consumes the next *runs* draw indices)."""
+        return self.deletions_for_range(self.campaign.claim_draws(runs), runs)
 
     # ------------------------------------------------------------------
     # Query compilation under the rewriting
@@ -219,19 +279,46 @@ class BaseCampaignSampler:
     # ------------------------------------------------------------------
     # The estimation loop
     # ------------------------------------------------------------------
-    def _draw_answer_sets(self, compiled: CompiledQuery, batch: int):
-        """*batch* draws: mark deletions, evaluate, collect answer sets."""
-        if self.reuse_chains:
-            batches: Iterable[List[Fact]] = self.sample_deletions_many(batch)
-        else:
-            batches = (self.sample_deletions() for _ in range(batch))
-        outcomes = []
-        for deletions in batches:
+    def outcomes_for_range(
+        self, compiled: CompiledQuery, start: int, count: int
+    ) -> List[Any]:
+        """Answer sets for draws ``[start, start + count)``.
+
+        The unit of work a shard executes: sample each draw's deletions
+        from the draw-indexed substreams, mark them in the rewriter, and
+        evaluate the compiled query.  Workers in :mod:`repro.distributed`
+        run exactly this method on a rebuilt sampler, which is why a
+        distributed campaign's outcome stream is byte-identical to a
+        local one.
+        """
+        outcomes: List[Any] = []
+        for deletions in self.deletions_for_range(start, count):
             self.rewriter.clear()
             self.rewriter.mark_deleted(deletions)
             outcomes.append(compiled.run(self.backend))
         self.rewriter.clear()
         return outcomes
+
+    def _shard_context_payload(self, query: AnyQuery) -> Tuple[str, Dict[str, Any]]:
+        """``(kind, payload)`` for a distributed shard context."""
+        raise NotImplementedError
+
+    def _shard_context(self, query: AnyQuery):
+        """The (cached) distributed context describing this campaign."""
+        from repro.distributed import ShardContext
+
+        cache_key = campaign_fingerprint(str(query), self.campaign.seed)
+        context = self._shard_contexts.get(cache_key)
+        if context is None:
+            kind, payload = self._shard_context_payload(query)
+            context = ShardContext.create(kind, payload)
+            self._shard_contexts[cache_key] = context
+        return context
+
+    def _draw_answer_sets(self, compiled: CompiledQuery, batch: int):
+        """*batch* draws: mark deletions, evaluate, collect answer sets."""
+        start = self.campaign.claim_draws(batch)
+        return self.outcomes_for_range(compiled, start, batch)
 
     def run(
         self,
@@ -241,6 +328,7 @@ class BaseCampaignSampler:
         delta: float = 0.1,
         adaptive: Optional[bool] = None,
         max_draws: Optional[int] = None,
+        target: Optional[Tuple[Term, ...]] = None,
     ) -> SamplingReport:
         """Estimate ``CP`` for every observed tuple over ``runs`` repairs.
 
@@ -249,22 +337,44 @@ class BaseCampaignSampler:
         parameters).  With *adaptive* (or a campaign built with
         ``adaptive=True``), the empirical-Bernstein rule may stop the
         campaign earlier (see :mod:`repro.analysis.bernstein` for the
-        exact guarantee accounting).  A campaign with a checkpoint path
-        persists its progress and resumes across processes; *max_draws*
-        caps this call's draws for deliberate interruption.  The compiled
-        query's identity travels with the tallies, so an interrupted
-        campaign resumed under a different query is rejected rather than
-        merged.
+        exact guarantee accounting); with *target* additionally set, the
+        adaptive rule tests only that answer tuple's stream — the
+        per-tuple early-termination mode for targeted ``CP(t)`` queries,
+        whose early stop certifies the target's estimate alone.  A
+        campaign with a checkpoint path persists its progress and
+        resumes across processes; *max_draws* caps this call's draws for
+        deliberate interruption.  The compiled query's identity travels
+        with the tallies, so an interrupted campaign resumed under a
+        different query is rejected rather than merged.
+
+        With a coordinator attached (``workers`` / ``worker_addresses``
+        / ``coordinator``), each batch's draw range is sharded across
+        the workers and the merged outcome stream — hence every tally,
+        adaptive stop, and checkpoint — is byte-identical to the
+        serial run, regardless of worker count or mid-shard deaths.
         """
         compiled = self.compile(query)
+        if self.coordinator is not None:
+            context = self._shard_context(query)
+
+            def draw(batch: int):
+                start = self.campaign.claim_draws(batch)
+                return self.coordinator.run_range(context, start, batch)
+
+        else:
+
+            def draw(batch: int):
+                return self._draw_answer_sets(compiled, batch)
+
         result = self.campaign.estimate(
-            lambda batch: self._draw_answer_sets(compiled, batch),
+            draw,
             runs=runs,
             epsilon=epsilon,
             delta=delta,
             adaptive=adaptive,
             max_draws=max_draws,
             estimation_key=campaign_fingerprint(compiled.sql, compiled.parameters),
+            stop_target=tuple(target) if target is not None else None,
         )
         return SamplingReport(
             frequencies=result.frequencies,
@@ -300,6 +410,9 @@ class KeyRepairSampler(BaseCampaignSampler):
         checkpoint_path: Optional[str] = None,
         processes: Optional[int] = None,
         adaptive: bool = False,
+        workers: Optional[int] = None,
+        worker_addresses: Sequence[str] = (),
+        coordinator=None,
     ) -> None:
         self.backend = backend
         self.schema = schema
@@ -318,7 +431,15 @@ class KeyRepairSampler(BaseCampaignSampler):
         self.rewriter = DeletionRewriter(backend, schema)
         #: The campaign owning warm chains, per-group RNG streams, the
         #: estimation tallies, and (optionally) the on-disk checkpoint.
-        self._init_campaign(campaign, checkpoint_path, processes, adaptive)
+        self._init_campaign(
+            campaign,
+            checkpoint_path,
+            processes,
+            adaptive,
+            workers=workers,
+            worker_addresses=worker_addresses,
+            coordinator=coordinator,
+        )
         self._generators: Dict[KeySpec, ChainGenerator] = {}
         self._buckets: Dict[KeySpec, Dict[Tuple[Term, ...], set]] = {}
         self._scan_buckets()
@@ -423,46 +544,50 @@ class KeyRepairSampler(BaseCampaignSampler):
             return factory()
         return self.campaign.chain(group.facts, factory)
 
-    def _group_deletions(self, group: ConflictGroup) -> List[Fact]:
-        rng = self.campaign.rng_for(group.facts)
-        if self.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
-            survivor = rng.choice(group.facts)
-            return [fact for fact in group.facts if fact != survivor]
-        chain = self._group_chain(group)
-        walk = sample_walk(chain, rng)
-        return sorted(chain.database - walk.result, key=str)
+    def deletions_for_range(self, start: int, count: int) -> List[List[Fact]]:
+        """Deleted facts for draws ``[start, start + count)``.
 
-    def sample_deletions(self) -> List[Fact]:
-        """One repair draw: the deleted facts across all conflict groups."""
-        deletions: List[Fact] = []
-        for group in self.groups:
-            deletions.extend(self._group_deletions(group))
-        return deletions
-
-    def sample_deletions_many(self, runs: int) -> List[List[Fact]]:
-        """*runs* repair draws, batched group by group.
-
-        The batched driver (:meth:`repro.campaign.SamplingCampaign.walks`
-        over :func:`repro.core.sampling.sample_many`) runs all of a
-        group's walks over its one shared chain before moving on, so hot
-        prefix states are enumerated once per campaign rather than once
-        per draw; with campaign ``processes`` the walks shard across
-        worker processes per group.  Draws remain i.i.d. — walks are
-        independent and each group consumes its own RNG stream, so the
-        draw sequences are also independent of how a campaign is split
-        into batches (the property behind checkpoint/resume equality).
+        Batched group by group: all of a group's walks run over its one
+        shared chain before moving on, so hot prefix states are
+        enumerated once per campaign rather than once per draw.  Draw
+        ``i`` of group ``g`` comes from the substream
+        :meth:`repro.campaign.SamplingCampaign.rng_at`\\ ``(g, i)`` —
+        a pure function of the campaign seed, so any contiguous range
+        can be computed by any process (the :mod:`repro.distributed`
+        sharding contract) and the sequences are independent of batch
+        boundaries (the property behind checkpoint/resume equality and
+        local == distributed byte-identity).
         """
-        per_run: List[List[Fact]] = [[] for _ in range(runs)]
+        per_run: List[List[Fact]] = [[] for _ in range(count)]
         for group in self.groups:
             if self.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
-                rng = self.campaign.rng_for(group.facts)
-                for deletions in per_run:
+                for offset, deletions in enumerate(per_run):
+                    rng = self.campaign.rng_at(group.facts, start + offset)
                     survivor = rng.choice(group.facts)
                     deletions.extend(f for f in group.facts if f != survivor)
                 continue
-            chain = self._group_chain(group)
-            for deletions, walk in zip(
-                per_run, self.campaign.walks(group.facts, chain, runs)
-            ):
-                deletions.extend(sorted(chain.database - walk.result, key=str))
+            chain = None if not self.reuse_chains else self._group_chain(group)
+            for offset, deletions in enumerate(per_run):
+                group_chain = chain if chain is not None else self._group_chain(group)
+                walk = sample_walk(
+                    group_chain, self.campaign.rng_at(group.facts, start + offset)
+                )
+                deletions.extend(
+                    sorted(group_chain.database - walk.result, key=str)
+                )
         return per_run
+
+    def _shard_context_payload(self, query: AnyQuery) -> Tuple[str, Dict[str, Any]]:
+        return (
+            "key_sampler",
+            {
+                "facts": tuple(self.backend.fetch_database(self.schema)),
+                "schema": self.schema,
+                "keys": self.keys,
+                "policy": self.policy.value,
+                "trust": dict(self.trust),
+                "reuse_chains": self.reuse_chains,
+                "seed": self.campaign.seed,
+                "query": query,
+            },
+        )

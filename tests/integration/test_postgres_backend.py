@@ -62,6 +62,53 @@ class TestDialectTransport:
         reference.close()
 
 
+class TestCopyFastPath:
+    """``COPY FROM STDIN`` bulk loads are byte-equivalent to executemany."""
+
+    #: Deliberately hostile values for COPY's text format: tabs,
+    #: newlines, backslashes, the COPY end marker, empty strings, and
+    #: mixed int/float/bool types through the tagged transport.
+    NASTY_ROWS = [
+        ("plain", "row"),
+        ("tab\there", "new\nline"),
+        ("back\\slash", "\\."),
+        ("", "empty-left"),
+        (1, 2),
+        (2.5, True),
+        ("i:5", "s:tagged-lookalike"),
+    ]
+
+    def _loaded(self, monkeypatch, copy_enabled):
+        import repro.sql.postgres as pg
+
+        monkeypatch.setenv(pg.COPY_ENV_VAR, "1" if copy_enabled else "0")
+        backend = PostgresBackend()
+        backend.create_table("CopyConf", 2)
+        backend.insert_rows("CopyConf", 2, self.NASTY_ROWS)
+        backend.commit()
+        rows = sorted(backend.select_all("CopyConf"), key=repr)
+        backend.drop_table("CopyConf")
+        backend.close()
+        return rows
+
+    def test_copy_and_executemany_load_identical_contents(self, monkeypatch):
+        via_copy = self._loaded(monkeypatch, copy_enabled=True)
+        via_executemany = self._loaded(monkeypatch, copy_enabled=False)
+        assert via_copy == via_executemany
+        assert via_copy == sorted(
+            (tuple(row) for row in self.NASTY_ROWS), key=repr
+        )
+
+    def test_full_load_roundtrip_uses_copy(self, backend):
+        """The sampler entry point (load) flows through insert_rows, so a
+        workload loaded on psycopg3 takes the COPY path and round-trips."""
+        workload = key_conflict_workload(
+            clean_rows=50, conflict_groups=5, group_size=2, seed=13
+        )
+        workload.load_into(backend)
+        assert backend.fetch_database(workload.schema) == workload.database
+
+
 class TestSamplerParity:
     """Seeded campaigns are identical across PostgreSQL and SQLite."""
 

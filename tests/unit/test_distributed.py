@@ -1,0 +1,216 @@
+"""Unit tests for the distributed-sampling building blocks: protocol
+framing, lease tables, shard contexts, and the draw-indexed substreams
+they all rest on."""
+
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.campaign import SamplingCampaign, draw_rng
+from repro.distributed import (
+    DistributedSamplingError,
+    InlineTransport,
+    LeaseTable,
+    ShardContext,
+)
+from repro.distributed.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    WorkerError,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+
+
+def _socket_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname(), timeout=5)
+    conn, _ = server.accept()
+    server.close()
+    return client, conn
+
+
+class TestProtocolFraming:
+    def test_roundtrip_header_and_payload(self):
+        client, conn = _socket_pair()
+        try:
+            payload = {"outcomes": [frozenset({("a",)}), None], "n": 2}
+            send_message(client, {"type": "result", "shard": 3}, payload)
+            header, received = recv_message(conn)
+            assert header == {"type": "result", "shard": 3}
+            assert received == payload
+        finally:
+            client.close()
+            conn.close()
+
+    def test_headers_without_payload(self):
+        client, conn = _socket_pair()
+        try:
+            send_message(client, {"type": "heartbeat", "shard": 0})
+            header, payload = recv_message(conn)
+            assert header["type"] == "heartbeat"
+            assert payload is None
+        finally:
+            client.close()
+            conn.close()
+
+    def test_bad_magic_rejected(self):
+        client, conn = _socket_pair()
+        try:
+            client.sendall(b"NOPE" + b"\x00" * 8)
+            with pytest.raises(ProtocolError):
+                recv_message(conn)
+        finally:
+            client.close()
+            conn.close()
+
+    def test_eof_mid_frame_raises_connection_closed(self):
+        client, conn = _socket_pair()
+        try:
+            frame = encode_frame({"type": "run", "start": 0})
+            client.sendall(frame[: len(frame) // 2])
+            client.close()
+            with pytest.raises(ConnectionClosed):
+                recv_message(conn)
+        finally:
+            conn.close()
+
+    def test_multiple_frames_in_sequence(self):
+        client, conn = _socket_pair()
+        try:
+            for index in range(3):
+                send_message(client, {"type": "heartbeat", "shard": index})
+            shards = [recv_message(conn)[0]["shard"] for _ in range(3)]
+            assert shards == [0, 1, 2]
+        finally:
+            client.close()
+            conn.close()
+
+
+class TestLeaseTable:
+    def test_shards_cover_range_exactly(self):
+        table = LeaseTable(start=10, count=23, shard_size=10)
+        leases = []
+        while True:
+            lease = table.checkout("w", wait=False)
+            if lease is None:
+                break
+            leases.append(lease)
+            table.complete(lease, [None] * lease.count)
+        assert [(l.start, l.count) for l in leases] == [(10, 10), (20, 10), (30, 3)]
+        assert table.done
+
+    def test_assemble_orders_by_draw_index(self):
+        table = LeaseTable(start=0, count=6, shard_size=2)
+        first = table.checkout("a", wait=False)
+        second = table.checkout("b", wait=False)
+        third = table.checkout("c", wait=False)
+        # Complete out of order.
+        table.complete(third, ["e", "f"])
+        table.complete(first, ["a", "b"])
+        table.complete(second, ["c", "d"])
+        assert table.assemble() == ["a", "b", "c", "d", "e", "f"]
+
+    def test_release_requeues_for_other_workers(self):
+        table = LeaseTable(start=0, count=4, shard_size=4)
+        lease = table.checkout("dying", wait=False)
+        table.release(lease, "killed")
+        replacement = table.checkout("healthy", wait=False)
+        assert replacement is lease
+        assert replacement.attempts == 2
+        table.complete(replacement, [1, 2, 3, 4])
+        assert table.assemble() == [1, 2, 3, 4]
+
+    def test_duplicate_completion_dropped(self):
+        table = LeaseTable(start=0, count=2, shard_size=2)
+        lease = table.checkout("slow", wait=False)
+        assert table.complete(lease, ["x", "y"]) is True
+        assert table.complete(lease, ["x", "y"]) is False
+        assert table.assemble() == ["x", "y"]
+
+    def test_exhausted_attempts_fail_the_table(self):
+        table = LeaseTable(start=0, count=2, shard_size=2, max_attempts=2)
+        for _ in range(2):
+            lease = table.checkout("w", wait=False)
+            table.release(lease, "boom")
+        assert table.checkout("w", wait=False) is None
+        with pytest.raises(DistributedSamplingError, match="boom"):
+            table.assemble()
+
+    def test_wrong_outcome_count_rejected(self):
+        table = LeaseTable(start=0, count=5, shard_size=5)
+        lease = table.checkout("w", wait=False)
+        with pytest.raises(DistributedSamplingError, match="draw-index contract"):
+            table.complete(lease, [1, 2])
+
+    def test_blocked_checkout_wakes_on_release(self):
+        table = LeaseTable(start=0, count=3, shard_size=3)
+        lease = table.checkout("first", wait=False)
+        picked = {}
+
+        def second_worker():
+            picked["lease"] = table.checkout("second")
+            if picked["lease"] is not None:
+                table.complete(picked["lease"], [0, 1, 2])
+
+        thread = threading.Thread(target=second_worker)
+        thread.start()
+        table.release(lease, "first worker died")
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert picked["lease"] is not None
+        assert table.done
+
+
+class TestSubstreams:
+    def test_draw_rng_is_pure_in_seed_key_index(self):
+        assert draw_rng(7, "g", 3).random() == draw_rng(7, "g", 3).random()
+        assert draw_rng(7, "g", 3).random() != draw_rng(7, "g", 4).random()
+        assert draw_rng(7, "g", 3).random() != draw_rng(8, "g", 3).random()
+
+    def test_campaign_rng_at_matches_module_helper(self):
+        campaign = SamplingCampaign(seed=99)
+        assert (
+            campaign.rng_at(("k",), 5).random() == draw_rng(99, ("k",), 5).random()
+        )
+
+    def test_claim_draws_advances_and_checkpoints(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = SamplingCampaign(fingerprint="f", seed=1, checkpoint_path=path)
+        assert campaign.claim_draws(10) == 0
+        assert campaign.claim_draws(5) == 10
+        campaign.save_checkpoint()
+        resumed = SamplingCampaign.resume(path, "f")
+        assert resumed.claim_draws(1) == 15
+
+
+class TestShardContext:
+    def test_content_addressed_ids(self):
+        a = ShardContext.create("chain", {"seed": 1, "facts": ("x",)})
+        b = ShardContext.create("chain", {"seed": 1, "facts": ("x",)})
+        c = ShardContext.create("chain", {"seed": 2, "facts": ("x",)})
+        assert a.context_id == b.context_id
+        assert a.context_id != c.context_id
+
+    def test_unpicklable_payload_rejected_loudly(self):
+        with pytest.raises(ValueError, match="cannot be distributed"):
+            ShardContext.create("chain", {"fn": lambda: None})
+
+    def test_contexts_survive_pickling(self):
+        context = ShardContext.create("chain", {"seed": 3})
+        restored = pickle.loads(pickle.dumps(context))
+        assert restored == context
+
+
+class TestInlineTransport:
+    def test_unknown_kind_is_worker_error_material(self):
+        transport = InlineTransport()
+        context = ShardContext.create("nonsense", {"seed": 0})
+        with pytest.raises(ValueError, match="unknown shard context kind"):
+            transport.run_shard(context, 0, 0, 1)
+        transport.close()
