@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fail CI when a hot path got slower.
+
+Compares a fresh ``run_benchmarks.py --quick`` report against the
+committed per-PR baseline (``BENCH_PR5.json``) and exits non-zero when a
+gated metric regressed beyond the tolerance band.
+
+Two deliberate design points:
+
+- **Only size-stable keys are gated.**  ``--quick`` shrinks most
+  scenario sizes, so their timings are incomparable with the committed
+  full-size baselines; the keys in :data:`GATED_KEYS` run identical
+  parameters in both modes and are the only apples-to-apples
+  comparisons available.
+- **Machine-speed normalization.**  CI runners are not the container
+  the baseline was recorded on, so raw wall-clock ratios mix machine
+  speed with code speed.  The gate computes each key's
+  ``report / baseline`` ratio and takes the *median* ratio as the
+  machine factor; a key fails only when its ratio exceeds the median by
+  more than the tolerance (default 25%) — i.e. when it got slower
+  *relative to the other hot paths*, which is what a code regression
+  looks like.  ``--absolute`` disables the normalization for
+  same-machine comparisons (e.g. re-running on the reference
+  container).
+
+Timings under the floor (default 5 ms) never fail the gate: at that
+scale the noise exceeds any signal.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --quick --output bench-quick.json
+    python benchmarks/check_regression.py --baseline BENCH_PR5.json \
+        --report bench-quick.json [--tolerance 0.25] [--floor-ms 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Scenario keys whose parameters are identical under ``--quick`` and a
+#: full run (see the scenario functions in ``run_benchmarks.py``) — the
+#: only keys comparable against the committed full-mode baseline.
+GATED_KEYS = (
+    "e1_paper_chain_explore",
+    "e5_exact_explore_conflicts_1",
+    "e5_exact_explore_conflicts_2",
+    "e10_sample_walks_groups_2",
+    "e10_sample_walks_groups_4",
+)
+
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_FLOOR_SECONDS = 0.005
+
+#: Median normalization needs a population: with one or two comparable
+#: keys the regressing key can *be* the median and the gate could never
+#: fire, so too few comparable keys is itself a gate failure (it means
+#: the baseline or the report lost scenario keys).
+MIN_COMPARABLE_KEYS = 3
+
+
+def gate(
+    baseline: Dict[str, float],
+    report: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor: float = DEFAULT_FLOOR_SECONDS,
+    normalize: bool = True,
+    keys: Optional[tuple] = None,
+) -> List[str]:
+    """Return a list of human-readable regression findings (empty = pass).
+
+    *baseline* and *report* map scenario keys to wall-clock seconds.
+    """
+    keys = GATED_KEYS if keys is None else keys
+    comparable = [
+        key
+        for key in keys
+        if baseline.get(key, 0) > 0 and report.get(key, 0) > 0
+    ]
+    minimum = min(MIN_COMPARABLE_KEYS, len(keys)) if normalize else 1
+    if len(comparable) < minimum:
+        return [
+            f"only {len(comparable)} of {len(keys)} gated scenario key(s) "
+            f"present in both baseline and report (need >= {minimum}); "
+            "the baseline or the report lost scenario keys"
+        ]
+    ratios = {key: report[key] / baseline[key] for key in comparable}
+    machine_factor = statistics.median(ratios.values()) if normalize else 1.0
+    failures = []
+    for key in comparable:
+        allowed = machine_factor * (1.0 + tolerance)
+        if ratios[key] > allowed and report[key] > floor:
+            failures.append(
+                f"{key}: {report[key] * 1000:.2f} ms vs baseline "
+                f"{baseline[key] * 1000:.2f} ms ({ratios[key]:.2f}x; allowed "
+                f"{allowed:.2f}x = median machine factor "
+                f"{machine_factor:.2f} + {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def _load_scenarios(path: Path) -> Dict[str, float]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read benchmark report {path}: {exc}")
+    scenarios = payload.get("scenarios_seconds")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise SystemExit(f"{path} has no scenarios_seconds section")
+    return scenarios
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="committed benchmark baseline (e.g. BENCH_PR5.json)",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        required=True,
+        help="fresh report from run_benchmarks.py --quick",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed slowdown beyond the machine factor (default 0.25)",
+    )
+    parser.add_argument(
+        "--floor-ms",
+        type=float,
+        default=DEFAULT_FLOOR_SECONDS * 1000,
+        help="timings under this never fail the gate (default 5 ms)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw wall clocks (same-machine baselines only)",
+    )
+    args = parser.parse_args(argv)
+    baseline = _load_scenarios(args.baseline)
+    report = _load_scenarios(args.report)
+    failures = gate(
+        baseline,
+        report,
+        tolerance=args.tolerance,
+        floor=args.floor_ms / 1000,
+        normalize=not args.absolute,
+    )
+    gated = [k for k in GATED_KEYS if k in baseline and k in report]
+    print(f"gated {len(gated)} scenario key(s): {', '.join(gated)}")
+    if failures:
+        print("BENCHMARK REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"benchmark gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,14 @@ the serial baseline) and the per-batch overhead of the persistent pool
 vs the PR 3 fork fan-out, which re-spawned worker processes on every
 batch (``worker_pool_overhead`` in the report).
 
+PR 5 additions (always recorded): ``outcome_compression`` runs one
+fat-answer-set campaign over a real socket worker twice — with the
+compression/interning capabilities negotiated and with them declined —
+and records the shipped result-payload bytes each way plus the
+compression ratio; ``straggler_relief`` runs a fixed draw range over a
+two-worker fleet with one induced 25x straggler, with and without
+speculative re-lease, and records the wall-clock win.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
@@ -394,6 +402,145 @@ def scenario_pool_overhead(quick: bool) -> dict:
     }
 
 
+def scenario_compression(quick: bool) -> dict:
+    """Outcome-stream compression: shipped bytes with and without (E13).
+
+    One fat-answer-set campaign (many clean rows, whole-row query — the
+    regime where outcome shipping dominates cheap draws, see ``e12_*``
+    vs ``cpu_count`` in ``BENCH_PR4.json``) runs over a real socket
+    worker twice: once with the zlib+interning capabilities negotiated,
+    once with them declined (the PR 4 wire format).  Estimates are
+    asserted byte-identical; the difference is purely how many bytes the
+    result stream shipped.
+    """
+    import random as _random
+
+    from repro.distributed import Coordinator, WorkerServer
+    from repro.sql import KeyRepairSampler, SamplerPolicy
+
+    runs = 40 if quick else 120
+    workload = key_conflict_workload(
+        clean_rows=200 if quick else 800,
+        conflict_groups=10 if quick else 20,
+        group_size=2,
+        arity=3,
+        seed=51,
+    )
+    query = parse_cq("Q(x, y, z) :- R(x, y, z)")
+    server = WorkerServer()
+    server.start()
+    out = {}
+    frequencies = {}
+    try:
+        for label, compress in (("compressed", True), ("uncompressed", False)):
+            coordinator = Coordinator.connect(
+                [f"127.0.0.1:{server.port}"], compress=compress, shard_size=20
+            )
+            backend = workload.load_into(create_backend("sqlite"))
+            sampler = KeyRepairSampler(
+                backend,
+                workload.schema,
+                [workload.key_spec],
+                policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+                rng=_random.Random(9),
+                coordinator=coordinator,
+            )
+            start = time.perf_counter()
+            report = sampler.run(query, runs=runs)
+            out[f"e13_outcome_shipping_{label}_seconds"] = (
+                time.perf_counter() - start
+            )
+            stats = coordinator.transport_report()
+            out[f"e13_result_payload_bytes_{label}"] = stats["payload_wire_bytes"]
+            out[f"e13_frames_compressed_{label}"] = stats["compressed_frames"]
+            frequencies[label] = report.frequencies
+            coordinator.close()
+            backend.close()
+    finally:
+        server.shutdown()
+    assert frequencies["compressed"] == frequencies["uncompressed"], (
+        "compression changed the estimates"
+    )
+    raw = out["e13_result_payload_bytes_uncompressed"]
+    shipped = out["e13_result_payload_bytes_compressed"]
+    out["e13_shipped_bytes_ratio"] = round(raw / shipped, 2) if shipped else None
+    return out
+
+
+def scenario_straggler(quick: bool) -> dict:
+    """Speculative re-lease on an induced slow shard (E14).
+
+    A two-worker fleet where one worker adds a fixed lag per shard: the
+    drained-queue speculation duplicates the straggler's shard onto the
+    idle fast worker, and the coordinator returns when the table — not
+    the straggler thread — is done.  Both configurations are asserted
+    byte-identical; the delta is the straggler wall-clock the campaign
+    no longer pays.
+    """
+    import time as _time
+
+    from repro.distributed import Coordinator, InlineTransport
+    from repro.distributed.worker import ShardContext
+
+    class SlowInline(InlineTransport):
+        def __init__(self, delay, name):
+            super().__init__(name)
+            self.delay = delay
+
+        def run_shard(self, context, shard_id, start, count, timeout=None):
+            result = super().run_shard(context, shard_id, start, count, timeout)
+            _time.sleep(self.delay)
+            return result
+
+    draws = 60 if quick else 120
+    fast_delay = 0.02
+    slow_delay = 0.5
+    workload = key_conflict_workload(
+        clean_rows=0, conflict_groups=6, group_size=2, arity=2, seed=33
+    )
+    generator = UniformGenerator(workload.constraints)
+    context = ShardContext.create(
+        "chain",
+        {
+            "facts": tuple(workload.database),
+            "generator": generator,
+            "query": parse_cq("Q(x) :- R(x, y)"),
+            "candidate": None,
+            "allow_failing": False,
+            "seed": 5,
+            "stream_key": "root",
+        },
+    )
+    out = {
+        "draws": draws,
+        "fast_delay_seconds": fast_delay,
+        "slow_delay_seconds": slow_delay,
+    }
+    outcomes = {}
+    for label, speculate in (("speculate_off", False), ("speculate_on", True)):
+        fleet = [
+            SlowInline(fast_delay, name="fast"),
+            SlowInline(slow_delay, name="slow"),
+        ]
+        coordinator = Coordinator(fleet, shard_size=10, speculate=speculate)
+        try:
+            start = time.perf_counter()
+            outcomes[label] = coordinator.run_range(context, 0, draws)
+            out[f"e14_straggler_{label}_seconds"] = time.perf_counter() - start
+            if speculate:
+                out["e14_speculations"] = coordinator.speculations
+                out["e14_speculation_wins"] = coordinator.speculation_wins
+        finally:
+            coordinator.close()
+    assert outcomes["speculate_off"] == outcomes["speculate_on"], (
+        "speculative re-lease changed the outcomes"
+    )
+    off = out["e14_straggler_speculate_off_seconds"]
+    on = out["e14_straggler_speculate_on_seconds"]
+    out["e14_straggler_speedup"] = round(off / on, 2) if on else None
+    return out
+
+
 def run_pytest_pass() -> dict:
     """Wall-clock of the benchmark files under pytest."""
     out = {}
@@ -435,7 +582,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR4.json",
+        default=REPO_ROOT / "BENCH_PR5.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -494,19 +641,26 @@ def main() -> int:
         )
         scenarios.update(scenario_workers(args.repeat, args.quick, args.workers))
 
-    pr3_baseline = _previous_baseline("BENCH_PR3.json")
-    speedup_vs_pr3 = {
-        key: round(pr3_baseline[key] / value, 2)
+    pr4_baseline = _previous_baseline("BENCH_PR4.json")
+    speedup_vs_pr4 = {
+        key: round(pr4_baseline[key] / value, 2)
         for key, value in scenarios.items()
-        if key in pr3_baseline and value > 0
+        if key in pr4_baseline and value > 0
     }
 
+    print("timing E13 outcome-stream compression ...", flush=True)
+    outcome_compression = scenario_compression(args.quick)
+    print("timing E14 speculative straggler re-lease ...", flush=True)
+    straggler_relief = scenario_straggler(args.quick)
+
     report = {
-        "pr": 4,
+        "pr": 5,
         "description": (
-            "distributed sampling service: coordinator/worker campaign "
-            "sharding (persistent local pools + remote socket workers, "
-            "draw-indexed substream determinism)"
+            "multi-campaign async workers: one worker process multiplexes "
+            "many coordinator connections (thread-per-connection over a "
+            "thread-safe campaign-keyed context LRU), outcome streams "
+            "interned + zlib-compressed under capability negotiation, "
+            "straggler shards speculatively re-leased"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -515,14 +669,16 @@ def main() -> int:
         "quick": args.quick,
         "backend": args.backend,
         "scenarios_seconds": scenarios,
+        "outcome_compression": outcome_compression,
+        "straggler_relief": straggler_relief,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS,
         "speedup_vs_seed": {
             key: round(SEED_BASELINE_SECONDS[key] / value, 2)
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
-        "pr3_baseline_seconds": pr3_baseline,
-        "speedup_vs_pr3": speedup_vs_pr3,
+        "pr4_baseline_seconds": pr4_baseline,
+        "speedup_vs_pr4": speedup_vs_pr4,
     }
     if "e11_seconds_per_draw_legacy" in scenarios:
         report["e11_per_draw_speedup"] = round(
@@ -566,6 +722,22 @@ def main() -> int:
                 if k.endswith("_adaptive_draws")
             )
         )
+    compression = report["outcome_compression"]
+    print(
+        "  E13 result payloads: "
+        f"{compression['e13_result_payload_bytes_uncompressed']} B raw vs "
+        f"{compression['e13_result_payload_bytes_compressed']} B shipped "
+        f"({compression['e13_shipped_bytes_ratio']}x smaller)"
+    )
+    straggler = report["straggler_relief"]
+    print(
+        "  E14 straggler range: "
+        f"{straggler['e14_straggler_speculate_off_seconds'] * 1000:.0f} ms "
+        "without speculation vs "
+        f"{straggler['e14_straggler_speculate_on_seconds'] * 1000:.0f} ms with "
+        f"({straggler['e14_straggler_speedup']}x, "
+        f"{straggler['e14_speculation_wins']} speculation win(s))"
+    )
     return 0
 
 

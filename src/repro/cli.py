@@ -135,18 +135,22 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     generator = _build_generator(args, constraints)
     query = parse_query(args.query)
     rng = random.Random(args.seed)
-    estimates = approximate_oca(
-        database,
-        generator,
-        query,
-        epsilon=args.epsilon,
-        delta=args.delta,
-        rng=rng,
-        allow_failing=args.allow_failing,
-        adaptive=args.adaptive,
-        workers=args.workers,
-        worker_addresses=args.worker or (),
-    )
+    coordinator = _build_coordinator(args)
+    try:
+        estimates = approximate_oca(
+            database,
+            generator,
+            query,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            rng=rng,
+            allow_failing=args.allow_failing,
+            adaptive=args.adaptive,
+            coordinator=coordinator,
+        )
+    finally:
+        if coordinator is not None:
+            coordinator.close()
     for candidate, estimate in sorted(estimates.items(), key=lambda kv: -kv[1]):
         print(f"{candidate}  ~CP = {estimate:.4f}")
     rule = "empirical-Bernstein adaptive" if args.adaptive else "Hoeffding"
@@ -190,6 +194,7 @@ def _cmd_sql_sample(args: argparse.Namespace) -> int:
     database = load_database(args.db)
     constraints = load_constraints(args.constraints)
     query = parse_query(args.query)
+    coordinator = _build_coordinator(args)
     schema = Schema.infer(database).extend(constraints.schema())
     with create_backend(args.backend) as backend:
         backend.load(database, schema)
@@ -199,10 +204,8 @@ def _cmd_sql_sample(args: argparse.Namespace) -> int:
             constraints,
             rng=random.Random(args.seed),
             checkpoint_path=args.checkpoint,
-            processes=args.processes,
             adaptive=args.adaptive,
-            workers=args.workers,
-            worker_addresses=args.worker or (),
+            coordinator=coordinator,
         )
         try:
             report = sampler.run(
@@ -210,6 +213,8 @@ def _cmd_sql_sample(args: argparse.Namespace) -> int:
             )
         finally:
             sampler.close_coordinator()
+            if coordinator is not None:
+                coordinator.close()
     for candidate, estimate in report.items():
         print(f"{candidate}  ~CP = {estimate:.4f}")
     suffix = " (empirical-Bernstein early stop)" if report.stopped_early else ""
@@ -229,7 +234,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             f"--listen must be host:port (port 0 picks a free one), "
             f"got {args.listen!r}"
         )
-    serve(host, int(port), name=args.name)
+    serve(host, int(port), name=args.name, context_limit=args.context_limit)
     return 0
 
 
@@ -254,6 +259,32 @@ def _add_distribution(parser: argparse.ArgumentParser) -> None:
         metavar="HOST:PORT",
         help="add a remote worker (started with 'ocqa worker --listen'); "
         "repeatable",
+    )
+    parser.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="do not negotiate outcome-stream compression/interning with "
+        "remote workers (the frames then stay byte-compatible with "
+        "pre-compression workers; REPRO_COMPRESS=0 sets the same default)",
+    )
+
+
+def _build_coordinator(args: argparse.Namespace):
+    """The coordinator implied by the CLI's distribution flags.
+
+    Built here (not inside the samplers) so ``--no-compress`` threads
+    through :meth:`Coordinator.from_options`'s ``compress`` parameter
+    instead of mutating process-global state.  Returns ``None`` for the
+    serial path; the caller owns (and must close) a returned
+    coordinator.
+    """
+    from repro.distributed import Coordinator
+
+    return Coordinator.from_options(
+        processes=getattr(args, "processes", None),
+        workers=args.workers,
+        worker_addresses=args.worker or (),
+        compress=False if args.no_compress else None,
     )
 
 
@@ -350,7 +381,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "worker",
-        help="run a sampling worker serving shard requests over TCP "
+        help="run a sampling worker serving shard requests over TCP; one "
+        "worker process serves many coordinators/campaigns concurrently "
         "(see the README's distributed deployment how-to)",
     )
     p.add_argument(
@@ -360,6 +392,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind address (port 0 picks a free port, printed on start)",
     )
     p.add_argument("--name", default=None, help="worker name for logs/leases")
+    p.add_argument(
+        "--context-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="warm campaign contexts kept resident (LRU-evicted beyond N)",
+    )
     p.set_defaults(fn=_cmd_worker)
 
     return parser

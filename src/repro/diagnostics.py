@@ -120,6 +120,11 @@ class CacheReport:
     workers: CacheStats = field(default_factory=dict)
     #: Number of worker processes whose counters ``workers`` aggregates.
     worker_count: int = 0
+    #: Outcome-shipping byte counters summed over every coordinator
+    #: transport that reported in (see :func:`record_transport_stats`):
+    #: frames/bytes sent and received, raw vs on-the-wire payload bytes
+    #: (the compression win), and the number of compressed frames.
+    transport: Dict[str, int] = field(default_factory=dict)
 
     @staticmethod
     def _hit_rate(stats: Dict[str, int]) -> float:
@@ -140,6 +145,20 @@ class CacheReport:
                     f"{counters.get('size', 0)}/{counters.get('limit', 0)} entries "
                     f"({100 * self._hit_rate(counters):.1f}% hit rate)"
                 )
+        if self.transport:
+            raw = self.transport.get("payload_raw_bytes", 0)
+            wire = self.transport.get("payload_wire_bytes", 0)
+            ratio = f"{raw / wire:.2f}x" if wire else "n/a"
+            lines.append(
+                "transport: "
+                f"{self.transport.get('frames_sent', 0)} frame(s) out / "
+                f"{self.transport.get('frames_received', 0)} in, "
+                f"{self.transport.get('bytes_sent', 0)} B out / "
+                f"{self.transport.get('bytes_received', 0)} B in, "
+                f"result payloads {raw} B raw -> {wire} B shipped "
+                f"({ratio} compression, "
+                f"{self.transport.get('compressed_frames', 0)} compressed frame(s))"
+            )
         return "\n".join(lines)
 
 
@@ -208,6 +227,48 @@ def aggregated_worker_cache_stats() -> CacheStats:
     return total
 
 
+#: Latest shipped-byte counters per coordinator transport, keyed by
+#: ``campaign_id/transport_name``.  Counters are cumulative per
+#: transport, so keeping the latest snapshot (not summing arrivals) is
+#: exact — the same discipline as :data:`_WORKER_CACHE_STATS`.
+_TRANSPORT_STATS: Dict[str, Dict[str, int]] = {}
+
+
+def record_transport_stats(name: str, stats: Dict[str, int]) -> None:
+    """Record a coordinator transport's cumulative byte counters.
+
+    Called by :class:`repro.distributed.Coordinator` after each
+    dispatched range, so :func:`cache_report` can show how many bytes
+    the outcome stream actually shipped (and what compression saved).
+    """
+    _TRANSPORT_STATS[name] = dict(stats)
+
+
+def reset_transport_stats() -> None:
+    """Forget all recorded transport counters (test isolation)."""
+    _TRANSPORT_STATS.clear()
+
+
+def discard_transport_stats(prefix: str) -> None:
+    """Drop the counters recorded under ``prefix`` (a campaign id).
+
+    :meth:`repro.distributed.Coordinator.close` calls this so a
+    long-lived process that builds a coordinator per request keeps the
+    registry bounded by *open* campaigns, not campaigns ever run.
+    """
+    for name in [key for key in _TRANSPORT_STATS if key.startswith(prefix)]:
+        del _TRANSPORT_STATS[name]
+
+
+def aggregated_transport_stats() -> Dict[str, int]:
+    """Transport byte counters summed across every recorded transport."""
+    total: Dict[str, int] = {}
+    for stats in _TRANSPORT_STATS.values():
+        for key, value in stats.items():
+            total[key] = total.get(key, 0) + value
+    return total
+
+
 def cache_report(source=None) -> CacheReport:
     """Cache counters for *source* — a ``RepairingChain`` or ``RepairEngine``.
 
@@ -230,6 +291,7 @@ def cache_report(source=None) -> CacheReport:
         shared=_shared_cache_stats(),
         workers=aggregated_worker_cache_stats(),
         worker_count=len(_WORKER_CACHE_STATS),
+        transport=aggregated_transport_stats(),
     )
 
 

@@ -31,7 +31,13 @@ from repro.distributed.lease import (
     ShardLease,
 )
 from repro.distributed.pool import LocalPoolTransport
-from repro.distributed.protocol import ProtocolError, WorkerError
+from repro.distributed.protocol import (
+    CAPABILITIES,
+    ProtocolError,
+    WorkerError,
+    intern_outcomes,
+    restore_outcomes,
+)
 from repro.distributed.transport import (
     InlineTransport,
     SocketTransport,
@@ -46,8 +52,11 @@ from repro.distributed.worker import (
 )
 
 __all__ = [
+    "CAPABILITIES",
     "Coordinator",
     "DistributedSamplingError",
+    "intern_outcomes",
+    "restore_outcomes",
     "DEFAULT_LEASE_TIMEOUT",
     "DEFAULT_SHARD_SIZE",
     "InlineTransport",

@@ -33,6 +33,7 @@ the failure instead.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -55,6 +56,11 @@ DEFAULT_SHARD_SIZE = 25
 #: computing, so expiry genuinely means a dead or wedged worker.
 DEFAULT_LEASE_TIMEOUT = 60.0
 
+#: Monotonic source of campaign/connection ids: distinct per coordinator
+#: within a process, which is all the tag needs (a worker distinguishes
+#: connections by socket; the tag attributes frames *within* one).
+_campaign_counter = itertools.count(1)
+
 
 class Coordinator:
     """Shards draw ranges across workers and merges their outcomes."""
@@ -67,6 +73,7 @@ class Coordinator:
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         max_attempts: int = 4,
         fallback_inline: bool = True,
+        speculate: bool = True,
     ) -> None:
         if shard_size < 1:
             raise ValueError(f"shard_size must be positive, got {shard_size}")
@@ -77,8 +84,20 @@ class Coordinator:
         self.lease_timeout = lease_timeout
         self.max_attempts = max_attempts
         self.fallback_inline = fallback_inline
+        #: Re-lease the slowest outstanding shard to idle workers once
+        #: the pending queue drains (straggler mitigation; exact —
+        #: duplicate completions are dropped byte-identically).
+        self.speculate = speculate
+        #: This coordinator's campaign/connection tag, stamped on every
+        #: frame its transports exchange with (multiplexing) workers.
+        self.campaign_id = f"c{next(_campaign_counter)}"
+        for transport in self.transports:
+            transport.bind_campaign(self.campaign_id)
         #: Number of shards recomputed after a lost lease (observability).
         self.releases = 0
+        #: Speculative duplicate leases issued / won (observability).
+        self.speculations = 0
+        self.speculation_wins = 0
         #: Per-worker failure messages, in observation order.
         self.failure_log: List[str] = []
         self._fatal_lock = threading.Lock()
@@ -86,6 +105,18 @@ class Coordinator:
         #: Lazily-built executor for the all-workers-dead fallback; kept
         #: across batches so its warm contexts amortize like a worker's.
         self._inline: Optional[InlineTransport] = None
+        #: Driver threads still winding down a shard from a *previous*
+        #: range (speculated stragglers), keyed by transport identity
+        #: (``id()`` — names may collide when the same address is listed
+        #: twice).  A transport whose recorded thread is alive is
+        #: skipped when dispatching the next range and rejoins the fleet
+        #: as soon as the thread exits — one slow shard never blocks the
+        #: campaign, and no transport ever serves two threads.
+        #: ``is_alive()`` is the ground truth, so there is no release
+        #: race to lose a transport to.  (Dispatch itself is
+        #: single-threaded: one ``run_range`` at a time per coordinator,
+        #: as the samplers use it.)
+        self._lagging: Dict[int, threading.Thread] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -98,9 +129,17 @@ class Coordinator:
         return cls(LocalPoolTransport.spawn(workers), **kwargs)
 
     @classmethod
-    def connect(cls, addresses: Sequence[str], **kwargs) -> "Coordinator":
+    def connect(
+        cls,
+        addresses: Sequence[str],
+        compress: Optional[bool] = None,
+        **kwargs,
+    ) -> "Coordinator":
         """A coordinator over remote ``host:port`` workers."""
-        return cls([SocketTransport.parse(a) for a in addresses], **kwargs)
+        return cls(
+            [SocketTransport.parse(a, compress=compress) for a in addresses],
+            **kwargs,
+        )
 
     @classmethod
     def from_options(
@@ -108,6 +147,7 @@ class Coordinator:
         processes: Optional[int] = None,
         workers: Optional[int] = None,
         worker_addresses: Sequence[str] = (),
+        compress: Optional[bool] = None,
         **kwargs,
     ) -> Optional["Coordinator"]:
         """The coordinator implied by the samplers'/estimators' options.
@@ -116,8 +156,10 @@ class Coordinator:
         the legacy ``processes`` alias (which means a pool only when
         ``> 1`` — ``--processes 1`` historically meant serial, while
         ``workers=1`` is an explicit one-process pool);
-        ``worker_addresses`` adds remote ``host:port`` workers.  Returns
-        ``None`` when nothing asks for distribution (the serial path).
+        ``worker_addresses`` adds remote ``host:port`` workers.
+        *compress* gates the socket transports' compression capabilities
+        (default: on, unless ``REPRO_COMPRESS=0``).  Returns ``None``
+        when nothing asks for distribution (the serial path).
         """
         from repro.distributed.pool import LocalPoolTransport
 
@@ -129,7 +171,8 @@ class Coordinator:
         if not pool and not worker_addresses:
             return None
         transports: List[WorkerTransport] = [
-            SocketTransport.parse(address) for address in worker_addresses
+            SocketTransport.parse(address, compress=compress)
+            for address in worker_addresses
         ]
         if pool:
             transports.extend(LocalPoolTransport.spawn(pool))
@@ -147,23 +190,53 @@ class Coordinator:
         (deterministic exceptions such as a failing repair sequence)
         re-raise here, mapped back to the original exception type when
         it is importable.
+
+        Returns as soon as every shard has outcomes — NOT when every
+        driver thread has exited: a straggler whose shard was
+        speculatively recomputed elsewhere finishes its (dropped)
+        duplicate in the background, with its transport marked busy and
+        skipped until then.
         """
         if count <= 0:
             return []
         table = LeaseTable(
-            start, count, self.shard_size, max_attempts=self.max_attempts
+            start,
+            count,
+            self.shard_size,
+            max_attempts=self.max_attempts,
+            speculate=self.speculate and len(self.transports) > 1,
         )
-        live = [t for t in self.transports if t.alive]
+        self._lagging = {
+            key: thread
+            for key, thread in self._lagging.items()
+            if thread.is_alive()
+        }
+        live = [
+            t for t in self.transports if t.alive and id(t) not in self._lagging
+        ]
         threads = [
-            threading.Thread(
-                target=self._drive, args=(transport, context, table), daemon=True
+            (
+                transport,
+                threading.Thread(
+                    target=self._drive,
+                    args=(transport, context, table),
+                    daemon=True,
+                ),
             )
             for transport in live
         ]
-        for thread in threads:
+        for _transport, thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join()
+        while not table.done and any(t.is_alive() for _tr, t in threads):
+            table.wait_progress(0.5)
+        for transport, thread in threads:
+            if thread.is_alive():
+                # Grace join: a thread in its post-completion microsecond
+                # window is not a straggler — only classify it lagging if
+                # it is still running after a short wait.
+                thread.join(timeout=0.05)
+            if thread.is_alive():
+                self._lagging[id(transport)] = thread
         with self._fatal_lock:
             if self._fatal is not None:
                 fatal, self._fatal = self._fatal, None
@@ -176,6 +249,8 @@ class Coordinator:
                     "fallback disabled: " + "; ".join(table.failure_log())
                 )
             self._finish_inline(context, table, leftovers)
+        self.speculation_wins += table.speculation_wins
+        self._record_transport_stats()
         return table.assemble()
 
     def _drive(
@@ -192,6 +267,9 @@ class Coordinator:
             lease = table.checkout(transport.name)
             if lease is None:
                 return
+            if lease.speculative:
+                with self._fatal_lock:
+                    self.speculations += 1
             try:
                 outcomes, cache_stats = transport.run_shard(
                     context,
@@ -251,6 +329,28 @@ class Coordinator:
 
         record_worker_cache_stats(worker, cache_stats)
 
+    def _record_transport_stats(self) -> None:
+        """Publish per-transport byte counters to the diagnostics registry
+        (so ``cache_report`` can show outcome-shipping volume/compression
+        alongside the fleet's cache counters)."""
+        from repro.diagnostics import record_transport_stats
+
+        for transport in self.transports:
+            stats = getattr(transport, "stats", None)
+            if stats:
+                record_transport_stats(
+                    f"{self.campaign_id}/{transport.name}", stats
+                )
+
+    def transport_report(self) -> Dict[str, int]:
+        """Cumulative shipped-byte counters summed over this coordinator's
+        socket transports (zeros when no transport keeps counters)."""
+        total: Dict[str, int] = {}
+        for transport in self.transports:
+            for key, value in (getattr(transport, "stats", None) or {}).items():
+                total[key] = total.get(key, 0) + value
+        return total
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -259,11 +359,15 @@ class Coordinator:
         return sum(1 for t in self.transports if t.alive)
 
     def close(self) -> None:
+        from repro.diagnostics import discard_transport_stats
+
         for transport in self.transports:
             transport.close()
         if self._inline is not None:
             self._inline.close()
             self._inline = None
+        # Keep the diagnostics registry bounded by open campaigns.
+        discard_transport_stats(f"{self.campaign_id}/")
 
 
 def _map_worker_error(error: WorkerError) -> BaseException:

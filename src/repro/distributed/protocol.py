@@ -19,7 +19,7 @@ unpickling; bulk payloads (facts, schemas, answer sets) ride the pickle
 blob.  Message types:
 
 - ``hello`` / ``welcome`` — connection handshake (worker name, protocol
-  version; mismatched versions are refused loudly);
+  version, capability list; mismatched versions are refused loudly);
 - ``context`` / ``context_ok`` — ship a :class:`ShardContext` once per
   worker; the worker builds and caches the warm sampling runtime;
 - ``run`` — execute draws ``[start, start + count)`` of a context;
@@ -34,6 +34,33 @@ blob.  Message types:
 - ``ping`` / ``pong`` — liveness probe;
 - ``shutdown`` — ask the worker process to exit its serve loop.
 
+Campaign tagging
+----------------
+A worker serves many coordinator connections concurrently, each driving
+its own campaign.  Frames that belong to a campaign (``context``/``run``
+requests and the ``heartbeat``/``result``/``error`` frames answering
+them) carry a ``"campaign"`` header field — the coordinator's campaign
+id, echoed back by the worker — so either side can attribute any frame
+without decoding its blob, and a transport can assert that the result it
+receives answers the request it sent.
+
+Capabilities
+------------
+The handshake negotiates optional frame features: ``hello`` and
+``welcome`` both carry a ``"caps"`` list, and a peer only uses a feature
+the *other* side advertised.  A PR 4 peer sends no ``caps`` at all, so
+every negotiated feature silently downgrades to the version-1 frame
+layout — old workers and old coordinators interoperate with new ones
+byte-compatibly.  Current capabilities:
+
+- ``"zlib"`` — the sender may zlib-compress a frame's pickle blob when
+  it exceeds :data:`COMPRESS_THRESHOLD`; such frames carry
+  ``"enc": "zlib"`` (and the raw size in ``"raw"``) in the header;
+- ``"intern"`` — result payloads may dictionary-encode repeated answer
+  sets (:func:`intern_outcomes`), shipping each distinct answer set
+  once plus a code stream;
+- ``"campaign"`` — the peer understands (and echoes) campaign tags.
+
 Pickle is trusted here by design: the coordinator and its workers are
 one deployment (same codebase, same operator), exactly like the stdlib
 ``multiprocessing`` transport this subsystem generalizes.  Do not expose
@@ -46,16 +73,28 @@ import json
 import pickle
 import socket
 import struct
-from typing import Any, Optional, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
-#: Protocol magic + version; bumped on any frame-layout change.
+#: Protocol magic + version; bumped on any frame-layout change.  The
+#: capability-negotiated features above deliberately do *not* bump it:
+#: a frame sent without them is bit-identical to version 1.
 MAGIC = b"RPW1"
+
+#: Frame features this build can speak (negotiated via hello/welcome).
+CAPABILITIES = ("campaign", "intern", "zlib")
 
 _HEADER = struct.Struct("!4sII")
 
 #: Hard cap on a single frame's payload (header + blob), as a guard
 #: against a corrupt or foreign byte stream being read as a length.
 MAX_FRAME_BYTES = 1 << 30
+
+#: Pickle blobs at or above this size are zlib-compressed when the peer
+#: advertised the ``"zlib"`` capability.  Below it the CPU cost outweighs
+#: the shipping win on a LAN.
+COMPRESS_THRESHOLD = 2048
 
 
 class ProtocolError(RuntimeError):
@@ -67,11 +106,81 @@ class ConnectionClosed(ProtocolError):
     """The peer closed the connection mid-frame (or before one)."""
 
 
-def encode_frame(header: dict, payload: Any = None) -> bytes:
-    """Serialize one frame (header JSON + optional pickled *payload*)."""
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+@dataclass
+class FrameStats:
+    """Byte accounting for one encoded/decoded frame.
+
+    ``payload_raw`` is the pickle size before compression,
+    ``payload_wire`` the blob size actually shipped; they differ only on
+    compressed frames.  Transports accumulate these into their
+    shipped-byte counters (see
+    :meth:`repro.distributed.transport.SocketTransport.stats`).
+    """
+
+    frame_bytes: int = 0
+    payload_raw: int = 0
+    payload_wire: int = 0
+    compressed: bool = False
+
+
+def negotiated_caps(header: dict) -> frozenset:
+    """The capability set a peer advertised in its hello/welcome frame,
+    intersected with ours (a feature needs both ends)."""
+    peer = header.get("caps") or ()
+    if not isinstance(peer, (list, tuple)):
+        return frozenset()
+    return frozenset(peer) & frozenset(CAPABILITIES)
+
+
+def encode_frame(
+    header: dict,
+    payload: Any = None,
+    *,
+    compress: bool = False,
+    threshold: int = COMPRESS_THRESHOLD,
+) -> bytes:
+    """Serialize one frame (header JSON + optional pickled *payload*).
+
+    See :func:`encode_frame_ex` for the byte-accounting variant and the
+    compression semantics.
+    """
+    return encode_frame_ex(
+        header, payload, compress=compress, threshold=threshold
+    )[0]
+
+
+def encode_frame_ex(
+    header: dict,
+    payload: Any = None,
+    *,
+    compress: bool = False,
+    threshold: int = COMPRESS_THRESHOLD,
+) -> Tuple[bytes, FrameStats]:
+    """Serialize one frame; returns ``(bytes, stats)``.
+
+    With *compress*, a pickle blob of at least *threshold* bytes is
+    zlib-compressed and the header gains ``"enc": "zlib"`` plus the raw
+    size under ``"raw"`` — only do this when the peer advertised the
+    ``"zlib"`` capability.  Compression that does not shrink the blob is
+    discarded, so a compressed frame is never larger than the plain one.
+    """
     blob = b"" if payload is None else pickle.dumps(payload)
-    return _HEADER.pack(MAGIC, len(header_bytes), len(blob)) + header_bytes + blob
+    raw_len = len(blob)
+    compressed = False
+    if compress and raw_len >= threshold:
+        candidate = zlib.compress(blob)
+        if len(candidate) < raw_len:
+            blob = candidate
+            header = {**header, "enc": "zlib", "raw": raw_len}
+            compressed = True
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    frame = _HEADER.pack(MAGIC, len(header_bytes), len(blob)) + header_bytes + blob
+    return frame, FrameStats(
+        frame_bytes=len(frame),
+        payload_raw=raw_len,
+        payload_wire=len(blob),
+        compressed=compressed,
+    )
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -89,18 +198,37 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_message(sock: socket.socket, header: dict, payload: Any = None) -> None:
-    """Send one frame over *sock* (blocking, complete)."""
-    sock.sendall(encode_frame(header, payload))
+def send_message(
+    sock: socket.socket,
+    header: dict,
+    payload: Any = None,
+    *,
+    compress: bool = False,
+) -> FrameStats:
+    """Send one frame over *sock* (blocking, complete); returns its
+    :class:`FrameStats` for byte accounting."""
+    frame, stats = encode_frame_ex(header, payload, compress=compress)
+    sock.sendall(frame)
+    return stats
 
 
 def recv_message(sock: socket.socket) -> Tuple[dict, Any]:
     """Receive one frame; returns ``(header, payload)``.
 
-    *payload* is ``None`` when the frame carried no blob.  Raises
-    :class:`ConnectionClosed` on EOF and :class:`ProtocolError` on a
-    malformed frame; ``socket.timeout`` propagates to the caller (the
-    transports turn it into lease-expiry handling).
+    See :func:`recv_message_ex` for the byte-accounting variant.
+    """
+    header, payload, _stats = recv_message_ex(sock)
+    return header, payload
+
+
+def recv_message_ex(sock: socket.socket) -> Tuple[dict, Any, FrameStats]:
+    """Receive one frame; returns ``(header, payload, stats)``.
+
+    *payload* is ``None`` when the frame carried no blob.  Compressed
+    frames (``"enc": "zlib"`` in the header) are transparently inflated.
+    Raises :class:`ConnectionClosed` on EOF and :class:`ProtocolError`
+    on a malformed frame; ``socket.timeout`` propagates to the caller
+    (the transports turn it into lease-expiry handling).
     """
     magic, header_len, blob_len = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if magic != MAGIC:
@@ -120,9 +248,79 @@ def recv_message(sock: socket.socket) -> Tuple[dict, Any]:
     if not isinstance(header, dict) or "type" not in header:
         raise ProtocolError(f"frame header is not a typed object: {header!r}")
     payload = None
+    raw_len = 0
+    compressed = False
     if blob_len:
-        payload = pickle.loads(_recv_exact(sock, blob_len))
-    return header, payload
+        blob = _recv_exact(sock, blob_len)
+        encoding = header.get("enc")
+        if encoding == "zlib":
+            try:
+                blob = zlib.decompress(blob)
+            except zlib.error as exc:
+                raise ProtocolError(f"corrupt zlib frame blob: {exc}") from exc
+            compressed = True
+        elif encoding is not None:
+            raise ProtocolError(
+                f"frame blob uses unknown encoding {encoding!r}; the peer "
+                "negotiated a capability we do not speak"
+            )
+        raw_len = len(blob)
+        payload = pickle.loads(blob)
+    stats = FrameStats(
+        frame_bytes=_HEADER.size + header_len + blob_len,
+        payload_raw=raw_len,
+        payload_wire=blob_len,
+        compressed=compressed,
+    )
+    return header, payload, stats
+
+
+# ----------------------------------------------------------------------
+# Answer-set interning
+# ----------------------------------------------------------------------
+
+def intern_outcomes(outcomes: List[Any]) -> Dict[str, Any]:
+    """Dictionary-encode a shard's outcome list.
+
+    Outcome streams are highly repetitive: on cheap draws most repairs
+    yield one of a handful of distinct answer sets (often *the* full
+    answer set, over and over).  Pickle's memo only collapses duplicates
+    by object *identity*, so equal-but-distinct answer sets each ship in
+    full.  Interning collapses them by *equality*: the result carries
+    each distinct outcome once in ``"table"`` plus an index per draw in
+    ``"codes"`` — typically shrinking the shipped payload by the repeat
+    factor before compression even runs.
+
+    Outcomes are keyed by their *pickled form*, not ``==``: equality
+    would collapse distinct representations that compare equal (``1`` ==
+    ``1.0`` == ``True``), silently changing the restored stream's value
+    types and breaking the byte-identical-outcomes contract the lease
+    table's duplicate drop rests on.  Pickle bytes key exactly what
+    would have shipped, so restoration is representation-faithful; the
+    dedup win is unaffected in practice because repeated answer sets
+    come out of one deterministic evaluation path and pickle
+    identically.  :func:`restore_outcomes` inverts the encoding,
+    returning one table *reference* per code (safe: the sampling
+    pipeline never mutates outcome objects).
+    """
+    table: List[Any] = []
+    codes: List[int] = []
+    index_of: Dict[bytes, int] = {}
+    for outcome in outcomes:
+        key = pickle.dumps(outcome)
+        code = index_of.get(key)
+        if code is None:
+            code = len(table)
+            index_of[key] = code
+            table.append(outcome)
+        codes.append(code)
+    return {"table": table, "codes": codes}
+
+
+def restore_outcomes(encoded: Dict[str, Any]) -> List[Any]:
+    """Invert :func:`intern_outcomes`."""
+    table = encoded["table"]
+    return [table[code] for code in encoded["codes"]]
 
 
 class WorkerError(RuntimeError):

@@ -14,6 +14,13 @@ operations — ship a context, run a shard, close.  Implementations:
 - :class:`repro.distributed.pool.LocalPoolTransport` — a persistent
   local process over a pipe (the fork-fan-out replacement).
 
+Each socket transport is one *connection* to a (possibly shared)
+worker: it tags its frames with the owning coordinator's campaign id,
+verifies the worker's echoes, and negotiates the compression/interning
+capabilities on its hello — so several coordinators can interleave
+heartbeats and results through one multiplexing worker without
+confusing each other's campaigns.
+
 Transport failures (:class:`WorkerUnavailable`) are *retryable*: the
 shard is re-leased to another worker and, because draws are
 index-deterministic, the replacement produces byte-identical outcomes.
@@ -24,20 +31,35 @@ same way anywhere.
 
 from __future__ import annotations
 
+import os
 import socket
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distributed.protocol import (
+    CAPABILITIES,
     ConnectionClosed,
     ProtocolError,
     WorkerError,
-    recv_message,
+    negotiated_caps,
+    recv_message_ex,
+    restore_outcomes,
     send_message,
 )
 from repro.distributed.worker import ShardContext, ShardExecutor, worker_cache_stats
 
 #: ``(outcomes, cache_stats)`` as returned by a transport's run_shard.
 ShardOutcome = Tuple[List[Any], Dict[str, Dict[str, int]]]
+
+
+def compression_enabled_default() -> bool:
+    """Whether new socket transports offer the compression capabilities.
+
+    On by default; ``REPRO_COMPRESS=0`` (or the CLI's ``--no-compress``)
+    turns the *offer* off — the wire format then stays byte-identical to
+    a PR 4 coordinator's.  Either peer declining is enough, so this
+    never needs to match across the deployment.
+    """
+    return os.environ.get("REPRO_COMPRESS", "1") not in ("0", "false", "no")
 
 
 class WorkerUnavailable(RuntimeError):
@@ -52,6 +74,13 @@ class WorkerTransport:
     #: Cleared when the transport observes its worker die; the
     #: coordinator skips dead transports on subsequent ranges.
     alive: bool = True
+    #: The campaign tag stamped on this transport's frames; assigned by
+    #: the coordinator that owns it (see :meth:`bind_campaign`).
+    campaign_id: Optional[str] = None
+
+    def bind_campaign(self, campaign_id: str) -> None:
+        """Adopt the owning coordinator's campaign id for frame tags."""
+        self.campaign_id = campaign_id
 
     def ensure_context(self, context: ShardContext) -> None:
         """Ship *context* to the worker (idempotent, cached by id)."""
@@ -105,6 +134,13 @@ class SocketTransport(WorkerTransport):
     heartbeats every few seconds — the receive loop treats any frame as
     liveness and only declares the worker dead after *timeout* seconds
     of silence.
+
+    The hello frame advertises this build's capabilities and the
+    welcome's reply fixes the negotiated set (``peer_caps``): against a
+    PR 4 worker everything downgrades to the uncompressed, untagged
+    version-1 frames.  Shipped-byte counters accumulate in
+    :attr:`stats` (``payload_raw_bytes`` vs ``payload_wire_bytes`` is
+    the compression win; see ``BENCH_PR5.json``).
     """
 
     def __init__(
@@ -114,27 +150,61 @@ class SocketTransport(WorkerTransport):
         *,
         name: Optional[str] = None,
         connect_timeout: float = 10.0,
+        compress: Optional[bool] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.name = name or f"{host}:{port}"
         self.connect_timeout = connect_timeout
+        self.compress = (
+            compression_enabled_default() if compress is None else compress
+        )
         self._sock: Optional[socket.socket] = None
         self._shipped: set = set()
+        self.peer_caps: frozenset = frozenset()
+        #: Cumulative byte accounting across the transport's lifetime.
+        self.stats: Dict[str, int] = {
+            "frames_sent": 0,
+            "frames_received": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "payload_raw_bytes": 0,
+            "payload_wire_bytes": 0,
+            "compressed_frames": 0,
+        }
 
     @classmethod
-    def parse(cls, address: str) -> "SocketTransport":
+    def parse(cls, address: str, **kwargs) -> "SocketTransport":
         """Build from a ``host:port`` string (the CLI's ``--worker``)."""
         host, _, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise ValueError(
                 f"worker address {address!r} is not of the form host:port"
             )
-        return cls(host, int(port))
+        return cls(host, int(port), **kwargs)
 
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
+    def _send(self, sock: socket.socket, header: dict, payload: Any = None) -> None:
+        if self.campaign_id is not None and "campaign" in self.peer_caps:
+            header = {**header, "campaign": self.campaign_id}
+        frame = send_message(
+            sock, header, payload, compress="zlib" in self.peer_caps
+        )
+        self.stats["frames_sent"] += 1
+        self.stats["bytes_sent"] += frame.frame_bytes
+
+    def _recv(self, sock: socket.socket) -> Tuple[dict, Any]:
+        header, payload, frame = recv_message_ex(sock)
+        self.stats["frames_received"] += 1
+        self.stats["bytes_received"] += frame.frame_bytes
+        self.stats["payload_raw_bytes"] += frame.payload_raw
+        self.stats["payload_wire_bytes"] += frame.payload_wire
+        if frame.compressed:
+            self.stats["compressed_frames"] += 1
+        return header, payload
+
     def _connection(self) -> socket.socket:
         if self._sock is not None:
             return self._sock
@@ -143,14 +213,24 @@ class SocketTransport(WorkerTransport):
                 (self.host, self.port), timeout=self.connect_timeout
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            send_message(sock, {"type": "hello"})
+            hello: Dict[str, Any] = {"type": "hello"}
+            if self.compress:
+                hello["caps"] = list(CAPABILITIES)
+            else:
+                hello["caps"] = ["campaign"]
+            if self.campaign_id is not None:
+                hello["campaign"] = self.campaign_id
+            send_message(sock, hello)
             sock.settimeout(self.connect_timeout)
-            header, _ = recv_message(sock)
+            header, _ = recv_message_ex(sock)[:2]
             if header.get("type") != "welcome":
                 raise ProtocolError(
                     f"worker {self.name} answered the hello with "
                     f"{header.get('type')!r}"
                 )
+            self.peer_caps = negotiated_caps(header)
+            if not self.compress:
+                self.peer_caps -= {"zlib", "intern"}
         except (OSError, ProtocolError) as exc:
             self._drop()
             raise WorkerUnavailable(
@@ -168,6 +248,7 @@ class SocketTransport(WorkerTransport):
                 pass
         self._sock = None
         self._shipped.clear()
+        self.peer_caps = frozenset()
         self.alive = False
 
     # ------------------------------------------------------------------
@@ -178,9 +259,9 @@ class SocketTransport(WorkerTransport):
             return
         sock = self._connection()
         try:
-            send_message(sock, {"type": "context"}, context)
+            self._send(sock, {"type": "context"}, context)
             sock.settimeout(self.connect_timeout * 6)
-            header, _ = recv_message(sock)
+            header, _ = self._recv(sock)
         except WorkerError:
             raise
         except (OSError, ConnectionClosed) as exc:
@@ -202,6 +283,20 @@ class SocketTransport(WorkerTransport):
             )
         self._shipped.add(context.context_id)
 
+    def _check_campaign(self, header: dict) -> None:
+        """A frame tagged for a different campaign means the worker is
+        confusing its multiplexed connections — fail loudly."""
+        tag = header.get("campaign")
+        if (
+            tag is not None
+            and self.campaign_id is not None
+            and tag != self.campaign_id
+        ):
+            raise ProtocolError(
+                f"worker {self.name} answered campaign {self.campaign_id!r} "
+                f"with a frame for campaign {tag!r}"
+            )
+
     def run_shard(
         self, context: ShardContext, shard_id: int, start: int, count: int,
         timeout: Optional[float] = None,
@@ -214,7 +309,7 @@ class SocketTransport(WorkerTransport):
             # re-ship, and a fresh build cannot be evicted again before
             # this shard runs.
             for _attempt in range(2):
-                send_message(
+                self._send(
                     sock,
                     {
                         "type": "run",
@@ -227,7 +322,8 @@ class SocketTransport(WorkerTransport):
                 reshipped = False
                 while True:
                     sock.settimeout(timeout)
-                    header, payload = recv_message(sock)
+                    header, payload = self._recv(sock)
+                    self._check_campaign(header)
                     kind = header.get("type")
                     if kind == "heartbeat":
                         continue  # any frame resets the lease timer
@@ -243,7 +339,18 @@ class SocketTransport(WorkerTransport):
                             fatal=bool(header.get("fatal")),
                         )
                     if kind == "result":
-                        return payload["outcomes"], payload.get("cache_stats", {})
+                        if header.get("shard", shard_id) != shard_id:
+                            raise ProtocolError(
+                                f"worker {self.name} answered shard "
+                                f"{shard_id} with shard {header.get('shard')}"
+                            )
+                        if "outcomes_interned" in payload:
+                            outcomes = restore_outcomes(
+                                payload["outcomes_interned"]
+                            )
+                        else:
+                            outcomes = payload["outcomes"]
+                        return outcomes, payload.get("cache_stats", {})
                     raise ProtocolError(
                         f"unexpected {kind!r} frame while awaiting a result"
                     )
@@ -265,9 +372,9 @@ class SocketTransport(WorkerTransport):
         """Round-trip liveness probe (used by the CLI's preflight)."""
         try:
             sock = self._connection()
-            send_message(sock, {"type": "ping"})
+            self._send(sock, {"type": "ping"})
             sock.settimeout(self.connect_timeout)
-            header, _ = recv_message(sock)
+            header, _ = self._recv(sock)
             return header.get("type") == "pong"
         except (WorkerUnavailable, OSError, ProtocolError):
             return False
@@ -276,7 +383,7 @@ class SocketTransport(WorkerTransport):
         """Ask the remote worker process to exit its serve loop."""
         try:
             sock = self._connection()
-            send_message(sock, {"type": "shutdown"})
+            self._send(sock, {"type": "shutdown"})
         except (WorkerUnavailable, OSError):
             pass
         self.close()
@@ -289,3 +396,4 @@ class SocketTransport(WorkerTransport):
                 pass
             self._sock = None
         self._shipped.clear()
+        self.peer_caps = frozenset()

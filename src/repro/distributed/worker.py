@@ -14,11 +14,21 @@ and every draw is computed from
 so the same shard computed by any worker (or by the coordinator inline)
 yields byte-identical outcomes.
 
+One worker, many campaigns: :class:`WorkerServer` runs one thread per
+coordinator connection over a single shared :class:`ShardExecutor`, so
+one ``ocqa worker --listen`` process serves several coordinators (and
+several campaigns) concurrently.  The executor's warm-context cache is
+campaign-keyed — a context id *is* a content digest of the campaign —
+and thread-safe: campaigns on different contexts compute in parallel,
+while two connections racing the *same* campaign context serialize on
+that context's lock (a warm runtime is stateful: scratch backend,
+chains, memo caches).
+
 Three hosting modes share the same :class:`ShardExecutor`:
 
 - **socket service** — ``ocqa worker --listen host:port`` runs
-  :func:`serve`, speaking :mod:`repro.distributed.protocol` to a remote
-  coordinator (heartbeat frames flow while a shard computes);
+  :func:`serve`, speaking :mod:`repro.distributed.protocol` to remote
+  coordinators (heartbeat frames flow while a shard computes);
 - **local pool** — :mod:`repro.distributed.pool` forks persistent
   processes that run :func:`pool_worker_main` over a pipe;
 - **inline** — :class:`repro.distributed.transport.InlineTransport`
@@ -33,15 +43,18 @@ import pickle
 import socket
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.campaign import SamplingCampaign, draw_rng
 from repro.core.errors import FailingSequenceError
 from repro.distributed.protocol import (
+    CAPABILITIES,
     MAGIC,
     ConnectionClosed,
     ProtocolError,
+    intern_outcomes,
+    negotiated_caps,
     recv_message,
     send_message,
 )
@@ -58,6 +71,13 @@ FATAL_EXCEPTIONS: Tuple[type, ...] = (
 
 #: How many warm campaign contexts one worker keeps (LRU-evicted).
 DEFAULT_CONTEXT_LIMIT = 8
+
+
+class UnknownContextError(KeyError):
+    """A shard named a context this executor does not hold (never
+    shipped over this hosting mode, or LRU-evicted).  The protocol
+    handlers translate exactly this — not arbitrary runtime
+    ``KeyError``s — into a ``need_context`` re-ship request."""
 
 
 @dataclass(frozen=True)
@@ -138,9 +158,9 @@ class _SamplerRuntime:
         from repro.db.facts import Database
         from repro.sql.backend import SQLiteBackend
 
-        # check_same_thread=False: inline executors run inside whichever
-        # coordinator driver thread holds the shard (one at a time), and
-        # close from the main thread.
+        # check_same_thread=False: the executor runs a context from
+        # whichever connection thread holds its per-context lock (one at
+        # a time), and closes it from whichever thread evicts it.
         self.backend = SQLiteBackend(check_same_thread=False)
         database = Database(payload["facts"])
         self.backend.load(database, payload["schema"])
@@ -200,49 +220,181 @@ def worker_cache_stats() -> Dict[str, Dict[str, int]]:
     return _shared_cache_stats()
 
 
+@dataclass
+class _RuntimeSlot:
+    """One warm context plus the state needed to share it safely.
+
+    ``lock`` serializes shard execution on the (stateful) runtime;
+    ``active`` counts threads currently inside :meth:`ShardExecutor.run_shard`
+    so LRU eviction never closes a runtime mid-shard.
+    """
+
+    runtime: Any
+    lock: Any = field(default_factory=threading.Lock)
+    active: int = 0
+    #: Connections currently anchored on this context (see
+    #: :meth:`ShardExecutor.pin`); pinned slots are never evicted.
+    pins: int = 0
+
+
 class ShardExecutor:
-    """Builds, caches, and runs warm shard contexts (all hosting modes)."""
+    """Builds, caches, and runs warm shard contexts (all hosting modes).
+
+    Thread-safe: many connection threads share one executor.  The
+    warm-context cache is campaign-keyed (a ``context_id`` is a content
+    digest of its campaign), with a per-context lock so distinct
+    campaigns execute concurrently while same-context shards serialize.
+    A context being computed is never LRU-evicted; if every resident
+    context is busy the cache temporarily overshoots its limit rather
+    than closing a live runtime.
+    """
 
     def __init__(self, context_limit: int = DEFAULT_CONTEXT_LIMIT) -> None:
         self.context_limit = max(1, context_limit)
-        self._runtimes: "OrderedDict[str, Any]" = OrderedDict()
+        self._slots: "OrderedDict[str, _RuntimeSlot]" = OrderedDict()
+        #: Builds in flight: waiters block on the event instead of
+        #: duplicating an expensive context build.
+        self._building: Dict[str, threading.Event] = {}
+        self._lock = threading.RLock()
+        #: owner (connection token) -> the context it is anchored on.
+        self._pinned: Dict[str, str] = {}
         self.shards_run = 0
         self.contexts_built = 0
+        #: Contexts closed by LRU pressure (observability).
+        self.contexts_evicted = 0
 
     def has_context(self, context_id: str) -> bool:
-        return context_id in self._runtimes
+        with self._lock:
+            return context_id in self._slots
 
     def ensure_context(self, context: ShardContext) -> None:
-        """Build (or refresh the LRU slot of) *context*'s runtime."""
-        runtime = self._runtimes.get(context.context_id)
-        if runtime is not None:
-            self._runtimes.move_to_end(context.context_id)
-            return
-        runtime = _build_runtime(context)
-        self.contexts_built += 1
-        self._runtimes[context.context_id] = runtime
-        while len(self._runtimes) > self.context_limit:
-            _, stale = self._runtimes.popitem(last=False)
-            if hasattr(stale, "close"):
-                stale.close()
+        """Build (or refresh the LRU slot of) *context*'s runtime.
+
+        Concurrent calls for the same context build it once: the first
+        caller builds, the rest wait on its completion and then re-check
+        (re-building themselves only if the first build failed or the
+        slot was already evicted again).
+        """
+        while True:
+            with self._lock:
+                slot = self._slots.get(context.context_id)
+                if slot is not None:
+                    self._slots.move_to_end(context.context_id)
+                    return
+                event = self._building.get(context.context_id)
+                if event is None:
+                    event = threading.Event()
+                    self._building[context.context_id] = event
+                    break
+            event.wait()
+        try:
+            runtime = _build_runtime(context)
+        except BaseException:
+            with self._lock:
+                del self._building[context.context_id]
+            event.set()
+            raise
+        with self._lock:
+            self.contexts_built += 1
+            self._slots[context.context_id] = _RuntimeSlot(runtime)
+            del self._building[context.context_id]
+            self._evict_stale_locked()
+        event.set()
+
+    def pin(self, owner: str, context_id: str) -> None:
+        """Anchor *owner* (a connection token) on *context_id*.
+
+        A pinned context is exempt from LRU eviction, so the campaign a
+        connection is actively driving can never be squeezed out by
+        *other* campaigns between its context ship and its run frames —
+        without pinning, more concurrent campaigns than the context
+        limit would thrash re-ships forever.  Each owner pins at most
+        one context (its current campaign); the cache may overshoot its
+        limit by up to the number of live connections.
+        """
+        with self._lock:
+            previous = self._pinned.get(owner)
+            if previous == context_id:
+                return
+            if previous is not None:
+                stale = self._slots.get(previous)
+                if stale is not None:
+                    stale.pins -= 1
+            slot = self._slots.get(context_id)
+            if slot is not None:
+                slot.pins += 1
+                self._pinned[owner] = context_id
+            elif previous is not None:
+                del self._pinned[owner]
+            self._evict_stale_locked()
+
+    def unpin(self, owner: str) -> None:
+        """Release *owner*'s anchor (connection closed)."""
+        with self._lock:
+            context_id = self._pinned.pop(owner, None)
+            if context_id is not None:
+                slot = self._slots.get(context_id)
+                if slot is not None:
+                    slot.pins -= 1
+            self._evict_stale_locked()
+
+    def _evict_stale_locked(self) -> None:
+        """Close least-recently-used idle contexts beyond the limit.
+
+        Three exemptions keep concurrent campaigns safe and useful: a
+        context mid-shard is never closed, a context pinned by a live
+        connection is never closed, and the most-recently-used slot is
+        never the victim (evicting the context a connection just shipped
+        or touched would guarantee an immediate re-ship).  When every
+        slot is exempt the cache overshoots its limit until the next
+        idle moment.
+        """
+        while len(self._slots) > self.context_limit:
+            newest = next(reversed(self._slots))
+            victim_id = next(
+                (
+                    context_id
+                    for context_id, slot in self._slots.items()
+                    if slot.active == 0
+                    and slot.pins == 0
+                    and context_id != newest
+                ),
+                None,
+            )
+            if victim_id is None:
+                return
+            stale = self._slots.pop(victim_id)
+            self.contexts_evicted += 1
+            if hasattr(stale.runtime, "close"):
+                stale.runtime.close()
 
     def run_shard(self, context_id: str, start: int, count: int) -> List[Any]:
         """Outcomes for draws ``[start, start + count)`` of a context."""
-        runtime = self._runtimes.get(context_id)
-        if runtime is None:
-            raise KeyError(
-                f"unknown shard context {context_id!r}; the coordinator must "
-                "ship the context before (or with) the first shard"
-            )
-        self._runtimes.move_to_end(context_id)
-        self.shards_run += 1
-        return runtime.outcomes(start, count)
+        with self._lock:
+            slot = self._slots.get(context_id)
+            if slot is None:
+                raise UnknownContextError(
+                    f"unknown shard context {context_id!r}; the coordinator "
+                    "must ship the context before (or with) the first shard"
+                )
+            self._slots.move_to_end(context_id)
+            slot.active += 1
+            self.shards_run += 1
+        try:
+            with slot.lock:
+                return slot.runtime.outcomes(start, count)
+        finally:
+            with self._lock:
+                slot.active -= 1
+                self._evict_stale_locked()
 
     def close(self) -> None:
-        for runtime in self._runtimes.values():
-            if hasattr(runtime, "close"):
-                runtime.close()
-        self._runtimes.clear()
+        with self._lock:
+            slots = list(self._slots.values())
+            self._slots.clear()
+        for slot in slots:
+            if hasattr(slot.runtime, "close"):
+                slot.runtime.close()
 
 
 class _Heartbeat:
@@ -254,18 +406,18 @@ class _Heartbeat:
     """
 
     def __init__(
-        self, send: Callable[[dict], None], interval: float, shard_id: int
+        self, send: Callable[[dict], None], interval: float, header: dict
     ) -> None:
         self._send = send
         self._interval = interval
-        self._shard_id = shard_id
+        self._header = header
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
             try:
-                self._send({"type": "heartbeat", "shard": self._shard_id})
+                self._send(dict(self._header))
             except OSError:
                 return
 
@@ -279,7 +431,14 @@ class _Heartbeat:
 
 
 class WorkerServer:
-    """A socket-serving worker (one coordinator connection at a time)."""
+    """A socket-serving worker multiplexing many coordinator connections.
+
+    Each accepted connection gets its own thread (and its own negotiated
+    capability set), all sharing one :class:`ShardExecutor` — so a single
+    ``ocqa worker`` process serves several coordinators/campaigns
+    concurrently, with warm contexts shared across connections by
+    content id.
+    """
 
     def __init__(
         self,
@@ -293,10 +452,12 @@ class WorkerServer:
         self.executor = ShardExecutor(context_limit)
         self.heartbeat_interval = heartbeat_interval
         self._shutdown = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: List[socket.socket] = []
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
-        self._sock.listen(8)
+        self._sock.listen(16)
         self.host, self.port = self._sock.getsockname()[:2]
         self.name = name or f"worker@{self.host}:{self.port}"
 
@@ -304,20 +465,37 @@ class WorkerServer:
     # Serving
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
-        """Accept coordinator connections until a ``shutdown`` frame."""
+        """Accept coordinator connections until a ``shutdown`` frame.
+
+        Connections are served concurrently, one daemon thread each;
+        ``shutdown`` (from any coordinator) stops the accept loop, closes
+        every open connection, and drains the threads.
+        """
         self._sock.settimeout(0.5)
+        threads: List[threading.Thread] = []
         try:
             while not self._shutdown.is_set():
                 try:
                     conn, _addr = self._sock.accept()
                 except socket.timeout:
                     continue
-                try:
-                    self._serve_connection(conn)
-                finally:
-                    conn.close()
+                except OSError:
+                    break
+                with self._conn_lock:
+                    self._connections.append(conn)
+                thread = threading.Thread(
+                    target=self._connection_main, args=(conn,), daemon=True
+                )
+                thread.start()
+                # Prune finished connection threads so a long-lived
+                # worker's bookkeeping stays bounded by *live* connections.
+                threads = [t for t in threads if t.is_alive()]
+                threads.append(thread)
         finally:
             self._sock.close()
+            self._close_connections()
+            for thread in threads:
+                thread.join(timeout=2.0)
             self.executor.close()
 
     def start(self) -> threading.Thread:
@@ -329,103 +507,206 @@ class WorkerServer:
     def shutdown(self) -> None:
         self._shutdown.set()
 
+    def _close_connections(self) -> None:
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _connection_main(self, conn: socket.socket) -> None:
+        try:
+            self._serve_connection(conn)
+        finally:
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _recv_request(self, conn: socket.socket):
+        """One request frame, polling for shutdown while the line is idle.
+
+        The 1s timeout applies only *between* frames (a one-byte peek):
+        once a frame starts arriving the read blocks until it is whole,
+        so a slow coordinator can never be cut off mid-frame.
+        """
+        while True:
+            if self._shutdown.is_set():
+                raise ConnectionClosed("worker shutting down")
+            conn.settimeout(1.0)
+            try:
+                first = conn.recv(1, socket.MSG_PEEK)
+            except socket.timeout:
+                continue
+            if not first:
+                raise ConnectionClosed("coordinator closed the connection")
+            conn.settimeout(None)
+            return recv_message(conn)
+
     def _serve_connection(self, conn: socket.socket) -> None:
-        conn.settimeout(None)
         send_lock = threading.Lock()
+        #: This connection's pin token: the campaign it is actively
+        #: driving stays anchored in the executor's cache until the
+        #: connection moves to another campaign or closes.
+        owner = f"conn-{id(conn)}"
+        #: Negotiated per connection by the hello frame; empty (the PR 4
+        #: wire format) until then.
+        caps = frozenset()
 
         def send(header: dict, payload: Any = None) -> None:
+            # Sends must never inherit the 1s shutdown-poll timeout the
+            # receive side uses: a large result frame over a slow link
+            # may legitimately take longer than that to transmit.
             with send_lock:
-                send_message(conn, header, payload)
+                conn.settimeout(None)
+                send_message(conn, header, payload, compress="zlib" in caps)
 
-        while not self._shutdown.is_set():
-            try:
-                header, payload = recv_message(conn)
-            except ConnectionClosed:
-                return
-            except ProtocolError as exc:
+        try:
+            while not self._shutdown.is_set():
                 try:
-                    send({"type": "error", "message": str(exc), "fatal": True})
-                except OSError:
-                    pass
-                return
-            try:
-                if not self._handle(header, payload, send):
+                    header, payload = self._recv_request(conn)
+                except ConnectionClosed:
                     return
-            except OSError:
-                return
+                except (ProtocolError, OSError) as exc:
+                    try:
+                        send({"type": "error", "message": str(exc), "fatal": True})
+                    except OSError:
+                        pass
+                    return
+                if header["type"] == "hello":
+                    caps = negotiated_caps(header)
+                try:
+                    if not self._handle(header, payload, send, caps, owner):
+                        return
+                except OSError:
+                    return
+        finally:
+            self.executor.unpin(owner)
 
     def _handle(
-        self, header: dict, payload: Any, send: Callable[..., None]
+        self,
+        header: dict,
+        payload: Any,
+        send: Callable[..., None],
+        caps: frozenset,
+        owner: str = "",
     ) -> bool:
         kind = header["type"]
+        #: Echoed on every frame answering a campaign-tagged request, so
+        #: the coordinator can attribute heartbeats/results per campaign.
+        campaign = header.get("campaign")
+
+        def tagged(reply: dict) -> dict:
+            if campaign is not None and "campaign" in caps:
+                reply["campaign"] = campaign
+            return reply
+
         if kind == "hello":
             send(
                 {
                     "type": "welcome",
                     "name": self.name,
                     "magic": MAGIC.decode("ascii"),
+                    "caps": list(CAPABILITIES),
                 }
             )
             return True
         if kind == "ping":
-            send({"type": "pong", "name": self.name})
+            send(tagged({"type": "pong", "name": self.name}))
             return True
         if kind == "context":
             try:
                 self.executor.ensure_context(payload)
-                send({"type": "context_ok", "context": payload.context_id})
+                if owner:
+                    self.executor.pin(owner, payload.context_id)
+                send(tagged({"type": "context_ok", "context": payload.context_id}))
             except Exception as exc:  # report, keep serving
                 send(
-                    {
-                        "type": "error",
-                        "message": f"context build failed: {exc}",
-                        "exception": type(exc).__name__,
-                        "fatal": True,
-                    }
+                    tagged(
+                        {
+                            "type": "error",
+                            "message": f"context build failed: {exc}",
+                            "exception": type(exc).__name__,
+                            "fatal": True,
+                        }
+                    )
                 )
             return True
         if kind == "run":
             shard_id = header.get("shard", -1)
+            if owner:
+                # Anchor the campaign this connection is driving, so
+                # other campaigns' builds cannot evict it mid-run.
+                self.executor.pin(owner, header["context"])
             if not self.executor.has_context(header["context"]):
                 # The context was LRU-evicted (or never shipped over this
                 # connection): ask the coordinator to re-ship instead of
                 # failing the shard.
-                send({"type": "need_context", "context": header["context"]})
+                send(tagged({"type": "need_context", "context": header["context"]}))
                 return True
-            with _Heartbeat(send, self.heartbeat_interval, shard_id):
+            heartbeat = tagged({"type": "heartbeat", "shard": shard_id})
+            with _Heartbeat(send, self.heartbeat_interval, heartbeat):
                 try:
                     outcomes = self.executor.run_shard(
                         header["context"], header["start"], header["count"]
                     )
-                except Exception as exc:
+                except UnknownContextError:
+                    # Evicted between has_context and run_shard (another
+                    # campaign's build squeezed it out): same recovery.
+                    # Application KeyErrors from the runtime fall through
+                    # to the error frame below instead.
                     send(
-                        {
-                            "type": "error",
-                            "message": f"{type(exc).__name__}: {exc}",
-                            "exception": type(exc).__name__,
-                            "fatal": isinstance(exc, FATAL_EXCEPTIONS),
-                        }
+                        tagged({"type": "need_context", "context": header["context"]})
                     )
                     return True
+                except Exception as exc:
+                    send(
+                        tagged(
+                            {
+                                "type": "error",
+                                "message": f"{type(exc).__name__}: {exc}",
+                                "exception": type(exc).__name__,
+                                "fatal": isinstance(exc, FATAL_EXCEPTIONS),
+                            }
+                        )
+                    )
+                    return True
+            body: Dict[str, Any]
+            if "intern" in caps:
+                body = {
+                    "outcomes_interned": intern_outcomes(outcomes),
+                    "cache_stats": worker_cache_stats(),
+                }
+            else:
+                body = {"outcomes": outcomes, "cache_stats": worker_cache_stats()}
             send(
-                {
-                    "type": "result",
-                    "shard": shard_id,
-                    "count": len(outcomes),
-                    "worker": self.name,
-                },
-                {"outcomes": outcomes, "cache_stats": worker_cache_stats()},
+                tagged(
+                    {
+                        "type": "result",
+                        "shard": shard_id,
+                        "count": len(outcomes),
+                        "worker": self.name,
+                    }
+                ),
+                body,
             )
             return True
         if kind == "shutdown":
             self.shutdown()
             return False
         send(
-            {
-                "type": "error",
-                "message": f"unknown message type {kind!r}",
-                "fatal": True,
-            }
+            tagged(
+                {
+                    "type": "error",
+                    "message": f"unknown message type {kind!r}",
+                    "fatal": True,
+                }
+            )
         )
         return True
 
@@ -436,9 +717,10 @@ def serve(
     *,
     name: Optional[str] = None,
     announce: bool = True,
+    context_limit: int = DEFAULT_CONTEXT_LIMIT,
 ) -> None:
     """Run a blocking socket worker (the ``ocqa worker`` entry point)."""
-    server = WorkerServer(host, port, name=name)
+    server = WorkerServer(host, port, name=name, context_limit=context_limit)
     if announce:
         print(
             f"repro worker {server.name} listening on "

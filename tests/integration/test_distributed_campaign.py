@@ -226,6 +226,94 @@ class TestWorkerDeath:
         assert survivors == 0
 
 
+class _SlowInline(InlineTransport):
+    """An induced straggler: correct results, configurable per-shard lag."""
+
+    def __init__(self, delay: float, name: str = "slow") -> None:
+        super().__init__(name)
+        self.delay = delay
+
+    def run_shard(self, context, shard_id, start, count, timeout=None):
+        result = super().run_shard(context, shard_id, start, count, timeout)
+        time.sleep(self.delay)
+        return result
+
+
+def _chain_context(seed=77):
+    workload = key_conflict_workload(
+        clean_rows=2, conflict_groups=2, group_size=2, arity=2, seed=4
+    )
+    return ShardContext.create(
+        "chain",
+        {
+            "facts": tuple(workload.database),
+            "generator": UniformGenerator(workload.constraints),
+            "query": parse_cq("Q(x) :- R(x, y)"),
+            "candidate": None,
+            "allow_failing": False,
+            "seed": seed,
+            "stream_key": "root",
+        },
+    )
+
+
+class TestSpeculativeReLease:
+    def test_straggler_is_speculated_and_results_identical(self):
+        context = _chain_context()
+        serial = Coordinator([InlineTransport()], speculate=False)
+        baseline = serial.run_range(context, 0, 40)
+        serial.close()
+
+        # Both workers have latency so both genuinely hold leases; the
+        # straggler is 20x slower.
+        fleet = [_SlowInline(0.04, name="fast"), _SlowInline(0.8, name="slow")]
+        coordinator = Coordinator(fleet, shard_size=5, speculate=True)
+        start = time.perf_counter()
+        try:
+            outcomes = coordinator.run_range(context, 0, 40)
+            elapsed = time.perf_counter() - start
+            assert outcomes == baseline
+            # The fast worker stole the straggler's shard once the queue
+            # drained; run_range returned without waiting out the lag.
+            assert coordinator.speculations >= 1
+            assert coordinator.speculation_wins >= 1
+            assert elapsed < 0.7  # the non-speculative floor is >= 0.8s
+        finally:
+            coordinator.close()
+
+    def test_busy_straggler_rejoins_on_a_later_range(self):
+        context = _chain_context()
+        fleet = [InlineTransport(name="fast"), _SlowInline(0.4, name="slow")]
+        coordinator = Coordinator(fleet, shard_size=5, speculate=True)
+        try:
+            first = coordinator.run_range(context, 0, 20)
+            # Immediately dispatch again: the straggler may still be
+            # winding down its duplicate — the range must still complete
+            # correctly (and byte-identically) without it.
+            second = coordinator.run_range(context, 20, 20)
+            serial = Coordinator([InlineTransport()], speculate=False)
+            assert first + second == serial.run_range(context, 0, 40)
+            serial.close()
+            # Once quiescent, the straggler is available again.
+            time.sleep(0.9)
+            assert not any(
+                thread.is_alive() for thread in coordinator._lagging.values()
+            )
+        finally:
+            coordinator.close()
+
+    def test_speculation_off_still_completes(self):
+        context = _chain_context()
+        fleet = [InlineTransport(name="fast"), _SlowInline(0.1, name="slow")]
+        coordinator = Coordinator(fleet, shard_size=5, speculate=False)
+        try:
+            outcomes = coordinator.run_range(context, 0, 20)
+            assert len(outcomes) == 20
+            assert coordinator.speculations == 0
+        finally:
+            coordinator.close()
+
+
 class TestCheckpointResume:
     def test_partially_distributed_campaign_resumes(self, tmp_path, serial_report):
         """A distributed campaign interrupted mid-run checkpoint-resumes

@@ -1,0 +1,209 @@
+"""Property tests for the distributed wire protocol.
+
+The frames carry campaign tags, optional zlib compression, and interned
+outcome tables — all negotiated by capability, all of which must be
+lossless and must degrade to the PR 4 version-1 frame layout against a
+peer that advertised nothing.  Hypothesis drives random headers,
+payloads, and outcome streams through the real encoder/decoder (over a
+real socket pair) and through a reimplementation of the *legacy* strict
+decoder, pinning the downgrade contract bit for bit.
+"""
+
+import json
+import pickle
+import socket
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.protocol import (
+    CAPABILITIES,
+    encode_frame,
+    encode_frame_ex,
+    intern_outcomes,
+    negotiated_caps,
+    recv_message_ex,
+    restore_outcomes,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+#: JSON-scalar values for header fields (headers are small and flat).
+header_values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+
+#: Frame headers: always a typed object, plus random scalar fields
+#: (excluding the reserved encoding keys the sender manages).
+headers = st.fixed_dictionaries(
+    {"type": st.sampled_from(["run", "result", "heartbeat", "context", "ping"])},
+    optional={
+        "campaign": st.text(min_size=1, max_size=12),
+        "shard": st.integers(min_value=0, max_value=10_000),
+        "start": st.integers(min_value=0, max_value=10_000),
+        "count": st.integers(min_value=0, max_value=10_000),
+        "worker": st.text(max_size=16),
+    },
+)
+
+#: One answer tuple, as the samplers produce them.
+answer_tuples = st.tuples(
+    st.one_of(st.text(max_size=8), st.integers(min_value=-100, max_value=100))
+)
+
+#: One draw outcome: None (discarded draw) or a set/sequence of answers.
+outcomes_strategy = st.lists(
+    st.one_of(
+        st.none(),
+        st.frozensets(answer_tuples, max_size=6),
+        st.lists(answer_tuples, max_size=6),  # unhashable outcome form
+    ),
+    max_size=40,
+)
+
+#: Payloads as shipped in result/context frames.
+payloads = st.one_of(
+    st.none(),
+    st.dictionaries(
+        st.text(min_size=1, max_size=10),
+        st.one_of(
+            st.integers(),
+            st.text(max_size=50),
+            st.binary(max_size=200),
+            st.lists(st.integers(), max_size=30),
+        ),
+        max_size=5,
+    ),
+)
+
+
+def _over_socket(frame: bytes):
+    """Decode *frame* through the real receive path (a local socketpair)."""
+    left, right = socket.socketpair()
+    try:
+        left.sendall(frame)
+        left.shutdown(socket.SHUT_WR)
+        return recv_message_ex(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def _legacy_decode(frame: bytes):
+    """The PR 4 decoder, verbatim: no ``enc`` handling whatsoever.
+
+    An old worker/coordinator ran exactly this logic, so any frame a new
+    peer sends after a downgrade negotiation must decode through it.
+    """
+    prefix = struct.Struct("!4sII")
+    magic, header_len, blob_len = prefix.unpack(frame[: prefix.size])
+    assert magic == b"RPW1"
+    header = json.loads(frame[prefix.size : prefix.size + header_len])
+    assert isinstance(header, dict) and "type" in header
+    blob = frame[prefix.size + header_len :]
+    assert len(blob) == blob_len
+    payload = pickle.loads(blob) if blob_len else None
+    return header, payload
+
+
+class TestFrameRoundtrip:
+    @given(header=headers, payload=payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_plain_roundtrip(self, header, payload):
+        frame = encode_frame(header, payload)
+        received, received_payload, stats = _over_socket(frame)
+        assert received == header
+        assert received_payload == payload
+        assert not stats.compressed
+
+    @given(header=headers, payload=payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_compressed_roundtrip(self, header, payload):
+        # threshold=0: force the compression decision on every payload.
+        frame, sent = encode_frame_ex(header, payload, compress=True, threshold=0)
+        received, received_payload, stats = _over_socket(frame)
+        assert received_payload == payload
+        assert stats.compressed == sent.compressed
+        # The original header survives under the encoding bookkeeping.
+        for key, value in header.items():
+            assert received[key] == value
+        if sent.compressed:
+            assert received["enc"] == "zlib"
+            assert received["raw"] == sent.payload_raw
+        # Opportunistic compression never grows the blob.
+        assert sent.payload_wire <= sent.payload_raw
+
+    @given(header=headers, payload=payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_downgrade_frames_decode_through_the_legacy_decoder(
+        self, header, payload
+    ):
+        # Capability negotiation against a PR 4 peer: it advertises no
+        # caps, so we send with compress=False — and the resulting bytes
+        # must decode through the old strict decoder unchanged.
+        legacy_peer_caps = negotiated_caps({"type": "welcome"})
+        assert legacy_peer_caps == frozenset()
+        frame = encode_frame(header, payload, compress="zlib" in legacy_peer_caps)
+        legacy_header, legacy_payload = _legacy_decode(frame)
+        assert legacy_header == header
+        assert legacy_payload == payload
+
+    @given(
+        header=headers,
+        payload=payloads,
+        peer_caps=st.lists(
+            st.sampled_from(sorted(CAPABILITIES) + ["future-cap"]), max_size=4
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_negotiation_outcome_roundtrips(self, header, payload, peer_caps):
+        caps = negotiated_caps({"type": "welcome", "caps": peer_caps})
+        frame = encode_frame(header, payload, compress="zlib" in caps)
+        received, received_payload, _stats = _over_socket(frame)
+        assert received_payload == payload
+        for key, value in header.items():
+            assert received[key] == value
+
+
+class TestInterningProperties:
+    @given(outcomes=outcomes_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_intern_restore_is_identity(self, outcomes):
+        assert restore_outcomes(intern_outcomes(outcomes)) == outcomes
+
+    @given(outcomes=outcomes_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_table_holds_only_distinct_representations(self, outcomes):
+        encoded = intern_outcomes(outcomes)
+        table = encoded["table"]
+        assert len(table) <= len(outcomes) or not outcomes
+        # Distinct by *pickled representation*: equal-but-distinctly-typed
+        # values (1 vs 1.0 vs True) must never share a table slot.
+        pickles = [pickle.dumps(entry) for entry in table]
+        assert len(set(pickles)) == len(pickles)
+        assert all(0 <= code < len(table) for code in encoded["codes"])
+        assert len(encoded["codes"]) == len(outcomes)
+
+    def test_equal_but_differently_typed_values_keep_their_types(self):
+        outcomes = [((1,),), ((1.0,),), ((True,),), ((1,),)]
+        restored = restore_outcomes(intern_outcomes(outcomes))
+        types = [type(outcome[0][0]) for outcome in restored]
+        assert types == [int, float, bool, int]
+        assert restored == outcomes
+
+    @given(outcomes=outcomes_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_interned_campaign_result_frame_roundtrips_compressed(self, outcomes):
+        # The full new-worker result path: interned + compressed + tagged.
+        header = {"type": "result", "shard": 7, "campaign": "c42"}
+        payload = {"outcomes_interned": intern_outcomes(outcomes), "cache_stats": {}}
+        frame = encode_frame(header, payload, compress=True)
+        received, received_payload, _stats = _over_socket(frame)
+        assert received["campaign"] == "c42"
+        assert restore_outcomes(received_payload["outcomes_interned"]) == outcomes

@@ -1,0 +1,97 @@
+"""Unit tests for the CI benchmark regression gate
+(``benchmarks/check_regression.py``)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from check_regression import GATED_KEYS, gate, main  # noqa: E402
+
+BASELINE = {key: 0.020 for key in GATED_KEYS}
+
+
+class TestGate:
+    def test_identical_timings_pass(self):
+        assert gate(BASELINE, dict(BASELINE)) == []
+
+    def test_uniform_slowdown_is_machine_speed_not_regression(self):
+        # A 3x-slower CI runner slows *every* key 3x: median-normalized,
+        # nothing regressed.
+        report = {key: value * 3 for key, value in BASELINE.items()}
+        assert gate(BASELINE, report) == []
+
+    def test_single_key_regression_fails(self):
+        report = dict(BASELINE)
+        report["e10_sample_walks_groups_4"] = BASELINE[
+            "e10_sample_walks_groups_4"
+        ] * 2.0  # 2x one key while the rest hold: a real regression
+        failures = gate(BASELINE, report)
+        assert len(failures) == 1
+        assert "e10_sample_walks_groups_4" in failures[0]
+
+    def test_regression_within_tolerance_passes(self):
+        report = dict(BASELINE)
+        report["e1_paper_chain_explore"] *= 1.2  # within the 25% band
+        assert gate(BASELINE, report) == []
+
+    def test_floor_suppresses_microsecond_noise(self):
+        baseline = {key: 0.0002 for key in GATED_KEYS}
+        report = dict(baseline)
+        report["e5_exact_explore_conflicts_1"] *= 4  # still < 5 ms
+        assert gate(baseline, report) == []
+
+    def test_absolute_mode_flags_uniform_slowdown(self):
+        report = {key: value * 2 for key, value in BASELINE.items()}
+        failures = gate(BASELINE, report, normalize=False)
+        assert len(failures) == len(GATED_KEYS)
+
+    def test_missing_keys_are_reported(self):
+        failures = gate({}, dict(BASELINE))
+        assert len(failures) == 1
+        assert "lost scenario keys" in failures[0]
+
+    def test_too_few_comparable_keys_fail_the_gate(self):
+        # With only one comparable key the regressing key would *be* the
+        # median — the gate must refuse rather than silently pass.
+        lone = {"e1_paper_chain_explore": 0.020}
+        report = {"e1_paper_chain_explore": 0.200}
+        failures = gate(lone, report)
+        assert len(failures) == 1
+        assert "need >= 3" in failures[0]
+
+
+class TestMain:
+    def _write(self, path, scenarios):
+        path.write_text(json.dumps({"scenarios_seconds": scenarios}))
+
+    def test_exit_codes(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        report_path = tmp_path / "report.json"
+        self._write(baseline_path, BASELINE)
+        self._write(report_path, dict(BASELINE))
+        argv = ["--baseline", str(baseline_path), "--report", str(report_path)]
+        assert main(argv) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+        bad = dict(BASELINE)
+        bad["e10_sample_walks_groups_2"] *= 3
+        self._write(report_path, bad)
+        assert main(argv) == 1
+        assert "BENCHMARK REGRESSION" in capsys.readouterr().err
+
+    def test_unreadable_report_is_a_usage_error(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        self._write(baseline_path, BASELINE)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--baseline",
+                    str(baseline_path),
+                    "--report",
+                    str(tmp_path / "missing.json"),
+                ]
+            )

@@ -16,11 +16,17 @@ from repro.distributed import (
     ShardContext,
 )
 from repro.distributed.protocol import (
+    CAPABILITIES,
     ConnectionClosed,
     ProtocolError,
     WorkerError,
     encode_frame,
+    encode_frame_ex,
+    intern_outcomes,
+    negotiated_caps,
     recv_message,
+    recv_message_ex,
+    restore_outcomes,
     send_message,
 )
 
@@ -90,6 +96,177 @@ class TestProtocolFraming:
         finally:
             client.close()
             conn.close()
+
+
+class TestCompressedFrames:
+    def test_large_payload_compresses_on_the_wire(self):
+        client, conn = _socket_pair()
+        try:
+            payload = {"outcomes": [("repeat", "me")] * 5000}
+            frame, stats = encode_frame_ex(
+                {"type": "result", "shard": 1}, payload, compress=True
+            )
+            assert stats.compressed
+            assert stats.payload_wire < stats.payload_raw
+            client.sendall(frame)
+            header, received, rstats = recv_message_ex(conn)
+            assert header["enc"] == "zlib"
+            assert header["raw"] == stats.payload_raw
+            assert received == payload
+            assert rstats.compressed
+        finally:
+            client.close()
+            conn.close()
+
+    def test_small_payload_stays_plain(self):
+        frame, stats = encode_frame_ex({"type": "result"}, {"n": 1}, compress=True)
+        assert not stats.compressed
+        assert b"zlib" not in frame[:64]
+
+    def test_incompressible_payload_stays_plain(self):
+        import os as _os
+
+        noise = _os.urandom(64_000)
+        _frame, stats = encode_frame_ex({"type": "x"}, noise, compress=True)
+        assert not stats.compressed
+        assert stats.payload_wire == stats.payload_raw
+
+    def test_uncompressed_frames_are_bit_identical_to_v1(self):
+        # The capability downgrade contract: without compress, the frame
+        # bytes are exactly what a PR 4 peer would produce and parse.
+        header = {"type": "result", "shard": 2}
+        payload = {"outcomes": [None, ((),)]}
+        plain = encode_frame(header, payload)
+        import json as _json
+        import pickle as _pickle
+        import struct as _struct
+
+        magic, hlen, blen = _struct.Struct("!4sII").unpack(plain[:12])
+        assert magic == b"RPW1"
+        assert _json.loads(plain[12 : 12 + hlen]) == header
+        assert _pickle.loads(plain[12 + hlen :]) == payload
+
+    def test_unknown_encoding_rejected(self):
+        client, conn = _socket_pair()
+        try:
+            client.sendall(encode_frame({"type": "x", "enc": "zstd"}, {"a": 1}))
+            with pytest.raises(ProtocolError, match="unknown encoding"):
+                recv_message(conn)
+        finally:
+            client.close()
+            conn.close()
+
+
+class TestCapabilityNegotiation:
+    def test_intersection_with_our_caps(self):
+        assert negotiated_caps({"caps": ["zlib", "future-cap"]}) == {"zlib"}
+        assert negotiated_caps({"caps": list(CAPABILITIES)}) == set(CAPABILITIES)
+
+    def test_missing_or_malformed_caps_mean_v1_peer(self):
+        assert negotiated_caps({}) == frozenset()
+        assert negotiated_caps({"caps": None}) == frozenset()
+        assert negotiated_caps({"caps": "zlib"}) == frozenset()
+
+
+class TestInterning:
+    def test_roundtrip_preserves_order_and_values(self):
+        a, b = frozenset({("x",)}), frozenset({("y",), ("z",)})
+        outcomes = [a, b, a, None, a, b, None]
+        encoded = intern_outcomes(outcomes)
+        assert len(encoded["table"]) == 3  # a, b, None — each shipped once
+        assert restore_outcomes(encoded) == outcomes
+
+    def test_unhashable_outcomes_survive(self):
+        outcomes = [[("x",), ("y",)], [("x",), ("y",)], None]
+        encoded = intern_outcomes(outcomes)
+        assert len(encoded["table"]) == 2
+        assert restore_outcomes(encoded) == outcomes
+
+    def test_interning_shrinks_repetitive_payloads(self):
+        # Equal but *distinct* answer sets: pickle's identity memo cannot
+        # collapse these — interning by equality is what shrinks them.
+        outcomes = [
+            frozenset({(f"v{i}", i) for i in range(50)}) for _ in range(200)
+        ]
+        plain = len(pickle.dumps({"outcomes": outcomes}))
+        interned = len(pickle.dumps({"outcomes_interned": intern_outcomes(outcomes)}))
+        assert len(intern_outcomes(outcomes)["table"]) == 1
+        assert interned < plain / 10
+
+
+class TestTransportStatsRegistry:
+    def test_record_aggregate_discard(self):
+        from repro.diagnostics import (
+            aggregated_transport_stats,
+            cache_report,
+            discard_transport_stats,
+            record_transport_stats,
+            reset_transport_stats,
+        )
+
+        reset_transport_stats()
+        record_transport_stats("c1/w1", {"bytes_sent": 10, "frames_sent": 2})
+        record_transport_stats("c1/w2", {"bytes_sent": 5, "frames_sent": 1})
+        record_transport_stats("c2/w1", {"bytes_sent": 7, "frames_sent": 1})
+        total = aggregated_transport_stats()
+        assert total == {"bytes_sent": 22, "frames_sent": 4}
+        assert cache_report().transport == total
+        # Closing campaign c1 evicts only its entries.
+        discard_transport_stats("c1/")
+        assert aggregated_transport_stats() == {"bytes_sent": 7, "frames_sent": 1}
+        reset_transport_stats()
+        assert cache_report().transport == {}
+
+
+class TestSpeculativeLease:
+    def test_idle_worker_gets_duplicate_of_slowest_shard(self):
+        table = LeaseTable(start=0, count=4, shard_size=2, speculate=True)
+        slow = table.checkout("straggler", wait=False)
+        fast = table.checkout("fast", wait=False)
+        table.complete(fast, ["c", "d"])
+        duplicate = table.checkout("fast", wait=False)
+        assert duplicate is not None
+        assert duplicate.speculative
+        assert duplicate.shard_id == slow.shard_id
+        assert table.complete(duplicate, ["a", "b"]) is True
+        assert table.speculation_wins == 1
+        # The straggler finishing later is the dropped duplicate.
+        assert table.complete(slow, ["a", "b"]) is False
+        assert table.assemble() == ["a", "b", "c", "d"]
+
+    def test_at_most_one_duplicate_per_shard(self):
+        table = LeaseTable(start=0, count=2, shard_size=2, speculate=True)
+        table.checkout("straggler", wait=False)
+        first = table.checkout("idle-1", wait=False)
+        assert first is not None and first.speculative
+        assert table.checkout("idle-2", wait=False) is None
+
+    def test_primary_holder_never_self_speculates(self):
+        table = LeaseTable(start=0, count=2, shard_size=2, speculate=True)
+        lease = table.checkout("only", wait=False)
+        assert lease is not None
+        assert table.checkout("only", wait=False) is None
+
+    def test_speculative_failure_does_not_requeue_or_burn_attempts(self):
+        table = LeaseTable(
+            start=0, count=2, shard_size=2, max_attempts=2, speculate=True
+        )
+        primary = table.checkout("straggler", wait=False)
+        duplicate = table.checkout("flaky", wait=False)
+        assert duplicate.speculative
+        table.release(duplicate, "speculator died")
+        # The shard is still exclusively the primary's: not pending, not
+        # failed, attempts untouched.
+        assert primary.attempts == 1
+        assert table.checkout("straggler", wait=False) is None
+        table.complete(primary, ["x", "y"])
+        assert table.assemble() == ["x", "y"]
+        assert any("speculative" in line for line in table.failure_log())
+
+    def test_speculation_disabled_by_default(self):
+        table = LeaseTable(start=0, count=2, shard_size=2)
+        table.checkout("straggler", wait=False)
+        assert table.checkout("idle", wait=False) is None
 
 
 class TestLeaseTable:
