@@ -2,7 +2,7 @@
 """Benchmark regression gate: fail CI when a hot path got slower.
 
 Compares a fresh ``run_benchmarks.py --quick`` report against the
-committed per-PR baseline (``BENCH_PR5.json``) and exits non-zero when a
+committed per-PR baseline (``BENCH_PR6.json``) and exits non-zero when a
 gated metric regressed beyond the tolerance band.
 
 Two deliberate design points:
@@ -29,7 +29,7 @@ scale the noise exceeds any signal.
 Usage::
 
     python benchmarks/run_benchmarks.py --quick --output bench-quick.json
-    python benchmarks/check_regression.py --baseline BENCH_PR5.json \
+    python benchmarks/check_regression.py --baseline BENCH_PR6.json \
         --report bench-quick.json [--tolerance 0.25] [--floor-ms 5]
 """
 
@@ -51,6 +51,11 @@ GATED_KEYS = (
     "e5_exact_explore_conflicts_2",
     "e10_sample_walks_groups_2",
     "e10_sample_walks_groups_4",
+    # The chaos-hardening overhead pair (PR 6): gating *both* sides keeps
+    # the integrity rails' cost in band — if only the guarded key ever
+    # slowed, the no-fault overhead grew.
+    "e15_chaos_guarded_seconds",
+    "e15_chaos_unguarded_seconds",
 )
 
 DEFAULT_TOLERANCE = 0.25
@@ -120,7 +125,7 @@ def main(argv=None) -> int:
         "--baseline",
         type=Path,
         required=True,
-        help="committed benchmark baseline (e.g. BENCH_PR5.json)",
+        help="committed benchmark baseline (e.g. BENCH_PR6.json)",
     )
     parser.add_argument(
         "--report",

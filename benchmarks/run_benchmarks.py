@@ -35,6 +35,13 @@ compression ratio; ``straggler_relief`` runs a fixed draw range over a
 two-worker fleet with one induced 25x straggler, with and without
 speculative re-lease, and records the wall-clock win.
 
+PR 6 additions (always recorded): ``scenario_chaos_overhead`` times the
+identical socket-worker campaign with the robustness rails on (``crc``
+frame integrity negotiated, a failpoint armed but never hit) and off
+(``crc`` declined, empty failpoint registry) — the no-fault cost of the
+chaos-hardening, pinned under 5% and gated by the regression check
+(both keys are size-stable, so they sit in ``GATED_KEYS``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
@@ -541,6 +548,88 @@ def scenario_straggler(quick: bool) -> dict:
     return out
 
 
+def scenario_chaos_overhead(repeat: int) -> dict:
+    """No-fault cost of the robustness rails (E15).
+
+    The identical socket-worker campaign runs two ways: *guarded* — the
+    production default, with the ``crc`` frame-integrity capability
+    negotiated (header + blob CRC32 on every frame) and a failpoint
+    armed but never hit, so every check pays its registry lookup — and
+    *unguarded*, with ``crc`` declined and the failpoint registry empty
+    (the PR 5 wire format).  Estimates are asserted byte-identical; the
+    wall-clock delta is the pure cost of the integrity rails.  The
+    parameters are identical under ``--quick`` and a full run, so both
+    timing keys are gated by ``check_regression.py``; the committed
+    full-mode report pins the overhead under 5%.
+    """
+    import random as _random
+
+    from repro.distributed import Coordinator, WorkerServer
+    from repro.distributed.chaos import clear_failpoints, set_failpoint
+    from repro.distributed.transport import SocketTransport
+    from repro.sql import KeyRepairSampler, SamplerPolicy
+
+    runs = 60
+    workload = key_conflict_workload(
+        clean_rows=200, conflict_groups=10, group_size=2, arity=3, seed=61
+    )
+    query = parse_cq("Q(x, y, z) :- R(x, y, z)")
+    server = WorkerServer()
+    server.start()
+    out = {}
+    frequencies = {}
+
+    def run_once(guarded):
+        transport = SocketTransport.parse(
+            f"127.0.0.1:{server.port}", integrity=guarded
+        )
+        coordinator = Coordinator([transport], shard_size=10)
+        backend = workload.load_into(create_backend("sqlite"))
+        sampler = KeyRepairSampler(
+            backend,
+            workload.schema,
+            [workload.key_spec],
+            policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+            rng=_random.Random(13),
+            coordinator=coordinator,
+        )
+        try:
+            return sampler.run(query, runs=runs).frequencies
+        finally:
+            coordinator.close()
+            backend.close()
+
+    try:
+        # One untimed pass builds the worker's warm campaign context, so
+        # neither timed leg pays the one-off chain construction.
+        run_once(True)
+        for label, guarded in (("guarded", True), ("unguarded", False)):
+            if guarded:
+                set_failpoint("worker.mid_shard", hit=10**9)
+            else:
+                clear_failpoints()
+            # A single ~70ms sample is all noise at the <5% scale this
+            # key pins, so never time with fewer than 5 repetitions
+            # (still well under a second per leg).
+            out[f"e15_chaos_{label}_seconds"] = _timed(
+                lambda: frequencies.__setitem__(label, run_once(guarded)),
+                max(repeat, 5),
+            )
+    finally:
+        clear_failpoints()
+        server.shutdown()
+    assert frequencies["guarded"] == frequencies["unguarded"], (
+        "the integrity rails changed the estimates"
+    )
+    unguarded_seconds = out["e15_chaos_unguarded_seconds"]
+    out["e15_chaos_overhead_fraction"] = (
+        round(out["e15_chaos_guarded_seconds"] / unguarded_seconds - 1, 4)
+        if unguarded_seconds
+        else None
+    )
+    return out
+
+
 def run_pytest_pass() -> dict:
     """Wall-clock of the benchmark files under pytest."""
     out = {}
@@ -582,7 +671,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR5.json",
+        default=REPO_ROOT / "BENCH_PR6.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -641,26 +730,29 @@ def main() -> int:
         )
         scenarios.update(scenario_workers(args.repeat, args.quick, args.workers))
 
-    pr4_baseline = _previous_baseline("BENCH_PR4.json")
-    speedup_vs_pr4 = {
-        key: round(pr4_baseline[key] / value, 2)
-        for key, value in scenarios.items()
-        if key in pr4_baseline and value > 0
-    }
+    pr5_baseline = _previous_baseline("BENCH_PR5.json")
 
     print("timing E13 outcome-stream compression ...", flush=True)
     outcome_compression = scenario_compression(args.quick)
     print("timing E14 speculative straggler re-lease ...", flush=True)
     straggler_relief = scenario_straggler(args.quick)
+    print("timing E15 chaos-hardening no-fault overhead ...", flush=True)
+    scenarios.update(scenario_chaos_overhead(args.repeat))
+    speedup_vs_pr5 = {
+        key: round(pr5_baseline[key] / value, 2)
+        for key, value in scenarios.items()
+        if key in pr5_baseline and value > 0
+    }
 
     report = {
-        "pr": 5,
+        "pr": 6,
         "description": (
-            "multi-campaign async workers: one worker process multiplexes "
-            "many coordinator connections (thread-per-connection over a "
-            "thread-safe campaign-keyed context LRU), outcome streams "
-            "interned + zlib-compressed under capability negotiation, "
-            "straggler shards speculatively re-leased"
+            "chaos-hardened self-healing runtime: CRC32 header+blob frame "
+            "integrity under the negotiated crc capability, seeded fault "
+            "injection (FaultPlan/ChaosProxy) and named failpoints, "
+            "coordinator reconnect with exponential backoff before the "
+            "pool/inline degradation ladder, fsync-ed checkpoints with "
+            "sidecar digests and corrupt-file quarantine"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -677,8 +769,8 @@ def main() -> int:
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
-        "pr4_baseline_seconds": pr4_baseline,
-        "speedup_vs_pr4": speedup_vs_pr4,
+        "pr5_baseline_seconds": pr5_baseline,
+        "speedup_vs_pr5": speedup_vs_pr5,
     }
     if "e11_seconds_per_draw_legacy" in scenarios:
         report["e11_per_draw_speedup"] = round(
@@ -699,6 +791,8 @@ def main() -> int:
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     for key, value in sorted(scenarios.items()):
+        if key.endswith("_fraction"):
+            continue  # a ratio, not a wall clock
         print(f"  {key}: {value * 1000:.2f} ms")
     if "e11_per_draw_speedup" in report:
         print(f"  E11 per-draw speedup: {report['e11_per_draw_speedup']}x")
@@ -737,6 +831,13 @@ def main() -> int:
         f"{straggler['e14_straggler_speculate_on_seconds'] * 1000:.0f} ms with "
         f"({straggler['e14_straggler_speedup']}x, "
         f"{straggler['e14_speculation_wins']} speculation win(s))"
+    )
+    overhead = scenarios["e15_chaos_overhead_fraction"]
+    print(
+        "  E15 chaos-hardening no-fault overhead: "
+        f"{scenarios['e15_chaos_unguarded_seconds'] * 1000:.0f} ms unguarded vs "
+        f"{scenarios['e15_chaos_guarded_seconds'] * 1000:.0f} ms guarded "
+        f"({overhead:+.1%})"
     )
     return 0
 

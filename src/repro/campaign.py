@@ -81,6 +81,39 @@ class CheckpointMismatchError(RuntimeError):
     incompatible version, or corrupt payload)."""
 
 
+class CheckpointCorruptError(CheckpointMismatchError):
+    """A checkpoint file failed its digest or could not be decoded (torn
+    write, bit rot, truncation).  By the time this is raised the file has
+    been quarantined to ``<path>.corrupt`` — :meth:`SamplingCampaign.attach`
+    then restarts cleanly instead of crashing on a pickle traceback."""
+
+
+#: Suffix of the checkpoint's sidecar content digest (SHA-256 hex of the
+#: exact bytes of the checkpoint file).
+CHECKPOINT_DIGEST_SUFFIX = ".sha256"
+
+#: Suffix a corrupt/torn checkpoint is renamed to (kept for forensics,
+#: out of the resume path).
+CHECKPOINT_QUARANTINE_SUFFIX = ".corrupt"
+
+
+def _quarantine_checkpoint(path: str) -> Optional[str]:
+    """Move a corrupt checkpoint (and its sidecar) out of the resume
+    path; returns the quarantine location (best-effort: ``None`` if the
+    rename itself failed)."""
+    target = path + CHECKPOINT_QUARANTINE_SUFFIX
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    for stale in (path + CHECKPOINT_DIGEST_SUFFIX,):
+        try:
+            os.remove(stale)
+        except OSError:
+            pass
+    return target
+
+
 def campaign_fingerprint(*parts: Any) -> str:
     """A stable digest identifying a campaign's semantic inputs.
 
@@ -417,13 +450,25 @@ class SamplingCampaign:
     # Persistence
     # ------------------------------------------------------------------
     def save_checkpoint(self, path: Optional[str] = None) -> str:
-        """Write the campaign state to disk (atomic replace).
+        """Write the campaign state to disk, durably.
 
         Chains are included best-effort: a chain whose generator cannot
         pickle (e.g. closure-based) is dropped from the payload — the
         resumed campaign rebuilds it cold, with identical draw sequences
         (the RNG streams, not the chain caches, determine the draws).
+
+        Durability ladder: the payload is written to a pid-tagged temp
+        file, fsynced, and atomically renamed over *path* — so a crash
+        at any point leaves either the previous checkpoint or the new
+        one, never a torn file under the resume path (stale ``.tmp.*``
+        files are ignored by :meth:`resume`).  A sidecar
+        ``<path>.sha256`` then records the content digest, letting
+        :meth:`resume` distinguish "written by us, intact" from silent
+        corruption; a checkpoint that fails either check is quarantined
+        to ``<path>.corrupt``, not resumed.
         """
+        from repro.distributed.chaos import failpoint
+
         path = path or self.checkpoint_path
         if path is None:
             raise ValueError("no checkpoint path configured")
@@ -448,9 +493,44 @@ class SamplingCampaign:
             blob = pickle.dumps(payload)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as fh:
-            fh.write(blob)
+            half = len(blob) // 2
+            fh.write(blob[:half])
+            # The torn-write injection point: a crash here leaves a
+            # truncated temp file that must never be resumed.
+            failpoint("campaign.save_checkpoint")
+            fh.write(blob[half:])
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        self._write_checkpoint_digest(path, blob)
+        self._fsync_directory(os.path.dirname(path) or ".")
         return path
+
+    @staticmethod
+    def _write_checkpoint_digest(path: str, blob: bytes) -> None:
+        digest = hashlib.sha256(blob).hexdigest()
+        sidecar = path + CHECKPOINT_DIGEST_SUFFIX
+        tmp = f"{sidecar}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="ascii") as fh:
+            fh.write(digest + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, sidecar)
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        # Make the renames themselves durable where the platform allows
+        # opening a directory; best-effort elsewhere.
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     @classmethod
     def resume(
@@ -467,13 +547,44 @@ class SamplingCampaign:
         configuration (or an incompatible format version) raises
         :class:`CheckpointMismatchError` — stale warm chains must never
         silently feed new estimates.
+
+        A checkpoint that is *corrupt* — sidecar digest mismatch, or an
+        undecodable payload (torn write, truncation, bit rot) — is
+        quarantined to ``<path>.corrupt`` and raises
+        :class:`CheckpointCorruptError` instead of a raw pickle
+        traceback; :meth:`attach` catches exactly that and restarts the
+        campaign cleanly.
         """
         try:
             with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+                blob = fh.read()
+        except OSError as exc:
             raise CheckpointMismatchError(
                 f"unreadable campaign checkpoint {path!r}: {exc}"
+            ) from exc
+        sidecar = path + CHECKPOINT_DIGEST_SUFFIX
+        expected_digest = None
+        try:
+            with open(sidecar, "r", encoding="ascii") as fh:
+                expected_digest = fh.read().strip() or None
+        except OSError:
+            pass  # legacy checkpoint without a sidecar: decode-checked only
+        if expected_digest is not None:
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != expected_digest:
+                quarantined = _quarantine_checkpoint(path)
+                raise CheckpointCorruptError(
+                    f"campaign checkpoint {path!r} failed its content "
+                    f"digest (sidecar {expected_digest[:12]}..., file "
+                    f"{actual[:12]}...); quarantined to {quarantined!r}"
+                )
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            quarantined = _quarantine_checkpoint(path)
+            raise CheckpointCorruptError(
+                f"campaign checkpoint {path!r} is corrupt ({exc}); "
+                f"quarantined to {quarantined!r}"
             ) from exc
         if not isinstance(payload, dict) or payload.get("version") != CHECKPOINT_VERSION:
             raise CheckpointMismatchError(
@@ -518,14 +629,26 @@ class SamplingCampaign:
         adaptive: bool = False,
     ) -> "SamplingCampaign":
         """Resume from *checkpoint_path* if it exists, else start fresh
-        (checkpointing there).  The samplers' standard entry point."""
+        (checkpointing there).  The samplers' standard entry point.
+
+        A corrupt checkpoint (torn write, truncation, digest mismatch)
+        has already been quarantined to ``*.corrupt`` by the time
+        :meth:`resume` reports it, so attach falls through to a clean
+        fresh start — progress is lost, correctness is not.  Fingerprint
+        and version mismatches still raise: silently discarding a
+        *valid* checkpoint for a different campaign would be data loss
+        the operator did not opt into.
+        """
         if checkpoint_path and os.path.exists(checkpoint_path):
-            return cls.resume(
-                checkpoint_path,
-                fingerprint,
-                processes=processes,
-                adaptive=adaptive,
-            )
+            try:
+                return cls.resume(
+                    checkpoint_path,
+                    fingerprint,
+                    processes=processes,
+                    adaptive=adaptive,
+                )
+            except CheckpointCorruptError:
+                pass  # quarantined by resume(); start fresh below
         return cls(
             fingerprint=fingerprint,
             rng=rng,

@@ -267,6 +267,24 @@ def _add_distribution(parser: argparse.ArgumentParser) -> None:
         "remote workers (the frames then stay byte-compatible with "
         "pre-compression workers; REPRO_COMPRESS=0 sets the same default)",
     )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds a worker may hold a shard lease before it is "
+        "re-leased elsewhere; also bounds per-frame socket waits "
+        "(default: 60)",
+    )
+    parser.add_argument(
+        "--context-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds to wait for a worker to load a shipped campaign "
+        "context (cold caches on slow links may need more; default: "
+        "scales with the lease timeout)",
+    )
 
 
 def _build_coordinator(args: argparse.Namespace):
@@ -280,11 +298,16 @@ def _build_coordinator(args: argparse.Namespace):
     """
     from repro.distributed import Coordinator
 
+    kwargs = {}
+    if args.lease_timeout is not None:
+        kwargs["lease_timeout"] = args.lease_timeout
     return Coordinator.from_options(
         processes=getattr(args, "processes", None),
         workers=args.workers,
         worker_addresses=args.worker or (),
         compress=False if args.no_compress else None,
+        context_timeout=args.context_timeout,
+        **kwargs,
     )
 
 

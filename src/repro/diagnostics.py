@@ -8,6 +8,7 @@ module assembles that report from the core machinery.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -125,6 +126,11 @@ class CacheReport:
     #: frames/bytes sent and received, raw vs on-the-wire payload bytes
     #: (the compression win), and the number of compressed frames.
     transport: Dict[str, int] = field(default_factory=dict)
+    #: Fault counters (see :func:`record_fault`): malformed or
+    #: CRC-failing frames, dropped connections, injected failpoint
+    #: crashes — the events the self-healing runtime absorbed rather
+    #: than surfaced.
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @staticmethod
     def _hit_rate(stats: Dict[str, int]) -> float:
@@ -159,6 +165,11 @@ class CacheReport:
                 f"({ratio} compression, "
                 f"{self.transport.get('compressed_frames', 0)} compressed frame(s))"
             )
+        if self.faults:
+            counts = ", ".join(
+                f"{name}={count}" for name, count in sorted(self.faults.items())
+            )
+            lines.append(f"faults absorbed: {counts}")
         return "\n".join(lines)
 
 
@@ -269,6 +280,34 @@ def aggregated_transport_stats() -> Dict[str, int]:
     return total
 
 
+#: Process-wide fault counters, by kind (``malformed_frames``,
+#: ``crc_failures``, ``connection_errors``, ``injected_crashes``,
+#: ``pg_transient_retries``, ...).  These are the failures the runtime
+#: *absorbed* — a connection shed, a frame rejected, an operation
+#: retried — which would otherwise be invisible precisely because they
+#: were handled.
+_FAULT_STATS: Dict[str, int] = {}
+_FAULT_LOCK = threading.Lock()
+
+
+def record_fault(kind: str, count: int = 1) -> None:
+    """Count an absorbed fault (worker servers, transports, backends)."""
+    with _FAULT_LOCK:
+        _FAULT_STATS[kind] = _FAULT_STATS.get(kind, 0) + count
+
+
+def reset_fault_stats() -> None:
+    """Forget all recorded fault counters (test isolation)."""
+    with _FAULT_LOCK:
+        _FAULT_STATS.clear()
+
+
+def aggregated_fault_stats() -> Dict[str, int]:
+    """A snapshot of the process-wide fault counters."""
+    with _FAULT_LOCK:
+        return dict(_FAULT_STATS)
+
+
 def cache_report(source=None) -> CacheReport:
     """Cache counters for *source* — a ``RepairingChain`` or ``RepairEngine``.
 
@@ -292,6 +331,7 @@ def cache_report(source=None) -> CacheReport:
         workers=aggregated_worker_cache_stats(),
         worker_count=len(_WORKER_CACHE_STATS),
         transport=aggregated_transport_stats(),
+        faults=aggregated_fault_stats(),
     )
 
 

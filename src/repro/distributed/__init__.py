@@ -14,16 +14,32 @@ and one machine — without giving up determinism:
 - every draw is a pure function of ``(campaign seed, group key, draw
   index)``, so any shard can be computed anywhere — or recomputed after
   a worker death — and the merged estimates are byte-identical to a
-  single-process run.
+  single-process run;
+- :mod:`repro.distributed.chaos` injects deterministic faults (frame
+  corruption, connection flaps, heartbeat stalls, failpoint crashes)
+  from a seeded :class:`FaultPlan`, and the self-healing machinery it
+  exercises — CRC frame integrity, reconnect with backoff
+  (:class:`ReconnectPolicy`), checkpoint quarantine — keeps those
+  estimates byte-identical under a hostile network.
 
-See the README's "Distributed sampling service" section for deployment
-and protocol reference.
+See the README's "Distributed sampling service" and "Failure semantics"
+sections for deployment and protocol reference.
 """
 
+from repro.distributed.chaos import (
+    ChaosProxy,
+    ChaosTransport,
+    FailpointError,
+    FaultPlan,
+    clear_failpoints,
+    failpoint,
+    set_failpoint,
+)
 from repro.distributed.coordinator import (
     DEFAULT_LEASE_TIMEOUT,
     DEFAULT_SHARD_SIZE,
     Coordinator,
+    ReconnectPolicy,
 )
 from repro.distributed.lease import (
     DistributedSamplingError,
@@ -33,6 +49,7 @@ from repro.distributed.lease import (
 from repro.distributed.pool import LocalPoolTransport
 from repro.distributed.protocol import (
     CAPABILITIES,
+    FrameIntegrityError,
     ProtocolError,
     WorkerError,
     intern_outcomes,
@@ -53,8 +70,13 @@ from repro.distributed.worker import (
 
 __all__ = [
     "CAPABILITIES",
+    "ChaosProxy",
+    "ChaosTransport",
     "Coordinator",
     "DistributedSamplingError",
+    "FailpointError",
+    "FaultPlan",
+    "FrameIntegrityError",
     "intern_outcomes",
     "restore_outcomes",
     "DEFAULT_LEASE_TIMEOUT",
@@ -63,6 +85,7 @@ __all__ = [
     "LeaseTable",
     "LocalPoolTransport",
     "ProtocolError",
+    "ReconnectPolicy",
     "ShardContext",
     "ShardExecutor",
     "ShardLease",
@@ -71,5 +94,8 @@ __all__ = [
     "WorkerServer",
     "WorkerTransport",
     "WorkerUnavailable",
+    "clear_failpoints",
+    "failpoint",
     "serve",
+    "set_failpoint",
 ]

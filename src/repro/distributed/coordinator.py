@@ -34,7 +34,10 @@ the failure instead.
 from __future__ import annotations
 
 import itertools
+import random
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.distributed.lease import DistributedSamplingError, LeaseTable, ShardLease
@@ -62,6 +65,27 @@ DEFAULT_LEASE_TIMEOUT = 60.0
 _campaign_counter = itertools.count(1)
 
 
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """How hard a driver thread tries to win its worker back.
+
+    After a transient loss (:class:`WorkerUnavailable`) the shard is
+    released for others immediately; the driver then backs off
+    exponentially from ``base_delay`` to ``max_delay`` (plus up to
+    ``jitter`` of proportional noise, so a rack-wide flap does not
+    reconnect in lockstep) and probes the worker up to ``retry_budget``
+    times.  A worker that answers rejoins the same campaign mid-flight;
+    one that never does is abandoned and the fleet degrades — remaining
+    workers, then the inline fallback.  ``retry_budget=0`` restores the
+    pre-reconnect behavior (one strike and the worker is out).
+    """
+
+    retry_budget: int = 6
+    base_delay: float = 0.25
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+
 class Coordinator:
     """Shards draw ranges across workers and merges their outcomes."""
 
@@ -74,6 +98,7 @@ class Coordinator:
         max_attempts: int = 4,
         fallback_inline: bool = True,
         speculate: bool = True,
+        reconnect: Optional[ReconnectPolicy] = None,
     ) -> None:
         if shard_size < 1:
             raise ValueError(f"shard_size must be positive, got {shard_size}")
@@ -93,8 +118,20 @@ class Coordinator:
         self.campaign_id = f"c{next(_campaign_counter)}"
         for transport in self.transports:
             transport.bind_campaign(self.campaign_id)
+        #: Backoff/retry schedule for winning flapped workers back.
+        self.reconnect_policy = (
+            ReconnectPolicy() if reconnect is None else reconnect
+        )
         #: Number of shards recomputed after a lost lease (observability).
         self.releases = 0
+        #: Workers won back after a transient loss (observability).
+        self.reconnects = 0
+        #: Human-readable self-healing history (reconnects, abandons,
+        #: inline degradation), in observation order.
+        self.degradation_log: List[str] = []
+        #: Shards the campaign computed inline after losing every worker
+        #: (survives :meth:`close`, unlike the executor itself).
+        self.inline_shards = 0
         #: Speculative duplicate leases issued / won (observability).
         self.speculations = 0
         self.speculation_wins = 0
@@ -133,11 +170,17 @@ class Coordinator:
         cls,
         addresses: Sequence[str],
         compress: Optional[bool] = None,
+        context_timeout: Optional[float] = None,
         **kwargs,
     ) -> "Coordinator":
         """A coordinator over remote ``host:port`` workers."""
         return cls(
-            [SocketTransport.parse(a, compress=compress) for a in addresses],
+            [
+                SocketTransport.parse(
+                    a, compress=compress, context_timeout=context_timeout
+                )
+                for a in addresses
+            ],
             **kwargs,
         )
 
@@ -148,6 +191,7 @@ class Coordinator:
         workers: Optional[int] = None,
         worker_addresses: Sequence[str] = (),
         compress: Optional[bool] = None,
+        context_timeout: Optional[float] = None,
         **kwargs,
     ) -> Optional["Coordinator"]:
         """The coordinator implied by the samplers'/estimators' options.
@@ -171,7 +215,9 @@ class Coordinator:
         if not pool and not worker_addresses:
             return None
         transports: List[WorkerTransport] = [
-            SocketTransport.parse(address, compress=compress)
+            SocketTransport.parse(
+                address, compress=compress, context_timeout=context_timeout
+            )
             for address in worker_addresses
         ]
         if pool:
@@ -281,8 +327,12 @@ class Coordinator:
             except WorkerUnavailable as exc:
                 self.releases += 1
                 self.failure_log.append(f"{transport.name}: {exc}")
+                # Release first: another worker picks the shard up while
+                # this thread backs off trying to win its worker back.
                 table.release(lease, str(exc))
-                return  # this worker is gone; others pick the shard up
+                if self._await_reconnect(transport, table):
+                    continue  # the worker rejoined; keep serving shards
+                return  # abandoned; the fleet degrades without it
             except WorkerError as exc:
                 if exc.fatal:
                     with self._fatal_lock:
@@ -296,6 +346,50 @@ class Coordinator:
                 continue  # transient worker-side error; keep serving
             table.complete(lease, outcomes)
             self._record_cache_stats(transport.name, cache_stats)
+
+    def _await_reconnect(
+        self, transport: WorkerTransport, table: LeaseTable
+    ) -> bool:
+        """Back off and probe a lost worker until it answers, the retry
+        budget runs out, or the range finishes without it.
+
+        Runs on the worker's own driver thread, so the rest of the fleet
+        keeps computing (and can finish the table, which short-circuits
+        the wait).  The jittered exponential schedule is seeded per
+        campaign/worker pair: deterministic for a given run, decorrelated
+        across workers.
+        """
+        policy = self.reconnect_policy
+        if policy.retry_budget < 1:
+            return False
+        rng = random.Random(f"{self.campaign_id}:{transport.name}")
+        delay = policy.base_delay
+        for attempt in range(1, policy.retry_budget + 1):
+            deadline = time.monotonic() + delay * (
+                1.0 + policy.jitter * rng.random()
+            )
+            while time.monotonic() < deadline:
+                if table.done:
+                    return False
+                with self._fatal_lock:
+                    if self._fatal is not None:
+                        return False
+                time.sleep(0.05)
+            if transport.reconnect():
+                with self._fatal_lock:
+                    self.reconnects += 1
+                    self.degradation_log.append(
+                        f"{transport.name}: reconnected on attempt "
+                        f"{attempt}/{policy.retry_budget}"
+                    )
+                return True
+            delay = min(delay * 2.0, policy.max_delay)
+        with self._fatal_lock:
+            self.degradation_log.append(
+                f"{transport.name}: abandoned after "
+                f"{policy.retry_budget} reconnect attempt(s)"
+            )
+        return False
 
     def _finish_inline(
         self,
@@ -311,6 +405,11 @@ class Coordinator:
         """
         if self._inline is None:
             self._inline = InlineTransport(name="inline-fallback")
+        self.inline_shards += len(leftovers)
+        self.degradation_log.append(
+            f"degraded to inline execution for {len(leftovers)} shard(s) "
+            "(no live worker finished them)"
+        )
         cache_stats = {}
         for lease in leftovers:
             outcomes, cache_stats = self._inline.run_shard(
@@ -350,6 +449,38 @@ class Coordinator:
             for key, value in (getattr(transport, "stats", None) or {}).items():
                 total[key] = total.get(key, 0) + value
         return total
+
+    def degradation_report(self) -> Dict[str, Any]:
+        """How far this campaign has slid down the degradation ladder.
+
+        The self-healing counterpart of :meth:`transport_report`: shard
+        re-leases, workers won back (and how many probe attempts that
+        took, via :attr:`degradation_log`), whether the campaign ever
+        fell all the way to inline execution, and each transport's
+        current liveness — enough to answer "did the fleet heal, and at
+        what cost?" after a chaotic run.
+        """
+        with self._fatal_lock:
+            events = list(self.degradation_log)
+            reconnects = self.reconnects
+        return {
+            "releases": self.releases,
+            "reconnects": reconnects,
+            "inline_fallback": self.inline_shards > 0,
+            "inline_shards": self.inline_shards,
+            "events": events,
+            "workers": [
+                {
+                    "name": transport.name,
+                    "kind": type(transport).__name__,
+                    "alive": transport.alive,
+                    "reconnects": (getattr(transport, "stats", None) or {}).get(
+                        "reconnects", 0
+                    ),
+                }
+                for transport in self.transports
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle

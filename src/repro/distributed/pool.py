@@ -15,7 +15,9 @@ Liveness: a pool worker that dies mid-shard (killed, OOM, crashed) is
 detected by ``Process.is_alive`` inside the result wait loop and
 reported as :class:`~repro.distributed.transport.WorkerUnavailable`, so
 the coordinator re-leases its shard — the distributed failure semantics,
-at local scale.
+at local scale.  A dead pool worker stays dead (``reconnect`` is the
+base class's ``False``): its process is gone, so the coordinator's
+degradation ladder steps past it rather than backing off on it.
 """
 
 from __future__ import annotations
@@ -135,7 +137,9 @@ class LocalPoolTransport(WorkerTransport):
     # ------------------------------------------------------------------
     # WorkerTransport protocol
     # ------------------------------------------------------------------
-    def ensure_context(self, context: ShardContext) -> None:
+    def ensure_context(
+        self, context: ShardContext, timeout: Optional[float] = None
+    ) -> None:
         if context.context_id in self._shipped:
             return
         kind, data = self._request("context", context, timeout=None)

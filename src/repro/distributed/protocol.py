@@ -59,7 +59,13 @@ byte-compatibly.  Current capabilities:
 - ``"intern"`` — result payloads may dictionary-encode repeated answer
   sets (:func:`intern_outcomes`), shipping each distinct answer set
   once plus a code stream;
-- ``"campaign"`` — the peer understands (and echoes) campaign tags.
+- ``"campaign"`` — the peer understands (and echoes) campaign tags;
+- ``"crc"`` — frames carrying a blob also carry ``"crc"``, the CRC32 of
+  the blob *as shipped* (after compression), in the header.  The
+  receiver verifies it before touching the bytes; a mismatch raises
+  :class:`FrameIntegrityError` — a transient fault (drop the
+  connection, re-lease the shard) rather than a pickle traceback deep
+  in the payload.
 
 Pickle is trusted here by design: the coordinator and its workers are
 one deployment (same codebase, same operator), exactly like the stdlib
@@ -83,7 +89,7 @@ from typing import Any, Dict, List, Optional, Tuple
 MAGIC = b"RPW1"
 
 #: Frame features this build can speak (negotiated via hello/welcome).
-CAPABILITIES = ("campaign", "intern", "zlib")
+CAPABILITIES = ("campaign", "crc", "intern", "zlib")
 
 _HEADER = struct.Struct("!4sII")
 
@@ -104,6 +110,13 @@ class ProtocolError(RuntimeError):
 
 class ConnectionClosed(ProtocolError):
     """The peer closed the connection mid-frame (or before one)."""
+
+
+class FrameIntegrityError(ProtocolError):
+    """A frame failed its negotiated CRC32 check — the blob's (``crc``)
+    or the header's (``hcrc``) — meaning bytes were corrupted in flight.
+    A transient fault: the transports treat it exactly like a dropped
+    connection — re-lease and reconnect — never as a payload error."""
 
 
 @dataclass
@@ -138,14 +151,15 @@ def encode_frame(
     *,
     compress: bool = False,
     threshold: int = COMPRESS_THRESHOLD,
+    crc: bool = False,
 ) -> bytes:
     """Serialize one frame (header JSON + optional pickled *payload*).
 
     See :func:`encode_frame_ex` for the byte-accounting variant and the
-    compression semantics.
+    compression/integrity semantics.
     """
     return encode_frame_ex(
-        header, payload, compress=compress, threshold=threshold
+        header, payload, compress=compress, threshold=threshold, crc=crc
     )[0]
 
 
@@ -155,6 +169,7 @@ def encode_frame_ex(
     *,
     compress: bool = False,
     threshold: int = COMPRESS_THRESHOLD,
+    crc: bool = False,
 ) -> Tuple[bytes, FrameStats]:
     """Serialize one frame; returns ``(bytes, stats)``.
 
@@ -163,6 +178,17 @@ def encode_frame_ex(
     size under ``"raw"`` — only do this when the peer advertised the
     ``"zlib"`` capability.  Compression that does not shrink the blob is
     discarded, so a compressed frame is never larger than the plain one.
+
+    With *crc*, a frame carrying a blob also carries the blob's CRC32
+    (of the bytes as shipped, i.e. after compression) under ``"crc"`` in
+    the header, and every frame carries a header checksum under
+    ``"hcrc"``: the CRC32 of the canonical header JSON with the
+    ``"hcrc"`` value itself set to ``0``.  A bit flipped anywhere in the
+    frame past the fixed prefix is then detected — in the header (which
+    could otherwise silently alter a shard's ``start``/``count``) as
+    well as in the blob.  Only do this when the peer advertised the
+    ``"crc"`` capability; without it the frame stays bit-identical to
+    version 1.
     """
     blob = b"" if payload is None else pickle.dumps(payload)
     raw_len = len(blob)
@@ -173,6 +199,13 @@ def encode_frame_ex(
             blob = candidate
             header = {**header, "enc": "zlib", "raw": raw_len}
             compressed = True
+    if crc and blob:
+        header = {**header, "crc": zlib.crc32(blob)}
+    if crc:
+        probe = {**header, "hcrc": 0}
+        canonical = json.dumps(probe, separators=(",", ":")).encode("utf-8")
+        probe["hcrc"] = zlib.crc32(canonical)
+        header = probe
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     frame = _HEADER.pack(MAGIC, len(header_bytes), len(blob)) + header_bytes + blob
     return frame, FrameStats(
@@ -204,10 +237,11 @@ def send_message(
     payload: Any = None,
     *,
     compress: bool = False,
+    crc: bool = False,
 ) -> FrameStats:
     """Send one frame over *sock* (blocking, complete); returns its
     :class:`FrameStats` for byte accounting."""
-    frame, stats = encode_frame_ex(header, payload, compress=compress)
+    frame, stats = encode_frame_ex(header, payload, compress=compress, crc=crc)
     sock.sendall(frame)
     return stats
 
@@ -245,13 +279,37 @@ def recv_message_ex(sock: socket.socket) -> Tuple[dict, Any, FrameStats]:
         header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"undecodable frame header: {exc}") from exc
-    if not isinstance(header, dict) or "type" not in header:
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header is not a typed object: {header!r}")
+    if "hcrc" in header:
+        expected_hcrc = header["hcrc"]
+        probe = dict(header)  # wire order preserved by json.loads
+        probe["hcrc"] = 0
+        canonical = json.dumps(probe, separators=(",", ":")).encode("utf-8")
+        if (
+            not isinstance(expected_hcrc, int)
+            or zlib.crc32(canonical) != expected_hcrc
+        ):
+            raise FrameIntegrityError(
+                "frame header failed its CRC32 check; bytes were corrupted "
+                "in flight"
+            )
+    if "type" not in header:
         raise ProtocolError(f"frame header is not a typed object: {header!r}")
     payload = None
     raw_len = 0
     compressed = False
     if blob_len:
         blob = _recv_exact(sock, blob_len)
+        expected_crc = header.get("crc")
+        if expected_crc is not None:
+            actual_crc = zlib.crc32(blob)
+            if actual_crc != expected_crc:
+                raise FrameIntegrityError(
+                    f"frame blob failed its CRC32 check (expected "
+                    f"{expected_crc}, got {actual_crc}); bytes were "
+                    "corrupted in flight"
+                )
         encoding = header.get("enc")
         if encoding == "zlib":
             try:
@@ -265,7 +323,12 @@ def recv_message_ex(sock: socket.socket) -> Tuple[dict, Any, FrameStats]:
                 "negotiated a capability we do not speak"
             )
         raw_len = len(blob)
-        payload = pickle.loads(blob)
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            # Without the crc capability, corruption lands here; surface
+            # it as a protocol (transient) fault, never a raw pickle one.
+            raise ProtocolError(f"undecodable frame blob: {exc}") from exc
     stats = FrameStats(
         frame_bytes=_HEADER.size + header_len + blob_len,
         payload_raw=raw_len,

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.distributed.protocol import (
     CAPABILITIES,
     ConnectionClosed,
+    FrameIntegrityError,
     ProtocolError,
     WorkerError,
     negotiated_caps,
@@ -62,6 +63,14 @@ def compression_enabled_default() -> bool:
     return os.environ.get("REPRO_COMPRESS", "1") not in ("0", "false", "no")
 
 
+def integrity_enabled_default() -> bool:
+    """Whether new socket transports offer the ``crc`` frame-integrity
+    capability.  On by default (the no-fault overhead is one CRC32 per
+    blob; see ``scenario_chaos_overhead``); ``REPRO_CRC=0`` turns the
+    offer off, downgrading frames to the un-checksummed layout."""
+    return os.environ.get("REPRO_CRC", "1") not in ("0", "false", "no")
+
+
 class WorkerUnavailable(RuntimeError):
     """The worker behind a transport is unreachable or dead; the shard it
     held should be re-leased elsewhere."""
@@ -82,7 +91,9 @@ class WorkerTransport:
         """Adopt the owning coordinator's campaign id for frame tags."""
         self.campaign_id = campaign_id
 
-    def ensure_context(self, context: ShardContext) -> None:
+    def ensure_context(
+        self, context: ShardContext, timeout: Optional[float] = None
+    ) -> None:
         """Ship *context* to the worker (idempotent, cached by id)."""
         raise NotImplementedError
 
@@ -92,6 +103,15 @@ class WorkerTransport:
     ) -> ShardOutcome:
         """Execute one shard; raises :class:`WorkerUnavailable` on death."""
         raise NotImplementedError
+
+    def reconnect(self) -> bool:
+        """Try to re-establish the worker after it was declared dead.
+
+        Returns ``True`` when the worker answered again (the coordinator
+        then resumes leasing shards to it).  The base implementation
+        cannot: an inline or pool worker that died is gone.
+        """
+        return False
 
     def close(self) -> None:
         """Release the worker (process, socket, ...)."""
@@ -110,7 +130,9 @@ class InlineTransport(WorkerTransport):
         self.name = name
         self.executor = ShardExecutor()
 
-    def ensure_context(self, context: ShardContext) -> None:
+    def ensure_context(
+        self, context: ShardContext, timeout: Optional[float] = None
+    ) -> None:
         self.executor.ensure_context(context)
 
     def run_shard(
@@ -151,6 +173,8 @@ class SocketTransport(WorkerTransport):
         name: Optional[str] = None,
         connect_timeout: float = 10.0,
         compress: Optional[bool] = None,
+        integrity: Optional[bool] = None,
+        context_timeout: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -159,6 +183,14 @@ class SocketTransport(WorkerTransport):
         self.compress = (
             compression_enabled_default() if compress is None else compress
         )
+        self.integrity = (
+            integrity_enabled_default() if integrity is None else integrity
+        )
+        #: Receive timeout while awaiting a ``context_ok``.  ``None``
+        #: derives it from the lease timeout the caller passes through
+        #: (see :meth:`ensure_context`); set explicitly when context
+        #: builds legitimately outlast the lease timeout.
+        self.context_timeout = context_timeout
         self._sock: Optional[socket.socket] = None
         self._shipped: set = set()
         self.peer_caps: frozenset = frozenset()
@@ -171,6 +203,9 @@ class SocketTransport(WorkerTransport):
             "payload_raw_bytes": 0,
             "payload_wire_bytes": 0,
             "compressed_frames": 0,
+            "integrity_faults": 0,
+            "reconnects": 0,
+            "stale_frames": 0,
         }
 
     @classmethod
@@ -190,13 +225,24 @@ class SocketTransport(WorkerTransport):
         if self.campaign_id is not None and "campaign" in self.peer_caps:
             header = {**header, "campaign": self.campaign_id}
         frame = send_message(
-            sock, header, payload, compress="zlib" in self.peer_caps
+            sock,
+            header,
+            payload,
+            compress="zlib" in self.peer_caps,
+            crc="crc" in self.peer_caps,
         )
         self.stats["frames_sent"] += 1
         self.stats["bytes_sent"] += frame.frame_bytes
 
     def _recv(self, sock: socket.socket) -> Tuple[dict, Any]:
-        header, payload, frame = recv_message_ex(sock)
+        try:
+            header, payload, frame = recv_message_ex(sock)
+        except FrameIntegrityError:
+            self.stats["integrity_faults"] += 1
+            from repro.diagnostics import record_fault
+
+            record_fault("crc_failures")
+            raise
         self.stats["frames_received"] += 1
         self.stats["bytes_received"] += frame.frame_bytes
         self.stats["payload_raw_bytes"] += frame.payload_raw
@@ -214,10 +260,12 @@ class SocketTransport(WorkerTransport):
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             hello: Dict[str, Any] = {"type": "hello"}
+            caps = ["campaign"]
+            if self.integrity:
+                caps.append("crc")
             if self.compress:
-                hello["caps"] = list(CAPABILITIES)
-            else:
-                hello["caps"] = ["campaign"]
+                caps.extend(("intern", "zlib"))
+            hello["caps"] = [cap for cap in CAPABILITIES if cap in caps]
             if self.campaign_id is not None:
                 hello["campaign"] = self.campaign_id
             send_message(sock, hello)
@@ -231,6 +279,8 @@ class SocketTransport(WorkerTransport):
             self.peer_caps = negotiated_caps(header)
             if not self.compress:
                 self.peer_caps -= {"zlib", "intern"}
+            if not self.integrity:
+                self.peer_caps -= {"crc"}
         except (OSError, ProtocolError) as exc:
             self._drop()
             raise WorkerUnavailable(
@@ -254,17 +304,35 @@ class SocketTransport(WorkerTransport):
     # ------------------------------------------------------------------
     # Protocol operations
     # ------------------------------------------------------------------
-    def ensure_context(self, context: ShardContext) -> None:
+    def ensure_context(
+        self, context: ShardContext, timeout: Optional[float] = None
+    ) -> None:
         if context.context_id in self._shipped:
             return
         sock = self._connection()
+        # Waiting for context_ok: an explicit context_timeout wins, then
+        # the lease timeout the coordinator passed through, then the old
+        # connect-derived fallback — so a short lease timeout is no
+        # longer silently overridden by a six-fold connect timeout.
+        effective = self.context_timeout
+        if effective is None:
+            effective = timeout
+        if effective is None:
+            effective = self.connect_timeout * 6
         try:
             self._send(sock, {"type": "context"}, context)
-            sock.settimeout(self.connect_timeout * 6)
-            header, _ = self._recv(sock)
+            sock.settimeout(effective)
+            while True:
+                header, _ = self._recv(sock)
+                if self._is_stale(header, expect="context_ok"):
+                    continue
+                break
         except WorkerError:
             raise
-        except (OSError, ConnectionClosed) as exc:
+        except (OSError, ProtocolError) as exc:
+            # ProtocolError covers ConnectionClosed and a corrupted
+            # context_ok frame (FrameIntegrityError) — all transient:
+            # drop the socket and let the coordinator reconnect.
             self._drop()
             raise WorkerUnavailable(
                 f"worker {self.name} lost while shipping a context: {exc}"
@@ -282,6 +350,40 @@ class SocketTransport(WorkerTransport):
                 f"{header.get('type')!r}"
             )
         self._shipped.add(context.context_id)
+
+    def _is_stale(
+        self, header: dict, expect: str, shard_id: Optional[int] = None
+    ) -> bool:
+        """Whether *header* is a stale frame to skip rather than the
+        answer to the request in flight.
+
+        A faulty network can replay frames (the chaos proxy's
+        ``duplicate`` fault models middleboxes doing exactly that), so a
+        duplicated ``result``/``pong`` may still sit in the stream when
+        the next request's answer is awaited.  Such frames are dropped —
+        counted in ``stats["stale_frames"]`` — instead of burning the
+        connection and a lease attempt on a protocol error.  Heartbeats
+        are likewise pure liveness.
+        """
+        kind = header.get("type")
+        if kind == "heartbeat":
+            return True
+        stale = (
+            (kind == "pong" and expect != "pong")
+            or (kind == "context_ok" and expect != "context_ok")
+            or (
+                kind == "result"
+                and (
+                    expect != "result"
+                    # A legacy result without a shard tag matches the
+                    # request in flight (the pre-chaos behavior).
+                    or header.get("shard", shard_id) != shard_id
+                )
+            )
+        )
+        if stale:
+            self.stats["stale_frames"] += 1
+        return stale
 
     def _check_campaign(self, header: dict) -> None:
         """A frame tagged for a different campaign means the worker is
@@ -301,7 +403,7 @@ class SocketTransport(WorkerTransport):
         self, context: ShardContext, shard_id: int, start: int, count: int,
         timeout: Optional[float] = None,
     ) -> ShardOutcome:
-        self.ensure_context(context)
+        self.ensure_context(context, timeout=timeout)
         sock = self._connection()
         try:
             # At most one retry: the worker answers ``need_context`` when
@@ -324,12 +426,12 @@ class SocketTransport(WorkerTransport):
                     sock.settimeout(timeout)
                     header, payload = self._recv(sock)
                     self._check_campaign(header)
-                    kind = header.get("type")
-                    if kind == "heartbeat":
+                    if self._is_stale(header, expect="result", shard_id=shard_id):
                         continue  # any frame resets the lease timer
+                    kind = header.get("type")
                     if kind == "need_context":
                         self._shipped.discard(context.context_id)
-                        self.ensure_context(context)
+                        self.ensure_context(context, timeout=timeout)
                         reshipped = True
                         break
                     if kind == "error":
@@ -339,11 +441,6 @@ class SocketTransport(WorkerTransport):
                             fatal=bool(header.get("fatal")),
                         )
                     if kind == "result":
-                        if header.get("shard", shard_id) != shard_id:
-                            raise ProtocolError(
-                                f"worker {self.name} answered shard "
-                                f"{shard_id} with shard {header.get('shard')}"
-                            )
                         if "outcomes_interned" in payload:
                             outcomes = restore_outcomes(
                                 payload["outcomes_interned"]
@@ -374,10 +471,33 @@ class SocketTransport(WorkerTransport):
             sock = self._connection()
             self._send(sock, {"type": "ping"})
             sock.settimeout(self.connect_timeout)
-            header, _ = self._recv(sock)
-            return header.get("type") == "pong"
+            # Bounded skip of stale frames (duplicated results/pongs a
+            # faulty network left queued) so one replay cannot fail the
+            # liveness probe.
+            for _ in range(8):
+                header, _ = self._recv(sock)
+                if self._is_stale(header, expect="pong"):
+                    continue
+                return header.get("type") == "pong"
+            return False
         except (WorkerUnavailable, OSError, ProtocolError):
             return False
+
+    def reconnect(self) -> bool:
+        """Drop any stale socket and probe the worker again.
+
+        The connection is lazy, so a successful ping both proves the
+        worker is back and leaves a fresh handshaken socket behind;
+        contexts re-ship on first use (``_shipped`` was cleared with the
+        old connection).  Counted in ``stats["reconnects"]`` so a rejoin
+        is observable in :meth:`Coordinator.transport_report`.
+        """
+        self._drop()
+        if not self.ping():
+            return False
+        self.stats["reconnects"] += 1
+        self.alive = True
+        return True
 
     def shutdown_worker(self) -> None:
         """Ask the remote worker process to exit its serve loop."""

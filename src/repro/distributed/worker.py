@@ -39,6 +39,7 @@ Three hosting modes share the same :class:`ShardExecutor`:
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import socket
 import threading
@@ -48,16 +49,20 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.campaign import SamplingCampaign, draw_rng
 from repro.core.errors import FailingSequenceError
+from repro.distributed.chaos import FailpointError, failpoint
 from repro.distributed.protocol import (
     CAPABILITIES,
     MAGIC,
     ConnectionClosed,
+    FrameIntegrityError,
     ProtocolError,
     intern_outcomes,
     negotiated_caps,
     recv_message,
     send_message,
 )
+
+log = logging.getLogger("repro.distributed.worker")
 
 #: Exception types a worker reports as *fatal*: re-leasing the shard
 #: would deterministically fail the same way, so the coordinator should
@@ -288,6 +293,7 @@ class ShardExecutor:
                     break
             event.wait()
         try:
+            failpoint("worker.context_build")
             runtime = _build_runtime(context)
         except BaseException:
             with self._lock:
@@ -381,6 +387,7 @@ class ShardExecutor:
             slot.active += 1
             self.shards_run += 1
         try:
+            failpoint("worker.mid_shard")
             with slot.lock:
                 return slot.runtime.outcomes(start, count)
         finally:
@@ -454,6 +461,10 @@ class WorkerServer:
         self._shutdown = threading.Event()
         self._conn_lock = threading.Lock()
         self._connections: List[socket.socket] = []
+        #: Malformed/undecodable frames observed, by kind — mirrored into
+        #: the diagnostics fault registry (``cache_report``'s ``faults``
+        #: section) so a worker silently shedding connections is visible.
+        self.fault_counts: Dict[str, int] = {}
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -506,6 +517,13 @@ class WorkerServer:
 
     def shutdown(self) -> None:
         self._shutdown.set()
+
+    def _record_fault(self, kind: str) -> None:
+        from repro.diagnostics import record_fault
+
+        with self._conn_lock:
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        record_fault(kind)
 
     def _close_connections(self) -> None:
         with self._conn_lock:
@@ -564,8 +582,15 @@ class WorkerServer:
             # may legitimately take longer than that to transmit.
             with send_lock:
                 conn.settimeout(None)
-                send_message(conn, header, payload, compress="zlib" in caps)
+                send_message(
+                    conn,
+                    header,
+                    payload,
+                    compress="zlib" in caps,
+                    crc="crc" in caps,
+                )
 
+        frames_served = 0
         try:
             while not self._shutdown.is_set():
                 try:
@@ -573,17 +598,62 @@ class WorkerServer:
                 except ConnectionClosed:
                     return
                 except (ProtocolError, OSError) as exc:
-                    try:
-                        send({"type": "error", "message": str(exc), "fatal": True})
-                    except OSError:
-                        pass
+                    # A malformed/undecodable frame leaves the byte stream
+                    # unsynchronized, so the connection must close — but
+                    # *silently*: answering with a fatal error frame would
+                    # kill a campaign mid-await, whereas a plain close is
+                    # the transient WorkerUnavailable the coordinator
+                    # re-leases and reconnects through.  Count and log it
+                    # instead of letting the thread die unobserved.
+                    if isinstance(exc, FrameIntegrityError):
+                        kind = "crc_failures"
+                    elif isinstance(exc, ProtocolError):
+                        kind = "malformed_frames"
+                    else:
+                        kind = "connection_errors"
+                    self._record_fault(kind)
+                    log.warning(
+                        "%s: dropping connection %s after %d good frame(s): "
+                        "%s (%s)",
+                        self.name,
+                        owner,
+                        frames_served,
+                        exc,
+                        kind,
+                    )
                     return
+                frames_served += 1
                 if header["type"] == "hello":
                     caps = negotiated_caps(header)
                 try:
                     if not self._handle(header, payload, send, caps, owner):
                         return
+                except FailpointError as exc:
+                    # Injected crash (e.g. after-result-before-ack): die
+                    # the way a real crash would — connection dropped, no
+                    # ack — so the coordinator re-leases and reconnects.
+                    self._record_fault("injected_crashes")
+                    log.warning(
+                        "%s: connection %s crashed by %s", self.name, owner, exc
+                    )
+                    return
                 except OSError:
+                    return
+                except (ProtocolError, KeyError, TypeError) as exc:
+                    # A request frame that parsed but is structurally
+                    # wrong (corrupted-in-flight header on a legacy
+                    # connection, missing/mistyped fields): malformed,
+                    # not a campaign error — drop the connection silently
+                    # so the coordinator re-leases, exactly like an
+                    # undecodable frame above.
+                    self._record_fault("malformed_frames")
+                    log.warning(
+                        "%s: dropping connection %s after a malformed "
+                        "request frame: %s",
+                        self.name,
+                        owner,
+                        exc,
+                    )
                     return
         finally:
             self.executor.unpin(owner)
@@ -632,36 +702,46 @@ class WorkerServer:
                             "type": "error",
                             "message": f"context build failed: {exc}",
                             "exception": type(exc).__name__,
-                            "fatal": True,
+                            # A context that cannot build here cannot
+                            # build anywhere (deterministic payload) —
+                            # except an injected crash, which re-shipping
+                            # heals.
+                            "fatal": not isinstance(exc, FailpointError),
                         }
                     )
                 )
             return True
         if kind == "run":
             shard_id = header.get("shard", -1)
+            # Extract the required fields up front: a run frame missing
+            # one (header corrupted in flight but still valid JSON) is a
+            # malformed frame — the KeyError propagates to the connection
+            # loop's malformed-frame handler instead of masquerading as a
+            # fatal campaign error.
+            context_id = header["context"]
+            start = header["start"]
+            count = header["count"]
             if owner:
                 # Anchor the campaign this connection is driving, so
                 # other campaigns' builds cannot evict it mid-run.
-                self.executor.pin(owner, header["context"])
-            if not self.executor.has_context(header["context"]):
+                self.executor.pin(owner, context_id)
+            if not self.executor.has_context(context_id):
                 # The context was LRU-evicted (or never shipped over this
                 # connection): ask the coordinator to re-ship instead of
                 # failing the shard.
-                send(tagged({"type": "need_context", "context": header["context"]}))
+                send(tagged({"type": "need_context", "context": context_id}))
                 return True
             heartbeat = tagged({"type": "heartbeat", "shard": shard_id})
             with _Heartbeat(send, self.heartbeat_interval, heartbeat):
                 try:
-                    outcomes = self.executor.run_shard(
-                        header["context"], header["start"], header["count"]
-                    )
+                    outcomes = self.executor.run_shard(context_id, start, count)
                 except UnknownContextError:
                     # Evicted between has_context and run_shard (another
                     # campaign's build squeezed it out): same recovery.
                     # Application KeyErrors from the runtime fall through
                     # to the error frame below instead.
                     send(
-                        tagged({"type": "need_context", "context": header["context"]})
+                        tagged({"type": "need_context", "context": context_id})
                     )
                     return True
                 except Exception as exc:
@@ -676,6 +756,9 @@ class WorkerServer:
                         )
                     )
                     return True
+            # The after-result-before-ack crash window: outcomes computed
+            # but never sent.  Re-leasing recomputes them byte-identically.
+            failpoint("worker.after_result")
             body: Dict[str, Any]
             if "intern" in caps:
                 body = {

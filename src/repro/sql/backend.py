@@ -58,6 +58,55 @@ class BackendUnavailableError(RuntimeError):
     environment (e.g. psycopg is not installed)."""
 
 
+#: Environment variable overriding the transient-retry attempt count for
+#: backends that support it (see :func:`retry_transient`); ``0`` or ``1``
+#: disables retrying.
+RETRY_ENV_VAR = "REPRO_SQL_RETRIES"
+
+
+def default_retry_attempts() -> int:
+    """Total attempts (first try included) for transient backend errors."""
+    try:
+        return max(1, int(os.environ.get(RETRY_ENV_VAR, "3")))
+    except ValueError:
+        return 3
+
+
+def retry_transient(
+    operation,
+    *,
+    is_transient,
+    attempts: Optional[int] = None,
+    base_delay: float = 0.05,
+    max_delay: float = 1.0,
+    on_retry=None,
+):
+    """Run *operation* with exponential backoff on transient errors.
+
+    The generic retry loop the network-backed backends wrap their
+    primitives with: call ``operation()``; when it raises an exception
+    *is_transient* accepts, sleep (``base_delay`` doubling up to
+    ``max_delay``), invoke *on_retry* (typically: reconnect), and try
+    again, up to *attempts* total tries.  Non-transient exceptions and
+    the last attempt's failure propagate unchanged, so callers' error
+    semantics are untouched on genuine failures.
+    """
+    import time
+
+    total = default_retry_attempts() if attempts is None else max(1, attempts)
+    delay = base_delay
+    for attempt in range(1, total + 1):
+        try:
+            return operation()
+        except Exception as exc:
+            if attempt >= total or not is_transient(exc):
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2.0, max_delay)
+            if on_retry is not None:
+                on_retry(exc, attempt)
+
+
 def _validate_row_arity(relation: str, arity: int, rows: Iterable[Sequence]) -> None:
     """Fail loudly on arity mismatches instead of surfacing a cryptic
     driver error from deep inside a bulk insert."""

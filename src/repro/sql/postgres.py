@@ -21,13 +21,21 @@ Connection selection, in order: an explicit ``connection``, an explicit
 
 from __future__ import annotations
 
+import logging
 import os
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.db.terms import Term
-from repro.sql.backend import BackendUnavailableError, DBAPIBackend, _validate_row_arity
+from repro.sql.backend import (
+    BackendUnavailableError,
+    DBAPIBackend,
+    _validate_row_arity,
+    retry_transient,
+)
 from repro.sql.dialect import check_name
 from repro.sql.dialect import POSTGRES_DIALECT
+
+log = logging.getLogger("repro.sql.postgres")
 
 #: Environment variable holding the default connection string.
 DSN_ENV_VAR = "REPRO_PG_DSN"
@@ -66,19 +74,108 @@ def default_dsn() -> str:
     return os.environ.get(DSN_ENV_VAR, "")
 
 
+#: Driver exception class names treated as *transient* (connection-level
+#: failures a reconnect can fix).  Matched by name across the exception's
+#: MRO, so psycopg 3, psycopg2, and their OS-level causes all classify
+#: without importing either driver.
+TRANSIENT_EXCEPTION_NAMES = frozenset(
+    {
+        "OperationalError",
+        "InterfaceError",
+        "AdminShutdown",
+        "ConnectionException",
+        "ConnectionDoesNotExist",
+        "ConnectionFailure",
+    }
+)
+
+
+def is_transient_pg_error(exc: BaseException) -> bool:
+    """Whether *exc* looks like a dropped/reset connection rather than a
+    SQL-level (deterministic) failure."""
+    if isinstance(exc, (ConnectionError, BrokenPipeError, OSError)):
+        return True
+    return any(
+        klass.__name__ in TRANSIENT_EXCEPTION_NAMES
+        for klass in type(exc).__mro__
+    )
+
+
 class PostgresBackend(DBAPIBackend):
-    """The SQL backend protocol over one PostgreSQL connection."""
+    """The SQL backend protocol over one PostgreSQL connection.
+
+    Transient failures (connection drops, server restarts) are retried
+    with exponential backoff around the primitive operations, with a
+    reconnect between attempts — but only when this backend *owns* its
+    connection (built from a DSN): an externally-passed connection
+    cannot be safely re-established here, so its errors propagate.
+    Retrying reconnects and re-runs the failing statement; work since
+    the last ``commit`` on the dropped connection is gone either way,
+    which matches the samplers' usage (scratch state is rebuilt, durable
+    writes commit per batch).  ``REPRO_SQL_RETRIES`` tunes the attempt
+    budget (``1`` disables).
+    """
 
     def __init__(self, dsn: Optional[str] = None, connection=None) -> None:
+        self._dsn: Optional[str] = None
         if connection is None:
+            self._dsn = dsn if dsn is not None else default_dsn()
             driver = _load_driver()
             try:
-                connection = driver.connect(dsn if dsn is not None else default_dsn())
+                connection = driver.connect(self._dsn)
             except Exception as exc:  # driver-specific OperationalError
                 raise BackendUnavailableError(
                     f"could not connect to PostgreSQL: {exc}"
                 ) from exc
         super().__init__(connection, POSTGRES_DIALECT)
+
+    # ------------------------------------------------------------------
+    # Transient-error retry
+    # ------------------------------------------------------------------
+    def _reconnect(self, exc: BaseException, attempt: int) -> None:
+        """Swap in a fresh connection after a transient failure."""
+        from repro.diagnostics import record_fault
+
+        record_fault("pg_transient_retries")
+        log.warning(
+            "PostgreSQL operation failed transiently (attempt %d: %s); "
+            "reconnecting",
+            attempt,
+            exc,
+        )
+        try:
+            self.connection.close()
+        except Exception:
+            pass
+        driver = _load_driver()
+        try:
+            self.connection = driver.connect(self._dsn)
+        except Exception as reconnect_exc:
+            log.warning("PostgreSQL reconnect failed: %s", reconnect_exc)
+
+    def _with_retry(self, operation):
+        if self._dsn is None:
+            # Externally-owned connection: we must not replace it.
+            return operation()
+        return retry_transient(
+            operation,
+            is_transient=is_transient_pg_error,
+            on_retry=self._reconnect,
+        )
+
+    def execute(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        return self._with_retry(
+            lambda: super(PostgresBackend, self).execute(sql, parameters)
+        )
+
+    def executemany(self, sql: str, rows: Sequence[Sequence]) -> None:
+        materialized = list(rows)  # re-iterable across retry attempts
+        self._with_retry(
+            lambda: super(PostgresBackend, self).executemany(sql, materialized)
+        )
+
+    def commit(self) -> None:
+        self._with_retry(lambda: super(PostgresBackend, self).commit())
 
     def insert_rows(
         self, table: str, arity: int, rows: Sequence[Sequence[Term]]

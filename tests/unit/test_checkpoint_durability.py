@@ -1,0 +1,157 @@
+"""Torn, truncated, and corrupted checkpoints must never feed estimates.
+
+Every test here ends in one of exactly two outcomes: the last *good*
+checkpoint resumes byte-identically, or the campaign restarts fresh with
+the bad file quarantined to ``*.corrupt`` — never a raw pickle traceback,
+never silently-wrong state.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import (
+    CHECKPOINT_DIGEST_SUFFIX,
+    CHECKPOINT_QUARANTINE_SUFFIX,
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    SamplingCampaign,
+)
+from repro.distributed.chaos import (
+    FailpointError,
+    clear_failpoints,
+    set_failpoint,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    clear_failpoints()
+    yield
+    clear_failpoints()
+
+
+def _saved_campaign(tmp_path, draws=15):
+    path = str(tmp_path / "campaign.ckpt")
+    campaign = SamplingCampaign(fingerprint="f", seed=1, checkpoint_path=path)
+    campaign.claim_draws(draws)
+    campaign.save_checkpoint()
+    return path, campaign
+
+
+class TestSidecarDigest:
+    def test_save_writes_sidecar_and_resume_verifies_it(self, tmp_path):
+        path, _ = _saved_campaign(tmp_path)
+        assert os.path.exists(path + CHECKPOINT_DIGEST_SUFFIX)
+        resumed = SamplingCampaign.resume(path, "f")
+        assert resumed.claim_draws(1) == 15
+
+    def test_digest_mismatch_quarantines(self, tmp_path):
+        path, _ = _saved_campaign(tmp_path)
+        with open(path + CHECKPOINT_DIGEST_SUFFIX, "w") as fh:
+            fh.write("0" * 64 + "\n")
+        with pytest.raises(CheckpointCorruptError, match="digest"):
+            SamplingCampaign.resume(path, "f")
+        assert not os.path.exists(path)
+        assert os.path.exists(path + CHECKPOINT_QUARANTINE_SUFFIX)
+
+    def test_legacy_checkpoint_without_sidecar_still_resumes(self, tmp_path):
+        path, _ = _saved_campaign(tmp_path)
+        os.remove(path + CHECKPOINT_DIGEST_SUFFIX)
+        resumed = SamplingCampaign.resume(path, "f")
+        assert resumed.claim_draws(1) == 15
+
+
+class TestCorruptCheckpoints:
+    def test_bit_rot_is_corrupt_error_not_pickle_error(self, tmp_path):
+        path, _ = _saved_campaign(tmp_path)
+        with open(path, "r+b") as fh:
+            blob = bytearray(fh.read())
+            blob[len(blob) // 2] ^= 0xFF
+            fh.seek(0)
+            fh.write(blob)
+        with pytest.raises(CheckpointCorruptError):
+            SamplingCampaign.resume(path, "f")
+        assert os.path.exists(path + CHECKPOINT_QUARANTINE_SUFFIX)
+
+    def test_truncated_file_without_sidecar_is_corrupt_error(self, tmp_path):
+        # A legacy (sidecar-less) torn file must still fail typed, via the
+        # decode check, not with a raw UnpicklingError.
+        path, _ = _saved_campaign(tmp_path)
+        os.remove(path + CHECKPOINT_DIGEST_SUFFIX)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointCorruptError, match="quarantined"):
+            SamplingCampaign.resume(path, "f")
+        assert os.path.exists(path + CHECKPOINT_QUARANTINE_SUFFIX)
+
+    def test_attach_restarts_fresh_after_corruption(self, tmp_path):
+        path, _ = _saved_campaign(tmp_path)
+        with open(path, "wb") as fh:
+            fh.write(b"not a checkpoint")
+        campaign = SamplingCampaign.attach(path, "f")
+        # Fresh start: progress lost, correctness kept.
+        assert campaign.claim_draws(1) == 0
+        assert os.path.exists(path + CHECKPOINT_QUARANTINE_SUFFIX)
+
+    def test_attach_still_rejects_fingerprint_mismatch(self, tmp_path):
+        # A *valid* checkpoint for a different campaign is not corruption;
+        # silently discarding it would be unrequested data loss.
+        path, _ = _saved_campaign(tmp_path)
+        with pytest.raises(CheckpointMismatchError):
+            SamplingCampaign.attach(path, "other-fingerprint")
+
+
+class TestTornWrites:
+    def test_stale_tmp_file_is_ignored_on_resume(self, tmp_path):
+        path, _ = _saved_campaign(tmp_path)
+        with open(f"{path}.tmp.99999", "wb") as fh:
+            fh.write(b"\x80\x04 torn garbage")
+        resumed = SamplingCampaign.attach(path, "f")
+        assert resumed.claim_draws(1) == 15
+
+    def test_failpoint_crash_mid_save_keeps_last_good(self, tmp_path):
+        path, campaign = _saved_campaign(tmp_path)
+        campaign.claim_draws(10)  # progress the second save would persist
+        set_failpoint("campaign.save_checkpoint")
+        with pytest.raises(FailpointError):
+            campaign.save_checkpoint()
+        clear_failpoints()
+        # The torn write landed in the tmp file; the published checkpoint
+        # and sidecar still hold the previous (consistent) state.
+        resumed = SamplingCampaign.attach(path, "f")
+        assert resumed.claim_draws(1) == 15
+
+    def test_process_killed_mid_save_resumes_last_good(self, tmp_path):
+        path, _ = _saved_campaign(tmp_path)
+        script = (
+            "from repro.campaign import SamplingCampaign\n"
+            f"campaign = SamplingCampaign.attach({path!r}, 'f')\n"
+            "campaign.claim_draws(10)\n"
+            "campaign.save_checkpoint()\n"
+            "raise SystemExit('unreachable: the failpoint must exit')\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_FAILPOINTS"] = "campaign.save_checkpoint=exit"
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 23, proc.stderr
+        tmp_files = [
+            name
+            for name in os.listdir(os.path.dirname(path))
+            if ".ckpt.tmp." in name
+        ]
+        assert tmp_files, "the crash should have left a torn tmp file"
+        resumed = SamplingCampaign.attach(path, "f")
+        assert resumed.claim_draws(1) == 15

@@ -18,6 +18,7 @@ from repro.distributed import (
 from repro.distributed.protocol import (
     CAPABILITIES,
     ConnectionClosed,
+    FrameIntegrityError,
     ProtocolError,
     WorkerError,
     encode_frame,
@@ -151,6 +152,95 @@ class TestCompressedFrames:
         try:
             client.sendall(encode_frame({"type": "x", "enc": "zstd"}, {"a": 1}))
             with pytest.raises(ProtocolError, match="unknown encoding"):
+                recv_message(conn)
+        finally:
+            client.close()
+            conn.close()
+
+
+class TestFrameIntegrity:
+    def test_crc_roundtrip(self):
+        client, conn = _socket_pair()
+        try:
+            payload = {"outcomes": [frozenset({("a",)}), None]}
+            send_message(client, {"type": "result", "shard": 1}, payload, crc=True)
+            header, received = recv_message(conn)
+            assert "crc" in header
+            assert received == payload
+        finally:
+            client.close()
+            conn.close()
+
+    def test_corrupted_blob_raises_integrity_error_not_pickle(self):
+        client, conn = _socket_pair()
+        try:
+            frame = bytearray(
+                encode_frame({"type": "result"}, {"outcomes": [1, 2, 3]}, crc=True)
+            )
+            frame[-1] ^= 0xFF  # flip bits deep in the pickle blob
+            client.sendall(bytes(frame))
+            with pytest.raises(FrameIntegrityError):
+                recv_message(conn)
+        finally:
+            client.close()
+            conn.close()
+
+    def test_corrupted_blob_without_crc_is_protocol_error_not_pickle(self):
+        # Even a legacy (non-crc) peer's corruption surfaces as a
+        # transient ProtocolError, never a raw UnpicklingError.
+        client, conn = _socket_pair()
+        try:
+            frame = bytearray(encode_frame({"type": "result"}, {"n": [1, 2]}))
+            frame[-3] ^= 0x5A
+            client.sendall(bytes(frame))
+            with pytest.raises(ProtocolError, match="undecodable frame blob"):
+                recv_message(conn)
+        finally:
+            client.close()
+            conn.close()
+
+    def test_crc_covers_compressed_bytes(self):
+        client, conn = _socket_pair()
+        try:
+            payload = {"outcomes": [("repeat", "me")] * 5000}
+            frame, stats = encode_frame_ex(
+                {"type": "result"}, payload, compress=True, crc=True
+            )
+            assert stats.compressed
+            client.sendall(frame)
+            header, received = recv_message(conn)
+            assert header["enc"] == "zlib" and "crc" in header
+            assert received == payload
+        finally:
+            client.close()
+            conn.close()
+
+    def test_frames_without_crc_stay_bit_identical(self):
+        # The downgrade contract extends to crc: not negotiating it
+        # yields byte-for-byte the version-1 frame.
+        header = {"type": "result", "shard": 2}
+        payload = {"outcomes": [None]}
+        assert encode_frame(header, payload) == encode_frame(
+            header, payload, crc=False
+        )
+        assert b'"crc"' not in encode_frame(header, payload)
+
+    def test_headerless_blob_frames_carry_no_crc(self):
+        frame = encode_frame({"type": "ping"}, None, crc=True)
+        assert b'"crc"' not in frame
+
+    def test_corrupted_header_field_raises_integrity_error(self):
+        # A flipped digit in the header would silently re-route a shard
+        # (wrong start/count/shard) — the header CRC must catch it even
+        # when the corrupted header is still valid JSON.
+        client, conn = _socket_pair()
+        try:
+            frame = encode_frame(
+                {"type": "result", "shard": 41}, {"outcomes": [None]}, crc=True
+            )
+            assert b'"shard":41' in frame
+            client.sendall(frame.replace(b'"shard":41', b'"shard":47'))
+            with pytest.raises(FrameIntegrityError):
                 recv_message(conn)
         finally:
             client.close()
