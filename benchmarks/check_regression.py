@@ -2,7 +2,7 @@
 """Benchmark regression gate: fail CI when a hot path got slower.
 
 Compares a fresh ``run_benchmarks.py --quick`` report against the
-committed per-PR baseline (``BENCH_PR6.json``) and exits non-zero when a
+committed per-PR baseline (``BENCH_PR7.json``) and exits non-zero when a
 gated metric regressed beyond the tolerance band.
 
 Two deliberate design points:
@@ -29,7 +29,7 @@ scale the noise exceeds any signal.
 Usage::
 
     python benchmarks/run_benchmarks.py --quick --output bench-quick.json
-    python benchmarks/check_regression.py --baseline BENCH_PR6.json \
+    python benchmarks/check_regression.py --baseline BENCH_PR7.json \
         --report bench-quick.json [--tolerance 0.25] [--floor-ms 5]
 """
 
@@ -56,7 +56,20 @@ GATED_KEYS = (
     # slowed, the no-fault overhead grew.
     "e15_chaos_guarded_seconds",
     "e15_chaos_unguarded_seconds",
+    # The admission+deadline no-load overhead (PR 7): a guarded/unguarded
+    # *fraction*, not a wall clock — gated absolutely (see ABSOLUTE_CAPS),
+    # excluded from the median machine-factor normalization.
+    "scenario_admission_overhead",
 )
+
+#: Keys in :data:`GATED_KEYS` that are dimensionless fractions with a
+#: hard ceiling rather than wall clocks: they never enter the ratio
+#: normalization (a fraction has no machine factor) and fail the gate
+#: whenever the fresh report exceeds the cap — regardless of what the
+#: committed baseline recorded.
+ABSOLUTE_CAPS = {
+    "scenario_admission_overhead": 0.05,
+}
 
 DEFAULT_TOLERANCE = 0.25
 DEFAULT_FLOOR_SECONDS = 0.005
@@ -81,21 +94,30 @@ def gate(
     *baseline* and *report* map scenario keys to wall-clock seconds.
     """
     keys = GATED_KEYS if keys is None else keys
+    failures = []
+    for key, cap in ABSOLUTE_CAPS.items():
+        if key not in keys:
+            continue
+        value = report.get(key)
+        if value is not None and value > cap:
+            failures.append(
+                f"{key}: {value:.4f} exceeds the absolute cap {cap:.2f}"
+            )
+    timed_keys = [key for key in keys if key not in ABSOLUTE_CAPS]
     comparable = [
         key
-        for key in keys
+        for key in timed_keys
         if baseline.get(key, 0) > 0 and report.get(key, 0) > 0
     ]
-    minimum = min(MIN_COMPARABLE_KEYS, len(keys)) if normalize else 1
+    minimum = min(MIN_COMPARABLE_KEYS, len(timed_keys)) if normalize else 1
     if len(comparable) < minimum:
-        return [
-            f"only {len(comparable)} of {len(keys)} gated scenario key(s) "
-            f"present in both baseline and report (need >= {minimum}); "
-            "the baseline or the report lost scenario keys"
+        return failures + [
+            f"only {len(comparable)} of {len(timed_keys)} gated scenario "
+            f"key(s) present in both baseline and report (need >= "
+            f"{minimum}); the baseline or the report lost scenario keys"
         ]
     ratios = {key: report[key] / baseline[key] for key in comparable}
     machine_factor = statistics.median(ratios.values()) if normalize else 1.0
-    failures = []
     for key in comparable:
         allowed = machine_factor * (1.0 + tolerance)
         if ratios[key] > allowed and report[key] > floor:
@@ -125,7 +147,7 @@ def main(argv=None) -> int:
         "--baseline",
         type=Path,
         required=True,
-        help="committed benchmark baseline (e.g. BENCH_PR6.json)",
+        help="committed benchmark baseline (e.g. BENCH_PR7.json)",
     )
     parser.add_argument(
         "--report",

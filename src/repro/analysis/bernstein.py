@@ -77,6 +77,27 @@ def empirical_bernstein_radius(n: int, variance: float, delta: float) -> float:
     )
 
 
+def widened_epsilon(draws: int, delta: float) -> float:
+    """The additive accuracy *draws* draws actually certify at *delta*.
+
+    The inversion of the fixed-run Hoeffding count
+    ``n = ln(2/delta) / (2 eps^2)``: given the draws a deadline-expired
+    campaign managed to take, ``eps = sqrt(ln(2/delta) / (2 n))`` is the
+    (widened) half-width the usual two-sided Hoeffding bound still
+    guarantees for them — the honest ``(eps, delta)`` accounting for a
+    best-effort estimate.  Clamped to ``1.0``: frequencies live in
+    ``[0, 1]``, so no bound wider than the whole range is informative
+    (and zero draws certify exactly that).
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if draws < 0:
+        raise ValueError(f"draws must be non-negative, got {draws}")
+    if draws == 0:
+        return 1.0
+    return min(1.0, math.sqrt(math.log(2.0 / delta) / (2.0 * draws)))
+
+
 def checkpoint_schedule(limit: int, start: int = 8, growth: float = 1.5) -> Tuple[int, ...]:
     """Geometric evaluation checkpoints ``start, ~start*g, ..., limit``.
 

@@ -61,6 +61,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.analysis.bernstein import BernsteinStopper
 from repro.analysis.hoeffding import sample_size
 from repro.core.chain import RepairingChain
+from repro.service.deadline import Deadline, DeadlineExpired
 
 #: Bumped whenever the checkpoint payload layout changes.
 CHECKPOINT_VERSION = 2
@@ -196,6 +197,16 @@ class CampaignResult:
     #: False when the loop paused early (``max_draws``) before reaching
     #: the target or an adaptive stop — resume by calling again.
     complete: bool = True
+    #: The estimation loop's wall-clock deadline expired before the
+    #: target was reached: the result is *best-effort*, certifying
+    #: :attr:`achieved_epsilon` (not the requested ``epsilon``) at the
+    #: same ``delta``.
+    deadline_expired: bool = False
+    #: The additive accuracy actually certified by the draws taken (the
+    #: Hoeffding inversion over ``valid`` draws; see
+    #: :func:`repro.analysis.bernstein.widened_epsilon`).  Only set on a
+    #: deadline-expired result.
+    achieved_epsilon: Optional[float] = None
 
 
 class SamplingCampaign:
@@ -334,6 +345,7 @@ class SamplingCampaign:
         max_draws: Optional[int] = None,
         estimation_key: Optional[str] = None,
         stop_target: Optional[Tuple] = None,
+        deadline: Optional[Deadline] = None,
     ) -> CampaignResult:
         """Accumulate draws until the target (or an adaptive stop).
 
@@ -356,6 +368,17 @@ class SamplingCampaign:
         empirical-Bernstein interval is within epsilon, instead of
         waiting for the max over every observed tuple.  The early stop
         then certifies only the target's estimate.
+
+        A *deadline* makes the loop best-effort: it stops drawing the
+        moment the budget expires (including a
+        :class:`~repro.service.deadline.DeadlineExpired` escaping the
+        draw function mid-batch — the lost batch's claimed indices are
+        harmless, substreams being index-pure) and returns the tallies
+        accumulated so far with ``deadline_expired=True`` and the
+        *achieved* accuracy under ``achieved_epsilon`` — the widened
+        ``(eps, delta)`` the draws actually taken certify.  The
+        estimation stays resumable: call again with a fresh budget to
+        finish it.
         """
         adaptive = self.adaptive if adaptive is None else adaptive
         target = runs if runs is not None else sample_size(epsilon, delta)
@@ -380,6 +403,7 @@ class SamplingCampaign:
         )
         consumed = 0
         stopped_early = False
+        deadline_expired = False
         while True:
             if stopper is not None:
                 batch = stopper.next_batch(self.draws_done)
@@ -391,7 +415,19 @@ class SamplingCampaign:
                 batch = min(batch, max_draws - consumed)
                 if batch <= 0:
                     break
-            for outcome in draw(batch):
+            if deadline is not None and deadline.expired:
+                deadline_expired = True
+                break
+            try:
+                outcomes = draw(batch)
+            except DeadlineExpired:
+                # The batch expired mid-flight (a worker or the
+                # coordinator abandoned it).  The claimed draw indices
+                # are simply skipped: substreams are index-pure, so the
+                # tallies already taken stay exact.
+                deadline_expired = True
+                break
+            for outcome in outcomes:
                 self.draws_done += 1
                 consumed += 1
                 if outcome is None:
@@ -415,7 +451,9 @@ class SamplingCampaign:
             ):
                 stopped_early = True
                 break
-        self.estimation_complete = stopped_early or self.draws_done >= target
+        self.estimation_complete = not deadline_expired and (
+            stopped_early or self.draws_done >= target
+        )
         if self.checkpoint_path:
             self.save_checkpoint()
         frequencies = (
@@ -423,6 +461,11 @@ class SamplingCampaign:
             if self.valid_draws
             else {}
         )
+        achieved: Optional[float] = None
+        if deadline_expired:
+            from repro.analysis.bernstein import widened_epsilon
+
+            achieved = widened_epsilon(self.valid_draws, delta)
         return CampaignResult(
             frequencies=frequencies,
             counts=dict(self.counts),
@@ -435,6 +478,8 @@ class SamplingCampaign:
             adaptive=adaptive,
             stopped_early=stopped_early,
             complete=self.estimation_complete,
+            deadline_expired=deadline_expired,
+            achieved_epsilon=achieved,
         )
 
     def reset_tallies(self) -> None:

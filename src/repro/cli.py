@@ -13,9 +13,12 @@ Examples::
                     --epsilon 0.05 --delta 0.05 --seed 7
     ocqa chain      --db d.json --constraints sigma.txt --format ascii
     ocqa abc        --db d.json --constraints sigma.txt --query "Q(x) :- R(x, y)"
-    ocqa worker     --listen 0.0.0.0:7461
+    ocqa worker     --listen 0.0.0.0:7461 --max-inflight 4
     ocqa sql-sample --db d.json --constraints sigma.txt --query "..." \
                     --worker host1:7461 --worker host2:7461 --seed 7
+    ocqa serve      --listen 0.0.0.0:8080 --supervise 2 \
+                    --tenant acme:4:50000:100000
+    ocqa status     --service 127.0.0.1:8080
 """
 
 from __future__ import annotations
@@ -147,6 +150,7 @@ def _cmd_sample(args: argparse.Namespace) -> int:
             allow_failing=args.allow_failing,
             adaptive=args.adaptive,
             coordinator=coordinator,
+            deadline=_deadline_from(args),
         )
     finally:
         if coordinator is not None:
@@ -209,7 +213,11 @@ def _cmd_sql_sample(args: argparse.Namespace) -> int:
         )
         try:
             report = sampler.run(
-                query, runs=args.runs, epsilon=args.epsilon, delta=args.delta
+                query,
+                runs=args.runs,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                deadline=_deadline_from(args),
             )
         finally:
             sampler.close_coordinator()
@@ -222,19 +230,144 @@ def _cmd_sql_sample(args: argparse.Namespace) -> int:
         f"({report.runs} sampling runs over {len(sampler.components)} "
         f"conflict components{suffix})"
     )
+    if report.deadline_expired:
+        achieved = (
+            f"{report.achieved_epsilon:.4f}"
+            if report.achieved_epsilon is not None
+            else "unknown"
+        )
+        print(
+            f"(deadline expired: best-effort estimate from the completed "
+            f"draws; achieved epsilon ~{achieved} at delta={args.delta})"
+        )
     return 0
+
+
+def _parse_listen(listen: str) -> tuple:
+    host, _, port = listen.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(
+            f"--listen must be host:port (port 0 picks a free one), "
+            f"got {listen!r}"
+        )
+    return host, int(port)
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.distributed import serve
 
-    host, _, port = args.listen.rpartition(":")
-    if not host or not port.isdigit():
+    host, port = _parse_listen(args.listen)
+    if args.max_inflight < 0:
         raise SystemExit(
-            f"--listen must be host:port (port 0 picks a free one), "
-            f"got {args.listen!r}"
+            f"--max-inflight must be >= 0 (0 disables backpressure), "
+            f"got {args.max_inflight}"
         )
-    serve(host, int(port), name=args.name, context_limit=args.context_limit)
+    if args.drain_timeout <= 0:
+        raise SystemExit(
+            f"--drain-timeout must be positive seconds, got {args.drain_timeout}"
+        )
+    serve(
+        host,
+        port,
+        name=args.name,
+        context_limit=args.context_limit,
+        max_inflight=args.max_inflight,
+        drain_timeout=args.drain_timeout,
+    )
+    return 0
+
+
+def _parse_tenant_quota(spec: str):
+    """Parse ``NAME:CONCURRENCY[:DRAWS_PER_SEC[:BURST]]`` quota specs."""
+    from repro.service import TenantQuota
+
+    parts = spec.split(":")
+    if len(parts) < 2 or len(parts) > 4 or not parts[0]:
+        raise SystemExit(
+            f"--tenant must be NAME:CONCURRENCY[:DRAWS_PER_SEC[:BURST]], "
+            f"got {spec!r}"
+        )
+    try:
+        concurrent = int(parts[1])
+        per_second = float(parts[2]) if len(parts) > 2 else None
+        burst = float(parts[3]) if len(parts) > 3 else None
+    except ValueError as exc:
+        raise SystemExit(f"bad --tenant quota {spec!r}: {exc}") from None
+    if concurrent <= 0:
+        raise SystemExit(f"--tenant concurrency must be positive, got {spec!r}")
+    return parts[0], TenantQuota(
+        max_concurrent=concurrent, draws_per_second=per_second, burst=burst
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import AdmissionController
+    from repro.service.server import QueryService, serve_service
+
+    host, port = _parse_listen(args.listen)
+    for flag in ("default_deadline", "max_deadline", "drain_timeout", "max_wait"):
+        value = getattr(args, flag)
+        if value is not None and value <= 0:
+            raise SystemExit(
+                f"--{flag.replace('_', '-')} must be positive seconds, got {value}"
+            )
+    if args.max_concurrent <= 0 or args.max_queue_depth < 0:
+        raise SystemExit(
+            "--max-concurrent must be positive and --max-queue-depth >= 0"
+        )
+    quotas = dict(_parse_tenant_quota(spec) for spec in args.tenant or ())
+    admission = AdmissionController(
+        max_concurrent=args.max_concurrent,
+        max_queue_depth=args.max_queue_depth,
+        max_wait=args.max_wait,
+        quotas=quotas,
+    )
+    supervisor = None
+    if args.supervise:
+        from repro.service.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            workers=args.supervise,
+            max_inflight=args.max_inflight,
+            drain_timeout=args.drain_timeout,
+        )
+        supervisor.start()
+    try:
+        worker_addresses = list(args.worker or ())
+        if supervisor is not None:
+            worker_addresses.extend(supervisor.addresses)
+        service = QueryService(
+            host,
+            port,
+            admission=admission,
+            worker_addresses=tuple(worker_addresses),
+            workers=args.workers,
+            lease_timeout=args.lease_timeout,
+            compress=False if args.no_compress else None,
+            default_deadline=args.default_deadline,
+            max_deadline=args.max_deadline,
+            drain_timeout=args.drain_timeout,
+            name=args.name,
+        )
+        return serve_service(service)
+    finally:
+        if supervisor is not None:
+            supervisor.close()
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.service:
+        import urllib.request
+
+        host, port = _parse_listen(args.service)
+        url = f"http://{host}:{port}/status"
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            status = json.loads(response.read().decode("utf-8"))
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    from repro.diagnostics import cache_report
+
+    print(cache_report(None).format())
     return 0
 
 
@@ -285,6 +418,55 @@ def _add_distribution(parser: argparse.ArgumentParser) -> None:
         "context (cold caches on slow links may need more; default: "
         "scales with the lease timeout)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole estimation; on expiry the "
+        "campaign returns a best-effort estimate with widened "
+        "(epsilon, delta) accounting instead of running on",
+    )
+
+
+def _validate_distribution(args: argparse.Namespace) -> None:
+    """Reject nonsensical timing flags before they become a hang.
+
+    A non-positive timeout or deadline would disable the very waits it
+    is supposed to bound, and a deadline shorter than an *explicit*
+    lease timeout means a lost worker could not be detected before the
+    budget is gone.  When only ``--deadline`` is given, the lease
+    timeout is clamped down to it instead (socket waits then respect
+    the budget automatically).
+    """
+    for flag in ("lease_timeout", "context_timeout", "deadline"):
+        value = getattr(args, flag, None)
+        if value is not None and value <= 0:
+            raise SystemExit(
+                f"--{flag.replace('_', '-')} must be positive seconds, "
+                f"got {value}"
+            )
+    deadline = getattr(args, "deadline", None)
+    lease = getattr(args, "lease_timeout", None)
+    if deadline is not None:
+        if lease is not None and deadline < lease:
+            raise SystemExit(
+                f"--deadline ({deadline}s) is shorter than --lease-timeout "
+                f"({lease}s): a worker holding a lease could never be "
+                "re-leased before the budget expires; lower --lease-timeout "
+                "to at most the deadline"
+            )
+        if lease is None:
+            args.lease_timeout = deadline
+
+
+def _deadline_from(args: argparse.Namespace):
+    """The :class:`repro.service.deadline.Deadline` implied by --deadline."""
+    if getattr(args, "deadline", None) is None:
+        return None
+    from repro.service.deadline import Deadline
+
+    return Deadline.after(args.deadline)
 
 
 def _build_coordinator(args: argparse.Namespace):
@@ -298,6 +480,7 @@ def _build_coordinator(args: argparse.Namespace):
     """
     from repro.distributed import Coordinator
 
+    _validate_distribution(args)
     kwargs = {}
     if args.lease_timeout is not None:
         kwargs["lease_timeout"] = args.lease_timeout
@@ -422,7 +605,146 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="warm campaign contexts kept resident (LRU-evicted beyond N)",
     )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shards a single connection may have executing at once before "
+        "the worker answers with a retriable busy error (0: unbounded)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, seconds to wait for in-flight shards to "
+        "finish before exiting anyway",
+    )
     p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent multi-tenant query service (HTTP/JSON "
+        "front over the sharded sampling fleet; see the README's "
+        "'Running as a service' section)",
+    )
+    p.add_argument(
+        "--listen",
+        default="127.0.0.1:8080",
+        metavar="HOST:PORT",
+        help="HTTP bind address (port 0 picks a free port, printed on start)",
+    )
+    p.add_argument("--name", default=None, help="service name for logs")
+    p.add_argument(
+        "--worker",
+        action="append",
+        metavar="HOST:PORT",
+        help="add an existing remote worker; repeatable",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="also shard across N in-process pool workers",
+    )
+    p.add_argument(
+        "--supervise",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn and supervise N local worker subprocesses (health "
+        "probes, bounded restarts, graceful drain on shutdown)",
+    )
+    p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="queries executing at once before new arrivals queue",
+    )
+    p.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=16,
+        help="queued queries before arrivals are shed with a 429",
+    )
+    p.add_argument(
+        "--max-wait",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="longest a query may queue before it is shed",
+    )
+    p.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME:CONC[:DRAWS_PER_SEC[:BURST]]",
+        help="per-tenant quota: max concurrent queries and an optional "
+        "draw-rate token bucket; repeatable",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-query deadline when the request does not set one",
+    )
+    p.add_argument(
+        "--max-deadline",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="cap on client-requested deadlines",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, seconds to wait for in-flight queries "
+        "(and supervised workers) to finish before exiting anyway",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-connection in-flight shard bound for supervised workers "
+        "(0: unbounded)",
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shard lease timeout for the service's coordinators",
+    )
+    p.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="do not negotiate outcome-stream compression with workers",
+    )
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "status",
+        help="overload/cache status: of a running service (--service) or "
+        "of this process's diagnostics registry",
+    )
+    p.add_argument(
+        "--service",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a running 'ocqa serve' instance's /status endpoint",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="HTTP timeout for --service",
+    )
+    p.set_defaults(fn=_cmd_status)
 
     return parser
 

@@ -405,6 +405,7 @@ def approximate_cp(
     workers: Optional[int] = None,
     worker_addresses: Sequence[str] = (),
     coordinator=None,
+    deadline=None,
 ) -> ApproximationResult:
     """Additive ``(epsilon, delta)`` approximation of ``CP(t)`` (Theorem 9).
 
@@ -453,7 +454,8 @@ def approximate_cp(
 
             def draw(batch: int):
                 return coordinator.run_range(
-                    context, campaign.claim_draws(batch), batch
+                    context, campaign.claim_draws(batch), batch,
+                    deadline=deadline,
                 )
 
         else:
@@ -465,7 +467,8 @@ def approximate_cp(
                 lambda walk: ((),) if query.holds(walk.result, target) else (),
             )
         result = campaign.estimate(
-            draw, epsilon=epsilon, delta=delta, adaptive=adaptive, stop_target=()
+            draw, epsilon=epsilon, delta=delta, adaptive=adaptive,
+            stop_target=(), deadline=deadline,
         )
     finally:
         if owns_coordinator:
@@ -494,6 +497,7 @@ def approximate_oca(
     workers: Optional[int] = None,
     worker_addresses: Sequence[str] = (),
     coordinator=None,
+    deadline=None,
 ) -> Dict[Tuple[Term, ...], float]:
     """Estimate ``CP`` for every tuple observed in any sampled repair.
 
@@ -528,7 +532,8 @@ def approximate_oca(
 
             def draw(batch: int):
                 return coordinator.run_range(
-                    context, campaign.claim_draws(batch), batch
+                    context, campaign.claim_draws(batch), batch,
+                    deadline=deadline,
                 )
 
         else:
@@ -540,7 +545,8 @@ def approximate_oca(
                 lambda walk: query.answers(walk.result),
             )
         result = campaign.estimate(
-            draw, epsilon=epsilon, delta=delta, adaptive=adaptive
+            draw, epsilon=epsilon, delta=delta, adaptive=adaptive,
+            deadline=deadline,
         )
     finally:
         if owns_coordinator:

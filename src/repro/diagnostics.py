@@ -131,6 +131,11 @@ class CacheReport:
     #: crashes — the events the self-healing runtime absorbed rather
     #: than surfaced.
     faults: Dict[str, int] = field(default_factory=dict)
+    #: Overload counters (see :func:`record_shed` and friends): the
+    #: admission queue's depth high-water mark, load sheds per reason,
+    #: deadline expirations, and graceful-drain durations — how hard the
+    #: service is being pushed and what it refused rather than queued.
+    overload: Dict[str, object] = field(default_factory=dict)
 
     @staticmethod
     def _hit_rate(stats: Dict[str, int]) -> float:
@@ -170,6 +175,25 @@ class CacheReport:
                 f"{name}={count}" for name, count in sorted(self.faults.items())
             )
             lines.append(f"faults absorbed: {counts}")
+        if self.overload:
+            sheds = self.overload.get("sheds") or {}
+            shed_text = (
+                ", ".join(f"{r}={c}" for r, c in sorted(sheds.items()))
+                if sheds
+                else "none"
+            )
+            drains = self.overload.get("drain_seconds") or []
+            drain_text = (
+                f"{len(drains)} drain(s), slowest "
+                f"{max(drains):.2f}s" if drains else "no drains"
+            )
+            lines.append(
+                "overload: queue high-water "
+                f"{self.overload.get('queue_depth_high_water', 0)}, "
+                f"sheds: {shed_text}, "
+                f"{self.overload.get('deadline_expirations', 0)} deadline "
+                f"expiration(s), {drain_text}"
+            )
         return "\n".join(lines)
 
 
@@ -308,6 +332,78 @@ def aggregated_fault_stats() -> Dict[str, int]:
         return dict(_FAULT_STATS)
 
 
+#: Process-wide overload counters: how deep the admission queue got
+#: (high-water mark), which requests were shed and why, how many shards
+#: or campaigns blew their deadline, and how long graceful drains took.
+#: These describe the service's behaviour *under pressure* — the load it
+#: refused or abandoned, which (like the fault counters) is invisible in
+#: results precisely because the refusal worked.
+_OVERLOAD_LOCK = threading.Lock()
+_QUEUE_HIGH_WATER = 0
+_SHED_STATS: Dict[str, int] = {}
+_DEADLINE_EXPIRATIONS = 0
+_DRAIN_SECONDS: List[float] = []
+
+
+def record_queue_depth(depth: int) -> None:
+    """Track the admission run-queue depth high-water mark."""
+    global _QUEUE_HIGH_WATER
+    with _OVERLOAD_LOCK:
+        if depth > _QUEUE_HIGH_WATER:
+            _QUEUE_HIGH_WATER = depth
+
+
+def record_shed(reason: str, count: int = 1) -> None:
+    """Count a load shed (admission rejection, busy worker, ...)."""
+    with _OVERLOAD_LOCK:
+        _SHED_STATS[reason] = _SHED_STATS.get(reason, 0) + count
+
+
+def record_deadline_expiration(count: int = 1) -> None:
+    """Count a deadline expiry (abandoned shard or truncated campaign)."""
+    global _DEADLINE_EXPIRATIONS
+    with _OVERLOAD_LOCK:
+        _DEADLINE_EXPIRATIONS += count
+
+
+def record_drain(seconds: float) -> None:
+    """Record how long one graceful drain took (worker or service)."""
+    with _OVERLOAD_LOCK:
+        _DRAIN_SECONDS.append(seconds)
+
+
+def reset_overload_stats() -> None:
+    """Forget all recorded overload counters (test isolation)."""
+    global _QUEUE_HIGH_WATER, _DEADLINE_EXPIRATIONS
+    with _OVERLOAD_LOCK:
+        _QUEUE_HIGH_WATER = 0
+        _SHED_STATS.clear()
+        _DEADLINE_EXPIRATIONS = 0
+        _DRAIN_SECONDS.clear()
+
+
+def aggregated_overload_stats() -> Dict[str, object]:
+    """A snapshot of the process-wide overload counters.
+
+    Empty when nothing overload-related happened, so quiet processes
+    keep a quiet :meth:`CacheReport.format`.
+    """
+    with _OVERLOAD_LOCK:
+        if (
+            _QUEUE_HIGH_WATER == 0
+            and not _SHED_STATS
+            and _DEADLINE_EXPIRATIONS == 0
+            and not _DRAIN_SECONDS
+        ):
+            return {}
+        return {
+            "queue_depth_high_water": _QUEUE_HIGH_WATER,
+            "sheds": dict(_SHED_STATS),
+            "deadline_expirations": _DEADLINE_EXPIRATIONS,
+            "drain_seconds": list(_DRAIN_SECONDS),
+        }
+
+
 def cache_report(source=None) -> CacheReport:
     """Cache counters for *source* — a ``RepairingChain`` or ``RepairEngine``.
 
@@ -332,6 +428,7 @@ def cache_report(source=None) -> CacheReport:
         worker_count=len(_WORKER_CACHE_STATS),
         transport=aggregated_transport_stats(),
         faults=aggregated_fault_stats(),
+        overload=aggregated_overload_stats(),
     )
 
 

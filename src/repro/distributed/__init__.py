@@ -20,10 +20,16 @@ and one machine — without giving up determinism:
   from a seeded :class:`FaultPlan`, and the self-healing machinery it
   exercises — CRC frame integrity, reconnect with backoff
   (:class:`ReconnectPolicy`), checkpoint quarantine — keeps those
-  estimates byte-identical under a hostile network.
+  estimates byte-identical under a hostile network;
+- deadlines (:class:`repro.service.deadline.Deadline`) propagate from
+  the caller through the coordinator into the wire protocol's
+  ``deadline`` capability, so workers abandon shards whose budget has
+  expired and campaigns return honest best-effort results instead of
+  running past their time budget.
 
-See the README's "Distributed sampling service" and "Failure semantics"
-sections for deployment and protocol reference.
+See the README's "Distributed sampling service", "Running as a
+service", and "Failure semantics" sections for deployment and protocol
+reference.
 """
 
 from repro.distributed.chaos import (

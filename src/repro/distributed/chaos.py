@@ -10,12 +10,15 @@ Three layers:
 
 - **Failpoints** — named crash sites compiled into the production code
   (``worker.mid_shard``, ``worker.after_result``,
-  ``worker.context_build``, ``campaign.save_checkpoint``).  Armed via
-  the ``REPRO_FAILPOINTS`` environment variable (inherited by pool
-  forks and worker subprocesses) or :func:`set_failpoint`; a triggered
-  failpoint raises :class:`FailpointError` or hard-exits the process,
-  exercising exactly the recovery paths (re-lease, reconnect,
-  checkpoint quarantine) that clean unit tests cannot reach.
+  ``worker.context_build``, ``campaign.save_checkpoint``, and the
+  overload sites ``worker.memory_pressure``, ``service.queue_flood``,
+  ``service.slow_consumer``).  Armed via the ``REPRO_FAILPOINTS``
+  environment variable (inherited by pool forks and worker
+  subprocesses) or :func:`set_failpoint`; a triggered failpoint raises
+  :class:`FailpointError`, hard-exits the process, or (``sleep``)
+  stalls the call site — exercising exactly the recovery paths
+  (re-lease, reconnect, checkpoint quarantine, load shedding,
+  deadline expiry) that clean unit tests cannot reach.
 - **:class:`ChaosProxy`** — a frame-aware TCP proxy between a
   coordinator and a worker.  It parses protocol frames off the wire and,
   per the plan's schedule, passes, delays, duplicates, truncates,
@@ -49,7 +52,10 @@ log = logging.getLogger(__name__)
 #: Environment variable arming failpoints in workers and subprocesses.
 #: Comma-separated ``name[:hit][=action]`` specs — ``hit`` is the 1-based
 #: invocation that triggers (default 1), ``action`` is ``raise``
-#: (default) or ``exit`` (hard ``os._exit``, a real crash).
+#: (default), ``exit`` (hard ``os._exit``, a real crash), or
+#: ``sleepN`` (stall the call site for ``N`` seconds — default 1 — the
+#: slow-consumer/memory-pressure simulator that turns a failpoint into
+#: an overload fault instead of a crash).
 FAILPOINTS_ENV_VAR = "REPRO_FAILPOINTS"
 
 
@@ -91,16 +97,36 @@ def parse_failpoints(spec: str) -> Dict[str, _Failpoint]:
         if ":" in part:
             part, hit_str = part.rsplit(":", 1)
             hit = int(hit_str)
-        if action not in ("raise", "exit"):
+        if action not in ("raise", "exit") and not _parse_sleep_action(action):
             raise ValueError(
-                f"failpoint action must be 'raise' or 'exit', got {action!r}"
+                f"failpoint action must be 'raise', 'exit', or 'sleep[N]', "
+                f"got {action!r}"
             )
         out[part] = _Failpoint(name=part, hit=max(1, hit), action=action)
     return out
 
 
+def _parse_sleep_action(action: str) -> Optional[float]:
+    """``sleep`` / ``sleepN`` -> the stall duration (None if not a sleep)."""
+    if not action.startswith("sleep"):
+        return None
+    suffix = action[len("sleep"):]
+    if not suffix:
+        return 1.0
+    try:
+        seconds = float(suffix)
+    except ValueError:
+        return None
+    return seconds if seconds > 0 else None
+
+
 def set_failpoint(name: str, hit: int = 1, action: str = "raise") -> None:
     """Arm *name* to fire on its *hit*-th invocation (test/chaos API)."""
+    if action not in ("raise", "exit") and not _parse_sleep_action(action):
+        raise ValueError(
+            f"failpoint action must be 'raise', 'exit', or 'sleep[N]', "
+            f"got {action!r}"
+        )
     with _FAILPOINT_LOCK:
         _FAILPOINTS[name] = _Failpoint(name=name, hit=max(1, hit), action=action)
 
@@ -139,6 +165,10 @@ def failpoint(name: str) -> None:
     log.warning("failpoint %s firing (action=%s)", name, action)
     if action == "exit":
         os._exit(23)
+    stall = _parse_sleep_action(action)
+    if stall is not None:
+        time.sleep(stall)
+        return
     raise FailpointError(f"injected failpoint {name!r} fired")
 
 
@@ -484,6 +514,7 @@ class ChaosTransport:
         start: int,
         count: int,
         timeout: Optional[float] = None,
+        deadline: Any = None,
     ) -> Any:
         from repro.distributed.transport import WorkerUnavailable
 
@@ -499,7 +530,7 @@ class ChaosTransport:
             self.counters.delays += 1
             time.sleep(self.plan.delay_seconds)
         return self.inner.run_shard(
-            context, shard_id, start, count, timeout=timeout
+            context, shard_id, start, count, timeout=timeout, deadline=deadline
         )
 
     def reconnect(self) -> bool:

@@ -49,6 +49,7 @@ from repro.distributed.transport import (
     WorkerUnavailable,
 )
 from repro.distributed.worker import ShardContext
+from repro.service.deadline import Deadline, DeadlineExpired
 
 #: Draws per shard when the caller does not choose: small enough that a
 #: 2-worker run interleaves, large enough that framing cost stays noise.
@@ -228,7 +229,11 @@ class Coordinator:
     # Dispatch
     # ------------------------------------------------------------------
     def run_range(
-        self, context: ShardContext, start: int, count: int
+        self,
+        context: ShardContext,
+        start: int,
+        count: int,
+        deadline: Optional[Deadline] = None,
     ) -> List[Any]:
         """Outcomes for draws ``[start, start + count)``, index-ordered.
 
@@ -236,6 +241,15 @@ class Coordinator:
         (deterministic exceptions such as a failing repair sequence)
         re-raise here, mapped back to the original exception type when
         it is importable.
+
+        With a *deadline*, the remaining wall-clock budget rides every
+        run frame (negotiated ``deadline`` capability), run-shard waits
+        are clamped to it, and an expiry raises
+        :class:`repro.service.deadline.DeadlineExpired` instead of
+        degrading to the inline fallback — computing draws past the
+        deadline is exactly what the caller asked us not to do.  The
+        campaign layer turns that into a best-effort estimate with
+        widened ``(eps, delta)`` accounting.
 
         Returns as soon as every shard has outcomes — NOT when every
         driver thread has exited: a straggler whose shard was
@@ -245,6 +259,8 @@ class Coordinator:
         """
         if count <= 0:
             return []
+        if deadline is not None:
+            deadline.check(f"campaign range [{start}, {start + count})")
         table = LeaseTable(
             start,
             count,
@@ -265,7 +281,7 @@ class Coordinator:
                 transport,
                 threading.Thread(
                     target=self._drive,
-                    args=(transport, context, table),
+                    args=(transport, context, table, deadline),
                     daemon=True,
                 ),
             )
@@ -275,6 +291,8 @@ class Coordinator:
             thread.start()
         while not table.done and any(t.is_alive() for _tr, t in threads):
             table.wait_progress(0.5)
+            if deadline is not None and deadline.expired:
+                break
         for transport, thread in threads:
             if thread.is_alive():
                 # Grace join: a thread in its post-completion microsecond
@@ -288,13 +306,22 @@ class Coordinator:
                 fatal, self._fatal = self._fatal, None
                 raise fatal
         if not table.done:
+            if deadline is not None and deadline.expired:
+                from repro.diagnostics import record_deadline_expiration
+
+                record_deadline_expiration()
+                unfinished = len(table.unfinished())
+                raise DeadlineExpired(
+                    f"campaign range [{start}, {start + count}) hit its "
+                    f"deadline with {unfinished} shard(s) unfinished"
+                )
             leftovers = table.unfinished()
             if not self.fallback_inline:
                 raise DistributedSamplingError(
                     f"{len(leftovers)} shard(s) unfinished and inline "
                     "fallback disabled: " + "; ".join(table.failure_log())
                 )
-            self._finish_inline(context, table, leftovers)
+            self._finish_inline(context, table, leftovers, deadline)
         self.speculation_wins += table.speculation_wins
         self._record_transport_stats()
         return table.assemble()
@@ -304,26 +331,82 @@ class Coordinator:
         transport: WorkerTransport,
         context: ShardContext,
         table: LeaseTable,
+        deadline: Optional[Deadline] = None,
     ) -> None:
-        """One worker's checkout→run→complete loop (runs on its thread)."""
+        """One worker's checkout→run→complete loop (runs on its thread).
+
+        With a *deadline*, checkouts are non-blocking polls (a thread
+        parked inside :meth:`LeaseTable.checkout` would sleep straight
+        past the expiry) and the thread exits the moment the budget is
+        gone; retriable backpressure errors (``WorkerBusy``) back off by
+        the worker's suggested ``retry_after`` on the *same* lease —
+        they never burn the shard's retry budget.
+        """
+        busy_waited = 0.0
         while True:
             with self._fatal_lock:
                 if self._fatal is not None:
                     return
-            lease = table.checkout(transport.name)
-            if lease is None:
-                return
+            if deadline is not None:
+                if deadline.expired:
+                    return
+                lease = table.checkout(transport.name, wait=False)
+                if lease is None:
+                    if table.done or table.failed:
+                        return
+                    time.sleep(0.02)
+                    continue
+            else:
+                lease = table.checkout(transport.name)
+                if lease is None:
+                    return
             if lease.speculative:
                 with self._fatal_lock:
                     self.speculations += 1
             try:
-                outcomes, cache_stats = transport.run_shard(
-                    context,
-                    lease.shard_id,
-                    lease.start,
-                    lease.count,
-                    timeout=self.lease_timeout,
-                )
+                while True:
+                    try:
+                        outcomes, cache_stats = transport.run_shard(
+                            context,
+                            lease.shard_id,
+                            lease.start,
+                            lease.count,
+                            timeout=(
+                                self.lease_timeout
+                                if deadline is None
+                                else deadline.clamp(self.lease_timeout)
+                            ),
+                            deadline=deadline,
+                        )
+                        break
+                    except WorkerError as exc:
+                        if not exc.retriable or exc.fatal:
+                            raise
+                        # Backpressure (e.g. the worker at its in-flight
+                        # limit): hold the lease, pause for the worker's
+                        # suggested retry_after, and offer the same shard
+                        # again.  Bounded by the lease timeout so a
+                        # permanently wedged worker degrades like a dead
+                        # one instead of spinning forever.
+                        pause = min(max(exc.retry_after or 0.25, 0.05), 1.0)
+                        busy_waited += pause
+                        if busy_waited > self.lease_timeout:
+                            self.releases += 1
+                            self.failure_log.append(
+                                f"{transport.name}: still busy after "
+                                f"{busy_waited:.1f}s of backpressure"
+                            )
+                            table.release(lease, str(exc))
+                            return
+                        if not self._pause(pause, table, deadline):
+                            table.release(lease, str(exc))
+                            return
+            except DeadlineExpired as exc:
+                # The worker abandoned the shard (budget gone).  Hand it
+                # back for the record and stop driving: run_range raises
+                # DeadlineExpired for the whole range.
+                table.release(lease, str(exc))
+                return
             except WorkerUnavailable as exc:
                 self.releases += 1
                 self.failure_log.append(f"{transport.name}: {exc}")
@@ -344,8 +427,30 @@ class Coordinator:
                 self.failure_log.append(f"{transport.name}: {exc}")
                 table.release(lease, str(exc))
                 continue  # transient worker-side error; keep serving
+            busy_waited = 0.0
             table.complete(lease, outcomes)
             self._record_cache_stats(transport.name, cache_stats)
+
+    def _pause(
+        self,
+        seconds: float,
+        table: LeaseTable,
+        deadline: Optional[Deadline],
+    ) -> bool:
+        """Sleep *seconds* in small steps; ``False`` means stop retrying
+        (the table finished or died, a fatal error landed, or the
+        deadline expired while waiting)."""
+        until = time.monotonic() + seconds
+        while time.monotonic() < until:
+            if table.done or table.failed:
+                return False
+            with self._fatal_lock:
+                if self._fatal is not None:
+                    return False
+            if deadline is not None and deadline.expired:
+                return False
+            time.sleep(0.05)
+        return True
 
     def _await_reconnect(
         self, transport: WorkerTransport, table: LeaseTable
@@ -396,12 +501,15 @@ class Coordinator:
         context: ShardContext,
         table: LeaseTable,
         leftovers: List[ShardLease],
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """Compute unfinished shards in-process (all workers lost).
 
         The inline executor persists on the coordinator, so a campaign
         that outlives its whole fleet pays the context build once, not
-        once per batch.
+        once per batch.  A deadline expiring mid-fallback propagates as
+        :class:`repro.service.deadline.DeadlineExpired` — the fallback
+        never computes draws past the budget either.
         """
         if self._inline is None:
             self._inline = InlineTransport(name="inline-fallback")
@@ -413,7 +521,8 @@ class Coordinator:
         cache_stats = {}
         for lease in leftovers:
             outcomes, cache_stats = self._inline.run_shard(
-                context, lease.shard_id, lease.start, lease.count
+                context, lease.shard_id, lease.start, lease.count,
+                deadline=deadline,
             )
             table.complete(lease, outcomes)
         self._record_cache_stats(self._inline.name, cache_stats)

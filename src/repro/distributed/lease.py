@@ -243,6 +243,16 @@ class LeaseTable:
         with self._lock:
             return self.complete_locked()
 
+    @property
+    def failed(self) -> bool:
+        """Whether a shard failed terminally (burnt its retry budget).
+
+        Deadline-aware drivers poll with ``checkout(wait=False)`` and
+        need to distinguish "nothing to lease right now" from "the table
+        is dead" without blocking."""
+        with self._lock:
+            return self._failed is not None
+
     def unfinished(self) -> List[ShardLease]:
         """Shards without outcomes (for inline fallback / diagnostics)."""
         with self._lock:

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.distributed.protocol import WorkerError
 from repro.distributed.transport import WorkerTransport, WorkerUnavailable
 from repro.distributed.worker import ShardContext, pool_worker_main
+from repro.service.deadline import Deadline, DeadlineExpired
 
 
 def _pool_context():
@@ -159,6 +160,7 @@ class LocalPoolTransport(WorkerTransport):
     def run_shard(
         self, context: ShardContext, shard_id: int, start: int, count: int,
         timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ):
         self.ensure_context(context)
         request = {
@@ -167,14 +169,20 @@ class LocalPoolTransport(WorkerTransport):
             "start": start,
             "count": count,
         }
+        if deadline is not None:
+            request["deadline"] = round(deadline.remaining(), 6)
         kind, data = self._request("run", request, timeout=timeout)
         if kind == "need_context":
             # The worker's LRU evicted this (previously shipped) context;
             # re-ship once and retry.
             self._shipped.discard(context.context_id)
             self.ensure_context(context)
+            if deadline is not None:
+                request["deadline"] = round(deadline.remaining(), 6)
             kind, data = self._request("run", request, timeout=timeout)
         if kind == "error":
+            if data.get("deadline_expired"):
+                raise DeadlineExpired(data.get("message", "deadline expired"))
             raise WorkerError(
                 data.get("message", "worker error"),
                 exception_type=data.get("exception"),

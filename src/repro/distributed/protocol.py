@@ -32,6 +32,9 @@ blob.  Message types:
   errors that re-leasing cannot fix (e.g. a failing repair sequence),
   which the coordinator re-raises instead of retrying;
 - ``ping`` / ``pong`` — liveness probe;
+- ``drain`` / ``drain_ok`` — ask the worker to drain gracefully: stop
+  accepting, finish (or hand back) in-flight shards, then exit its
+  serve loop (the frame-level twin of SIGTERM, used by the supervisor);
 - ``shutdown`` — ask the worker process to exit its serve loop.
 
 Campaign tagging
@@ -65,7 +68,17 @@ byte-compatibly.  Current capabilities:
   receiver verifies it before touching the bytes; a mismatch raises
   :class:`FrameIntegrityError` — a transient fault (drop the
   connection, re-lease the shard) rather than a pickle traceback deep
-  in the payload.
+  in the payload;
+- ``"deadline"`` — ``run`` frames may carry a ``"deadline"`` header
+  field holding the shard's *remaining* wall-clock budget in seconds
+  (remaining, not absolute: monotonic clocks do not survive a socket).
+  The worker rebuilds a local deadline from it and abandons the shard
+  with a ``deadline_expired`` error once the budget is gone instead of
+  computing draws the coordinator will never merge.  ``error`` frames
+  in turn may carry ``"retriable"``, ``"retry_after"`` (seconds, for
+  backpressure rejections), ``"deadline_expired"``, and ``"draining"``
+  flags so the coordinator can distinguish back-off-and-retry from
+  re-lease-elsewhere from give-up.
 
 Pickle is trusted here by design: the coordinator and its workers are
 one deployment (same codebase, same operator), exactly like the stdlib
@@ -89,7 +102,7 @@ from typing import Any, Dict, List, Optional, Tuple
 MAGIC = b"RPW1"
 
 #: Frame features this build can speak (negotiated via hello/welcome).
-CAPABILITIES = ("campaign", "crc", "intern", "zlib")
+CAPABILITIES = ("campaign", "crc", "deadline", "intern", "zlib")
 
 _HEADER = struct.Struct("!4sII")
 
@@ -391,7 +404,11 @@ class WorkerError(RuntimeError):
 
     ``fatal`` means re-leasing the shard elsewhere would deterministically
     hit the same exception (the draws are index-determined), so the
-    coordinator re-raises instead of retrying.
+    coordinator re-raises instead of retrying.  ``retriable`` marks
+    overload rejections where the *same* worker will accept the shard
+    shortly — ``retry_after`` is its suggested back-off in seconds.
+    ``deadline_expired`` marks a shard the worker abandoned because its
+    negotiated deadline had already passed.
     """
 
     def __init__(
@@ -399,7 +416,13 @@ class WorkerError(RuntimeError):
         message: str,
         exception_type: Optional[str] = None,
         fatal: bool = False,
+        retriable: bool = False,
+        retry_after: Optional[float] = None,
+        deadline_expired: bool = False,
     ) -> None:
         super().__init__(message)
         self.exception_type = exception_type
         self.fatal = fatal
+        self.retriable = retriable
+        self.retry_after = retry_after
+        self.deadline_expired = deadline_expired

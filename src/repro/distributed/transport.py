@@ -47,6 +47,7 @@ from repro.distributed.protocol import (
     send_message,
 )
 from repro.distributed.worker import ShardContext, ShardExecutor, worker_cache_stats
+from repro.service.deadline import Deadline, DeadlineExpired
 
 #: ``(outcomes, cache_stats)`` as returned by a transport's run_shard.
 ShardOutcome = Tuple[List[Any], Dict[str, Dict[str, int]]]
@@ -100,8 +101,15 @@ class WorkerTransport:
     def run_shard(
         self, context: ShardContext, shard_id: int, start: int, count: int,
         timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ShardOutcome:
-        """Execute one shard; raises :class:`WorkerUnavailable` on death."""
+        """Execute one shard; raises :class:`WorkerUnavailable` on death.
+
+        With a *deadline*, the worker abandons the shard once the budget
+        is gone (raising
+        :class:`repro.service.deadline.DeadlineExpired` here) instead of
+        computing draws past it.
+        """
         raise NotImplementedError
 
     def reconnect(self) -> bool:
@@ -138,9 +146,12 @@ class InlineTransport(WorkerTransport):
     def run_shard(
         self, context: ShardContext, shard_id: int, start: int, count: int,
         timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ShardOutcome:
         self.ensure_context(context)
-        outcomes = self.executor.run_shard(context.context_id, start, count)
+        outcomes = self.executor.run_shard(
+            context.context_id, start, count, deadline=deadline
+        )
         return outcomes, worker_cache_stats()
 
     def close(self) -> None:
@@ -338,6 +349,11 @@ class SocketTransport(WorkerTransport):
                 f"worker {self.name} lost while shipping a context: {exc}"
             ) from exc
         if header.get("type") == "error":
+            if header.get("draining"):
+                self._drop()
+                raise WorkerUnavailable(
+                    f"worker {self.name} is draining; re-lease the shard"
+                )
             raise WorkerError(
                 header.get("message", "context build failed"),
                 exception_type=header.get("exception"),
@@ -402,6 +418,7 @@ class SocketTransport(WorkerTransport):
     def run_shard(
         self, context: ShardContext, shard_id: int, start: int, count: int,
         timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ShardOutcome:
         self.ensure_context(context, timeout=timeout)
         sock = self._connection()
@@ -411,19 +428,23 @@ class SocketTransport(WorkerTransport):
             # re-ship, and a fresh build cannot be evicted again before
             # this shard runs.
             for _attempt in range(2):
-                self._send(
-                    sock,
-                    {
-                        "type": "run",
-                        "context": context.context_id,
-                        "shard": shard_id,
-                        "start": start,
-                        "count": count,
-                    },
-                )
+                request: Dict[str, Any] = {
+                    "type": "run",
+                    "context": context.context_id,
+                    "shard": shard_id,
+                    "start": start,
+                    "count": count,
+                }
+                if deadline is not None and "deadline" in self.peer_caps:
+                    # Ship the *remaining* budget, not the absolute
+                    # point: monotonic clocks do not survive a socket.
+                    request["deadline"] = round(deadline.remaining(), 6)
+                self._send(sock, request)
                 reshipped = False
                 while True:
-                    sock.settimeout(timeout)
+                    sock.settimeout(
+                        timeout if deadline is None else deadline.clamp(timeout)
+                    )
                     header, payload = self._recv(sock)
                     self._check_campaign(header)
                     if self._is_stale(header, expect="result", shard_id=shard_id):
@@ -435,10 +456,31 @@ class SocketTransport(WorkerTransport):
                         reshipped = True
                         break
                     if kind == "error":
+                        if header.get("draining"):
+                            # The worker is gracefully draining: hand the
+                            # shard back and treat the worker like a lost
+                            # one — the reconnect ladder lets a restarted
+                            # replacement rejoin the fleet.
+                            self._drop()
+                            raise WorkerUnavailable(
+                                f"worker {self.name} is draining; "
+                                "re-lease the shard"
+                            )
+                        if header.get("deadline_expired"):
+                            raise DeadlineExpired(
+                                header.get("message", "shard deadline expired")
+                            )
+                        retry_after = header.get("retry_after")
                         raise WorkerError(
                             header.get("message", "worker error"),
                             exception_type=header.get("exception"),
                             fatal=bool(header.get("fatal")),
+                            retriable=bool(header.get("retriable")),
+                            retry_after=(
+                                float(retry_after)
+                                if retry_after is not None
+                                else None
+                            ),
                         )
                     if kind == "result":
                         if "outcomes_interned" in payload:
@@ -498,6 +540,25 @@ class SocketTransport(WorkerTransport):
         self.stats["reconnects"] += 1
         self.alive = True
         return True
+
+    def drain_worker(self) -> bool:
+        """Ask the remote worker to drain gracefully (the frame-level
+        twin of SIGTERM; used by the supervisor for rolling restarts).
+        Returns ``True`` when the worker acknowledged the drain."""
+        try:
+            sock = self._connection()
+            self._send(sock, {"type": "drain"})
+            sock.settimeout(self.connect_timeout)
+            for _ in range(8):
+                header, _ = self._recv(sock)
+                if self._is_stale(header, expect="drain_ok"):
+                    continue
+                return header.get("type") == "drain_ok"
+            return False
+        except (WorkerUnavailable, OSError, ProtocolError):
+            return False
+        finally:
+            self.close()
 
     def shutdown_worker(self) -> None:
         """Ask the remote worker process to exit its serve loop."""

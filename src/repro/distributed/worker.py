@@ -41,8 +41,10 @@ from __future__ import annotations
 import hashlib
 import logging
 import pickle
+import signal
 import socket
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -50,6 +52,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.campaign import SamplingCampaign, draw_rng
 from repro.core.errors import FailingSequenceError
 from repro.distributed.chaos import FailpointError, failpoint
+from repro.service.deadline import Deadline, DeadlineExpired
 from repro.distributed.protocol import (
     CAPABILITIES,
     MAGIC,
@@ -374,8 +377,33 @@ class ShardExecutor:
             if hasattr(stale.runtime, "close"):
                 stale.runtime.close()
 
-    def run_shard(self, context_id: str, start: int, count: int) -> List[Any]:
-        """Outcomes for draws ``[start, start + count)`` of a context."""
+    def _abandon_expired(self, start: int, count: int) -> None:
+        from repro.diagnostics import record_deadline_expiration
+
+        record_deadline_expiration()
+        raise DeadlineExpired(
+            f"abandoning shard [{start}, {start + count}): its deadline "
+            "passed before it ran"
+        )
+
+    def run_shard(
+        self,
+        context_id: str,
+        start: int,
+        count: int,
+        deadline: Optional[Deadline] = None,
+    ) -> List[Any]:
+        """Outcomes for draws ``[start, start + count)`` of a context.
+
+        With a *deadline*, the shard is abandoned (raising
+        :class:`repro.service.deadline.DeadlineExpired`) if the budget is
+        already gone — checked again after acquiring the context lock,
+        since waiting behind another shard on the same warm context can
+        consume the whole budget.  Draws nobody will merge are never
+        computed.
+        """
+        if deadline is not None and deadline.expired:
+            self._abandon_expired(start, count)
         with self._lock:
             slot = self._slots.get(context_id)
             if slot is None:
@@ -388,7 +416,10 @@ class ShardExecutor:
             self.shards_run += 1
         try:
             failpoint("worker.mid_shard")
+            failpoint("worker.memory_pressure")
             with slot.lock:
+                if deadline is not None and deadline.expired:
+                    self._abandon_expired(start, count)
                 return slot.runtime.outcomes(start, count)
         finally:
             with self._lock:
@@ -455,10 +486,24 @@ class WorkerServer:
         name: Optional[str] = None,
         heartbeat_interval: float = 2.0,
         context_limit: int = DEFAULT_CONTEXT_LIMIT,
+        max_inflight: int = 0,
+        drain_timeout: float = 30.0,
     ) -> None:
         self.executor = ShardExecutor(context_limit)
         self.heartbeat_interval = heartbeat_interval
+        #: At most this many shards compute at once (0 = unbounded).
+        #: Beyond it, run frames are answered with a retriable
+        #: ``WorkerBusy`` error instead of queueing without bound —
+        #: backpressure the coordinator turns into a short back-off.
+        self.max_inflight = max(0, int(max_inflight))
+        #: How long a graceful drain waits for in-flight shards before
+        #: giving up and shutting down anyway.
+        self.drain_timeout = drain_timeout
         self._shutdown = threading.Event()
+        self._draining = threading.Event()
+        self._drain_started: Optional[float] = None
+        self._active_cond = threading.Condition()
+        self._active_shards = 0
         self._conn_lock = threading.Lock()
         self._connections: List[socket.socket] = []
         #: Malformed/undecodable frames observed, by kind — mirrored into
@@ -480,12 +525,17 @@ class WorkerServer:
 
         Connections are served concurrently, one daemon thread each;
         ``shutdown`` (from any coordinator) stops the accept loop, closes
-        every open connection, and drains the threads.
+        every open connection, and drains the threads.  A *drain*
+        (SIGTERM, SIGINT, or a ``drain`` frame — see
+        :meth:`request_drain`) instead stops accepting, finishes the
+        shards already in flight, answers new runs with a retriable
+        ``draining`` error so the coordinator re-leases them elsewhere,
+        and then shuts down cleanly.
         """
         self._sock.settimeout(0.5)
         threads: List[threading.Thread] = []
         try:
-            while not self._shutdown.is_set():
+            while not self._shutdown.is_set() and not self._draining.is_set():
                 try:
                     conn, _addr = self._sock.accept()
                 except socket.timeout:
@@ -504,6 +554,9 @@ class WorkerServer:
                 threads.append(thread)
         finally:
             self._sock.close()
+            if self._draining.is_set() and not self._shutdown.is_set():
+                self._await_drain()
+                self._shutdown.set()
             self._close_connections()
             for thread in threads:
                 thread.join(timeout=2.0)
@@ -517,6 +570,56 @@ class WorkerServer:
 
     def shutdown(self) -> None:
         self._shutdown.set()
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (idempotent, async-signal-safe).
+
+        Sets a flag the serve loop and request handlers observe; the
+        actual waiting happens on the serving thread, never here — this
+        is callable from a signal handler.
+        """
+        if not self._draining.is_set():
+            self._drain_started = time.monotonic()
+            self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def _await_drain(self) -> None:
+        """Wait (bounded) for in-flight shards, then record the drain."""
+        give_up = time.monotonic() + self.drain_timeout
+        with self._active_cond:
+            while self._active_shards and time.monotonic() < give_up:
+                self._active_cond.wait(0.2)
+            abandoned = self._active_shards
+        duration = time.monotonic() - (self._drain_started or time.monotonic())
+        from repro.diagnostics import record_drain
+
+        record_drain(duration)
+        if abandoned:
+            log.warning(
+                "%s: drain timed out after %.1fs with %d shard(s) still "
+                "in flight",
+                self.name,
+                duration,
+                abandoned,
+            )
+        else:
+            log.info("%s: drained in %.3fs", self.name, duration)
+
+    def _begin_shard(self) -> bool:
+        """Claim an in-flight slot; ``False`` means shed (worker busy)."""
+        with self._active_cond:
+            if self.max_inflight and self._active_shards >= self.max_inflight:
+                return False
+            self._active_shards += 1
+            return True
+
+    def _end_shard(self) -> None:
+        with self._active_cond:
+            self._active_shards -= 1
+            self._active_cond.notify_all()
 
     def _record_fault(self, kind: str) -> None:
         from repro.diagnostics import record_fault
@@ -689,6 +792,26 @@ class WorkerServer:
         if kind == "ping":
             send(tagged({"type": "pong", "name": self.name}))
             return True
+        if kind in ("context", "run") and self._draining.is_set():
+            # Draining: hand the shard back instead of starting new work.
+            # The transports turn a ``draining`` error into
+            # ``WorkerUnavailable`` — the coordinator re-leases the shard
+            # on another worker and retries this one through its
+            # reconnect ladder, which is exactly how a rolling restart
+            # rejoins the fleet.
+            send(
+                tagged(
+                    {
+                        "type": "error",
+                        "message": f"worker {self.name} is draining",
+                        "exception": "WorkerDraining",
+                        "fatal": False,
+                        "retriable": True,
+                        "draining": True,
+                    }
+                )
+            )
+            return True
         if kind == "context":
             try:
                 self.executor.ensure_context(payload)
@@ -731,53 +854,112 @@ class WorkerServer:
                 # failing the shard.
                 send(tagged({"type": "need_context", "context": context_id}))
                 return True
-            heartbeat = tagged({"type": "heartbeat", "shard": shard_id})
-            with _Heartbeat(send, self.heartbeat_interval, heartbeat):
-                try:
-                    outcomes = self.executor.run_shard(context_id, start, count)
-                except UnknownContextError:
-                    # Evicted between has_context and run_shard (another
-                    # campaign's build squeezed it out): same recovery.
-                    # Application KeyErrors from the runtime fall through
-                    # to the error frame below instead.
-                    send(
-                        tagged({"type": "need_context", "context": context_id})
+            # The shard's remaining wall-clock budget, negotiated via the
+            # "deadline" capability.  A non-positive budget is an
+            # already-expired deadline: the executor abandons the shard
+            # before computing a single draw.
+            budget = header.get("deadline")
+            deadline: Optional[Deadline] = None
+            if budget is not None:
+                deadline = (
+                    Deadline.after(budget) if budget > 0 else Deadline(0.0)
+                )
+            if not self._begin_shard():
+                from repro.diagnostics import record_shed
+
+                record_shed("worker_busy")
+                send(
+                    tagged(
+                        {
+                            "type": "error",
+                            "message": (
+                                f"worker {self.name} at its in-flight limit "
+                                f"({self.max_inflight} shard(s))"
+                            ),
+                            "exception": "WorkerBusy",
+                            "fatal": False,
+                            "retriable": True,
+                            "retry_after": 0.25,
+                        }
                     )
-                    return True
-                except Exception as exc:
-                    send(
-                        tagged(
-                            {
-                                "type": "error",
-                                "message": f"{type(exc).__name__}: {exc}",
-                                "exception": type(exc).__name__,
-                                "fatal": isinstance(exc, FATAL_EXCEPTIONS),
-                            }
+                )
+                return True
+            try:
+                heartbeat = tagged({"type": "heartbeat", "shard": shard_id})
+                with _Heartbeat(send, self.heartbeat_interval, heartbeat):
+                    try:
+                        outcomes = self.executor.run_shard(
+                            context_id, start, count, deadline=deadline
                         )
-                    )
-                    return True
-            # The after-result-before-ack crash window: outcomes computed
-            # but never sent.  Re-leasing recomputes them byte-identically.
-            failpoint("worker.after_result")
-            body: Dict[str, Any]
-            if "intern" in caps:
-                body = {
-                    "outcomes_interned": intern_outcomes(outcomes),
-                    "cache_stats": worker_cache_stats(),
-                }
-            else:
-                body = {"outcomes": outcomes, "cache_stats": worker_cache_stats()}
-            send(
-                tagged(
-                    {
-                        "type": "result",
-                        "shard": shard_id,
-                        "count": len(outcomes),
-                        "worker": self.name,
+                    except UnknownContextError:
+                        # Evicted between has_context and run_shard
+                        # (another campaign's build squeezed it out): same
+                        # recovery.  Application KeyErrors from the
+                        # runtime fall through to the error frame below
+                        # instead.
+                        send(
+                            tagged(
+                                {"type": "need_context", "context": context_id}
+                            )
+                        )
+                        return True
+                    except DeadlineExpired as exc:
+                        send(
+                            tagged(
+                                {
+                                    "type": "error",
+                                    "message": str(exc),
+                                    "exception": "DeadlineExpired",
+                                    "fatal": False,
+                                    "deadline_expired": True,
+                                }
+                            )
+                        )
+                        return True
+                    except Exception as exc:
+                        send(
+                            tagged(
+                                {
+                                    "type": "error",
+                                    "message": f"{type(exc).__name__}: {exc}",
+                                    "exception": type(exc).__name__,
+                                    "fatal": isinstance(exc, FATAL_EXCEPTIONS),
+                                }
+                            )
+                        )
+                        return True
+                # The after-result-before-ack crash window: outcomes
+                # computed but never sent.  Re-leasing recomputes them
+                # byte-identically.
+                failpoint("worker.after_result")
+                body: Dict[str, Any]
+                if "intern" in caps:
+                    body = {
+                        "outcomes_interned": intern_outcomes(outcomes),
+                        "cache_stats": worker_cache_stats(),
                     }
-                ),
-                body,
-            )
+                else:
+                    body = {
+                        "outcomes": outcomes,
+                        "cache_stats": worker_cache_stats(),
+                    }
+                send(
+                    tagged(
+                        {
+                            "type": "result",
+                            "shard": shard_id,
+                            "count": len(outcomes),
+                            "worker": self.name,
+                        }
+                    ),
+                    body,
+                )
+            finally:
+                self._end_shard()
+            return True
+        if kind == "drain":
+            self.request_drain()
+            send(tagged({"type": "drain_ok", "name": self.name}))
             return True
         if kind == "shutdown":
             self.shutdown()
@@ -801,16 +983,49 @@ def serve(
     name: Optional[str] = None,
     announce: bool = True,
     context_limit: int = DEFAULT_CONTEXT_LIMIT,
+    max_inflight: int = 0,
+    drain_timeout: float = 30.0,
 ) -> None:
-    """Run a blocking socket worker (the ``ocqa worker`` entry point)."""
-    server = WorkerServer(host, port, name=name, context_limit=context_limit)
+    """Run a blocking socket worker (the ``ocqa worker`` entry point).
+
+    SIGTERM and SIGINT are routed into the graceful-drain path: the
+    worker stops accepting, finishes (or hands back) the shards in
+    flight, and returns — so the process exits 0 instead of dying with
+    a traceback mid-shard.  Handlers are installed only when running on
+    the main thread (``signal.signal`` refuses elsewhere).
+    """
+    server = WorkerServer(
+        host,
+        port,
+        name=name,
+        context_limit=context_limit,
+        max_inflight=max_inflight,
+        drain_timeout=drain_timeout,
+    )
+    def _drain_signal(signum: int, frame: Any) -> None:
+        server.request_drain()
+
+    # Handlers go in BEFORE the announce line: supervisors treat the
+    # announce as "ready" and may SIGTERM any moment after it.
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            installed.append((sig, signal.signal(sig, _drain_signal)))
+        except ValueError:  # not the main thread (embedded/test use)
+            break
     if announce:
         print(
             f"repro worker {server.name} listening on "
             f"{server.host}:{server.port}",
             flush=True,
         )
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        for sig, previous in installed:
+            signal.signal(sig, previous)
+    if announce and server.draining:
+        print(f"repro worker {server.name} drained", flush=True)
 
 
 def pool_worker_main(conn) -> None:
@@ -841,8 +1056,19 @@ def pool_worker_main(conn) -> None:
                         # than failing the shard.
                         conn.send(("need_context", data["context"]))
                         continue
+                    budget = data.get("deadline")
+                    deadline = None
+                    if budget is not None:
+                        deadline = (
+                            Deadline.after(budget)
+                            if budget > 0
+                            else Deadline(0.0)
+                        )
                     outcomes = executor.run_shard(
-                        data["context"], data["start"], data["count"]
+                        data["context"],
+                        data["start"],
+                        data["count"],
+                        deadline=deadline,
                     )
                     conn.send(
                         (
@@ -860,6 +1086,18 @@ def pool_worker_main(conn) -> None:
                     conn.send(
                         ("error", {"message": f"unknown request {kind!r}", "fatal": True})
                     )
+            except DeadlineExpired as exc:
+                conn.send(
+                    (
+                        "error",
+                        {
+                            "message": str(exc),
+                            "exception": "DeadlineExpired",
+                            "fatal": False,
+                            "deadline_expired": True,
+                        },
+                    )
+                )
             except Exception as exc:
                 conn.send(
                     (

@@ -1,0 +1,64 @@
+"""Long-lived CQA service: admission control, deadlines, supervision.
+
+Layout (import layering matters here — lower layers import these
+modules, so the package root must stay cheap):
+
+- :mod:`repro.service.deadline` — stdlib-only :class:`Deadline` /
+  :class:`DeadlineExpired`; imported by ``campaign`` and the whole
+  ``distributed`` stack.
+- :mod:`repro.service.admission` — :class:`AdmissionController`,
+  tenant quotas, typed :class:`Overloaded` / :class:`BudgetExhausted`
+  shed errors.
+- :mod:`repro.service.server` — the ``ocqa serve`` HTTP/JSON front
+  (loaded lazily: it imports the SQL sampler stack).
+- :mod:`repro.service.supervisor` — worker-fleet lifecycle: health
+  probes, graceful drain, rolling restart (loaded lazily: it spawns
+  subprocesses).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionTicket,
+    BudgetExhausted,
+    Overloaded,
+    RetriableServiceError,
+    TenantQuota,
+)
+from repro.service.deadline import Deadline, DeadlineExpired
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.server import QueryService
+    from repro.service.supervisor import ManagedWorker, Supervisor
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "BudgetExhausted",
+    "Deadline",
+    "DeadlineExpired",
+    "ManagedWorker",
+    "Overloaded",
+    "QueryService",
+    "RetriableServiceError",
+    "Supervisor",
+    "TenantQuota",
+]
+
+_LAZY = {
+    "QueryService": "repro.service.server",
+    "Supervisor": "repro.service.supervisor",
+    "ManagedWorker": "repro.service.supervisor",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,294 @@
+"""Admission control for the long-lived query service.
+
+The :class:`AdmissionController` is the single gate every query passes
+before it touches the coordinator/worker fleet.  It enforces three
+independent bounds, shedding load with *typed, retriable* errors
+instead of letting saturation show up as stalls or OOM kills:
+
+- a **bounded run queue**: at most ``max_concurrent`` queries execute
+  at once and at most ``max_queue_depth`` wait for a slot; beyond that
+  the query is shed immediately with :class:`Overloaded` ("queue_full")
+  rather than queued into unbounded memory,
+- a **per-tenant concurrency quota** (:class:`TenantQuota`
+  ``max_concurrent``): one tenant cannot monopolize the run queue,
+- a **per-tenant draw budget** — a token bucket refilled at
+  ``draws_per_second`` up to ``burst`` draws; a query whose estimated
+  draw count exceeds the tenant's remaining tokens is shed with
+  :class:`BudgetExhausted` carrying the exact ``retry_after`` at which
+  the bucket will cover it.
+
+Both shed errors carry ``retry_after`` (seconds) so well-behaved
+clients back off instead of hammering; HTTP callers receive it as a
+``Retry-After`` header (see :mod:`repro.service.server`).
+
+Every shed, the queue-depth high-water mark, and drain durations are
+recorded in the :mod:`repro.diagnostics` overload registry so
+``ocqa status`` can show what the gate did and why.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "AdmissionController",
+    "BudgetExhausted",
+    "Overloaded",
+    "RetriableServiceError",
+    "TenantQuota",
+]
+
+
+class RetriableServiceError(RuntimeError):
+    """Base class for typed, retriable service rejections.
+
+    ``retry_after`` is the suggested back-off in seconds; ``reason`` is
+    a stable machine-readable tag (also the diagnostics shed key).
+    """
+
+    def __init__(
+        self, message: str, *, reason: str, retry_after: float = 1.0
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        self.retriable = True
+
+
+class Overloaded(RetriableServiceError):
+    """The service shed this query to protect itself under load."""
+
+
+class BudgetExhausted(RetriableServiceError):
+    """The tenant's draw budget cannot cover this query right now."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_concurrent`` bounds queries a tenant may run at once.
+    ``draws_per_second`` refills the tenant's draw token bucket, which
+    holds at most ``burst`` tokens; ``None`` disables the draw budget
+    for the tenant (concurrency is still enforced).
+    """
+
+    max_concurrent: int = 4
+    draws_per_second: Optional[float] = None
+    burst: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        if self.draws_per_second is not None and self.draws_per_second <= 0:
+            raise ValueError("draws_per_second must be positive")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError("burst must be positive")
+
+    @property
+    def bucket_size(self) -> Optional[float]:
+        if self.draws_per_second is None:
+            return None
+        return self.burst if self.burst is not None else self.draws_per_second
+
+
+class _TokenBucket:
+    """A draw-budget token bucket (monotonic-clock refill)."""
+
+    __slots__ = ("rate", "size", "tokens", "updated")
+
+    def __init__(self, rate: float, size: float) -> None:
+        self.rate = rate
+        self.size = size
+        self.tokens = size
+        self.updated = time.monotonic()
+
+    def _refill(self) -> None:
+        now = time.monotonic()
+        self.tokens = min(self.size, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+
+    def take(self, amount: float) -> Optional[float]:
+        """Consume *amount* tokens; on deficit return the wait in seconds."""
+        self._refill()
+        if amount <= self.tokens:
+            self.tokens -= amount
+            return None
+        return (amount - self.tokens) / self.rate
+
+
+class AdmissionTicket:
+    """Handle for one admitted query; release exactly once."""
+
+    __slots__ = ("_controller", "_tenant", "_released")
+
+    def __init__(self, controller: "AdmissionController", tenant: str) -> None:
+        self._controller = controller
+        self._tenant = tenant
+        self._released = False
+
+    @property
+    def tenant(self) -> str:
+        return self._tenant
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release(self._tenant)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """The bounded front door to the coordinator/worker fleet.
+
+    Thread-safe; one instance guards one service process.  ``admit``
+    either returns an :class:`AdmissionTicket` (use it as a context
+    manager) or raises a typed shed error — it never blocks longer
+    than ``max_wait`` seconds.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = 8,
+        max_queue_depth: int = 16,
+        max_wait: float = 5.0,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+    ) -> None:
+        if max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue_depth = max_queue_depth
+        self.max_wait = max_wait
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self._lock = threading.Lock()
+        self._slots = threading.Condition(self._lock)
+        self._running = 0
+        self._queued = 0
+        self._tenant_running: Dict[str, int] = {}
+        self._buckets: Dict[str, _TokenBucket] = {}
+
+    # -- internals ---------------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _bucket_for(self, tenant: str, quota: TenantQuota) -> Optional[_TokenBucket]:
+        if quota.draws_per_second is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = _TokenBucket(quota.draws_per_second, float(quota.bucket_size or 0))
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _shed(self, exc: RetriableServiceError) -> RetriableServiceError:
+        from repro.diagnostics import record_shed
+
+        record_shed(exc.reason)
+        return exc
+
+    # -- public API --------------------------------------------------
+
+    def admit(self, tenant: str = "default", *, draws: int = 0) -> AdmissionTicket:
+        """Admit one query for *tenant* expecting roughly *draws* draws.
+
+        Raises :class:`Overloaded` (queue full / tenant concurrency /
+        wait timeout) or :class:`BudgetExhausted` (draw budget) instead
+        of queuing without bound.  The returned ticket must be released
+        (use ``with``) when the query finishes, successfully or not.
+        """
+        from repro.diagnostics import record_queue_depth
+
+        quota = self.quota_for(tenant)
+        deadline = time.monotonic() + self.max_wait
+        with self._slots:
+            if self._tenant_running.get(tenant, 0) >= quota.max_concurrent:
+                raise self._shed(
+                    Overloaded(
+                        f"tenant {tenant!r} already runs "
+                        f"{quota.max_concurrent} concurrent queries",
+                        reason="tenant_concurrency",
+                        retry_after=1.0,
+                    )
+                )
+            bucket = self._bucket_for(tenant, quota)
+            if bucket is not None and draws > 0:
+                wait = bucket.take(float(draws))
+                if wait is not None:
+                    raise self._shed(
+                        BudgetExhausted(
+                            f"tenant {tenant!r} draw budget covers this "
+                            f"query in {wait:.2f}s",
+                            reason="draw_budget",
+                            retry_after=wait,
+                        )
+                    )
+            if self._running >= self.max_concurrent:
+                if self._queued >= self.max_queue_depth:
+                    raise self._shed(
+                        Overloaded(
+                            f"run queue full ({self._queued} queued, "
+                            f"{self._running} running)",
+                            reason="queue_full",
+                            retry_after=self.max_wait,
+                        )
+                    )
+                self._queued += 1
+                record_queue_depth(self._queued)
+                try:
+                    from repro.distributed.chaos import failpoint
+
+                    failpoint("service.queue_flood")
+                    while self._running >= self.max_concurrent:
+                        budget = deadline - time.monotonic()
+                        if budget <= 0:
+                            raise self._shed(
+                                Overloaded(
+                                    f"no run slot freed within "
+                                    f"{self.max_wait:.1f}s",
+                                    reason="queue_timeout",
+                                    retry_after=self.max_wait,
+                                )
+                            )
+                        self._slots.wait(budget)
+                finally:
+                    self._queued -= 1
+            self._running += 1
+            self._tenant_running[tenant] = self._tenant_running.get(tenant, 0) + 1
+        return AdmissionTicket(self, tenant)
+
+    def _release(self, tenant: str) -> None:
+        with self._slots:
+            self._running -= 1
+            count = self._tenant_running.get(tenant, 1) - 1
+            if count <= 0:
+                self._tenant_running.pop(tenant, None)
+            else:
+                self._tenant_running[tenant] = count
+            self._slots.notify_all()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current occupancy for status reporting."""
+        with self._lock:
+            return {
+                "running": self._running,
+                "queued": self._queued,
+                "max_concurrent": self.max_concurrent,
+                "max_queue_depth": self.max_queue_depth,
+                "tenants": dict(self._tenant_running),
+            }

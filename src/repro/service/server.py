@@ -1,0 +1,563 @@
+"""The persistent multi-tenant CQA query service (``ocqa serve``).
+
+A thread-pool HTTP/JSON front end over the sampling machinery: clients
+POST CP(t)/OCA queries to ``/query`` and the service multiplexes them
+onto the coordinator/worker fleet — worker processes already serve many
+campaigns concurrently (each coordinator connection carries its own
+campaign tag), so one long-lived fleet absorbs every tenant's load.
+
+Three overload rails stand between a request and the samplers:
+
+- :class:`~repro.service.admission.AdmissionController` — a bounded run
+  queue with per-tenant concurrency and draw-budget quotas.  A request
+  the service cannot take *now* is **shed**, not queued forever: the
+  client gets HTTP 429 with a ``Retry-After`` header and a typed,
+  retriable error body (``Overloaded`` / ``BudgetExhausted``).
+- :class:`~repro.service.deadline.Deadline` — every admitted query
+  carries a wall-clock budget that propagates end-to-end (service ->
+  coordinator -> wire frames -> worker shard executor).  A query that
+  cannot finish in time returns a *best-effort* estimate over the draws
+  completed, with the widened ``(eps, delta)`` accounting
+  (``achieved_epsilon``) instead of silently overrunning.
+- **Graceful drain** — on SIGTERM the service stops accepting, answers
+  new queries with a retriable 503, lets admitted queries finish
+  (bounded by ``drain_timeout``), records the drain duration, and exits
+  0.  Paired with the worker-side drain in
+  :mod:`repro.distributed.worker`, a rolling restart of the whole
+  deployment loses no campaign state and changes no estimate.
+
+Failpoints ``service.queue_flood`` (inside the admission wait) and
+``service.slow_consumer`` (in the response write path) hook the chaos
+harness into the service layer; see :mod:`repro.distributed.chaos`.
+
+Deployment note: the *service* speaks JSON over HTTP and is safe to
+front with ordinary ingress, but the coordinator<->worker protocol
+behind it still ships pickled campaign contexts — keep worker ports on
+trusted networks only (see the README's "Failure semantics").
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import random
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.admission import (
+    AdmissionController,
+    RetriableServiceError,
+    TenantQuota,
+)
+from repro.service.deadline import Deadline
+
+log = logging.getLogger(__name__)
+
+#: Wall-clock budget for queries that do not send their own.
+DEFAULT_QUERY_DEADLINE = 30.0
+
+
+class ServiceUnavailable(RetriableServiceError):
+    """The service is draining; retry against a healthy replica."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message, reason="draining", retry_after=retry_after)
+
+
+def _bad_request(message: str) -> Tuple[int, Dict[str, Any]]:
+    return 400, {"ok": False, "error": message, "retriable": False}
+
+
+class QueryService:
+    """The query front end: admission, deadlines, drain — then sampling.
+
+    *worker_addresses* / *workers* describe the sampling fleet every
+    admitted query is sharded onto (empty means serial, in-process
+    sampling — still admission-controlled and deadline-bounded).
+    Request handling lives in :meth:`handle_query` so tests can drive
+    the full admission/deadline/shedding logic without a socket.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        admission: Optional[AdmissionController] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        worker_addresses: Sequence[str] = (),
+        workers: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
+        compress: Optional[bool] = None,
+        default_deadline: float = DEFAULT_QUERY_DEADLINE,
+        max_deadline: float = 300.0,
+        drain_timeout: float = 30.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        if max_deadline < default_deadline:
+            raise ValueError(
+                f"max_deadline ({max_deadline}) must be >= default_deadline "
+                f"({default_deadline})"
+            )
+        if drain_timeout <= 0:
+            raise ValueError(f"drain_timeout must be positive, got {drain_timeout}")
+        self.admission = admission or AdmissionController(quotas=quotas)
+        self.worker_addresses = tuple(worker_addresses)
+        self.workers = workers
+        self.lease_timeout = lease_timeout
+        self.compress = compress
+        self.default_deadline = default_deadline
+        self.max_deadline = max_deadline
+        self.drain_timeout = drain_timeout
+        self.name = name or "ocqa-service"
+        self.queries_served = 0
+        self.started_at = time.monotonic()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._active_cond = threading.Condition()
+        self._active_requests = 0
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._host, self._port = host, int(port)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        """Bind and serve in a background thread (port 0 picks a port)."""
+        service = self
+
+        class _Handler(_ServiceHandler):
+            pass
+
+        _Handler.service = service
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            daemon=True,
+            name=f"{self.name}-http",
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("service not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def request_drain(self) -> None:
+        """Start a graceful drain (idempotent, signal-handler safe)."""
+        self._draining.set()
+
+    def drain(self) -> float:
+        """Drain and stop: refuse new queries, finish admitted ones.
+
+        Blocks until in-flight requests hit zero or *drain_timeout*
+        elapses; returns the drain duration (recorded via
+        :func:`repro.diagnostics.record_drain` either way).
+        """
+        self.request_drain()
+        started = time.monotonic()
+        deadline = started + self.drain_timeout
+        with self._active_cond:
+            while self._active_requests > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    log.warning(
+                        "%s: drain timed out with %d request(s) in flight",
+                        self.name,
+                        self._active_requests,
+                    )
+                    break
+                self._active_cond.wait(timeout=min(remaining, 0.2))
+        duration = time.monotonic() - started
+        from repro.diagnostics import record_drain
+
+        record_drain(duration)
+        self._drained.set()
+        self.close()
+        return duration
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until a requested drain completes (for ``serve_service``)."""
+        return self._drained.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle_query(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Admit, run, and answer one query; returns ``(status, body)``.
+
+        Typed refusals: 503 + ``draining`` while draining, 429 +
+        ``reason``/``retry_after`` for admission sheds — both marked
+        ``retriable`` so clients back off and retry instead of failing.
+        """
+        if self._draining.is_set():
+            exc = ServiceUnavailable(f"{self.name} is draining")
+            return 503, self._refusal_body(exc)
+        try:
+            request = _QueryRequest.parse(payload, self)
+        except ValueError as exc:
+            return _bad_request(str(exc))
+        try:
+            ticket = self.admission.admit(request.tenant, draws=request.planned_draws)
+        except RetriableServiceError as exc:
+            return 429, self._refusal_body(exc)
+        try:
+            with ticket:
+                body = self._run_admitted(request)
+            self.queries_served += 1
+            return 200, body
+        except ValueError as exc:
+            return _bad_request(str(exc))
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            log.exception("%s: query failed", self.name)
+            return 500, {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "retriable": False,
+            }
+
+    @staticmethod
+    def _refusal_body(exc: RetriableServiceError) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "error": str(exc),
+            "reason": exc.reason,
+            "retriable": True,
+            "retry_after": exc.retry_after,
+            "draining": exc.reason == "draining",
+        }
+
+    def _run_admitted(self, request: "_QueryRequest") -> Dict[str, Any]:
+        """Run one admitted query against a fresh sampler + coordinator.
+
+        Each query gets its own coordinator (dispatch is single-threaded
+        per coordinator); the *workers* behind it are shared — their
+        servers multiplex campaigns per connection — which is what makes
+        concurrent tenants cheap.
+        """
+        from repro.db.schema import Schema
+        from repro.distributed import Coordinator
+        from repro.sql import ConstraintRepairSampler, create_backend
+
+        deadline = Deadline.after(request.deadline_seconds)
+        started = time.monotonic()
+        coordinator = Coordinator.from_options(
+            workers=self.workers,
+            worker_addresses=self.worker_addresses,
+            compress=self.compress,
+            **({"lease_timeout": self.lease_timeout}
+               if self.lease_timeout is not None else {}),
+        )
+        try:
+            schema = Schema.infer(request.database).extend(
+                request.constraints.schema()
+            )
+            with create_backend("sqlite") as backend:
+                backend.load(request.database, schema)
+                sampler = ConstraintRepairSampler(
+                    backend,
+                    schema,
+                    request.constraints,
+                    rng=random.Random(request.seed),
+                    adaptive=request.adaptive,
+                    coordinator=coordinator,
+                )
+                report = sampler.run(
+                    request.query,
+                    runs=request.runs,
+                    epsilon=request.epsilon,
+                    delta=request.delta,
+                    deadline=deadline,
+                )
+        finally:
+            if coordinator is not None:
+                coordinator.close()
+        frequencies: List[List[Any]] = [
+            [[str(term) for term in candidate], frequency]
+            for candidate, frequency in report.items()
+        ]
+        return {
+            "ok": True,
+            "tenant": request.tenant,
+            "frequencies": frequencies,
+            "runs": report.runs,
+            "epsilon": request.epsilon,
+            "delta": request.delta,
+            "adaptive": report.adaptive,
+            "stopped_early": report.stopped_early,
+            "deadline_expired": report.deadline_expired,
+            "achieved_epsilon": report.achieved_epsilon,
+            "elapsed_seconds": round(time.monotonic() - started, 6),
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/status`` body: admission occupancy + overload counters."""
+        from repro.diagnostics import aggregated_overload_stats
+
+        return {
+            "name": self.name,
+            "draining": self.draining,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "queries_served": self.queries_served,
+            "admission": self.admission.snapshot(),
+            "overload": aggregated_overload_stats(),
+            "workers": list(self.worker_addresses),
+            "local_pool": self.workers or 0,
+        }
+
+    # ------------------------------------------------------------------
+    # In-flight accounting (for drain)
+    # ------------------------------------------------------------------
+    def _enter_request(self) -> None:
+        with self._active_cond:
+            self._active_requests += 1
+
+    def _exit_request(self) -> None:
+        with self._active_cond:
+            self._active_requests -= 1
+            self._active_cond.notify_all()
+
+
+class _QueryRequest:
+    """A validated ``/query`` payload."""
+
+    __slots__ = (
+        "tenant",
+        "database",
+        "constraints",
+        "query",
+        "epsilon",
+        "delta",
+        "runs",
+        "adaptive",
+        "seed",
+        "deadline_seconds",
+        "planned_draws",
+    )
+
+    @classmethod
+    def parse(cls, payload: Dict[str, Any], service: QueryService) -> "_QueryRequest":
+        from repro.analysis.hoeffding import sample_size
+        from repro.constraints import ConstraintSet
+        from repro.constraints.parser import parse_constraints
+        from repro.io import database_from_json
+        from repro.queries.parser import parse_query
+
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        self = cls()
+        self.tenant = str(payload.get("tenant", "default"))
+        for field in ("database", "constraints", "query"):
+            if field not in payload:
+                raise ValueError(f"missing required field {field!r}")
+        database = payload["database"]
+        if isinstance(database, str):
+            self.database = database_from_json(database)
+        elif isinstance(database, dict):
+            self.database = database_from_json(json.dumps(database))
+        else:
+            raise ValueError(
+                "'database' must be a {relation: [rows]} object or its "
+                "JSON string"
+            )
+        constraints = payload["constraints"]
+        if isinstance(constraints, list):
+            constraints = "\n".join(constraints)
+        if not isinstance(constraints, str):
+            raise ValueError(
+                "'constraints' must be constraint text (string or list "
+                "of lines)"
+            )
+        self.constraints = ConstraintSet(parse_constraints(constraints))
+        self.query = parse_query(str(payload["query"]))
+        self.epsilon = float(payload.get("epsilon", 0.1))
+        self.delta = float(payload.get("delta", 0.1))
+        if not 0 < self.epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if not 0 < self.delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        runs = payload.get("runs")
+        self.runs = None if runs is None else int(runs)
+        if self.runs is not None and self.runs < 1:
+            raise ValueError(f"runs must be positive, got {self.runs}")
+        self.adaptive = bool(payload.get("adaptive", False))
+        seed = payload.get("seed")
+        self.seed = None if seed is None else int(seed)
+        deadline = payload.get("deadline", service.default_deadline)
+        deadline = float(deadline)
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive seconds, got {deadline}")
+        self.deadline_seconds = min(deadline, service.max_deadline)
+        #: The draw budget this query asks the admission controller for:
+        #: the explicit run count, or the Hoeffding count implied by
+        #: ``(epsilon, delta)`` — the worst case, since adaptive
+        #: campaigns never exceed it.
+        self.planned_draws = (
+            self.runs
+            if self.runs is not None
+            else sample_size(self.epsilon, self.delta)
+        )
+        return self
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Thin HTTP shim over :meth:`QueryService.handle_query`."""
+
+    service: QueryService
+    protocol_version = "HTTP/1.1"
+
+    #: Cap request bodies (a whole database rides in one) at 64 MiB —
+    #: a memory-pressure guard, not a protocol limit.
+    MAX_BODY = 64 * 1024 * 1024
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path != "/query":
+            self._respond(404, {"ok": False, "error": f"no such path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._respond(400, {"ok": False, "error": "bad Content-Length"})
+            return
+        if length <= 0 or length > self.MAX_BODY:
+            self._respond(
+                413 if length > self.MAX_BODY else 400,
+                {"ok": False, "error": f"unacceptable body length {length}"},
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._respond(400, {"ok": False, "error": f"bad JSON body: {exc}"})
+            return
+        self.service._enter_request()
+        try:
+            status, body = self.service.handle_query(payload)
+        finally:
+            self.service._exit_request()
+        self._respond(status, body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/status":
+            self._respond(200, self.service.status())
+        elif self.path == "/healthz":
+            self._respond(
+                503 if self.service.draining else 200,
+                {"ok": not self.service.draining,
+                 "draining": self.service.draining},
+            )
+        else:
+            self._respond(404, {"ok": False, "error": f"no such path {self.path}"})
+
+    def _respond(self, status: int, body: Dict[str, Any]) -> None:
+        from repro.distributed.chaos import failpoint
+
+        encoded = json.dumps(body).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(encoded)))
+            retry_after = body.get("retry_after")
+            if status in (429, 503) and retry_after:
+                self.send_header("Retry-After", str(max(1, int(retry_after + 0.5))))
+            self.end_headers()
+            # A slow/stuck client connection must not wedge the service:
+            # the chaos harness arms this site (action=sleepN) to prove
+            # other requests keep flowing while one response stalls.
+            failpoint("service.slow_consumer")
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):
+            log.debug("client went away mid-response")
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        log.debug("%s %s", self.address_string(), format % args)
+
+
+def serve_service(service: QueryService, announce: bool = True) -> int:
+    """Run *service* until SIGTERM/SIGINT triggers a graceful drain.
+
+    The ``ocqa serve`` driver: installs signal handlers routing into the
+    drain path, blocks, and returns 0 after a clean drain — the process
+    exit the supervisor/rolling-restart machinery relies on.
+    """
+    import signal
+
+    service.start()
+
+    def _drain_signal(_signum: int, _frame: Any) -> None:
+        service.request_drain()
+
+    previous = {}
+    try:
+        # Handlers go in BEFORE the announce line: anything supervising
+        # the service treats the announce as "ready" and may SIGTERM at
+        # any moment after it.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _drain_signal)
+            except ValueError:  # pragma: no cover - non-main thread
+                break
+        if announce:
+            host, port = service.address
+            print(
+                f"repro query service {service.name} listening on "
+                f"{host}:{port}",
+                flush=True,
+            )
+        while not service.draining:
+            time.sleep(0.2)
+        duration = service.drain()
+        if announce:
+            print(
+                f"repro query service {service.name} drained in "
+                f"{duration:.2f}s",
+                flush=True,
+            )
+    except KeyboardInterrupt:  # pragma: no cover - belt and braces
+        service.drain()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        service.close()
+    return 0
+
+
+__all__ = [
+    "DEFAULT_QUERY_DEADLINE",
+    "QueryService",
+    "ServiceUnavailable",
+    "serve_service",
+]

@@ -121,6 +121,13 @@ class SamplingReport:
     #: fixed Hoeffding count (``runs`` then reports the draws taken).
     adaptive: bool = False
     stopped_early: bool = False
+    #: The campaign's deadline expired mid-run: the report is a
+    #: best-effort estimate over the draws completed in time, and
+    #: ``achieved_epsilon`` is the (wider) accuracy those draws certify
+    #: at the requested delta (see
+    #: :func:`repro.analysis.bernstein.widened_epsilon`).
+    deadline_expired: bool = False
+    achieved_epsilon: Optional[float] = None
 
     def cp(self, candidate: Tuple[Term, ...]) -> float:
         """Estimated ``CP(t)`` (0.0 for unseen tuples)."""
@@ -329,6 +336,7 @@ class BaseCampaignSampler:
         adaptive: Optional[bool] = None,
         max_draws: Optional[int] = None,
         target: Optional[Tuple[Term, ...]] = None,
+        deadline=None,
     ) -> SamplingReport:
         """Estimate ``CP`` for every observed tuple over ``runs`` repairs.
 
@@ -352,6 +360,14 @@ class BaseCampaignSampler:
         the workers and the merged outcome stream — hence every tally,
         adaptive stop, and checkpoint — is byte-identical to the
         serial run, regardless of worker count or mid-shard deaths.
+
+        A *deadline* (:class:`repro.service.deadline.Deadline`)
+        propagates into the coordinator and over the wire to workers;
+        on expiry the campaign stops where it is and the report comes
+        back with ``deadline_expired=True`` and the widened
+        ``achieved_epsilon`` the completed draws certify — re-running
+        the same campaign (same seed, same checkpoint) resumes exactly
+        where the deadline cut it off.
         """
         compiled = self.compile(query)
         if self.coordinator is not None:
@@ -359,11 +375,15 @@ class BaseCampaignSampler:
 
             def draw(batch: int):
                 start = self.campaign.claim_draws(batch)
-                return self.coordinator.run_range(context, start, batch)
+                return self.coordinator.run_range(
+                    context, start, batch, deadline=deadline
+                )
 
         else:
 
             def draw(batch: int):
+                if deadline is not None:
+                    deadline.check("serial draw batch")
                 return self._draw_answer_sets(compiled, batch)
 
         result = self.campaign.estimate(
@@ -375,6 +395,7 @@ class BaseCampaignSampler:
             max_draws=max_draws,
             estimation_key=campaign_fingerprint(compiled.sql, compiled.parameters),
             stop_target=tuple(target) if target is not None else None,
+            deadline=deadline,
         )
         return SamplingReport(
             frequencies=result.frequencies,
@@ -383,6 +404,8 @@ class BaseCampaignSampler:
             delta=delta,
             adaptive=result.adaptive,
             stopped_early=result.stopped_early,
+            deadline_expired=result.deadline_expired,
+            achieved_epsilon=result.achieved_epsilon,
         )
 
     def sample_repair(self) -> Database:

@@ -233,8 +233,12 @@ class _SlowInline(InlineTransport):
         super().__init__(name)
         self.delay = delay
 
-    def run_shard(self, context, shard_id, start, count, timeout=None):
-        result = super().run_shard(context, shard_id, start, count, timeout)
+    def run_shard(
+        self, context, shard_id, start, count, timeout=None, deadline=None
+    ):
+        result = super().run_shard(
+            context, shard_id, start, count, timeout, deadline=deadline
+        )
         time.sleep(self.delay)
         return result
 

@@ -9,9 +9,20 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
 
-from check_regression import GATED_KEYS, gate, main  # noqa: E402
+from check_regression import (  # noqa: E402
+    ABSOLUTE_CAPS,
+    GATED_KEYS,
+    gate,
+    main,
+)
 
-BASELINE = {key: 0.020 for key in GATED_KEYS}
+TIMED_KEYS = tuple(key for key in GATED_KEYS if key not in ABSOLUTE_CAPS)
+
+# Wall clocks at 20 ms; the dimensionless overhead fraction well under
+# its 0.05 cap so machine-speed multipliers in the tests below never
+# trip the absolute gate by accident.
+BASELINE = {key: 0.020 for key in TIMED_KEYS}
+BASELINE["scenario_admission_overhead"] = 0.01
 
 
 class TestGate:
@@ -47,7 +58,38 @@ class TestGate:
     def test_absolute_mode_flags_uniform_slowdown(self):
         report = {key: value * 2 for key, value in BASELINE.items()}
         failures = gate(BASELINE, report, normalize=False)
-        assert len(failures) == len(GATED_KEYS)
+        # Every timed key fails; the doubled fraction (0.02) is still
+        # under its absolute cap.
+        assert len(failures) == len(TIMED_KEYS)
+
+    def test_fraction_over_absolute_cap_fails(self):
+        report = dict(BASELINE)
+        report["scenario_admission_overhead"] = 0.06
+        failures = gate(BASELINE, report)
+        assert len(failures) == 1
+        assert "exceeds the absolute cap" in failures[0]
+        assert "scenario_admission_overhead" in failures[0]
+
+    def test_fraction_under_absolute_cap_passes(self):
+        report = dict(BASELINE)
+        report["scenario_admission_overhead"] = 0.04
+        assert gate(BASELINE, report) == []
+
+    def test_fraction_never_enters_normalization(self):
+        # A wildly regressed fraction must not drag the median machine
+        # factor: the timed keys still gate against each other.
+        report = dict(BASELINE)
+        report["scenario_admission_overhead"] = 0.06
+        report["e10_sample_walks_groups_4"] *= 2.0
+        failures = gate(BASELINE, report)
+        assert len(failures) == 2
+        assert any("absolute cap" in f for f in failures)
+        assert any("e10_sample_walks_groups_4" in f for f in failures)
+
+    def test_missing_fraction_key_is_not_a_cap_failure(self):
+        report = dict(BASELINE)
+        del report["scenario_admission_overhead"]
+        assert gate(BASELINE, report) == []
 
     def test_missing_keys_are_reported(self):
         failures = gate({}, dict(BASELINE))

@@ -119,6 +119,28 @@ class TestFailpoints:
         with pytest.raises(ValueError, match="action"):
             parse_failpoints("a=explode")
 
+    def test_parse_sleep_actions(self):
+        points = parse_failpoints("a=sleep, b:2=sleep0.5")
+        assert points["a"].action == "sleep"
+        assert points["b"].hit == 2 and points["b"].action == "sleep0.5"
+
+    def test_parse_rejects_nonpositive_sleep(self):
+        with pytest.raises(ValueError, match="action"):
+            parse_failpoints("a=sleep0")
+        with pytest.raises(ValueError, match="action"):
+            parse_failpoints("a=sleep-1")
+
+    def test_sleep_action_stalls_then_continues(self):
+        set_failpoint("stall", action="sleep0.05")
+        started = time.monotonic()
+        failpoint("stall")  # stalls — but does not raise
+        assert time.monotonic() - started >= 0.05
+        assert failpoint_fired("stall")
+        # Subsequent hits pass straight through (one-shot, like raise).
+        started = time.monotonic()
+        failpoint("stall")
+        assert time.monotonic() - started < 0.05
+
 
 class _FlakyTransport(WorkerTransport):
     """Dies on its first shard, answers reconnect, then computes via an
@@ -137,12 +159,14 @@ class _FlakyTransport(WorkerTransport):
     def ensure_context(self, context, timeout=None):
         self.inner.ensure_context(context)
 
-    def run_shard(self, context, shard_id, start, count, timeout=None):
+    def run_shard(self, context, shard_id, start, count, timeout=None,
+                  deadline=None):
         if self.failures_left > 0:
             self.failures_left -= 1
             self.alive = False
             raise WorkerUnavailable(f"{self.name} flapped")
-        return self.inner.run_shard(context, shard_id, start, count)
+        return self.inner.run_shard(context, shard_id, start, count,
+                                    deadline=deadline)
 
     def reconnect(self):
         self.reconnect_calls += 1
@@ -224,6 +248,60 @@ class TestCoordinatorReconnect:
         report = coordinator.degradation_report()
         assert any("abandoned" in event for event in report["events"])
         assert report["inline_fallback"]
+
+    def test_budget_exhaustion_steps_ladder_exactly_once(self):
+        """Exhausting one worker's retry budget mid-reconnect abandons it
+        exactly once — the fleet steps down one rung (to the surviving
+        worker), not two (to inline), and the report records one event."""
+        context = _chain_context()
+        serial = InlineTransport().run_shard(context, 0, 0, 40)[0]
+
+        class _DeadForever(_FlakyTransport):
+            def __init__(self):
+                super().__init__(name="dead")
+                self.failures_left = 10**9
+
+            def reconnect(self):
+                self.reconnect_calls += 1
+                return False
+
+        class _SlowInline(InlineTransport):
+            # Slow enough that the table outlives the dead worker's
+            # whole backoff schedule (so the budget truly exhausts
+            # instead of short-circuiting on table completion).
+            def run_shard(self, context, shard_id, start, count,
+                          timeout=None, deadline=None):
+                time.sleep(0.08)
+                return super().run_shard(context, shard_id, start, count,
+                                         timeout=timeout, deadline=deadline)
+
+        dead = _DeadForever()
+        healthy = _SlowInline(name="healthy")
+        coordinator = Coordinator(
+            [dead, healthy],
+            shard_size=10,
+            fallback_inline=True,
+            speculate=False,
+            reconnect=ReconnectPolicy(retry_budget=3, base_delay=0.01),
+        )
+        try:
+            outcomes = coordinator.run_range(context, 0, 40)
+        finally:
+            coordinator.close()
+        assert outcomes == serial
+        # The budget was spent fully, once — not re-entered per shard.
+        assert dead.reconnect_calls == 3
+        report = coordinator.degradation_report()
+        abandons = [e for e in report["events"] if "abandoned" in e]
+        assert len(abandons) == 1
+        assert "3 reconnect attempt(s)" in abandons[0]
+        # One rung down: the healthy worker absorbed the load; the
+        # second rung (inline fallback) was never needed.
+        assert not report["inline_fallback"]
+        dead_report = next(
+            w for w in report["workers"] if w["name"] == "dead"
+        )
+        assert not dead_report["alive"]
 
 
 class TestChaosTransport:

@@ -251,3 +251,110 @@ class TestParser:
                     "bogus",
                 ]
             )
+
+
+class TestTimingFlagValidation:
+    """Satellite: bad --lease-timeout/--context-timeout/--deadline values
+    must die with a clear error instead of a downstream hang."""
+
+    def _sql_sample(self, key_files, *extra):
+        db, sigma = key_files
+        return [
+            "sql-sample", "--db", db, "--constraints", sigma,
+            "--query", "Q(x) :- R(x, y)", "--runs", "10", "--seed", "1",
+            *extra,
+        ]
+
+    @pytest.mark.parametrize(
+        "flag", ["--lease-timeout", "--context-timeout", "--deadline"]
+    )
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_nonpositive_rejected(self, key_files, flag, value):
+        with pytest.raises(SystemExit, match="positive seconds"):
+            main(self._sql_sample(key_files, flag, value))
+
+    def test_deadline_shorter_than_lease_rejected(self, key_files):
+        with pytest.raises(SystemExit, match="shorter than --lease-timeout"):
+            main(
+                self._sql_sample(
+                    key_files, "--deadline", "1", "--lease-timeout", "30"
+                )
+            )
+
+    def test_deadline_alone_clamps_lease(self, capsys, key_files):
+        # With no explicit lease timeout there is nothing to conflict
+        # with: the lease timeout is clamped down to the deadline.
+        code, out = run_cli(
+            capsys, *self._sql_sample(key_files, "--deadline", "30")
+        )
+        assert code == 0
+        assert "~CP" in out
+
+    def test_expired_deadline_prints_best_effort_note(self, capsys, key_files):
+        code, out = run_cli(
+            capsys,
+            *self._sql_sample(key_files, "--deadline", "0.000001", "--runs",
+                              "5000"),
+        )
+        assert code == 0
+        assert "deadline expired" in out
+        assert "achieved epsilon" in out
+
+    def test_sample_subcommand_validates_too(self, key_files):
+        db, sigma = key_files
+        with pytest.raises(SystemExit, match="positive seconds"):
+            main(
+                [
+                    "sample", "--db", db, "--constraints", sigma,
+                    "--query", "Q(x) :- R(x, y)", "--deadline", "0",
+                ]
+            )
+
+
+class TestWorkerFlagValidation:
+    def test_bad_listen_rejected(self):
+        with pytest.raises(SystemExit, match="host:port"):
+            main(["worker", "--listen", "nonsense"])
+
+    def test_negative_max_inflight_rejected(self):
+        with pytest.raises(SystemExit, match="max-inflight"):
+            main(
+                ["worker", "--listen", "127.0.0.1:0", "--max-inflight", "-1"]
+            )
+
+    def test_nonpositive_drain_timeout_rejected(self):
+        with pytest.raises(SystemExit, match="drain-timeout"):
+            main(
+                ["worker", "--listen", "127.0.0.1:0", "--drain-timeout", "0"]
+            )
+
+
+class TestServeFlagValidation:
+    def test_bad_tenant_spec_rejected(self):
+        from repro.cli import _parse_tenant_quota
+
+        for spec in ("", "acme", "acme:zero", ":4", "acme:0", "a:1:2:3:4"):
+            with pytest.raises(SystemExit):
+                _parse_tenant_quota(spec)
+
+    def test_tenant_spec_parses_quota(self):
+        from repro.cli import _parse_tenant_quota
+
+        name, quota = _parse_tenant_quota("acme:4:1000:2000")
+        assert name == "acme"
+        assert quota.max_concurrent == 4
+        assert quota.draws_per_second == 1000.0
+        assert quota.burst == 2000.0
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(SystemExit, match="default-deadline"):
+            main(
+                ["serve", "--listen", "127.0.0.1:0", "--default-deadline", "0"]
+            )
+
+
+class TestStatusCommand:
+    def test_local_status_prints_report(self, capsys):
+        code, out = run_cli(capsys, "status")
+        assert code == 0
+        assert "cache" in out or "report" in out or out.strip()
