@@ -2,7 +2,7 @@
 """Benchmark regression gate: fail CI when a hot path got slower.
 
 Compares a fresh ``run_benchmarks.py --quick`` report against the
-committed per-PR baseline (``BENCH_PR7.json``) and exits non-zero when a
+committed per-PR baseline (``BENCH_PR8.json``) and exits non-zero when a
 gated metric regressed beyond the tolerance band.
 
 Two deliberate design points:
@@ -29,7 +29,7 @@ scale the noise exceeds any signal.
 Usage::
 
     python benchmarks/run_benchmarks.py --quick --output bench-quick.json
-    python benchmarks/check_regression.py --baseline BENCH_PR7.json \
+    python benchmarks/check_regression.py --baseline BENCH_PR8.json \
         --report bench-quick.json [--tolerance 0.25] [--floor-ms 5]
 """
 
@@ -60,6 +60,18 @@ GATED_KEYS = (
     # *fraction*, not a wall clock — gated absolutely (see ABSOLUTE_CAPS),
     # excluded from the median machine-factor normalization.
     "scenario_admission_overhead",
+    # The columnar draw engine (PR 8): both paths of the fixed-size E12
+    # campaign, at both group counts — gating the object keys keeps the
+    # reference path honest, gating the columnar keys keeps the compiled
+    # plan fast.  The 40-group speedup *ratio* additionally carries an
+    # absolute floor (see ABSOLUTE_FLOORS): machine speed divides out of
+    # a same-process ratio, so the floor fires exactly when the fast
+    # path decays toward object speed.
+    "e12_columnar_groups_40_seconds",
+    "e12_object_groups_40_seconds",
+    "e12_columnar_groups_80_seconds",
+    "e12_object_groups_80_seconds",
+    "e12_columnar_groups_40_speedup",
 )
 
 #: Keys in :data:`GATED_KEYS` that are dimensionless fractions with a
@@ -69,6 +81,14 @@ GATED_KEYS = (
 #: committed baseline recorded.
 ABSOLUTE_CAPS = {
     "scenario_admission_overhead": 0.05,
+}
+
+#: The mirror image of :data:`ABSOLUTE_CAPS`: dimensionless ratios that
+#: must stay *above* a hard floor.  The committed full-mode report pins
+#: the columnar engine around 7x; 3.0 leaves head-room for CI-runner
+#: noise while still catching any real decay of the vectorized path.
+ABSOLUTE_FLOORS = {
+    "e12_columnar_groups_40_speedup": 3.0,
 }
 
 DEFAULT_TOLERANCE = 0.25
@@ -103,7 +123,20 @@ def gate(
             failures.append(
                 f"{key}: {value:.4f} exceeds the absolute cap {cap:.2f}"
             )
-    timed_keys = [key for key in keys if key not in ABSOLUTE_CAPS]
+    for key, minimum_ratio in ABSOLUTE_FLOORS.items():
+        if key not in keys:
+            continue
+        value = report.get(key)
+        if value is not None and value < minimum_ratio:
+            failures.append(
+                f"{key}: {value:.2f} is under the absolute floor "
+                f"{minimum_ratio:.2f}"
+            )
+    timed_keys = [
+        key
+        for key in keys
+        if key not in ABSOLUTE_CAPS and key not in ABSOLUTE_FLOORS
+    ]
     comparable = [
         key
         for key in timed_keys
@@ -147,7 +180,7 @@ def main(argv=None) -> int:
         "--baseline",
         type=Path,
         required=True,
-        help="committed benchmark baseline (e.g. BENCH_PR7.json)",
+        help="committed benchmark baseline (e.g. BENCH_PR8.json)",
     )
     parser.add_argument(
         "--report",

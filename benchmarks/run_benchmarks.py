@@ -9,10 +9,10 @@ and ``bench_e11_sql_sampler.py`` (the SQL sampling campaign, per draw,
 in both the legacy fresh-chain-per-draw mode and the incremental
 chain-reusing mode) — first as a pytest pass over the benchmark files
 themselves, then as directly timed scenarios, and writes the results to
-a JSON file (default ``BENCH_PR3.json`` in the repository root) so
+a JSON file (default ``BENCH_PR8.json`` in the repository root) so
 subsequent PRs can compare against this PR's numbers.  When
-``BENCH_PR2.json`` is present its scenario timings are folded in as the
-previous-PR baseline (``speedup_vs_pr2``).
+``BENCH_PR7.json`` is present its scenario timings are folded in as the
+previous-PR baseline (``speedup_vs_pr7``).
 
 PR 3 additions: ``--backend {sqlite,postgres,memory}`` runs the E11
 campaign scenario against the selected pluggable backend (per-backend
@@ -51,6 +51,20 @@ admission+deadline machinery.  ``scenario_admission_overhead`` (the
 guarded/unguarded fraction) is gated *absolutely* at < 5% by
 ``check_regression.py``.
 
+PR 8 additions (always recorded): ``scenario_columnar`` runs one
+fixed-size campaign (identical under ``--quick`` and full runs, so its
+keys are gated) down both draw engines — the compiled columnar plan
+(``REPRO_COLUMNAR`` on) and the object reference loop
+(``REPRO_COLUMNAR=0``) — at two conflict-group counts, asserts the
+estimates identical, and records the per-path wall clocks plus the
+columnar speedup (``e12_columnar_groups_*`` / ``e12_object_groups_*``;
+the speedup at 40 groups carries an absolute floor in
+``check_regression.py``).  Every scenario additionally records the
+process peak RSS high-water mark after it ran (``peak_rss_kb`` in the
+report; ``ru_maxrss`` is process-wide and monotone, so the numbers are
+cumulative maxima — the first scenario to spike shows where memory
+peaked).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
@@ -68,6 +82,11 @@ import subprocess
 import sys
 import time
 from pathlib import Path
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None  # type: ignore[assignment]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -127,6 +146,13 @@ def _timed(fn, repeat: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _peak_rss_kb():
+    """Process peak RSS (kB on Linux), or ``None`` where unsupported."""
+    if resource is None:
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
 def scenario_e1(repeat: int, quick: bool = False) -> dict:
@@ -224,6 +250,81 @@ def scenario_e11(repeat: int, quick: bool = False, backend_name: str = "sqlite")
         out[f"e11_sql_sampler_{label}{suffix}"] = seconds
         out[f"e11_seconds_per_draw_{label}{suffix}"] = seconds / runs
         backend.close()
+    return out
+
+
+def scenario_columnar(repeat: int) -> dict:
+    """Columnar draw engine vs the object reference path (PR 8, E12).
+
+    One fixed-size campaign (identical parameters under ``--quick`` and
+    a full run, so every timing key sits in ``GATED_KEYS``) runs down
+    both draw engines at two conflict-group counts: the compiled
+    columnar plan — MT19937 word columns stepped through walk tables,
+    the production default — and the object reference loop, forced via
+    ``REPRO_COLUMNAR=0`` (read per call, so flipping the variable
+    mid-process switches paths).  The estimates are asserted identical,
+    making this the benchmark-side conformance check between the two
+    paths; the wall-clock ratio is the columnar engine's speedup, and
+    the 40-group ratio carries an absolute floor in the regression gate
+    so the fast path cannot silently decay back to object speed.
+    """
+    import os as _os
+
+    from repro.core import columnar
+
+    if not columnar.numpy_available():  # honest degradation, never fake keys
+        return {}
+    runs = 40
+    query = parse_cq("Q(x) :- R(x, y, z)")
+    out = {}
+    for groups in (40, 80):
+        workload = key_conflict_workload(
+            clean_rows=500, conflict_groups=groups, group_size=3, arity=3, seed=17
+        )
+        frequencies = {}
+        backends = []
+        for label, columnar_on in (("columnar", True), ("object", False)):
+            backend = workload.load_into(create_backend("sqlite"))
+            backends.append(backend)
+            sampler = KeyRepairSampler(
+                backend,
+                workload.schema,
+                [workload.key_spec],
+                policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+                rng=random.Random(5),
+                reuse_chains=True,
+            )
+
+            def run_once(label=label, columnar_on=columnar_on, sampler=sampler):
+                previous = _os.environ.get("REPRO_COLUMNAR")
+                _os.environ["REPRO_COLUMNAR"] = "1" if columnar_on else "0"
+                try:
+                    frequencies[label] = sampler.run(query, runs=runs).frequencies
+                finally:
+                    if previous is None:
+                        _os.environ.pop("REPRO_COLUMNAR", None)
+                    else:
+                        _os.environ["REPRO_COLUMNAR"] = previous
+
+            # One untimed warm pass per path builds the conflict-group
+            # chains and (on the fast path) compiles the draw plan, so
+            # the timed reps measure pure draw throughput — the thing
+            # the two engines actually differ on.  Both samplers then
+            # consume identical draw ranges, so the final frequencies
+            # are comparable draw for draw.
+            run_once()
+            out[f"e12_{label}_groups_{groups}_seconds"] = _timed(run_once, repeat)
+        for backend in backends:
+            backend.close()
+        assert frequencies["columnar"] == frequencies["object"], (
+            "the columnar draw engine changed the estimates"
+        )
+        vectorized = out[f"e12_columnar_groups_{groups}_seconds"]
+        out[f"e12_columnar_groups_{groups}_speedup"] = (
+            round(out[f"e12_object_groups_{groups}_seconds"] / vectorized, 2)
+            if vectorized
+            else None
+        )
     return out
 
 
@@ -772,7 +873,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR7.json",
+        default=REPO_ROOT / "BENCH_PR8.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -814,6 +915,13 @@ def main() -> int:
         args.skip_pytest = True
 
     scenarios = {}
+    peak_rss_kb = {}
+
+    def note_rss(label):
+        value = _peak_rss_kb()
+        if value is not None:
+            peak_rss_kb[label] = value
+
     for label, fn in (
         ("E1", scenario_e1),
         ("E5", scenario_e5),
@@ -821,8 +929,13 @@ def main() -> int:
     ):
         print(f"timing {label} ...", flush=True)
         scenarios.update(fn(args.repeat, args.quick))
+        note_rss(label)
     print(f"timing E11 ({args.backend}) ...", flush=True)
     scenarios.update(scenario_e11(args.repeat, args.quick, args.backend))
+    note_rss("E11")
+    print("timing E12 columnar vs object draw engine ...", flush=True)
+    scenarios.update(scenario_columnar(args.repeat))
+    note_rss("E12_columnar")
 
     if args.workers:
         print(
@@ -830,34 +943,40 @@ def main() -> int:
             flush=True,
         )
         scenarios.update(scenario_workers(args.repeat, args.quick, args.workers))
+        note_rss("E12_local_pool")
 
-    pr6_baseline = _previous_baseline("BENCH_PR6.json")
+    pr7_baseline = _previous_baseline("BENCH_PR7.json")
 
     print("timing E13 outcome-stream compression ...", flush=True)
     outcome_compression = scenario_compression(args.quick)
+    note_rss("E13")
     print("timing E14 speculative straggler re-lease ...", flush=True)
     straggler_relief = scenario_straggler(args.quick)
+    note_rss("E14")
     print("timing E15 chaos-hardening no-fault overhead ...", flush=True)
     scenarios.update(scenario_chaos_overhead(args.repeat))
+    note_rss("E15")
     print("timing admission+deadline no-load overhead ...", flush=True)
     scenarios.update(scenario_admission(args.repeat))
-    speedup_vs_pr6 = {
-        key: round(pr6_baseline[key] / value, 2)
+    note_rss("admission")
+    speedup_vs_pr7 = {
+        key: round(pr7_baseline[key] / value, 2)
         for key, value in scenarios.items()
-        if key in pr6_baseline and value > 0
+        if key in pr7_baseline and value > 0
     }
 
     report = {
-        "pr": 7,
+        "pr": 8,
         "description": (
-            "overload-robust CQA service: admission control with "
-            "per-tenant quotas and draw budgets, end-to-end deadlines "
-            "(service -> coordinator -> negotiated deadline frames -> "
-            "worker shard executor) with widened (eps, delta) "
-            "best-effort accounting, bounded per-connection in-flight "
-            "backpressure, SIGTERM graceful drain for workers and the "
-            "HTTP query service, and a supervisor with health probes "
-            "and rolling restarts"
+            "columnar fact core: dictionary-encoded relation stores and "
+            "numpy edge-membership indexes, vectorized MT19937 draw "
+            "substreams stepped through compiled walk tables "
+            "(byte-identical to the object reference path, which "
+            "REPRO_COLUMNAR=0 preserves), Arrow IPC result/context "
+            "frames behind the negotiated arrow capability with "
+            "bit-identical pickle fallback, Arrow-batch Postgres COPY, "
+            "and a rebalanced compression default "
+            "(REPRO_COMPRESS_LEVEL, level 1, 8 KiB threshold)"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -874,8 +993,9 @@ def main() -> int:
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
-        "pr6_baseline_seconds": pr6_baseline,
-        "speedup_vs_pr6": speedup_vs_pr6,
+        "pr7_baseline_seconds": pr7_baseline,
+        "speedup_vs_pr7": speedup_vs_pr7,
+        "peak_rss_kb": peak_rss_kb,
     }
     if "e11_seconds_per_draw_legacy" in scenarios:
         report["e11_per_draw_speedup"] = round(
@@ -896,11 +1016,20 @@ def main() -> int:
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     for key, value in sorted(scenarios.items()):
-        if key.endswith("_fraction") or key.endswith("_overhead"):
+        if key.endswith(("_fraction", "_overhead", "_speedup")):
             continue  # a ratio, not a wall clock
         print(f"  {key}: {value * 1000:.2f} ms")
     if "e11_per_draw_speedup" in report:
         print(f"  E11 per-draw speedup: {report['e11_per_draw_speedup']}x")
+    if "e12_columnar_groups_40_speedup" in scenarios:
+        print(
+            "  E12 columnar draw engine: "
+            f"{scenarios['e12_object_groups_40_seconds'] * 1000:.0f} ms object "
+            f"vs {scenarios['e12_columnar_groups_40_seconds'] * 1000:.0f} ms "
+            "columnar at 40 groups "
+            f"({scenarios['e12_columnar_groups_40_speedup']}x), "
+            f"{scenarios['e12_columnar_groups_80_speedup']}x at 80"
+        )
     if "worker_pool_overhead" in report:
         overhead = report["worker_pool_overhead"]
         print(

@@ -56,6 +56,16 @@ import os
 import pickle
 import random
 from dataclasses import dataclass
+
+try:
+    from collections import _count_elements  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - CPython always has the C helper
+
+    def _count_elements(counts: Dict, iterable: Iterable) -> None:
+        get = counts.get
+        for element in iterable:
+            counts[element] = get(element, 0) + 1
+
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.bernstein import BernsteinStopper
@@ -427,6 +437,14 @@ class SamplingCampaign:
                 # tallies already taken stay exact.
                 deadline_expired = True
                 break
+            # Tally batching: repeated outcome objects (interned answer
+            # sets from workers, the columnar path's shared clean-answer
+            # frozenset) normalize their tuples once, and the counting
+            # itself runs in C (`collections._count_elements`).  The
+            # memo is per-batch and `pinned` keeps its keys alive, so
+            # the id() keys cannot be recycled mid-batch.
+            prepared_memo: Dict[int, List[Tuple]] = {}
+            pinned = []
             for outcome in outcomes:
                 self.draws_done += 1
                 consumed += 1
@@ -434,10 +452,16 @@ class SamplingCampaign:
                     self.discarded += 1
                     continue
                 self.valid_draws += 1
-                for answer in outcome:
-                    if type(answer) is not tuple:
-                        answer = tuple(answer)
-                    self.counts[answer] = self.counts.get(answer, 0) + 1
+                prepared = prepared_memo.get(id(outcome))
+                if prepared is None:
+                    prepared = [
+                        answer if type(answer) is tuple else tuple(answer)
+                        for answer in outcome
+                    ]
+                    prepared_memo[id(outcome)] = prepared
+                    pinned.append(outcome)
+                _count_elements(self.counts, prepared)
+            del prepared_memo, pinned
             if self.checkpoint_path:
                 self.save_checkpoint()
             if (

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.constraints.base import Constraint, ConstraintSet
+from repro.core import columnar as columnar_module
 from repro.core.localization import LocalizationError, conflict_components
 from repro.core.violations import violations
 from repro.db.facts import Database, Fact
@@ -136,6 +137,11 @@ class CacheReport:
     #: deadline expirations, and graceful-drain durations — how hard the
     #: service is being pushed and what it refused rather than queued.
     overload: Dict[str, object] = field(default_factory=dict)
+    #: Columnar-core counters (see :func:`repro.core.columnar.snapshot_stats`):
+    #: how much work ran on the vectorized array paths (plans compiled,
+    #: draws vectorized vs replayed, edge-index joins) versus the object
+    #: fallbacks — the observability for ``REPRO_COLUMNAR``.
+    columnar: Dict[str, int] = field(default_factory=dict)
 
     @staticmethod
     def _hit_rate(stats: Dict[str, int]) -> float:
@@ -169,6 +175,20 @@ class CacheReport:
                 f"result payloads {raw} B raw -> {wire} B shipped "
                 f"({ratio} compression, "
                 f"{self.transport.get('compressed_frames', 0)} compressed frame(s))"
+            )
+        if self.columnar:
+            drawn = self.columnar.get("draws_vectorized", 0)
+            replayed = self.columnar.get("draws_replayed", 0)
+            lines.append(
+                "columnar: "
+                f"{self.columnar.get('plans_compiled', 0)} plan(s), "
+                f"{self.columnar.get('walk_tables_compiled', 0)} walk table(s), "
+                f"{drawn} draw(s) vectorized / {replayed} replayed, "
+                f"{self.columnar.get('rows_encoded', 0)} row(s) encoded "
+                f"({self.columnar.get('dictionary_terms', 0)} dictionary "
+                f"term(s)), {self.columnar.get('vector_joins', 0)} vector "
+                f"join(s), {self.columnar.get('edge_index_builds', 0)} edge "
+                "index(es)"
             )
         if self.faults:
             counts = ", ".join(
@@ -429,6 +449,7 @@ def cache_report(source=None) -> CacheReport:
         transport=aggregated_transport_stats(),
         faults=aggregated_fault_stats(),
         overload=aggregated_overload_stats(),
+        columnar=columnar_module.snapshot_stats(),
     )
 
 

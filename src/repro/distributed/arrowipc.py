@@ -1,0 +1,306 @@
+"""Arrow IPC payload encoding for the worker protocol (optional).
+
+The ``"arrow"`` capability (:mod:`repro.distributed.protocol`) lets two
+peers that both have ``pyarrow`` installed ship the protocol's bulk
+payloads as Arrow IPC streams instead of pickle blobs.  The win is the
+same one :mod:`repro.core.columnar` exploits in-process: the payloads
+are *columnar at heart* — an interned outcome table is rows of
+same-arity answer tuples, a shard context is dominated by its fact
+tuples — so a record batch with dictionary-encoded term columns ships
+them without pickle's per-object framing, and a receiving process can
+map them without materializing a Python object per cell first.
+
+Three payload shapes are encodable; everything else returns ``None``
+from :func:`encode_payload` and rides the pickle path unchanged:
+
+- a worker ``result`` body ``{"outcomes_interned": ..., "cache_stats":
+  ...}`` whose interned table holds frozensets of uniform-arity,
+  all-string answer tuples and whose cache counters are JSON-safe;
+- a bare interned-outcomes dict (``{"table": ..., "codes": ...}``);
+- a :class:`~repro.distributed.worker.ShardContext` whose facts carry
+  only string terms — the facts become the record batch, the residual
+  payload (schema, constraints, query, seed) rides the stream metadata.
+
+Encoding is strictly best-effort and *lossless where it applies*: a
+payload either round-trips to an equal value (asserted by the property
+suite) or is refused up front.  The capability is only advertised when
+:func:`available` is true, so a peer never receives an ``"enc":
+"arrow"`` frame it cannot decode.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised via the availability gate
+    import pyarrow as _pa
+    import pyarrow.ipc as _pa_ipc
+except ImportError:  # pragma: no cover
+    _pa = None  # type: ignore[assignment]
+    _pa_ipc = None  # type: ignore[assignment]
+
+#: Key under which the JSON envelope rides the IPC schema metadata.
+_META_KEY = b"repro_envelope"
+
+
+def available() -> bool:
+    """Whether this build can speak the ``"arrow"`` capability."""
+    return _pa is not None
+
+
+# ----------------------------------------------------------------------
+# JSON-safety gate (metadata must round-trip value-faithfully)
+# ----------------------------------------------------------------------
+
+def _json_safe(value: Any) -> bool:
+    """Whether *value* survives a JSON round trip unchanged (same types,
+    same values).  Tuples are rejected — they would come back as lists."""
+    if value is None or isinstance(value, (str, bool)):
+        return True
+    if isinstance(value, int):
+        return True
+    if isinstance(value, float):
+        return math.isfinite(value)
+    if isinstance(value, list):
+        return all(_json_safe(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _json_safe(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+# ----------------------------------------------------------------------
+# Interned-outcome bodies
+# ----------------------------------------------------------------------
+
+def _outcome_columns(
+    table: List[Any],
+) -> Optional[Tuple[List[int], List[List[str]], int]]:
+    """Flatten an interned outcome table to ``(set_codes, term_columns,
+    arity)`` or ``None`` when the table is not uniformly columnar."""
+    arity: Optional[int] = None
+    set_codes: List[int] = []
+    columns: List[List[str]] = []
+    for code, outcome in enumerate(table):
+        if not isinstance(outcome, frozenset):
+            return None
+        # Deterministic row order within a set: the restored value is a
+        # frozenset, so any order restores equal — sorting just keeps
+        # the encoded bytes reproducible for a given payload.
+        try:
+            rows = sorted(outcome)
+        except TypeError:
+            return None
+        for row in rows:
+            if type(row) is not tuple or not row:
+                return None
+            if any(type(term) is not str for term in row):
+                return None
+            if arity is None:
+                arity = len(row)
+                columns = [[] for _ in range(arity)]
+            elif len(row) != arity:
+                return None
+            set_codes.append(code)
+            for position, term in enumerate(row):
+                columns[position].append(term)
+    return set_codes, columns, (arity or 0)
+
+
+def _encode_outcomes(
+    interned: Dict[str, Any],
+    cache_stats: Optional[Dict[str, Any]],
+    wrapped: bool,
+) -> Optional[bytes]:
+    if not isinstance(interned, dict) or set(interned) != {"table", "codes"}:
+        return None
+    table, codes = interned["table"], interned["codes"]
+    if not isinstance(table, list) or not isinstance(codes, list):
+        return None
+    if not all(type(code) is int for code in codes):
+        return None
+    if cache_stats is not None and not (
+        isinstance(cache_stats, dict) and _json_safe(cache_stats)
+    ):
+        return None
+    flattened = _outcome_columns(table)
+    if flattened is None:
+        return None
+    set_codes, term_columns, arity = flattened
+    envelope = {
+        "codec": "outcomes",
+        "codes": codes,
+        "table_size": len(table),
+        "arity": arity,
+        "wrapped": wrapped,
+    }
+    if wrapped:
+        envelope["cache_stats"] = cache_stats
+    arrays = [_pa.array(set_codes, type=_pa.int32())]
+    names = ["set_code"]
+    for position, column in enumerate(term_columns):
+        arrays.append(
+            _pa.array(column, type=_pa.string()).dictionary_encode()
+        )
+        names.append(f"t{position}")
+    batch = _pa.record_batch(arrays, names=names)
+    return _write_stream(batch, envelope)
+
+
+def _decode_outcomes(batch, envelope: Dict[str, Any]) -> Any:
+    arity = envelope["arity"]
+    table_size = envelope["table_size"]
+    set_codes = batch.column("set_code").to_pylist()
+    term_columns = [
+        batch.column(f"t{position}").to_pylist() for position in range(arity)
+    ]
+    rows_per_set: List[List[Tuple[str, ...]]] = [[] for _ in range(table_size)]
+    for index, code in enumerate(set_codes):
+        rows_per_set[code].append(
+            tuple(column[index] for column in term_columns)
+        )
+    table = [frozenset(rows) for rows in rows_per_set]
+    interned = {"table": table, "codes": list(envelope["codes"])}
+    if not envelope["wrapped"]:
+        return interned
+    body: Dict[str, Any] = {"outcomes_interned": interned}
+    if envelope.get("cache_stats") is not None:
+        body["cache_stats"] = envelope["cache_stats"]
+    return body
+
+
+# ----------------------------------------------------------------------
+# Shard contexts
+# ----------------------------------------------------------------------
+
+def _encode_context(context: Any) -> Optional[bytes]:
+    payload = context.payload
+    if not isinstance(payload, dict) or "facts" not in payload:
+        return None
+    facts = payload["facts"]
+    if not isinstance(facts, tuple):
+        return None
+    relations: List[str] = []
+    terms: List[List[str]] = []
+    for fact in facts:
+        values = getattr(fact, "values", None)
+        relation = getattr(fact, "relation", None)
+        if type(relation) is not str or type(values) is not tuple:
+            return None
+        if any(type(term) is not str for term in values):
+            return None
+        relations.append(relation)
+        terms.append(list(values))
+    residual = {key: value for key, value in payload.items() if key != "facts"}
+    residual_blob = pickle.dumps(residual)
+    envelope = {
+        "codec": "context",
+        "context_id": context.context_id,
+        "kind": context.kind,
+        "residual": base64.b64encode(residual_blob).decode("ascii"),
+    }
+    batch = _pa.record_batch(
+        [
+            _pa.array(relations, type=_pa.string()).dictionary_encode(),
+            _pa.array(terms, type=_pa.list_(_pa.string())),
+        ],
+        names=["relation", "terms"],
+    )
+    return _write_stream(batch, envelope)
+
+
+def _decode_context(batch, envelope: Dict[str, Any]) -> Any:
+    from repro.db.facts import Fact
+    from repro.distributed.worker import ShardContext
+
+    relations = batch.column("relation").to_pylist()
+    terms = batch.column("terms").to_pylist()
+    facts = tuple(
+        Fact(relation, tuple(values))
+        for relation, values in zip(relations, terms)
+    )
+    residual = pickle.loads(base64.b64decode(envelope["residual"]))
+    return ShardContext(
+        context_id=envelope["context_id"],
+        kind=envelope["kind"],
+        payload={**residual, "facts": facts},
+    )
+
+
+# ----------------------------------------------------------------------
+# Stream framing
+# ----------------------------------------------------------------------
+
+def _write_stream(batch, envelope: Dict[str, Any]) -> bytes:
+    metadata = {_META_KEY: json.dumps(envelope, separators=(",", ":"))}
+    schema = batch.schema.with_metadata(metadata)
+    sink = _pa.BufferOutputStream()
+    with _pa_ipc.new_stream(sink, schema) as writer:
+        writer.write_batch(batch)
+    return sink.getvalue().to_pybytes()
+
+
+def encode_payload(payload: Any) -> Optional[bytes]:
+    """Encode *payload* as an Arrow IPC stream, or ``None``.
+
+    ``None`` means "not columnar-shippable" — the caller falls back to
+    the pickle blob, which is always correct.  Never raises.
+    """
+    if _pa is None:
+        return None
+    try:
+        if isinstance(payload, dict):
+            if set(payload) <= {"outcomes_interned", "cache_stats"} and (
+                "outcomes_interned" in payload
+            ):
+                return _encode_outcomes(
+                    payload["outcomes_interned"],
+                    payload.get("cache_stats"),
+                    wrapped=True,
+                )
+            if set(payload) == {"table", "codes"}:
+                return _encode_outcomes(payload, None, wrapped=False)
+            return None
+        if type(payload).__name__ == "ShardContext" and hasattr(
+            payload, "context_id"
+        ):
+            return _encode_context(payload)
+    except Exception:  # pragma: no cover - any arrow failure → pickle path
+        return None
+    return None
+
+
+def decode_payload(blob: bytes) -> Any:
+    """Invert :func:`encode_payload`.  Raises on malformed input; the
+    protocol layer turns that into a :class:`ProtocolError`."""
+    if _pa is None:
+        raise RuntimeError(
+            "received an arrow-encoded frame but pyarrow is not installed"
+        )
+    with _pa_ipc.open_stream(_pa.BufferReader(blob)) as reader:
+        schema = reader.schema
+        batches = list(reader)
+    metadata = schema.metadata or {}
+    raw = metadata.get(_META_KEY)
+    if raw is None:
+        raise ValueError("arrow frame blob carries no repro envelope")
+    envelope = json.loads(raw.decode("utf-8"))
+    batch = (
+        batches[0]
+        if len(batches) == 1
+        else _pa.concat_batches(batches)
+        if batches
+        else _pa.record_batch([], schema=schema)
+    )
+    codec = envelope.get("codec")
+    if codec == "outcomes":
+        return _decode_outcomes(batch, envelope)
+    if codec == "context":
+        return _decode_context(batch, envelope)
+    raise ValueError(f"arrow frame blob uses unknown codec {codec!r}")

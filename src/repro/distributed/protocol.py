@@ -58,7 +58,19 @@ byte-compatibly.  Current capabilities:
 
 - ``"zlib"`` — the sender may zlib-compress a frame's pickle blob when
   it exceeds :data:`COMPRESS_THRESHOLD`; such frames carry
-  ``"enc": "zlib"`` (and the raw size in ``"raw"``) in the header;
+  ``"enc": "zlib"`` (and the raw size in ``"raw"``) in the header.  The
+  compression level comes from ``REPRO_COMPRESS_LEVEL`` (default 1:
+  measured on the interned outcome streams this protocol actually
+  ships, zlib level 1 recovers nearly all of level 6's ratio at a
+  fraction of the CPU — see ``scenario_compression`` in the benchmark
+  suite);
+- ``"arrow"`` — bulk payloads whose shape is columnar (interned answer
+  sets, fact-dominated shard contexts) may ship as Arrow IPC record
+  batches (``"enc": "arrow"``, see :mod:`repro.distributed.arrowipc`)
+  instead of pickle.  Advertised only when ``pyarrow`` is importable;
+  payloads the codec cannot represent losslessly fall back to the
+  pickle (+zlib) path bit-identically, so the capability never changes
+  what a payload *decodes to* — only how it travels;
 - ``"intern"`` — result payloads may dictionary-encode repeated answer
   sets (:func:`intern_outcomes`), shipping each distinct answer set
   once plus a code stream;
@@ -89,6 +101,7 @@ a worker port to untrusted networks.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 import socket
 import struct
@@ -96,13 +109,23 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.distributed import arrowipc
+
 #: Protocol magic + version; bumped on any frame-layout change.  The
 #: capability-negotiated features above deliberately do *not* bump it:
 #: a frame sent without them is bit-identical to version 1.
 MAGIC = b"RPW1"
 
 #: Frame features this build can speak (negotiated via hello/welcome).
-CAPABILITIES = ("campaign", "crc", "deadline", "intern", "zlib")
+#: ``"arrow"`` appears only when pyarrow is importable, so a peer never
+#: negotiates an encoding this process cannot decode.
+CAPABILITIES = (("arrow",) if arrowipc.available() else ()) + (
+    "campaign",
+    "crc",
+    "deadline",
+    "intern",
+    "zlib",
+)
 
 _HEADER = struct.Struct("!4sII")
 
@@ -112,8 +135,35 @@ MAX_FRAME_BYTES = 1 << 30
 
 #: Pickle blobs at or above this size are zlib-compressed when the peer
 #: advertised the ``"zlib"`` capability.  Below it the CPU cost outweighs
-#: the shipping win on a LAN.
-COMPRESS_THRESHOLD = 2048
+#: the shipping win on a LAN: profiling the protocol's actual small
+#: frames (headers, heartbeats, sub-8K result bodies) showed deflate
+#: overhead without a meaningful byte win, so the threshold sits well
+#: above the old 2048.
+COMPRESS_THRESHOLD = 8192
+
+#: Default zlib level when ``REPRO_COMPRESS_LEVEL`` is unset.  Level 1
+#: keeps ~90% of level 6's ratio on interned outcome streams at a small
+#: fraction of the CPU (the streams are dictionary-coded already, so
+#: deeper match searching buys almost nothing).
+DEFAULT_COMPRESS_LEVEL = 1
+
+
+def compress_level() -> int:
+    """The zlib level frames compress at (``REPRO_COMPRESS_LEVEL``).
+
+    Read per call so tests and operators can retune a live process;
+    out-of-range or unparsable values fall back to the default.
+    """
+    raw = os.environ.get("REPRO_COMPRESS_LEVEL")
+    if raw is None:
+        return DEFAULT_COMPRESS_LEVEL
+    try:
+        level = int(raw)
+    except ValueError:
+        return DEFAULT_COMPRESS_LEVEL
+    if not -1 <= level <= 9:
+        return DEFAULT_COMPRESS_LEVEL
+    return level
 
 
 class ProtocolError(RuntimeError):
@@ -147,6 +197,7 @@ class FrameStats:
     payload_raw: int = 0
     payload_wire: int = 0
     compressed: bool = False
+    arrow: bool = False
 
 
 def negotiated_caps(header: dict) -> frozenset:
@@ -165,6 +216,7 @@ def encode_frame(
     compress: bool = False,
     threshold: int = COMPRESS_THRESHOLD,
     crc: bool = False,
+    arrow: bool = False,
 ) -> bytes:
     """Serialize one frame (header JSON + optional pickled *payload*).
 
@@ -172,7 +224,8 @@ def encode_frame(
     compression/integrity semantics.
     """
     return encode_frame_ex(
-        header, payload, compress=compress, threshold=threshold, crc=crc
+        header, payload, compress=compress, threshold=threshold, crc=crc,
+        arrow=arrow,
     )[0]
 
 
@@ -183,14 +236,23 @@ def encode_frame_ex(
     compress: bool = False,
     threshold: int = COMPRESS_THRESHOLD,
     crc: bool = False,
+    arrow: bool = False,
 ) -> Tuple[bytes, FrameStats]:
     """Serialize one frame; returns ``(bytes, stats)``.
 
+    With *arrow*, a payload the Arrow codec can represent losslessly
+    (see :mod:`repro.distributed.arrowipc`) ships as an Arrow IPC
+    stream under ``"enc": "arrow"`` instead of pickle — only do this
+    when the peer advertised the ``"arrow"`` capability.  Payloads the
+    codec refuses fall through to the pickle (+zlib) path below,
+    bit-identically to a connection that never negotiated arrow.
+
     With *compress*, a pickle blob of at least *threshold* bytes is
-    zlib-compressed and the header gains ``"enc": "zlib"`` plus the raw
-    size under ``"raw"`` — only do this when the peer advertised the
-    ``"zlib"`` capability.  Compression that does not shrink the blob is
-    discarded, so a compressed frame is never larger than the plain one.
+    zlib-compressed (at :func:`compress_level`) and the header gains
+    ``"enc": "zlib"`` plus the raw size under ``"raw"`` — only do this
+    when the peer advertised the ``"zlib"`` capability.  Compression
+    that does not shrink the blob is discarded, so a compressed frame
+    is never larger than the plain one.
 
     With *crc*, a frame carrying a blob also carries the blob's CRC32
     (of the bytes as shipped, i.e. after compression) under ``"crc"`` in
@@ -203,15 +265,26 @@ def encode_frame_ex(
     ``"crc"`` capability; without it the frame stays bit-identical to
     version 1.
     """
-    blob = b"" if payload is None else pickle.dumps(payload)
-    raw_len = len(blob)
+    blob = b""
+    raw_len = 0
     compressed = False
-    if compress and raw_len >= threshold:
-        candidate = zlib.compress(blob)
-        if len(candidate) < raw_len:
+    arrow_encoded = False
+    if payload is not None and arrow:
+        candidate = arrowipc.encode_payload(payload)
+        if candidate is not None:
             blob = candidate
-            header = {**header, "enc": "zlib", "raw": raw_len}
-            compressed = True
+            raw_len = len(blob)
+            header = {**header, "enc": "arrow"}
+            arrow_encoded = True
+    if payload is not None and not arrow_encoded:
+        blob = pickle.dumps(payload)
+        raw_len = len(blob)
+        if compress and raw_len >= threshold:
+            candidate = zlib.compress(blob, compress_level())
+            if len(candidate) < raw_len:
+                blob = candidate
+                header = {**header, "enc": "zlib", "raw": raw_len}
+                compressed = True
     if crc and blob:
         header = {**header, "crc": zlib.crc32(blob)}
     if crc:
@@ -226,6 +299,7 @@ def encode_frame_ex(
         payload_raw=raw_len,
         payload_wire=len(blob),
         compressed=compressed,
+        arrow=arrow_encoded,
     )
 
 
@@ -251,10 +325,13 @@ def send_message(
     *,
     compress: bool = False,
     crc: bool = False,
+    arrow: bool = False,
 ) -> FrameStats:
     """Send one frame over *sock* (blocking, complete); returns its
     :class:`FrameStats` for byte accounting."""
-    frame, stats = encode_frame_ex(header, payload, compress=compress, crc=crc)
+    frame, stats = encode_frame_ex(
+        header, payload, compress=compress, crc=crc, arrow=arrow
+    )
     sock.sendall(frame)
     return stats
 
@@ -312,6 +389,7 @@ def recv_message_ex(sock: socket.socket) -> Tuple[dict, Any, FrameStats]:
     payload = None
     raw_len = 0
     compressed = False
+    arrow_encoded = False
     if blob_len:
         blob = _recv_exact(sock, blob_len)
         expected_crc = header.get("crc")
@@ -324,29 +402,49 @@ def recv_message_ex(sock: socket.socket) -> Tuple[dict, Any, FrameStats]:
                     "corrupted in flight"
                 )
         encoding = header.get("enc")
-        if encoding == "zlib":
+        if encoding == "arrow":
+            if not arrowipc.available():
+                raise ProtocolError(
+                    "frame blob is arrow-encoded but pyarrow is not "
+                    "installed; the peer negotiated a capability we do "
+                    "not speak"
+                )
+            raw_len = len(blob)
+            arrow_encoded = True
             try:
-                blob = zlib.decompress(blob)
-            except zlib.error as exc:
-                raise ProtocolError(f"corrupt zlib frame blob: {exc}") from exc
-            compressed = True
-        elif encoding is not None:
-            raise ProtocolError(
-                f"frame blob uses unknown encoding {encoding!r}; the peer "
-                "negotiated a capability we do not speak"
-            )
-        raw_len = len(blob)
-        try:
-            payload = pickle.loads(blob)
-        except Exception as exc:
-            # Without the crc capability, corruption lands here; surface
-            # it as a protocol (transient) fault, never a raw pickle one.
-            raise ProtocolError(f"undecodable frame blob: {exc}") from exc
+                payload = arrowipc.decode_payload(blob)
+            except Exception as exc:
+                raise ProtocolError(
+                    f"undecodable arrow frame blob: {exc}"
+                ) from exc
+        else:
+            if encoding == "zlib":
+                try:
+                    blob = zlib.decompress(blob)
+                except zlib.error as exc:
+                    raise ProtocolError(
+                        f"corrupt zlib frame blob: {exc}"
+                    ) from exc
+                compressed = True
+            elif encoding is not None:
+                raise ProtocolError(
+                    f"frame blob uses unknown encoding {encoding!r}; the "
+                    "peer negotiated a capability we do not speak"
+                )
+            raw_len = len(blob)
+            try:
+                payload = pickle.loads(blob)
+            except Exception as exc:
+                # Without the crc capability, corruption lands here;
+                # surface it as a protocol (transient) fault, never a
+                # raw pickle one.
+                raise ProtocolError(f"undecodable frame blob: {exc}") from exc
     stats = FrameStats(
         frame_bytes=_HEADER.size + header_len + blob_len,
         payload_raw=raw_len,
         payload_wire=blob_len,
         compressed=compressed,
+        arrow=arrow_encoded,
     )
     return header, payload, stats
 

@@ -214,6 +214,7 @@ class SocketTransport(WorkerTransport):
             "payload_raw_bytes": 0,
             "payload_wire_bytes": 0,
             "compressed_frames": 0,
+            "arrow_frames": 0,
             "integrity_faults": 0,
             "reconnects": 0,
             "stale_frames": 0,
@@ -241,6 +242,7 @@ class SocketTransport(WorkerTransport):
             payload,
             compress="zlib" in self.peer_caps,
             crc="crc" in self.peer_caps,
+            arrow="arrow" in self.peer_caps,
         )
         self.stats["frames_sent"] += 1
         self.stats["bytes_sent"] += frame.frame_bytes
@@ -260,6 +262,8 @@ class SocketTransport(WorkerTransport):
         self.stats["payload_wire_bytes"] += frame.payload_wire
         if frame.compressed:
             self.stats["compressed_frames"] += 1
+        if frame.arrow:
+            self.stats["arrow_frames"] += 1
         return header, payload
 
     def _connection(self) -> socket.socket:
@@ -275,7 +279,10 @@ class SocketTransport(WorkerTransport):
             if self.integrity:
                 caps.append("crc")
             if self.compress:
-                caps.extend(("intern", "zlib"))
+                # Arrow rides the same payload-shrinking knob as
+                # zlib/intern; CAPABILITIES filters it out when pyarrow
+                # is absent.
+                caps.extend(("intern", "zlib", "arrow"))
             hello["caps"] = [cap for cap in CAPABILITIES if cap in caps]
             if self.campaign_id is not None:
                 hello["campaign"] = self.campaign_id
@@ -289,7 +296,7 @@ class SocketTransport(WorkerTransport):
                 )
             self.peer_caps = negotiated_caps(header)
             if not self.compress:
-                self.peer_caps -= {"zlib", "intern"}
+                self.peer_caps -= {"zlib", "intern", "arrow"}
             if not self.integrity:
                 self.peer_caps -= {"crc"}
         except (OSError, ProtocolError) as exc:

@@ -691,6 +691,7 @@ class WorkerServer:
                     payload,
                     compress="zlib" in caps,
                     crc="crc" in caps,
+                    arrow="arrow" in caps,
                 )
 
         frames_served = 0

@@ -37,20 +37,22 @@ merged estimates are byte-identical to a single-process run.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.campaign import SamplingCampaign, campaign_fingerprint
+from repro.campaign import SamplingCampaign, _key_str, campaign_fingerprint
 from repro.constraints.base import ConstraintSet
 from repro.constraints.shortcuts import key as key_constraints
+from repro.core import columnar, mt19937
 from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.generators import TrustGenerator, UniformGenerator
 from repro.core.sampling import sample_walk
 from repro.db.facts import Database, Fact
 from repro.db.schema import Schema
-from repro.db.terms import Term
+from repro.db.terms import Term, is_var
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.query import Query
 from repro.sql.backend import SQLBackend
@@ -215,6 +217,11 @@ class BaseCampaignSampler:
             )
             self._owns_coordinator = self.coordinator is not None
         self._shard_contexts: Dict[str, Any] = {}
+        #: Per-compiled-query columnar draw plans (``False`` marks a
+        #: query the columnar gate rejected, so it is not re-analyzed
+        #: every batch).  Invalidated with the shard contexts on every
+        #: base-table delta.
+        self._columnar_plans: Dict[Any, Any] = {}
 
     def close_coordinator(self) -> None:
         """Shut down a coordinator this sampler started (no-op otherwise)."""
@@ -247,6 +254,7 @@ class BaseCampaignSampler:
         """
         self._data_digest = None
         self._shard_contexts.clear()
+        self._columnar_plans.clear()
         if self.campaign.fingerprint:
             self.campaign.fingerprint = self.fingerprint()
 
@@ -297,7 +305,22 @@ class BaseCampaignSampler:
         run exactly this method on a rebuilt sampler, which is why a
         distributed campaign's outcome stream is byte-identical to a
         local one.
+
+        When the columnar core applies (:mod:`repro.core.columnar`,
+        ``REPRO_COLUMNAR`` unset/1), the same answer sets come from a
+        compiled draw plan — pre-seeded MT19937 word columns stepped
+        through walk tables, byte-identical to this loop — and the
+        object path below remains the reference implementation.
         """
+        fast = self._columnar_outcomes(compiled, start, count)
+        if fast is not None:
+            return fast
+        return self._object_outcomes(compiled, start, count)
+
+    def _object_outcomes(
+        self, compiled: CompiledQuery, start: int, count: int
+    ) -> List[Any]:
+        """The reference (per-Fact, per-query) outcome loop."""
         outcomes: List[Any] = []
         for deletions in self.deletions_for_range(start, count):
             self.rewriter.clear()
@@ -305,6 +328,13 @@ class BaseCampaignSampler:
             outcomes.append(compiled.run(self.backend))
         self.rewriter.clear()
         return outcomes
+
+    def _columnar_outcomes(
+        self, compiled: CompiledQuery, start: int, count: int
+    ) -> Optional[List[Any]]:
+        """Columnar fast path — ``None`` when this sampler has none."""
+        del compiled, start, count
+        return None
 
     def _shard_context_payload(self, query: AnyQuery) -> Tuple[str, Dict[str, Any]]:
         """``(kind, payload)`` for a distributed shard context."""
@@ -614,3 +644,288 @@ class KeyRepairSampler(BaseCampaignSampler):
                 "query": query,
             },
         )
+
+    # ------------------------------------------------------------------
+    # Columnar fast path
+    # ------------------------------------------------------------------
+    def _columnar_outcomes(
+        self, compiled: CompiledQuery, start: int, count: int
+    ) -> Optional[List[Any]]:
+        """Answer sets via a compiled columnar draw plan, or ``None``.
+
+        The plan is built once per (compiled query, instance) and gated
+        conservatively — any precondition it cannot prove falls back to
+        the object path (see :func:`_build_columnar_plan`).  Setting
+        ``REPRO_COLUMNAR_VERIFY=1`` additionally recomputes every batch
+        through the reference loop and asserts equality (used by the
+        benchmark conformance checks; far too slow for production).
+        """
+        if count <= 0 or not columnar.available():
+            return None
+        key = (compiled.sql, tuple(compiled.parameters))
+        plan = self._columnar_plans.get(key)
+        if plan is None:
+            plan = _build_columnar_plan(self, compiled)
+            self._columnar_plans[key] = plan if plan is not None else False
+        if plan is False or plan is None:
+            return None
+        outcomes = plan.outcomes(start, count)
+        # The reference loop leaves the rewriter cleared; match it so
+        # interleaved object-path callers see the same backend state.
+        self.rewriter.clear()
+        if os.environ.get("REPRO_COLUMNAR_VERIFY"):
+            reference = self._object_outcomes(compiled, start, count)
+            if outcomes != reference:
+                raise AssertionError(
+                    "columnar draw plan diverged from the object path for "
+                    f"draws [{start}, {start + count})"
+                )
+        return outcomes
+
+
+class _ColumnarDrawPlan:
+    """A compiled, vectorized form of ``outcomes_for_range``.
+
+    Built by :func:`_build_columnar_plan` for single-atom conjunctive
+    queries over a key-repair sampler.  The observation: with the
+    rewriting's ``R EXCEPT R__del`` set semantics, a draw's answer set
+    is exactly ``clean_answers ∪ (projections of each conflict group's
+    surviving facts)`` — rows outside every conflict group can never be
+    deleted, and each group's survivors depend only on that group's own
+    draw substream.  So one batch needs: the MT19937 word matrix for
+    every (group, draw) seed string (:func:`repro.core.mt19937.batch_words`),
+    one vectorized pass through the concatenated walk tables
+    (:class:`repro.core.columnar.WalkArena`), and a per-draw union of
+    precomputed projection sets.  Instances that exhaust their word
+    budget — or groups whose chains need weighted draws — are replayed
+    per instance with a genuinely seeded ``random.Random`` over the same
+    table, so every outcome is byte-identical to the reference loop by
+    construction.
+    """
+
+    __slots__ = (
+        "clean_answers",
+        "vector_entries",
+        "replay_entries",
+        "arena",
+        "word_budget",
+    )
+
+    def __init__(
+        self,
+        clean_answers: frozenset,
+        vector_entries: List[Tuple[str, bytes, Any, List[frozenset]]],
+        replay_entries: List[Tuple[str, Any, List[frozenset]]],
+        word_budget: int,
+    ) -> None:
+        self.clean_answers = clean_answers
+        self.vector_entries = vector_entries
+        self.replay_entries = replay_entries
+        self.arena = (
+            columnar.WalkArena([entry[2] for entry in vector_entries])
+            if vector_entries
+            else None
+        )
+        self.word_budget = word_budget
+
+    def _replay(self, prefix_text: str, table: Any, index: int) -> int:
+        rng = random.Random(prefix_text + str(index))
+        return columnar.replay_walk(table, rng)
+
+    def outcomes(self, start: int, count: int) -> List[Any]:
+        per_offset: List[List[frozenset]] = [[] for _ in range(count)]
+        vectorized = replayed = 0
+        if self.vector_entries:
+            seeds: List[bytes] = []
+            for _, prefix, _, _ in self.vector_entries:
+                seeds.extend(
+                    prefix + str(start + offset).encode()
+                    for offset in range(count)
+                )
+            words = mt19937.batch_words(seeds, self.word_budget)
+            if words is None:
+                for prefix_text, _, table, projections in self.vector_entries:
+                    for offset in range(count):
+                        state = self._replay(prefix_text, table, start + offset)
+                        replayed += 1
+                        extra = projections[state]
+                        if extra:
+                            per_offset[offset].append(extra)
+            else:
+                final, completed = self.arena.run_grid(count, words)
+                bases = self.arena.initial.tolist()
+                finals = final.tolist()
+                all_completed = bool(completed.all())
+                flags = completed.tolist() if not all_completed else None
+                instance = 0
+                for group, (prefix_text, _, table, projections) in enumerate(
+                    self.vector_entries
+                ):
+                    base = bases[group]
+                    for offset in range(count):
+                        if all_completed or flags[instance]:
+                            state = finals[instance] - base
+                            vectorized += 1
+                        else:
+                            state = self._replay(
+                                prefix_text, table, start + offset
+                            )
+                            replayed += 1
+                        extra = projections[state]
+                        if extra:
+                            per_offset[offset].append(extra)
+                        instance += 1
+        for prefix_text, table, projections in self.replay_entries:
+            for offset in range(count):
+                state = self._replay(prefix_text, table, start + offset)
+                replayed += 1
+                extra = projections[state]
+                if extra:
+                    per_offset[offset].append(extra)
+        if vectorized:
+            columnar.record_stat("draws_vectorized", vectorized)
+        if replayed:
+            columnar.record_stat("draws_replayed", replayed)
+        clean = self.clean_answers
+        return [
+            clean.union(*extras) if extras else clean for extras in per_offset
+        ]
+
+
+def _keep_one_table(size: int) -> Any:
+    """The 1-step walk table of ``rng.choice(facts)``.
+
+    ``Random.choice`` and ``randrange`` both route through
+    ``_randbelow``, so a uniform table over *size* successors consumes
+    exactly the words the ``KEEP_ONE_UNIFORM`` object path would.
+    """
+    table = columnar.WalkTable()
+    table.absorbing.append(False)
+    table.uniform.append(True)
+    table.counts.append(size)
+    table.denominators.append(0)
+    table.cumulative.append(())
+    table.successors.append(tuple(range(1, size + 1)))
+    table.payload.append(None)
+    for _ in range(size):
+        table.absorbing.append(True)
+        table.uniform.append(True)
+        table.counts.append(0)
+        table.denominators.append(0)
+        table.cumulative.append(())
+        table.successors.append(())
+        table.payload.append(None)
+    return table
+
+
+#: Word columns pre-seeded per (group, draw); deep rejection-sampling
+#: tails beyond this fall back to per-instance replay, bit-exactly.
+_PLAN_WORD_BUDGET = min(24, mt19937.MAX_PARTIAL_WORDS)
+
+
+def _build_columnar_plan(
+    sampler: "KeyRepairSampler", compiled: CompiledQuery
+) -> Optional[_ColumnarDrawPlan]:
+    """Compile a :class:`_ColumnarDrawPlan`, or ``None`` when gated.
+
+    Every gate is a precondition of the clean/survivor decomposition:
+    a single-atom CQ with distinct variable terms (so answers are plain
+    row projections), a SQL backend (rows compare in the dialect's
+    decoded space on both paths), the compiled query built against this
+    sampler's live rewriting, each queried-relation fact in at most one
+    conflict group (unions would otherwise double-delete), and every
+    group fact resolvable to exactly one base row.  ``TRUST`` without
+    chain reuse keeps its mutate-mid-campaign semantics, which a
+    compiled snapshot would freeze — gated off.
+    """
+    try:
+        source = compiled.source
+        if not isinstance(source, ConjunctiveQuery) or len(source.body) != 1:
+            return None
+        atom = source.body[0]
+        if not source.head or not atom.terms:
+            return None
+        if any(not is_var(term) for term in atom.terms):
+            return None
+        if len(set(atom.terms)) != len(atom.terms):
+            return None
+        if any(not is_var(term) for term in source.head):
+            return None
+        position_of = {term: pos for pos, term in enumerate(atom.terms)}
+        if any(term not in position_of for term in source.head):
+            return None
+        if not sampler.backend.supports_sql:
+            return None
+        live_map = sampler.rewriter.relation_map()
+        if compiled.relation_map is None or dict(compiled.relation_map) != dict(
+            live_map
+        ):
+            return None
+        if sampler.policy is SamplerPolicy.TRUST and not sampler.reuse_chains:
+            return None
+        rows = {tuple(row) for row in sampler.backend.select_all(atom.relation)}
+        groups = [
+            group
+            for group in sampler.groups
+            if group.spec.relation == atom.relation
+        ]
+        mapped: Dict[Fact, Tuple] = {}
+        for group in groups:
+            for fact in group.facts:
+                if fact in mapped:
+                    return None
+                row = tuple(fact.values)
+                if row not in rows:
+                    row = tuple(str(value) for value in fact.values)
+                    if row not in rows:
+                        return None
+                mapped[fact] = row
+        if len(set(mapped.values())) != len(mapped):
+            return None
+        projection = tuple(position_of[term] for term in source.head)
+        clean_answers = frozenset(
+            tuple(row[p] for p in projection)
+            for row in rows - set(mapped.values())
+        )
+
+        def project(fact: Fact) -> Tuple:
+            row = mapped[fact]
+            return tuple(row[p] for p in projection)
+
+        vector_entries: List[Tuple[str, bytes, Any, List[frozenset]]] = []
+        replay_entries: List[Tuple[str, Any, List[frozenset]]] = []
+        for group in groups:
+            prefix_text = f"{sampler.campaign.seed}:{_key_str(group.facts)}#"
+            prefix = prefix_text.encode()
+            if len(prefix) > 2400:
+                # Key words would spill past the 624-word MT state; the
+                # whole-batch seeder cannot vectorize such groups.
+                return None
+            if sampler.policy is SamplerPolicy.KEEP_ONE_UNIFORM:
+                table = _keep_one_table(len(group.facts))
+                projections = [frozenset()] + [
+                    frozenset((project(fact),)) for fact in group.facts
+                ]
+            else:
+                table = columnar.compile_walk_table(
+                    sampler._group_chain(group)
+                )
+                if table is None:
+                    return None
+                projections = [
+                    frozenset()
+                    if state is None
+                    else frozenset(project(fact) for fact in state.db.facts)
+                    for state in table.payload
+                ]
+            if table.vectorizable:
+                vector_entries.append((prefix_text, prefix, table, projections))
+            else:
+                replay_entries.append((prefix_text, table, projections))
+    except Exception:
+        columnar.record_stat("plan_build_errors")
+        return None
+    columnar.record_stat("plans_compiled")
+    return _ColumnarDrawPlan(
+        clean_answers, vector_entries, replay_entries, _PLAN_WORD_BUDGET
+    )

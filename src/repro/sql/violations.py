@@ -33,6 +33,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 from repro.constraints.base import Constraint, ConstraintSet
 from repro.constraints.dc import DC
 from repro.constraints.egd import EGD
+from repro.core import columnar
 from repro.db.facts import Fact
 from repro.db.homomorphism import find_homomorphisms_pinned
 from repro.db.terms import Term, Var, is_var
@@ -117,14 +118,32 @@ def compile_violation_query(
 
 
 def _rows_to_edges(constraint: Constraint, rows) -> Set[FrozenSet[Fact]]:
-    """Slice flat violation-query rows back into body-image fact sets."""
+    """Slice flat violation-query rows back into body-image fact sets.
+
+    Extraction is batched: rows deduplicate *before* any Fact is built
+    (self-join results repeat rows heavily), and each distinct fact
+    slice is constructed exactly once per call — the join result is
+    treated as a column block rather than re-materialized row by row.
+    """
+    distinct = {tuple(row) for row in rows}
+    columnar.record_stat("edge_rows_fetched", len(rows) if hasattr(rows, "__len__") else len(distinct))
+    columnar.record_stat("edge_rows_distinct", len(distinct))
+    spans: List[Tuple[str, int, int]] = []
+    offset = 0
+    for atom in constraint.body:
+        spans.append((atom.relation, offset, offset + atom.arity))
+        offset += atom.arity
+    fact_cache: Dict[Tuple[str, Tuple], Fact] = {}
     edges: Set[FrozenSet[Fact]] = set()
-    for row in rows:
+    for row in distinct:
         facts: List[Fact] = []
-        offset = 0
-        for atom in constraint.body:
-            facts.append(Fact(atom.relation, tuple(row[offset : offset + atom.arity])))
-            offset += atom.arity
+        for relation, start, end in spans:
+            key = (relation, row[start:end])
+            fact = fact_cache.get(key)
+            if fact is None:
+                fact = Fact(relation, key[1])
+                fact_cache[key] = fact
+            facts.append(fact)
         edges.add(frozenset(facts))
     return edges
 
@@ -289,11 +308,18 @@ class SQLDeltaViolationIndex:
             for c in constraints
         }
         self._delta_tables: Dict[Tuple[str, int], str] = {}
+        #: Columnar edge-membership indexes, built lazily per constraint
+        #: on the delete path and invalidated whenever the edge set can
+        #: grow (inserts, refresh).
+        self._edge_indexes: Dict[Constraint, "columnar.EdgeMembershipIndex"] = {}
         #: Diagnostics: full joins run, pinned delta joins/searches run,
         #: and constraints skipped by the touched-relation filter.
         self.full_queries = len(self._edges)
         self.delta_queries = 0
         self.skipped_constraints = 0
+
+    #: Edge sets below this stay on the per-edge ``isdisjoint`` loop.
+    EDGE_INDEX_THRESHOLD = 64
 
     # ------------------------------------------------------------------
     # Current state
@@ -316,6 +342,7 @@ class SQLDeltaViolationIndex:
     def refresh(self) -> None:
         """Rebuild every edge set by full detection (resync point)."""
         shared = _shared_live_database(self.backend, self.relation_map)
+        self._edge_indexes.clear()
         for constraint in self._edges:
             self._edges[constraint] = set(
                 violating_fact_sets(
@@ -337,9 +364,24 @@ class SQLDeltaViolationIndex:
             if not (touched & constraint.body_relations):
                 self.skipped_constraints += 1
                 continue
-            self._edges[constraint] = {
-                edge for edge in edges if edge.isdisjoint(removed)
-            }
+            if (
+                len(edges) >= self.EDGE_INDEX_THRESHOLD
+                and columnar.available()
+            ):
+                index = self._edge_indexes.get(constraint)
+                if index is None:
+                    index = columnar.EdgeMembershipIndex(edges)
+                    self._edge_indexes[constraint] = index
+                if index.remove_facts(removed):
+                    self._edges[constraint] = set(index.surviving())
+                # Compaction: once most of the index is dead weight, the
+                # joins scan mostly-tombstone arrays — rebuild small.
+                if index.live_count * 4 < len(index):
+                    self._edge_indexes.pop(constraint, None)
+            else:
+                self._edges[constraint] = {
+                    edge for edge in edges if edge.isdisjoint(removed)
+                }
 
     def apply_insert(self, facts: Iterable[Fact]) -> None:
         """Facts just added to the live view: find the edges they create."""
@@ -357,6 +399,7 @@ class SQLDeltaViolationIndex:
             if not (set(by_relation) & constraint.body_relations):
                 self.skipped_constraints += 1
                 continue
+            self._edge_indexes.pop(constraint, None)
             for index, atom in enumerate(constraint.body):
                 rows = by_relation.get(atom.relation)
                 if not rows:
@@ -384,6 +427,7 @@ class SQLDeltaViolationIndex:
             if not (set(by_relation) & constraint.body_relations):
                 self.skipped_constraints += 1
                 continue
+            self._edge_indexes.pop(constraint, None)
             for index, atom in enumerate(constraint.body):
                 rows = by_relation.get(atom.relation)
                 if not rows:

@@ -14,9 +14,11 @@ import pickle
 import socket
 import struct
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.distributed import arrowipc
 from repro.distributed.protocol import (
     CAPABILITIES,
     encode_frame,
@@ -207,3 +209,69 @@ class TestInterningProperties:
         received, received_payload, _stats = _over_socket(frame)
         assert received["campaign"] == "c42"
         assert restore_outcomes(received_payload["outcomes_interned"]) == outcomes
+
+
+# ----------------------------------------------------------------------
+# The arrow capability
+# ----------------------------------------------------------------------
+
+#: Interned-table shapes the arrow codec ships: frozensets of
+#: uniform-arity, all-string answer tuples.
+@st.composite
+def columnar_outcome_streams(draw):
+    arity = draw(st.integers(min_value=1, max_value=3))
+    tuples = st.tuples(*[st.text(max_size=6)] * arity)
+    return draw(st.lists(st.frozensets(tuples, max_size=5), max_size=25))
+
+
+class TestArrowCapability:
+    """``arrow`` must be invisible in *values*: a payload decodes to the
+    same thing whether it traveled as Arrow IPC or as pickle, and any
+    payload the codec refuses produces bytes identical to a connection
+    that never negotiated arrow at all."""
+
+    def test_capability_is_advertised_exactly_when_pyarrow_imports(self):
+        assert ("arrow" in CAPABILITIES) == arrowipc.available()
+
+    @given(header=headers, payload=payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_refused_payloads_downgrade_bit_identically(self, header, payload):
+        # The generic payload strategy never produces a columnar shape,
+        # so the arrow flag must be a no-op — byte for byte.
+        with_arrow, stats = encode_frame_ex(header, payload, arrow=True)
+        without, _ = encode_frame_ex(header, payload, arrow=False)
+        assert with_arrow == without
+        assert not stats.arrow
+        legacy_header, legacy_payload = _legacy_decode(with_arrow)
+        assert legacy_header == header
+        assert legacy_payload == payload
+
+    @pytest.mark.skipif(
+        not arrowipc.available(), reason="arrow encoding needs pyarrow"
+    )
+    @given(outcomes=columnar_outcome_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_arrow_result_bodies_roundtrip(self, outcomes):
+        header = {"type": "result", "shard": 3, "campaign": "c7"}
+        payload = {
+            "outcomes_interned": intern_outcomes(outcomes),
+            "cache_stats": {"violations": {"hits": 4, "misses": 1}},
+        }
+        frame, sent = encode_frame_ex(header, payload, arrow=True, crc=True)
+        assert sent.arrow
+        received, received_payload, stats = _over_socket(frame)
+        assert stats.arrow
+        assert received["enc"] == "arrow"
+        assert received_payload == payload
+        assert restore_outcomes(received_payload["outcomes_interned"]) == outcomes
+
+    @pytest.mark.skipif(
+        not arrowipc.available(), reason="arrow encoding needs pyarrow"
+    )
+    @given(outcomes=columnar_outcome_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_codec_roundtrip_is_identity_on_interned_tables(self, outcomes):
+        interned = intern_outcomes(outcomes)
+        blob = arrowipc.encode_payload(interned)
+        assert blob is not None
+        assert arrowipc.decode_payload(blob) == interned

@@ -11,18 +11,25 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
 
 from check_regression import (  # noqa: E402
     ABSOLUTE_CAPS,
+    ABSOLUTE_FLOORS,
     GATED_KEYS,
     gate,
     main,
 )
 
-TIMED_KEYS = tuple(key for key in GATED_KEYS if key not in ABSOLUTE_CAPS)
+TIMED_KEYS = tuple(
+    key
+    for key in GATED_KEYS
+    if key not in ABSOLUTE_CAPS and key not in ABSOLUTE_FLOORS
+)
 
 # Wall clocks at 20 ms; the dimensionless overhead fraction well under
-# its 0.05 cap so machine-speed multipliers in the tests below never
-# trip the absolute gate by accident.
+# its 0.05 cap and the columnar speedup well over its 3.0 floor, so
+# machine-speed multipliers in the tests below never trip the absolute
+# gates by accident.
 BASELINE = {key: 0.020 for key in TIMED_KEYS}
 BASELINE["scenario_admission_overhead"] = 0.01
+BASELINE["e12_columnar_groups_40_speedup"] = 7.0
 
 
 class TestGate:
@@ -50,7 +57,8 @@ class TestGate:
         assert gate(BASELINE, report) == []
 
     def test_floor_suppresses_microsecond_noise(self):
-        baseline = {key: 0.0002 for key in GATED_KEYS}
+        baseline = {key: 0.0002 for key in TIMED_KEYS}
+        baseline["e12_columnar_groups_40_speedup"] = 7.0
         report = dict(baseline)
         report["e5_exact_explore_conflicts_1"] *= 4  # still < 5 ms
         assert gate(baseline, report) == []
@@ -90,6 +98,34 @@ class TestGate:
         report = dict(BASELINE)
         del report["scenario_admission_overhead"]
         assert gate(BASELINE, report) == []
+
+    def test_speedup_under_absolute_floor_fails(self):
+        report = dict(BASELINE)
+        report["e12_columnar_groups_40_speedup"] = 2.0
+        failures = gate(BASELINE, report)
+        assert len(failures) == 1
+        assert "absolute floor" in failures[0]
+        assert "e12_columnar_groups_40_speedup" in failures[0]
+
+    def test_speedup_over_absolute_floor_passes(self):
+        report = dict(BASELINE)
+        report["e12_columnar_groups_40_speedup"] = 3.5
+        assert gate(BASELINE, report) == []
+
+    def test_missing_floor_key_is_not_a_failure(self):
+        report = dict(BASELINE)
+        del report["e12_columnar_groups_40_speedup"]
+        assert gate(BASELINE, report) == []
+
+    def test_ratio_never_enters_normalization(self):
+        # A halved speedup ratio (still over its floor) must not drag
+        # the median machine factor for the timed keys.
+        report = dict(BASELINE)
+        report["e12_columnar_groups_40_speedup"] = 3.5
+        report["e10_sample_walks_groups_4"] *= 2.0
+        failures = gate(BASELINE, report)
+        assert len(failures) == 1
+        assert "e10_sample_walks_groups_4" in failures[0]
 
     def test_missing_keys_are_reported(self):
         failures = gate({}, dict(BASELINE))

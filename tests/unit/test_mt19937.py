@@ -1,0 +1,71 @@
+"""Bit-exactness of the vectorized MT19937 seeder vs ``random.Random``."""
+
+import random
+
+import pytest
+
+from repro.core import mt19937
+
+np = pytest.importorskip("numpy")
+
+
+def _reference_words(seed_text, count):
+    rng = random.Random(seed_text)
+    return [rng.getrandbits(32) for _ in range(count)]
+
+
+def test_batch_words_match_random_random():
+    seeds = [
+        "17:3#R(a, b, c)|8#R(a, d, e)#0",
+        "17:3#R(a, b, c)|8#R(a, d, e)#41",
+        "0:x#0",
+        "campaign-seed:9#some|key#123456",
+        "",  # empty seed string is legal for Random
+        "s#" + "x" * 300,
+    ]
+    count = 24
+    words = mt19937.batch_words([s.encode() for s in seeds], count)
+    assert words is not None
+    assert words.shape == (count, len(seeds))
+    for column, seed_text in enumerate(seeds):
+        expected = _reference_words(seed_text, count)
+        assert [int(w) for w in words[:, column]] == expected, seed_text
+
+
+def test_batch_words_every_prefix_length():
+    # Cover all (length + 64) % 4 residues of the key-word padding.
+    seeds = ["a" * n for n in range(1, 9)]
+    words = mt19937.batch_words([s.encode() for s in seeds], 8)
+    for column, seed_text in enumerate(seeds):
+        assert [int(w) for w in words[:, column]] == _reference_words(
+            seed_text, 8
+        )
+
+
+def test_batch_words_refuses_long_count():
+    assert mt19937.batch_words([b"x"], mt19937.MAX_PARTIAL_WORDS + 1) is None
+    assert mt19937.batch_words([b"x"], 0) is None
+    assert mt19937.batch_words([], 4) is None
+
+
+def test_batch_words_refuses_oversized_key():
+    # A seed whose key words exceed the 624-word state is not vectorizable.
+    assert mt19937.batch_words([b"x" * 4000], 4) is None
+
+
+def test_word_stream_randbelow_matches_randbelow():
+    seed_text = "7:2#a|2#b#3"
+    count = 32
+    words = mt19937.batch_words([seed_text.encode()], count)
+    stream = mt19937.WordStream([int(w) for w in words[:, 0]])
+    rng = random.Random(seed_text)
+    for bound in (3, 6, 2, 1, 5, 7, 4):
+        assert stream.randbelow(bound) == rng._randbelow(bound)
+
+
+def test_word_stream_exhaustion_raises_index_error():
+    stream = mt19937.WordStream([1, 2])
+    stream.getrandbits(32)
+    stream.getrandbits(32)
+    with pytest.raises(IndexError):
+        stream.getrandbits(32)
