@@ -60,6 +60,10 @@ GATED_KEYS = (
     # *fraction*, not a wall clock — gated absolutely (see ABSOLUTE_CAPS),
     # excluded from the median machine-factor normalization.
     "scenario_admission_overhead",
+    # The telemetry no-load overhead (PR 9): the same shape as the
+    # admission fraction — instrumented/disabled wall-clock ratio for an
+    # identical campaign, gated absolutely below.
+    "scenario_metrics_overhead",
     # The columnar draw engine (PR 8): both paths of the fixed-size E12
     # campaign, at both group counts — gating the object keys keeps the
     # reference path honest, gating the columnar keys keeps the compiled
@@ -81,6 +85,7 @@ GATED_KEYS = (
 #: committed baseline recorded.
 ABSOLUTE_CAPS = {
     "scenario_admission_overhead": 0.05,
+    "scenario_metrics_overhead": 0.05,
 }
 
 #: The mirror image of :data:`ABSOLUTE_CAPS`: dimensionless ratios that

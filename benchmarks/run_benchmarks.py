@@ -9,10 +9,10 @@ and ``bench_e11_sql_sampler.py`` (the SQL sampling campaign, per draw,
 in both the legacy fresh-chain-per-draw mode and the incremental
 chain-reusing mode) — first as a pytest pass over the benchmark files
 themselves, then as directly timed scenarios, and writes the results to
-a JSON file (default ``BENCH_PR8.json`` in the repository root) so
+a JSON file (default ``BENCH_PR9.json`` in the repository root) so
 subsequent PRs can compare against this PR's numbers.  When
-``BENCH_PR7.json`` is present its scenario timings are folded in as the
-previous-PR baseline (``speedup_vs_pr7``).
+``BENCH_PR8.json`` is present its scenario timings are folded in as the
+previous-PR baseline (``speedup_vs_pr8``).
 
 PR 3 additions: ``--backend {sqlite,postgres,memory}`` runs the E11
 campaign scenario against the selected pluggable backend (per-backend
@@ -59,7 +59,16 @@ keys are gated) down both draw engines — the compiled columnar plan
 estimates identical, and records the per-path wall clocks plus the
 columnar speedup (``e12_columnar_groups_*`` / ``e12_object_groups_*``;
 the speedup at 40 groups carries an absolute floor in
-``check_regression.py``).  Every scenario additionally records the
+``check_regression.py``).
+
+PR 9 additions (always recorded): ``scenario_metrics_overhead`` times
+the identical socket-worker campaign with the telemetry layer live
+(registry mutators hot, the ``metrics`` capability negotiated so worker
+snapshots ride result frames) and with ``REPRO_METRICS=0`` (every
+mutator reduced to an env check, capability withheld) — the no-load
+cost of fleet-wide observability, gated absolutely at < 5%.
+
+Every scenario additionally records the
 process peak RSS high-water mark after it ran (``peak_rss_kb`` in the
 report; ``ru_maxrss`` is process-wide and monotone, so the numbers are
 cumulative maxima — the first scenario to spike shows where memory
@@ -832,6 +841,90 @@ def scenario_admission(repeat: int) -> dict:
     return out
 
 
+def scenario_metrics_overhead(repeat: int) -> dict:
+    """No-load cost of the telemetry layer (PR 9).
+
+    The identical socket-worker campaign runs two ways: *instrumented*
+    — the default, with every counter/gauge/histogram hot-path update
+    live and the ``metrics`` capability negotiated (worker snapshots
+    riding result frames) — and *disabled* via ``REPRO_METRICS=0``,
+    which turns every mutator into a cheap env check and keeps the
+    capability out of the hello.  Estimates are asserted byte-identical;
+    the wall-clock delta is the pure cost of instrumentation, recorded
+    as ``scenario_metrics_overhead`` and gated absolutely at < 5%.
+    """
+    import os as _os
+    import random as _random
+
+    from repro.distributed import Coordinator, WorkerServer
+    from repro.distributed.transport import SocketTransport
+    from repro.sql import KeyRepairSampler, SamplerPolicy
+
+    runs = 60
+    workload = key_conflict_workload(
+        clean_rows=200, conflict_groups=10, group_size=2, arity=3, seed=61
+    )
+    query = parse_cq("Q(x, y, z) :- R(x, y, z)")
+    server = WorkerServer()
+    server.start()
+    out = {}
+    frequencies = {}
+
+    def run_once():
+        transport = SocketTransport.parse(f"127.0.0.1:{server.port}")
+        coordinator = Coordinator([transport], shard_size=10)
+        backend = workload.load_into(create_backend("sqlite"))
+        sampler = KeyRepairSampler(
+            backend,
+            workload.schema,
+            [workload.key_spec],
+            policy=SamplerPolicy.OPERATIONAL_UNIFORM,
+            rng=_random.Random(13),
+            coordinator=coordinator,
+        )
+        try:
+            return sampler.run(query, runs=runs).frequencies
+        finally:
+            coordinator.close()
+            backend.close()
+
+    saved = _os.environ.get("REPRO_METRICS")
+    try:
+        # One untimed pass builds the worker's warm campaign context.
+        run_once()
+        # Interleave the instrumented/disabled reps (same rationale as
+        # scenario_admission: machine-wide slowness inflates both sides
+        # instead of biasing the ratio), best of >= 7.
+        best = {"instrumented": float("inf"), "disabled": float("inf")}
+        for _ in range(max(repeat, 7)):
+            for label, enabled in (("instrumented", True), ("disabled", False)):
+                if enabled:
+                    _os.environ.pop("REPRO_METRICS", None)
+                else:
+                    _os.environ["REPRO_METRICS"] = "0"
+                start = time.perf_counter()
+                frequencies[label] = run_once()
+                best[label] = min(best[label], time.perf_counter() - start)
+        out["metrics_instrumented_seconds"] = best["instrumented"]
+        out["metrics_disabled_seconds"] = best["disabled"]
+    finally:
+        if saved is None:
+            _os.environ.pop("REPRO_METRICS", None)
+        else:
+            _os.environ["REPRO_METRICS"] = saved
+        server.shutdown()
+    assert frequencies["instrumented"] == frequencies["disabled"], (
+        "the telemetry layer changed the estimates"
+    )
+    disabled_seconds = out["metrics_disabled_seconds"]
+    out["scenario_metrics_overhead"] = (
+        round(out["metrics_instrumented_seconds"] / disabled_seconds - 1, 4)
+        if disabled_seconds
+        else None
+    )
+    return out
+
+
 def run_pytest_pass() -> dict:
     """Wall-clock of the benchmark files under pytest."""
     out = {}
@@ -873,7 +966,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR8.json",
+        default=REPO_ROOT / "BENCH_PR9.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -945,7 +1038,7 @@ def main() -> int:
         scenarios.update(scenario_workers(args.repeat, args.quick, args.workers))
         note_rss("E12_local_pool")
 
-    pr7_baseline = _previous_baseline("BENCH_PR7.json")
+    pr8_baseline = _previous_baseline("BENCH_PR8.json")
 
     print("timing E13 outcome-stream compression ...", flush=True)
     outcome_compression = scenario_compression(args.quick)
@@ -959,24 +1052,25 @@ def main() -> int:
     print("timing admission+deadline no-load overhead ...", flush=True)
     scenarios.update(scenario_admission(args.repeat))
     note_rss("admission")
-    speedup_vs_pr7 = {
-        key: round(pr7_baseline[key] / value, 2)
+    print("timing telemetry no-load overhead ...", flush=True)
+    scenarios.update(scenario_metrics_overhead(args.repeat))
+    note_rss("metrics")
+    speedup_vs_pr8 = {
+        key: round(pr8_baseline[key] / value, 2)
         for key, value in scenarios.items()
-        if key in pr7_baseline and value > 0
+        if key in pr8_baseline and value > 0
     }
 
     report = {
-        "pr": 8,
+        "pr": 9,
         "description": (
-            "columnar fact core: dictionary-encoded relation stores and "
-            "numpy edge-membership indexes, vectorized MT19937 draw "
-            "substreams stepped through compiled walk tables "
-            "(byte-identical to the object reference path, which "
-            "REPRO_COLUMNAR=0 preserves), Arrow IPC result/context "
-            "frames behind the negotiated arrow capability with "
-            "bit-identical pickle fallback, Arrow-batch Postgres COPY, "
-            "and a rebalanced compression default "
-            "(REPRO_COMPRESS_LEVEL, level 1, 8 KiB threshold)"
+            "fleet-wide telemetry: dependency-free Prometheus metrics "
+            "registry served from ocqa serve /metrics and worker "
+            "--metrics-port sidecars, worker snapshots pushed over the "
+            "negotiated metrics capability, JSON-lines trace spans "
+            "(REPRO_TRACE) reconciled with degradation_report(), and "
+            "ocqa top; REPRO_METRICS=0 disables every hot-path update "
+            "(scenario_metrics_overhead pins the on-cost < 5%)"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -993,8 +1087,8 @@ def main() -> int:
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
-        "pr7_baseline_seconds": pr7_baseline,
-        "speedup_vs_pr7": speedup_vs_pr7,
+        "pr8_baseline_seconds": pr8_baseline,
+        "speedup_vs_pr8": speedup_vs_pr8,
         "peak_rss_kb": peak_rss_kb,
     }
     if "e11_seconds_per_draw_legacy" in scenarios:

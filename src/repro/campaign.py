@@ -71,10 +71,24 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.analysis.bernstein import BernsteinStopper
 from repro.analysis.hoeffding import sample_size
 from repro.core.chain import RepairingChain
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.deadline import Deadline, DeadlineExpired
 
 #: Bumped whenever the checkpoint payload layout changes.
 CHECKPOINT_VERSION = 2
+
+_DRAWS = obs_metrics.REGISTRY.counter(
+    "ocqa_draws_total",
+    "Campaign draws tallied, by requesting tenant.",
+    ("tenant",),
+)
+_DRAW_BATCHES = obs_metrics.REGISTRY.counter(
+    "ocqa_draw_batches_total", "Draw batches consumed by estimation loops."
+)
+_CHECKPOINT_SAVES = obs_metrics.REGISTRY.counter(
+    "ocqa_checkpoint_saves_total", "Campaign checkpoints durably written."
+)
 
 
 def draw_rng(seed: Any, key: Any, index: int) -> random.Random:
@@ -437,6 +451,16 @@ class SamplingCampaign:
                 # tallies already taken stay exact.
                 deadline_expired = True
                 break
+            _DRAW_BATCHES.inc()
+            _DRAWS.inc(len(outcomes), tenant=obs_metrics.current_tenant())
+            obs_trace.span(
+                "draw_batch",
+                fingerprint=self.fingerprint[:12],
+                tenant=obs_metrics.current_tenant(),
+                batch=batch,
+                drawn=len(outcomes),
+                done=self.draws_done + len(outcomes),
+            )
             # Tally batching: repeated outcome objects (interned answer
             # sets from workers, the columnar path's shared clean-answer
             # frozenset) normalize their tuples once, and the counting
@@ -573,6 +597,14 @@ class SamplingCampaign:
         os.replace(tmp, path)
         self._write_checkpoint_digest(path, blob)
         self._fsync_directory(os.path.dirname(path) or ".")
+        _CHECKPOINT_SAVES.inc()
+        obs_trace.span(
+            "checkpoint_save",
+            fingerprint=self.fingerprint[:12],
+            path=path,
+            bytes=len(blob),
+            draws=self.draws_done,
+        )
         return path
 
     @staticmethod

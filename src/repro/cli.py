@@ -19,6 +19,7 @@ Examples::
     ocqa serve      --listen 0.0.0.0:8080 --supervise 2 \
                     --tenant acme:4:50000:100000
     ocqa status     --service 127.0.0.1:8080
+    ocqa top        --service 127.0.0.1:8080 --interval 2
 """
 
 from __future__ import annotations
@@ -266,6 +267,11 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--drain-timeout must be positive seconds, got {args.drain_timeout}"
         )
+    if args.metrics_port is not None and args.metrics_port < 0:
+        raise SystemExit(
+            f"--metrics-port must be >= 0 (0 picks a free port), "
+            f"got {args.metrics_port}"
+        )
     serve(
         host,
         port,
@@ -273,6 +279,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         context_limit=args.context_limit,
         max_inflight=args.max_inflight,
         drain_timeout=args.drain_timeout,
+        metrics_port=args.metrics_port,
     )
     return 0
 
@@ -357,18 +364,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_status(args: argparse.Namespace) -> int:
     if args.service:
+        import urllib.error
         import urllib.request
 
         host, port = _parse_listen(args.service)
         url = f"http://{host}:{port}/status"
         with urllib.request.urlopen(url, timeout=args.timeout) as response:
             status = json.loads(response.read().decode("utf-8"))
+        # Fold the server's /metrics snapshot in (best-effort: older
+        # servers without the endpoint still answer /status fine).
+        try:
+            metrics_url = f"http://{host}:{port}/metrics"
+            with urllib.request.urlopen(
+                metrics_url, timeout=args.timeout
+            ) as response:
+                exposition = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, ValueError):
+            exposition = None
+        if exposition:
+            from repro.obs.metrics import parse_prometheus_text
+
+            try:
+                parsed = parse_prometheus_text(exposition)
+            except ValueError:
+                parsed = {}
+            status["metrics"] = {
+                name: [
+                    [dict(labels), value] for labels, value in sorted(
+                        samples, key=lambda item: sorted(item[0].items())
+                    )
+                ]
+                for name, samples in sorted(parsed.items())
+            }
         print(json.dumps(status, indent=2, sort_keys=True))
         return 0
     from repro.diagnostics import cache_report
 
     print(cache_report(None).format())
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import http_fetcher, run_top
+
+    host, port = _parse_listen(args.service)
+    metrics = None
+    if args.metrics:
+        mhost, mport = _parse_listen(args.metrics)
+        metrics = f"{mhost}:{mport}"
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be positive, got {args.interval}")
+    iterations = 1 if args.once else args.iterations
+    if iterations is not None and iterations <= 0:
+        raise SystemExit(f"--iterations must be positive, got {iterations}")
+    fetch = http_fetcher(f"{host}:{port}", metrics=metrics, timeout=args.timeout)
+    try:
+        return run_top(
+            fetch,
+            interval=args.interval,
+            iterations=iterations,
+            clear=not args.no_clear and not args.once,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _add_distribution(parser: argparse.ArgumentParser) -> None:
@@ -621,6 +679,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM/SIGINT, seconds to wait for in-flight shards to "
         "finish before exiting anyway",
     )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve Prometheus metrics on this sidecar port "
+        "(0 picks a free port, printed on start)",
+    )
     p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(
@@ -745,6 +811,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="HTTP timeout for --service",
     )
     p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser(
+        "top",
+        help="refreshing terminal view over a running service's /metrics "
+        "and /status: queue depth, per-tenant draw throughput, lease "
+        "ages, cache hit rates, query latency quantiles",
+    )
+    p.add_argument(
+        "--service",
+        required=True,
+        metavar="HOST:PORT",
+        help="a running 'ocqa serve' instance",
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="HOST:PORT",
+        help="scrape /metrics from a different endpoint (e.g. a worker's "
+        "--metrics-port sidecar); defaults to --service",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N refreshes (default: run until interrupted)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit (implies --no-clear)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append refreshes instead of clearing the screen",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="HTTP timeout per scrape",
+    )
+    p.set_defaults(fn=_cmd_top)
 
     return parser
 

@@ -9,14 +9,16 @@ module assembles that report from the core machinery.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.constraints.base import Constraint, ConstraintSet
 from repro.core import columnar as columnar_module
 from repro.core.localization import LocalizationError, conflict_components
 from repro.core.violations import violations
 from repro.db.facts import Database, Fact
+from repro.obs import metrics as obs_metrics
 
 #: ``cache name -> {"hits": .., "misses": .., "size": .., "limit": ..}``.
 CacheStats = Dict[str, Dict[str, int]]
@@ -203,9 +205,14 @@ class CacheReport:
                 else "none"
             )
             drains = self.overload.get("drain_seconds") or []
+            drain_count = self.overload.get("drains", len(drains))
+            slowest = self.overload.get(
+                "drain_seconds_max", max(drains) if drains else 0.0
+            )
             drain_text = (
-                f"{len(drains)} drain(s), slowest "
-                f"{max(drains):.2f}s" if drains else "no drains"
+                f"{drain_count} drain(s), slowest {slowest:.2f}s"
+                if drain_count
+                else "no drains"
             )
             lines.append(
                 "overload: queue high-water "
@@ -329,27 +336,34 @@ def aggregated_transport_stats() -> Dict[str, int]:
 #: ``pg_transient_retries``, ...).  These are the failures the runtime
 #: *absorbed* — a connection shed, a frame rejected, an operation
 #: retried — which would otherwise be invisible precisely because they
-#: were handled.
-_FAULT_STATS: Dict[str, int] = {}
-_FAULT_LOCK = threading.Lock()
+#: were handled.  Since PR 9 the storage is the shared metrics registry
+#: (:mod:`repro.obs.metrics`), so ``GET /metrics`` and
+#: :func:`cache_report` read the very same counters; ``always=True``
+#: keeps fault accounting on even under ``REPRO_METRICS=0``.
+_FAULTS = obs_metrics.REGISTRY.counter(
+    "ocqa_faults_total",
+    "Absorbed faults by kind (malformed frames, CRC failures, dropped "
+    "connections, injected crashes, transient backend retries).",
+    ("kind",),
+    always=True,
+)
 
 
 def record_fault(kind: str, count: int = 1) -> None:
     """Count an absorbed fault (worker servers, transports, backends)."""
-    with _FAULT_LOCK:
-        _FAULT_STATS[kind] = _FAULT_STATS.get(kind, 0) + count
+    _FAULTS.inc(count, kind=kind)
 
 
 def reset_fault_stats() -> None:
     """Forget all recorded fault counters (test isolation)."""
-    with _FAULT_LOCK:
-        _FAULT_STATS.clear()
+    _FAULTS.reset()
 
 
 def aggregated_fault_stats() -> Dict[str, int]:
     """A snapshot of the process-wide fault counters."""
-    with _FAULT_LOCK:
-        return dict(_FAULT_STATS)
+    return {
+        key[0]: int(value) for key, value in _FAULTS.series().items() if value
+    }
 
 
 #: Process-wide overload counters: how deep the admission queue got
@@ -357,48 +371,85 @@ def aggregated_fault_stats() -> Dict[str, int]:
 #: or campaigns blew their deadline, and how long graceful drains took.
 #: These describe the service's behaviour *under pressure* — the load it
 #: refused or abandoned, which (like the fault counters) is invisible in
-#: results precisely because the refusal worked.
-_OVERLOAD_LOCK = threading.Lock()
-_QUEUE_HIGH_WATER = 0
-_SHED_STATS: Dict[str, int] = {}
-_DEADLINE_EXPIRATIONS = 0
-_DRAIN_SECONDS: List[float] = []
+#: results precisely because the refusal worked.  Backed by the shared
+#: metrics registry since PR 9 (``always=True``: overload accounting
+#: stays on under ``REPRO_METRICS=0``); drain durations additionally
+#: keep a *bounded* ring of recent raw values so a long-lived supervisor
+#: doing rolling restarts no longer grows an unbounded list.
+_QUEUE_DEPTH = obs_metrics.REGISTRY.gauge(
+    "ocqa_queue_depth",
+    "Current admission queue depth (waiting, not yet running).",
+    always=True,
+)
+_QUEUE_HIGH_WATER_GAUGE = obs_metrics.REGISTRY.gauge(
+    "ocqa_queue_depth_high_water",
+    "High-water mark of the admission queue depth since start/reset.",
+    always=True,
+)
+_SHEDS = obs_metrics.REGISTRY.counter(
+    "ocqa_sheds_total",
+    "Load sheds by reason (queue_full, tenant_quota, worker_busy, ...).",
+    ("reason",),
+    always=True,
+)
+_DEADLINE_EXPIRATIONS_TOTAL = obs_metrics.REGISTRY.counter(
+    "ocqa_deadline_expirations_total",
+    "Deadline expiries: abandoned shards and truncated campaigns.",
+    always=True,
+)
+_DRAIN_HIST = obs_metrics.REGISTRY.histogram(
+    "ocqa_drain_seconds",
+    "Graceful drain durations (worker or service).",
+    buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0),
+    always=True,
+)
+_DRAIN_MAX = obs_metrics.REGISTRY.gauge(
+    "ocqa_drain_seconds_max",
+    "Slowest graceful drain observed since start/reset.",
+    always=True,
+)
+
+#: Recent raw drain durations, newest last.  A ring (not the full list):
+#: count/sum/max live in the registry above, this only feeds the
+#: human-readable report and tests that inspect individual drains.
+_DRAIN_RING_SIZE = 64
+_DRAIN_SECONDS: Deque[float] = deque(maxlen=_DRAIN_RING_SIZE)
+_DRAIN_RING_LOCK = threading.Lock()
 
 
 def record_queue_depth(depth: int) -> None:
-    """Track the admission run-queue depth high-water mark."""
-    global _QUEUE_HIGH_WATER
-    with _OVERLOAD_LOCK:
-        if depth > _QUEUE_HIGH_WATER:
-            _QUEUE_HIGH_WATER = depth
+    """Track the admission queue depth (current gauge + high-water)."""
+    _QUEUE_DEPTH.set(depth)
+    _QUEUE_HIGH_WATER_GAUGE.set_max(depth)
 
 
 def record_shed(reason: str, count: int = 1) -> None:
     """Count a load shed (admission rejection, busy worker, ...)."""
-    with _OVERLOAD_LOCK:
-        _SHED_STATS[reason] = _SHED_STATS.get(reason, 0) + count
+    _SHEDS.inc(count, reason=reason)
 
 
 def record_deadline_expiration(count: int = 1) -> None:
     """Count a deadline expiry (abandoned shard or truncated campaign)."""
-    global _DEADLINE_EXPIRATIONS
-    with _OVERLOAD_LOCK:
-        _DEADLINE_EXPIRATIONS += count
+    _DEADLINE_EXPIRATIONS_TOTAL.inc(count)
 
 
 def record_drain(seconds: float) -> None:
     """Record how long one graceful drain took (worker or service)."""
-    with _OVERLOAD_LOCK:
+    _DRAIN_HIST.observe(seconds)
+    _DRAIN_MAX.set_max(seconds)
+    with _DRAIN_RING_LOCK:
         _DRAIN_SECONDS.append(seconds)
 
 
 def reset_overload_stats() -> None:
     """Forget all recorded overload counters (test isolation)."""
-    global _QUEUE_HIGH_WATER, _DEADLINE_EXPIRATIONS
-    with _OVERLOAD_LOCK:
-        _QUEUE_HIGH_WATER = 0
-        _SHED_STATS.clear()
-        _DEADLINE_EXPIRATIONS = 0
+    _QUEUE_DEPTH.reset()
+    _QUEUE_HIGH_WATER_GAUGE.reset()
+    _SHEDS.reset()
+    _DEADLINE_EXPIRATIONS_TOTAL.reset()
+    _DRAIN_HIST.reset()
+    _DRAIN_MAX.reset()
+    with _DRAIN_RING_LOCK:
         _DRAIN_SECONDS.clear()
 
 
@@ -406,22 +457,28 @@ def aggregated_overload_stats() -> Dict[str, object]:
     """A snapshot of the process-wide overload counters.
 
     Empty when nothing overload-related happened, so quiet processes
-    keep a quiet :meth:`CacheReport.format`.
+    keep a quiet :meth:`CacheReport.format`.  ``drain_seconds`` holds
+    the *recent* drains (bounded ring of :data:`_DRAIN_RING_SIZE`);
+    ``drains`` / ``drain_seconds_sum`` / ``drain_seconds_max`` carry the
+    exact all-time aggregates.
     """
-    with _OVERLOAD_LOCK:
-        if (
-            _QUEUE_HIGH_WATER == 0
-            and not _SHED_STATS
-            and _DEADLINE_EXPIRATIONS == 0
-            and not _DRAIN_SECONDS
-        ):
-            return {}
-        return {
-            "queue_depth_high_water": _QUEUE_HIGH_WATER,
-            "sheds": dict(_SHED_STATS),
-            "deadline_expirations": _DEADLINE_EXPIRATIONS,
-            "drain_seconds": list(_DRAIN_SECONDS),
-        }
+    high_water = int(_QUEUE_HIGH_WATER_GAUGE.value())
+    sheds = {key[0]: int(value) for key, value in _SHEDS.series().items() if value}
+    deadline_expirations = int(_DEADLINE_EXPIRATIONS_TOTAL.value())
+    drain_count, drain_sum = _DRAIN_HIST.count_sum()
+    if not (high_water or sheds or deadline_expirations or drain_count):
+        return {}
+    with _DRAIN_RING_LOCK:
+        drains = list(_DRAIN_SECONDS)
+    return {
+        "queue_depth_high_water": high_water,
+        "sheds": sheds,
+        "deadline_expirations": deadline_expirations,
+        "drain_seconds": drains,
+        "drains": drain_count,
+        "drain_seconds_sum": round(drain_sum, 6),
+        "drain_seconds_max": _DRAIN_MAX.value(),
+    }
 
 
 def cache_report(source=None) -> CacheReport:
@@ -451,6 +508,53 @@ def cache_report(source=None) -> CacheReport:
         overload=aggregated_overload_stats(),
         columnar=columnar_module.snapshot_stats(),
     )
+
+
+#: Scrape-time gauges derived from the existing cache/transport/columnar
+#: registries: published by a collector just before each render, so the
+#: hot paths carry no duplicate counting and `/metrics` still shows hit
+#: rates and shipped bytes.
+_CACHE_HITS = obs_metrics.REGISTRY.gauge(
+    "ocqa_cache_hits", "Cache hits by cache (scrape-time snapshot).", ("cache",)
+)
+_CACHE_MISSES = obs_metrics.REGISTRY.gauge(
+    "ocqa_cache_misses", "Cache misses by cache (scrape-time snapshot).", ("cache",)
+)
+_TRANSPORT_BYTES = obs_metrics.REGISTRY.gauge(
+    "ocqa_transport_bytes",
+    "Frame bytes by direction, summed over open campaigns.",
+    ("direction",),
+)
+_TRANSPORT_FRAMES = obs_metrics.REGISTRY.gauge(
+    "ocqa_transport_frames",
+    "Frames by direction, summed over open campaigns.",
+    ("direction",),
+)
+_COLUMNAR_EVENTS = obs_metrics.REGISTRY.gauge(
+    "ocqa_columnar_events",
+    "Columnar-core counters (plans compiled, draws vectorized, ...).",
+    ("stat",),
+)
+
+
+@obs_metrics.REGISTRY.add_collector
+def _publish_diagnostics_gauges() -> None:
+    if not obs_metrics.metrics_enabled():
+        return
+    for name, counters in _shared_cache_stats().items():
+        _CACHE_HITS.set(counters.get("hits", 0), cache=name)
+        _CACHE_MISSES.set(counters.get("misses", 0), cache=name)
+    for name, counters in aggregated_worker_cache_stats().items():
+        _CACHE_HITS.set(counters.get("hits", 0), cache=f"workers:{name}")
+        _CACHE_MISSES.set(counters.get("misses", 0), cache=f"workers:{name}")
+    transport = aggregated_transport_stats()
+    if transport:
+        _TRANSPORT_BYTES.set(transport.get("bytes_sent", 0), direction="out")
+        _TRANSPORT_BYTES.set(transport.get("bytes_received", 0), direction="in")
+        _TRANSPORT_FRAMES.set(transport.get("frames_sent", 0), direction="out")
+        _TRANSPORT_FRAMES.set(transport.get("frames_received", 0), direction="in")
+    for stat, value in columnar_module.snapshot_stats().items():
+        _COLUMNAR_EVENTS.set(value, stat=stat)
 
 
 def diagnose(database: Database, constraints: ConstraintSet) -> InconsistencyReport:

@@ -49,7 +49,74 @@ from repro.distributed.transport import (
     WorkerUnavailable,
 )
 from repro.distributed.worker import ShardContext
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.deadline import Deadline, DeadlineExpired
+
+_SHARD_LEASES = obs_metrics.REGISTRY.counter(
+    "ocqa_shard_leases_total",
+    "Shard leases checked out (re-leases and speculation included).",
+)
+_SHARD_COMPLETIONS = obs_metrics.REGISTRY.counter(
+    "ocqa_shard_completions_total", "Shards completed with merged outcomes."
+)
+_SHARD_RELEASES = obs_metrics.REGISTRY.counter(
+    "ocqa_shard_releases_total",
+    "Shards handed back for re-lease after a lost or failed attempt.",
+)
+_INLINE_SHARDS = obs_metrics.REGISTRY.counter(
+    "ocqa_inline_shards_total",
+    "Shards the coordinator finished inline after losing every worker.",
+)
+_RECONNECTS = obs_metrics.REGISTRY.counter(
+    "ocqa_reconnects_total",
+    "Workers won back after a transport declared them dead.",
+)
+
+#: Live lease table for the scrape-time lease-age gauges: every checked
+#: out shard across every open campaign in this process, with its
+#: checkout instant.  ``ocqa top`` reads the derived gauges to show how
+#: stale the oldest in-flight lease is.
+_LEASE_TRACK_LOCK = threading.Lock()
+_ACTIVE_LEASE_STARTS: Dict[Any, float] = {}
+
+_ACTIVE_LEASES_GAUGE = obs_metrics.REGISTRY.gauge(
+    "ocqa_active_leases", "Shard leases currently checked out, fleet-wide."
+)
+_LEASE_AGE_MAX = obs_metrics.REGISTRY.gauge(
+    "ocqa_lease_age_seconds_max", "Age of the oldest in-flight shard lease."
+)
+
+
+def _lease_started(campaign: str, shard: int, worker: str) -> None:
+    if not obs_metrics.metrics_enabled():
+        return
+    with _LEASE_TRACK_LOCK:
+        _ACTIVE_LEASE_STARTS[(campaign, shard, worker)] = time.monotonic()
+
+
+def _lease_done(campaign: str, shard: int, worker: str) -> None:
+    with _LEASE_TRACK_LOCK:
+        _ACTIVE_LEASE_STARTS.pop((campaign, shard, worker), None)
+
+
+def _purge_leases(campaign: str) -> None:
+    with _LEASE_TRACK_LOCK:
+        for key in [k for k in _ACTIVE_LEASE_STARTS if k[0] == campaign]:
+            del _ACTIVE_LEASE_STARTS[key]
+
+
+@obs_metrics.REGISTRY.add_collector
+def _publish_lease_gauges() -> None:
+    if not obs_metrics.metrics_enabled():
+        return
+    with _LEASE_TRACK_LOCK:
+        count = len(_ACTIVE_LEASE_STARTS)
+        oldest = min(_ACTIVE_LEASE_STARTS.values()) if count else None
+    _ACTIVE_LEASES_GAUGE.set(count)
+    _LEASE_AGE_MAX.set(
+        round(time.monotonic() - oldest, 3) if oldest is not None else 0.0
+    )
 
 #: Draws per shard when the caller does not choose: small enough that a
 #: 2-worker run interleaves, large enough that framing cost stays noise.
@@ -259,6 +326,13 @@ class Coordinator:
         """
         if count <= 0:
             return []
+        obs_trace.span(
+            "campaign_range",
+            campaign=self.campaign_id,
+            start=start,
+            count=count,
+            workers=sum(1 for t in self.transports if t.alive),
+        )
         if deadline is not None:
             deadline.check(f"campaign range [{start}, {start + count})")
         table = LeaseTable(
@@ -311,6 +385,14 @@ class Coordinator:
 
                 record_deadline_expiration()
                 unfinished = len(table.unfinished())
+                obs_trace.span(
+                    "deadline_expired",
+                    scope="campaign_range",
+                    campaign=self.campaign_id,
+                    start=start,
+                    count=count,
+                    unfinished=unfinished,
+                )
                 raise DeadlineExpired(
                     f"campaign range [{start}, {start + count}) hit its "
                     f"deadline with {unfinished} shard(s) unfinished"
@@ -360,6 +442,7 @@ class Coordinator:
                 lease = table.checkout(transport.name)
                 if lease is None:
                     return
+            self._note_lease(transport.name, lease)
             if lease.speculative:
                 with self._fatal_lock:
                     self.speculations += 1
@@ -392,6 +475,9 @@ class Coordinator:
                         busy_waited += pause
                         if busy_waited > self.lease_timeout:
                             self.releases += 1
+                            self._note_release(
+                                transport.name, lease, "worker_busy"
+                            )
                             self.failure_log.append(
                                 f"{transport.name}: still busy after "
                                 f"{busy_waited:.1f}s of backpressure"
@@ -399,16 +485,21 @@ class Coordinator:
                             table.release(lease, str(exc))
                             return
                         if not self._pause(pause, table, deadline):
+                            _lease_done(
+                                self.campaign_id, lease.shard_id, transport.name
+                            )
                             table.release(lease, str(exc))
                             return
             except DeadlineExpired as exc:
                 # The worker abandoned the shard (budget gone).  Hand it
                 # back for the record and stop driving: run_range raises
                 # DeadlineExpired for the whole range.
+                _lease_done(self.campaign_id, lease.shard_id, transport.name)
                 table.release(lease, str(exc))
                 return
             except WorkerUnavailable as exc:
                 self.releases += 1
+                self._note_release(transport.name, lease, "worker_unavailable")
                 self.failure_log.append(f"{transport.name}: {exc}")
                 # Release first: another worker picks the shard up while
                 # this thread backs off trying to win its worker back.
@@ -421,14 +512,19 @@ class Coordinator:
                     with self._fatal_lock:
                         if self._fatal is None:
                             self._fatal = _map_worker_error(exc)
+                    _lease_done(
+                        self.campaign_id, lease.shard_id, transport.name
+                    )
                     table.release(lease, f"fatal: {exc}")
                     return
                 self.releases += 1
+                self._note_release(transport.name, lease, "worker_error")
                 self.failure_log.append(f"{transport.name}: {exc}")
                 table.release(lease, str(exc))
                 continue  # transient worker-side error; keep serving
             busy_waited = 0.0
             table.complete(lease, outcomes)
+            self._note_complete(transport.name, lease)
             self._record_cache_stats(transport.name, cache_stats)
 
     def _pause(
@@ -451,6 +547,48 @@ class Coordinator:
                 return False
             time.sleep(0.05)
         return True
+
+    # ------------------------------------------------------------------
+    # Telemetry bookkeeping (metrics counters + trace spans)
+    # ------------------------------------------------------------------
+    def _note_lease(self, worker: str, lease: ShardLease) -> None:
+        _SHARD_LEASES.inc()
+        _lease_started(self.campaign_id, lease.shard_id, worker)
+        obs_trace.span(
+            "shard_lease",
+            campaign=self.campaign_id,
+            shard=lease.shard_id,
+            worker=worker,
+            start=lease.start,
+            count=lease.count,
+            speculative=lease.speculative,
+        )
+
+    def _note_complete(self, worker: str, lease: ShardLease) -> None:
+        _SHARD_COMPLETIONS.inc()
+        _lease_done(self.campaign_id, lease.shard_id, worker)
+        obs_trace.span(
+            "shard_complete",
+            campaign=self.campaign_id,
+            shard=lease.shard_id,
+            worker=worker,
+            start=lease.start,
+            count=lease.count,
+        )
+
+    def _note_release(self, worker: str, lease: ShardLease, reason: str) -> None:
+        # Called at exactly the sites that bump ``self.releases``, so the
+        # span log's shard_release count always matches
+        # ``degradation_report()["releases"]``.
+        _SHARD_RELEASES.inc()
+        _lease_done(self.campaign_id, lease.shard_id, worker)
+        obs_trace.span(
+            "shard_release",
+            campaign=self.campaign_id,
+            shard=lease.shard_id,
+            worker=worker,
+            reason=reason,
+        )
 
     def _await_reconnect(
         self, transport: WorkerTransport, table: LeaseTable
@@ -487,6 +625,13 @@ class Coordinator:
                         f"{transport.name}: reconnected on attempt "
                         f"{attempt}/{policy.retry_budget}"
                     )
+                _RECONNECTS.inc()
+                obs_trace.span(
+                    "reconnect",
+                    campaign=self.campaign_id,
+                    worker=transport.name,
+                    attempt=attempt,
+                )
                 return True
             delay = min(delay * 2.0, policy.max_delay)
         with self._fatal_lock:
@@ -514,6 +659,12 @@ class Coordinator:
         if self._inline is None:
             self._inline = InlineTransport(name="inline-fallback")
         self.inline_shards += len(leftovers)
+        _INLINE_SHARDS.inc(len(leftovers))
+        obs_trace.span(
+            "inline_fallback",
+            campaign=self.campaign_id,
+            shards=len(leftovers),
+        )
         self.degradation_log.append(
             f"degraded to inline execution for {len(leftovers)} shard(s) "
             "(no live worker finished them)"
@@ -525,6 +676,7 @@ class Coordinator:
                 deadline=deadline,
             )
             table.complete(lease, outcomes)
+            self._note_complete(self._inline.name, lease)
         self._record_cache_stats(self._inline.name, cache_stats)
 
     @staticmethod
@@ -608,6 +760,7 @@ class Coordinator:
             self._inline = None
         # Keep the diagnostics registry bounded by open campaigns.
         discard_transport_stats(f"{self.campaign_id}/")
+        _purge_leases(self.campaign_id)
 
 
 def _map_worker_error(error: WorkerError) -> BaseException:

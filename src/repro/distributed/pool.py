@@ -27,7 +27,11 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distributed.protocol import WorkerError
-from repro.distributed.transport import WorkerTransport, WorkerUnavailable
+from repro.distributed.transport import (
+    WorkerTransport,
+    WorkerUnavailable,
+    _record_pushed_metrics,
+)
 from repro.distributed.worker import ShardContext, pool_worker_main
 from repro.service.deadline import Deadline, DeadlineExpired
 
@@ -193,6 +197,7 @@ class LocalPoolTransport(WorkerTransport):
             raise WorkerUnavailable(
                 f"pool worker {self.name} answered a shard with {kind!r}"
             )
+        _record_pushed_metrics(self.name, data.get("metrics"))
         return data["outcomes"], data.get("cache_stats", {})
 
     def close(self) -> None:

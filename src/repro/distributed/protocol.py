@@ -90,7 +90,14 @@ byte-compatibly.  Current capabilities:
   in turn may carry ``"retriable"``, ``"retry_after"`` (seconds, for
   backpressure rejections), ``"deadline_expired"``, and ``"draining"``
   flags so the coordinator can distinguish back-off-and-retry from
-  re-lease-elsewhere from give-up.
+  re-lease-elsewhere from give-up;
+- ``"metrics"`` — the worker may attach a cumulative telemetry snapshot
+  (its ``ocqa_worker_*`` registry, see :mod:`repro.obs.metrics`) to
+  ``result`` payloads, and a compact gauge snapshot to ``heartbeat``
+  headers, so the parent's ``/metrics`` endpoint shows fleet-wide
+  counters without a second scrape path.  A coordinator only offers it
+  while telemetry is enabled (``REPRO_METRICS``); when either side
+  stays silent, frames are bit-identical to a non-metrics build.
 
 Pickle is trusted here by design: the coordinator and its workers are
 one deployment (same codebase, same operator), exactly like the stdlib
@@ -124,6 +131,7 @@ CAPABILITIES = (("arrow",) if arrowipc.available() else ()) + (
     "crc",
     "deadline",
     "intern",
+    "metrics",
     "zlib",
 )
 

@@ -47,10 +47,27 @@ from repro.distributed.protocol import (
     send_message,
 )
 from repro.distributed.worker import ShardContext, ShardExecutor, worker_cache_stats
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.deadline import Deadline, DeadlineExpired
 
 #: ``(outcomes, cache_stats)`` as returned by a transport's run_shard.
 ShardOutcome = Tuple[List[Any], Dict[str, Dict[str, int]]]
+
+_CONTEXT_SHIPS = obs_metrics.REGISTRY.counter(
+    "ocqa_context_ships_total",
+    "Shard contexts shipped to remote workers (cache misses on the "
+    "worker side force a re-ship, counted here too).",
+)
+
+
+def _record_pushed_metrics(worker: str, snapshot: Any) -> None:
+    """Keep the latest telemetry snapshot a worker pushed (``metrics``
+    capability).  Keyed by worker name — cumulative per worker, exactly
+    the ``_WORKER_CACHE_STATS`` discipline — so re-pushes never double
+    count and campaigns need no discard protocol."""
+    if isinstance(snapshot, dict) and snapshot:
+        obs_metrics.REGISTRY.record_remote(f"worker:{worker}", snapshot)
 
 
 def compression_enabled_default() -> bool:
@@ -283,6 +300,12 @@ class SocketTransport(WorkerTransport):
                 # zlib/intern; CAPABILITIES filters it out when pyarrow
                 # is absent.
                 caps.extend(("intern", "zlib", "arrow"))
+            if obs_metrics.metrics_enabled():
+                # Only offered while telemetry is on: a worker never
+                # attaches snapshots a parent will not read, and with
+                # REPRO_METRICS=0 frames stay bit-identical to a
+                # non-metrics build.
+                caps.append("metrics")
             hello["caps"] = [cap for cap in CAPABILITIES if cap in caps]
             if self.campaign_id is not None:
                 hello["campaign"] = self.campaign_id
@@ -299,6 +322,8 @@ class SocketTransport(WorkerTransport):
                 self.peer_caps -= {"zlib", "intern", "arrow"}
             if not self.integrity:
                 self.peer_caps -= {"crc"}
+            if not obs_metrics.metrics_enabled():
+                self.peer_caps -= {"metrics"}
         except (OSError, ProtocolError) as exc:
             self._drop()
             raise WorkerUnavailable(
@@ -373,6 +398,13 @@ class SocketTransport(WorkerTransport):
                 f"{header.get('type')!r}"
             )
         self._shipped.add(context.context_id)
+        _CONTEXT_SHIPS.inc()
+        obs_trace.span(
+            "context_ship",
+            worker=self.name,
+            campaign=self.campaign_id,
+            context=context.context_id,
+        )
 
     def _is_stale(
         self, header: dict, expect: str, shard_id: Optional[int] = None
@@ -390,6 +422,7 @@ class SocketTransport(WorkerTransport):
         """
         kind = header.get("type")
         if kind == "heartbeat":
+            _record_pushed_metrics(self.name, header.get("metrics"))
             return True
         stale = (
             (kind == "pong" and expect != "pong")
@@ -490,6 +523,10 @@ class SocketTransport(WorkerTransport):
                             ),
                         )
                     if kind == "result":
+                        if isinstance(payload, dict):
+                            _record_pushed_metrics(
+                                self.name, payload.get("metrics")
+                            )
                         if "outcomes_interned" in payload:
                             outcomes = restore_outcomes(
                                 payload["outcomes_interned"]

@@ -52,6 +52,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.campaign import SamplingCampaign, draw_rng
 from repro.core.errors import FailingSequenceError
 from repro.distributed.chaos import FailpointError, failpoint
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.deadline import Deadline, DeadlineExpired
 from repro.distributed.protocol import (
     CAPABILITIES,
@@ -79,6 +81,35 @@ FATAL_EXCEPTIONS: Tuple[type, ...] = (
 
 #: How many warm campaign contexts one worker keeps (LRU-evicted).
 DEFAULT_CONTEXT_LIMIT = 8
+
+#: Shard-executor telemetry lives in :data:`repro.obs.metrics.WORKER_REGISTRY`
+#: — the registry a worker pushes to its parent (``metrics`` capability)
+#: and serves on its ``--metrics-port`` sidecar.  Keeping it out of the
+#: default registry means an in-process worker (tests, local fleets) is
+#: counted exactly once on the parent's ``/metrics``: via the push.
+_W_SHARDS = obs_metrics.WORKER_REGISTRY.counter(
+    "ocqa_worker_shards_total", "Shards executed by this worker process."
+)
+_W_DRAWS = obs_metrics.WORKER_REGISTRY.counter(
+    "ocqa_worker_draws_total", "Draw outcomes computed by this worker process."
+)
+_W_CONTEXTS_BUILT = obs_metrics.WORKER_REGISTRY.counter(
+    "ocqa_worker_contexts_built_total",
+    "Warm campaign contexts built (a re-ship after eviction builds again).",
+)
+_W_CONTEXTS_EVICTED = obs_metrics.WORKER_REGISTRY.counter(
+    "ocqa_worker_contexts_evicted_total",
+    "Warm campaign contexts closed by LRU pressure.",
+)
+_W_INFLIGHT = obs_metrics.WORKER_REGISTRY.gauge(
+    "ocqa_worker_inflight_shards",
+    "Shards currently computing on this worker.",
+)
+
+
+def worker_metrics_snapshot() -> Dict[str, Any]:
+    """The cumulative telemetry a worker pushes to its parent."""
+    return obs_metrics.WORKER_REGISTRY.snapshot()
 
 
 class UnknownContextError(KeyError):
@@ -308,6 +339,7 @@ class ShardExecutor:
             self._slots[context.context_id] = _RuntimeSlot(runtime)
             del self._building[context.context_id]
             self._evict_stale_locked()
+        _W_CONTEXTS_BUILT.inc()
         event.set()
 
     def pin(self, owner: str, context_id: str) -> None:
@@ -374,6 +406,7 @@ class ShardExecutor:
                 return
             stale = self._slots.pop(victim_id)
             self.contexts_evicted += 1
+            _W_CONTEXTS_EVICTED.inc()
             if hasattr(stale.runtime, "close"):
                 stale.runtime.close()
 
@@ -381,6 +414,7 @@ class ShardExecutor:
         from repro.diagnostics import record_deadline_expiration
 
         record_deadline_expiration()
+        obs_trace.span("deadline_expired", scope="shard", start=start, count=count)
         raise DeadlineExpired(
             f"abandoning shard [{start}, {start + count}): its deadline "
             "passed before it ran"
@@ -420,7 +454,10 @@ class ShardExecutor:
             with slot.lock:
                 if deadline is not None and deadline.expired:
                     self._abandon_expired(start, count)
-                return slot.runtime.outcomes(start, count)
+                outcomes = slot.runtime.outcomes(start, count)
+            _W_SHARDS.inc()
+            _W_DRAWS.inc(len(outcomes))
+            return outcomes
         finally:
             with self._lock:
                 slot.active -= 1
@@ -614,11 +651,13 @@ class WorkerServer:
             if self.max_inflight and self._active_shards >= self.max_inflight:
                 return False
             self._active_shards += 1
+            _W_INFLIGHT.set(self._active_shards)
             return True
 
     def _end_shard(self) -> None:
         with self._active_cond:
             self._active_shards -= 1
+            _W_INFLIGHT.set(self._active_shards)
             self._active_cond.notify_all()
 
     def _record_fault(self, kind: str) -> None:
@@ -627,6 +666,7 @@ class WorkerServer:
         with self._conn_lock:
             self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
         record_fault(kind)
+        obs_trace.span("worker_fault", worker=self.name, kind=kind)
 
     def _close_connections(self) -> None:
         with self._conn_lock:
@@ -887,6 +927,11 @@ class WorkerServer:
                 return True
             try:
                 heartbeat = tagged({"type": "heartbeat", "shard": shard_id})
+                if "metrics" in caps and obs_metrics.metrics_enabled():
+                    # A cumulative snapshot rides every heartbeat, so a
+                    # parent scraped mid-shard shows live fleet counters.
+                    # Keep-latest on the parent makes re-sends harmless.
+                    heartbeat["metrics"] = worker_metrics_snapshot()
                 with _Heartbeat(send, self.heartbeat_interval, heartbeat):
                     try:
                         outcomes = self.executor.run_shard(
@@ -944,6 +989,11 @@ class WorkerServer:
                         "outcomes": outcomes,
                         "cache_stats": worker_cache_stats(),
                     }
+                if "metrics" in caps and obs_metrics.metrics_enabled():
+                    # Attached only when the coordinator advertised the
+                    # capability: a non-advertising peer's result frames
+                    # stay bit-identical to a non-metrics build.
+                    body["metrics"] = worker_metrics_snapshot()
                 send(
                     tagged(
                         {
@@ -986,6 +1036,7 @@ def serve(
     context_limit: int = DEFAULT_CONTEXT_LIMIT,
     max_inflight: int = 0,
     drain_timeout: float = 30.0,
+    metrics_port: Optional[int] = None,
 ) -> None:
     """Run a blocking socket worker (the ``ocqa worker`` entry point).
 
@@ -994,6 +1045,10 @@ def serve(
     flight, and returns — so the process exits 0 instead of dying with
     a traceback mid-shard.  Handlers are installed only when running on
     the main thread (``signal.signal`` refuses elsewhere).
+
+    With *metrics_port*, a sidecar HTTP listener on the same host serves
+    ``GET /metrics`` (Prometheus text) — the worker's control socket
+    speaks the framed shard protocol, so scrapes need their own port.
     """
     server = WorkerServer(
         host,
@@ -1003,6 +1058,12 @@ def serve(
         max_inflight=max_inflight,
         drain_timeout=drain_timeout,
     )
+    sidecar = None
+    if metrics_port is not None:
+        from repro.obs.httpd import MetricsServer
+
+        sidecar = MetricsServer(host, metrics_port).start()
+
     def _drain_signal(signum: int, frame: Any) -> None:
         server.request_drain()
 
@@ -1020,11 +1081,20 @@ def serve(
             f"{server.host}:{server.port}",
             flush=True,
         )
+        if sidecar is not None:
+            metrics_host, bound_port = sidecar.address
+            print(
+                f"repro worker {server.name} metrics on "
+                f"http://{metrics_host}:{bound_port}/metrics",
+                flush=True,
+            )
     try:
         server.serve_forever()
     finally:
         for sig, previous in installed:
             signal.signal(sig, previous)
+        if sidecar is not None:
+            sidecar.close()
     if announce and server.draining:
         print(f"repro worker {server.name} drained", flush=True)
 
@@ -1071,16 +1141,14 @@ def pool_worker_main(conn) -> None:
                         data["count"],
                         deadline=deadline,
                     )
-                    conn.send(
-                        (
-                            "result",
-                            {
-                                "shard": data["shard"],
-                                "outcomes": outcomes,
-                                "cache_stats": worker_cache_stats(),
-                            },
-                        )
-                    )
+                    result = {
+                        "shard": data["shard"],
+                        "outcomes": outcomes,
+                        "cache_stats": worker_cache_stats(),
+                    }
+                    if obs_metrics.metrics_enabled():
+                        result["metrics"] = worker_metrics_snapshot()
+                    conn.send(("result", result))
                 elif kind == "ping":
                     conn.send(("pong", None))
                 else:

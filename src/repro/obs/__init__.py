@@ -1,0 +1,42 @@
+"""Fleet-wide telemetry: metrics registry, trace spans, live top view.
+
+- :mod:`repro.obs.metrics` — dependency-free counters/gauges/histograms
+  with Prometheus text exposition, remote push merging, and the
+  ``REPRO_METRICS=0`` kill switch.
+- :mod:`repro.obs.trace` — ``REPRO_TRACE=path`` JSON-lines span log,
+  rotated by size.
+- :mod:`repro.obs.httpd` — the worker ``--metrics-port`` sidecar.
+- :mod:`repro.obs.top` — the ``ocqa top`` terminal view.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    REGISTRY,
+    WORKER_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_tenant,
+    histogram_quantile,
+    metrics_enabled,
+    parse_prometheus_text,
+    set_tenant,
+)
+from .trace import span
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "REGISTRY",
+    "WORKER_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_tenant",
+    "histogram_quantile",
+    "metrics_enabled",
+    "parse_prometheus_text",
+    "set_tenant",
+    "span",
+]

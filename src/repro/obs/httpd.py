@@ -1,0 +1,81 @@
+"""Tiny threaded HTTP listener serving ``/metrics`` (+ ``/healthz``).
+
+Used by ``ocqa worker --metrics-port``: the worker's control socket
+speaks the framed shard protocol, so Prometheus needs a sidecar HTTP
+port.  Renders one or more registries concatenated (the worker serves
+:data:`~repro.obs.metrics.WORKER_REGISTRY` first, then the default
+registry for sampler/diagnostics counters accumulated in-process).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Sequence, Tuple
+
+from .metrics import REGISTRY, WORKER_REGISTRY, MetricsRegistry
+
+__all__ = ["MetricsServer", "CONTENT_TYPE"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Daemon-thread HTTP server exposing registry renders."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registries: Sequence[MetricsRegistry] = (WORKER_REGISTRY, REGISTRY),
+    ) -> None:
+        self._registries = tuple(registries)
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = outer.render().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                elif self.path.split("?", 1)[0] == "/healthz":
+                    body = json.dumps({"ok": True}).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                pass  # scrapes are not operator-facing events
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="ocqa-metrics-http",
+            daemon=True,
+        )
+
+    def render(self) -> str:
+        return "".join(registry.render() for registry in self._registries)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5)

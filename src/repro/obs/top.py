@@ -1,0 +1,267 @@
+"""``ocqa top``: a refreshing terminal view over ``/metrics`` + ``/status``.
+
+Polls the service's HTTP endpoints and renders queue depth, per-tenant
+draw throughput (rate between refreshes), lease counts and ages, cache
+hit rates and p50/p95/p99 query latency.  Works against ``ocqa serve``
+(both endpoints) or a worker ``--metrics-port`` sidecar (``/metrics``
+only — the status block is skipped).
+
+Everything is injectable (fetcher, output stream, iteration cap) so the
+view is unit-testable without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .metrics import histogram_quantile, parse_prometheus_text
+
+__all__ = ["run_top", "format_screen", "http_fetcher"]
+
+Samples = Dict[str, List[Tuple[Dict[str, str], float]]]
+
+#: label -> sample name for the single-value rows of the queue block.
+_QUEUE_ROWS = (
+    ("queued", "ocqa_queue_depth"),
+    ("high-water", "ocqa_queue_depth_high_water"),
+    ("running", "ocqa_running_queries"),
+)
+
+_SHARD_ROWS = (
+    ("leases", "ocqa_shard_leases_total"),
+    ("completions", "ocqa_shard_completions_total"),
+    ("re-leases", "ocqa_shard_releases_total"),
+    ("reconnects", "ocqa_reconnects_total"),
+    ("inline", "ocqa_inline_shards_total"),
+    ("ctx ships", "ocqa_context_ships_total"),
+)
+
+
+def http_fetcher(
+    service: str, metrics: Optional[str] = None, timeout: float = 2.0
+) -> Callable[[str], Optional[str]]:
+    """Fetch ``status``/``metrics`` over HTTP; ``None`` when unreachable."""
+    metrics = metrics or service
+
+    def fetch(what: str) -> Optional[str]:
+        base = metrics if what == "metrics" else service
+        url = f"http://{base}/{what}"
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+
+    return fetch
+
+
+def _scalar(samples: Samples, name: str) -> Optional[float]:
+    rows = samples.get(name)
+    if not rows:
+        return None
+    return sum(value for _, value in rows)
+
+
+def _by_label(samples: Samples, name: str, label: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for labels, value in samples.get(name, ()):  # summed across other labels
+        key = labels.get(label, "")
+        out[key] = out.get(key, 0.0) + value
+    return out
+
+
+def _latency_quantiles(samples: Samples) -> Dict[str, Optional[float]]:
+    buckets: Dict[float, float] = {}
+    for labels, value in samples.get("ocqa_query_latency_seconds_bucket", ()):
+        le = labels.get("le", "")
+        bound = float("inf") if le == "+Inf" else float(le)
+        buckets[bound] = buckets.get(bound, 0.0) + value
+    pairs = list(buckets.items())
+    return {
+        "p50": histogram_quantile(pairs, 0.50),
+        "p95": histogram_quantile(pairs, 0.95),
+        "p99": histogram_quantile(pairs, 0.99),
+    }
+
+
+def _cache_rates(samples: Samples) -> List[Tuple[str, float, float]]:
+    hits = _by_label(samples, "ocqa_cache_hits", "cache")
+    misses = _by_label(samples, "ocqa_cache_misses", "cache")
+    rows = []
+    for cache in sorted(set(hits) | set(misses)):
+        hit = hits.get(cache, 0.0)
+        total = hit + misses.get(cache, 0.0)
+        rate = hit / total if total else 0.0
+        rows.append((cache, rate, total))
+    return rows
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value < 1:
+        return f"{value * 1000:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def format_screen(
+    status: Optional[Dict[str, Any]],
+    samples: Samples,
+    previous: Optional[Samples],
+    interval: float,
+) -> str:
+    """Render one refresh of the top view as plain text."""
+    lines: List[str] = []
+    if status:
+        admission = status.get("admission", {})
+        lines.append(
+            "ocqa top — service {name}  uptime {uptime:.0f}s  "
+            "queries {served}  draining={draining}".format(
+                name=status.get("name", "?"),
+                uptime=float(status.get("uptime_seconds", 0.0)),
+                served=status.get("queries_served", 0),
+                draining=status.get("draining", False),
+            )
+        )
+        lines.append(
+            "  admission: running {running}/{max_c}  queued {queued}/{max_q}".format(
+                running=admission.get("running", 0),
+                max_c=admission.get("max_concurrent", "?"),
+                queued=admission.get("queued", 0),
+                max_q=admission.get("max_queue_depth", "?"),
+            )
+        )
+    else:
+        lines.append("ocqa top — /status unavailable (metrics-only endpoint)")
+
+    queue_bits = []
+    for label, name in _QUEUE_ROWS:
+        value = _scalar(samples, name)
+        if value is not None:
+            queue_bits.append(f"{label} {value:.0f}")
+    sheds = _by_label(samples, "ocqa_sheds_total", "reason")
+    shed_total = sum(sheds.values())
+    queue_bits.append(
+        "sheds "
+        + (
+            ",".join(f"{k}={v:.0f}" for k, v in sorted(sheds.items()) if v)
+            or "0"
+        )
+        if shed_total
+        else "sheds 0"
+    )
+    lines.append("  queue: " + "  ".join(queue_bits))
+
+    quantiles = _latency_quantiles(samples)
+    lines.append(
+        "  latency: p50 {p50}  p95 {p95}  p99 {p99}".format(
+            p50=_fmt_seconds(quantiles["p50"]),
+            p95=_fmt_seconds(quantiles["p95"]),
+            p99=_fmt_seconds(quantiles["p99"]),
+        )
+    )
+
+    draws_now = _by_label(samples, "ocqa_draws_total", "tenant")
+    draws_before = (
+        _by_label(previous, "ocqa_draws_total", "tenant") if previous else {}
+    )
+    tenant_rows = []
+    for tenant in sorted(draws_now):
+        total = draws_now[tenant]
+        rate = (
+            (total - draws_before.get(tenant, 0.0)) / interval
+            if previous and interval > 0
+            else None
+        )
+        rate_text = f"{rate:,.0f}/s" if rate is not None and rate >= 0 else "-"
+        tenant_rows.append(f"{tenant}: {total:,.0f} draws ({rate_text})")
+    lines.append(
+        "  tenants: " + ("  ".join(tenant_rows) if tenant_rows else "(no draws yet)")
+    )
+
+    shard_bits = []
+    for label, name in _SHARD_ROWS:
+        value = _scalar(samples, name)
+        if value:
+            shard_bits.append(f"{label} {value:.0f}")
+    active = _scalar(samples, "ocqa_active_leases") or 0
+    age = _scalar(samples, "ocqa_lease_age_seconds_max")
+    shard_bits.append(f"active {active:.0f}")
+    if age:
+        shard_bits.append(f"oldest lease {age:.1f}s")
+    lines.append("  shards: " + ("  ".join(shard_bits) if shard_bits else "idle"))
+
+    cache_rows = _cache_rates(samples)
+    if cache_rows:
+        lines.append(
+            "  caches: "
+            + "  ".join(
+                f"{cache} {rate:.0%} of {total:.0f}"
+                for cache, rate, total in cache_rows
+            )
+        )
+
+    faults = _by_label(samples, "ocqa_faults_total", "kind")
+    if any(faults.values()):
+        lines.append(
+            "  faults: "
+            + "  ".join(f"{k}={v:.0f}" for k, v in sorted(faults.items()) if v)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    fetch: Callable[[str], Optional[str]],
+    *,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    out: Any = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll and render until interrupted (or *iterations* refreshes).
+
+    Returns 0 on success, 1 when the metrics endpoint never answered.
+    """
+    import sys
+
+    out = out or sys.stdout
+    previous: Optional[Samples] = None
+    seen_any = False
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            if count:
+                sleep(interval)
+            count += 1
+            metrics_text = fetch("metrics")
+            status_text = fetch("status")
+            status: Optional[Dict[str, Any]] = None
+            if status_text:
+                try:
+                    status = json.loads(status_text)
+                except json.JSONDecodeError:
+                    status = None
+            if metrics_text is None:
+                out.write("ocqa top — metrics endpoint unreachable\n")
+                out.flush()
+                continue
+            try:
+                samples = parse_prometheus_text(metrics_text)
+            except ValueError as exc:
+                out.write(f"ocqa top — bad exposition: {exc}\n")
+                out.flush()
+                continue
+            seen_any = True
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(format_screen(status, samples, previous, interval))
+            out.flush()
+            previous = samples
+    except KeyboardInterrupt:
+        pass
+    return 0 if seen_any else 1

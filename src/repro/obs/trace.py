@@ -1,0 +1,140 @@
+"""Structured per-campaign trace spans: JSON lines, size-rotated.
+
+Setting ``REPRO_TRACE=/path/to/trace.jsonl`` turns on span logging
+fleet-wide (the environment propagates to worker subprocesses).  Every
+span is one JSON object per line::
+
+    {"ts": 1754650000.123456, "pid": 4242, "event": "shard_lease",
+     "campaign": "c7", "shard": 3, "worker": "w0", ...}
+
+Events emitted by the instrumented layers (see README "Observability"):
+``campaign`` / ``campaign_range``, ``shard_lease`` / ``shard_complete``
+/ ``shard_release``, ``context_ship``, ``draw_batch``,
+``checkpoint_save``, ``admission``, ``deadline_expired``,
+``worker_fault``, ``reconnect``, ``inline_fallback``.
+
+The log rotates once it passes ``REPRO_TRACE_MAX_BYTES`` (default
+16 MiB): the current file is renamed to ``<path>.1`` (replacing any
+previous generation) and a fresh file is started.  Writes append with
+a process-local lock; multiple processes sharing one path interleave
+whole lines, which is safe for JSON-lines consumers.
+
+When ``REPRO_TRACE`` is unset, :func:`span` is a cached-boolean no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, IO, Optional
+
+__all__ = ["span", "enabled", "configure", "reset", "DEFAULT_MAX_BYTES"]
+
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+_LOCK = threading.RLock()
+_CONFIGURED = False
+_PATH: Optional[str] = None
+_MAX_BYTES = DEFAULT_MAX_BYTES
+_FILE: Optional[IO[str]] = None
+
+
+def _ensure_configured() -> bool:
+    global _CONFIGURED, _PATH, _MAX_BYTES
+    if _CONFIGURED:
+        return _PATH is not None
+    with _LOCK:
+        if not _CONFIGURED:
+            path = os.environ.get("REPRO_TRACE", "").strip()
+            _PATH = path or None
+            try:
+                _MAX_BYTES = max(
+                    4096, int(os.environ.get("REPRO_TRACE_MAX_BYTES", DEFAULT_MAX_BYTES))
+                )
+            except ValueError:
+                _MAX_BYTES = DEFAULT_MAX_BYTES
+            _CONFIGURED = True
+    return _PATH is not None
+
+
+def configure(path: Optional[str], max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    """Explicitly (re)configure the trace sink — used by tests."""
+    global _CONFIGURED, _PATH, _MAX_BYTES, _FILE
+    with _LOCK:
+        if _FILE is not None:
+            try:
+                _FILE.close()
+            except OSError:
+                pass
+            _FILE = None
+        _PATH = path or None
+        _MAX_BYTES = max(4096, int(max_bytes))
+        _CONFIGURED = True
+
+
+def reset() -> None:
+    """Forget configuration so the next span re-reads the environment."""
+    global _CONFIGURED, _PATH, _FILE
+    with _LOCK:
+        if _FILE is not None:
+            try:
+                _FILE.close()
+            except OSError:
+                pass
+            _FILE = None
+        _PATH = None
+        _CONFIGURED = False
+
+
+def enabled() -> bool:
+    return _ensure_configured()
+
+
+def _open_file() -> Optional[IO[str]]:
+    global _FILE
+    if _FILE is None and _PATH is not None:
+        try:
+            _FILE = open(_PATH, "a", encoding="utf-8")
+        except OSError:
+            return None
+    return _FILE
+
+
+def _rotate_locked() -> None:
+    global _FILE
+    if _FILE is None or _PATH is None:
+        return
+    try:
+        _FILE.close()
+    except OSError:
+        pass
+    _FILE = None
+    try:
+        os.replace(_PATH, _PATH + ".1")
+    except OSError:
+        pass
+
+
+def span(event: str, **fields: Any) -> None:
+    """Emit one trace span; silently drops on any I/O trouble."""
+    if not _ensure_configured():
+        return
+    record = {"ts": round(time.time(), 6), "pid": os.getpid(), "event": event}
+    record.update(fields)
+    try:
+        line = json.dumps(record, default=str, separators=(",", ":"))
+    except (TypeError, ValueError):
+        return
+    with _LOCK:
+        handle = _open_file()
+        if handle is None:
+            return
+        try:
+            handle.write(line + "\n")
+            handle.flush()
+            if handle.tell() > _MAX_BYTES:
+                _rotate_locked()
+        except (OSError, ValueError):
+            reset()

@@ -33,6 +33,19 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+_ADMISSION_DECISIONS = obs_metrics.REGISTRY.counter(
+    "ocqa_admission_decisions_total",
+    "Admission gate outcomes, by tenant and decision "
+    "(admitted or the shed reason).",
+    ("tenant", "decision"),
+)
+_RUNNING_QUERIES = obs_metrics.REGISTRY.gauge(
+    "ocqa_running_queries", "Queries currently holding a run slot."
+)
+
 __all__ = [
     "AdmissionController",
     "BudgetExhausted",
@@ -196,10 +209,19 @@ class AdmissionController:
             self._buckets[tenant] = bucket
         return bucket
 
-    def _shed(self, exc: RetriableServiceError) -> RetriableServiceError:
+    def _shed(
+        self, tenant: str, exc: RetriableServiceError
+    ) -> RetriableServiceError:
         from repro.diagnostics import record_shed
 
         record_shed(exc.reason)
+        _ADMISSION_DECISIONS.inc(tenant=tenant, decision=exc.reason)
+        obs_trace.span(
+            "admission",
+            tenant=tenant,
+            decision=exc.reason,
+            retry_after=round(exc.retry_after, 3),
+        )
         return exc
 
     # -- public API --------------------------------------------------
@@ -219,34 +241,37 @@ class AdmissionController:
         with self._slots:
             if self._tenant_running.get(tenant, 0) >= quota.max_concurrent:
                 raise self._shed(
+                    tenant,
                     Overloaded(
                         f"tenant {tenant!r} already runs "
                         f"{quota.max_concurrent} concurrent queries",
                         reason="tenant_concurrency",
                         retry_after=1.0,
-                    )
+                    ),
                 )
             bucket = self._bucket_for(tenant, quota)
             if bucket is not None and draws > 0:
                 wait = bucket.take(float(draws))
                 if wait is not None:
                     raise self._shed(
+                        tenant,
                         BudgetExhausted(
                             f"tenant {tenant!r} draw budget covers this "
                             f"query in {wait:.2f}s",
                             reason="draw_budget",
                             retry_after=wait,
-                        )
+                        ),
                     )
             if self._running >= self.max_concurrent:
                 if self._queued >= self.max_queue_depth:
                     raise self._shed(
+                        tenant,
                         Overloaded(
                             f"run queue full ({self._queued} queued, "
                             f"{self._running} running)",
                             reason="queue_full",
                             retry_after=self.max_wait,
-                        )
+                        ),
                     )
                 self._queued += 1
                 record_queue_depth(self._queued)
@@ -258,18 +283,23 @@ class AdmissionController:
                         budget = deadline - time.monotonic()
                         if budget <= 0:
                             raise self._shed(
+                                tenant,
                                 Overloaded(
                                     f"no run slot freed within "
                                     f"{self.max_wait:.1f}s",
                                     reason="queue_timeout",
                                     retry_after=self.max_wait,
-                                )
+                                ),
                             )
                         self._slots.wait(budget)
                 finally:
                     self._queued -= 1
+                    record_queue_depth(self._queued)
             self._running += 1
             self._tenant_running[tenant] = self._tenant_running.get(tenant, 0) + 1
+            _RUNNING_QUERIES.set(self._running)
+        _ADMISSION_DECISIONS.inc(tenant=tenant, decision="admitted")
+        obs_trace.span("admission", tenant=tenant, decision="admitted")
         return AdmissionTicket(self, tenant)
 
     def _release(self, tenant: str) -> None:
@@ -280,6 +310,7 @@ class AdmissionController:
                 self._tenant_running.pop(tenant, None)
             else:
                 self._tenant_running[tenant] = count
+            _RUNNING_QUERIES.set(self._running)
             self._slots.notify_all()
 
     def snapshot(self) -> Dict[str, object]:

@@ -46,6 +46,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.httpd import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.service.admission import (
     AdmissionController,
     RetriableServiceError,
@@ -57,6 +59,24 @@ log = logging.getLogger(__name__)
 
 #: Wall-clock budget for queries that do not send their own.
 DEFAULT_QUERY_DEADLINE = 30.0
+
+_QUERY_LATENCY = obs_metrics.REGISTRY.histogram(
+    "ocqa_query_latency_seconds",
+    "End-to-end latency of executed /query requests, by tenant.",
+    ("tenant",),
+)
+_QUERIES = obs_metrics.REGISTRY.counter(
+    "ocqa_queries_total",
+    "/query outcomes, by tenant and status "
+    "(ok, error, invalid, shed, draining).",
+    ("tenant", "status"),
+)
+_SERVICE_UPTIME = obs_metrics.REGISTRY.gauge(
+    "ocqa_service_uptime_seconds", "Seconds since the query service started."
+)
+_QUERIES_SERVED = obs_metrics.REGISTRY.gauge(
+    "ocqa_queries_served", "Queries answered 200 since service start."
+)
 
 
 class ServiceUnavailable(RetriableServiceError):
@@ -126,6 +146,12 @@ class QueryService:
         self._thread: Optional[threading.Thread] = None
         self._host, self._port = host, int(port)
 
+        def _publish_service_gauges() -> None:
+            _SERVICE_UPTIME.set(round(time.monotonic() - self.started_at, 3))
+            _QUERIES_SERVED.set(self.queries_served)
+
+        self._gauge_collector = _publish_service_gauges
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -148,6 +174,7 @@ class QueryService:
             name=f"{self.name}-http",
         )
         self._thread.start()
+        obs_metrics.REGISTRY.add_collector(self._gauge_collector)
         return self
 
     @property
@@ -195,6 +222,7 @@ class QueryService:
         return duration
 
     def close(self) -> None:
+        obs_metrics.REGISTRY.remove_collector(self._gauge_collector)
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -223,31 +251,52 @@ class QueryService:
         ``reason``/``retry_after`` for admission sheds — both marked
         ``retriable`` so clients back off and retry instead of failing.
         """
+        tenant = (
+            str(payload.get("tenant", "default"))
+            if isinstance(payload, dict)
+            else "default"
+        )
         if self._draining.is_set():
             exc = ServiceUnavailable(f"{self.name} is draining")
+            _QUERIES.inc(tenant=tenant, status="draining")
             return 503, self._refusal_body(exc)
         try:
             request = _QueryRequest.parse(payload, self)
         except ValueError as exc:
+            _QUERIES.inc(tenant=tenant, status="invalid")
             return _bad_request(str(exc))
         try:
             ticket = self.admission.admit(request.tenant, draws=request.planned_draws)
         except RetriableServiceError as exc:
+            _QUERIES.inc(tenant=request.tenant, status="shed")
             return 429, self._refusal_body(exc)
+        started = time.monotonic()
+        token = obs_metrics.set_tenant(request.tenant)
         try:
             with ticket:
                 body = self._run_admitted(request)
             self.queries_served += 1
+            _QUERY_LATENCY.observe(
+                time.monotonic() - started, tenant=request.tenant
+            )
+            _QUERIES.inc(tenant=request.tenant, status="ok")
             return 200, body
         except ValueError as exc:
+            _QUERIES.inc(tenant=request.tenant, status="invalid")
             return _bad_request(str(exc))
         except Exception as exc:  # noqa: BLE001 - service boundary
             log.exception("%s: query failed", self.name)
+            _QUERY_LATENCY.observe(
+                time.monotonic() - started, tenant=request.tenant
+            )
+            _QUERIES.inc(tenant=request.tenant, status="error")
             return 500, {
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "retriable": False,
             }
+        finally:
+            obs_metrics.reset_tenant(token)
 
     @staticmethod
     def _refusal_body(exc: RetriableServiceError) -> Dict[str, Any]:
@@ -473,6 +522,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         if self.path == "/status":
             self._respond(200, self.service.status())
+        elif self.path == "/metrics":
+            # The parent registry merges the service's own series with
+            # the worker snapshots pushed over the ``metrics`` capability
+            # — one scrape covers the whole fleet this service drives.
+            self._respond_text(200, obs_metrics.REGISTRY.render())
         elif self.path == "/healthz":
             self._respond(
                 503 if self.service.draining else 200,
@@ -481,6 +535,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
         else:
             self._respond(404, {"ok": False, "error": f"no such path {self.path}"})
+
+    def _respond_text(self, status: int, text: str) -> None:
+        encoded = text.encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):
+            log.debug("client went away mid-response")
 
     def _respond(self, status: int, body: Dict[str, Any]) -> None:
         from repro.distributed.chaos import failpoint

@@ -53,6 +53,8 @@ from repro.core.sampling import sample_walk
 from repro.db.facts import Database, Fact
 from repro.db.schema import Schema
 from repro.db.terms import Term, is_var
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.query import Query
 from repro.sql.backend import SQLBackend
@@ -60,6 +62,12 @@ from repro.sql.compiler import CompiledQuery, compile_cq, compile_fo_query
 from repro.sql.rewriting import DeletionRewriter
 
 AnyQuery = Union[Query, ConjunctiveQuery]
+
+_DRAW_RANGES = obs_metrics.REGISTRY.counter(
+    "ocqa_draw_ranges_total",
+    "Draw ranges executed, by evaluation path.",
+    ("path",),
+)
 
 
 def instance_digest(backend: SQLBackend, schema: Schema) -> str:
@@ -314,7 +322,9 @@ class BaseCampaignSampler:
         """
         fast = self._columnar_outcomes(compiled, start, count)
         if fast is not None:
+            _DRAW_RANGES.inc(path="columnar")
             return fast
+        _DRAW_RANGES.inc(path="object")
         return self._object_outcomes(compiled, start, count)
 
     def _object_outcomes(
@@ -400,6 +410,16 @@ class BaseCampaignSampler:
         where the deadline cut it off.
         """
         compiled = self.compile(query)
+        obs_trace.span(
+            "campaign",
+            fingerprint=self.campaign.fingerprint[:12],
+            tenant=obs_metrics.current_tenant(),
+            runs=runs,
+            epsilon=epsilon,
+            delta=delta,
+            adaptive=bool(self.campaign.adaptive if adaptive is None else adaptive),
+            distributed=self.coordinator is not None,
+        )
         if self.coordinator is not None:
             context = self._shard_context(query)
 
