@@ -9,10 +9,10 @@ and ``bench_e11_sql_sampler.py`` (the SQL sampling campaign, per draw,
 in both the legacy fresh-chain-per-draw mode and the incremental
 chain-reusing mode) — first as a pytest pass over the benchmark files
 themselves, then as directly timed scenarios, and writes the results to
-a JSON file (default ``BENCH_PR9.json`` in the repository root) so
+a JSON file (default ``BENCH_PR10.json`` in the repository root) so
 subsequent PRs can compare against this PR's numbers.  When
-``BENCH_PR8.json`` is present its scenario timings are folded in as the
-previous-PR baseline (``speedup_vs_pr8``).
+``BENCH_PR9.json`` is present its scenario timings are folded in as the
+previous-PR baseline (``speedup_vs_pr9``).
 
 PR 3 additions: ``--backend {sqlite,postgres,memory}`` runs the E11
 campaign scenario against the selected pluggable backend (per-backend
@@ -67,6 +67,15 @@ the identical socket-worker campaign with the telemetry layer live
 snapshots ride result frames) and with ``REPRO_METRICS=0`` (every
 mutator reduced to an env check, capability withheld) — the no-load
 cost of fleet-wide observability, gated absolutely at < 5%.
+
+PR 10 additions (always recorded): ``scenario_cache`` drives the query
+service's result cache — a bypass recompute vs a cache hit for the
+standing instance query (``e16_cache_recompute_seconds`` /
+``e16_cache_hit_seconds``; their ratio ``e16_cache_hit_speedup`` holds
+an absolute floor in ``check_regression.py``), plus the per-delta cost
+of the ``/update`` path with entries cached
+(``e16_cache_update_seconds``: the sampler's incremental pass and the
+cache's invalidate/migrate sweep).
 
 Every scenario additionally records the
 process peak RSS high-water mark after it ran (``peak_rss_kb`` in the
@@ -925,6 +934,91 @@ def scenario_metrics_overhead(repeat: int) -> dict:
     return out
 
 
+def scenario_cache(repeat: int) -> dict:
+    """Result-cache hit vs recompute latency + invalidation cost (PR 10).
+
+    One keyed instance behind a :class:`QueryService` — ``handle_query``
+    drives the full parse/keying/cache path without sockets.  Records:
+
+    - ``e16_cache_recompute_seconds`` — a ``cache: "bypass"`` recompute
+      of the standing query (the price a hit avoids);
+    - ``e16_cache_hit_seconds`` — serving the same query from the cache
+      (per-request, averaged over a 200-hit loop: a single hit is far
+      below timer resolution);
+    - ``e16_cache_hit_speedup`` — recompute/hit; machine speed divides
+      out of the same-process ratio, so ``check_regression.py`` holds it
+      to an absolute floor;
+    - ``e16_cache_update_seconds`` — one ``/update`` delta against the
+      instance with entries cached: the sampler's incremental pass plus
+      cache invalidation/migration, averaged over an add/remove stream
+      that re-primes the invalidated entry each round.
+
+    Parameters are identical under ``--quick`` and a full run, so the
+    wall-clock keys are size-stable and sit in ``GATED_KEYS``.
+    """
+    from repro.service.server import QueryService
+
+    database = {
+        "R": [[f"k{i}", f"v{i}"] for i in range(100)]
+        + [[f"c{i}", f"x{j}"] for i in range(10) for j in range(2)],
+        "S": [[f"k{i}"] for i in range(20)],
+    }
+    base = {
+        "instance": "bench",
+        "query": "Q(x) :- R(x, y)",
+        "epsilon": 0.3,
+        "delta": 0.3,
+        "runs": 40,
+        "seed": 17,
+    }
+    service = QueryService(name="bench-cache")
+    out = {}
+    try:
+        status, body = service.handle_query(
+            dict(base, database=database, constraints="R(x, y), R(x, z) -> y = z")
+        )
+        assert status == 200 and body["ok"], body
+        status, body = service.handle_query(dict(base, query="Q(x) :- S(x)"))
+        assert status == 200 and body["ok"], body
+
+        def recompute():
+            status, body = service.handle_query(dict(base, cache="bypass"))
+            assert status == 200 and body["cached"] is False
+
+        out["e16_cache_recompute_seconds"] = _timed(recompute, max(repeat, 3))
+
+        def hit_loop():
+            for _ in range(200):
+                status, body = service.handle_query(dict(base))
+                assert status == 200 and body["cached"] is True, body
+
+        out["e16_cache_hit_seconds"] = _timed(hit_loop, max(repeat, 3)) / 200
+        out["e16_cache_hit_speedup"] = round(
+            out["e16_cache_recompute_seconds"] / out["e16_cache_hit_seconds"], 2
+        )
+
+        # The update stream: each round re-primes the R entry the delta
+        # invalidates (the S entry migrates), then times the delta.
+        total = 0.0
+        rounds = 10
+        for i in range(rounds):
+            service.handle_query(dict(base))  # re-prime after invalidation
+            action = "add" if i % 2 == 0 else "remove"
+            payload = {"instance": "bench", action: {"R": [["zz", "zz"]]}}
+            start = time.perf_counter()
+            status, body = service.handle_update(payload)
+            total += time.perf_counter() - start
+            assert status == 200 and body["ok"], body
+            assert body["cache"]["invalidated"] >= 1
+            assert body["cache"]["migrated"] >= 1
+        out["e16_cache_update_seconds"] = total / rounds
+        stats = service.result_cache.stats()
+        assert stats["hits"] >= 200 and stats["invalidations"] >= rounds
+    finally:
+        service.close()
+    return out
+
+
 def run_pytest_pass() -> dict:
     """Wall-clock of the benchmark files under pytest."""
     out = {}
@@ -966,7 +1060,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR9.json",
+        default=REPO_ROOT / "BENCH_PR10.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -1038,7 +1132,7 @@ def main() -> int:
         scenarios.update(scenario_workers(args.repeat, args.quick, args.workers))
         note_rss("E12_local_pool")
 
-    pr8_baseline = _previous_baseline("BENCH_PR8.json")
+    pr9_baseline = _previous_baseline("BENCH_PR9.json")
 
     print("timing E13 outcome-stream compression ...", flush=True)
     outcome_compression = scenario_compression(args.quick)
@@ -1055,22 +1149,27 @@ def main() -> int:
     print("timing telemetry no-load overhead ...", flush=True)
     scenarios.update(scenario_metrics_overhead(args.repeat))
     note_rss("metrics")
-    speedup_vs_pr8 = {
-        key: round(pr8_baseline[key] / value, 2)
+    print("timing E16 result-cache hit/recompute/invalidation ...", flush=True)
+    scenarios.update(scenario_cache(args.repeat))
+    note_rss("E16_cache")
+    speedup_vs_pr9 = {
+        key: round(pr9_baseline[key] / value, 2)
         for key, value in scenarios.items()
-        if key in pr8_baseline and value > 0
+        if key in pr9_baseline and value > 0
     }
 
     report = {
-        "pr": 9,
+        "pr": 10,
         "description": (
-            "fleet-wide telemetry: dependency-free Prometheus metrics "
-            "registry served from ocqa serve /metrics and worker "
-            "--metrics-port sidecars, worker snapshots pushed over the "
-            "negotiated metrics capability, JSON-lines trace spans "
-            "(REPRO_TRACE) reconciled with degradation_report(), and "
-            "ocqa top; REPRO_METRICS=0 disables every hot-path update "
-            "(scenario_metrics_overhead pins the on-cost < 5%)"
+            "result cache for the query service: semantic keys (rolling "
+            "instance digest + constraint/query fingerprints + sampling "
+            "knobs), weaker-(eps, delta) hits certified by the Hoeffding "
+            "inversion, and delta-driven invalidation — apply_update's "
+            "UpdateReport invalidates exactly the touched entries and "
+            "migrates provably untouched ones across the digest change; "
+            "POST /update + cache use/bypass/refresh on /query, "
+            "ocqa_cache_* counters, and the E16 hit-vs-recompute "
+            "scenario (e16_cache_hit_speedup carries an absolute floor)"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -1087,8 +1186,8 @@ def main() -> int:
             for key, value in scenarios.items()
             if key in SEED_BASELINE_SECONDS and value > 0
         },
-        "pr8_baseline_seconds": pr8_baseline,
-        "speedup_vs_pr8": speedup_vs_pr8,
+        "pr9_baseline_seconds": pr9_baseline,
+        "speedup_vs_pr9": speedup_vs_pr9,
         "peak_rss_kb": peak_rss_kb,
     }
     if "e11_seconds_per_draw_legacy" in scenarios:
@@ -1166,6 +1265,14 @@ def main() -> int:
         f"{scenarios['e15_chaos_unguarded_seconds'] * 1000:.0f} ms unguarded vs "
         f"{scenarios['e15_chaos_guarded_seconds'] * 1000:.0f} ms guarded "
         f"({overhead:+.1%})"
+    )
+    print(
+        "  E16 result cache: "
+        f"{scenarios['e16_cache_recompute_seconds'] * 1000:.1f} ms recompute vs "
+        f"{scenarios['e16_cache_hit_seconds'] * 1000:.3f} ms hit "
+        f"({scenarios['e16_cache_hit_speedup']}x), "
+        f"{scenarios['e16_cache_update_seconds'] * 1000:.1f} ms per delta "
+        "with entries cached"
     )
     return 0
 

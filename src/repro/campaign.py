@@ -66,7 +66,17 @@ except ImportError:  # pragma: no cover - CPython always has the C helper
         for element in iterable:
             counts[element] = get(element, 0) + 1
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.analysis.bernstein import BernsteinStopper
 from repro.analysis.hoeffding import sample_size
@@ -196,6 +206,91 @@ def _key_str(key: Any) -> str:
         parts = sorted(str(item) for item in key)
         return "|".join(f"{len(part)}#{part}" for part in parts)
     return str(key)
+
+
+def group_key(facts: Iterable[Any]) -> str:
+    """The canonical identity of one conflict group/component.
+
+    The same injective encoding :class:`SamplingCampaign` uses for warm
+    chains and RNG substreams (:func:`_key_str` over the fact set), so
+    the touched-group keys an :class:`UpdateReport` carries line up
+    exactly with the chains the campaign pruned for the same delta.
+    """
+    return _key_str(frozenset(facts))
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one ``apply_update`` delta touched — the invalidation feed.
+
+    Returned by the samplers' ``apply_update`` so downstream consumers
+    (the service result cache, tests) can reason about which cached
+    answers the base-table delta could have changed:
+
+    - :attr:`touched_relations` — relations of the delta facts
+      themselves (their clean rows changed);
+    - :attr:`touched_groups` / :attr:`touched_group_relations` — the
+      conflict groups whose fact sets changed (by :func:`group_key`
+      symmetric difference, old vs new), and every relation appearing
+      in those groups: a delta in one relation can merge or split a
+      component that spans others, shifting the repair distribution of
+      facts the delta never named.
+    - :attr:`old_digest` / :attr:`new_digest` — the sampler's
+      incremental instance digests before/after the delta, ``None``
+      when the sampler never materialized one (consumers must then fall
+      back to a conservative full flush).
+
+    An answer whose relations avoid ``touched_relations |
+    touched_group_relations`` is provably unaffected for conjunctive
+    queries: its clean rows, its conflict groups, and the per-group RNG
+    substreams (keyed by fact set) are all byte-identical.
+    """
+
+    added: Tuple[Any, ...]
+    removed: Tuple[Any, ...]
+    touched_relations: FrozenSet[str]
+    touched_groups: Tuple[str, ...]
+    touched_group_relations: FrozenSet[str]
+    old_digest: Optional[str] = None
+    new_digest: Optional[str] = None
+
+    @property
+    def unsafe_relations(self) -> FrozenSet[str]:
+        """Relations a cached answer may not mention and survive."""
+        return self.touched_relations | self.touched_group_relations
+
+    @classmethod
+    def from_groups(
+        cls,
+        added: Iterable[Any],
+        removed: Iterable[Any],
+        old_groups: Iterable[Iterable[Any]],
+        new_groups: Iterable[Iterable[Any]],
+        old_digest: Optional[str] = None,
+        new_digest: Optional[str] = None,
+    ) -> "UpdateReport":
+        """Diff two group snapshots into the touched-group report."""
+        added = tuple(added)
+        removed = tuple(removed)
+        old_by_key = {group_key(g): frozenset(g) for g in old_groups}
+        new_by_key = {group_key(g): frozenset(g) for g in new_groups}
+        touched = sorted(set(old_by_key) ^ set(new_by_key))
+        group_relations = frozenset(
+            fact.relation
+            for key in touched
+            for fact in old_by_key.get(key, new_by_key.get(key, frozenset()))
+        )
+        return cls(
+            added=added,
+            removed=removed,
+            touched_relations=frozenset(
+                fact.relation for fact in added + removed
+            ),
+            touched_groups=tuple(touched),
+            touched_group_relations=group_relations,
+            old_digest=old_digest,
+            new_digest=new_digest,
+        )
 
 
 #: ``draw(batch)`` returns one outcome per draw: an iterable of observed

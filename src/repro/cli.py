@@ -322,6 +322,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--max-concurrent must be positive and --max-queue-depth >= 0"
         )
+    if args.cache_size < 0:
+        raise SystemExit(f"--cache-size must be >= 0, got {args.cache_size}")
+    if args.cache_ttl is not None and args.cache_ttl <= 0:
+        raise SystemExit(
+            f"--cache-ttl must be positive seconds, got {args.cache_ttl}"
+        )
     quotas = dict(_parse_tenant_quota(spec) for spec in args.tenant or ())
     admission = AdmissionController(
         max_concurrent=args.max_concurrent,
@@ -355,6 +361,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_deadline=args.max_deadline,
             drain_timeout=args.drain_timeout,
             name=args.name,
+            cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl,
         )
         return serve_service(service)
     finally:
@@ -789,6 +797,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compress",
         action="store_true",
         help="do not negotiate outcome-stream compression with workers",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="result-cache capacity in entries (LRU; 0 disables the cache)",
+    )
+    p.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire cached results after this many seconds (default: never)",
     )
     p.set_defaults(fn=_cmd_serve)
 

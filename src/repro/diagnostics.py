@@ -9,6 +9,7 @@ module assembles that report from the core machinery.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
@@ -144,6 +145,12 @@ class CacheReport:
     #: draws vectorized vs replayed, edge-index joins) versus the object
     #: fallbacks — the observability for ``REPRO_COLUMNAR``.
     columnar: Dict[str, int] = field(default_factory=dict)
+    #: Query-service result-cache counters (see
+    #: :func:`register_result_cache`), summed over every live
+    #: :class:`repro.service.cache.ResultCache`: hits, misses,
+    #: delta-driven invalidations, LRU/TTL evictions, and migrations of
+    #: provably untouched entries across updates.
+    result_cache: Dict[str, object] = field(default_factory=dict)
 
     @staticmethod
     def _hit_rate(stats: Dict[str, int]) -> float:
@@ -191,6 +198,21 @@ class CacheReport:
                 f"term(s)), {self.columnar.get('vector_joins', 0)} vector "
                 f"join(s), {self.columnar.get('edge_index_builds', 0)} edge "
                 "index(es)"
+            )
+        if self.result_cache:
+            hits = int(self.result_cache.get("hits", 0) or 0)
+            misses = int(self.result_cache.get("misses", 0) or 0)
+            lookups = hits + misses
+            rate = f"{100 * hits / lookups:.1f}%" if lookups else "n/a"
+            lines.append(
+                "result cache: "
+                f"{hits} hit(s), {misses} miss(es) ({rate} hit rate), "
+                f"{self.result_cache.get('size', 0)}/"
+                f"{self.result_cache.get('capacity', 0)} entries, "
+                f"{self.result_cache.get('invalidations', 0)} "
+                f"invalidation(s), {self.result_cache.get('migrations', 0)} "
+                f"migration(s), {self.result_cache.get('evictions', 0)} "
+                f"eviction(s)"
             )
         if self.faults:
             counts = ", ".join(
@@ -286,6 +308,55 @@ def aggregated_worker_cache_stats() -> CacheStats:
             bucket = total.setdefault(name, {})
             for key, value in counters.items():
                 bucket[key] = bucket.get(key, 0) + value
+    return total
+
+
+#: Live query-service result caches, weakly held: a service registers
+#: its cache at construction, and a cache that simply goes away (tests,
+#: short-lived services) drops out of the report without an explicit
+#: unregister.
+_RESULT_CACHES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_result_cache(cache) -> None:
+    """Include *cache* (a ``ResultCache``) in :func:`cache_report`."""
+    _RESULT_CACHES.add(cache)
+
+
+def unregister_result_cache(cache) -> None:
+    """Drop *cache* from the report (idempotent)."""
+    _RESULT_CACHES.discard(cache)
+
+
+def aggregated_result_cache_stats() -> Dict[str, object]:
+    """Counters summed over every live result cache (empty when none)."""
+    total: Dict[str, object] = {}
+    count = 0
+    for cache in list(_RESULT_CACHES):
+        try:
+            stats = cache.stats()
+        except Exception:  # pragma: no cover - a dying cache mid-snapshot
+            continue
+        count += 1
+        for key in (
+            "size",
+            "capacity",
+            "hits",
+            "misses",
+            "invalidations",
+            "evictions",
+            "migrations",
+            "flushes",
+            "updates",
+        ):
+            total[key] = int(total.get(key, 0) or 0) + int(stats.get(key, 0) or 0)
+    if count:
+        total["caches"] = count
+        hits = int(total.get("hits", 0) or 0)
+        misses = int(total.get("misses", 0) or 0)
+        total["hit_rate"] = (
+            round(hits / (hits + misses), 4) if hits + misses else 0.0
+        )
     return total
 
 
@@ -507,6 +578,7 @@ def cache_report(source=None) -> CacheReport:
         faults=aggregated_fault_stats(),
         overload=aggregated_overload_stats(),
         columnar=columnar_module.snapshot_stats(),
+        result_cache=aggregated_result_cache_stats(),
     )
 
 
@@ -547,6 +619,12 @@ def _publish_diagnostics_gauges() -> None:
     for name, counters in aggregated_worker_cache_stats().items():
         _CACHE_HITS.set(counters.get("hits", 0), cache=f"workers:{name}")
         _CACHE_MISSES.set(counters.get("misses", 0), cache=f"workers:{name}")
+    result_cache = aggregated_result_cache_stats()
+    if result_cache:
+        _CACHE_HITS.set(int(result_cache.get("hits", 0) or 0), cache="result")
+        _CACHE_MISSES.set(
+            int(result_cache.get("misses", 0) or 0), cache="result"
+        )
     transport = aggregated_transport_stats()
     if transport:
         _TRANSPORT_BYTES.set(transport.get("bytes_sent", 0), direction="out")

@@ -100,6 +100,33 @@ def _cache_rates(samples: Samples) -> List[Tuple[str, float, float]]:
     return rows
 
 
+def _result_cache_line(samples: Samples) -> Optional[str]:
+    """The result-cache row, from the ``ocqa_cache_*_total`` counters."""
+    hits = _scalar(samples, "ocqa_cache_hits_total")
+    misses = _scalar(samples, "ocqa_cache_misses_total")
+    if hits is None and misses is None:
+        return None
+    hit = hits or 0.0
+    total = hit + (misses or 0.0)
+    rate = hit / total if total else 0.0
+    bits = [f"hits {hit:.0f}/{total:.0f} ({rate:.0%})"]
+    invalidations = _by_label(samples, "ocqa_cache_invalidations_total", "reason")
+    if any(invalidations.values()):
+        bits.append(
+            "invalidated "
+            + ",".join(
+                f"{k}={v:.0f}" for k, v in sorted(invalidations.items()) if v
+            )
+        )
+    evictions = _scalar(samples, "ocqa_cache_evictions_total")
+    if evictions:
+        bits.append(f"evicted {evictions:.0f}")
+    migrations = _scalar(samples, "ocqa_cache_migrations_total")
+    if migrations:
+        bits.append(f"migrated {migrations:.0f}")
+    return "  result cache: " + "  ".join(bits)
+
+
 def _fmt_seconds(value: Optional[float]) -> str:
     if value is None:
         return "-"
@@ -204,6 +231,10 @@ def format_screen(
                 for cache, rate, total in cache_rows
             )
         )
+
+    result_line = _result_cache_line(samples)
+    if result_line:
+        lines.append(result_line)
 
     faults = _by_label(samples, "ocqa_faults_total", "kind")
     if any(faults.values()):

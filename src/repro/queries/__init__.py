@@ -27,6 +27,7 @@ from repro.queries.eval import evaluate_formula
 from repro.queries.query import Query
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.parser import parse_cq, parse_formula, parse_query
+from repro.queries.relations import dependency_relations, query_relations
 
 __all__ = [
     "Formula",
@@ -46,4 +47,6 @@ __all__ = [
     "parse_formula",
     "parse_query",
     "parse_cq",
+    "dependency_relations",
+    "query_relations",
 ]

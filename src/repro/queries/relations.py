@@ -1,0 +1,81 @@
+"""Which relations a query's answer can depend on.
+
+The result cache migrates a cached answer across a base-table delta
+only when it can *prove* the answer never looked at anything the delta
+touched.  Two ingredients:
+
+- :func:`query_relations` — every relation the query mentions
+  syntactically (always computable);
+- :func:`dependency_relations` — the relation set usable as a
+  *dependency footprint*, or ``None`` when no sound footprint exists.
+
+The footprint is only sound for domain-independent queries: the
+samplers evaluate full first-order queries under the active-domain
+translation, so a universal quantifier, a negation, or an unguarded
+equality makes the answer depend on ``dom(D)`` — which *every* fact in
+the instance extends, regardless of relation.  Rather than reimplement
+safe-range analysis, we accept exactly the conjunctive fragment
+(atoms composed with conjunction and existential quantification, the
+shape ``parse_query`` produces for Datalog-style bodies) and return
+``None`` for anything else; the cache then falls back to conservative
+invalidation for those entries.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Union
+
+from repro.queries.ast import And, AtomFormula, Exists, Formula
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.query import Query
+
+__all__ = ["dependency_relations", "query_relations"]
+
+AnyQuery = Union[Query, ConjunctiveQuery]
+
+
+def _formula_relations(formula: Formula) -> FrozenSet[str]:
+    if isinstance(formula, AtomFormula):
+        return frozenset((formula.atom.relation,))
+    out: set = set()
+    for attr in ("operand", "premise", "conclusion", "operands"):
+        value = getattr(formula, attr, None)
+        if value is None:
+            continue
+        if isinstance(value, Formula):
+            out |= _formula_relations(value)
+        else:
+            for part in value:
+                out |= _formula_relations(part)
+    return frozenset(out)
+
+
+def query_relations(query: AnyQuery) -> FrozenSet[str]:
+    """Every relation the query mentions."""
+    if isinstance(query, ConjunctiveQuery):
+        return frozenset(atom.relation for atom in query.body)
+    return _formula_relations(query.formula)
+
+
+def _conjunctive_fragment(formula: Formula) -> bool:
+    """True when *formula* is atoms under only ``And`` / ``Exists``."""
+    if isinstance(formula, AtomFormula):
+        return True
+    if isinstance(formula, Exists):
+        return _conjunctive_fragment(formula.operand)
+    if isinstance(formula, And):
+        return all(_conjunctive_fragment(part) for part in formula.operands)
+    return False
+
+
+def dependency_relations(query: AnyQuery) -> Optional[FrozenSet[str]]:
+    """The sound dependency footprint, or ``None`` if none exists.
+
+    ``None`` means "may depend on the whole instance": the caller must
+    treat any delta as touching this query.
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return query_relations(query)
+    if _conjunctive_fragment(query.formula):
+        return _formula_relations(query.formula)
+    return None

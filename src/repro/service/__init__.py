@@ -9,6 +9,9 @@ modules, so the package root must stay cheap):
 - :mod:`repro.service.admission` — :class:`AdmissionController`,
   tenant quotas, typed :class:`Overloaded` / :class:`BudgetExhausted`
   shed errors.
+- :mod:`repro.service.cache` — :class:`ResultCache`, the bounded
+  (eps, delta)-aware result cache with delta-driven invalidation
+  (loaded lazily: it imports the digest/relations machinery).
 - :mod:`repro.service.server` — the ``ocqa serve`` HTTP/JSON front
   (loaded lazily: it imports the SQL sampler stack).
 - :mod:`repro.service.supervisor` — worker-fleet lifecycle: health
@@ -31,6 +34,7 @@ from repro.service.admission import (
 from repro.service.deadline import Deadline, DeadlineExpired
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.cache import CacheHit, CacheKey, ResultCache
     from repro.service.server import QueryService
     from repro.service.supervisor import ManagedWorker, Supervisor
 
@@ -38,11 +42,14 @@ __all__ = [
     "AdmissionController",
     "AdmissionTicket",
     "BudgetExhausted",
+    "CacheHit",
+    "CacheKey",
     "Deadline",
     "DeadlineExpired",
     "ManagedWorker",
     "Overloaded",
     "QueryService",
+    "ResultCache",
     "RetriableServiceError",
     "Supervisor",
     "TenantQuota",
@@ -52,6 +59,9 @@ _LAZY = {
     "QueryService": "repro.service.server",
     "Supervisor": "repro.service.supervisor",
     "ManagedWorker": "repro.service.supervisor",
+    "ResultCache": "repro.service.cache",
+    "CacheKey": "repro.service.cache",
+    "CacheHit": "repro.service.cache",
 }
 
 

@@ -26,6 +26,14 @@ Three overload rails stand between a request and the samplers:
   :mod:`repro.distributed.worker`, a rolling restart of the whole
   deployment loses no campaign state and changes no estimate.
 
+In front of the rails sits the **result cache**
+(:mod:`repro.service.cache`): repeat queries are answered from memory
+without consuming admission budget, ``POST /query`` takes ``cache:
+"use" | "bypass" | "refresh"``, and ``POST /update`` applies base-table
+deltas to a named instance through the samplers' incremental path —
+whose :class:`~repro.campaign.UpdateReport` invalidates exactly the
+cached answers the delta could have changed.
+
 Failpoints ``service.queue_flood`` (inside the admission wait) and
 ``service.slow_consumer`` (in the response write path) hook the chaos
 harness into the service layer; see :mod:`repro.distributed.chaos`.
@@ -53,12 +61,19 @@ from repro.service.admission import (
     RetriableServiceError,
     TenantQuota,
 )
+from repro.service.cache import CacheHit, ResultCache, request_cache_key
 from repro.service.deadline import Deadline
 
 log = logging.getLogger(__name__)
 
 #: Wall-clock budget for queries that do not send their own.
 DEFAULT_QUERY_DEADLINE = 30.0
+
+#: Result-cache entries a service keeps by default (0 disables).
+DEFAULT_CACHE_SIZE = 256
+
+#: Named instances one service will hold for the update path.
+MAX_INSTANCES = 64
 
 _QUERY_LATENCY = obs_metrics.REGISTRY.histogram(
     "ocqa_query_latency_seconds",
@@ -77,6 +92,11 @@ _SERVICE_UPTIME = obs_metrics.REGISTRY.gauge(
 _QUERIES_SERVED = obs_metrics.REGISTRY.gauge(
     "ocqa_queries_served", "Queries answered 200 since service start."
 )
+_UPDATES = obs_metrics.REGISTRY.counter(
+    "ocqa_updates_total",
+    "/update outcomes, by status (ok, invalid, draining, error).",
+    ("status",),
+)
 
 
 class ServiceUnavailable(RetriableServiceError):
@@ -88,6 +108,28 @@ class ServiceUnavailable(RetriableServiceError):
 
 def _bad_request(message: str) -> Tuple[int, Dict[str, Any]]:
     return 400, {"ok": False, "error": message, "retriable": False}
+
+
+class _ServiceInstance:
+    """A named, updatable database the service holds between requests.
+
+    Registered by a ``/query`` payload carrying both ``instance`` and
+    ``database``; later queries may name the instance instead of
+    re-shipping the database, and ``/update`` applies base-table deltas
+    through the sampler's incremental path — which is what feeds the
+    result cache's delta-driven invalidation.
+    """
+
+    __slots__ = ("name", "database", "constraints_text", "digest", "lock")
+
+    def __init__(self, name: str, database: Any, constraints_text: str) -> None:
+        from repro.sql.digest import database_digest
+
+        self.name = name
+        self.database = database
+        self.constraints_text = constraints_text
+        self.digest = database_digest(database)
+        self.lock = threading.Lock()
 
 
 class QueryService:
@@ -115,7 +157,11 @@ class QueryService:
         max_deadline: float = 300.0,
         drain_timeout: float = 30.0,
         name: Optional[str] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_ttl: Optional[float] = None,
     ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         if default_deadline <= 0:
             raise ValueError(
                 f"default_deadline must be positive, got {default_deadline}"
@@ -136,6 +182,17 @@ class QueryService:
         self.max_deadline = max_deadline
         self.drain_timeout = drain_timeout
         self.name = name or "ocqa-service"
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(cache_size, cache_ttl, name=self.name)
+            if cache_size > 0
+            else None
+        )
+        if self.result_cache is not None:
+            from repro.diagnostics import register_result_cache
+
+            register_result_cache(self.result_cache)
+        self._instances: Dict[str, _ServiceInstance] = {}
+        self._instances_lock = threading.Lock()
         self.queries_served = 0
         self.started_at = time.monotonic()
         self._draining = threading.Event()
@@ -222,6 +279,10 @@ class QueryService:
         return duration
 
     def close(self) -> None:
+        if self.result_cache is not None:
+            from repro.diagnostics import unregister_result_cache
+
+            unregister_result_cache(self.result_cache)
         obs_metrics.REGISTRY.remove_collector(self._gauge_collector)
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -265,16 +326,44 @@ class QueryService:
         except ValueError as exc:
             _QUERIES.inc(tenant=tenant, status="invalid")
             return _bad_request(str(exc))
+        started = time.monotonic()
+        cache_key = None
+        if self.result_cache is not None and request.cache_mode != "bypass":
+            cache_key = request_cache_key(
+                request.database,
+                request.constraints,
+                request.query,
+                seed=request.seed,
+                runs=request.runs,
+                adaptive=request.adaptive,
+            )
+            if request.cache_mode == "use":
+                hit = self.result_cache.get(
+                    cache_key, request.epsilon, request.delta
+                )
+                if hit is not None:
+                    # A hit costs no draws, so it bypasses admission:
+                    # serving from memory must keep working exactly when
+                    # the service is too loaded to recompute.
+                    body = self._cached_body(request, hit)
+                    self.queries_served += 1
+                    _QUERY_LATENCY.observe(
+                        time.monotonic() - started, tenant=request.tenant
+                    )
+                    _QUERIES.inc(tenant=request.tenant, status="ok")
+                    return 200, body
         try:
             ticket = self.admission.admit(request.tenant, draws=request.planned_draws)
         except RetriableServiceError as exc:
             _QUERIES.inc(tenant=request.tenant, status="shed")
             return 429, self._refusal_body(exc)
-        started = time.monotonic()
         token = obs_metrics.set_tenant(request.tenant)
         try:
             with ticket:
                 body = self._run_admitted(request)
+            if cache_key is not None:
+                self._store_result(cache_key, request, body)
+            body["cached"] = False
             self.queries_served += 1
             _QUERY_LATENCY.observe(
                 time.monotonic() - started, tenant=request.tenant
@@ -372,10 +461,218 @@ class QueryService:
             "elapsed_seconds": round(time.monotonic() - started, 6),
         }
 
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+    def _cached_body(
+        self, request: "_QueryRequest", hit: CacheHit
+    ) -> Dict[str, Any]:
+        """Assemble the response for a cache hit.
+
+        The stored core is byte-identical to what a recompute would
+        return for an exact-level hit; a weaker-level hit keeps the
+        stronger entry's frequencies (a strictly better estimate, still
+        valid at the requested level) and reports the level actually
+        achieved in ``cache_epsilon``/``cache_delta``.
+        """
+        body = hit.body
+        body["tenant"] = request.tenant
+        body["cached"] = True
+        body["cache_age_seconds"] = round(hit.age_seconds, 3)
+        if not hit.exact:
+            body["cache_epsilon"] = hit.epsilon
+            body["cache_delta"] = hit.delta
+        body["epsilon"] = request.epsilon
+        body["delta"] = request.delta
+        return body
+
+    def _store_result(
+        self,
+        cache_key: Any,
+        request: "_QueryRequest",
+        body: Dict[str, Any],
+    ) -> None:
+        """Cache one finished ``/query`` body (``use`` misses + ``refresh``).
+
+        Best-effort results are never cached: a deadline-expired body
+        certifies a *wider* epsilon than requested, and byte-identity
+        with an unhurried recompute would be broken.
+        """
+        if self.result_cache is None:
+            return
+        if not body.get("ok") or body.get("deadline_expired"):
+            return
+        from repro.queries.relations import dependency_relations
+
+        core = {
+            key: value
+            for key, value in body.items()
+            if key != "elapsed_seconds"
+        }
+        self.result_cache.put(
+            cache_key,
+            request.epsilon,
+            request.delta,
+            draws=int(body.get("runs") or 0),
+            relations=dependency_relations(request.query),
+            body=core,
+        )
+
+    # ------------------------------------------------------------------
+    # Instance registry + the update path
+    # ------------------------------------------------------------------
+    def register_instance(
+        self, name: str, database: Any, constraints_text: str
+    ) -> "_ServiceInstance":
+        """Create or replace the named instance (``/query`` side effect)."""
+        with self._instances_lock:
+            existing = self._instances.get(name)
+            if (
+                existing is None
+                and len(self._instances) >= MAX_INSTANCES
+            ):
+                raise ValueError(
+                    f"instance limit reached ({MAX_INSTANCES}); "
+                    f"re-use or update an existing instance"
+                )
+            instance = _ServiceInstance(name, database, constraints_text)
+            self._instances[name] = instance
+            return instance
+
+    def get_instance(self, name: str) -> Optional["_ServiceInstance"]:
+        with self._instances_lock:
+            return self._instances.get(name)
+
+    def handle_update(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Apply a base-table delta to a named instance; returns ``(status, body)``.
+
+        The delta runs through ``ConstraintRepairSampler.apply_update``
+        — the same incremental violation-index path every sampler uses —
+        and the resulting :class:`~repro.campaign.UpdateReport` drives
+        the result cache: entries the delta could have changed are
+        invalidated, provably untouched ones are migrated to the
+        post-update instance digest and keep hitting.
+        """
+        if self._draining.is_set():
+            _UPDATES.inc(status="draining")
+            return 503, self._refusal_body(
+                ServiceUnavailable(f"{self.name} is draining")
+            )
+        try:
+            return self._apply_update(payload)
+        except ValueError as exc:
+            _UPDATES.inc(status="invalid")
+            return _bad_request(str(exc))
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            log.exception("%s: update failed", self.name)
+            _UPDATES.inc(status="error")
+            return 500, {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "retriable": False,
+            }
+
+    def _apply_update(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        import dataclasses
+
+        from repro.constraints import ConstraintSet
+        from repro.constraints.parser import parse_constraints
+        from repro.db.facts import Database, Fact
+        from repro.db.schema import Schema
+        from repro.sql import ConstraintRepairSampler, create_backend
+        from repro.sql.digest import database_digest
+
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        name = payload.get("instance")
+        if not name:
+            raise ValueError("missing required field 'instance'")
+        instance = self.get_instance(str(name))
+        if instance is None:
+            raise ValueError(
+                f"unknown instance {name!r}; register it with a /query "
+                f"carrying both 'instance' and 'database'"
+            )
+
+        def _facts(field: str) -> List[Fact]:
+            spec = payload.get(field) or {}
+            if not isinstance(spec, dict):
+                raise ValueError(
+                    f"'{field}' must be a {{relation: [rows]}} object"
+                )
+            out = []
+            for relation, rows in spec.items():
+                if not isinstance(rows, list):
+                    raise ValueError(f"'{field}.{relation}' must be a list of rows")
+                for row in rows:
+                    if not isinstance(row, (list, tuple)):
+                        raise ValueError(
+                            f"'{field}.{relation}' rows must be arrays"
+                        )
+                    out.append(Fact(str(relation), tuple(row)))
+            return out
+
+        add = _facts("add")
+        remove = _facts("remove")
+        if not add and not remove:
+            raise ValueError("update must add or remove at least one fact")
+        with instance.lock:
+            old_db = instance.database
+            # Normalize the delta against what is actually there so the
+            # rolled digest stays truthful under duplicate adds/removes.
+            added = [f for f in add if f not in old_db]
+            removed = [f for f in remove if f in old_db]
+            constraints = ConstraintSet(
+                parse_constraints(instance.constraints_text)
+            )
+            schema = Schema.infer(old_db).extend(constraints.schema())
+            known = {rel.name: rel.arity for rel in schema}
+            for fact in added:
+                arity = known.get(fact.relation)
+                if arity is None or arity != fact.arity:
+                    raise ValueError(
+                        f"added fact {fact} does not fit the instance "
+                        f"schema (known relations: {sorted(known)})"
+                    )
+            report = None
+            if added or removed:
+                with create_backend("sqlite") as backend:
+                    backend.load(old_db, schema)
+                    sampler = ConstraintRepairSampler(
+                        backend, schema, constraints
+                    )
+                    report = sampler.apply_update(added, removed)
+                new_db = Database((old_db.facts - set(removed)) | set(added))
+                old_digest = instance.digest
+                new_digest = database_digest(new_db)
+                instance.database = new_db
+                instance.digest = new_digest
+                report = dataclasses.replace(
+                    report, old_digest=old_digest, new_digest=new_digest
+                )
+            cache_outcome = {"invalidated": 0, "migrated": 0, "flushed": 0}
+            if report is not None and self.result_cache is not None:
+                cache_outcome = self.result_cache.apply_update(report)
+        _UPDATES.inc(status="ok")
+        return 200, {
+            "ok": True,
+            "instance": instance.name,
+            "digest": instance.digest,
+            "added": len(added),
+            "removed": len(removed),
+            "touched_groups": len(report.touched_groups) if report else 0,
+            "touched_relations": sorted(report.unsafe_relations)
+            if report
+            else [],
+            "cache": cache_outcome,
+        }
+
     def status(self) -> Dict[str, Any]:
         """The ``/status`` body: admission occupancy + overload counters."""
         from repro.diagnostics import aggregated_overload_stats
 
+        with self._instances_lock:
+            instances = sorted(self._instances)
         return {
             "name": self.name,
             "draining": self.draining,
@@ -385,6 +682,10 @@ class QueryService:
             "overload": aggregated_overload_stats(),
             "workers": list(self.worker_addresses),
             "local_pool": self.workers or 0,
+            "result_cache": self.result_cache.stats()
+            if self.result_cache is not None
+            else None,
+            "instances": instances,
         }
 
     # ------------------------------------------------------------------
@@ -415,6 +716,8 @@ class _QueryRequest:
         "seed",
         "deadline_seconds",
         "planned_draws",
+        "cache_mode",
+        "instance",
     )
 
     @classmethod
@@ -429,20 +732,47 @@ class _QueryRequest:
             raise ValueError("request body must be a JSON object")
         self = cls()
         self.tenant = str(payload.get("tenant", "default"))
-        for field in ("database", "constraints", "query"):
+        cache_mode = str(payload.get("cache", "use"))
+        if cache_mode not in ("use", "bypass", "refresh"):
+            raise ValueError(
+                f"'cache' must be 'use', 'bypass', or 'refresh', "
+                f"got {cache_mode!r}"
+            )
+        self.cache_mode = cache_mode
+        instance = payload.get("instance")
+        self.instance = None if instance is None else str(instance)
+        stored = None
+        if self.instance is not None and "database" not in payload:
+            stored = service.get_instance(self.instance)
+            if stored is None:
+                raise ValueError(
+                    f"unknown instance {self.instance!r}; register it by "
+                    f"sending 'database' (and 'constraints') along with "
+                    f"'instance' once"
+                )
+        required = ("query",) if stored is not None else (
+            "database",
+            "constraints",
+            "query",
+        )
+        for field in required:
             if field not in payload:
                 raise ValueError(f"missing required field {field!r}")
-        database = payload["database"]
-        if isinstance(database, str):
-            self.database = database_from_json(database)
-        elif isinstance(database, dict):
-            self.database = database_from_json(json.dumps(database))
+        if stored is not None:
+            self.database = stored.database
+            constraints = payload.get("constraints", stored.constraints_text)
         else:
-            raise ValueError(
-                "'database' must be a {relation: [rows]} object or its "
-                "JSON string"
-            )
-        constraints = payload["constraints"]
+            database = payload["database"]
+            if isinstance(database, str):
+                self.database = database_from_json(database)
+            elif isinstance(database, dict):
+                self.database = database_from_json(json.dumps(database))
+            else:
+                raise ValueError(
+                    "'database' must be a {relation: [rows]} object or its "
+                    "JSON string"
+                )
+            constraints = payload["constraints"]
         if isinstance(constraints, list):
             constraints = "\n".join(constraints)
         if not isinstance(constraints, str):
@@ -451,6 +781,8 @@ class _QueryRequest:
                 "of lines)"
             )
         self.constraints = ConstraintSet(parse_constraints(constraints))
+        if self.instance is not None and stored is None:
+            service.register_instance(self.instance, self.database, constraints)
         self.query = parse_query(str(payload["query"]))
         self.epsilon = float(payload.get("epsilon", 0.1))
         self.delta = float(payload.get("delta", 0.1))
@@ -493,7 +825,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     MAX_BODY = 64 * 1024 * 1024
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path != "/query":
+        if self.path not in ("/query", "/update"):
             self._respond(404, {"ok": False, "error": f"no such path {self.path}"})
             return
         try:
@@ -514,7 +846,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         self.service._enter_request()
         try:
-            status, body = self.service.handle_query(payload)
+            if self.path == "/update":
+                status, body = self.service.handle_update(payload)
+            else:
+                status, body = self.service.handle_query(payload)
         finally:
             self.service._exit_request()
         self._respond(status, body)
@@ -621,7 +956,9 @@ def serve_service(service: QueryService, announce: bool = True) -> int:
 
 
 __all__ = [
+    "DEFAULT_CACHE_SIZE",
     "DEFAULT_QUERY_DEADLINE",
+    "MAX_INSTANCES",
     "QueryService",
     "ServiceUnavailable",
     "serve_service",

@@ -34,6 +34,7 @@ from repro.sql.backend import (
 )
 from repro.sql.compiler import compile_cq, compile_fo_query
 from repro.sql.dialect import SQLDialect, check_name
+from repro.sql.digest import InstanceDigest, backend_digest, database_digest
 from repro.sql.generic import ConstraintRepairSampler
 from repro.sql.memory import InMemoryBackend
 from repro.sql.rewriting import DeletionRewriter, LiveRelationMap
@@ -59,6 +60,9 @@ __all__ = [
     "check_name",
     "compile_cq",
     "compile_fo_query",
+    "InstanceDigest",
+    "backend_digest",
+    "database_digest",
     "ConstraintRepairSampler",
     "DeletionRewriter",
     "LiveRelationMap",

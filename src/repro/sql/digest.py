@@ -1,0 +1,124 @@
+"""Order-independent instance digests, incrementally maintainable.
+
+The campaign fingerprint machinery (:func:`repro.sql.sampler.instance_digest`)
+digests the instance by sorting every table — exactly right for rejecting
+stale checkpoints, but recomputing it after each base-table delta costs a
+full rescan.  The result cache needs the opposite trade-off: a digest it
+can *roll forward* through ``apply_update`` in O(|delta|), so an update
+report can name the instance identity before and after the delta without
+touching the tables again.
+
+:class:`InstanceDigest` therefore folds per-fact SHA-256 tokens with
+modular addition — a commutative, invertible accumulator.  Insertion
+order never matters, removal subtracts the same token addition added,
+and two digests agree exactly when the fact multisets agree (facts live
+in sets here, so: when the instances are equal).  The token binds the
+relation name and every value position with length prefixes, so no two
+distinct facts collide by concatenation tricks; the 256-bit accumulator
+makes accidental cancellation astronomically unlikely (this is a cache
+key, not an adversarial MAC).
+
+:func:`database_digest` (over a :class:`~repro.db.facts.Database`) and
+:func:`backend_digest` (over a loaded :class:`~repro.sql.backend.SQLBackend`)
+produce the *same* digest for the same contents, so a service keying
+cache entries by the posted database and a sampler rolling its digest
+through deltas can never disagree about instance identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence, Tuple
+
+from repro.db.facts import Database, Fact
+from repro.db.schema import Schema
+
+__all__ = ["InstanceDigest", "backend_digest", "database_digest", "fact_token"]
+
+_MODULUS = 1 << 256
+
+
+def _row_token(relation: str, values: Sequence[object]) -> int:
+    parts = [f"{len(relation)}#{relation}"]
+    for value in values:
+        text = str(value)
+        parts.append(f"{len(text)}#{text}")
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest, "big")
+
+
+def fact_token(fact: Fact) -> int:
+    """The additive token one fact contributes to an instance digest."""
+    return _row_token(fact.relation, fact.values)
+
+
+class InstanceDigest:
+    """A rolling digest of a fact set: add/discard in O(1), read anytime."""
+
+    __slots__ = ("_acc", "_count")
+
+    def __init__(self) -> None:
+        self._acc = 0
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def of_database(cls, database: Database) -> "InstanceDigest":
+        digest = cls()
+        for fact in database.facts:
+            digest.add(fact)
+        return digest
+
+    @classmethod
+    def of_backend(cls, backend, schema: Schema) -> "InstanceDigest":
+        """Digest the live tables (post-load, pre- any ``R_del`` marks)."""
+        digest = cls()
+        for relation in schema:
+            for row in backend.select_all(relation.name):
+                digest.add_row(relation.name, row)
+        return digest
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def add(self, fact: Fact) -> None:
+        self._acc = (self._acc + fact_token(fact)) % _MODULUS
+        self._count += 1
+
+    def discard(self, fact: Fact) -> None:
+        self._acc = (self._acc - fact_token(fact)) % _MODULUS
+        self._count -= 1
+
+    def add_row(self, relation: str, values: Sequence[object]) -> None:
+        self._acc = (self._acc + _row_token(relation, values)) % _MODULUS
+        self._count += 1
+
+    def update(self, added: Iterable[Fact] = (), removed: Iterable[Fact] = ()) -> None:
+        for fact in removed:
+            self.discard(fact)
+        for fact in added:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def hexdigest(self) -> str:
+        """The current identity: count + accumulator, re-hashed."""
+        return hashlib.sha256(
+            f"{self._count}\x1f{self._acc:064x}".encode("ascii")
+        ).hexdigest()
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self._acc, self._count)
+
+
+def database_digest(database: Database) -> str:
+    """The instance digest of a :class:`Database` value."""
+    return InstanceDigest.of_database(database).hexdigest()
+
+
+def backend_digest(backend, schema: Schema) -> str:
+    """The instance digest of the tables loaded in *backend*."""
+    return InstanceDigest.of_backend(backend, schema).hexdigest()

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.campaign import SamplingCampaign, generator_signature
+from repro.campaign import SamplingCampaign, UpdateReport, generator_signature
 from repro.constraints.base import ConstraintSet
 from repro.core.chain import ChainGenerator, RepairingChain
 from repro.core.generators import UniformGenerator
@@ -113,7 +113,7 @@ class ConstraintRepairSampler(BaseCampaignSampler):
     # ------------------------------------------------------------------
     def apply_update(
         self, added: Iterable[Fact] = (), removed: Iterable[Fact] = ()
-    ) -> None:
+    ) -> UpdateReport:
         """Apply a base-table delta and re-derive the conflict components.
 
         Deletions drop dead violation edges in memory; insertions run
@@ -121,9 +121,13 @@ class ConstraintRepairSampler(BaseCampaignSampler):
         a touched relation.  Components are then recomputed from the
         maintained edge sets (pure union-find — no SQL), and only
         components whose fact sets changed lose their cached chains.
+        Returns an :class:`repro.campaign.UpdateReport` naming the
+        changed components (and the pre/post instance digests when the
+        rolling digest is live) for result-cache invalidation.
         """
         added = list(added)
         removed = list(removed)
+        old_components = self.components
         if removed:
             self.backend.delete_facts(removed)
             self.violation_index.apply_delete(removed)
@@ -135,7 +139,16 @@ class ConstraintRepairSampler(BaseCampaignSampler):
             self.violation_index.apply_insert(added)
         self.components = self.violation_index.components()
         self.campaign.prune_chains(self.components)
+        old_digest, new_digest = self._roll_result_digest(added, removed)
         self._refresh_campaign_identity()
+        return UpdateReport.from_groups(
+            added,
+            removed,
+            old_components,
+            self.components,
+            old_digest=old_digest,
+            new_digest=new_digest,
+        )
 
     # ------------------------------------------------------------------
     # Sampling

@@ -43,7 +43,12 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.campaign import SamplingCampaign, _key_str, campaign_fingerprint
+from repro.campaign import (
+    SamplingCampaign,
+    UpdateReport,
+    _key_str,
+    campaign_fingerprint,
+)
 from repro.constraints.base import ConstraintSet
 from repro.constraints.shortcuts import key as key_constraints
 from repro.core import columnar, mt19937
@@ -180,6 +185,12 @@ class BaseCampaignSampler:
         #: fingerprint is actually compared, i.e. when a checkpoint or an
         #: externally shared campaign is in play.
         self._data_digest: Optional[str] = None
+        #: The *rolling* instance digest (:mod:`repro.sql.digest`) —
+        #: also lazy, but once materialized it is maintained in
+        #: O(|delta|) through :meth:`apply_update` instead of being
+        #: recomputed, so update reports can name the pre/post instance
+        #: identity without a rescan.  ``None`` until someone asks.
+        self._result_digest = None
         if campaign is None:
             if checkpoint_path is None:
                 campaign = SamplingCampaign(
@@ -247,6 +258,36 @@ class BaseCampaignSampler:
     def _fingerprint_parts(self) -> Tuple:
         """Sampler-specific fingerprint components (policy, keys, ...)."""
         raise NotImplementedError
+
+    def result_digest(self) -> str:
+        """The rolling instance digest the result cache keys entries by.
+
+        Equals :func:`repro.sql.digest.database_digest` of the loaded
+        instance; first call scans the tables, after which
+        :meth:`apply_update` rolls it forward per delta.
+        """
+        from repro.sql.digest import InstanceDigest
+
+        if self._result_digest is None:
+            self._result_digest = InstanceDigest.of_backend(
+                self.backend, self.schema
+            )
+        return self._result_digest.hexdigest()
+
+    def _roll_result_digest(
+        self, added: Sequence[Fact], removed: Sequence[Fact]
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Advance the rolling digest through a delta.
+
+        Returns ``(old, new)`` hexdigests, or ``(None, None)`` when the
+        digest was never materialized — consumers must then treat the
+        update as unprovable and flush conservatively.
+        """
+        if self._result_digest is None:
+            return None, None
+        old = self._result_digest.hexdigest()
+        self._result_digest.update(added, removed)
+        return old, self._result_digest.hexdigest()
 
     def _refresh_campaign_identity(self) -> None:
         """Re-bind the campaign to the current (post-update) instance.
@@ -551,16 +592,23 @@ class KeyRepairSampler(BaseCampaignSampler):
                     )
         return tuple(groups)
 
-    def apply_update(self, added: Iterable[Fact] = (), removed: Iterable[Fact] = ()) -> None:
+    def apply_update(
+        self, added: Iterable[Fact] = (), removed: Iterable[Fact] = ()
+    ) -> UpdateReport:
         """Apply a base-table delta and re-derive the conflict groups.
 
         The groups are maintained from the in-memory key buckets — no
         table re-scan — and only the groups whose fact sets actually
         changed lose their cached chains (the fact tuple is the cache
-        key, so untouched groups keep their amortized state).
+        key, so untouched groups keep their amortized state).  Returns
+        an :class:`repro.campaign.UpdateReport` naming exactly those
+        changed groups (plus the pre/post instance digests when the
+        rolling digest is live) — the feed the service result cache
+        invalidates from.
         """
         added = list(added)
         removed = list(removed)
+        old_groups = [group.facts for group in self.groups]
         if removed:
             self.backend.delete_facts(removed)
         if added:
@@ -586,7 +634,16 @@ class KeyRepairSampler(BaseCampaignSampler):
                 buckets.setdefault(key_value, set()).add(fact)
         self.groups = self._rebuild_groups()
         self.campaign.prune_chains(group.facts for group in self.groups)
+        old_digest, new_digest = self._roll_result_digest(added, removed)
         self._refresh_campaign_identity()
+        return UpdateReport.from_groups(
+            added,
+            removed,
+            old_groups,
+            [group.facts for group in self.groups],
+            old_digest=old_digest,
+            new_digest=new_digest,
+        )
 
     # ------------------------------------------------------------------
     # Per-group sampling policies
